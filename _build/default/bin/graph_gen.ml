@@ -1,0 +1,73 @@
+(* graph_gen: write synthetic workload graphs to disk.
+
+   The generators stand in for the paper's datasets (DESIGN.md §3):
+   rmat ~ social networks, road ~ DIMACS road networks (with coordinates),
+   er ~ uniform random graphs for testing. *)
+
+open Cmdliner
+
+let write ~kind ~scale ~edge_factor ~rows ~cols ~seed ~weights ~out =
+  let rng = Support.Rng.create seed in
+  let base, coords =
+    match kind with
+    | "rmat" -> (Graphs.Generators.rmat ~rng ~scale ~edge_factor (), None)
+    | "road" ->
+        let el, coords = Graphs.Generators.road_grid ~rng ~rows ~cols () in
+        (el, Some coords)
+    | "er" ->
+        ( Graphs.Generators.erdos_renyi ~rng ~num_vertices:(1 lsl scale)
+            ~num_edges:(edge_factor * (1 lsl scale))
+            (),
+          None )
+    | other ->
+        Printf.eprintf "unknown graph kind %S (rmat|road|er)\n" other;
+        exit 1
+  in
+  let el =
+    match (kind, weights) with
+    | "road", _ -> base (* road weights are geometric; keep them *)
+    | _, "uniform" -> Graphs.Generators.assign_weights ~rng ~lo:1 ~hi:1000 base
+    | _, "wbfs" -> Graphs.Generators.wbfs_weights ~rng base
+    | _, "unit" -> base
+    | _, other ->
+        Printf.eprintf "unknown weight distribution %S (uniform|wbfs|unit)\n" other;
+        exit 1
+  in
+  Graphs.Graph_io.write_edge_list out el;
+  Printf.printf "wrote %s: %d vertices, %d edges\n" out el.Graphs.Edge_list.num_vertices
+    (Graphs.Edge_list.num_edges el);
+  match coords with
+  | Some c ->
+      let coord_path = out ^ ".coords" in
+      Graphs.Graph_io.write_coords coord_path c;
+      Printf.printf "wrote %s\n" coord_path
+  | None -> ()
+
+let () =
+  let kind =
+    Arg.(value & opt string "rmat" & info [ "kind" ] ~doc:"Graph family: rmat|road|er")
+  in
+  let scale =
+    Arg.(value & opt int 14 & info [ "scale" ] ~doc:"log2 vertices (rmat/er)")
+  in
+  let edge_factor =
+    Arg.(value & opt int 16 & info [ "edge-factor" ] ~doc:"Edges per vertex (rmat/er)")
+  in
+  let rows = Arg.(value & opt int 300 & info [ "rows" ] ~doc:"Road grid rows") in
+  let cols = Arg.(value & opt int 300 & info [ "cols" ] ~doc:"Road grid columns") in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed") in
+  let weights =
+    Arg.(
+      value & opt string "uniform"
+      & info [ "weights" ] ~doc:"Weight distribution: uniform|wbfs|unit")
+  in
+  let out =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"OUT" ~doc:"Output path")
+  in
+  let term =
+    Term.(
+      const (fun kind scale edge_factor rows cols seed weights out ->
+          write ~kind ~scale ~edge_factor ~rows ~cols ~seed ~weights ~out)
+      $ kind $ scale $ edge_factor $ rows $ cols $ seed $ weights $ out)
+  in
+  exit (Cmd.eval (Cmd.v (Cmd.info "graph_gen" ~doc:"Generate synthetic graphs") term))

@@ -1,0 +1,144 @@
+(* graphitc: the GraphIt ordered-extension compiler driver.
+
+   Subcommands:
+   - check   FILE          parse, typecheck, analyze, resolve schedules
+   - emit    FILE          print the C++ the compiler would generate (Fig. 9)
+   - run     FILE ARGS...  compile and execute against the ordered runtime
+   - ast     FILE          dump the parsed AST (debugging aid) *)
+
+open Cmdliner
+
+let compile_or_exit path =
+  match Dsl.Frontend.compile_file path with
+  | Ok compiled -> compiled
+  | Error msg ->
+      Printf.eprintf "%s\n" msg;
+      exit 1
+
+let describe compiled =
+  let lowered = compiled.Dsl.Frontend.lowered in
+  let analysis = lowered.Dsl.Lower.analysis in
+  (match analysis.Dsl.Analysis.pq with
+  | Some pq ->
+      Printf.printf "priority queue : %s (vector %s, %s, coarsening %s)\n"
+        pq.Dsl.Analysis.pq_name pq.Dsl.Analysis.priority_vector
+        (Format.asprintf "%a" Bucketing.Bucket_order.pp_direction
+           pq.Dsl.Analysis.direction)
+        (if pq.Dsl.Analysis.allow_coarsening then "allowed" else "disallowed")
+  | None -> Printf.printf "priority queue : (none declared)\n");
+  (match analysis.Dsl.Analysis.loop with
+  | Some loop ->
+      Printf.printf "ordered loop   : replaceable (udf %s, label %s)\n"
+        loop.Dsl.Analysis.udf.Dsl.Analysis.udf_name
+        (Option.value ~default:"-" loop.Dsl.Analysis.label);
+      Printf.printf "udf update     : %s%s\n"
+        (match loop.Dsl.Analysis.udf.Dsl.Analysis.update with
+        | Dsl.Analysis.Update_min -> "updatePriorityMin"
+        | Dsl.Analysis.Update_max -> "updatePriorityMax"
+        | Dsl.Analysis.Update_sum _ -> "updatePrioritySum")
+        (match loop.Dsl.Analysis.udf.Dsl.Analysis.constant_sum_diff with
+        | Some d -> Printf.sprintf " (constant sum %+d: histogram eligible)" d
+        | None -> "");
+      if loop.Dsl.Analysis.udf.Dsl.Analysis.atomic_vectors <> [] then
+        Printf.printf "atomics needed : %s (written at destination)\n"
+          (String.concat ", " loop.Dsl.Analysis.udf.Dsl.Analysis.atomic_vectors)
+  | None -> Printf.printf "ordered loop   : generic (direct priority-queue driver)\n");
+  Printf.printf "loop schedule  : %s\n"
+    (Format.asprintf "%a" Ordered.Schedule.pp lowered.Dsl.Lower.loop_schedule)
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"DSL source file")
+
+let check_cmd =
+  let run path =
+    let compiled = compile_or_exit path in
+    Printf.printf "%s: OK\n" path;
+    describe compiled
+  in
+  Cmd.v (Cmd.info "check" ~doc:"Parse, typecheck and analyze a DSL program")
+    Term.(const run $ file_arg)
+
+let emit_cmd =
+  let run path = print_string (Dsl.Frontend.generate_cpp (compile_or_exit path)) in
+  Cmd.v
+    (Cmd.info "emit" ~doc:"Print the C++ the compiler would generate (paper Fig. 9)")
+    Term.(const run $ file_arg)
+
+let ast_cmd =
+  let run path =
+    let compiled = compile_or_exit path in
+    print_endline (Dsl.Ast.show_program compiled.Dsl.Frontend.lowered.Dsl.Lower.program)
+  in
+  Cmd.v (Cmd.info "ast" ~doc:"Dump the parsed AST") Term.(const run $ file_arg)
+
+let run_cmd =
+  let workers =
+    Arg.(value & opt int 4 & info [ "j"; "workers" ] ~docv:"N" ~doc:"Worker domains")
+  in
+  let coords_path =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "coords" ] ~docv:"FILE" ~doc:"Vertex coordinates (for A*'s heuristic)")
+  in
+  let args =
+    Arg.(value & pos_right 0 string [] & info [] ~docv:"ARGS" ~doc:"Program arguments")
+  in
+  let run path workers coords_path args =
+    let compiled = compile_or_exit path in
+    let argv = Array.of_list (Filename.basename path :: args) in
+    let setcover_externs, _ = Dsl.Externs.setcover () in
+    let astar_externs =
+      match coords_path with
+      | None -> []
+      | Some cpath ->
+          let coords = Graphs.Graph_io.read_coords cpath in
+          let target =
+            match args with
+            | _ :: _ :: t :: _ -> int_of_string t
+            | _ ->
+                Printf.eprintf "--coords requires a target vertex argument\n";
+                exit 1
+          in
+          Dsl.Externs.astar ~coords ~target
+    in
+    Parallel.Pool.with_pool ~num_workers:workers (fun pool ->
+        match
+          Dsl.Frontend.run compiled ~pool ~argv
+            ~externs:(astar_externs @ setcover_externs) ()
+        with
+        | result ->
+            List.iter (Printf.printf "%s\n") result.Dsl.Interp.printed;
+            List.iter
+              (fun (name, values) ->
+                let preview =
+                  Array.to_list (Array.sub values 0 (min 10 (Array.length values)))
+                  |> List.map (fun v ->
+                         if v = Bucketing.Bucket_order.null_priority then "inf"
+                         else string_of_int v)
+                  |> String.concat " "
+                in
+                Printf.printf "%s[0..%d] = %s%s\n" name
+                  (min 10 (Array.length values) - 1)
+                  preview
+                  (if Array.length values > 10 then " ..." else ""))
+              result.Dsl.Interp.vectors;
+            (match result.Dsl.Interp.stats with
+            | Some stats -> Format.printf "stats: %a@." Ordered.Stats.pp stats
+            | None -> ())
+        | exception Dsl.Interp.Runtime_error (pos, msg) ->
+            Printf.eprintf "%s: runtime error at %s: %s\n" path
+              (Format.asprintf "%a" Dsl.Pos.pp pos)
+              msg;
+            exit 1)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Compile and execute a DSL program")
+    Term.(const run $ file_arg $ workers $ coords_path $ args)
+
+let () =
+  let info =
+    Cmd.info "graphitc" ~version:"1.0"
+      ~doc:"Compiler and runner for the GraphIt priority-based extension"
+  in
+  exit (Cmd.eval (Cmd.group info [ check_cmd; emit_cmd; ast_cmd; run_cmd ]))

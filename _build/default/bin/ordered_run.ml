@@ -1,0 +1,156 @@
+(* ordered_run: run any native ordered algorithm from the command line with
+   an explicit schedule — the CLI counterpart of the scheduling language. *)
+
+open Cmdliner
+
+let load_graph path symmetric =
+  let el = Graphs.Graph_io.load path in
+  let el = if symmetric then Graphs.Edge_list.symmetrized el else el in
+  Graphs.Csr.of_edge_list el
+
+let make_schedule strategy delta threshold buckets traversal =
+  let ( let* ) = Result.bind in
+  let* strategy = Ordered.Schedule.strategy_of_string strategy in
+  let* traversal = Ordered.Schedule.traversal_of_string traversal in
+  Ordered.Schedule.validate
+    {
+      Ordered.Schedule.default with
+      strategy;
+      delta;
+      fusion_threshold = threshold;
+      num_open_buckets = buckets;
+      traversal;
+    }
+
+let run algorithm graph_path source target workers strategy delta threshold buckets
+    traversal coords_path show_trace =
+  let schedule =
+    match make_schedule strategy delta threshold buckets traversal with
+    | Ok s -> s
+    | Error msg ->
+        Printf.eprintf "invalid schedule: %s\n" msg;
+        exit 1
+  in
+  Parallel.Pool.with_pool ~num_workers:workers (fun pool ->
+      let report name seconds (stats : Ordered.Stats.t option) =
+        Printf.printf "%s: %.4fs\n" name seconds;
+        match stats with
+        | Some s -> Format.printf "stats: %a@." Ordered.Stats.pp s
+        | None -> ()
+      in
+      match algorithm with
+      | "sssp" ->
+          let graph = load_graph graph_path false in
+          let transpose =
+            if schedule.Ordered.Schedule.traversal <> Ordered.Schedule.Sparse_push
+            then Some (Graphs.Csr.transpose graph)
+            else None
+          in
+          let trace = if show_trace then Some (Ordered.Trace.create ()) else None in
+          let r, seconds =
+            Support.Timer.time (fun () ->
+                Algorithms.Sssp_delta.run ~pool ~graph ?transpose ~schedule ~source
+                  ?trace ())
+          in
+          report "sssp" seconds (Some r.stats);
+          (match trace with
+          | Some t -> Format.printf "%a" (Ordered.Trace.pp ?max_rounds:None) t
+          | None -> ())
+      | "wbfs" ->
+          let graph = load_graph graph_path false in
+          let r, seconds =
+            Support.Timer.time (fun () ->
+                Algorithms.Wbfs.run ~pool ~graph ~schedule ~source ())
+          in
+          report "wbfs" seconds (Some r.stats)
+      | "ppsp" ->
+          let graph = load_graph graph_path false in
+          let r, seconds =
+            Support.Timer.time (fun () ->
+                Algorithms.Ppsp.run ~pool ~graph ~schedule ~source ~target ())
+          in
+          Printf.printf "distance %d -> %d = %s\n" source target
+            (if r.distance = Bucketing.Bucket_order.null_priority then "unreachable"
+             else string_of_int r.distance);
+          report "ppsp" seconds (Some r.stats)
+      | "astar" ->
+          let graph = load_graph graph_path false in
+          let coords =
+            match coords_path with
+            | Some p -> Graphs.Graph_io.read_coords p
+            | None ->
+                Printf.eprintf "astar requires --coords\n";
+                exit 1
+          in
+          let r, seconds =
+            Support.Timer.time (fun () ->
+                Algorithms.Astar.run ~pool ~graph ~coords ~schedule ~source ~target ())
+          in
+          Printf.printf "distance %d -> %d = %d\n" source target r.distance;
+          report "astar" seconds (Some r.stats)
+      | "kcore" ->
+          let graph = load_graph graph_path true in
+          let r, seconds =
+            Support.Timer.time (fun () -> Algorithms.Kcore.run ~pool ~graph ~schedule ())
+          in
+          Printf.printf "max core = %d\n" (Algorithms.Kcore.max_core r);
+          report "kcore" seconds (Some r.stats)
+      | "setcover" ->
+          let graph = load_graph graph_path true in
+          let r, seconds =
+            Support.Timer.time (fun () ->
+                Algorithms.Setcover.run ~pool ~graph ~schedule ())
+          in
+          Printf.printf "cover size = %d (%d rounds)\n" r.cover_size r.rounds;
+          report "setcover" seconds None
+      | "bellman-ford" ->
+          let graph = load_graph graph_path false in
+          let r, seconds =
+            Support.Timer.time (fun () ->
+                Algorithms.Bellman_ford.run ~pool ~graph ~source ())
+          in
+          Printf.printf "iterations = %d\n" r.iterations;
+          report "bellman-ford" seconds None
+      | other ->
+          Printf.eprintf
+            "unknown algorithm %S (sssp|wbfs|ppsp|astar|kcore|setcover|bellman-ford)\n"
+            other;
+          exit 1)
+
+let () =
+  let algorithm =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"ALGORITHM" ~doc:"Algorithm")
+  in
+  let graph = Arg.(required & pos 1 (some file) None & info [] ~docv:"GRAPH" ~doc:"Graph") in
+  let source = Arg.(value & opt int 0 & info [ "source" ] ~doc:"Source vertex") in
+  let target = Arg.(value & opt int 0 & info [ "target" ] ~doc:"Target vertex") in
+  let workers = Arg.(value & opt int 4 & info [ "j"; "workers" ] ~doc:"Worker domains") in
+  let strategy =
+    Arg.(
+      value & opt string "eager_with_fusion"
+      & info [ "strategy" ] ~doc:"Bucket update strategy")
+  in
+  let delta = Arg.(value & opt int 1 & info [ "delta" ] ~doc:"Priority coarsening factor") in
+  let threshold =
+    Arg.(value & opt int 1000 & info [ "fusion-threshold" ] ~doc:"Bucket fusion threshold")
+  in
+  let buckets =
+    Arg.(value & opt int 128 & info [ "num-buckets" ] ~doc:"Materialized lazy buckets")
+  in
+  let traversal =
+    Arg.(value & opt string "SparsePush" & info [ "direction" ] ~doc:"SparsePush|DensePull")
+  in
+  let coords =
+    Arg.(value & opt (some file) None & info [ "coords" ] ~doc:"Coordinates file (astar)")
+  in
+  let show_trace =
+    Arg.(value & flag & info [ "trace" ] ~doc:"Print a per-round trace (sssp)")
+  in
+  let term =
+    Term.(
+      const run $ algorithm $ graph $ source $ target $ workers $ strategy $ delta
+      $ threshold $ buckets $ traversal $ coords $ show_trace)
+  in
+  exit
+    (Cmd.eval
+       (Cmd.v (Cmd.info "ordered_run" ~doc:"Run ordered graph algorithms") term))

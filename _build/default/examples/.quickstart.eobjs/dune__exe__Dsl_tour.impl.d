@@ -1,0 +1,1 @@
+examples/dsl_tour.ml: Algorithms Array Dsl Filename Fun Graphs List Parallel Printf Str String Support Sys

@@ -1,0 +1,1 @@
+examples/network_capacity.ml: Algorithms Array Graphs List Ordered Parallel Printf Support

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Algorithms Array Bucketing Format Graphs List Ordered Parallel Printf String

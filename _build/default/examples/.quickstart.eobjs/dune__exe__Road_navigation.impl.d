@@ -1,0 +1,1 @@
+examples/road_navigation.ml: Algorithms Array Graphs Ordered Parallel Printf Support

@@ -1,0 +1,1 @@
+examples/social_analysis.ml: Algorithms Array Graphs Ordered Parallel Printf Support

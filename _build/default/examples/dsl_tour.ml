@@ -1,0 +1,81 @@
+(* DSL tour: the algorithm/schedule separation end to end.
+
+   Compiles the shipped sssp.gt program, shows how changing ONE line of the
+   scheduling section changes the generated C++ (paper Fig. 9) while the
+   computed distances stay identical, and runs kcore.gt for a program with
+   a different priority-update operator.
+
+   Run with: dune exec examples/dsl_tour.exe (from the repository root) *)
+
+let find_app name =
+  let candidates = [ Filename.concat "examples/apps" name ] in
+  match List.find_opt Sys.file_exists candidates with
+  | Some p -> p
+  | None ->
+      Printf.eprintf "run from the repository root (cannot find %s)\n" name;
+      exit 1
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let compile_string ~name src =
+  match Dsl.Frontend.compile ~name src with
+  | Ok c -> c
+  | Error msg ->
+      Printf.eprintf "%s\n" msg;
+      exit 1
+
+let first_lines n s =
+  String.split_on_char '\n' s
+  |> List.filteri (fun i _ -> i < n)
+  |> String.concat "\n"
+
+let () =
+  let sssp_src = read_file (find_app "sssp.gt") in
+  (* One workload for every variant. *)
+  let rng = Support.Rng.create 99 in
+  let el = Graphs.Generators.erdos_renyi ~rng ~num_vertices:2000 ~num_edges:16000 () in
+  let el = Graphs.Generators.assign_weights ~rng ~lo:1 ~hi:1000 el in
+  let graph_path = Filename.temp_file "dsl_tour" ".el" in
+  Graphs.Graph_io.write_edge_list graph_path el;
+  Fun.protect
+    ~finally:(fun () -> Sys.remove graph_path)
+    (fun () ->
+      Parallel.Pool.with_pool ~num_workers:4 (fun pool ->
+          let run_variant strategy =
+            let src =
+              Str.global_replace
+                (Str.regexp_string "\"eager_with_fusion\"")
+                (Printf.sprintf "%S" strategy) sssp_src
+            in
+            let compiled = compile_string ~name:("sssp/" ^ strategy) src in
+            let result =
+              Dsl.Frontend.run compiled ~pool ~argv:[| "sssp"; graph_path; "0" |] ()
+            in
+            (compiled, List.assoc "dist" result.Dsl.Interp.vectors)
+          in
+          let eager_c, eager_dist = run_variant "eager_with_fusion" in
+          let lazy_c, lazy_dist = run_variant "lazy" in
+          assert (eager_dist = lazy_dist);
+          print_endline "=== same algorithm, two schedules, identical results ===";
+          Printf.printf "\n--- generated C++ under eager_with_fusion (first 25 lines) ---\n%s\n"
+            (first_lines 25 (Dsl.Frontend.generate_cpp eager_c));
+          Printf.printf "\n--- generated C++ under lazy (first 25 lines) ---\n%s\n"
+            (first_lines 25 (Dsl.Frontend.generate_cpp lazy_c));
+          (* kcore.gt exercises updatePrioritySum and the histogram path. *)
+          let kcore = compile_string ~name:"kcore" (read_file (find_app "kcore.gt")) in
+          let result = Dsl.Frontend.run kcore ~pool ~argv:[| "kcore"; graph_path |] () in
+          let coreness = List.assoc "degrees" result.Dsl.Interp.vectors in
+          let expected =
+            Algorithms.Kcore_peel_seq.coreness
+              (Graphs.Csr.of_edge_list (Graphs.Edge_list.symmetrized el))
+          in
+          assert (coreness = expected);
+          let max_core = Array.fold_left max 0 coreness in
+          Printf.printf
+            "\nkcore.gt (lazy_constant_sum schedule) computed the full \
+             decomposition; max core = %d — matches sequential peeling.\n"
+            max_core))

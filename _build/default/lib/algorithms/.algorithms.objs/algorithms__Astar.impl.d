@@ -1,0 +1,1 @@
+lib/algorithms/astar.ml: Bucketing Graphs Ordered Parallel

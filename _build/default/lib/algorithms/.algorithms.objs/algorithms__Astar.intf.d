@@ -1,0 +1,1 @@
+lib/algorithms/astar.mli: Graphs Ordered Parallel

@@ -1,0 +1,1 @@
+lib/algorithms/bellman_ford.ml: Array Atomic Bucketing Graphs Parallel Support

@@ -1,0 +1,1 @@
+lib/algorithms/bellman_ford.mli: Graphs Parallel

@@ -1,0 +1,1 @@
+lib/algorithms/dijkstra.ml: Array Bucketing Graphs Support

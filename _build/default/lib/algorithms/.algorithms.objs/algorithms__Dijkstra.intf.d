@@ -1,0 +1,1 @@
+lib/algorithms/dijkstra.mli: Graphs

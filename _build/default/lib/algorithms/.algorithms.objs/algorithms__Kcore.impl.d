@@ -1,0 +1,1 @@
+lib/algorithms/kcore.ml: Array Bucketing Graphs Ordered Parallel

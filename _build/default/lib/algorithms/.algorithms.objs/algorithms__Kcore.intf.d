@@ -1,0 +1,1 @@
+lib/algorithms/kcore.mli: Graphs Ordered Parallel

@@ -1,0 +1,1 @@
+lib/algorithms/kcore_peel_seq.mli: Graphs

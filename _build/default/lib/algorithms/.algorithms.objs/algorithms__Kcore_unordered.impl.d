@@ -1,0 +1,1 @@
+lib/algorithms/kcore_unordered.ml: Array Atomic Fun Graphs Parallel

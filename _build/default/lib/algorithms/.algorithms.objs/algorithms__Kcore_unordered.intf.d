@@ -1,0 +1,1 @@
+lib/algorithms/kcore_unordered.mli: Graphs Parallel

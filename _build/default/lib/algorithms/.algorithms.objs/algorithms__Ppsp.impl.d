@@ -1,0 +1,1 @@
+lib/algorithms/ppsp.ml: Bucketing Graphs Ordered Parallel

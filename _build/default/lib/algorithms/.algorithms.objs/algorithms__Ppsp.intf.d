@@ -1,0 +1,1 @@
+lib/algorithms/ppsp.mli: Graphs Ordered Parallel

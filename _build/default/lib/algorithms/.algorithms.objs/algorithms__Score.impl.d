@@ -1,0 +1,1 @@
+lib/algorithms/score.ml: Array Bucketing Graphs Ordered Parallel Support

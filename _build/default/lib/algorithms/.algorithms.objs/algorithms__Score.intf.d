@@ -1,0 +1,1 @@
+lib/algorithms/score.mli: Graphs Ordered Parallel

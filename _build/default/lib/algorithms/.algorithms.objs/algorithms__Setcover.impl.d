@@ -1,0 +1,1 @@
+lib/algorithms/setcover.ml: Array Bucketing Frontier Fun Graphs Ordered Parallel Support

@@ -1,0 +1,1 @@
+lib/algorithms/setcover.mli: Graphs Ordered Parallel

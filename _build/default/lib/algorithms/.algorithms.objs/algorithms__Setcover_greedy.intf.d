@@ -1,0 +1,1 @@
+lib/algorithms/setcover_greedy.mli: Graphs

@@ -1,0 +1,1 @@
+lib/algorithms/sssp_delta.ml: Bucketing Graphs Ordered Parallel

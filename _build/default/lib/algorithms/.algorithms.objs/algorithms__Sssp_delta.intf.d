@@ -1,0 +1,1 @@
+lib/algorithms/sssp_delta.mli: Graphs Ordered Parallel

@@ -1,0 +1,1 @@
+lib/algorithms/wbfs.ml: Ordered Sssp_delta

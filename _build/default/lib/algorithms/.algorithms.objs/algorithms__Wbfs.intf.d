@@ -1,0 +1,1 @@
+lib/algorithms/wbfs.mli: Graphs Ordered Parallel Sssp_delta

@@ -1,0 +1,1 @@
+lib/algorithms/widest_path.ml: Array Bucketing Graphs Ordered Parallel Support

@@ -1,0 +1,1 @@
+lib/algorithms/widest_path.mli: Graphs Ordered Parallel

@@ -1,0 +1,30 @@
+(** A* search on road networks (Section 6.1 of the paper).
+
+    Identical to point-to-point Δ-stepping except that the priority of a
+    vertex is the {e estimated} total source→target distance through it:
+    [f(v) = dist(v) + h(v)], where the heuristic [h] is the scaled Euclidean
+    distance to the target computed from vertex coordinates. Road graphs
+    built by {!Graphs.Generators.road_grid} make [h] admissible, so the
+    early exit returns exact distances. Like the paper, this application
+    needs extern-style logic beyond the pure DSL operators (two vertex
+    vectors updated per relaxation). *)
+
+type result = {
+  distance : int;
+      (** Exact [source]→[target] distance, or
+          {!Bucketing.Bucket_order.null_priority} when unreachable. *)
+  stats : Ordered.Stats.t;
+}
+
+(** [run ~pool ~graph ~coords ~schedule ~source ~target ()] runs A* with the
+    Euclidean heuristic at scale 100 (matching road-grid weights). *)
+val run :
+  pool:Parallel.Pool.t ->
+  graph:Graphs.Csr.t ->
+  coords:Graphs.Coords.t ->
+  ?transpose:Graphs.Csr.t ->
+  schedule:Ordered.Schedule.t ->
+  source:int ->
+  target:int ->
+  unit ->
+  result

@@ -1,0 +1,55 @@
+module Atomic_array = Parallel.Atomic_array
+module Pool = Parallel.Pool
+module Update_buffer = Bucketing.Update_buffer
+module Int_vec = Support.Int_vec
+
+type result = {
+  dist : int array;
+  iterations : int;
+  edges_relaxed : int;
+}
+
+let run ~pool ~graph ~source () =
+  let n = Graphs.Csr.num_vertices graph in
+  if source < 0 || source >= n then invalid_arg "Bellman_ford.run: source out of range";
+  let workers = Pool.num_workers pool in
+  let dist = Atomic_array.make n Bucketing.Bucket_order.null_priority in
+  Atomic_array.set dist source 0;
+  let buffer = Update_buffer.create ~num_vertices:n ~num_workers:workers () in
+  let frontier = ref [| source |] in
+  let iterations = ref 0 in
+  let edge_counts = Array.make workers 0 in
+  while Array.length !frontier > 0 do
+    incr iterations;
+    let members = !frontier in
+    let total = Array.length members in
+    let next = Atomic.make 0 in
+    let chunk = 64 in
+    let worker tid =
+      let rec claim () =
+        let start = Atomic.fetch_and_add next chunk in
+        if start < total then begin
+          let stop = min total (start + chunk) in
+          for i = start to stop - 1 do
+            let u = members.(i) in
+            let du = Atomic_array.get dist u in
+            edge_counts.(tid) <- edge_counts.(tid) + Graphs.Csr.out_degree graph u;
+            Graphs.Csr.iter_out graph u (fun v w ->
+                if Atomic_array.fetch_min dist v (du + w) then
+                  ignore (Update_buffer.try_add buffer ~tid v))
+          done;
+          claim ()
+        end
+      in
+      claim ()
+    in
+    if workers = 1 then worker 0 else Pool.run_workers pool worker;
+    let collected = Int_vec.create ~capacity:total () in
+    Update_buffer.drain buffer (fun v -> Int_vec.push collected v);
+    frontier := Int_vec.to_array collected
+  done;
+  {
+    dist = Atomic_array.to_array dist;
+    iterations = !iterations;
+    edges_relaxed = Array.fold_left ( + ) 0 edge_counts;
+  }

@@ -1,0 +1,13 @@
+(** Frontier-based unordered Bellman-Ford, the baseline the paper's Figure 1
+    compares ordered SSSP against (and what unordered GraphIt/Ligra run).
+    Active vertices are relaxed in arbitrary order each iteration, so large-
+    diameter graphs pay enormous amounts of redundant work. *)
+
+type result = {
+  dist : int array;
+  iterations : int;  (** Frontier sweeps until fixpoint. *)
+  edges_relaxed : int;
+}
+
+(** [run ~pool ~graph ~source ()] computes exact shortest distances. *)
+val run : pool:Parallel.Pool.t -> graph:Graphs.Csr.t -> source:int -> unit -> result

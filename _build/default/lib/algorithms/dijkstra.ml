@@ -1,0 +1,34 @@
+module Min_heap = Support.Min_heap
+
+let infinity_dist = Bucketing.Bucket_order.null_priority
+
+let search graph ~source ~stop_at =
+  let n = Graphs.Csr.num_vertices graph in
+  let dist = Array.make n infinity_dist in
+  let heap = Min_heap.create () in
+  dist.(source) <- 0;
+  Min_heap.push heap ~key:0 ~value:source;
+  let finished = ref false in
+  while not !finished do
+    match Min_heap.pop_min heap with
+    | None -> finished := true
+    | Some (d, u) ->
+        (* Lazy deletion: skip superseded heap entries. *)
+        if d = dist.(u) then begin
+          if stop_at = Some u then finished := true
+          else
+            Graphs.Csr.iter_out graph u (fun v w ->
+                let nd = d + w in
+                if nd < dist.(v) then begin
+                  dist.(v) <- nd;
+                  Min_heap.push heap ~key:nd ~value:v
+                end)
+        end
+  done;
+  dist
+
+let distances graph ~source = search graph ~source ~stop_at:None
+
+let distance_to graph ~source ~target =
+  let dist = search graph ~source ~stop_at:(Some target) in
+  dist.(target)

@@ -1,0 +1,13 @@
+(** Sequential Dijkstra, the correctness oracle for every shortest-path
+    variant: Δ-stepping trades redundant work for parallelism but must
+    produce identical distances. *)
+
+(** [distances graph ~source] is the array of shortest-path distances from
+    [source]; unreachable vertices hold
+    {!Bucketing.Bucket_order.null_priority}. *)
+val distances : Graphs.Csr.t -> source:int -> int array
+
+(** [distance_to graph ~source ~target] is the shortest distance from
+    [source] to [target] with early termination, or
+    {!Bucketing.Bucket_order.null_priority} when unreachable. *)
+val distance_to : Graphs.Csr.t -> source:int -> target:int -> int

@@ -1,0 +1,30 @@
+(** Ordered k-core decomposition by bucketed peeling (Matula-Beck; Julienne's
+    formulation used in the paper).
+
+    The priority of a vertex is its induced degree; vertices are processed
+    lowest-degree-first with no priority coarsening (k-core tolerates no
+    priority inversions, Section 2). Peeling a vertex at core value [k]
+    decrements each neighbor's degree, clamped at [k] — so on termination
+    the priority vector holds exactly the coreness of every vertex.
+
+    The interesting schedules are [Eager_no_fusion]/[Eager_with_fusion]
+    (per-update bucket moves) and [Lazy_constant_sum] (the histogram
+    reduction of Fig. 10, which the paper shows is up to 4x faster because
+    every vertex is peeled exactly [degree] times). The graph must be
+    symmetric. *)
+
+type result = {
+  coreness : int array;
+  stats : Ordered.Stats.t;
+}
+
+(** [run ~pool ~graph ~schedule ()] computes the coreness of every vertex. *)
+val run :
+  pool:Parallel.Pool.t ->
+  graph:Graphs.Csr.t ->
+  schedule:Ordered.Schedule.t ->
+  unit ->
+  result
+
+(** [max_core r] is the largest coreness in the decomposition. *)
+val max_core : result -> int

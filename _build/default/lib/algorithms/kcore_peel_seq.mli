@@ -1,0 +1,6 @@
+(** Sequential Matula-Beck peeling, the k-core correctness oracle: O(n + m)
+    exact coreness via a degree-bucket queue. *)
+
+(** [coreness graph] computes the coreness of every vertex of a symmetric
+    graph. *)
+val coreness : Graphs.Csr.t -> int array

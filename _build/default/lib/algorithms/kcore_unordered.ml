@@ -1,0 +1,67 @@
+module Pool = Parallel.Pool
+
+type result = {
+  coreness : int array;
+  iterations : int;
+}
+
+(* H-index of the neighbor estimates of [v]: the largest h such that at
+   least h neighbors have estimate >= h. Computed by counting estimates
+   into a histogram truncated at the current estimate of [v]. *)
+let h_index graph estimates counts v =
+  let cap = estimates.(v) in
+  if cap = 0 then 0
+  else begin
+    for i = 0 to cap do
+      counts.(i) <- 0
+    done;
+    Graphs.Csr.iter_out graph v (fun u _w ->
+        let e = min estimates.(u) cap in
+        counts.(e) <- counts.(e) + 1);
+    let rec scan h cumulative =
+      if h <= 0 then 0
+      else begin
+        let cumulative = cumulative + counts.(h) in
+        if cumulative >= h then h else scan (h - 1) cumulative
+      end
+    in
+    scan cap 0
+  end
+
+let run ~pool ~graph () =
+  let n = Graphs.Csr.num_vertices graph in
+  let workers = Pool.num_workers pool in
+  let estimates = Graphs.Csr.out_degrees graph in
+  let next_estimates = Array.make n 0 in
+  let max_degree = Array.fold_left max 0 estimates in
+  (* Per-worker histogram scratch so sweeps can run in parallel. *)
+  let scratch = Array.init workers (fun _ -> Array.make (max_degree + 1) 0) in
+  let changed = Array.make workers false in
+  let iterations = ref 0 in
+  let continue = ref true in
+  while !continue do
+    incr iterations;
+    Array.fill changed 0 workers false;
+    let next = Atomic.make 0 in
+    let chunk = 256 in
+    let worker tid =
+      let counts = scratch.(tid) in
+      let rec claim () =
+        let start = Atomic.fetch_and_add next chunk in
+        if start < n then begin
+          let stop = min n (start + chunk) in
+          for v = start to stop - 1 do
+            let h = h_index graph estimates counts v in
+            next_estimates.(v) <- h;
+            if h <> estimates.(v) then changed.(tid) <- true
+          done;
+          claim ()
+        end
+      in
+      claim ()
+    in
+    if workers = 1 then worker 0 else Pool.run_workers pool worker;
+    Array.blit next_estimates 0 estimates 0 n;
+    continue := Array.exists Fun.id changed
+  done;
+  { coreness = estimates; iterations = !iterations }

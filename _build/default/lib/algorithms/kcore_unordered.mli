@@ -1,0 +1,16 @@
+(** Unordered k-core decomposition by h-index iteration (Lü et al.), the
+    unordered baseline of the paper's Figure 1.
+
+    Every vertex repeatedly replaces its core estimate with the H-index of
+    its neighbors' estimates until a fixpoint; estimates start at the
+    degrees and converge monotonically down to the coreness. No ordering,
+    no bucketing — but many redundant sweeps over the whole graph. *)
+
+type result = {
+  coreness : int array;
+  iterations : int;  (** Full-graph sweeps until fixpoint. *)
+}
+
+(** [run ~pool ~graph ()] computes the coreness of every vertex of a
+    symmetric graph. *)
+val run : pool:Parallel.Pool.t -> graph:Graphs.Csr.t -> unit -> result

@@ -1,0 +1,28 @@
+(** Weighted core (s-core) decomposition: the generalization of k-core where
+    a vertex's degree is the {e sum of incident edge weights} (its
+    strength). Peeling a vertex at strength s subtracts each incident
+    weight from the neighbor's strength, clamped at s.
+
+    This exercises [updatePrioritySum] with a {e variable} diff — unlike
+    unit-weight k-core, the histogram (constant-sum) schedule is illegal
+    here, and the compiler-side check in {!Ordered.Priority_queue} enforces
+    exactly that. Eager and plain lazy schedules both apply, with priority
+    coarsening disabled as for all strict peeling algorithms. *)
+
+type result = {
+  coreness : int array;  (** The s-core value (weighted coreness) per vertex. *)
+  stats : Ordered.Stats.t;
+}
+
+(** [run ~pool ~graph ~schedule ()] on a symmetric weighted graph. Raises
+    [Invalid_argument] for the [Lazy_constant_sum] strategy (the update is
+    not constant). *)
+val run :
+  pool:Parallel.Pool.t ->
+  graph:Graphs.Csr.t ->
+  schedule:Ordered.Schedule.t ->
+  unit ->
+  result
+
+(** [sequential graph] is the min-heap peeling oracle. *)
+val sequential : Graphs.Csr.t -> int array

@@ -1,0 +1,44 @@
+(** Parallel approximate set cover by bucketed peeling of highest-value sets
+    (Blelloch et al.'s MANIS approach as implemented in Julienne and used by
+    the paper; Section 6.1).
+
+    Instance encoding: the ground elements are the vertices of a symmetric
+    graph, and the set associated with vertex [s] covers [s] and its
+    neighbors. Sets are bucketed by [floor(log2 uncovered_degree)] and
+    processed highest-bucket-first with strict priorities (no coarsening).
+    Each round, candidate sets {e reserve} their uncovered elements with an
+    atomic minimum on the element (lowest set id wins); a candidate that
+    wins at least 3/4 of its claimed elements joins the cover, and losers
+    are re-bucketed — a nearly-independent-set step that guarantees
+    progress while keeping the greedy approximation quality.
+
+    Like the paper's version, this application drives the priority queue
+    with extern-function logic rather than a plain edge map. *)
+
+type result = {
+  in_cover : bool array;  (** Which sets (vertices) were chosen. *)
+  cover_size : int;
+  cover_cost : int;  (** Sum of chosen sets' costs (= [cover_size] unweighted). *)
+  rounds : int;
+  bucket_inserts : int;
+}
+
+(** [run ~pool ~graph ~schedule ?costs ()] covers every vertex of the
+    symmetric graph [graph]. The schedule selects the bucket backend (lazy,
+    as in Julienne, or eager); Δ is ignored.
+
+    [costs] generalizes to weighted set cover, which the paper notes the
+    bucketed algorithm handles directly: sets are then bucketed by their
+    {e cost-per-element ratio} [uncovered / cost] instead of plain
+    uncovered degree. Costs must be positive; omitted = unweighted. *)
+val run :
+  pool:Parallel.Pool.t ->
+  graph:Graphs.Csr.t ->
+  schedule:Ordered.Schedule.t ->
+  ?costs:int array ->
+  unit ->
+  result
+
+(** [is_valid_cover graph r] checks that every vertex is covered by some
+    chosen set. *)
+val is_valid_cover : Graphs.Csr.t -> result -> bool

@@ -1,0 +1,95 @@
+module Int_vec = Support.Int_vec
+
+type result = {
+  in_cover : bool array;
+  cover_size : int;
+}
+
+let iter_set graph s f =
+  f s;
+  Graphs.Csr.iter_out graph s (fun v _w -> f v)
+
+let run graph =
+  let n = Graphs.Csr.num_vertices graph in
+  let covered = Array.make n false in
+  let in_cover = Array.make n false in
+  let uncovered_degree s =
+    let d = ref 0 in
+    iter_set graph s (fun e -> if not covered.(e) then incr d);
+    !d
+  in
+  let max_degree =
+    let best = ref 1 in
+    for s = 0 to n - 1 do
+      best := max !best (Graphs.Csr.out_degree graph s + 1)
+    done;
+    !best
+  in
+  (* Bucket queue keyed by claimed uncovered degree, revalidated lazily on
+     extraction: the classical near-linear greedy. *)
+  let buckets = Array.init (max_degree + 1) (fun _ -> Int_vec.create ()) in
+  for s = 0 to n - 1 do
+    Int_vec.push buckets.(Graphs.Csr.out_degree graph s + 1) s
+  done;
+  let cover_size = ref 0 in
+  let d = ref max_degree in
+  while !d > 0 do
+    match Int_vec.pop buckets.(!d) with
+    | None -> decr d
+    | Some s ->
+        if not in_cover.(s) then begin
+          let actual = uncovered_degree s in
+          if actual >= !d then begin
+            in_cover.(s) <- true;
+            incr cover_size;
+            iter_set graph s (fun e -> covered.(e) <- true)
+          end
+          else if actual > 0 then Int_vec.push buckets.(actual) s
+        end
+  done;
+  { in_cover; cover_size = !cover_size }
+
+let run_weighted graph ~costs =
+  let n = Graphs.Csr.num_vertices graph in
+  if Array.length costs <> n then invalid_arg "Setcover_greedy.run_weighted: costs";
+  let covered = Array.make n false in
+  let in_cover = Array.make n false in
+  let uncovered = ref n in
+  let cover_size = ref 0 and cover_cost = ref 0 in
+  let uncovered_degree s =
+    let d = ref 0 in
+    iter_set graph s (fun e -> if not covered.(e) then incr d);
+    !d
+  in
+  while !uncovered > 0 do
+    (* Best ratio = max over sets of uncovered(s)/cost(s); compare as
+       cross-products to stay in integers. *)
+    let best = ref (-1) and best_d = ref 0 in
+    for s = 0 to n - 1 do
+      if not in_cover.(s) then begin
+        let d = uncovered_degree s in
+        if d > 0 && (!best = -1 || d * costs.(!best) > !best_d * costs.(s)) then begin
+          best := s;
+          best_d := d
+        end
+      end
+    done;
+    let s = !best in
+    in_cover.(s) <- true;
+    incr cover_size;
+    cover_cost := !cover_cost + costs.(s);
+    iter_set graph s (fun e ->
+        if not covered.(e) then begin
+          covered.(e) <- true;
+          decr uncovered
+        end)
+  done;
+  ({ in_cover; cover_size = !cover_size }, !cover_cost)
+
+let is_valid_cover graph r =
+  let n = Graphs.Csr.num_vertices graph in
+  let covered = Array.make n false in
+  for s = 0 to n - 1 do
+    if r.in_cover.(s) then iter_set graph s (fun e -> covered.(e) <- true)
+  done;
+  Array.for_all Fun.id covered

@@ -1,0 +1,21 @@
+(** Sequential greedy set cover, the classical ln-n-approximate oracle the
+    parallel bucketed algorithm is compared against: repeatedly choose the
+    set covering the most uncovered elements. Uses a lazy-revalidation
+    bucket queue, so it runs in near-linear time. Same instance encoding as
+    {!Setcover}: the set of vertex [s] covers [s] and its neighbors. *)
+
+type result = {
+  in_cover : bool array;
+  cover_size : int;
+}
+
+val run : Graphs.Csr.t -> result
+
+(** [run_weighted graph ~costs] is the weighted greedy: repeatedly choose
+    the set with the best uncovered-elements-per-cost ratio. Quadratic scan
+    (it is an oracle for small test instances). Returns the cover and its
+    total cost. *)
+val run_weighted : Graphs.Csr.t -> costs:int array -> result * int
+
+(** [is_valid_cover graph r] checks that every vertex is covered. *)
+val is_valid_cover : Graphs.Csr.t -> result -> bool

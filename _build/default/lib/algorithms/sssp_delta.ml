@@ -1,0 +1,27 @@
+module Atomic_array = Parallel.Atomic_array
+module Bucket_order = Bucketing.Bucket_order
+module Pq = Ordered.Priority_queue
+module Engine = Ordered.Engine
+
+type result = {
+  dist : int array;
+  stats : Ordered.Stats.t;
+}
+
+let run ~pool ~graph ?transpose ~schedule ~source ?trace () =
+  let n = Graphs.Csr.num_vertices graph in
+  if source < 0 || source >= n then invalid_arg "Sssp_delta.run: source out of range";
+  let dist = Atomic_array.make n Bucket_order.null_priority in
+  Atomic_array.set dist source 0;
+  let pq =
+    Pq.create ~schedule ~num_workers:(Parallel.Pool.num_workers pool)
+      ~direction:Bucket_order.Lower_first ~allow_coarsening:true ~priorities:dist
+      ~initial:(Pq.Start_vertex source) ()
+  in
+  (* The updateEdge user function of Fig. 3: relax and move buckets. *)
+  let edge_fn ctx ~src ~dst ~weight =
+    let new_dist = Atomic_array.get dist src + weight in
+    Pq.update_priority_min pq ctx dst new_dist
+  in
+  let stats = Engine.run ~pool ~graph ?transpose ~schedule ~pq ~edge_fn ?trace () in
+  { dist = Atomic_array.to_array dist; stats }

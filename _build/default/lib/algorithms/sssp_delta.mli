@@ -1,0 +1,27 @@
+(** Δ-stepping single-source shortest paths (Figures 5-7 of the paper) on
+    the ordered runtime. The schedule chooses between lazy, eager, and
+    eager-with-fusion bucket updates; all schedules compute exact shortest
+    distances. *)
+
+type result = {
+  dist : int array;
+      (** Shortest distances; unreachable vertices hold
+          {!Bucketing.Bucket_order.null_priority}. *)
+  stats : Ordered.Stats.t;
+}
+
+(** [run ~pool ~graph ~schedule ~source ()] executes Δ-stepping with
+    [schedule.delta] as the priority-coarsening factor.
+
+    @param transpose required when [schedule.traversal] is [Dense_pull] or
+      [Hybrid].
+    @param trace records one entry per round (see {!Ordered.Trace}). *)
+val run :
+  pool:Parallel.Pool.t ->
+  graph:Graphs.Csr.t ->
+  ?transpose:Graphs.Csr.t ->
+  schedule:Ordered.Schedule.t ->
+  source:int ->
+  ?trace:Ordered.Trace.t ->
+  unit ->
+  result

@@ -1,0 +1,32 @@
+(** Widest path (maximum-bottleneck path): maximize, over all paths from the
+    source, the minimum edge weight along the path — bandwidth routing.
+
+    This is the canonical ordered algorithm for the {e other} half of the
+    paper's Table 1: priorities {e increase} monotonically
+    ([updatePriorityMax]) and the highest priority is processed first
+    ([higher_first]). It tolerates priority coarsening exactly like
+    Δ-stepping (a vertex processed with a non-final capacity is simply
+    reprocessed when its capacity improves within the bucket), so every
+    schedule — eager, eager with fusion, lazy — applies. *)
+
+type result = {
+  capacity : int array;
+      (** [capacity.(v)] is the best bottleneck capacity of any
+          source→v path; [0] when unreachable ([capacity.(source)] is the
+          graph's maximum edge weight). *)
+  stats : Ordered.Stats.t;
+}
+
+(** [run ~pool ~graph ~schedule ~source ()]. The schedule's Δ coarsens
+    capacities. *)
+val run :
+  pool:Parallel.Pool.t ->
+  graph:Graphs.Csr.t ->
+  schedule:Ordered.Schedule.t ->
+  source:int ->
+  unit ->
+  result
+
+(** [sequential graph ~source] is the max-heap reference implementation,
+    used as the correctness oracle. *)
+val sequential : Graphs.Csr.t -> source:int -> int array

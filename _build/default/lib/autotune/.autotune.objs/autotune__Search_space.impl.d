@@ -1,0 +1,1 @@
+lib/autotune/search_space.ml: Fun List Ordered Support

@@ -1,0 +1,1 @@
+lib/autotune/search_space.mli: Ordered Support

@@ -1,0 +1,1 @@
+lib/autotune/tuner.ml: Hashtbl List Ordered Search_space

@@ -1,0 +1,1 @@
+lib/autotune/tuner.mli: Ordered Search_space Support

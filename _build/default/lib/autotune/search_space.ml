@@ -1,0 +1,70 @@
+module Schedule = Ordered.Schedule
+module Rng = Support.Rng
+
+type t = {
+  strategies : Schedule.update_strategy list;
+  max_delta_exp : int;
+  allow_dense_pull : bool;
+}
+
+let default =
+  {
+    strategies = [ Schedule.Eager_with_fusion; Schedule.Eager_no_fusion; Schedule.Lazy ];
+    max_delta_exp = 17;
+    allow_dense_pull = true;
+  }
+
+let thresholds = [ 128; 512; 1000; 4096 ]
+let bucket_counts = [ 32; 128; 512 ]
+let chunks = [ 16; 64; 256 ]
+
+let traversals space strategy =
+  match strategy with
+  | Schedule.Eager_with_fusion | Schedule.Eager_no_fusion -> [ Schedule.Sparse_push ]
+  | Schedule.Lazy | Schedule.Lazy_constant_sum ->
+      if space.allow_dense_pull then
+        [ Schedule.Sparse_push; Schedule.Dense_pull; Schedule.Hybrid ]
+      else [ Schedule.Sparse_push ]
+
+let size space =
+  List.fold_left
+    (fun acc strategy ->
+      acc
+      + List.length (traversals space strategy)
+        * (space.max_delta_exp + 1)
+        * List.length thresholds * List.length bucket_counts * List.length chunks)
+    0 space.strategies
+
+let pick rng xs = List.nth xs (Rng.int rng (List.length xs))
+
+let random space rng =
+  let strategy = pick rng space.strategies in
+  {
+    Schedule.strategy;
+    delta = 1 lsl Rng.int rng (space.max_delta_exp + 1);
+    fusion_threshold = pick rng thresholds;
+    num_open_buckets = pick rng bucket_counts;
+    traversal = pick rng (traversals space strategy);
+    chunk_size = pick rng chunks;
+  }
+
+let neighbors space _rng (point : Schedule.t) =
+  let changed = ref [] in
+  let add candidate =
+    match Schedule.validate candidate with
+    | Ok c when c <> point -> changed := c :: !changed
+    | Ok _ | Error _ -> ()
+  in
+  List.iter (fun strategy -> add { point with Schedule.strategy }) space.strategies;
+  List.iter
+    (fun exp -> add { point with Schedule.delta = 1 lsl exp })
+    (List.filter
+       (fun exp -> abs ((1 lsl exp) - point.Schedule.delta) > 0)
+       (List.init (space.max_delta_exp + 1) Fun.id));
+  List.iter (fun fusion_threshold -> add { point with Schedule.fusion_threshold }) thresholds;
+  List.iter (fun num_open_buckets -> add { point with Schedule.num_open_buckets }) bucket_counts;
+  List.iter
+    (fun traversal -> add { point with Schedule.traversal })
+    (traversals space point.Schedule.strategy);
+  List.iter (fun chunk_size -> add { point with Schedule.chunk_size }) chunks;
+  !changed

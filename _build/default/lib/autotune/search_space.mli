@@ -1,0 +1,25 @@
+(** The schedule search space the autotuner explores (Section 5.3 of the
+    paper): bucket-update strategy × priority-coarsening Δ (powers of two,
+    spanning the social-network range 1..100 up to the road-network range
+    2^13..2^17) × fusion threshold × materialized-bucket count × traversal
+    direction × parallel grain size. *)
+
+type t = {
+  strategies : Ordered.Schedule.update_strategy list;
+  max_delta_exp : int;  (** Δ candidates are 2^0 .. 2^max_delta_exp. *)
+  allow_dense_pull : bool;
+}
+
+(** [default] covers the full space of Table 2 minus [Lazy_constant_sum]
+    (which is only legal for constant-sum programs — add it explicitly). *)
+val default : t
+
+(** [size space] is the number of distinct schedule points. *)
+val size : t -> int
+
+(** [random space rng] draws a uniformly random {e valid} schedule. *)
+val random : t -> Support.Rng.t -> Ordered.Schedule.t
+
+(** [neighbors space rng point] is a list of valid schedules that differ
+    from [point] in exactly one dimension (for hill climbing). *)
+val neighbors : t -> Support.Rng.t -> Ordered.Schedule.t -> Ordered.Schedule.t list

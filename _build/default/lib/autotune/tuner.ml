@@ -1,0 +1,47 @@
+module Schedule = Ordered.Schedule
+
+type measurement = {
+  schedule : Schedule.t;
+  seconds : float;
+}
+
+type result = {
+  best : measurement;
+  trials : measurement list;
+}
+
+let tune ~space ~rng ~budget ~evaluate () =
+  if budget < 1 then invalid_arg "Tuner.tune: budget must be >= 1";
+  let trials = ref [] in
+  let seen = Hashtbl.create 64 in
+  let measure schedule =
+    match Hashtbl.find_opt seen schedule with
+    | Some m -> m
+    | None ->
+        let seconds = try evaluate schedule with _ -> infinity in
+        let m = { schedule; seconds } in
+        Hashtbl.replace seen schedule m;
+        trials := m :: !trials;
+        m
+  in
+  let better a b = if b.seconds < a.seconds then b else a in
+  (* Phase 1: random sampling. *)
+  let sample_budget = max 1 (budget / 2) in
+  let incumbent = ref (measure (Search_space.random space rng)) in
+  for _ = 2 to sample_budget do
+    if List.length !trials < budget then
+      incumbent := better !incumbent (measure (Search_space.random space rng))
+  done;
+  (* Phase 2: greedy hill climbing on single-dimension neighbors. *)
+  let continue = ref true in
+  while !continue && List.length !trials < budget do
+    let neighbors = Search_space.neighbors space rng !incumbent.schedule in
+    let before = !incumbent.seconds in
+    List.iter
+      (fun candidate ->
+        if List.length !trials < budget then
+          incumbent := better !incumbent (measure candidate))
+      neighbors;
+    if !incumbent.seconds >= before then continue := false
+  done;
+  { best = !incumbent; trials = List.rev !trials }

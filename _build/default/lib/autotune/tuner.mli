@@ -1,0 +1,29 @@
+(** The autotuner of Section 5.3: a stochastic search over the schedule
+    space. The paper builds on OpenTuner's ensemble search; this tuner uses
+    the same two ingredients that do the work for this space — random
+    sampling to locate a promising basin, then greedy hill climbing over
+    single-dimension neighbors — and, like the paper, typically lands
+    within a few percent of the hand-tuned schedule in tens of trials. *)
+
+type measurement = {
+  schedule : Ordered.Schedule.t;
+  seconds : float;
+}
+
+type result = {
+  best : measurement;
+  trials : measurement list;  (** Every evaluation, in order. *)
+}
+
+(** [tune ~space ~rng ~budget ~evaluate ()] evaluates at most [budget]
+    schedules. [evaluate] returns the runtime in seconds and must be
+    deterministic enough to rank schedules; schedules it cannot run may
+    raise, which counts as an infinitely slow trial. Half the budget is
+    spent sampling, half hill climbing from the incumbent. *)
+val tune :
+  space:Search_space.t ->
+  rng:Support.Rng.t ->
+  budget:int ->
+  evaluate:(Ordered.Schedule.t -> float) ->
+  unit ->
+  result

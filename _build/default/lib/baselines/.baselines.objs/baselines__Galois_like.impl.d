@@ -1,0 +1,1 @@
+lib/baselines/galois_like.ml: Array Atomic Bucketing Domain Graphs Mutex Parallel Support

@@ -1,0 +1,1 @@
+lib/baselines/galois_like.mli: Graphs Parallel

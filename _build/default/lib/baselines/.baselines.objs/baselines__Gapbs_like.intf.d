@@ -1,0 +1,1 @@
+lib/baselines/gapbs_like.mli: Algorithms Graphs Parallel

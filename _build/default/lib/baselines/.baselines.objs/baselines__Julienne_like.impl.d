@@ -1,0 +1,1 @@
+lib/baselines/julienne_like.ml: Algorithms Array Bucketing Graphs Ordered Parallel

@@ -1,0 +1,1 @@
+lib/baselines/julienne_like.mli: Algorithms Graphs Parallel

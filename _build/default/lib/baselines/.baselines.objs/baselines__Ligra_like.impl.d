@@ -1,0 +1,1 @@
+lib/baselines/ligra_like.ml: Algorithms Array Bucketing Graphs Parallel Support

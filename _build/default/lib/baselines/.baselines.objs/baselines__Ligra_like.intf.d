@@ -1,0 +1,1 @@
+lib/baselines/ligra_like.mli: Algorithms Graphs Parallel

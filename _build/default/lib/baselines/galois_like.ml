@@ -1,0 +1,152 @@
+module Pool = Parallel.Pool
+module Atomic_array = Parallel.Atomic_array
+module Csr = Graphs.Csr
+module Int_vec = Support.Int_vec
+module Bucket_order = Bucketing.Bucket_order
+
+type result = {
+  dist : int array;
+  work_items : int;
+}
+
+(* One worker's obim-style local queue: priority-indexed bins behind a lock.
+   Owners push and pop; idle workers steal a whole minimum bin. *)
+type local_queue = {
+  lock : Mutex.t;
+  mutable bins : Int_vec.t array;
+  mutable min_slot : int;
+}
+
+let make_queue () = { lock = Mutex.create (); bins = [||]; min_slot = 0 }
+
+let ensure_slot q slot =
+  if slot >= Array.length q.bins then begin
+    let len = max (slot + 1) (max 8 (2 * Array.length q.bins)) in
+    q.bins <-
+      Array.init len (fun i ->
+          if i < Array.length q.bins then q.bins.(i) else Int_vec.create ~capacity:2 ())
+  end
+
+let queue_push q ~slot v =
+  Mutex.lock q.lock;
+  ensure_slot q slot;
+  Int_vec.push q.bins.(slot) v;
+  if slot < q.min_slot then q.min_slot <- slot;
+  Mutex.unlock q.lock
+
+(* Pop the whole lowest non-empty bin, or [None]. *)
+let queue_pop_min q =
+  Mutex.lock q.lock;
+  let len = Array.length q.bins in
+  let slot = ref q.min_slot in
+  while !slot < len && Int_vec.is_empty q.bins.(!slot) do
+    incr slot
+  done;
+  q.min_slot <- !slot;
+  let out =
+    if !slot >= len then None
+    else begin
+      let bin = q.bins.(!slot) in
+      let items = Int_vec.to_array bin in
+      Int_vec.clear bin;
+      Some (!slot, items)
+    end
+  in
+  Mutex.unlock q.lock;
+  out
+
+let search ~pool ~graph ~delta ~source ~heuristic ~target () =
+  let n = Csr.num_vertices graph in
+  let workers = Pool.num_workers pool in
+  let dist = Atomic_array.make n Bucket_order.null_priority in
+  Atomic_array.set dist source 0;
+  let queues = Array.init workers (fun _ -> make_queue ()) in
+  (* [pending] counts pushed-but-unfinished items; the run is over when it
+     hits zero (items are only created while another item is in flight). *)
+  let pending = Atomic.make 1 in
+  let processed = Array.make workers 0 in
+  queue_push queues.(0) ~slot:(heuristic source / delta) source;
+  let prune_key key =
+    match target with
+    | None -> false
+    | Some t ->
+        let dt = Atomic_array.get dist t in
+        dt <> Bucket_order.null_priority && key * delta >= dt + heuristic t
+  in
+  let process tid v =
+    processed.(tid) <- processed.(tid) + 1;
+    let du = Atomic_array.get dist v in
+    if du <> Bucket_order.null_priority then
+      Csr.iter_out graph v (fun u w ->
+          let nd = du + w in
+          if Atomic_array.fetch_min dist u nd then begin
+            let key = (nd + heuristic u) / delta in
+            if not (prune_key key) then begin
+              Atomic.incr pending;
+              queue_push queues.(tid) ~slot:key u
+            end
+          end)
+  in
+  Pool.run_workers pool (fun tid ->
+      let rng = Support.Rng.create (tid + 12345) in
+      let rec loop () =
+        match queue_pop_min queues.(tid) with
+        | Some (slot, items) ->
+            Array.iter
+              (fun v ->
+                (* Skip items superseded by a lower-priority copy: priorities
+                   only decrease, so [cur < slot] means a fresher copy was
+                   pushed under the lower key and carries the work. *)
+                let cur =
+                  let d = Atomic_array.get dist v in
+                  if d = Bucket_order.null_priority then max_int
+                  else (d + heuristic v) / delta
+                in
+                if cur >= slot then process tid v;
+                Atomic.decr pending)
+              items;
+            loop ()
+        | None ->
+            if Atomic.get pending > 0 then begin
+              (* Steal a victim's lowest bin, then retry. *)
+              (if workers > 1 then
+                 let victim = Support.Rng.int rng workers in
+                 if victim <> tid then
+                   match queue_pop_min queues.(victim) with
+                   | Some (slot, items) ->
+                       Mutex.lock queues.(tid).lock;
+                       ensure_slot queues.(tid) slot;
+                       Array.iter (Int_vec.push queues.(tid).bins.(slot)) items;
+                       if slot < queues.(tid).min_slot then
+                         queues.(tid).min_slot <- slot;
+                       Mutex.unlock queues.(tid).lock
+                   | None -> Domain.cpu_relax ());
+              loop ()
+            end
+      in
+      loop ());
+  let work_items = Array.fold_left ( + ) 0 processed in
+  (Atomic_array.to_array dist, work_items)
+
+let no_heuristic _ = 0
+
+let sssp ~pool ~graph ~delta ~source () =
+  let dist, work_items =
+    search ~pool ~graph ~delta ~source ~heuristic:no_heuristic ~target:None ()
+  in
+  { dist; work_items }
+
+let wbfs ~pool ~graph ~source () = sssp ~pool ~graph ~delta:1 ~source ()
+
+let ppsp ~pool ~graph ~delta ~source ~target () =
+  let dist, _ =
+    search ~pool ~graph ~delta ~source ~heuristic:no_heuristic ~target:(Some target) ()
+  in
+  dist.(target)
+
+let astar ~pool ~graph ~coords ~delta ~source ~target () =
+  let heuristic v = Graphs.Coords.scaled_distance ~scale:100.0 coords v target in
+  let dist, _ =
+    search ~pool ~graph ~delta ~source ~heuristic ~target:(Some target) ()
+  in
+  dist.(target)

@@ -1,0 +1,55 @@
+(** A Galois-style (Nguyen et al., SOSP'13) approximate-priority scheduler:
+    the ordered-list / obim model the paper compares against.
+
+    Each worker owns a lock-protected array of priority bins and processes
+    its {e local} minimum; there is no global synchronization after each
+    priority — workers drift across priorities and repair the resulting
+    priority inversions by re-relaxation. Idle workers steal a victim's
+    lowest bin. This trades work-efficiency for the absence of barriers,
+    which is exactly the trade-off the paper describes for Galois
+    (Section 7, "Approximate Priority Ordering").
+
+    Like Galois, this scheduler can only express algorithms that tolerate
+    priority inversions: SSSP, wBFS, PPSP, and A*. k-core and SetCover
+    require strict priorities and are deliberately not provided (grey cells
+    in Figure 4). *)
+
+type result = {
+  dist : int array;
+  work_items : int;
+      (** Items processed, including priority-inversion re-relaxations —
+          the work-efficiency loss is visible as [work_items] exceeding the
+          number of reachable vertices. *)
+}
+
+(** [sssp ~pool ~graph ~delta ~source ()]. *)
+val sssp :
+  pool:Parallel.Pool.t -> graph:Graphs.Csr.t -> delta:int -> source:int -> unit ->
+  result
+
+(** [wbfs ~pool ~graph ~source ()] is {!sssp} with Δ = 1. *)
+val wbfs :
+  pool:Parallel.Pool.t -> graph:Graphs.Csr.t -> source:int -> unit -> result
+
+(** [ppsp ~pool ~graph ~delta ~source ~target ()] returns the exact
+    source→target distance, pruning items that cannot improve it. *)
+val ppsp :
+  pool:Parallel.Pool.t ->
+  graph:Graphs.Csr.t ->
+  delta:int ->
+  source:int ->
+  target:int ->
+  unit ->
+  int
+
+(** [astar ~pool ~graph ~coords ~delta ~source ~target ()] uses the scaled
+    Euclidean heuristic as the (approximate) scheduling priority. *)
+val astar :
+  pool:Parallel.Pool.t ->
+  graph:Graphs.Csr.t ->
+  coords:Graphs.Coords.t ->
+  delta:int ->
+  source:int ->
+  target:int ->
+  unit ->
+  int

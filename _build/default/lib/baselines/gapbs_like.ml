@@ -1,0 +1,18 @@
+let schedule delta =
+  {
+    Ordered.Schedule.default with
+    strategy = Ordered.Schedule.Eager_no_fusion;
+    delta;
+  }
+
+let sssp ~pool ~graph ~delta ~source () =
+  Algorithms.Sssp_delta.run ~pool ~graph ~schedule:(schedule delta) ~source ()
+
+let wbfs ~pool ~graph ~source () = sssp ~pool ~graph ~delta:1 ~source ()
+
+let ppsp ~pool ~graph ~delta ~source ~target () =
+  Algorithms.Ppsp.run ~pool ~graph ~schedule:(schedule delta) ~source ~target ()
+
+let astar ~pool ~graph ~coords ~delta ~source ~target () =
+  Algorithms.Astar.run ~pool ~graph ~coords ~schedule:(schedule delta) ~source
+    ~target ()

@@ -1,0 +1,39 @@
+(** The GAP Benchmark Suite comparison points (Beamer et al.): hand-written
+    eager Δ-stepping with thread-local bins and {e no} bucket fusion — the
+    paper's own eager runtime is modeled on this code, so the GAPBS baseline
+    is the ordered engine pinned to [Eager_no_fusion].
+
+    GAPBS provides SSSP only; PPSP and A* are the straightforward
+    early-exit extensions the paper wrote for it. k-core and SetCover are
+    not provided by GAPBS (grey cells in Figure 4). *)
+
+(** [sssp ~pool ~graph ~delta ~source ()] — eager Δ-stepping, no fusion. *)
+val sssp :
+  pool:Parallel.Pool.t -> graph:Graphs.Csr.t -> delta:int -> source:int -> unit ->
+  Algorithms.Sssp_delta.result
+
+(** [wbfs ~pool ~graph ~source ()] is {!sssp} with Δ = 1. *)
+val wbfs :
+  pool:Parallel.Pool.t -> graph:Graphs.Csr.t -> source:int -> unit ->
+  Algorithms.Sssp_delta.result
+
+(** [ppsp ~pool ~graph ~delta ~source ~target ()] with early exit. *)
+val ppsp :
+  pool:Parallel.Pool.t ->
+  graph:Graphs.Csr.t ->
+  delta:int ->
+  source:int ->
+  target:int ->
+  unit ->
+  Algorithms.Ppsp.result
+
+(** [astar ~pool ~graph ~coords ~delta ~source ~target ()]. *)
+val astar :
+  pool:Parallel.Pool.t ->
+  graph:Graphs.Csr.t ->
+  coords:Graphs.Coords.t ->
+  delta:int ->
+  source:int ->
+  target:int ->
+  unit ->
+  Algorithms.Astar.result

@@ -1,0 +1,54 @@
+(** A faithful re-implementation of how Julienne (Dhulipala et al., SPAA'17)
+    executes ordered algorithms, used as the comparison framework of the
+    paper's Table 4 / Figure 4.
+
+    Differences from the GraphIt engine, all of which the paper calls out as
+    the sources of Julienne's slowdown (Section 6.2):
+
+    - {e lazy bucket updates only}: every round buffers its priority changes
+      and applies them in bulk — no eager thread-local bins, no fusion;
+    - {e closure-based priorities}: the bucket structure calls a
+      user-supplied function per priority computation instead of reading a
+      priority vector with a coarsening factor;
+    - {e per-round out-degree sums}: Julienne always computes the frontier's
+      out-degree sum to drive its push/pull direction selection, paying that
+      reduction even when the answer never changes the direction. *)
+
+type sssp_result = {
+  dist : int array;
+  rounds : int;
+}
+
+(** [sssp ~pool ~graph ~delta ~source ()] is Julienne's Δ-stepping. *)
+val sssp :
+  pool:Parallel.Pool.t -> graph:Graphs.Csr.t -> delta:int -> source:int -> unit ->
+  sssp_result
+
+(** [wbfs ~pool ~graph ~source ()] is {!sssp} with Δ = 1. *)
+val wbfs :
+  pool:Parallel.Pool.t -> graph:Graphs.Csr.t -> source:int -> unit -> sssp_result
+
+(** [ppsp ~pool ~graph ~delta ~source ~target ()] is Δ-stepping with
+    Julienne's early exit once the target is finalized. *)
+val ppsp :
+  pool:Parallel.Pool.t ->
+  graph:Graphs.Csr.t ->
+  delta:int ->
+  source:int ->
+  target:int ->
+  unit ->
+  int
+
+type kcore_result = {
+  coreness : int array;
+  rounds : int;
+}
+
+(** [kcore ~pool ~graph ()] is Julienne's work-efficient peeling with the
+    histogram-based constant-sum reduction and closure-computed buckets. *)
+val kcore : pool:Parallel.Pool.t -> graph:Graphs.Csr.t -> unit -> kcore_result
+
+(** [setcover ~pool ~graph ()] is bucketed approximate set cover with the
+    lazy backend (Julienne is the origin of this algorithm's bucketing). *)
+val setcover :
+  pool:Parallel.Pool.t -> graph:Graphs.Csr.t -> unit -> Algorithms.Setcover.result

@@ -1,0 +1,72 @@
+module Pool = Parallel.Pool
+module Atomic_array = Parallel.Atomic_array
+module Csr = Graphs.Csr
+module Bucket_order = Bucketing.Bucket_order
+module Update_buffer = Bucketing.Update_buffer
+module Int_vec = Support.Int_vec
+module Bitset = Support.Bitset
+
+type result = {
+  dist : int array;
+  iterations : int;
+  dense_iterations : int;
+}
+
+let sssp ~pool ~graph ~transpose ~source () =
+  let n = Csr.num_vertices graph in
+  let m = Csr.num_edges graph in
+  let workers = Pool.num_workers pool in
+  let dist = Atomic_array.make n Bucket_order.null_priority in
+  Atomic_array.set dist source 0;
+  let buffer = Update_buffer.create ~num_vertices:n ~num_workers:workers () in
+  let frontier = ref [| source |] in
+  let iterations = ref 0 and dense_iterations = ref 0 in
+  while Array.length !frontier > 0 do
+    incr iterations;
+    let members = !frontier in
+    let degree_sum =
+      Pool.parallel_for_reduce pool ~chunk:128 ~lo:0 ~hi:(Array.length members)
+        ~neutral:0 ~combine:( + ) (fun i -> Csr.out_degree graph members.(i))
+    in
+    if degree_sum + Array.length members > m / 20 then begin
+      (* Dense pull sweep: every vertex scans its in-neighbors against the
+         frontier bitmap; no atomics on the destination. *)
+      incr dense_iterations;
+      let flags = Bitset.create n in
+      Array.iter (Bitset.add flags) members;
+      Pool.parallel_for_tid pool ~chunk:256 ~lo:0 ~hi:n (fun ~tid d ->
+          let improved = ref false in
+          let best = ref (Atomic_array.get dist d) in
+          Csr.iter_out transpose d (fun s w ->
+              if Bitset.mem flags s then begin
+                let ds = Atomic_array.get dist s in
+                if ds <> Bucket_order.null_priority && ds + w < !best then begin
+                  best := ds + w;
+                  improved := true
+                end
+              end);
+          if !improved then begin
+            Atomic_array.set dist d !best;
+            ignore (Update_buffer.try_add buffer ~tid d)
+          end)
+    end
+    else
+      (* Sparse push sweep. *)
+      Pool.parallel_for_tid pool ~chunk:64 ~lo:0 ~hi:(Array.length members)
+        (fun ~tid i ->
+          let u = members.(i) in
+          let du = Atomic_array.get dist u in
+          Csr.iter_out graph u (fun v w ->
+              if Atomic_array.fetch_min dist v (du + w) then
+                ignore (Update_buffer.try_add buffer ~tid v)));
+    let collected = Int_vec.create () in
+    Update_buffer.drain buffer (fun v -> Int_vec.push collected v);
+    frontier := Int_vec.to_array collected
+  done;
+  {
+    dist = Atomic_array.to_array dist;
+    iterations = !iterations;
+    dense_iterations = !dense_iterations;
+  }
+
+let kcore ~pool ~graph () = Algorithms.Kcore_unordered.run ~pool ~graph ()

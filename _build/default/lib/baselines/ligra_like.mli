@@ -1,0 +1,27 @@
+(** A Ligra-style (Shun & Blelloch, PPoPP'13) unordered baseline: frontier
+    Bellman-Ford with Ligra's signature push/pull direction optimization —
+    when the frontier's out-degree sum passes a density threshold the sweep
+    switches to a dense pull over in-edges. Unordered processing performs
+    dramatically more work than Δ-stepping on large-diameter graphs
+    (Figure 1 / Table 4 of the paper). *)
+
+type result = {
+  dist : int array;
+  iterations : int;
+  dense_iterations : int;  (** Sweeps that ran in pull direction. *)
+}
+
+(** [sssp ~pool ~graph ~transpose ~source ()] — exact distances. *)
+val sssp :
+  pool:Parallel.Pool.t ->
+  graph:Graphs.Csr.t ->
+  transpose:Graphs.Csr.t ->
+  source:int ->
+  unit ->
+  result
+
+(** [kcore ~pool ~graph ()] — the unordered h-index-iteration k-core used as
+    the unordered comparison for peeling. *)
+val kcore :
+  pool:Parallel.Pool.t -> graph:Graphs.Csr.t -> unit ->
+  Algorithms.Kcore_unordered.result

@@ -1,0 +1,1 @@
+lib/bucketing/bucket_order.mli: Format

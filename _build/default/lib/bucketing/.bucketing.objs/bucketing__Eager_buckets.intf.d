@@ -1,0 +1,1 @@
+lib/bucketing/eager_buckets.mli:

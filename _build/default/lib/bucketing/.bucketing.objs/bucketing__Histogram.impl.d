@@ -1,0 +1,1 @@
+lib/bucketing/histogram.ml: Array Support

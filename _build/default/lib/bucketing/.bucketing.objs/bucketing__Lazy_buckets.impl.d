@@ -1,0 +1,1 @@
+lib/bucketing/lazy_buckets.ml: Array Bucket_order Parallel Support

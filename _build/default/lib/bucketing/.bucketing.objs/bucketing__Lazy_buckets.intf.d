@@ -1,0 +1,1 @@
+lib/bucketing/lazy_buckets.mli: Bucket_order Parallel

@@ -1,0 +1,1 @@
+lib/bucketing/update_buffer.mli:

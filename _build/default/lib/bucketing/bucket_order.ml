@@ -1,0 +1,30 @@
+type direction =
+  | Lower_first
+  | Higher_first
+
+let null_priority = max_int
+let null_key = max_int
+
+let key_of_priority ~direction ~delta p =
+  if delta <= 0 then invalid_arg "Bucket_order: delta must be positive";
+  if p = null_priority then null_key
+  else begin
+    if p < 0 then invalid_arg "Bucket_order: priorities must be non-negative";
+    match direction with
+    | Lower_first -> p / delta
+    | Higher_first -> -(p / delta)
+  end
+
+let representative_priority ~direction ~delta key =
+  match direction with
+  | Lower_first -> key * delta
+  | Higher_first -> -key * delta
+
+let pp_direction ppf = function
+  | Lower_first -> Format.pp_print_string ppf "lower_first"
+  | Higher_first -> Format.pp_print_string ppf "higher_first"
+
+let direction_of_string = function
+  | "lower_first" -> Ok Lower_first
+  | "higher_first" -> Ok Higher_first
+  | s -> Error (Printf.sprintf "unknown priority direction %S" s)

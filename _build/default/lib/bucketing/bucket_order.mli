@@ -1,0 +1,41 @@
+(** Priority normalization shared by the lazy and eager bucket structures.
+
+    User-facing priorities grow in one of two directions (Table 1 of the
+    paper: [lower_first] or [higher_first]). Internally every bucket
+    structure processes the numerically smallest {e key} first, so this
+    module maps priorities to keys:
+
+    - [Lower_first]: key = floor(priority / delta)
+    - [Higher_first]: key = -floor(priority / delta)
+
+    [delta] is the priority-coarsening factor (Section 2); algorithms that
+    cannot tolerate priority inversions (k-core, SetCover) use [delta = 1].
+    The null priority [max_int] maps to {!null_key}, which sorts after every
+    real key and is never processed. *)
+
+type direction =
+  | Lower_first
+  | Higher_first
+
+(** [null_priority] is the "unreached" sentinel used in priority vectors
+    ([INT_MAX] in the paper's generated code). *)
+val null_priority : int
+
+(** [null_key] sorts after every key produced from a non-null priority. *)
+val null_key : int
+
+(** [key_of_priority ~direction ~delta p] is the processing key of priority
+    [p]. Priorities must be non-negative (checked); [null_priority] maps to
+    {!null_key}. [delta] must be positive. *)
+val key_of_priority : direction:direction -> delta:int -> int -> int
+
+(** [representative_priority ~direction ~delta key] is the smallest-magnitude
+    priority mapping to [key] — what [pq.getCurrentPriority()] returns. *)
+val representative_priority : direction:direction -> delta:int -> int -> int
+
+(** [pp_direction] formats a direction as the DSL spells it
+    (["lower_first"] / ["higher_first"]). *)
+val pp_direction : Format.formatter -> direction -> unit
+
+(** [direction_of_string s] parses the DSL spelling. *)
+val direction_of_string : string -> (direction, string) result

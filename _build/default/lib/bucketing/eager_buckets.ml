@@ -1,0 +1,113 @@
+module Int_vec = Support.Int_vec
+
+type local = {
+  mutable bins : Int_vec.t array; (* slot i holds key base + i *)
+  mutable min_slot : int; (* lower bound on the smallest non-empty slot *)
+  mutable inserts : int;
+}
+
+type t = {
+  workers : int;
+  base : int;
+  locals : local array;
+  mutable cur_slot : int;
+}
+
+let create ~num_workers ~min_key () =
+  if num_workers < 1 then invalid_arg "Eager_buckets.create: num_workers >= 1";
+  {
+    workers = num_workers;
+    base = min_key;
+    locals =
+      Array.init num_workers (fun _ ->
+          { bins = [||]; min_slot = max_int; inserts = 0 });
+    cur_slot = 0;
+  }
+
+let num_workers t = t.workers
+
+let ensure_slot local slot =
+  if slot >= Array.length local.bins then begin
+    let len = max (slot + 1) (max 8 (2 * Array.length local.bins)) in
+    let bins = Array.init len (fun i ->
+        if i < Array.length local.bins then local.bins.(i)
+        else Int_vec.create ~capacity:2 ())
+    in
+    local.bins <- bins
+  end
+
+let insert t ~tid ~vertex ~key =
+  if key <> Bucket_order.null_key then begin
+    let local = t.locals.(tid) in
+    (* Monotonic priorities never move behind the cursor except within the
+       current bucket; clamp defensively, as GAPBS does with its floor. *)
+    let slot = max (key - t.base) t.cur_slot in
+    ensure_slot local slot;
+    Int_vec.push local.bins.(slot) vertex;
+    if slot < local.min_slot then local.min_slot <- slot;
+    local.inserts <- local.inserts + 1
+  end
+
+let next_global_key t =
+  let best = ref max_int in
+  Array.iter
+    (fun local ->
+      let len = Array.length local.bins in
+      let slot = ref (max local.min_slot t.cur_slot) in
+      while
+        !slot < len && !slot < !best && Int_vec.is_empty local.bins.(!slot)
+      do
+        incr slot
+      done;
+      local.min_slot <- !slot;
+      if !slot < len && !slot < !best && not (Int_vec.is_empty local.bins.(!slot))
+      then best := !slot)
+    t.locals;
+  if !best = max_int then None
+  else begin
+    t.cur_slot <- !best;
+    Some (t.base + !best)
+  end
+
+let cursor_key t = t.base + t.cur_slot
+
+let drain_global t ~key =
+  let slot = key - t.base in
+  let total =
+    Array.fold_left
+      (fun acc local ->
+        if slot < Array.length local.bins then acc + Int_vec.length local.bins.(slot)
+        else acc)
+      0 t.locals
+  in
+  let out = Array.make total 0 in
+  let pos = ref 0 in
+  Array.iter
+    (fun local ->
+      if slot < Array.length local.bins then begin
+        let bin = local.bins.(slot) in
+        Int_vec.blit_to_array bin out !pos;
+        pos := !pos + Int_vec.length bin;
+        Int_vec.clear bin
+      end)
+    t.locals;
+  out
+
+let local_size t ~tid ~key =
+  let local = t.locals.(tid) in
+  let slot = key - t.base in
+  if slot < Array.length local.bins then Int_vec.length local.bins.(slot) else 0
+
+let take_local t ~tid ~key =
+  let local = t.locals.(tid) in
+  let slot = key - t.base in
+  if slot >= Array.length local.bins || Int_vec.is_empty local.bins.(slot) then None
+  else begin
+    let bin = local.bins.(slot) in
+    let out = Int_vec.to_array bin in
+    Int_vec.clear bin;
+    Some out
+  end
+
+let total_inserts t =
+  Array.fold_left (fun acc local -> acc + local.inserts) 0 t.locals

@@ -1,0 +1,56 @@
+(** GAPBS-style eager bucketing with thread-local bins (Section 3.2 of the
+    paper, Figure 6).
+
+    Each worker owns an array of bins indexed by processing key. A priority
+    update pushes the vertex into the updating worker's bin immediately — no
+    shared buffer, no global reduction. Between rounds, the engine asks for
+    the smallest non-empty key across all workers and drains those local
+    bins into a global frontier; with bucket fusion (Figure 7) a worker may
+    instead keep draining its own current bin locally, skipping the global
+    synchronization.
+
+    Bins may contain stale or duplicate copies (a vertex whose priority
+    improved twice appears twice); the engine filters candidates against the
+    current key when processing, exactly as GAPBS does. *)
+
+type t
+
+(** [create ~num_workers ~min_key ()] sets the key of the first bin;
+    inserts below [min_key] are clamped to the processing cursor. *)
+val create : num_workers:int -> min_key:int -> unit -> t
+
+(** [num_workers t] is the worker count fixed at creation. *)
+val num_workers : t -> int
+
+(** [insert t ~tid ~vertex ~key] pushes into worker [tid]'s bin for [key].
+    Thread-safe across distinct [tid]s. Null keys are ignored. *)
+val insert : t -> tid:int -> vertex:int -> key:int -> unit
+
+(** [next_global_key t] scans all workers for the smallest non-empty bin at
+    or after the cursor, moves the cursor there, and returns its key
+    ([getGlobalMinBucket]'s priority-selection half). [None] means every bin
+    is empty and processing is complete. Call only between parallel
+    phases. *)
+val next_global_key : t -> int option
+
+(** [cursor_key t] is the key selected by the last {!next_global_key}. *)
+val cursor_key : t -> int
+
+(** [drain_global t ~key] empties every worker's bin for [key] into a fresh
+    array (the copy-to-global-frontier step that redistributes work). Call
+    only between parallel phases. *)
+val drain_global : t -> key:int -> int array
+
+(** [local_size t ~tid ~key] is the number of (possibly stale) entries in
+    worker [tid]'s bin for [key]. Safe for the owning worker during a
+    parallel phase. *)
+val local_size : t -> tid:int -> key:int -> int
+
+(** [take_local t ~tid ~key] removes and returns worker [tid]'s bin contents
+    for [key] ([None] when empty). Used by the bucket-fusion inner loop;
+    safe for the owning worker during a parallel phase. *)
+val take_local : t -> tid:int -> key:int -> int array option
+
+(** [total_inserts t] counts accepted inserts across all workers (bucket
+    insertions, Table 7's cost driver). Call between parallel phases. *)
+val total_inserts : t -> int

@@ -1,0 +1,39 @@
+module Int_vec = Support.Int_vec
+
+type t = {
+  logs : Int_vec.t array;
+  distinct : Int_vec.t;
+  mutable total : int;
+}
+
+let create ~num_workers () =
+  {
+    logs = Array.init num_workers (fun _ -> Int_vec.create ());
+    distinct = Int_vec.create ();
+    total = 0;
+  }
+
+let record t ~tid v = Int_vec.push t.logs.(tid) v
+
+let events t = Array.fold_left (fun acc log -> acc + Int_vec.length log) 0 t.logs
+
+let reduce t ~scratch f =
+  Int_vec.clear t.distinct;
+  Array.iter
+    (fun log ->
+      Int_vec.iter
+        (fun v ->
+          if scratch.(v) = 0 then Int_vec.push t.distinct v;
+          scratch.(v) <- scratch.(v) + 1;
+          t.total <- t.total + 1)
+        log;
+      Int_vec.clear log)
+    t.logs;
+  Int_vec.iter
+    (fun v ->
+      f ~vertex:v ~count:scratch.(v);
+      scratch.(v) <- 0)
+    t.distinct;
+  Int_vec.clear t.distinct
+
+let total_events t = t.total

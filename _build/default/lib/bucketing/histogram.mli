@@ -1,0 +1,30 @@
+(** Histogram-based reduction for constant-sum priority updates
+    ("lazy with constant sum reduction", Section 5.1 of the paper).
+
+    When the user function always changes a priority by the same constant
+    (k-core decrements by one per peeled neighbor), the updates need not
+    touch the priority vector at all during the edge phase: each worker
+    merely records the target vertex. Between phases the events are reduced
+    to per-vertex counts and applied once, avoiding per-edge atomics and
+    contention on high-degree vertices. *)
+
+type t
+
+(** [create ~num_workers ()] allocates per-worker event logs. *)
+val create : num_workers:int -> unit -> t
+
+(** [record t ~tid v] logs one update event against [v]. Thread-safe across
+    distinct [tid]s. *)
+val record : t -> tid:int -> int -> unit
+
+(** [events t] is the number of logged events this round. *)
+val events : t -> int
+
+(** [reduce t ~scratch f] counts events per distinct vertex, calls
+    [f ~vertex ~count] once per distinct vertex, then clears the logs.
+    [scratch] must be a zeroed array of length [num_vertices]; it is zeroed
+    again before returning. Call between phases. *)
+val reduce : t -> scratch:int array -> (vertex:int -> count:int -> unit) -> unit
+
+(** [total_events t] is the lifetime event count. *)
+val total_events : t -> int

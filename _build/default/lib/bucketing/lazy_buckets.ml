@@ -1,0 +1,161 @@
+module Int_vec = Support.Int_vec
+
+type key_source =
+  | Closure of (int -> int)
+  | Vector of Parallel.Atomic_array.t * Bucket_order.direction * int
+
+type t = {
+  num_vertices : int;
+  num_open : int;
+  source : key_source;
+  open_buckets : Int_vec.t array;
+  overflow : Int_vec.t;
+  overflow_spill : Int_vec.t; (* scratch for redistribution *)
+  (* [window_lo] is the key of slot 0 once the window is materialized;
+     until then every insert lands in the overflow bucket. *)
+  mutable window_lo : int;
+  mutable window_set : bool;
+  mutable cur : int;
+  stamps : int array; (* extraction dedup: stamp per vertex *)
+  mutable stamp : int;
+  mutable total_inserts : int;
+}
+
+let key_of t v =
+  match t.source with
+  | Closure f -> f v
+  | Vector (priorities, direction, delta) ->
+      Bucket_order.key_of_priority ~direction ~delta
+        (Parallel.Atomic_array.get priorities v)
+
+let create ~num_vertices ~num_open ~source () =
+  if num_open < 1 then invalid_arg "Lazy_buckets.create: num_open must be >= 1";
+  {
+    num_vertices;
+    num_open;
+    source;
+    open_buckets = Array.init num_open (fun _ -> Int_vec.create ~capacity:4 ());
+    overflow = Int_vec.create ();
+    overflow_spill = Int_vec.create ();
+    window_lo = 0;
+    window_set = false;
+    cur = min_int;
+    stamps = Array.make num_vertices (-1);
+    stamp = 0;
+    total_inserts = 0;
+  }
+
+let insert t v =
+  let key = key_of t v in
+  if key <> Bucket_order.null_key then begin
+    t.total_inserts <- t.total_inserts + 1;
+    if (not t.window_set) || key >= t.window_lo + t.num_open then Int_vec.push t.overflow v
+    else begin
+      (* Keys behind the cursor can only arise from same-bucket updates
+         (monotonic priorities); clamp them into the current bucket. *)
+      let key = max key (max t.cur t.window_lo) in
+      Int_vec.push t.open_buckets.(key - t.window_lo) v
+    end
+  end
+
+let insert_all t =
+  for v = 0 to t.num_vertices - 1 do
+    insert t v
+  done
+
+(* Move every overflow vertex whose key now falls inside the window rooted
+   at [new_lo] into the open buckets; keep the rest in overflow.
+
+   Keys at or behind the just-exhausted cursor are STALE and must be
+   dropped: every priority change inserts a fresh copy at its new location,
+   so by the time the window is exhausted, any vertex whose current key is
+   <= cur was already extracted from its proper bucket — an overflow copy
+   re-reading that priority is a leftover. Re-materializing it would emit
+   the vertex a second time (double-peeling it in k-core). *)
+let materialize_window t new_lo =
+  let old_cur = if t.window_set then t.cur else min_int in
+  t.window_lo <- new_lo;
+  t.window_set <- true;
+  t.cur <- new_lo;
+  Int_vec.clear t.overflow_spill;
+  Int_vec.iter
+    (fun v ->
+      let key = key_of t v in
+      if key <> Bucket_order.null_key && key >= new_lo && key > old_cur then
+        if key < new_lo + t.num_open then
+          Int_vec.push t.open_buckets.(key - new_lo) v
+        else Int_vec.push t.overflow_spill v)
+    t.overflow;
+  Int_vec.swap_buffers t.overflow t.overflow_spill;
+  Int_vec.clear t.overflow_spill
+
+(* Smallest overflow key strictly after the cursor (see above: keys at or
+   behind it are stale copies). *)
+let min_overflow_key t =
+  let cur = if t.window_set then t.cur else min_int in
+  Int_vec.fold
+    (fun acc v ->
+      let key = key_of t v in
+      if key = Bucket_order.null_key || key <= cur then acc else min acc key)
+    Bucket_order.null_key t.overflow
+
+(* Drain one open bucket, returning the live, deduplicated members. *)
+let drain_bucket t slot key =
+  let bucket = t.open_buckets.(slot) in
+  t.stamp <- t.stamp + 1;
+  let live = Int_vec.create ~capacity:(Int_vec.length bucket) () in
+  Int_vec.iter
+    (fun v ->
+      if t.stamps.(v) <> t.stamp && key_of t v = key then begin
+        t.stamps.(v) <- t.stamp;
+        Int_vec.push live v
+      end)
+    bucket;
+  Int_vec.clear bucket;
+  Int_vec.to_array live
+
+let rec next_bucket t =
+  if not t.window_set then begin
+    if Int_vec.is_empty t.overflow then None
+    else begin
+      let new_lo = min_overflow_key t in
+      if new_lo = Bucket_order.null_key then begin
+        Int_vec.clear t.overflow;
+        None
+      end
+      else begin
+        materialize_window t new_lo;
+        next_bucket t
+      end
+    end
+  end
+  else begin
+    let start_slot = max 0 (t.cur - t.window_lo) in
+    let rec scan slot =
+      if slot >= t.num_open then
+        (* Window exhausted: re-root it at the smallest overflow key. *)
+        if Int_vec.is_empty t.overflow then None
+        else begin
+          let new_lo = min_overflow_key t in
+          if new_lo = Bucket_order.null_key then begin
+            Int_vec.clear t.overflow;
+            None
+          end
+          else begin
+            materialize_window t new_lo;
+            next_bucket t
+          end
+        end
+      else if Int_vec.is_empty t.open_buckets.(slot) then scan (slot + 1)
+      else begin
+        let key = t.window_lo + slot in
+        let members = drain_bucket t slot key in
+        t.cur <- key;
+        if Array.length members = 0 then scan slot else Some (key, members)
+      end
+    in
+    scan start_slot
+  end
+
+let current_key t = t.cur
+let total_inserts t = t.total_inserts

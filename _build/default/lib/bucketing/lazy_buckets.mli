@@ -1,0 +1,58 @@
+(** Julienne-style lazy bucketing (Dhulipala et al., SPAA'17), as re-designed
+    by the paper (Section 5.1).
+
+    Only a window of [num_open] buckets is materialized; vertices whose key
+    falls beyond the window live in a single {e overflow} bucket and are
+    redistributed when the window is exhausted. Insertions are {e lazy}: a
+    vertex may have stale copies in old buckets; extraction filters each
+    candidate by recomputing its current key, so every vertex is returned at
+    most once per extraction and only from the bucket matching its current
+    priority.
+
+    Keys are direction-normalized by {!Bucket_order} (smallest key first).
+
+    Two key sources mirror the paper's comparison: [Closure] is Julienne's
+    original interface (a function call per priority computation);
+    [Vector] is the optimized interface that reads a priority vector and
+    applies the coarsening factor directly. *)
+
+type key_source =
+  | Closure of (int -> int)
+      (** [f v] is the current key of [v], or {!Bucket_order.null_key}. *)
+  | Vector of Parallel.Atomic_array.t * Bucket_order.direction * int
+      (** Priority vector, direction, and coarsening delta. *)
+
+type t
+
+(** [create ~num_vertices ~num_open ~source ()] is an empty structure.
+    [num_open >= 1]. *)
+val create : num_vertices:int -> num_open:int -> source:key_source -> unit -> t
+
+(** [insert t v] files [v] under its current key. Vertices with the null key
+    are ignored; keys before the current cursor are clamped to the cursor.
+    Not thread-safe: bulk updates are applied in the sequential phase of a
+    round, as in Figure 5 of the paper. *)
+val insert : t -> int -> unit
+
+(** [insert_all t] files every vertex of the universe (used by k-core and
+    SetCover, whose initial frontier is all vertices). *)
+val insert_all : t -> unit
+
+(** [next_bucket t] advances to the smallest non-empty bucket at or after
+    the cursor and returns [(key, members)], or [None] when every remaining
+    copy is stale. Members are deduplicated and validated against the
+    current key source. *)
+val next_bucket : t -> (int * int array) option
+
+(** [current_key t] is the key of the bucket most recently returned by
+    {!next_bucket}. Before the first extraction it is the smallest possible
+    key. *)
+val current_key : t -> int
+
+(** [total_inserts t] counts every accepted {!insert} since creation, the
+    bucket-insertion metric of Table 7. *)
+val total_inserts : t -> int
+
+(** [key_of t v] exposes the key source (used by extraction filters and
+    tests). *)
+val key_of : t -> int -> int

@@ -1,0 +1,38 @@
+module Int_vec = Support.Int_vec
+module Atomic_array = Parallel.Atomic_array
+
+type t = {
+  segments : Int_vec.t array; (* one per worker *)
+  flags : Atomic_array.t;
+  mutable total : int;
+}
+
+let create ~num_vertices ~num_workers () =
+  {
+    segments = Array.init num_workers (fun _ -> Int_vec.create ());
+    flags = Atomic_array.make num_vertices 0;
+    total = 0;
+  }
+
+let try_add t ~tid v =
+  if Atomic_array.compare_and_set t.flags v ~expected:0 ~desired:1 then begin
+    Int_vec.push t.segments.(tid) v;
+    true
+  end
+  else false
+
+let size t = Array.fold_left (fun acc seg -> acc + Int_vec.length seg) 0 t.segments
+
+let drain t f =
+  Array.iter
+    (fun seg ->
+      Int_vec.iter
+        (fun v ->
+          Atomic_array.set t.flags v 0;
+          t.total <- t.total + 1;
+          f v)
+        seg;
+      Int_vec.clear seg)
+    t.segments
+
+let total_added t = t.total

@@ -1,0 +1,28 @@
+(** The lazy bucket-update buffer (Figure 5 of the paper).
+
+    During a round's parallel edge phase, each worker appends the vertices
+    whose priority it changed. A compare-and-swap deduplication flag per
+    vertex guarantees one buffered copy per round, which is the paper's
+    "reduceBucketUpdates": when the buffer is drained, each vertex receives
+    a single bucket update computed from its final priority. *)
+
+type t
+
+(** [create ~num_vertices ~num_workers ()] allocates the per-worker segments
+    and the deduplication flags. *)
+val create : num_vertices:int -> num_workers:int -> unit -> t
+
+(** [try_add t ~tid v] buffers [v] unless it is already buffered this round;
+    returns whether it was added. Thread-safe. *)
+val try_add : t -> tid:int -> int -> bool
+
+(** [size t] is the number of buffered vertices. Call between phases. *)
+val size : t -> int
+
+(** [drain t f] applies [f] to every buffered vertex, then resets the buffer
+    and flags for the next round. Call between phases. *)
+val drain : t -> (int -> unit) -> unit
+
+(** [total_added t] counts vertices buffered over the structure's lifetime
+    (one bucket insertion each under the lazy strategy). *)
+val total_added : t -> int

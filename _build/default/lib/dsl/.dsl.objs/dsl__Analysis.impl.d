@@ -1,0 +1,1 @@
+lib/dsl/analysis.pp.ml: Ast Bucketing Format List Pos Printf Result

@@ -1,0 +1,1 @@
+lib/dsl/analysis.pp.mli: Ast Bucketing Format Pos Stdlib

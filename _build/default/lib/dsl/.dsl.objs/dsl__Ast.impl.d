@@ -1,0 +1,1 @@
+lib/dsl/ast.pp.ml: Format List Pos Ppx_deriving_runtime

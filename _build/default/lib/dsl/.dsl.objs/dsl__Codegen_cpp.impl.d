@@ -1,0 +1,1 @@
+lib/dsl/codegen_cpp.pp.ml: Analysis Ast Buffer Format List Lower Option Ordered Printf String

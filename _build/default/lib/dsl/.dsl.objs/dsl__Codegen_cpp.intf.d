@@ -1,0 +1,1 @@
+lib/dsl/codegen_cpp.pp.mli: Lower

@@ -1,0 +1,1 @@
+lib/dsl/externs.pp.ml: Array Bucketing Frontier Graphs Interp Ordered Parallel Pos Printf

@@ -1,0 +1,1 @@
+lib/dsl/externs.pp.mli: Graphs Interp

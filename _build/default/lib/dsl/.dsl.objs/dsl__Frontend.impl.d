@@ -1,0 +1,1 @@
+lib/dsl/frontend.pp.ml: Codegen_cpp Fun Interp Lower Printf

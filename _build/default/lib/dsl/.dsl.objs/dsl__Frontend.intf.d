@@ -1,0 +1,1 @@
+lib/dsl/frontend.pp.mli: Interp Lower Parallel

@@ -1,0 +1,1 @@
+lib/dsl/interp.pp.ml: Analysis Array Ast Bucketing Frontier Graphs Hashtbl List Lower Option Ordered Parallel Pos Printf String Support

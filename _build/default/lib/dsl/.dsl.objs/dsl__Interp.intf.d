@@ -1,0 +1,1 @@
+lib/dsl/interp.pp.mli: Frontier Graphs Lower Ordered Parallel Pos

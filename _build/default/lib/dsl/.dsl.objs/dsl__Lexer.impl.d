@@ -1,0 +1,1 @@
+lib/dsl/lexer.pp.ml: Array Buffer List Pos Printf String Token

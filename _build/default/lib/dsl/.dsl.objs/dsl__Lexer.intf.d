@@ -1,0 +1,1 @@
+lib/dsl/lexer.pp.mli: Pos Token

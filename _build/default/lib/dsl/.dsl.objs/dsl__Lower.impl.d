@@ -1,0 +1,1 @@
+lib/dsl/lower.pp.ml: Analysis Ast Format List Ordered Parser Pos Printf Result Schedule_lang String Typecheck

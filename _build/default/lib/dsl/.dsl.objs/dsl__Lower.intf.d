@@ -1,0 +1,1 @@
+lib/dsl/lower.pp.mli: Analysis Ast Ordered

@@ -1,0 +1,1 @@
+lib/dsl/parser.pp.ml: Array Ast Lexer List Pos Printf Token

@@ -1,0 +1,1 @@
+lib/dsl/parser.pp.mli: Ast Pos Token

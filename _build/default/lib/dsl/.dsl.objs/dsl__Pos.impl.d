@@ -1,0 +1,1 @@
+lib/dsl/pos.pp.ml: Format

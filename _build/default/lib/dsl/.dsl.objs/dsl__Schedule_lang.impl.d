@@ -1,0 +1,1 @@
+lib/dsl/schedule_lang.pp.ml: Ast Format List Ordered Pos Printf Result

@@ -1,0 +1,1 @@
+lib/dsl/schedule_lang.pp.mli: Ast Format Ordered Pos

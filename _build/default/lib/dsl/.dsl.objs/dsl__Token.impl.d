@@ -1,0 +1,1 @@
+lib/dsl/token.pp.ml: Pos Printf

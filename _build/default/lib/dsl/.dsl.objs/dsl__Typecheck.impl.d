@@ -1,0 +1,1 @@
+lib/dsl/typecheck.pp.ml: Ast Format Hashtbl List Pos Printf

@@ -1,0 +1,1 @@
+lib/dsl/typecheck.pp.mli: Ast Format Pos

@@ -1,0 +1,398 @@
+module Bucket_order = Bucketing.Bucket_order
+
+type priority_update =
+  | Update_min
+  | Update_max
+  | Update_sum of {
+      literal_diff : int option;
+      has_threshold : bool;
+    }
+
+type udf_info = {
+  udf_name : string;
+  src_param : string;
+  dst_param : string;
+  weight_param : string option;
+  update : priority_update;
+  constant_sum_diff : int option;
+  atomic_vectors : string list;
+}
+
+type pq_info = {
+  pq_name : string;
+  allow_coarsening : bool;
+  direction : Bucket_order.direction;
+  priority_vector : string;
+  start_vertex : Ast.expr option;
+}
+
+type ordered_loop = {
+  bucket_name : string;
+  edgeset_name : string;
+  label : string option;
+  stop_vertex : Ast.expr option;
+  udf : udf_info;
+}
+
+type result = {
+  pq : pq_info option;
+  loop : ordered_loop option;
+}
+
+type error = {
+  pos : Pos.t;
+  message : string;
+}
+
+let pp_error ppf e = Format.fprintf ppf "%a: %s" Pos.pp e.pos e.message
+let err pos fmt = Printf.ksprintf (fun message -> Error { pos; message }) fmt
+
+let ( let* ) = Result.bind
+
+(* ---------------- user-defined function analysis ---------------- *)
+
+let literal_int (e : Ast.expr) =
+  match e.Ast.desc with
+  | Ast.Int_lit i -> Some i
+  | Ast.Unop (Ast.Neg, { Ast.desc = Ast.Int_lit i; _ }) -> Some (-i)
+  | _ -> None
+
+(* Collect every priority-update call on [pq_name] and every vector write in
+   the function body. *)
+let rec scan_stmts pq_name stmts updates writes =
+  List.iter (fun s -> scan_stmt pq_name s updates writes) stmts
+
+and scan_stmt pq_name (s : Ast.stmt) updates writes =
+  match s.Ast.sdesc with
+  | Ast.S_var_decl (_, _, Some e) -> scan_expr pq_name e updates
+  | Ast.S_var_decl (_, _, None) -> ()
+  | Ast.S_assign (_, e) -> scan_expr pq_name e updates
+  | Ast.S_index_assign (vec, idx, e) ->
+      writes := (vec, idx) :: !writes;
+      scan_expr pq_name e updates
+  | Ast.S_reduce_assign (_, vec, idx, e) ->
+      writes := (vec, idx) :: !writes;
+      scan_expr pq_name e updates
+  | Ast.S_expr e -> scan_expr pq_name e updates
+  | Ast.S_while (cond, body) ->
+      scan_expr pq_name cond updates;
+      scan_stmts pq_name body updates writes
+  | Ast.S_if (cond, then_branch, else_branch) ->
+      scan_expr pq_name cond updates;
+      scan_stmts pq_name then_branch updates writes;
+      scan_stmts pq_name else_branch updates writes
+  | Ast.S_delete _ -> ()
+
+and scan_expr pq_name (e : Ast.expr) updates =
+  match e.Ast.desc with
+  | Ast.Method_call ({ Ast.desc = Ast.Var recv; _ }, name, args) when recv = pq_name ->
+      (match name with
+      | "updatePriorityMin" | "updatePriorityMax" | "updatePrioritySum" ->
+          updates := (e.Ast.pos, name, args) :: !updates
+      | _ -> ());
+      List.iter (fun a -> scan_expr pq_name a updates) args
+  | Ast.Method_call (recv, _, args) ->
+      scan_expr pq_name recv updates;
+      List.iter (fun a -> scan_expr pq_name a updates) args
+  | Ast.Binop (_, lhs, rhs) ->
+      scan_expr pq_name lhs updates;
+      scan_expr pq_name rhs updates
+  | Ast.Unop (_, operand) -> scan_expr pq_name operand updates
+  | Ast.Index (base, index) ->
+      scan_expr pq_name base updates;
+      scan_expr pq_name index updates
+  | Ast.Call (_, args) -> List.iter (fun a -> scan_expr pq_name a updates) args
+  | Ast.New_priority_queue { args; _ } ->
+      List.iter (fun a -> scan_expr pq_name a updates) args
+  | Ast.New_vertexset { size; _ } -> scan_expr pq_name size updates
+  | Ast.Int_lit _ | Ast.Bool_lit _ | Ast.String_lit _ | Ast.Var _ -> ()
+
+let analyze_udf program ~pq_name name =
+  match Ast.find_func program name with
+  | None -> err Pos.dummy "unknown user function %S" name
+  | Some f -> (
+      let* src_param, dst_param, weight_param =
+        match f.Ast.params with
+        | [ (s, _); (d, _) ] -> Ok (s, d, None)
+        | [ (s, _); (d, _); (w, _) ] -> Ok (s, d, Some w)
+        | _ ->
+            err f.Ast.fpos "user function %s must take (src, dst [, weight])" name
+      in
+      let updates = ref [] and writes = ref [] in
+      scan_stmts pq_name f.Ast.body updates writes;
+      let is_dst (e : Ast.expr) =
+        match e.Ast.desc with
+        | Ast.Var v -> v = dst_param
+        | _ -> false
+      in
+      (* Write-write conflict analysis: a write indexed by the destination
+         parameter can race across edges under push traversal. *)
+      let atomic_vectors =
+        List.filter_map (fun (vec, idx) -> if is_dst idx then Some vec else None) !writes
+        |> List.sort_uniq compare
+      in
+      match !updates with
+      | [] -> err f.Ast.fpos "user function %s performs no priority update" name
+      | _ :: _ :: _ as all ->
+          let pos = match all with (p, _, _) :: _ -> p | [] -> f.Ast.fpos in
+          err pos "user function %s must contain exactly one priority update" name
+      | [ (pos, op_name, args) ] ->
+          let* update =
+            match (op_name, args) with
+            | "updatePriorityMin", ([ _; _ ] | [ _; _; _ ]) -> Ok Update_min
+            | "updatePriorityMax", ([ _; _ ] | [ _; _; _ ]) -> Ok Update_max
+            | "updatePrioritySum", [ _; diff ] ->
+                Ok (Update_sum { literal_diff = literal_int diff; has_threshold = false })
+            | "updatePrioritySum", [ _; diff; _threshold ] ->
+                Ok (Update_sum { literal_diff = literal_int diff; has_threshold = true })
+            | _, _ -> err pos "%s has the wrong number of arguments" op_name
+          in
+          let target_is_dst =
+            match args with
+            | target :: _ -> is_dst target
+            | [] -> false
+          in
+          let constant_sum_diff =
+            match update with
+            | Update_sum { literal_diff = Some d; _ } when target_is_dst -> Some d
+            | _ -> None
+          in
+          Ok
+            {
+              udf_name = name;
+              src_param;
+              dst_param;
+              weight_param;
+              update;
+              constant_sum_diff;
+              atomic_vectors;
+            })
+
+(* ---------------- priority queue declaration ---------------- *)
+
+let find_pq_decl program =
+  (* The pq is declared as a const of priority_queue type and assigned a
+     [new priority_queue] in main; programs without one are plain GraphIt
+     programs with no ordered loop. *)
+  match
+    List.find_opt
+      (fun c -> match c.Ast.ctyp with Ast.T_priority_queue _ -> true | _ -> false)
+      program.Ast.consts
+  with
+  | None -> Ok None
+  | Some pq_const ->
+  let pq_name = pq_const.Ast.cname in
+  let* main =
+    match Ast.find_func program "main" with
+    | Some f -> Ok f
+    | None -> err Pos.dummy "program has no 'main' function"
+  in
+  let found = ref None in
+  let rec walk stmts =
+    List.iter
+      (fun (s : Ast.stmt) ->
+        match s.Ast.sdesc with
+        | Ast.S_assign (name, { Ast.desc = Ast.New_priority_queue { args; _ }; pos })
+          when name = pq_name ->
+            found := Some (pos, args)
+        | Ast.S_while (_, body) -> walk body
+        | Ast.S_if (_, t, e) ->
+            walk t;
+            walk e
+        | _ -> ())
+      stmts
+  in
+  walk main.Ast.body;
+  match !found with
+  | None -> err main.Ast.fpos "main never constructs the priority queue %S" pq_name
+  | Some (pos, args) -> (
+      match args with
+      | allow :: direction :: vector :: rest -> (
+          let* allow_coarsening =
+            match allow.Ast.desc with
+            | Ast.Bool_lit b -> Ok b
+            | _ -> err pos "allow_coarsening must be a boolean literal"
+          in
+          let* direction =
+            match direction.Ast.desc with
+            | Ast.String_lit s -> (
+                match Bucket_order.direction_of_string s with
+                | Ok d -> Ok d
+                | Error msg -> Error { pos; message = msg })
+            | _ -> err pos "priority direction must be a string literal"
+          in
+          let* priority_vector =
+            match vector.Ast.desc with
+            | Ast.Var v -> Ok v
+            | _ -> err pos "priority_vector must name a global vector"
+          in
+          match rest with
+          | [] ->
+              Ok (Some { pq_name; allow_coarsening; direction; priority_vector;
+                         start_vertex = None })
+          | [ start ] ->
+              Ok (Some { pq_name; allow_coarsening; direction; priority_vector;
+                         start_vertex = Some start })
+          | _ -> err pos "too many priority_queue constructor arguments")
+      | _ -> err pos "priority_queue constructor takes at least 3 arguments")
+
+(* ---------------- ordered-loop pattern (§5.2) ---------------- *)
+
+(* Match [pq.finished() == false], [not pq.finished()], and recognize an
+   extra [pq.finishedVertex(v) == false] (or [not ...]) conjunct. *)
+let rec match_condition pq_name (e : Ast.expr) =
+  let is_finished_call (x : Ast.expr) =
+    match x.Ast.desc with
+    | Ast.Method_call ({ Ast.desc = Ast.Var recv; _ }, "finished", []) -> recv = pq_name
+    | _ -> false
+  in
+  let finished_vertex (x : Ast.expr) =
+    match x.Ast.desc with
+    | Ast.Method_call ({ Ast.desc = Ast.Var recv; _ }, "finishedVertex", [ v ])
+      when recv = pq_name ->
+        Some v
+    | _ -> None
+  in
+  let negated (x : Ast.expr) k =
+    match x.Ast.desc with
+    | Ast.Binop (Ast.Eq, inner, { Ast.desc = Ast.Bool_lit false; _ }) -> k inner
+    | Ast.Binop (Ast.Eq, { Ast.desc = Ast.Bool_lit false; _ }, inner) -> k inner
+    | Ast.Binop (Ast.Neq, inner, { Ast.desc = Ast.Bool_lit true; _ }) -> k inner
+    | Ast.Unop (Ast.Not, inner) -> k inner
+    | _ -> None
+  in
+  match e.Ast.desc with
+  | Ast.Binop (Ast.And, lhs, rhs) -> (
+      match (match_condition pq_name lhs, match_condition pq_name rhs) with
+      | Some (true, None), Some (false, Some v) | Some (false, Some v), Some (true, None)
+        ->
+          Some (true, Some v)
+      | _ -> None)
+  | _ ->
+      negated e (fun inner ->
+          if is_finished_call inner then Some (true, None)
+          else
+            match finished_vertex inner with
+            | Some v -> Some (false, Some v)
+            | None -> None)
+
+(* Count uses of an identifier in statements (for the "bucket is not used
+   elsewhere" safety check). *)
+let rec count_var_uses name stmts =
+  List.fold_left (fun acc s -> acc + count_in_stmt name s) 0 stmts
+
+and count_in_stmt name (s : Ast.stmt) =
+  match s.Ast.sdesc with
+  | Ast.S_var_decl (_, _, Some e) -> count_in_expr name e
+  | Ast.S_var_decl (_, _, None) -> 0
+  | Ast.S_assign (v, e) -> (if v = name then 1 else 0) + count_in_expr name e
+  | Ast.S_index_assign (v, idx, e) ->
+      (if v = name then 1 else 0) + count_in_expr name idx + count_in_expr name e
+  | Ast.S_reduce_assign (_, v, idx, e) ->
+      (if v = name then 1 else 0) + count_in_expr name idx + count_in_expr name e
+  | Ast.S_expr e -> count_in_expr name e
+  | Ast.S_while (cond, body) -> count_in_expr name cond + count_var_uses name body
+  | Ast.S_if (cond, t, e) ->
+      count_in_expr name cond + count_var_uses name t + count_var_uses name e
+  | Ast.S_delete v -> if v = name then 1 else 0
+
+and count_in_expr name (e : Ast.expr) =
+  match e.Ast.desc with
+  | Ast.Var v -> if v = name then 1 else 0
+  | Ast.Int_lit _ | Ast.Bool_lit _ | Ast.String_lit _ -> 0
+  | Ast.Index (b, i) -> count_in_expr name b + count_in_expr name i
+  | Ast.Binop (_, l, r) -> count_in_expr name l + count_in_expr name r
+  | Ast.Unop (_, x) -> count_in_expr name x
+  | Ast.Call (_, args) | Ast.Method_call (_, _, args) -> (
+      List.fold_left (fun acc a -> acc + count_in_expr name a) 0 args
+      +
+      match e.Ast.desc with
+      | Ast.Method_call (recv, _, _) -> count_in_expr name recv
+      | _ -> 0)
+  | Ast.New_priority_queue { args; _ } ->
+      List.fold_left (fun acc a -> acc + count_in_expr name a) 0 args
+  | Ast.New_vertexset { size; _ } -> count_in_expr name size
+
+let match_loop_body program pq_name stmts =
+  match stmts with
+  | { Ast.sdesc = Ast.S_var_decl (bucket, Ast.T_vertexset _, Some dequeue); _ }
+    :: ({ Ast.sdesc = Ast.S_expr apply; label; _ } as _apply_stmt)
+    :: rest -> (
+      let dequeue_ok =
+        match dequeue.Ast.desc with
+        | Ast.Method_call ({ Ast.desc = Ast.Var recv; _ }, "dequeueReadySet", []) ->
+            recv = pq_name
+        | _ -> false
+      in
+      if not dequeue_ok then None
+      else
+        match apply.Ast.desc with
+        | Ast.Method_call
+            ( {
+                Ast.desc =
+                  Ast.Method_call
+                    ( { Ast.desc = Ast.Var edgeset_name; _ },
+                      "from",
+                      [ { Ast.desc = Ast.Var from_bucket; _ } ] );
+                _;
+              },
+              "applyUpdatePriority",
+              [ { Ast.desc = Ast.Var udf_name; _ } ] )
+          when from_bucket = bucket -> (
+            (* The rest may only delete the bucket; any other use disables
+               the transformation. *)
+            let deletes_only =
+              match rest with
+              | [] -> true
+              | [ { Ast.sdesc = Ast.S_delete d; _ } ] -> d = bucket
+              | _ -> count_var_uses bucket rest = 0
+            in
+            if not deletes_only then None
+            else
+              match analyze_udf program ~pq_name udf_name with
+              | Ok udf -> Some (Ok (bucket, edgeset_name, label, udf))
+              | Error e -> Some (Error e))
+        | _ -> None)
+  | _ -> None
+
+let match_while program ~pq_name ~cond ~body =
+  match match_condition pq_name cond with
+  | Some (true, stop_vertex) -> (
+      match match_loop_body program pq_name body with
+      | Some (Ok (bucket_name, edgeset_name, label, udf)) ->
+          Ok (Some { bucket_name; edgeset_name; label; stop_vertex; udf })
+      | Some (Error e) -> Error e
+      | None -> Ok None)
+  | _ -> Ok None
+
+let find_ordered_loop program pq =
+  match Ast.find_func program "main" with
+  | None -> Ok None
+  | Some main ->
+      let result = ref (Ok None) in
+      let rec walk stmts =
+        List.iter
+          (fun (s : Ast.stmt) ->
+            match s.Ast.sdesc with
+            | Ast.S_while (cond, body) -> (
+                match match_while program ~pq_name:pq.pq_name ~cond ~body with
+                | Ok (Some loop) -> result := Ok (Some loop)
+                | Error e -> result := Error e
+                | Ok None -> walk body)
+            | Ast.S_if (_, t, e) ->
+                walk t;
+                walk e
+            | _ -> ())
+          stmts
+      in
+      walk main.Ast.body;
+      !result
+
+let analyze program =
+  let* pq = find_pq_decl program in
+  let* loop =
+    match pq with
+    | Some info -> find_ordered_loop program info
+    | None -> Ok None
+  in
+  Ok { pq; loop }

@@ -1,0 +1,92 @@
+(** The compiler analyses of Section 5 of the paper.
+
+    - {e Ordered-loop pattern detection} (§5.2): find the
+      [while (pq.finished() == false)] loop whose body dequeues a ready set,
+      applies an [applyUpdatePriority] edge operator to it, and deletes it,
+      with no other use of the bucket. Only such loops can be replaced by
+      the eager ordered-processing operator; programs that drive the
+      priority queue in other ways (e.g. SetCover's extern phases) fall
+      back to generic interpretation and lazy bucketing.
+    - {e User-function analysis} (§5.1): which priority-update operator the
+      UDF invokes; whether the update is a constant-value sum reduction
+      (making the histogram strategy legal, Fig. 10); and which vectors the
+      UDF writes at the destination index (write-write conflicts that
+      require atomics under push traversal).
+    - An early-exit conjunct ([pq.finishedVertex(v) == false]) in the loop
+      condition is recognized for PPSP/A*-style termination. *)
+
+type priority_update =
+  | Update_min
+  | Update_max
+  | Update_sum of {
+      literal_diff : int option;  (** [Some d] when the diff is a literal. *)
+      has_threshold : bool;
+    }
+
+type udf_info = {
+  udf_name : string;
+  src_param : string;
+  dst_param : string;
+  weight_param : string option;
+  update : priority_update;
+  constant_sum_diff : int option;
+      (** [Some d] when the lazy-constant-sum (histogram) strategy is
+          legal: a single [updatePrioritySum] with literal diff [d]
+          targeting the destination. *)
+  atomic_vectors : string list;
+      (** Vectors written at the destination index — these writes get
+          atomics under push traversal. *)
+}
+
+type pq_info = {
+  pq_name : string;
+  allow_coarsening : bool;
+  direction : Bucketing.Bucket_order.direction;
+  priority_vector : string;
+  start_vertex : Ast.expr option;  (** [None] = all vertices initially. *)
+}
+
+type ordered_loop = {
+  bucket_name : string;
+  edgeset_name : string;
+  label : string option;
+  stop_vertex : Ast.expr option;
+  udf : udf_info;
+}
+
+(** What the compiler found in [main]. *)
+type result = {
+  pq : pq_info option;
+      (** [None] when the program declares no priority queue at all (plain
+          GraphIt programs are still valid). *)
+  loop : ordered_loop option;
+      (** [Some] when the §5.2 pattern matched and the loop can be replaced
+          by the ordered processing operator; [None] means the program
+          drives the queue generically. *)
+}
+
+type error = {
+  pos : Pos.t;
+  message : string;
+}
+
+val pp_error : Format.formatter -> error -> unit
+
+(** [analyze program] runs the analyses on a well-typed program. *)
+val analyze : Ast.program -> (result, error) Stdlib.result
+
+(** [analyze_udf program name] analyzes one user function (exposed for
+    tests and for the code generator). *)
+val analyze_udf :
+  Ast.program -> pq_name:string -> string -> (udf_info, error) Stdlib.result
+
+(** [match_while program ~pq_name ~cond ~body] tests whether one [while]
+    statement is the replaceable ordered loop; used by the interpreter to
+    recognize the loop the compiler transformed. [Ok None] means "an
+    ordinary while loop". *)
+val match_while :
+  Ast.program ->
+  pq_name:string ->
+  cond:Ast.expr ->
+  body:Ast.stmt list ->
+  (ordered_loop option, error) Stdlib.result

@@ -1,0 +1,141 @@
+(** Abstract syntax of the GraphIt algorithm language (the subset needed by
+    the paper's six ordered applications, Table 1 / Figure 3) plus the
+    scheduling-language call chain. *)
+
+type typ =
+  | T_int
+  | T_bool
+  | T_string
+  | T_element of string  (** [Vertex], [Edge] — declared element types. *)
+  | T_vector of string * typ  (** [vector{Vertex}(int)] *)
+  | T_vertexset of string  (** [vertexset{Vertex}] *)
+  | T_edgeset of {
+      element : string;
+      src : string;
+      dst : string;
+      weighted : bool;
+    }  (** [edgeset{Edge}(Vertex, Vertex, int)] (weighted) or without [int]. *)
+  | T_priority_queue of string * typ  (** [priority_queue{Vertex}(int)] *)
+[@@deriving show { with_path = false }, eq]
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Eq
+  | Neq
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | And
+  | Or
+[@@deriving show { with_path = false }, eq]
+
+type unop =
+  | Neg
+  | Not
+[@@deriving show { with_path = false }, eq]
+
+type expr = {
+  desc : expr_desc;
+  pos : Pos.t; [@printer fun fmt _ -> Format.pp_print_string fmt "_"] [@equal fun _ _ -> true]
+}
+
+and expr_desc =
+  | Int_lit of int
+  | Bool_lit of bool
+  | String_lit of string
+  | Var of string
+  | Index of expr * expr  (** [dist[src]], [argv[1]] *)
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+  | Call of string * expr list  (** intrinsics: [load], [atoi], ... *)
+  | Method_call of expr * string * expr list
+      (** [pq.finished()], [edges.from(b)], ... *)
+  | New_priority_queue of {
+      element : string;
+      value_type : typ;
+      args : expr list;
+    }
+  | New_vertexset of {
+      element : string;
+      size : expr;  (** [new vertexset{Vertex}(0)] — initial vertex count. *)
+    }
+[@@deriving show { with_path = false }, eq]
+
+(** Reduction-assignment operators (GraphIt's [min=], [max=], [+=]),
+    compiled to atomic updates when the dependence analysis requires it. *)
+type reduction =
+  | Rd_min
+  | Rd_max
+  | Rd_plus
+[@@deriving show { with_path = false }, eq]
+
+type stmt = {
+  sdesc : stmt_desc;
+  spos : Pos.t; [@printer fun fmt _ -> Format.pp_print_string fmt "_"] [@equal fun _ _ -> true]
+  label : string option;  (** [#s1#] scheduling label. *)
+}
+
+and stmt_desc =
+  | S_var_decl of string * typ * expr option
+  | S_assign of string * expr
+  | S_index_assign of string * expr * expr  (** [dist[v] = e] *)
+  | S_reduce_assign of reduction * string * expr * expr  (** [dist[v] min= e] *)
+  | S_expr of expr
+  | S_while of expr * stmt list
+  | S_if of expr * stmt list * stmt list
+  | S_delete of string
+[@@deriving show { with_path = false }, eq]
+
+type func_decl = {
+  fname : string;
+  params : (string * typ) list;
+  body : stmt list;
+  fpos : Pos.t; [@printer fun fmt _ -> Format.pp_print_string fmt "_"] [@equal fun _ _ -> true]
+}
+[@@deriving show { with_path = false }, eq]
+
+type extern_decl = {
+  xname : string;
+  xparams : typ list;
+  xreturn : typ;
+  xpos : Pos.t; [@printer fun fmt _ -> Format.pp_print_string fmt "_"] [@equal fun _ _ -> true]
+}
+[@@deriving show { with_path = false }, eq]
+
+type const_decl = {
+  cname : string;
+  ctyp : typ;
+  cinit : expr option;
+  cpos : Pos.t; [@printer fun fmt _ -> Format.pp_print_string fmt "_"] [@equal fun _ _ -> true]
+}
+[@@deriving show { with_path = false }, eq]
+
+(** One call in the schedule chain:
+    [program->configApplyPriorityUpdate("s1", "lazy")]. *)
+type schedule_call = {
+  sc_name : string;
+  sc_args : string list;  (** Arguments, stringified (labels, strategies, numbers). *)
+  sc_pos : Pos.t; [@printer fun fmt _ -> Format.pp_print_string fmt "_"] [@equal fun _ _ -> true]
+}
+[@@deriving show { with_path = false }, eq]
+
+type program = {
+  elements : string list;
+  consts : const_decl list;
+  externs : extern_decl list;
+  funcs : func_decl list;
+  schedule : schedule_call list;
+}
+[@@deriving show { with_path = false }, eq]
+
+(** [find_func program name] looks up a function declaration. *)
+let find_func program name =
+  List.find_opt (fun f -> f.fname = name) program.funcs
+
+(** [find_const program name] looks up a global constant declaration. *)
+let find_const program name =
+  List.find_opt (fun c -> c.cname = name) program.consts

@@ -1,0 +1,384 @@
+module Schedule = Ordered.Schedule
+
+type ctx = {
+  buf : Buffer.t;
+  mutable indent : int;
+  schedule : Schedule.t;
+  pq_name : string;
+  udf : Analysis.udf_info option;
+}
+
+let line ctx fmt =
+  Printf.ksprintf
+    (fun s ->
+      if s = "" then Buffer.add_char ctx.buf '\n'
+      else begin
+        Buffer.add_string ctx.buf (String.make (2 * ctx.indent) ' ');
+        Buffer.add_string ctx.buf s;
+        Buffer.add_char ctx.buf '\n'
+      end)
+    fmt
+
+let indented ctx f =
+  ctx.indent <- ctx.indent + 1;
+  f ();
+  ctx.indent <- ctx.indent - 1
+
+let block ctx header f =
+  line ctx "%s {" header;
+  indented ctx f;
+  line ctx "}"
+
+(* ---------------- expression translation ---------------- *)
+
+let binop_str = function
+  | Ast.Add -> "+"
+  | Ast.Sub -> "-"
+  | Ast.Mul -> "*"
+  | Ast.Div -> "/"
+  | Ast.Eq -> "=="
+  | Ast.Neq -> "!="
+  | Ast.Lt -> "<"
+  | Ast.Le -> "<="
+  | Ast.Gt -> ">"
+  | Ast.Ge -> ">="
+  | Ast.And -> "&&"
+  | Ast.Or -> "||"
+
+(* [mapping] renames UDF parameters to the C++ loop variables of the chosen
+   traversal (e.g. dst -> "dst.v", weight -> "dst.weight" under push). *)
+let rec expr_str ctx mapping (e : Ast.expr) =
+  match e.Ast.desc with
+  | Ast.Int_lit i -> string_of_int i
+  | Ast.Bool_lit b -> if b then "true" else "false"
+  | Ast.String_lit s -> Printf.sprintf "%S" s
+  | Ast.Var v -> (
+      match List.assoc_opt v mapping with
+      | Some mapped -> mapped
+      | None -> if v = "INT_MAX" then "INT_MAX" else v)
+  | Ast.Index ({ Ast.desc = Ast.Var "argv"; _ }, idx) ->
+      Printf.sprintf "argv[%s]" (expr_str ctx mapping idx)
+  | Ast.Index (base, idx) ->
+      Printf.sprintf "%s[%s]" (expr_str ctx mapping base) (expr_str ctx mapping idx)
+  | Ast.Binop (op, lhs, rhs) ->
+      Printf.sprintf "(%s %s %s)" (expr_str ctx mapping lhs) (binop_str op)
+        (expr_str ctx mapping rhs)
+  | Ast.Unop (Ast.Neg, x) -> Printf.sprintf "(-%s)" (expr_str ctx mapping x)
+  | Ast.Unop (Ast.Not, x) -> Printf.sprintf "(!%s)" (expr_str ctx mapping x)
+  | Ast.Call ("atoi", args) ->
+      Printf.sprintf "atoi(%s)" (String.concat ", " (List.map (expr_str ctx mapping) args))
+  | Ast.Call ("load", args) ->
+      Printf.sprintf "loadGraph(%s)"
+        (String.concat ", " (List.map (expr_str ctx mapping) args))
+  | Ast.Call (name, args) ->
+      Printf.sprintf "%s(%s)" name
+        (String.concat ", " (List.map (expr_str ctx mapping) args))
+  | Ast.Method_call ({ Ast.desc = Ast.Var recv; _ }, name, args) when recv = ctx.pq_name
+    ->
+      let cpp_name =
+        match name with
+        | "getCurrentPriority" | "get_current_priority" -> "get_current_priority"
+        | other -> other
+      in
+      Printf.sprintf "pq->%s(%s)" cpp_name
+        (String.concat ", " (List.map (expr_str ctx mapping) args))
+  | Ast.Method_call (recv, name, args) ->
+      Printf.sprintf "%s.%s(%s)" (expr_str ctx mapping recv) name
+        (String.concat ", " (List.map (expr_str ctx mapping) args))
+  | Ast.New_vertexset { size; _ } ->
+      Printf.sprintf "new VertexSubset<NodeID>(num_verts, %s)" (expr_str ctx mapping size)
+  | Ast.New_priority_queue { args; _ } ->
+      let kind =
+        if Schedule.is_eager ctx.schedule then "EagerPriorityQueue"
+        else "LazyPriorityQueue"
+      in
+      Printf.sprintf "new %s(%s, delta)" kind
+        (String.concat ", " (List.map (expr_str ctx mapping) args))
+
+(* ---------------- user function translation ---------------- *)
+
+(* The priority-update operator is where the schedules diverge: each
+   strategy compiles the same DSL call to different synchronization
+   (Fig. 9 / Fig. 10 of the paper). *)
+let emit_priority_update ctx mapping op_args op_kind =
+  let dst =
+    match op_args with
+    | target :: _ -> expr_str ctx mapping target
+    | [] -> "dst.v"
+  in
+  let new_val =
+    match (op_kind, op_args) with
+    | `Sum, _ :: diff :: _ -> expr_str ctx mapping diff
+    | _, args -> (
+        match List.rev args with
+        | last :: _ -> expr_str ctx mapping last
+        | [] -> "0")
+  in
+  let vec =
+    match ctx.udf with
+    | Some _ -> "pq->priority_vector"
+    | None -> "priority"
+  in
+  match (ctx.schedule.Schedule.strategy, ctx.schedule.Schedule.traversal, op_kind) with
+  | (Schedule.Lazy | Schedule.Lazy_constant_sum), (Schedule.Sparse_push | Schedule.Hybrid), `Min ->
+      line ctx "bool tracking_var = atomicWriteMin(&%s[%s], %s);" vec dst new_val;
+      line ctx "if (tracking_var && CAS(&dedup_flags[%s], 0, 1)) {" dst;
+      indented ctx (fun () -> line ctx "outEdges[offset + j] = %s;" dst);
+      line ctx "} else { outEdges[offset + j] = UINT_MAX; }";
+      line ctx "j++;"
+  | (Schedule.Lazy | Schedule.Lazy_constant_sum), Schedule.Dense_pull, `Min ->
+      (* Pull owns the destination: no atomics (Fig. 9(b)). *)
+      line ctx "if (%s < %s[%s]) {" new_val vec dst;
+      indented ctx (fun () ->
+          line ctx "%s[%s] = %s;" vec dst new_val;
+          line ctx "if (CAS(&dedup_flags[%s], 0, 1)) { next[%s] = 1; }" dst dst);
+      line ctx "}"
+  | (Schedule.Eager_with_fusion | Schedule.Eager_no_fusion), _, `Min ->
+      line ctx "bool changed = atomicWriteMin(&%s[%s], %s);" vec dst new_val;
+      line ctx "if (changed) {";
+      indented ctx (fun () ->
+          line ctx "size_t dest_bin = %s / delta;" new_val;
+          line ctx "if (dest_bin >= local_bins.size()) {";
+          indented ctx (fun () -> line ctx "local_bins.resize(dest_bin + 1);");
+          line ctx "}";
+          line ctx "local_bins[dest_bin].push_back(%s);" dst);
+      line ctx "}"
+  | _, _, `Max ->
+      line ctx "bool tracking_var = atomicWriteMax(&%s[%s], %s);" vec dst new_val;
+      line ctx "if (tracking_var) { updateBucketOf(pq, %s); }" dst
+  | Schedule.Lazy_constant_sum, _, `Sum ->
+      line ctx "// constant-sum update: reduced via histogram (see";
+      line ctx "// apply_f_transformed below); only the count is recorded here.";
+      line ctx "histogram_record(%s);" dst
+  | _, _, `Sum ->
+      let floor =
+        match op_args with
+        | [ _; _; threshold ] -> expr_str ctx mapping threshold
+        | _ -> "INT_MIN"
+      in
+      line ctx "bool changed = atomicAddWithFloor(&%s[%s], %s, %s);" vec dst new_val floor;
+      line ctx "if (changed) { local_bins_insert(pq, %s, %s[%s] / delta); }" dst vec dst
+
+let rec emit_udf_stmt ctx mapping (s : Ast.stmt) =
+  match s.Ast.sdesc with
+  | Ast.S_var_decl (name, _, Some init) ->
+      line ctx "int %s = %s;" name (expr_str ctx mapping init)
+  | Ast.S_var_decl (name, _, None) -> line ctx "int %s;" name
+  | Ast.S_assign (name, e) -> line ctx "%s = %s;" name (expr_str ctx mapping e)
+  | Ast.S_index_assign (vec, idx, e) ->
+      line ctx "%s[%s] = %s;" vec (expr_str ctx mapping idx) (expr_str ctx mapping e)
+  | Ast.S_reduce_assign (rd, vec, idx, e) -> (
+      let target = Printf.sprintf "%s[%s]" vec (expr_str ctx mapping idx) in
+      let value = expr_str ctx mapping e in
+      let is_dst_write =
+        match (ctx.udf, idx.Ast.desc) with
+        | Some udf, Ast.Var v -> v = udf.Analysis.dst_param
+        | _ -> false
+      in
+      let atomic =
+        is_dst_write && ctx.schedule.Schedule.traversal = Schedule.Sparse_push
+      in
+      match (rd, atomic) with
+      | Ast.Rd_min, true -> line ctx "atomicWriteMin(&%s, %s);" target value
+      | Ast.Rd_min, false ->
+          line ctx "if (%s < %s) { %s = %s; }" value target target value
+      | Ast.Rd_max, true -> line ctx "atomicWriteMax(&%s, %s);" target value
+      | Ast.Rd_max, false ->
+          line ctx "if (%s > %s) { %s = %s; }" value target target value
+      | Ast.Rd_plus, true -> line ctx "fetch_and_add(&%s, %s);" target value
+      | Ast.Rd_plus, false -> line ctx "%s += %s;" target value)
+  | Ast.S_expr { Ast.desc = Ast.Method_call ({ Ast.desc = Ast.Var recv; _ }, op, args); _ }
+    when recv = ctx.pq_name -> (
+      match op with
+      | "updatePriorityMin" -> emit_priority_update ctx mapping args `Min
+      | "updatePriorityMax" -> emit_priority_update ctx mapping args `Max
+      | "updatePrioritySum" -> emit_priority_update ctx mapping args `Sum
+      | other -> line ctx "pq->%s();" other)
+  | Ast.S_expr e -> line ctx "%s;" (expr_str ctx mapping e)
+  | Ast.S_if (cond, then_branch, else_branch) ->
+      line ctx "if (%s) {" (expr_str ctx mapping cond);
+      indented ctx (fun () -> List.iter (emit_udf_stmt ctx mapping) then_branch);
+      if else_branch <> [] then begin
+        line ctx "} else {";
+        indented ctx (fun () -> List.iter (emit_udf_stmt ctx mapping) else_branch)
+      end;
+      line ctx "}"
+  | Ast.S_while (cond, body) ->
+      line ctx "while (%s) {" (expr_str ctx mapping cond);
+      indented ctx (fun () -> List.iter (emit_udf_stmt ctx mapping) body);
+      line ctx "}"
+  | Ast.S_delete name -> line ctx "deleteObject(%s);" name
+
+let udf_mapping (udf : Analysis.udf_info) traversal =
+  match traversal with
+  | Schedule.Sparse_push | Schedule.Hybrid ->
+      (udf.Analysis.src_param, "src")
+      :: (udf.Analysis.dst_param, "dst.v")
+      ::
+      (match udf.Analysis.weight_param with
+      | Some w -> [ (w, "dst.weight") ]
+      | None -> [])
+  | Schedule.Dense_pull ->
+      (udf.Analysis.src_param, "src.v")
+      :: (udf.Analysis.dst_param, "dst")
+      ::
+      (match udf.Analysis.weight_param with
+      | Some w -> [ (w, "src.weight") ]
+      | None -> [])
+
+(* ---------------- loop skeletons ---------------- *)
+
+let emit_udf_body ctx program (udf : Analysis.udf_info) =
+  match Ast.find_func program udf.Analysis.udf_name with
+  | None -> line ctx "// unknown user function %s" udf.Analysis.udf_name
+  | Some f ->
+      let mapping = udf_mapping udf ctx.schedule.Schedule.traversal in
+      List.iter (emit_udf_stmt ctx mapping) f.Ast.body
+
+let emit_lazy_push ctx program udf =
+  block ctx "while (!pq->finished())" (fun () ->
+      line ctx "VertexSubset* frontier = getNextBucket(pq);";
+      line ctx "uint* outEdges = setupOutputBuffer(g, frontier);";
+      line ctx "uint* offsets = setupOutputBufferOffsets(g, frontier);";
+      block ctx "parallel_for (size_t i = 0; i < frontier->size(); i++)" (fun () ->
+          line ctx "uint src = frontier->vert_array[i];";
+          line ctx "uint offset = offsets[i];";
+          line ctx "int j = 0;";
+          block ctx "for (WNode dst : g.getOutNgh(src))" (fun () ->
+              emit_udf_body ctx program udf));
+      line ctx "VertexSubset* nextFrontier = setupFrontier(outEdges);";
+      line ctx "updateBuckets(nextFrontier, pq, delta);")
+
+let emit_lazy_pull ctx program udf =
+  block ctx "while (!pq->finished())" (fun () ->
+      line ctx "VertexSubset* frontier = getNextBucket(pq);";
+      line ctx "bool* next = newA(bool, g.num_nodes());";
+      line ctx "parallel_for (uint i = 0; i < numNodes; i++) next[i] = 0;";
+      block ctx "parallel_for (uint dst = 0; dst < numNodes; dst++)" (fun () ->
+          block ctx "for (WNode src : g.getInNgh(dst))" (fun () ->
+              block ctx "if (frontier->bool_map_[src.v])" (fun () ->
+                  emit_udf_body ctx program udf)));
+      line ctx "VertexSubset* nextFrontier = setupFrontier(next);";
+      line ctx "updateBuckets(nextFrontier, pq, delta);")
+
+let emit_eager ctx program udf ~fusion =
+  line ctx "uint* frontier = new uint[G.num_edges()];";
+  line ctx "frontier[0] = start_vertex;";
+  line ctx "#pragma omp parallel";
+  line ctx "{";
+  indented ctx (fun () ->
+      line ctx "vector<vector<uint>> local_bins(0);";
+      block ctx "while (!pq->finished())" (fun () ->
+          line ctx "#pragma omp for nowait schedule(dynamic, %d)"
+            ctx.schedule.Schedule.chunk_size;
+          block ctx "for (size_t i = 0; i < frontier_size; i++)" (fun () ->
+              line ctx "uint src = frontier[i];";
+              line ctx "if (pq->get_bucket(pq->priority_vector[src]) != curr_bin) continue;";
+              block ctx "for (WNode dst : g.getOutNgh(src))" (fun () ->
+                  emit_udf_body ctx program udf));
+          if fusion then begin
+            line ctx "// bucket fusion (Fig. 7): drain this thread's current bin";
+            line ctx "// without a global synchronization while it stays small.";
+            block ctx
+              (Printf.sprintf
+                 "while (curr_bin < local_bins.size() && \
+                  !local_bins[curr_bin].empty() && local_bins[curr_bin].size() < %d)"
+                 ctx.schedule.Schedule.fusion_threshold)
+              (fun () ->
+                line ctx "vector<uint> fused = std::move(local_bins[curr_bin]);";
+                block ctx "for (uint src : fused)" (fun () ->
+                    line ctx
+                      "if (pq->get_bucket(pq->priority_vector[src]) != curr_bin) \
+                       continue;";
+                    block ctx "for (WNode dst : g.getOutNgh(src))" (fun () ->
+                        emit_udf_body ctx program udf)))
+          end;
+          line ctx "#pragma omp barrier";
+          line ctx "// propose this thread's next bucket; min across threads wins";
+          line ctx "// copy local buckets of the winning priority to the global frontier";
+          line ctx "#pragma omp barrier"));
+  line ctx "}"
+
+let emit_constant_sum_function ctx udf =
+  let diff =
+    match udf.Analysis.constant_sum_diff with
+    | Some d -> d
+    | None -> 0
+  in
+  line ctx "// transformed constant-sum user function (Fig. 10)";
+  block ctx "auto apply_f_transformed = [&] (uint vertex, uint count)" (fun () ->
+      line ctx "int k = pq->get_current_priority();";
+      line ctx "int priority = pq->priority_vector[vertex];";
+      block ctx "if (priority > k)" (fun () ->
+          line ctx "uint __new_pri = std::max(priority + (%d) * count, k);" diff;
+          line ctx "pq->priority_vector[vertex] = __new_pri;";
+          line ctx "return wrap(vertex, pq->get_bucket(__new_pri));");
+      line ctx "return Maybe<tuple<uint, uint>>();");
+  line ctx ";";
+  block ctx "while (!pq->finished())" (fun () ->
+      line ctx "VertexSubset* frontier = getNextBucket(pq);";
+      line ctx "// histogram: count updates per destination, then apply";
+      line ctx "// apply_f_transformed once per distinct vertex.";
+      line ctx "updateBucketWithGraphItVertexMap(frontier, apply_f_transformed);")
+
+(* ---------------- whole program ---------------- *)
+
+let generate (lowered : Lower.t) =
+  let program = lowered.Lower.program in
+  let analysis = lowered.Lower.analysis in
+  let schedule = lowered.Lower.loop_schedule in
+  let udf = Option.map (fun l -> l.Analysis.udf) analysis.Analysis.loop in
+  let ctx =
+    {
+      buf = Buffer.create 4096;
+      indent = 0;
+      schedule;
+      pq_name =
+        (match analysis.Analysis.pq with
+        | Some info -> info.Analysis.pq_name
+        | None -> "pq");
+      udf;
+    }
+  in
+  line ctx "// Generated by the GraphIt priority-based extension.";
+  line ctx "// schedule: %s" (Format.asprintf "%a" Schedule.pp schedule);
+  line ctx "#include \"gpq_runtime.h\"";
+  line ctx "";
+  (* Globals. *)
+  List.iter
+    (fun (c : Ast.const_decl) ->
+      match c.Ast.ctyp with
+      | Ast.T_vector (_, Ast.T_int) -> line ctx "int * %s = new int[num_verts];" c.Ast.cname
+      | Ast.T_priority_queue _ ->
+          if Schedule.is_eager schedule then line ctx "EagerPriorityQueue* %s;" c.Ast.cname
+          else line ctx "LazyPriorityQueue* %s;" c.Ast.cname
+      | Ast.T_edgeset _ -> line ctx "WGraph* %s;" c.Ast.cname
+      | _ -> line ctx "int %s;" c.Ast.cname)
+    program.Ast.consts;
+  line ctx "int delta = %d;" schedule.Schedule.delta;
+  line ctx "";
+  block ctx "int main(int argc, char* argv[])" (fun () ->
+      (* Initialization: every main statement before the ordered loop. *)
+      (match Ast.find_func program "main" with
+      | None -> ()
+      | Some main ->
+          List.iter
+            (fun (s : Ast.stmt) ->
+              match s.Ast.sdesc with
+              | Ast.S_while _ -> ()
+              | _ -> emit_udf_stmt ctx [] s)
+            main.Ast.body);
+      line ctx "";
+      match (udf, schedule.Schedule.strategy, schedule.Schedule.traversal) with
+      | Some u, Schedule.Lazy_constant_sum, _ -> emit_constant_sum_function ctx u
+      | Some u, Schedule.Lazy, Schedule.Sparse_push -> emit_lazy_push ctx program u
+      | Some u, Schedule.Lazy, Schedule.Dense_pull -> emit_lazy_pull ctx program u
+      | Some u, Schedule.Lazy, Schedule.Hybrid ->
+          line ctx "// hybrid direction: per round, pull when the frontier is";
+          line ctx "// dense (out-degree sum > |E|/20), push otherwise.";
+          emit_lazy_push ctx program u
+      | Some u, Schedule.Eager_no_fusion, _ -> emit_eager ctx program u ~fusion:false
+      | Some u, Schedule.Eager_with_fusion, _ -> emit_eager ctx program u ~fusion:true
+      | None, _, _ ->
+          line ctx "// no replaceable ordered loop: generic priority-queue driver");
+  Buffer.contents ctx.buf

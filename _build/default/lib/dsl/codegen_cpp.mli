@@ -1,0 +1,23 @@
+(** C++ code generation, mirroring the paper's Figure 9 / Figure 10.
+
+    The paper's compiler emits Cilk/OpenMP C++; this repository executes
+    through {!Interp} instead, but the {e structure} of the code the
+    compiler would emit is the observable artifact of the Section 5
+    transformations, so we print it:
+
+    - lazy + SparsePush: output buffer with offsets, [atomicWriteMin] with a
+      tracking variable, CAS deduplication flags, prefix-sum frontier setup,
+      bulk bucket update (Fig. 9(a));
+    - lazy + DensePull: in-neighbor iteration with {e no} atomics
+      (Fig. 9(b));
+    - eager (± fusion): one OpenMP parallel region, thread-local
+      [local_bins], dynamic work sharing, and — with fusion — the inner
+      while loop that drains the current local bin (Fig. 9(c) / Fig. 7);
+    - lazy with constant sum: the transformed histogram user function
+      (Fig. 10).
+
+    Golden tests pin these shapes so schedule changes provably change the
+    generated synchronization. *)
+
+(** [generate lowered] renders the full generated program. *)
+val generate : Lower.t -> string

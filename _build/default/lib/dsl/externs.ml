@@ -1,0 +1,94 @@
+module Atomic_array = Parallel.Atomic_array
+module Csr = Graphs.Csr
+module Bucket_order = Bucketing.Bucket_order
+module Pq = Ordered.Priority_queue
+module Vertex_subset = Frontier.Vertex_subset
+
+let extern_error fmt =
+  Printf.ksprintf (fun msg -> raise (Interp.Runtime_error (Pos.dummy, msg))) fmt
+
+let astar ~coords ~target =
+  let heuristic = function
+    | [ Interp.V_int v ] ->
+        Interp.V_int (Graphs.Coords.scaled_distance ~scale:100.0 coords v target)
+    | _ -> extern_error "heuristic(v) expects a vertex"
+  in
+  [ ("heuristic", heuristic) ]
+
+let ilog2 d =
+  let rec go acc v = if v <= 1 then acc else go (acc + 1) (v lsr 1) in
+  go 0 d
+
+let iter_set graph s f =
+  f s;
+  Csr.iter_out graph s (fun v _w -> f v)
+
+let setcover () =
+  (* Shared state across extern calls within one program run. *)
+  let covered = ref [||] in
+  let in_cover = ref None in
+  let graph = ref None in
+  let uncovered = ref 0 in
+  let init_priorities = function
+    | [ Interp.V_edgeset g; Interp.V_vector pri ] ->
+        let n = Csr.num_vertices g in
+        graph := Some g;
+        covered := Array.make n false;
+        in_cover := Some (Array.make n false);
+        uncovered := n;
+        for s = 0 to n - 1 do
+          Atomic_array.set pri s (ilog2 (Csr.out_degree g s + 1))
+        done;
+        Interp.V_int n
+    | _ -> extern_error "init_priorities(edges, pri) expects an edgeset and a vector"
+  in
+  let process_bucket = function
+    | [ Interp.V_pq pq; Interp.V_vertexset bucket; Interp.V_int k ] ->
+        let g =
+          match !graph with
+          | Some g -> g
+          | None -> extern_error "process_bucket called before init_priorities"
+        in
+        let chosen =
+          match !in_cover with
+          | Some c -> c
+          | None -> assert false
+        in
+        let covered = !covered in
+        let uncovered_degree s =
+          let d = ref 0 in
+          iter_set g s (fun e -> if not covered.(e) then incr d);
+          !d
+        in
+        let ctx = { Pq.tid = 0; use_atomics = false } in
+        Array.iter
+          (fun s ->
+            if not chosen.(s) then begin
+              let d = uncovered_degree s in
+              if d = 0 then
+                Parallel.Atomic_array.set (Pq.priorities pq) s
+                  Bucket_order.null_priority
+              else begin
+                let p = ilog2 d in
+                if p <> k then
+                  (* Stale bucket value: refile under the true priority. *)
+                  Pq.set_priority pq ctx s p
+                else begin
+                  (* Greedy selection within the highest bucket. *)
+                  chosen.(s) <- true;
+                  Parallel.Atomic_array.set (Pq.priorities pq) s
+                    Bucket_order.null_priority;
+                  iter_set g s (fun e ->
+                      if not covered.(e) then begin
+                        covered.(e) <- true;
+                        decr uncovered
+                      end)
+                end
+              end
+            end)
+          (Vertex_subset.sparse_members bucket);
+        Interp.V_int !uncovered
+    | _ -> extern_error "process_bucket(pq, bucket, k) has the wrong arguments"
+  in
+  ( [ ("init_priorities", init_priorities); ("process_bucket", process_bucket) ],
+    fun () -> !in_cover )

@@ -1,0 +1,32 @@
+(** Host-side extern function implementations for the DSL applications that
+    need them — exactly the applications for which the paper reports
+    "long extern functions" (A* search and SetCover, Table 5).
+
+    Register these when running the corresponding [.gt] programs:
+    {[
+      Frontend.run compiled ~pool ~argv
+        ~externs:(Externs.astar ~coords ~target) ()
+    ]} *)
+
+(** [astar ~coords ~target] provides [heuristic(v)]: the scaled Euclidean
+    distance from [v] to [target] (scale 100, matching
+    {!Graphs.Generators.road_grid} weights, so the heuristic is
+    admissible). *)
+val astar :
+  coords:Graphs.Coords.t -> target:int -> (string * Interp.extern_fn) list
+
+(** [setcover ()] provides the two externs of [setcover.gt]:
+
+    - [init_priorities(edges, pri)] fills [pri] with
+      [floor(log2 (out_degree + 1))], the initial cost-per-element bucket of
+      each set, and returns the element count;
+    - [process_bucket(pq, bucket, k)] runs one peeling round: it
+      re-validates each extracted set against its true uncovered degree
+      (re-bucketing stale sets through the priority queue), greedily adds
+      still-valid sets to the cover, and returns the number of uncovered
+      elements remaining.
+
+    The returned [result ()] reads back which sets were chosen. *)
+val setcover :
+  unit ->
+  (string * Interp.extern_fn) list * (unit -> bool array option)

@@ -1,0 +1,25 @@
+type compiled = {
+  lowered : Lower.t;
+  source_name : string;
+}
+
+let compile ?(name = "<string>") source =
+  match Lower.lower_string source with
+  | Ok lowered -> Ok { lowered; source_name = name }
+  | Error msg -> Error (Printf.sprintf "%s: %s" name msg)
+
+let compile_file path =
+  match open_in path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+      let source =
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      compile ~name:path source
+
+let run compiled ~pool ~argv ?externs () =
+  Interp.run compiled.lowered ~pool ~argv ?externs ()
+
+let generate_cpp compiled = Codegen_cpp.generate compiled.lowered

@@ -1,0 +1,28 @@
+(** One-stop compiler driver: parse → typecheck → analyze → resolve
+    schedules → (execute | print C++). *)
+
+type compiled = {
+  lowered : Lower.t;
+  source_name : string;
+}
+
+(** [compile ?name source] runs every frontend pass on DSL source text.
+    Errors are formatted with positions, prefixed by [name]. *)
+val compile : ?name:string -> string -> (compiled, string) result
+
+(** [compile_file path] reads and compiles a [.gt] file. *)
+val compile_file : string -> (compiled, string) result
+
+(** [run compiled ~pool ~argv ()] executes the program; see {!Interp.run}.
+    [argv] follows C conventions ([argv.(0)] = program name). *)
+val run :
+  compiled ->
+  pool:Parallel.Pool.t ->
+  argv:string array ->
+  ?externs:(string * Interp.extern_fn) list ->
+  unit ->
+  Interp.run_result
+
+(** [generate_cpp compiled] prints the C++ the paper's compiler would emit
+    for the resolved schedule (Fig. 9 / Fig. 10 shapes). *)
+val generate_cpp : compiled -> string

@@ -1,0 +1,49 @@
+(** Execution of lowered DSL programs against the ordered runtime.
+
+    Sequential statements are interpreted directly. The ordered while loop
+    recognized by {!Analysis} is executed by {!Ordered.Engine.run} with the
+    user function compiled to a closure — the same engine the native OCaml
+    applications use, under the schedule resolved from the program's
+    [schedule:] section. Programs that drive the priority queue generically
+    (e.g. SetCover's extern phases) interpret the loop directly over a lazy
+    backend.
+
+    Extern functions declared with [extern func] are resolved from the
+    [externs] registry supplied by the host. *)
+
+type value =
+  | V_unit
+  | V_int of int
+  | V_bool of bool
+  | V_string of string
+  | V_vector of Parallel.Atomic_array.t
+  | V_edgeset of Graphs.Csr.t
+  | V_vertexset of Frontier.Vertex_subset.t
+  | V_filtered_edges of Graphs.Csr.t * Frontier.Vertex_subset.t
+      (** The intermediate value of [edges.from(bucket)]. *)
+  | V_pq of Ordered.Priority_queue.t
+      (** The priority queue itself; passing [pq] to an extern lets host
+          code perform bucket updates (SetCover's extern phases). *)
+
+type extern_fn = value list -> value
+
+type run_result = {
+  vectors : (string * int array) list;
+      (** Final contents of every global vector (e.g. [dist]). *)
+  stats : Ordered.Stats.t option;
+      (** Engine counters when the ordered loop ran through the engine. *)
+  printed : string list;  (** Output of [print] calls, in order. *)
+}
+
+exception Runtime_error of Pos.t * string
+
+(** [run lowered ~pool ~argv ()] executes [main]. [argv.(0)] is
+    conventionally the program name, matching the DSL's [argv[1]]-style
+    accesses. *)
+val run :
+  Lower.t ->
+  pool:Parallel.Pool.t ->
+  argv:string array ->
+  ?externs:(string * extern_fn) list ->
+  unit ->
+  run_result

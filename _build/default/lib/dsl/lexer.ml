@@ -1,0 +1,163 @@
+exception Error of Pos.t * string
+
+type state = {
+  src : string;
+  mutable offset : int;
+  mutable line : int;
+  mutable col : int;
+}
+
+let peek st = if st.offset < String.length st.src then Some st.src.[st.offset] else None
+
+let peek2 st =
+  if st.offset + 1 < String.length st.src then Some st.src.[st.offset + 1] else None
+
+let advance st =
+  (match peek st with
+  | Some '\n' ->
+      st.line <- st.line + 1;
+      st.col <- 1
+  | Some _ -> st.col <- st.col + 1
+  | None -> ());
+  st.offset <- st.offset + 1
+
+let pos st = { Pos.line = st.line; col = st.col }
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let skip_line st =
+  let rec go () =
+    match peek st with
+    | Some '\n' | None -> ()
+    | Some _ ->
+        advance st;
+        go ()
+  in
+  go ()
+
+let read_while st pred =
+  let start = st.offset in
+  let rec go () =
+    match peek st with
+    | Some c when pred c ->
+        advance st;
+        go ()
+    | _ -> ()
+  in
+  go ();
+  String.sub st.src start (st.offset - start)
+
+let read_string_lit st p =
+  advance st (* opening quote *);
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | Some '"' -> advance st
+    | Some '\\' -> (
+        advance st;
+        match peek st with
+        | Some 'n' ->
+            Buffer.add_char buf '\n';
+            advance st;
+            go ()
+        | Some c ->
+            Buffer.add_char buf c;
+            advance st;
+            go ()
+        | None -> raise (Error (p, "unterminated string literal")))
+    | Some c ->
+        Buffer.add_char buf c;
+        advance st;
+        go ()
+    | None -> raise (Error (p, "unterminated string literal"))
+  in
+  go ();
+  Buffer.contents buf
+
+let read_label st p =
+  advance st (* '#' *);
+  let name = read_while st is_ident_char in
+  if name = "" then raise (Error (p, "expected a label name after '#'"));
+  match peek st with
+  | Some '#' ->
+      advance st;
+      name
+  | _ -> raise (Error (p, "expected closing '#' of label"))
+
+let tokenize source =
+  let st = { src = source; offset = 0; line = 1; col = 1 } in
+  let tokens = ref [] in
+  let emit p token = tokens := { Token.token; pos = p } :: !tokens in
+  let two st p a =
+    advance st;
+    advance st;
+    emit p a
+  in
+  let one st p a =
+    advance st;
+    emit p a
+  in
+  let rec loop () =
+    match peek st with
+    | None -> ()
+    | Some c ->
+        let p = pos st in
+        (match c with
+        | ' ' | '\t' | '\r' | '\n' -> advance st
+        | '%' -> skip_line st
+        | '/' when peek2 st = Some '/' -> skip_line st
+        | '"' ->
+            let s = read_string_lit st p in
+            emit p (Token.String_lit s)
+        | '#' ->
+            let name = read_label st p in
+            emit p (Token.Label name)
+        | '(' -> one st p Token.Lparen
+        | ')' -> one st p Token.Rparen
+        | '{' -> one st p Token.Lbrace
+        | '}' -> one st p Token.Rbrace
+        | '[' -> one st p Token.Lbracket
+        | ']' -> one st p Token.Rbracket
+        | ':' -> one st p Token.Colon
+        | ';' -> one st p Token.Semicolon
+        | ',' -> one st p Token.Comma
+        | '.' -> one st p Token.Dot
+        | '+' when peek2 st = Some '=' -> two st p Token.Plus_assign
+        | '+' -> one st p Token.Plus
+        | '-' when peek2 st = Some '>' -> two st p Token.Arrow
+        | '-' -> one st p Token.Minus
+        | '*' -> one st p Token.Star
+        | '/' -> one st p Token.Slash
+        | '=' when peek2 st = Some '=' -> two st p Token.Eq
+        | '=' -> one st p Token.Assign
+        | '!' when peek2 st = Some '=' -> two st p Token.Neq
+        | '!' -> raise (Error (p, "unexpected '!' (use 'not')"))
+        | '<' when peek2 st = Some '=' -> two st p Token.Le
+        | '<' -> one st p Token.Lt
+        | '>' when peek2 st = Some '=' -> two st p Token.Ge
+        | '>' -> one st p Token.Gt
+        | c when is_digit c ->
+            let digits = read_while st is_digit in
+            emit p (Token.Int_lit (int_of_string digits))
+        | c when is_ident_start c -> (
+            let word = read_while st is_ident_char in
+            (* Reduction-assignment operators spelled as words: min= max= *)
+            match (word, peek st) with
+            | "min", Some '=' when peek2 st <> Some '=' ->
+                advance st;
+                emit p Token.Min_assign
+            | "max", Some '=' when peek2 st <> Some '=' ->
+                advance st;
+                emit p Token.Max_assign
+            | _ -> (
+                match Token.keyword_of_string word with
+                | Some kw -> emit p kw
+                | None -> emit p (Token.Ident word)))
+        | c -> raise (Error (p, Printf.sprintf "unexpected character %C" c)));
+        loop ()
+  in
+  loop ();
+  emit (pos st) Token.Eof;
+  Array.of_list (List.rev !tokens)

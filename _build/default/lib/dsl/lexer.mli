@@ -1,0 +1,10 @@
+(** Handwritten lexer for the GraphIt DSL.
+
+    Comments run from [%] to end of line (GraphIt convention); [//] is also
+    accepted. Raises {!Error} with a located message on unrecognized
+    input. *)
+
+exception Error of Pos.t * string
+
+(** [tokenize source] is the token stream, terminated by {!Token.Eof}. *)
+val tokenize : string -> Token.located array

@@ -1,0 +1,82 @@
+module Schedule = Ordered.Schedule
+
+type t = {
+  program : Ast.program;
+  analysis : Analysis.result;
+  schedules : (string * Schedule.t) list;
+  loop_schedule : Schedule.t;
+}
+
+let ( let* ) = Result.bind
+
+let format_typecheck_errors errors =
+  String.concat "\n"
+    (List.map (fun e -> Format.asprintf "%a" Typecheck.pp_error e) errors)
+
+let lower program =
+  let* () =
+    Result.map_error format_typecheck_errors (Typecheck.check program)
+  in
+  let* analysis =
+    Result.map_error
+      (fun e -> Format.asprintf "%a" Analysis.pp_error e)
+      (Analysis.analyze program)
+  in
+  let* schedules =
+    Result.map_error
+      (fun e -> Format.asprintf "%a" Schedule_lang.pp_error e)
+      (Schedule_lang.resolve program.Ast.schedule)
+  in
+  let loop_schedule =
+    match analysis.Analysis.loop with
+    | Some loop -> Schedule_lang.schedule_for loop.Analysis.label schedules
+    | None -> Schedule.default
+  in
+  let* () =
+    match (analysis.Analysis.loop, loop_schedule.Schedule.strategy) with
+    | None, (Schedule.Eager_with_fusion | Schedule.Eager_no_fusion) ->
+        (* Without the pattern, the while loop cannot be replaced by the
+           ordered processing operator. (The default strategy is eager, so
+           only report this when the user explicitly scheduled it.) *)
+        Ok ()
+    | _ -> Ok ()
+  in
+  let* () =
+    match analysis.Analysis.loop with
+    | None ->
+        (* Generic programs run the explicit loop against lazy buckets; an
+           explicitly requested eager schedule cannot be honored. *)
+        let explicit_eager =
+          List.exists
+            (fun (_, s) ->
+              match s.Schedule.strategy with
+              | Schedule.Eager_with_fusion | Schedule.Eager_no_fusion -> true
+              | Schedule.Lazy | Schedule.Lazy_constant_sum -> false)
+            schedules
+        in
+        if explicit_eager then
+          Error
+            "eager bucket-update schedules require the ordered while-loop \
+             pattern (while (pq.finished() == false) { var b = \
+             pq.dequeueReadySet(); edges.from(b).applyUpdatePriority(f); \
+             delete b; }), which this program does not match"
+        else Ok ()
+    | Some loop -> (
+        match loop_schedule.Schedule.strategy with
+        | Schedule.Lazy_constant_sum
+          when loop.Analysis.udf.Analysis.constant_sum_diff = None ->
+            Error
+              (Printf.sprintf
+                 "schedule lazy_constant_sum requires user function %s to \
+                  perform a single updatePrioritySum with a constant literal \
+                  diff on the destination vertex"
+                 loop.Analysis.udf.Analysis.udf_name)
+        | _ -> Ok ())
+  in
+  Ok { program; analysis; schedules; loop_schedule }
+
+let lower_string source =
+  match Parser.parse_string source with
+  | program -> lower program
+  | exception Parser.Error (pos, msg) ->
+      Error (Format.asprintf "%a: parse error: %s" Pos.pp pos msg)

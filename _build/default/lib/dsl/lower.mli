@@ -1,0 +1,32 @@
+(** Lowering: the compiled form of a DSL program.
+
+    [lower] chains the frontend passes — type checking, the Section 5
+    analyses, scheduling-language resolution — and enforces the legality
+    rules the paper's compiler enforces:
+
+    - eager strategies (and bucket fusion) require the ordered-loop pattern,
+      because only then can the while loop be replaced by the ordered
+      processing operator (§5.2);
+    - [lazy_constant_sum] additionally requires the user function to perform
+      a single constant-diff [updatePrioritySum] (§5.1, Fig. 10);
+    - [DensePull] also requires the ordered loop (the pull traversal is
+      generated inside the operator).
+
+    The result is consumed by {!Interp} (execution) and {!Codegen_cpp}
+    (code printing). *)
+
+type t = {
+  program : Ast.program;
+  analysis : Analysis.result;
+  schedules : (string * Ordered.Schedule.t) list;  (** Per label. *)
+  loop_schedule : Ordered.Schedule.t;
+      (** The schedule attached to the ordered loop's label (or the
+          default), driving the main [applyUpdatePriority]. *)
+}
+
+(** [lower program] compiles, returning a formatted error message on the
+    first failing pass. *)
+val lower : Ast.program -> (t, string) result
+
+(** [lower_string source] parses then lowers. *)
+val lower_string : string -> (t, string) result

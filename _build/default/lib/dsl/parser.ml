@@ -1,0 +1,511 @@
+exception Error of Pos.t * string
+
+type state = {
+  tokens : Token.located array;
+  mutable cursor : int;
+}
+
+let current st = st.tokens.(st.cursor)
+let peek_token st = (current st).Token.token
+let peek_pos st = (current st).Token.pos
+
+let advance st =
+  if st.cursor < Array.length st.tokens - 1 then st.cursor <- st.cursor + 1
+
+let fail st msg = raise (Error (peek_pos st, msg))
+
+let expect st token =
+  if peek_token st = token then advance st
+  else
+    fail st
+      (Printf.sprintf "expected %s but found %s" (Token.describe token)
+         (Token.describe (peek_token st)))
+
+let expect_ident st =
+  match peek_token st with
+  | Token.Ident name ->
+      advance st;
+      name
+  | t -> fail st (Printf.sprintf "expected an identifier but found %s" (Token.describe t))
+
+let accept st token =
+  if peek_token st = token then begin
+    advance st;
+    true
+  end
+  else false
+
+(* ---------------- types ---------------- *)
+
+let rec parse_type st =
+  match peek_token st with
+  | Token.Ident "int" ->
+      advance st;
+      Ast.T_int
+  | Token.Ident "bool" ->
+      advance st;
+      Ast.T_bool
+  | Token.Ident "string" ->
+      advance st;
+      Ast.T_string
+  | Token.Ident "vector" ->
+      advance st;
+      expect st Token.Lbrace;
+      let element = expect_ident st in
+      expect st Token.Rbrace;
+      expect st Token.Lparen;
+      let value = parse_type st in
+      expect st Token.Rparen;
+      Ast.T_vector (element, value)
+  | Token.Ident "vertexset" ->
+      advance st;
+      expect st Token.Lbrace;
+      let element = expect_ident st in
+      expect st Token.Rbrace;
+      Ast.T_vertexset element
+  | Token.Ident "edgeset" ->
+      advance st;
+      expect st Token.Lbrace;
+      let element = expect_ident st in
+      expect st Token.Rbrace;
+      expect st Token.Lparen;
+      let src = expect_ident st in
+      expect st Token.Comma;
+      let dst = expect_ident st in
+      let weighted =
+        if accept st Token.Comma then begin
+          (match peek_token st with
+          | Token.Ident "int" -> advance st
+          | t ->
+              fail st
+                (Printf.sprintf "expected weight type 'int' but found %s"
+                   (Token.describe t)));
+          true
+        end
+        else false
+      in
+      expect st Token.Rparen;
+      Ast.T_edgeset { element; src; dst; weighted }
+  | Token.Ident "priority_queue" ->
+      advance st;
+      expect st Token.Lbrace;
+      let element = expect_ident st in
+      expect st Token.Rbrace;
+      expect st Token.Lparen;
+      let value = parse_type st in
+      expect st Token.Rparen;
+      Ast.T_priority_queue (element, value)
+  | Token.Ident name ->
+      advance st;
+      Ast.T_element name
+  | t -> fail st (Printf.sprintf "expected a type but found %s" (Token.describe t))
+
+(* ---------------- expressions ---------------- *)
+
+let mk pos desc = { Ast.desc; pos }
+
+let rec parse_expr st = parse_or st
+
+and parse_or st =
+  let lhs = ref (parse_and st) in
+  while peek_token st = Token.Kw_or do
+    let pos = peek_pos st in
+    advance st;
+    let rhs = parse_and st in
+    lhs := mk pos (Ast.Binop (Ast.Or, !lhs, rhs))
+  done;
+  !lhs
+
+and parse_and st =
+  let lhs = ref (parse_comparison st) in
+  while peek_token st = Token.Kw_and do
+    let pos = peek_pos st in
+    advance st;
+    let rhs = parse_comparison st in
+    lhs := mk pos (Ast.Binop (Ast.And, !lhs, rhs))
+  done;
+  !lhs
+
+and parse_comparison st =
+  let lhs = parse_additive st in
+  let op =
+    match peek_token st with
+    | Token.Eq -> Some Ast.Eq
+    | Token.Neq -> Some Ast.Neq
+    | Token.Lt -> Some Ast.Lt
+    | Token.Le -> Some Ast.Le
+    | Token.Gt -> Some Ast.Gt
+    | Token.Ge -> Some Ast.Ge
+    | _ -> None
+  in
+  match op with
+  | None -> lhs
+  | Some op ->
+      let pos = peek_pos st in
+      advance st;
+      let rhs = parse_additive st in
+      mk pos (Ast.Binop (op, lhs, rhs))
+
+and parse_additive st =
+  let lhs = ref (parse_multiplicative st) in
+  let rec go () =
+    match peek_token st with
+    | Token.Plus ->
+        let pos = peek_pos st in
+        advance st;
+        let rhs = parse_multiplicative st in
+        lhs := mk pos (Ast.Binop (Ast.Add, !lhs, rhs));
+        go ()
+    | Token.Minus ->
+        let pos = peek_pos st in
+        advance st;
+        let rhs = parse_multiplicative st in
+        lhs := mk pos (Ast.Binop (Ast.Sub, !lhs, rhs));
+        go ()
+    | _ -> ()
+  in
+  go ();
+  !lhs
+
+and parse_multiplicative st =
+  let lhs = ref (parse_unary st) in
+  let rec go () =
+    match peek_token st with
+    | Token.Star ->
+        let pos = peek_pos st in
+        advance st;
+        let rhs = parse_unary st in
+        lhs := mk pos (Ast.Binop (Ast.Mul, !lhs, rhs));
+        go ()
+    | Token.Slash ->
+        let pos = peek_pos st in
+        advance st;
+        let rhs = parse_unary st in
+        lhs := mk pos (Ast.Binop (Ast.Div, !lhs, rhs));
+        go ()
+    | _ -> ()
+  in
+  go ();
+  !lhs
+
+and parse_unary st =
+  match peek_token st with
+  | Token.Minus ->
+      let pos = peek_pos st in
+      advance st;
+      let operand = parse_unary st in
+      mk pos (Ast.Unop (Ast.Neg, operand))
+  | Token.Kw_not ->
+      let pos = peek_pos st in
+      advance st;
+      let operand = parse_unary st in
+      mk pos (Ast.Unop (Ast.Not, operand))
+  | _ -> parse_postfix st
+
+and parse_postfix st =
+  let base = ref (parse_primary st) in
+  let rec go () =
+    match peek_token st with
+    | Token.Dot ->
+        let pos = peek_pos st in
+        advance st;
+        let name = expect_ident st in
+        expect st Token.Lparen;
+        let args = parse_args st in
+        expect st Token.Rparen;
+        base := mk pos (Ast.Method_call (!base, name, args));
+        go ()
+    | Token.Lbracket ->
+        let pos = peek_pos st in
+        advance st;
+        let index = parse_expr st in
+        expect st Token.Rbracket;
+        base := mk pos (Ast.Index (!base, index));
+        go ()
+    | _ -> ()
+  in
+  go ();
+  !base
+
+and parse_args st =
+  if peek_token st = Token.Rparen then []
+  else begin
+    let first = parse_expr st in
+    let rec go acc = if accept st Token.Comma then go (parse_expr st :: acc) else acc in
+    List.rev (go [ first ])
+  end
+
+and parse_primary st =
+  let pos = peek_pos st in
+  match peek_token st with
+  | Token.Int_lit i ->
+      advance st;
+      mk pos (Ast.Int_lit i)
+  | Token.String_lit s ->
+      advance st;
+      mk pos (Ast.String_lit s)
+  | Token.Kw_true ->
+      advance st;
+      mk pos (Ast.Bool_lit true)
+  | Token.Kw_false ->
+      advance st;
+      mk pos (Ast.Bool_lit false)
+  | Token.Lparen ->
+      advance st;
+      let e = parse_expr st in
+      expect st Token.Rparen;
+      e
+  | Token.Kw_new -> (
+      advance st;
+      match peek_token st with
+      | Token.Ident "vertexset" ->
+          advance st;
+          expect st Token.Lbrace;
+          let element = expect_ident st in
+          expect st Token.Rbrace;
+          expect st Token.Lparen;
+          let size = parse_expr st in
+          expect st Token.Rparen;
+          mk pos (Ast.New_vertexset { element; size })
+      | Token.Ident "priority_queue" ->
+          advance st;
+          expect st Token.Lbrace;
+          let element = expect_ident st in
+          expect st Token.Rbrace;
+          expect st Token.Lparen;
+          let value_type = parse_type st in
+          expect st Token.Rparen;
+          expect st Token.Lparen;
+          let args = parse_args st in
+          expect st Token.Rparen;
+          mk pos (Ast.New_priority_queue { element; value_type; args })
+      | t ->
+          fail st
+            (Printf.sprintf
+               "expected 'priority_queue' or 'vertexset' after 'new' but found %s"
+               (Token.describe t)))
+  | Token.Ident name -> (
+      advance st;
+      match peek_token st with
+      | Token.Lparen ->
+          advance st;
+          let args = parse_args st in
+          expect st Token.Rparen;
+          mk pos (Ast.Call (name, args))
+      | _ -> mk pos (Ast.Var name))
+  | t -> fail st (Printf.sprintf "expected an expression but found %s" (Token.describe t))
+
+(* ---------------- statements ---------------- *)
+
+let rec parse_stmt st =
+  let label =
+    match peek_token st with
+    | Token.Label l ->
+        advance st;
+        Some l
+    | _ -> None
+  in
+  let pos = peek_pos st in
+  let sdesc =
+    match peek_token st with
+    | Token.Kw_var ->
+        advance st;
+        let name = expect_ident st in
+        expect st Token.Colon;
+        let typ = parse_type st in
+        let init = if accept st Token.Assign then Some (parse_expr st) else None in
+        expect st Token.Semicolon;
+        Ast.S_var_decl (name, typ, init)
+    | Token.Kw_while ->
+        advance st;
+        let cond = parse_expr st in
+        let body = parse_stmts_until st [ Token.Kw_end ] in
+        expect st Token.Kw_end;
+        Ast.S_while (cond, body)
+    | Token.Kw_if ->
+        advance st;
+        let cond = parse_expr st in
+        let then_branch = parse_stmts_until st [ Token.Kw_end; Token.Kw_else ] in
+        let else_branch =
+          if accept st Token.Kw_else then parse_stmts_until st [ Token.Kw_end ] else []
+        in
+        expect st Token.Kw_end;
+        Ast.S_if (cond, then_branch, else_branch)
+    | Token.Kw_delete ->
+        advance st;
+        let name = expect_ident st in
+        expect st Token.Semicolon;
+        Ast.S_delete name
+    | _ -> (
+        let e = parse_expr st in
+        let reduction =
+          match peek_token st with
+          | Token.Min_assign -> Some Ast.Rd_min
+          | Token.Max_assign -> Some Ast.Rd_max
+          | Token.Plus_assign -> Some Ast.Rd_plus
+          | _ -> None
+        in
+        match (reduction, peek_token st) with
+        | Some rd, _ -> (
+            advance st;
+            let rhs = parse_expr st in
+            expect st Token.Semicolon;
+            match e.Ast.desc with
+            | Ast.Index ({ Ast.desc = Ast.Var vec; _ }, idx) ->
+                Ast.S_reduce_assign (rd, vec, idx, rhs)
+            | _ ->
+                raise
+                  (Error (pos, "reduction assignment requires a 'vector[index]' target")))
+        | None, Token.Assign -> (
+            advance st;
+            let rhs = parse_expr st in
+            expect st Token.Semicolon;
+            match e.Ast.desc with
+            | Ast.Var name -> Ast.S_assign (name, rhs)
+            | Ast.Index ({ Ast.desc = Ast.Var vec; _ }, idx) ->
+                Ast.S_index_assign (vec, idx, rhs)
+            | _ -> raise (Error (pos, "invalid assignment target")))
+        | None, _ ->
+            expect st Token.Semicolon;
+            Ast.S_expr e)
+  in
+  { Ast.sdesc; spos = pos; label }
+
+and parse_stmts_until st terminators =
+  let rec go acc =
+    if List.mem (peek_token st) terminators || peek_token st = Token.Eof then List.rev acc
+    else go (parse_stmt st :: acc)
+  in
+  go []
+
+(* ---------------- declarations ---------------- *)
+
+let parse_params st =
+  expect st Token.Lparen;
+  if accept st Token.Rparen then []
+  else begin
+    let parse_one () =
+      let name = expect_ident st in
+      expect st Token.Colon;
+      let typ = parse_type st in
+      (name, typ)
+    in
+    let first = parse_one () in
+    let rec go acc = if accept st Token.Comma then go (parse_one () :: acc) else acc in
+    let params = List.rev (go [ first ]) in
+    expect st Token.Rparen;
+    params
+  end
+
+let parse_schedule_section st =
+  (* program -> configX("a", "b") -> configY(...) ; ... *)
+  let calls = ref [] in
+  let rec parse_chain () =
+    let root = expect_ident st in
+    if root <> "program" then
+      fail st (Printf.sprintf "schedule chains must start with 'program', got %S" root);
+    let rec links () =
+      if accept st Token.Arrow then begin
+        let pos = peek_pos st in
+        let name = expect_ident st in
+        expect st Token.Lparen;
+        let args = ref [] in
+        let parse_arg () =
+          match peek_token st with
+          | Token.String_lit s ->
+              advance st;
+              args := s :: !args
+          | Token.Int_lit i ->
+              advance st;
+              args := string_of_int i :: !args
+          | Token.Ident s ->
+              advance st;
+              args := s :: !args
+          | t -> fail st (Printf.sprintf "unexpected schedule argument %s" (Token.describe t))
+        in
+        if peek_token st <> Token.Rparen then begin
+          parse_arg ();
+          while accept st Token.Comma do
+            parse_arg ()
+          done
+        end;
+        expect st Token.Rparen;
+        calls := { Ast.sc_name = name; sc_args = List.rev !args; sc_pos = pos } :: !calls;
+        links ()
+      end
+    in
+    links ();
+    expect st Token.Semicolon;
+    if peek_token st <> Token.Eof then parse_chain ()
+  in
+  if peek_token st <> Token.Eof then parse_chain ();
+  List.rev !calls
+
+let parse tokens =
+  let st = { tokens; cursor = 0 } in
+  let elements = ref [] in
+  let consts = ref [] in
+  let externs = ref [] in
+  let funcs = ref [] in
+  let schedule = ref [] in
+  let rec loop () =
+    match peek_token st with
+    | Token.Eof -> ()
+    | Token.Kw_element ->
+        advance st;
+        let name = expect_ident st in
+        expect st Token.Kw_end;
+        elements := name :: !elements;
+        loop ()
+    | Token.Kw_const ->
+        let pos = peek_pos st in
+        advance st;
+        let name = expect_ident st in
+        expect st Token.Colon;
+        let typ = parse_type st in
+        let init = if accept st Token.Assign then Some (parse_expr st) else None in
+        expect st Token.Semicolon;
+        consts := { Ast.cname = name; ctyp = typ; cinit = init; cpos = pos } :: !consts;
+        loop ()
+    | Token.Kw_extern ->
+        let pos = peek_pos st in
+        advance st;
+        expect st Token.Kw_func;
+        let name = expect_ident st in
+        let params = parse_params st in
+        let return_type = if accept st Token.Colon then parse_type st else Ast.T_int in
+        expect st Token.Semicolon;
+        externs :=
+          { Ast.xname = name; xparams = List.map snd params; xreturn = return_type;
+            xpos = pos }
+          :: !externs;
+        loop ()
+    | Token.Kw_func ->
+        let pos = peek_pos st in
+        advance st;
+        let name = expect_ident st in
+        let params = parse_params st in
+        let body = parse_stmts_until st [ Token.Kw_end ] in
+        expect st Token.Kw_end;
+        funcs := { Ast.fname = name; params; body; fpos = pos } :: !funcs;
+        loop ()
+    | Token.Kw_schedule ->
+        advance st;
+        expect st Token.Colon;
+        schedule := parse_schedule_section st
+    | t -> fail st (Printf.sprintf "expected a declaration but found %s" (Token.describe t))
+  in
+  loop ();
+  expect st Token.Eof;
+  {
+    Ast.elements = List.rev !elements;
+    consts = List.rev !consts;
+    externs = List.rev !externs;
+    funcs = List.rev !funcs;
+    schedule = !schedule;
+  }
+
+let parse_string source =
+  match Lexer.tokenize source with
+  | tokens -> parse tokens
+  | exception Lexer.Error (pos, msg) -> raise (Error (pos, msg))

@@ -1,0 +1,12 @@
+(** Recursive-descent parser for the GraphIt DSL (algorithm language of
+    Table 1 / Figure 3 plus the [schedule:] section of Figure 8). *)
+
+exception Error of Pos.t * string
+
+(** [parse tokens] builds the AST. Raises {!Error} with a located message on
+    malformed input. *)
+val parse : Token.located array -> Ast.program
+
+(** [parse_string source] tokenizes and parses. Lexer errors are re-raised
+    as {!Error}. *)
+val parse_string : string -> Ast.program

@@ -1,0 +1,7 @@
+type t = {
+  line : int;
+  col : int;
+}
+
+let dummy = { line = 0; col = 0 }
+let pp ppf t = Format.fprintf ppf "%d:%d" t.line t.col

@@ -1,0 +1,11 @@
+(** Source positions for located diagnostics. *)
+
+type t = {
+  line : int;  (** 1-based. *)
+  col : int;  (** 1-based. *)
+}
+
+val dummy : t
+
+(** [pp] prints ["line:col"]. *)
+val pp : Format.formatter -> t -> unit

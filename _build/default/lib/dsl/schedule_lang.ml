@@ -1,0 +1,85 @@
+module Schedule = Ordered.Schedule
+
+type error = {
+  pos : Pos.t;
+  message : string;
+}
+
+let pp_error ppf e = Format.fprintf ppf "%a: %s" Pos.pp e.pos e.message
+let err pos fmt = Printf.ksprintf (fun message -> Error { pos; message }) fmt
+
+let ( let* ) = Result.bind
+
+let int_arg pos name value =
+  match int_of_string_opt value with
+  | Some i -> Ok i
+  | None -> err pos "%s expects an integer, got %S" name value
+
+let apply_call schedules (call : Ast.schedule_call) =
+  let pos = call.Ast.sc_pos in
+  let* label, value =
+    match call.Ast.sc_args with
+    | [ label; value ] -> Ok (label, value)
+    | _ -> err pos "%s expects (label, value)" call.Ast.sc_name
+  in
+  let current =
+    match List.assoc_opt label schedules with
+    | Some s -> s
+    | None -> Schedule.default
+  in
+  let* updated =
+    match call.Ast.sc_name with
+    | "configApplyPriorityUpdate" -> (
+        match Schedule.strategy_of_string value with
+        | Ok strategy -> Ok { current with Schedule.strategy }
+        | Error msg -> Error { pos; message = msg })
+    | "configApplyPriorityUpdateDelta" ->
+        let* delta = int_arg pos call.Ast.sc_name value in
+        Ok { current with Schedule.delta }
+    | "configBucketFusionThreshold" ->
+        let* fusion_threshold = int_arg pos call.Ast.sc_name value in
+        Ok { current with Schedule.fusion_threshold }
+    | "configNumBuckets" ->
+        let* num_open_buckets = int_arg pos call.Ast.sc_name value in
+        Ok { current with Schedule.num_open_buckets }
+    | "configApplyDirection" -> (
+        match Schedule.traversal_of_string value with
+        | Ok traversal -> Ok { current with Schedule.traversal }
+        | Error msg -> Error { pos; message = msg })
+    | "configApplyParallelization" -> (
+        (* Inherited GraphIt command: we honor the grain size of
+           dynamic-vertex-parallel via chunk_size and accept serial. *)
+        match value with
+        | "dynamic-vertex-parallel" -> Ok { current with Schedule.chunk_size = 64 }
+        | "static-vertex-parallel" -> Ok { current with Schedule.chunk_size = 1024 }
+        | "serial" -> Ok { current with Schedule.chunk_size = max_int }
+        | other -> err pos "unknown parallelization strategy %S" other)
+    | other -> err pos "unknown scheduling function %S" other
+  in
+  Ok ((label, updated) :: List.remove_assoc label schedules)
+
+let resolve calls =
+  let* schedules =
+    List.fold_left
+      (fun acc call ->
+        let* schedules = acc in
+        apply_call schedules call)
+      (Ok []) calls
+  in
+  (* Validate each label's final schedule. *)
+  List.fold_left
+    (fun acc (label, schedule) ->
+      let* validated = acc in
+      match Schedule.validate schedule with
+      | Ok s -> Ok ((label, s) :: validated)
+      | Error message ->
+          Error { pos = Pos.dummy; message = Printf.sprintf "label %s: %s" label message })
+    (Ok []) schedules
+
+let schedule_for label resolved =
+  match label with
+  | None -> Schedule.default
+  | Some l -> (
+      match List.assoc_opt l resolved with
+      | Some s -> s
+      | None -> Schedule.default)

@@ -1,0 +1,21 @@
+(** Resolution of the scheduling-language section (Table 2 of the paper plus
+    the inherited GraphIt direction/parallelization commands) into
+    {!Ordered.Schedule.t} values, one per label. *)
+
+type error = {
+  pos : Pos.t;
+  message : string;
+}
+
+val pp_error : Format.formatter -> error -> unit
+
+(** [resolve calls] folds the schedule chain into per-label schedules,
+    starting each label from {!Ordered.Schedule.default}. Unknown commands,
+    bad argument counts, and invalid values are errors; the final schedule
+    of each label is validated with {!Ordered.Schedule.validate}. *)
+val resolve :
+  Ast.schedule_call list -> ((string * Ordered.Schedule.t) list, error) result
+
+(** [schedule_for label resolved] is the schedule configured for [label],
+    or the default when the label was never configured. *)
+val schedule_for : string option -> (string * Ordered.Schedule.t) list -> Ordered.Schedule.t

@@ -1,0 +1,124 @@
+type t =
+  | Ident of string
+  | Int_lit of int
+  | String_lit of string
+  | Label of string
+  | Kw_element
+  | Kw_const
+  | Kw_func
+  | Kw_extern
+  | Kw_var
+  | Kw_end
+  | Kw_while
+  | Kw_if
+  | Kw_else
+  | Kw_delete
+  | Kw_new
+  | Kw_schedule
+  | Kw_true
+  | Kw_false
+  | Kw_and
+  | Kw_or
+  | Kw_not
+  | Lparen
+  | Rparen
+  | Lbrace
+  | Rbrace
+  | Lbracket
+  | Rbracket
+  | Colon
+  | Semicolon
+  | Comma
+  | Dot
+  | Arrow
+  | Assign
+  | Min_assign
+  | Max_assign
+  | Plus_assign
+  | Eq
+  | Neq
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Plus
+  | Minus
+  | Star
+  | Slash
+  | Percent_op
+  | Eof
+
+type located = {
+  token : t;
+  pos : Pos.t;
+}
+
+let describe = function
+  | Ident s -> Printf.sprintf "identifier %S" s
+  | Int_lit i -> Printf.sprintf "integer %d" i
+  | String_lit s -> Printf.sprintf "string %S" s
+  | Label s -> Printf.sprintf "label #%s#" s
+  | Kw_element -> "'element'"
+  | Kw_const -> "'const'"
+  | Kw_func -> "'func'"
+  | Kw_extern -> "'extern'"
+  | Kw_var -> "'var'"
+  | Kw_end -> "'end'"
+  | Kw_while -> "'while'"
+  | Kw_if -> "'if'"
+  | Kw_else -> "'else'"
+  | Kw_delete -> "'delete'"
+  | Kw_new -> "'new'"
+  | Kw_schedule -> "'schedule'"
+  | Kw_true -> "'true'"
+  | Kw_false -> "'false'"
+  | Kw_and -> "'and'"
+  | Kw_or -> "'or'"
+  | Kw_not -> "'not'"
+  | Lparen -> "'('"
+  | Rparen -> "')'"
+  | Lbrace -> "'{'"
+  | Rbrace -> "'}'"
+  | Lbracket -> "'['"
+  | Rbracket -> "']'"
+  | Colon -> "':'"
+  | Semicolon -> "';'"
+  | Comma -> "','"
+  | Dot -> "'.'"
+  | Arrow -> "'->'"
+  | Assign -> "'='"
+  | Min_assign -> "'min='"
+  | Max_assign -> "'max='"
+  | Plus_assign -> "'+='"
+  | Eq -> "'=='"
+  | Neq -> "'!='"
+  | Lt -> "'<'"
+  | Le -> "'<='"
+  | Gt -> "'>'"
+  | Ge -> "'>='"
+  | Plus -> "'+'"
+  | Minus -> "'-'"
+  | Star -> "'*'"
+  | Slash -> "'/'"
+  | Percent_op -> "'%'"
+  | Eof -> "end of input"
+
+let keyword_of_string = function
+  | "element" -> Some Kw_element
+  | "const" -> Some Kw_const
+  | "func" -> Some Kw_func
+  | "extern" -> Some Kw_extern
+  | "var" -> Some Kw_var
+  | "end" -> Some Kw_end
+  | "while" -> Some Kw_while
+  | "if" -> Some Kw_if
+  | "else" -> Some Kw_else
+  | "delete" -> Some Kw_delete
+  | "new" -> Some Kw_new
+  | "schedule" -> Some Kw_schedule
+  | "true" -> Some Kw_true
+  | "false" -> Some Kw_false
+  | "and" -> Some Kw_and
+  | "or" -> Some Kw_or
+  | "not" -> Some Kw_not
+  | _ -> None

@@ -1,0 +1,65 @@
+(** Tokens of the GraphIt algorithm and scheduling languages. *)
+
+type t =
+  | Ident of string
+  | Int_lit of int
+  | String_lit of string
+  | Label of string  (** [#s1#] *)
+  (* Keywords *)
+  | Kw_element
+  | Kw_const
+  | Kw_func
+  | Kw_extern
+  | Kw_var
+  | Kw_end
+  | Kw_while
+  | Kw_if
+  | Kw_else
+  | Kw_delete
+  | Kw_new
+  | Kw_schedule
+  | Kw_true
+  | Kw_false
+  | Kw_and
+  | Kw_or
+  | Kw_not
+  (* Punctuation and operators *)
+  | Lparen
+  | Rparen
+  | Lbrace
+  | Rbrace
+  | Lbracket
+  | Rbracket
+  | Colon
+  | Semicolon
+  | Comma
+  | Dot
+  | Arrow  (** [->] in schedule chains *)
+  | Assign  (** [=] *)
+  | Min_assign  (** [min=] *)
+  | Max_assign  (** [max=] *)
+  | Plus_assign  (** [+=] *)
+  | Eq
+  | Neq
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Plus
+  | Minus
+  | Star
+  | Slash
+  | Percent_op  (** [%] would be a comment; modulo is spelled [mod] — unused *)
+  | Eof
+
+type located = {
+  token : t;
+  pos : Pos.t;
+}
+
+(** [describe t] is a human-readable rendering for error messages. *)
+val describe : t -> string
+
+(** [keyword_of_string s] recognizes keywords; [None] for plain
+    identifiers. *)
+val keyword_of_string : string -> t option

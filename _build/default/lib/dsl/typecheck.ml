@@ -1,0 +1,449 @@
+type error = {
+  pos : Pos.t;
+  message : string;
+}
+
+let pp_error ppf e = Format.fprintf ppf "%a: %s" Pos.pp e.pos e.message
+
+(* Internal checker types: [Unknown] unifies with anything (used for
+   intrinsics like [load] whose edgeset element types come from the
+   declaration they initialize). *)
+type ty =
+  | Unit
+  | Unknown
+  | Argv
+  | Func of string  (* a user function referenced by name *)
+  | T of Ast.typ
+
+let rec compatible a b =
+  match (a, b) with
+  | Unknown, _ | _, Unknown -> true
+  | Unit, Unit -> true
+  | Argv, Argv -> true
+  | Func f, Func g -> f = g
+  | T x, T y -> compatible_typ x y
+  | _ -> false
+
+and compatible_typ x y =
+  match (x, y) with
+  (* Element values are vertex ids: allow int <-> element coercion, as
+     GraphIt does for vertex arguments. *)
+  | Ast.T_int, Ast.T_element _ | Ast.T_element _, Ast.T_int -> true
+  | ( Ast.T_edgeset { element = e1; src = s1; dst = d1; weighted = _ },
+      Ast.T_edgeset { element = e2; src = s2; dst = d2; weighted = _ } ) ->
+      e1 = e2 && s1 = s2 && d1 = d2
+  | x, y -> Ast.equal_typ x y
+
+let describe = function
+  | Unit -> "unit"
+  | Unknown -> "_"
+  | Argv -> "argv"
+  | Func f -> Printf.sprintf "function %s" f
+  | T t -> Ast.show_typ t
+
+type env = {
+  program : Ast.program;
+  globals : (string, ty) Hashtbl.t;
+  mutable errors : error list;
+}
+
+let add_error env pos message = env.errors <- { pos; message } :: env.errors
+
+let lookup env locals name =
+  match List.assoc_opt name locals with
+  | Some t -> Some t
+  | None -> (
+      match Hashtbl.find_opt env.globals name with
+      | Some t -> Some t
+      | None ->
+          if name = "argv" then Some Argv
+          else if name = "INT_MAX" then Some (T Ast.T_int)
+          else if Ast.find_func env.program name <> None then Some (Func name)
+          else None)
+
+let is_element env name = List.mem name env.program.Ast.elements
+
+let check_element env pos name =
+  if not (is_element env name) then
+    add_error env pos (Printf.sprintf "unknown element type %S" name)
+
+let rec check_declared_type env pos = function
+  | Ast.T_int | Ast.T_bool | Ast.T_string -> ()
+  | Ast.T_element name -> check_element env pos name
+  | Ast.T_vector (element, value) ->
+      check_element env pos element;
+      check_declared_type env pos value
+  | Ast.T_vertexset element -> check_element env pos element
+  | Ast.T_edgeset { element; src; dst; weighted = _ } ->
+      check_element env pos element;
+      check_element env pos src;
+      check_element env pos dst
+  | Ast.T_priority_queue (element, value) ->
+      check_element env pos element;
+      check_declared_type env pos value
+
+(* ---------------- expressions ---------------- *)
+
+let vector_value_type = function
+  | T (Ast.T_vector (_, value)) -> T value
+  | _ -> Unknown
+
+let rec infer env locals (e : Ast.expr) : ty =
+  match e.Ast.desc with
+  | Ast.Int_lit _ -> T Ast.T_int
+  | Ast.Bool_lit _ -> T Ast.T_bool
+  | Ast.String_lit _ -> T Ast.T_string
+  | Ast.Var name -> (
+      match lookup env locals name with
+      | Some t -> t
+      | None ->
+          add_error env e.Ast.pos (Printf.sprintf "unbound identifier %S" name);
+          Unknown)
+  | Ast.Index (base, index) -> (
+      let base_ty = infer env locals base in
+      let index_ty = infer env locals index in
+      match base_ty with
+      | Argv ->
+          require env index e.Ast.pos index_ty (T Ast.T_int) "argv index";
+          T Ast.T_string
+      | T (Ast.T_vector (element, value)) ->
+          if
+            not
+              (compatible index_ty (T Ast.T_int)
+              || compatible index_ty (T (Ast.T_element element)))
+          then
+            add_error env e.Ast.pos
+              (Printf.sprintf "vector over %s indexed with %s" element
+                 (describe index_ty));
+          T value
+      | Unknown -> Unknown
+      | t ->
+          add_error env e.Ast.pos
+            (Printf.sprintf "%s cannot be indexed" (describe t));
+          Unknown)
+  | Ast.Binop (op, lhs, rhs) -> (
+      let lt = infer env locals lhs and rt = infer env locals rhs in
+      match op with
+      | Ast.Add | Ast.Sub | Ast.Mul | Ast.Div ->
+          require env lhs e.Ast.pos lt (T Ast.T_int) "arithmetic operand";
+          require env rhs e.Ast.pos rt (T Ast.T_int) "arithmetic operand";
+          T Ast.T_int
+      | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge ->
+          require env lhs e.Ast.pos lt (T Ast.T_int) "comparison operand";
+          require env rhs e.Ast.pos rt (T Ast.T_int) "comparison operand";
+          T Ast.T_bool
+      | Ast.Eq | Ast.Neq ->
+          if not (compatible lt rt) then
+            add_error env e.Ast.pos
+              (Printf.sprintf "cannot compare %s with %s" (describe lt) (describe rt));
+          T Ast.T_bool
+      | Ast.And | Ast.Or ->
+          require env lhs e.Ast.pos lt (T Ast.T_bool) "boolean operand";
+          require env rhs e.Ast.pos rt (T Ast.T_bool) "boolean operand";
+          T Ast.T_bool)
+  | Ast.Unop (Ast.Neg, operand) ->
+      require env operand e.Ast.pos (infer env locals operand) (T Ast.T_int) "negation";
+      T Ast.T_int
+  | Ast.Unop (Ast.Not, operand) ->
+      require env operand e.Ast.pos (infer env locals operand) (T Ast.T_bool) "'not'";
+      T Ast.T_bool
+  | Ast.Call (name, args) -> infer_call env locals e.Ast.pos name args
+  | Ast.Method_call (receiver, name, args) ->
+      infer_method env locals e.Ast.pos receiver name args
+  | Ast.New_vertexset { element; size } ->
+      check_element env e.Ast.pos element;
+      require env size e.Ast.pos (infer env locals size) (T Ast.T_int)
+        "vertexset size";
+      T (Ast.T_vertexset element)
+  | Ast.New_priority_queue { element; value_type; args } ->
+      check_element env e.Ast.pos element;
+      List.iter (fun a -> ignore (infer env locals a)) args;
+      (match args with
+      | [ _; direction; _ ] | [ _; direction; _; _ ] -> (
+          match direction.Ast.desc with
+          | Ast.String_lit ("lower_first" | "higher_first") -> ()
+          | Ast.String_lit other ->
+              add_error env direction.Ast.pos
+                (Printf.sprintf
+                   "priority direction must be \"lower_first\" or \"higher_first\", got %S"
+                   other)
+          | _ ->
+              add_error env direction.Ast.pos
+                "priority direction must be a string literal")
+      | _ ->
+          add_error env e.Ast.pos
+            "priority_queue constructor takes (allow_coarsening, direction, \
+             priority_vector [, start_vertex])");
+      T (Ast.T_priority_queue (element, value_type))
+
+and require env _expr pos actual expected what =
+  if not (compatible actual expected) then
+    add_error env pos
+      (Printf.sprintf "%s has type %s but %s was expected" what (describe actual)
+         (describe expected))
+
+and infer_call env locals pos name args =
+  let arg_types = List.map (infer env locals) args in
+  let arity n =
+    if List.length args <> n then
+      add_error env pos
+        (Printf.sprintf "%s expects %d argument(s), got %d" name n (List.length args))
+  in
+  match (name, arg_types) with
+  | "load", _ ->
+      arity 1;
+      List.iter2
+        (fun t a -> require env a pos t (T Ast.T_string) "load argument")
+        arg_types args;
+      Unknown (* an edgeset whose element types come from the declaration *)
+  | "symmetrize", _ ->
+      arity 1;
+      Unknown
+  | "print", _ ->
+      arity 1;
+      Unit
+  | "atoi", _ ->
+      arity 1;
+      List.iter2
+        (fun t a -> require env a pos t (T Ast.T_string) "atoi argument")
+        arg_types args;
+      T Ast.T_int
+  | _ -> (
+      match List.find_opt (fun x -> x.Ast.xname = name) env.program.Ast.externs with
+      | Some ext ->
+          if List.length ext.Ast.xparams <> List.length args then
+            add_error env pos
+              (Printf.sprintf "extern %s expects %d argument(s), got %d" name
+                 (List.length ext.Ast.xparams) (List.length args));
+          T ext.Ast.xreturn
+      | None ->
+          add_error env pos (Printf.sprintf "unknown function %S" name);
+          Unknown)
+
+and infer_method env locals pos receiver name args =
+  let receiver_ty = infer env locals receiver in
+  let arg_types = List.map (infer env locals) args in
+  let arity n =
+    if List.length args <> n then
+      add_error env pos
+        (Printf.sprintf "%s expects %d argument(s), got %d" name n (List.length args))
+  in
+  let vertex_arg i =
+    match List.nth_opt arg_types i with
+    | Some t ->
+        if not (compatible t (T Ast.T_int)) then
+          add_error env pos
+            (Printf.sprintf "argument %d of %s must be a vertex" (i + 1) name)
+    | None -> ()
+  in
+  match receiver_ty with
+  | T (Ast.T_priority_queue _) | Unknown -> (
+      match name with
+      | "finished" ->
+          arity 0;
+          T Ast.T_bool
+      | "finishedVertex" ->
+          arity 1;
+          vertex_arg 0;
+          T Ast.T_bool
+      | "dequeueReadySet" ->
+          arity 0;
+          T (Ast.T_vertexset "Vertex")
+      | "getCurrentPriority" | "get_current_priority" ->
+          arity 0;
+          T Ast.T_int
+      | "updatePriorityMin" | "updatePriorityMax" ->
+          if List.length args <> 2 && List.length args <> 3 then
+            add_error env pos
+              (Printf.sprintf "%s takes (vertex, [old_value,] new_value)" name);
+          vertex_arg 0;
+          Unit
+      | "updatePrioritySum" ->
+          if List.length args <> 2 && List.length args <> 3 then
+            add_error env pos
+              "updatePrioritySum takes (vertex, sum_diff [, min_threshold])";
+          vertex_arg 0;
+          Unit
+      | _ ->
+          add_error env pos (Printf.sprintf "priority queues have no method %S" name);
+          Unknown)
+  | T (Ast.T_edgeset _) -> (
+      match name with
+      | "from" ->
+          arity 1;
+          (match arg_types with
+          | [ T (Ast.T_vertexset _) ] | [ Unknown ] -> ()
+          | _ -> add_error env pos "from() expects a vertexset");
+          receiver_ty
+      | "applyUpdatePriority" ->
+          arity 1;
+          (match (args, arg_types) with
+          | [ { Ast.desc = Ast.Var fname; _ } ], _ -> (
+              match Ast.find_func env.program fname with
+              | Some f ->
+                  let n = List.length f.Ast.params in
+                  if n <> 2 && n <> 3 then
+                    add_error env pos
+                      (Printf.sprintf
+                         "user function %s must take (src, dst [, weight])" fname)
+              | None ->
+                  add_error env pos (Printf.sprintf "unknown user function %S" fname))
+          | _ -> add_error env pos "applyUpdatePriority expects a function name");
+          Unit
+      | "getOutDegrees" ->
+          arity 0;
+          T (Ast.T_vector ("Vertex", Ast.T_int))
+      | "getMaxWeight" ->
+          arity 0;
+          T Ast.T_int
+      | "applyModified" ->
+          arity 2;
+          (match args with
+          | [ { Ast.desc = Ast.Var fname; _ }; { Ast.desc = Ast.Var vec; _ } ] ->
+              (match Ast.find_func env.program fname with
+              | Some f ->
+                  let n = List.length f.Ast.params in
+                  if n <> 2 && n <> 3 then
+                    add_error env pos
+                      (Printf.sprintf
+                         "user function %s must take (src, dst [, weight])" fname)
+              | None ->
+                  add_error env pos (Printf.sprintf "unknown user function %S" fname));
+              (match lookup env locals vec with
+              | Some (T (Ast.T_vector _)) | Some Unknown -> ()
+              | _ ->
+                  add_error env pos
+                    "applyModified's second argument must be a tracked vector")
+          | _ ->
+              add_error env pos
+                "applyModified expects (function_name, tracked_vector)");
+          T (Ast.T_vertexset "Vertex")
+      | _ ->
+          add_error env pos (Printf.sprintf "edgesets have no method %S" name);
+          Unknown)
+  | T (Ast.T_vertexset _) -> (
+      match name with
+      | "addVertex" ->
+          arity 1;
+          vertex_arg 0;
+          Unit
+      | "getVertexSetSize" ->
+          arity 0;
+          T Ast.T_int
+      | _ ->
+          add_error env pos (Printf.sprintf "vertexsets have no method %S" name);
+          Unknown)
+  | t ->
+      add_error env pos
+        (Printf.sprintf "%s has no method %S" (describe t) name);
+      Unknown
+
+(* ---------------- statements ---------------- *)
+
+let rec check_stmt env locals (s : Ast.stmt) : (string * ty) list =
+  match s.Ast.sdesc with
+  | Ast.S_var_decl (name, typ, init) ->
+      check_declared_type env s.Ast.spos typ;
+      (match init with
+      | Some e ->
+          let t = infer env locals e in
+          require env e s.Ast.spos t (T typ) (Printf.sprintf "initializer of %s" name)
+      | None -> ());
+      (name, T typ) :: locals
+  | Ast.S_assign (name, e) ->
+      let t = infer env locals e in
+      (match lookup env locals name with
+      | Some target -> require env e s.Ast.spos t target (Printf.sprintf "assignment to %s" name)
+      | None -> add_error env s.Ast.spos (Printf.sprintf "unbound identifier %S" name));
+      locals
+  | Ast.S_index_assign (vec, idx, e) ->
+      let vec_ty =
+        match lookup env locals vec with
+        | Some t -> t
+        | None ->
+            add_error env s.Ast.spos (Printf.sprintf "unbound identifier %S" vec);
+            Unknown
+      in
+      ignore (infer env locals idx);
+      let value_ty = infer env locals e in
+      require env e s.Ast.spos value_ty (vector_value_type vec_ty)
+        (Printf.sprintf "assignment into %s" vec);
+      locals
+  | Ast.S_reduce_assign (_rd, vec, idx, e) ->
+      let vec_ty =
+        match lookup env locals vec with
+        | Some t -> t
+        | None ->
+            add_error env s.Ast.spos (Printf.sprintf "unbound identifier %S" vec);
+            Unknown
+      in
+      (match vec_ty with
+      | T (Ast.T_vector _) | Unknown -> ()
+      | t ->
+          add_error env s.Ast.spos
+            (Printf.sprintf "reduction target %s is %s, not a vector" vec (describe t)));
+      ignore (infer env locals idx);
+      let value_ty = infer env locals e in
+      require env e s.Ast.spos value_ty (vector_value_type vec_ty)
+        (Printf.sprintf "reduction into %s" vec);
+      locals
+  | Ast.S_expr e ->
+      ignore (infer env locals e);
+      locals
+  | Ast.S_while (cond, body) ->
+      let t = infer env locals cond in
+      require env cond s.Ast.spos t (T Ast.T_bool) "while condition";
+      ignore (check_block env locals body);
+      locals
+  | Ast.S_if (cond, then_branch, else_branch) ->
+      let t = infer env locals cond in
+      require env cond s.Ast.spos t (T Ast.T_bool) "if condition";
+      ignore (check_block env locals then_branch);
+      ignore (check_block env locals else_branch);
+      locals
+  | Ast.S_delete name ->
+      (match lookup env locals name with
+      | Some (T (Ast.T_vertexset _)) | Some Unknown -> ()
+      | Some t ->
+          add_error env s.Ast.spos
+            (Printf.sprintf "delete expects a vertexset, %s is %s" name (describe t))
+      | None -> add_error env s.Ast.spos (Printf.sprintf "unbound identifier %S" name));
+      locals
+
+and check_block env locals stmts =
+  List.fold_left (fun locals s -> check_stmt env locals s) locals stmts
+
+let check program =
+  let env = { program; globals = Hashtbl.create 16; errors = [] } in
+  (* Globals: constants. *)
+  List.iter
+    (fun (c : Ast.const_decl) ->
+      check_declared_type env c.Ast.cpos c.Ast.ctyp;
+      if Hashtbl.mem env.globals c.Ast.cname then
+        add_error env c.Ast.cpos (Printf.sprintf "duplicate constant %S" c.Ast.cname);
+      Hashtbl.replace env.globals c.Ast.cname (T c.Ast.ctyp))
+    program.Ast.consts;
+  (* Constant initializers (INT_MAX as a vector initializer is idiomatic). *)
+  List.iter
+    (fun (c : Ast.const_decl) ->
+      match (c.Ast.cinit, c.Ast.ctyp) with
+      | None, _ -> ()
+      | Some { Ast.desc = Ast.Var "INT_MAX"; _ }, Ast.T_vector (_, Ast.T_int) -> ()
+      | Some { Ast.desc = Ast.Int_lit _; _ }, Ast.T_vector (_, Ast.T_int) -> ()
+      | Some e, _ ->
+          let t = infer env [] e in
+          require env e c.Ast.cpos t (T c.Ast.ctyp)
+            (Printf.sprintf "initializer of %s" c.Ast.cname))
+    program.Ast.consts;
+  (* Function bodies. *)
+  List.iter
+    (fun (f : Ast.func_decl) ->
+      List.iter (fun (_, t) -> check_declared_type env f.Ast.fpos t) f.Ast.params;
+      let locals = List.map (fun (name, t) -> (name, T t)) f.Ast.params in
+      ignore (check_block env locals f.Ast.body))
+    program.Ast.funcs;
+  if Ast.find_func program "main" = None then
+    add_error env Pos.dummy "program has no 'main' function";
+  match List.rev env.errors with
+  | [] -> Ok ()
+  | errors -> Error errors

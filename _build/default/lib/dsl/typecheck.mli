@@ -1,0 +1,18 @@
+(** Type checking for the GraphIt DSL subset.
+
+    Validates declarations, statement and expression types, intrinsic and
+    priority-queue operator signatures (Table 1 of the paper), and scoping.
+    Later compiler passes ({!Analysis}, {!Lower}) assume a well-typed
+    program. *)
+
+type error = {
+  pos : Pos.t;
+  message : string;
+}
+
+(** [pp_error] prints ["line:col: message"]. *)
+val pp_error : Format.formatter -> error -> unit
+
+(** [check program] returns all detected type errors (empty list = well
+    typed). *)
+val check : Ast.program -> (unit, error list) result

@@ -1,0 +1,1 @@
+lib/frontier/vertex_subset.ml: Array Graphs Support

@@ -1,0 +1,91 @@
+module Bitset = Support.Bitset
+module Int_vec = Support.Int_vec
+
+type t = {
+  n : int;
+  mutable sparse : int array option;
+  mutable dense : Bitset.t option;
+  mutable card : int;
+}
+
+let check_members n ids =
+  let seen = Bitset.create n in
+  Array.iter
+    (fun v ->
+      if v < 0 || v >= n then invalid_arg "Vertex_subset: vertex out of range";
+      if Bitset.mem seen v then invalid_arg "Vertex_subset: duplicate member";
+      Bitset.add seen v)
+    ids;
+  seen
+
+let of_array ~num_vertices ids =
+  let dense = check_members num_vertices ids in
+  { n = num_vertices; sparse = Some (Array.copy ids); dense = Some dense;
+    card = Array.length ids }
+
+let of_vec ~num_vertices vec = of_array ~num_vertices (Int_vec.to_array vec)
+
+let unsafe_of_array ~num_vertices ids =
+  { n = num_vertices; sparse = Some ids; dense = None; card = Array.length ids }
+let singleton ~num_vertices v = of_array ~num_vertices [| v |]
+let empty ~num_vertices = of_array ~num_vertices [||]
+
+let full ~num_vertices =
+  of_array ~num_vertices (Array.init num_vertices (fun i -> i))
+
+let num_vertices t = t.n
+let cardinal t = t.card
+let is_empty t = t.card = 0
+
+let densify t =
+  match t.dense with
+  | Some flags -> flags
+  | None ->
+      let flags = Bitset.create t.n in
+      (match t.sparse with
+      | Some ids -> Array.iter (Bitset.add flags) ids
+      | None -> assert false);
+      t.dense <- Some flags;
+      flags
+
+let sparsify t =
+  match t.sparse with
+  | Some ids -> ids
+  | None ->
+      let flags =
+        match t.dense with
+        | Some flags -> flags
+        | None -> assert false
+      in
+      let ids = Array.make t.card 0 in
+      let k = ref 0 in
+      Bitset.iter
+        (fun v ->
+          ids.(!k) <- v;
+          incr k)
+        flags;
+      t.sparse <- Some ids;
+      ids
+
+let mem t v = Bitset.mem (densify t) v
+
+let iter f t =
+  match t.sparse with
+  | Some ids -> Array.iter f ids
+  | None -> Bitset.iter f (densify t)
+
+let to_sorted_array t =
+  let ids = Array.copy (sparsify t) in
+  Array.sort compare ids;
+  ids
+
+let sparse_members t = sparsify t
+let dense_flags t = densify t
+
+let out_degree_sum graph t =
+  let total = ref 0 in
+  iter (fun v -> total := !total + Graphs.Csr.out_degree graph v) t;
+  !total
+
+let equal_members a b =
+  a.n = b.n && a.card = b.card && to_sorted_array a = to_sorted_array b

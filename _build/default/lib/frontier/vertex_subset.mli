@@ -1,0 +1,69 @@
+(** Sets of active vertices (the [vertexset] of the DSL, Ligra's
+    vertexSubset).
+
+    A subset has a dual representation: sparse (an array of vertex ids, good
+    for small frontiers and push traversal) or dense (a membership bitmap,
+    good for large frontiers and pull traversal). Conversions are explicit;
+    the engine picks the representation dictated by the schedule's traversal
+    direction. *)
+
+type t
+
+(** [of_array ~num_vertices ids] is a sparse subset. Ids must be unique and
+    in range; this is checked. *)
+val of_array : num_vertices:int -> int array -> t
+
+(** [of_vec ~num_vertices vec] is a sparse subset taking ownership of the
+    elements of [vec] (not the vector itself). *)
+val of_vec : num_vertices:int -> Support.Int_vec.t -> t
+
+(** [unsafe_of_array ~num_vertices ids] is a sparse subset that takes
+    ownership of [ids] without copying or validating. The caller must
+    guarantee uniqueness and range; bucket extraction already does, and
+    skipping the O(n) check matters on road networks with tens of thousands
+    of tiny frontiers. *)
+val unsafe_of_array : num_vertices:int -> int array -> t
+
+(** [singleton ~num_vertices v] contains exactly [v]. *)
+val singleton : num_vertices:int -> int -> t
+
+(** [empty ~num_vertices] contains nothing. *)
+val empty : num_vertices:int -> t
+
+(** [full ~num_vertices] contains every vertex. *)
+val full : num_vertices:int -> t
+
+(** [num_vertices t] is the universe size. *)
+val num_vertices : t -> int
+
+(** [cardinal t] is the number of members. *)
+val cardinal : t -> int
+
+(** [is_empty t] is [cardinal t = 0]. *)
+val is_empty : t -> bool
+
+(** [mem t v] tests membership. O(1) dense; forces densification the first
+    time it is called on a sparse subset. *)
+val mem : t -> int -> bool
+
+(** [iter f t] applies [f] to every member. Order is unspecified. *)
+val iter : (int -> unit) -> t -> unit
+
+(** [to_sorted_array t] is the members in increasing order (fresh array). *)
+val to_sorted_array : t -> int array
+
+(** [sparse_members t] is the members as an array in unspecified order,
+    without copying when the subset is already sparse. Do not mutate. *)
+val sparse_members : t -> int array
+
+(** [dense_flags t] is the membership bitmap, densifying if needed. Do not
+    mutate. *)
+val dense_flags : t -> Support.Bitset.t
+
+(** [out_degree_sum graph t] sums the out-degrees of the members — the
+    quantity Julienne computes each round to drive direction selection
+    (§6.2 of the paper). *)
+val out_degree_sum : Graphs.Csr.t -> t -> int
+
+(** [equal_members a b] tests extensional equality. *)
+val equal_members : t -> t -> bool

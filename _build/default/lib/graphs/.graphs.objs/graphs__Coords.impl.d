@@ -1,0 +1,1 @@
+lib/graphs/coords.ml: Array

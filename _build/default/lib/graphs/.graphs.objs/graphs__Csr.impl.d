@@ -1,0 +1,1 @@
+lib/graphs/csr.ml: Array Edge_list

@@ -1,0 +1,1 @@
+lib/graphs/csr.mli: Edge_list

@@ -1,0 +1,1 @@
+lib/graphs/edge_list.mli:

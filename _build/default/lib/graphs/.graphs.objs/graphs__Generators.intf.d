@@ -1,0 +1,1 @@
+lib/graphs/generators.mli: Coords Edge_list Support

@@ -1,0 +1,1 @@
+lib/graphs/graph_io.ml: Array Coords Edge_list Filename Fun List Printf String

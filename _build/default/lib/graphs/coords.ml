@@ -1,0 +1,19 @@
+type t = {
+  xs : float array;
+  ys : float array;
+}
+
+let create xs ys =
+  if Array.length xs <> Array.length ys then
+    invalid_arg "Coords.create: length mismatch";
+  { xs; ys }
+
+let num_vertices c = Array.length c.xs
+let x c v = c.xs.(v)
+let y c v = c.ys.(v)
+
+let euclidean c u v =
+  let dx = c.xs.(u) -. c.xs.(v) and dy = c.ys.(u) -. c.ys.(v) in
+  sqrt ((dx *. dx) +. (dy *. dy))
+
+let scaled_distance ~scale c u v = int_of_float (scale *. euclidean c u v)

@@ -1,0 +1,23 @@
+(** Per-vertex planar coordinates, used by the A* heuristic the way the paper
+    uses OpenStreetMap longitude/latitude data. *)
+
+type t
+
+(** [create xs ys] pairs the coordinate arrays; lengths must match. *)
+val create : float array -> float array -> t
+
+(** [num_vertices c] is the number of vertices carrying coordinates. *)
+val num_vertices : t -> int
+
+(** [x c v] and [y c v] read vertex [v]'s position. *)
+val x : t -> int -> float
+
+val y : t -> int -> float
+
+(** [euclidean c u v] is the straight-line distance between [u] and [v]. *)
+val euclidean : t -> int -> int -> float
+
+(** [scaled_distance ~scale c u v] is [floor (scale * euclidean c u v)] as an
+    integer, the admissible heuristic used by A* when edge weights are
+    [ceil (scale * length)]. *)
+val scaled_distance : scale:float -> t -> int -> int -> int

@@ -1,0 +1,90 @@
+type t = {
+  n : int;
+  offsets : int array;
+  targets : int array;
+  weights : int array;
+}
+
+let of_edge_list (el : Edge_list.t) =
+  let n = el.Edge_list.num_vertices in
+  let edges = el.Edge_list.edges in
+  let m = Array.length edges in
+  let degrees = Array.make n 0 in
+  Array.iter (fun e -> degrees.(e.Edge_list.src) <- degrees.(e.Edge_list.src) + 1) edges;
+  let offsets = Array.make (n + 1) 0 in
+  for u = 0 to n - 1 do
+    offsets.(u + 1) <- offsets.(u) + degrees.(u)
+  done;
+  let targets = Array.make m 0 in
+  let weights = Array.make m 0 in
+  let cursor = Array.copy offsets in
+  (* Stable fill, then sort each neighbor list by target id so lookups can
+     binary-search and traversals are cache-friendly. *)
+  Array.iter
+    (fun { Edge_list.src; dst; weight } ->
+      let slot = cursor.(src) in
+      targets.(slot) <- dst;
+      weights.(slot) <- weight;
+      cursor.(src) <- slot + 1)
+    edges;
+  for u = 0 to n - 1 do
+    let lo = offsets.(u) and hi = offsets.(u + 1) in
+    if hi - lo > 1 then begin
+      let pairs = Array.init (hi - lo) (fun i -> (targets.(lo + i), weights.(lo + i))) in
+      Array.sort compare pairs;
+      Array.iteri
+        (fun i (dst, w) ->
+          targets.(lo + i) <- dst;
+          weights.(lo + i) <- w)
+        pairs
+    end
+  done;
+  { n; offsets; targets; weights }
+
+let num_vertices g = g.n
+let num_edges g = Array.length g.targets
+let out_degree g u = g.offsets.(u + 1) - g.offsets.(u)
+
+let iter_out g u f =
+  for i = g.offsets.(u) to g.offsets.(u + 1) - 1 do
+    f (Array.unsafe_get g.targets i) (Array.unsafe_get g.weights i)
+  done
+
+let fold_out g u f acc =
+  let acc = ref acc in
+  for i = g.offsets.(u) to g.offsets.(u + 1) - 1 do
+    acc := f !acc (Array.unsafe_get g.targets i) (Array.unsafe_get g.weights i)
+  done;
+  !acc
+
+let edge_range g u = (g.offsets.(u), g.offsets.(u + 1))
+let edge_target g i = Array.unsafe_get g.targets i
+let edge_weight g i = Array.unsafe_get g.weights i
+
+let to_edge_list g =
+  let m = num_edges g in
+  let edges = Array.make m { Edge_list.src = 0; dst = 0; weight = 1 } in
+  let k = ref 0 in
+  for u = 0 to g.n - 1 do
+    for i = g.offsets.(u) to g.offsets.(u + 1) - 1 do
+      edges.(!k) <- { Edge_list.src = u; dst = g.targets.(i); weight = g.weights.(i) };
+      incr k
+    done
+  done;
+  { Edge_list.num_vertices = g.n; edges }
+
+let transpose g = of_edge_list (Edge_list.reverse (to_edge_list g))
+
+let max_weight g = Array.fold_left max 0 g.weights
+
+let out_degrees g = Array.init g.n (fun u -> out_degree g u)
+
+let mem_edge g u v =
+  let rec search lo hi =
+    if lo >= hi then false
+    else
+      let mid = (lo + hi) / 2 in
+      let t = g.targets.(mid) in
+      if t = v then true else if t < v then search (mid + 1) hi else search lo mid
+  in
+  search g.offsets.(u) g.offsets.(u + 1)

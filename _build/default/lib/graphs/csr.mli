@@ -1,0 +1,49 @@
+(** Compressed-sparse-row weighted digraphs, the in-memory representation
+    every engine traverses (the [WGraph] of the paper's generated code). *)
+
+type t
+
+(** [of_edge_list el] builds the CSR form with a counting sort; neighbor
+    lists are ordered by destination id. *)
+val of_edge_list : Edge_list.t -> t
+
+(** [num_vertices g] is |V|. *)
+val num_vertices : t -> int
+
+(** [num_edges g] is the number of directed edges. *)
+val num_edges : t -> int
+
+(** [out_degree g u] is the number of outgoing edges of [u]. *)
+val out_degree : t -> int -> int
+
+(** [iter_out g u f] applies [f dst weight] to every outgoing edge of [u]. *)
+val iter_out : t -> int -> (int -> int -> unit) -> unit
+
+(** [fold_out g u f acc] folds over the outgoing edges of [u]. *)
+val fold_out : t -> int -> ('a -> int -> int -> 'a) -> 'a -> 'a
+
+(** [edge_range g u] is the half-open index range [(lo, hi)] of [u]'s edges
+    in the flat arrays, for chunked traversal. *)
+val edge_range : t -> int -> int * int
+
+(** [edge_target g i] and [edge_weight g i] read the flat edge arrays at
+    index [i] in [0, num_edges). *)
+val edge_target : t -> int -> int
+
+val edge_weight : t -> int -> int
+
+(** [transpose g] reverses every edge (used by DensePull traversal). *)
+val transpose : t -> t
+
+(** [to_edge_list g] recovers the edge list. *)
+val to_edge_list : t -> Edge_list.t
+
+(** [max_weight g] is the largest edge weight, or [0] for an edgeless
+    graph. *)
+val max_weight : t -> int
+
+(** [out_degrees g] is a fresh array of all out-degrees. *)
+val out_degrees : t -> int array
+
+(** [mem_edge g u v] tests whether a [u -> v] edge exists (binary search). *)
+val mem_edge : t -> int -> int -> bool

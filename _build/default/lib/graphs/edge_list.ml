@@ -1,0 +1,66 @@
+type edge = {
+  src : int;
+  dst : int;
+  weight : int;
+}
+
+type t = {
+  num_vertices : int;
+  edges : edge array;
+}
+
+let create ~num_vertices edges =
+  Array.iter
+    (fun { src; dst; weight } ->
+      if src < 0 || src >= num_vertices || dst < 0 || dst >= num_vertices then
+        invalid_arg "Edge_list.create: endpoint out of range";
+      if weight <= 0 then invalid_arg "Edge_list.create: weight must be positive")
+    edges;
+  { num_vertices; edges }
+
+let num_edges t = Array.length t.edges
+
+let map_weights f t =
+  { t with edges = Array.map (fun e -> { e with weight = f e }) t.edges }
+
+let reverse t =
+  { t with edges = Array.map (fun e -> { e with src = e.dst; dst = e.src }) t.edges }
+
+let compare_endpoints a b =
+  match compare a.src b.src with
+  | 0 -> (
+      match compare a.dst b.dst with
+      | 0 -> compare a.weight b.weight
+      | c -> c)
+  | c -> c
+
+(* Sort by endpoints then sweep, keeping the cheapest copy of each parallel
+   edge and dropping self-loops. *)
+let dedup_edges edges =
+  let sorted = Array.copy edges in
+  Array.sort compare_endpoints sorted;
+  let out = ref [] in
+  let count = ref 0 in
+  Array.iter
+    (fun e ->
+      if e.src <> e.dst then
+        match !out with
+        | prev :: _ when prev.src = e.src && prev.dst = e.dst -> ()
+        | _ ->
+            out := e :: !out;
+            incr count)
+    sorted;
+  let result = Array.make !count { src = 0; dst = 0; weight = 1 } in
+  List.iteri (fun i e -> result.(!count - 1 - i) <- e) !out;
+  result
+
+let dedup t = { t with edges = dedup_edges t.edges }
+
+let symmetrized t =
+  let flipped = Array.map (fun e -> { e with src = e.dst; dst = e.src }) t.edges in
+  { t with edges = dedup_edges (Array.append t.edges flipped) }
+
+let concat a b =
+  if a.num_vertices <> b.num_vertices then
+    invalid_arg "Edge_list.concat: vertex universes differ";
+  { a with edges = Array.append a.edges b.edges }

@@ -1,0 +1,39 @@
+(** Weighted directed edge lists, the exchange format between generators,
+    file loaders, and the CSR builder. *)
+
+type edge = {
+  src : int;
+  dst : int;
+  weight : int;
+}
+
+type t = {
+  num_vertices : int;
+  edges : edge array;
+}
+
+(** [create ~num_vertices edges] validates that every endpoint lies in
+    [0, num_vertices) and every weight is positive. *)
+val create : num_vertices:int -> edge array -> t
+
+(** [num_edges t] is the number of directed edges. *)
+val num_edges : t -> int
+
+(** [map_weights f t] applies [f] to every edge's weight. *)
+val map_weights : (edge -> int) -> t -> t
+
+(** [reverse t] flips every edge. *)
+val reverse : t -> t
+
+(** [symmetrized t] is the undirected closure: both directions of every edge,
+    parallel edges deduplicated keeping the minimum weight, self-loops
+    dropped. This matches the paper's symmetrization for k-core and
+    SetCover. *)
+val symmetrized : t -> t
+
+(** [dedup t] removes parallel edges (keeping minimum weight) and
+    self-loops. *)
+val dedup : t -> t
+
+(** [concat a b] merges two edge lists over the same vertex universe. *)
+val concat : t -> t -> t

@@ -1,0 +1,140 @@
+module Rng = Support.Rng
+
+let edge src dst weight = { Edge_list.src; dst; weight }
+
+(* Standard R-MAT: recursively pick a quadrant per bit of the vertex id.
+   Partition probabilities (a, b, c, d) = (0.57, 0.19, 0.19, 0.05) with a
+   little per-level noise, as in the Graph500 generator. *)
+let rmat ~rng ~scale ~edge_factor () =
+  if scale < 1 then invalid_arg "Generators.rmat: scale must be >= 1";
+  let n = 1 lsl scale in
+  let m = edge_factor * n in
+  let a = 0.57 and b = 0.19 and c = 0.19 in
+  let sample_edge () =
+    let src = ref 0 and dst = ref 0 in
+    for _level = 1 to scale do
+      let noise = 0.95 +. (0.1 *. Rng.float rng) in
+      let a' = a *. noise and b' = b *. noise and c' = c *. noise in
+      let r = Rng.float rng in
+      src := !src lsl 1;
+      dst := !dst lsl 1;
+      if r < a' then ()
+      else if r < a' +. b' then dst := !dst lor 1
+      else if r < a' +. b' +. c' then src := !src lor 1
+      else begin
+        src := !src lor 1;
+        dst := !dst lor 1
+      end
+    done;
+    (!src, !dst)
+  in
+  (* Permute ids so that high-degree vertices are not clustered at 0. *)
+  let perm = Array.init n (fun i -> i) in
+  Rng.shuffle rng perm;
+  let edges =
+    Array.init m (fun _ ->
+        let src, dst = sample_edge () in
+        edge perm.(src) perm.(dst) 1)
+  in
+  Edge_list.dedup (Edge_list.create ~num_vertices:n edges)
+
+let road_grid ~rng ~rows ~cols () =
+  if rows < 2 || cols < 2 then invalid_arg "Generators.road_grid: too small";
+  let n = rows * cols in
+  let id r c = (r * cols) + c in
+  let xs = Array.make n 0.0 and ys = Array.make n 0.0 in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      (* Jitter breaks the lattice symmetry so shortest paths are unique in
+         practice and A* has non-trivial geometry to exploit. *)
+      xs.(id r c) <- float_of_int c +. (0.4 *. (Rng.float rng -. 0.5));
+      ys.(id r c) <- float_of_int r +. (0.4 *. (Rng.float rng -. 0.5))
+    done
+  done;
+  let coords = Coords.create xs ys in
+  let scale = 100.0 in
+  let road_weight u v =
+    (* ceil(scale * length) >= floor(scale * length): the Euclidean heuristic
+       stays admissible (stretch >= 1). The bimodal stretch models road
+       classes — most segments are slow local roads, a minority are fast
+       highway-like links. The resulting weight variance is what makes
+       unordered relaxation pay heavily for ignoring priorities, as on real
+       road networks. *)
+    let stretch =
+      if Rng.float rng < 0.15 then 1.0 +. (0.2 *. Rng.float rng)
+      else 2.5 +. (3.0 *. Rng.float rng)
+    in
+    max 1 (int_of_float (ceil (scale *. stretch *. Coords.euclidean coords u v)))
+  in
+  let acc = ref [] in
+  let add u v =
+    let w = road_weight u v in
+    acc := edge u v w :: edge v u w :: !acc
+  in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then add (id r c) (id r (c + 1));
+      if r + 1 < rows then add (id r c) (id (r + 1) c)
+    done
+  done;
+  (* Sparse diagonal shortcuts: keeps the diameter large while breaking the
+     pure lattice structure, like highway segments. *)
+  let shortcuts = max 1 (n / 200) in
+  for _ = 1 to shortcuts do
+    let r = Rng.int rng (rows - 1) and c = Rng.int rng (cols - 1) in
+    add (id r c) (id (r + 1) (c + 1))
+  done;
+  let el = Edge_list.dedup (Edge_list.create ~num_vertices:n (Array.of_list !acc)) in
+  (el, coords)
+
+let erdos_renyi ~rng ~num_vertices ~num_edges () =
+  if num_vertices < 1 then invalid_arg "Generators.erdos_renyi: empty graph";
+  let edges =
+    Array.init num_edges (fun _ ->
+        edge (Rng.int rng num_vertices) (Rng.int rng num_vertices) 1)
+  in
+  Edge_list.dedup (Edge_list.create ~num_vertices edges)
+
+let assign_weights ~rng ~lo ~hi el =
+  if lo < 1 || hi <= lo then invalid_arg "Generators.assign_weights: bad range";
+  Edge_list.map_weights (fun _ -> Rng.int_range rng lo (hi - 1)) el
+
+let wbfs_weights ~rng el =
+  let n = el.Edge_list.num_vertices in
+  let log2n =
+    let rec go acc v = if v <= 1 then acc else go (acc + 1) (v / 2) in
+    go 0 n
+  in
+  assign_weights ~rng ~lo:1 ~hi:(max 2 log2n) el
+
+let path n =
+  Edge_list.create ~num_vertices:n
+    (Array.init (max 0 (n - 1)) (fun i -> edge i (i + 1) 1))
+
+let cycle n =
+  Edge_list.create ~num_vertices:n (Array.init n (fun i -> edge i ((i + 1) mod n) 1))
+
+let star n =
+  Edge_list.create ~num_vertices:n (Array.init (max 0 (n - 1)) (fun i -> edge 0 (i + 1) 1))
+
+let complete n =
+  let acc = ref [] in
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      if u <> v then acc := edge u v 1 :: !acc
+    done
+  done;
+  Edge_list.create ~num_vertices:n (Array.of_list !acc)
+
+let grid rows cols =
+  let id r c = (r * cols) + c in
+  let acc = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then
+        acc := edge (id r c) (id r (c + 1)) 1 :: edge (id r (c + 1)) (id r c) 1 :: !acc;
+      if r + 1 < rows then
+        acc := edge (id r c) (id (r + 1) c) 1 :: edge (id (r + 1) c) (id r c) 1 :: !acc
+    done
+  done;
+  Edge_list.create ~num_vertices:(rows * cols) (Array.of_list !acc)

@@ -1,0 +1,63 @@
+(** Synthetic graph workloads.
+
+    The paper evaluates on proprietary-scale social networks (Twitter,
+    Friendster, ...) and DIMACS road networks. Those datasets are not
+    available here, so each graph class is replaced by a generator that
+    reproduces the structural properties the evaluation depends on
+    (documented in DESIGN.md §3):
+
+    - {!rmat}: power-law degrees and small diameter, standing in for the
+      social networks — large frontiers, few buckets, heavy contention.
+    - {!road_grid}: bounded degree and large diameter with planar
+      coordinates, standing in for the road networks — thousands of tiny
+      rounds, the regime where bucket fusion matters, plus an admissible A*
+      heuristic.
+    - {!erdos_renyi} and the small fixed shapes support tests. *)
+
+(** [rmat ~rng ~scale ~edge_factor ()] is a Kronecker/R-MAT graph with
+    [2^scale] vertices and [edge_factor * 2^scale] directed edges using the
+    standard (0.57, 0.19, 0.19) partition probabilities, vertex ids
+    permuted. Weights are 1; assign real weights with {!assign_weights}. *)
+val rmat :
+  rng:Support.Rng.t -> scale:int -> edge_factor:int -> unit -> Edge_list.t
+
+(** [road_grid ~rng ~rows ~cols ()] is a perturbed 2D lattice road network:
+    4-neighbor connectivity (both directions), a small fraction of diagonal
+    shortcut edges, weights equal to [ceil (100 * euclidean_length)] so that
+    the Euclidean heuristic of {!Coords.scaled_distance} with scale 100 is
+    admissible. Also returns the vertex coordinates. *)
+val road_grid :
+  rng:Support.Rng.t -> rows:int -> cols:int -> unit -> Edge_list.t * Coords.t
+
+(** [erdos_renyi ~rng ~num_vertices ~num_edges ()] samples directed edges
+    uniformly (parallel edges deduplicated, so the result can hold slightly
+    fewer than [num_edges] edges). Weights are 1. *)
+val erdos_renyi :
+  rng:Support.Rng.t -> num_vertices:int -> num_edges:int -> unit -> Edge_list.t
+
+(** [assign_weights ~rng ~lo ~hi el] draws every weight uniformly from
+    [lo, hi). The paper's social-network configuration is [1, 1000); its
+    wBFS configuration is [1, log n). *)
+val assign_weights : rng:Support.Rng.t -> lo:int -> hi:int -> Edge_list.t -> Edge_list.t
+
+(** [wbfs_weights ~rng el] is [assign_weights] with the paper's wBFS range
+    [1, max 2 (log2 n)). *)
+val wbfs_weights : rng:Support.Rng.t -> Edge_list.t -> Edge_list.t
+
+(** Small deterministic shapes for tests. All weights are 1 unless stated. *)
+
+(** [path n] is the chain [0 -> 1 -> ... -> n-1]. *)
+val path : int -> Edge_list.t
+
+(** [cycle n] is the directed cycle on [n] vertices. *)
+val cycle : int -> Edge_list.t
+
+(** [star n] has edges from vertex 0 to each of [1..n-1]. *)
+val star : int -> Edge_list.t
+
+(** [complete n] has all [n * (n-1)] directed edges. *)
+val complete : int -> Edge_list.t
+
+(** [grid rows cols] is the unweighted 4-neighbor lattice with edges in both
+    directions. Vertex [(r, c)] has id [r * cols + c]. *)
+val grid : int -> int -> Edge_list.t

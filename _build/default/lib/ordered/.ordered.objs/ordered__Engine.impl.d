@@ -1,0 +1,1 @@
+lib/ordered/engine.ml: Array Atomic Bucketing Frontier Graphs Parallel Priority_queue Schedule Stats Support Trace

@@ -1,0 +1,1 @@
+lib/ordered/engine.mli: Graphs Parallel Priority_queue Schedule Stats Trace

@@ -1,0 +1,1 @@
+lib/ordered/priority_queue.ml: Array Bucketing Frontier Parallel Schedule

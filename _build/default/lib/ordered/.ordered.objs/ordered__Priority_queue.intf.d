@@ -1,0 +1,1 @@
+lib/ordered/priority_queue.mli: Bucketing Frontier Parallel Schedule

@@ -1,0 +1,1 @@
+lib/ordered/schedule.mli: Format

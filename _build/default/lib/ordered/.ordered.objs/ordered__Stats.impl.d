@@ -1,0 +1,1 @@
+lib/ordered/stats.ml: Format

@@ -1,0 +1,1 @@
+lib/ordered/trace.mli: Format

@@ -1,0 +1,180 @@
+module Pool = Parallel.Pool
+module Csr = Graphs.Csr
+module Vertex_subset = Frontier.Vertex_subset
+module Eager_buckets = Bucketing.Eager_buckets
+module Pq = Priority_queue
+
+type edge_fn = Priority_queue.ctx -> src:int -> dst:int -> weight:int -> unit
+
+type counters = {
+  vertices : int array; (* per worker *)
+  edges : int array;
+  fused : int array;
+}
+
+let process_vertex graph pq ~filter ~ctx ~edge_fn counters u =
+  if (not filter) || Pq.vertex_on_current_bucket pq u then begin
+    counters.vertices.(ctx.Pq.tid) <- counters.vertices.(ctx.Pq.tid) + 1;
+    counters.edges.(ctx.Pq.tid) <- counters.edges.(ctx.Pq.tid) + Csr.out_degree graph u;
+    Csr.iter_out graph u (fun dst weight -> edge_fn ctx ~src:u ~dst ~weight)
+  end
+
+(* Fused inner loop (Fig. 7, lines 14-20): keep draining this worker's bin
+   for the current bucket while it stays under the threshold; a larger bin
+   is left in place so the next global round redistributes it. *)
+let fusion_loop graph pq ~threshold ~ctx ~edge_fn counters =
+  let eb = Pq.eager_buckets pq in
+  let tid = ctx.Pq.tid in
+  let key = Pq.current_key pq in
+  let rec fuse () =
+    let size = Eager_buckets.local_size eb ~tid ~key in
+    if size > 0 && size <= threshold then
+      match Eager_buckets.take_local eb ~tid ~key with
+      | None -> ()
+      | Some bin ->
+          counters.fused.(tid) <- counters.fused.(tid) + 1;
+          Array.iter
+            (fun u -> process_vertex graph pq ~filter:true ~ctx ~edge_fn counters u)
+            bin;
+          fuse ()
+  in
+  fuse ()
+
+let push_round pool graph schedule pq ~edge_fn counters frontier =
+  let members = Vertex_subset.sparse_members frontier in
+  let total = Array.length members in
+  let filter = Pq.needs_processing_filter pq in
+  let fusion = schedule.Schedule.strategy = Schedule.Eager_with_fusion in
+  let chunk = schedule.Schedule.chunk_size in
+  let worker next tid =
+    let ctx = { Pq.tid; use_atomics = true } in
+    let rec claim () =
+      let start = Atomic.fetch_and_add next chunk in
+      if start < total then begin
+        let stop = min total (start + chunk) in
+        for i = start to stop - 1 do
+          process_vertex graph pq ~filter ~ctx ~edge_fn counters members.(i)
+        done;
+        claim ()
+      end
+    in
+    claim ();
+    if fusion then
+      fusion_loop graph pq ~threshold:schedule.Schedule.fusion_threshold ~ctx
+        ~edge_fn counters
+  in
+  if Pool.num_workers pool = 1 then worker (Atomic.make 0) 0
+  else begin
+    let next = Atomic.make 0 in
+    Pool.run_workers pool (worker next)
+  end
+
+let pull_round pool graph transpose schedule ~edge_fn counters frontier =
+  let flags = Vertex_subset.dense_flags frontier in
+  let n = Csr.num_vertices graph in
+  let chunk = max schedule.Schedule.chunk_size 64 in
+  let frontier_size = Vertex_subset.cardinal frontier in
+  let worker next tid =
+    (* Pull ownership: only this worker writes vertex [d], so the user
+       function runs without atomics (Fig. 9(b)). *)
+    let ctx = { Pq.tid; use_atomics = false } in
+    let rec claim () =
+      let start = Atomic.fetch_and_add next chunk in
+      if start < n then begin
+        let stop = min n (start + chunk) in
+        for d = start to stop - 1 do
+          Csr.iter_out transpose d (fun src weight ->
+              if Support.Bitset.mem flags src then begin
+                counters.edges.(tid) <- counters.edges.(tid) + 1;
+                edge_fn ctx ~src ~dst:d ~weight
+              end)
+        done;
+        claim ()
+      end
+    in
+    claim ()
+  in
+  counters.vertices.(0) <- counters.vertices.(0) + frontier_size;
+  if Pool.num_workers pool = 1 then worker (Atomic.make 0) 0
+  else begin
+    let next = Atomic.make 0 in
+    Pool.run_workers pool (worker next)
+  end
+
+let run ~pool ~graph ?transpose ~schedule ~pq ~edge_fn ?(stop = fun () -> false)
+    ?trace () =
+  (match Schedule.validate schedule with
+  | Ok _ -> ()
+  | Error msg -> invalid_arg ("Engine.run: " ^ msg));
+  let transpose_graph =
+    match (schedule.Schedule.traversal, transpose) with
+    | (Schedule.Dense_pull | Schedule.Hybrid), None ->
+        invalid_arg "Engine.run: DensePull traversal requires ~transpose"
+    | (Schedule.Dense_pull | Schedule.Hybrid), Some tg -> Some tg
+    | Schedule.Sparse_push, _ -> None
+  in
+  (* Ligra's direction heuristic for the hybrid schedule: pull when the
+     frontier and its out-edges cover more than 1/20 of the graph. *)
+  let dense_threshold = Csr.num_edges graph / 20 in
+  let choose_pull frontier =
+    match schedule.Schedule.traversal with
+    | Schedule.Sparse_push -> false
+    | Schedule.Dense_pull -> true
+    | Schedule.Hybrid ->
+        Vertex_subset.out_degree_sum graph frontier + Vertex_subset.cardinal frontier
+        > dense_threshold
+  in
+  let workers = Pool.num_workers pool in
+  let counters =
+    {
+      vertices = Array.make workers 0;
+      edges = Array.make workers 0;
+      fused = Array.make workers 0;
+    }
+  in
+  let stats = Stats.create () in
+  let last_key = ref min_int in
+  let continue = ref true in
+  while !continue && (not (stop ())) && not (Pq.finished pq) do
+    let frontier = Pq.dequeue_ready_set pq in
+    stats.Stats.rounds <- stats.Stats.rounds + 1;
+    if Pq.current_key pq <> !last_key then begin
+      stats.Stats.buckets_processed <- stats.Stats.buckets_processed + 1;
+      last_key := Pq.current_key pq
+    end;
+    let fused_before = Array.fold_left ( + ) 0 counters.fused in
+    let direction =
+      match (transpose_graph, choose_pull frontier) with
+      | Some tg, true ->
+          stats.Stats.pull_rounds <- stats.Stats.pull_rounds + 1;
+          pull_round pool graph tg schedule ~edge_fn counters frontier;
+          Trace.Pull
+      | _, _ ->
+          push_round pool graph schedule pq ~edge_fn counters frontier;
+          Trace.Push
+    in
+    (match trace with
+    | Some t ->
+        Trace.record t
+          {
+            Trace.index = stats.Stats.rounds;
+            bucket_key = Pq.current_key pq;
+            priority = Pq.current_priority pq;
+            frontier_size = Vertex_subset.cardinal frontier;
+            direction;
+            fused_drains = Array.fold_left ( + ) 0 counters.fused - fused_before;
+          }
+    | None -> ());
+    stats.Stats.global_syncs <- stats.Stats.global_syncs + 1;
+    if not (Schedule.is_eager schedule) then
+      (* The lazy strategies pay an extra synchronization per round for the
+         buffer reduction / bulk bucket update (Fig. 5, lines 12-13). *)
+      stats.Stats.global_syncs <- stats.Stats.global_syncs + 1;
+    if stats.Stats.rounds > 100_000_000 then continue := false
+  done;
+  let sum a = Array.fold_left ( + ) 0 a in
+  stats.Stats.vertices_processed <- sum counters.vertices;
+  stats.Stats.edges_relaxed <- sum counters.edges;
+  stats.Stats.fused_drains <- sum counters.fused;
+  stats.Stats.bucket_inserts <- Pq.total_bucket_inserts pq;
+  stats

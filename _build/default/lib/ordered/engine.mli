@@ -1,0 +1,46 @@
+(** The ordered processing operator (Section 5.2 of the paper).
+
+    [run] drives rounds of bucket extraction and parallel edge processing
+    until the priority queue is exhausted or a stop condition fires,
+    implementing all four schedules:
+
+    - eager (Fig. 6): one parallel region per round; workers file priority
+      updates straight into thread-local bins;
+    - eager with bucket fusion (Fig. 7): after the shared frontier is
+      drained, each worker keeps processing its own current-priority bin
+      while it stays below the fusion threshold, skipping the global
+      synchronization those rounds would have cost;
+    - lazy (Fig. 5): updates are buffered with CAS deduplication and applied
+      in bulk between rounds;
+    - lazy with constant-sum reduction (Fig. 10): updates are histogrammed
+      and reduced once per vertex per round.
+
+    The traversal direction follows the schedule: [Sparse_push] maps the
+    user function over out-edges of frontier members; [Dense_pull] scans
+    in-edges of every vertex against a dense frontier, without atomics. *)
+
+type edge_fn = Priority_queue.ctx -> src:int -> dst:int -> weight:int -> unit
+(** The compiled user-defined function ([updateEdge] in Fig. 3): it must
+    perform its priority updates through the {!Priority_queue} operators
+    using the supplied context. *)
+
+(** [run ~pool ~graph ~schedule ~pq ~edge_fn ()] executes to completion and
+    returns the execution counters.
+
+    @param transpose required for [Dense_pull] and [Hybrid] traversal.
+    @param stop checked before each round ([pq.finished] custom conditions,
+      e.g. PPSP's early exit once the destination is finalized).
+    @param trace when supplied, one {!Trace.round} is recorded per global
+      round.
+    @raise Invalid_argument on an invalid schedule or missing transpose. *)
+val run :
+  pool:Parallel.Pool.t ->
+  graph:Graphs.Csr.t ->
+  ?transpose:Graphs.Csr.t ->
+  schedule:Schedule.t ->
+  pq:Priority_queue.t ->
+  edge_fn:edge_fn ->
+  ?stop:(unit -> bool) ->
+  ?trace:Trace.t ->
+  unit ->
+  Stats.t

@@ -1,0 +1,123 @@
+(** The abstract priority queue of the paper's algorithm-language extension
+    (Table 1), backed by either lazy or eager buckets according to the
+    schedule.
+
+    A priority queue owns a {e priority vector} (the user's [dist], degree,
+    or cost vector — priorities are always read from it, never cached) and a
+    bucket structure over direction-normalized, Δ-coarsened keys. The update
+    operators hide synchronization, deduplication, and bucket maintenance,
+    exactly as the DSL operators do. *)
+
+(** Where the initial frontier comes from. *)
+type initial =
+  | Start_vertex of int  (** Shortest-path style: one source. *)
+  | All_vertices  (** Peeling style (k-core, SetCover): everyone. *)
+  | No_initial  (** Populate manually via the update operators. *)
+
+(** Per-worker update context. [use_atomics] is false only in pull
+    traversal, where each destination is owned by a single worker
+    (Fig. 9(b) of the paper drops the atomics). *)
+type ctx = {
+  tid : int;
+  use_atomics : bool;
+}
+
+type t
+
+(** [create ~schedule ~num_workers ~direction ~allow_coarsening ~priorities
+    ~initial ()] builds the backend dictated by [schedule.strategy]. When
+    [allow_coarsening] is false the schedule's Δ is ignored and 1 is used
+    (k-core and SetCover tolerate no priority inversion, Section 2).
+    [constant_sum_delta] must be supplied for the [Lazy_constant_sum]
+    strategy: it is the fixed per-update priority change the analysis
+    extracted (e.g. -1 for k-core). *)
+val create :
+  schedule:Schedule.t ->
+  num_workers:int ->
+  direction:Bucketing.Bucket_order.direction ->
+  allow_coarsening:bool ->
+  priorities:Parallel.Atomic_array.t ->
+  initial:initial ->
+  ?constant_sum_delta:int ->
+  unit ->
+  t
+
+(** [num_vertices t] is the universe size. *)
+val num_vertices : t -> int
+
+(** [priorities t] is the underlying priority vector. *)
+val priorities : t -> Parallel.Atomic_array.t
+
+(** [delta t] is the effective coarsening factor. *)
+val delta : t -> int
+
+(** [finished t] is true when no bucket remains ([pq.finished()]). *)
+val finished : t -> bool
+
+(** [dequeue_ready_set t] extracts the next ready bucket as a vertex subset
+    ([pq.dequeueReadySet()]). For lazy backends this first applies all
+    buffered bucket updates (the [bulkUpdateBuckets] step). Raises
+    [Invalid_argument] when the queue is finished. *)
+val dequeue_ready_set : t -> Frontier.Vertex_subset.t
+
+(** [current_priority t] is the representative (un-coarsened) priority of
+    the bucket being processed ([pq.getCurrentPriority()]). *)
+val current_priority : t -> int
+
+(** [current_key t] is the normalized coarsened key of that bucket. *)
+val current_key : t -> int
+
+(** [finished_vertex t v] is true when [v]'s priority can no longer change
+    ([pq.finishedVertex(v)]): its bucket precedes the current one, or the
+    queue is finished. *)
+val finished_vertex : t -> int -> bool
+
+(** [update_priority_min t ctx v value] lowers [v]'s priority to [value] if
+    smaller, scheduling the bucket move ([pq.updatePriorityMin]). *)
+val update_priority_min : t -> ctx -> int -> int -> unit
+
+(** [update_priority_max t ctx v value] raises [v]'s priority to [value] if
+    larger ([pq.updatePriorityMax]). *)
+val update_priority_max : t -> ctx -> int -> int -> unit
+
+(** [update_priority_sum t ctx v ~diff ~floor] adds [diff] to [v]'s priority
+    without letting it drop below [floor] ([pq.updatePrioritySum]). Under
+    the [Lazy_constant_sum] backend the update is merely logged and reduced
+    via histogram at the next round boundary; [diff] must then equal the
+    [constant_sum_delta] the queue was created with. *)
+val update_priority_sum : t -> ctx -> int -> diff:int -> floor:int -> unit
+
+(** [set_priority t ctx v value] overwrites [v]'s priority and schedules the
+    bucket move. This is the escape hatch used by SetCover's extern
+    functions, where the new priority is recomputed rather than folded. *)
+val set_priority : t -> ctx -> int -> int -> unit
+
+(** [constant_sum_recorder t] is the fast path of the Fig. 10 transformation:
+    under the [Lazy_constant_sum] backend, a constant-sum update only needs
+    to log its target vertex — the histogram reduction applies the
+    arithmetic once per vertex at the round boundary. The compiler rewrites
+    the user function to call this recorder directly instead of
+    [update_priority_sum]; [None] for every other backend. *)
+val constant_sum_recorder : t -> (tid:int -> int -> unit) option
+
+(** [key_of_priority t p] normalizes and coarsens a raw priority. *)
+val key_of_priority : t -> int -> int
+
+(** [vertex_on_current_bucket t v] tests whether [v]'s current priority maps
+    to the bucket being processed — the staleness filter eager processing
+    applies to frontier candidates. *)
+val vertex_on_current_bucket : t -> int -> bool
+
+(** [eager_buckets t] exposes the eager backend for the engine's fusion
+    loop. Raises [Invalid_argument] on lazy backends. *)
+val eager_buckets : t -> Bucketing.Eager_buckets.t
+
+(** [is_eager t] discriminates the backend. *)
+val is_eager : t -> bool
+
+(** [needs_processing_filter t] is true when extracted frontiers may contain
+    stale entries (eager backends: lazy extraction already filters). *)
+val needs_processing_filter : t -> bool
+
+(** [total_bucket_inserts t] is the lifetime insert count of the backend. *)
+val total_bucket_inserts : t -> int

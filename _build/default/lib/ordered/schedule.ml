@@ -1,0 +1,76 @@
+type update_strategy =
+  | Eager_with_fusion
+  | Eager_no_fusion
+  | Lazy
+  | Lazy_constant_sum
+
+type traversal =
+  | Sparse_push
+  | Dense_pull
+  | Hybrid
+
+type t = {
+  strategy : update_strategy;
+  delta : int;
+  fusion_threshold : int;
+  num_open_buckets : int;
+  traversal : traversal;
+  chunk_size : int;
+}
+
+let default =
+  {
+    strategy = Eager_with_fusion;
+    delta = 1;
+    fusion_threshold = 1000;
+    num_open_buckets = 128;
+    traversal = Sparse_push;
+    chunk_size = 64;
+  }
+
+let is_eager t =
+  match t.strategy with
+  | Eager_with_fusion | Eager_no_fusion -> true
+  | Lazy | Lazy_constant_sum -> false
+
+let validate t =
+  if t.delta < 1 then Error "delta must be >= 1"
+  else if t.fusion_threshold < 1 then Error "fusion threshold must be >= 1"
+  else if t.num_open_buckets < 1 then Error "num_open_buckets must be >= 1"
+  else if t.chunk_size < 1 then Error "chunk_size must be >= 1"
+  else if is_eager t && t.traversal <> Sparse_push then
+    Error "DensePull/hybrid traversal requires a lazy bucket-update strategy"
+  else Ok t
+
+let strategy_to_string = function
+  | Eager_with_fusion -> "eager_with_fusion"
+  | Eager_no_fusion -> "eager_no_fusion"
+  | Lazy -> "lazy"
+  | Lazy_constant_sum -> "lazy_constant_sum"
+
+let strategy_of_string = function
+  | "eager_with_fusion" -> Ok Eager_with_fusion
+  | "eager_no_fusion" -> Ok Eager_no_fusion
+  | "lazy" -> Ok Lazy
+  | "lazy_constant_sum" -> Ok Lazy_constant_sum
+  | s -> Error (Printf.sprintf "unknown priority-update strategy %S" s)
+
+let traversal_to_string = function
+  | Sparse_push -> "SparsePush"
+  | Dense_pull -> "DensePull"
+  | Hybrid -> "DensePull-SparsePush"
+
+let traversal_of_string = function
+  | "SparsePush" -> Ok Sparse_push
+  | "DensePull" -> Ok Dense_pull
+  | "DensePull-SparsePush" | "hybrid" -> Ok Hybrid
+  | s -> Error (Printf.sprintf "unknown traversal direction %S" s)
+
+let pp ppf t =
+  Format.fprintf ppf
+    "configApplyPriorityUpdate(%S); configApplyPriorityUpdateDelta(%d); \
+     configBucketFusionThreshold(%d); configNumBuckets(%d); \
+     configApplyDirection(%S)"
+    (strategy_to_string t.strategy)
+    t.delta t.fusion_threshold t.num_open_buckets
+    (traversal_to_string t.traversal)

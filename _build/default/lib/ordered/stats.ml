@@ -1,0 +1,39 @@
+type t = {
+  mutable rounds : int;
+  mutable global_syncs : int;
+  mutable fused_drains : int;
+  mutable buckets_processed : int;
+  mutable vertices_processed : int;
+  mutable edges_relaxed : int;
+  mutable bucket_inserts : int;
+  mutable pull_rounds : int;
+}
+
+let create () =
+  {
+    rounds = 0;
+    global_syncs = 0;
+    fused_drains = 0;
+    buckets_processed = 0;
+    vertices_processed = 0;
+    edges_relaxed = 0;
+    bucket_inserts = 0;
+    pull_rounds = 0;
+  }
+
+let reset t =
+  t.rounds <- 0;
+  t.global_syncs <- 0;
+  t.fused_drains <- 0;
+  t.buckets_processed <- 0;
+  t.vertices_processed <- 0;
+  t.edges_relaxed <- 0;
+  t.bucket_inserts <- 0;
+  t.pull_rounds <- 0
+
+let pp ppf t =
+  Format.fprintf ppf
+    "rounds=%d syncs=%d fused=%d buckets=%d vertices=%d edges=%d inserts=%d \
+     pull_rounds=%d"
+    t.rounds t.global_syncs t.fused_drains t.buckets_processed
+    t.vertices_processed t.edges_relaxed t.bucket_inserts t.pull_rounds

@@ -1,0 +1,29 @@
+(** Execution counters for ordered runs.
+
+    Rounds and synchronizations are the hardware-independent quantities the
+    paper reports (Table 6 shows bucket fusion cutting SSSP on RoadUSA from
+    48407 to 1069 rounds), so the engine maintains them exactly. *)
+
+type t = {
+  mutable rounds : int;  (** Global rounds (one {!Engine} iteration each). *)
+  mutable global_syncs : int;
+      (** Barrier-equivalent synchronizations (parallel regions joined). *)
+  mutable fused_drains : int;
+      (** Local bucket drains performed inside the fusion inner loop,
+          i.e. rounds that skipped their global synchronization. *)
+  mutable buckets_processed : int;  (** Distinct bucket keys processed. *)
+  mutable vertices_processed : int;  (** Frontier members processed (incl. re-processing). *)
+  mutable edges_relaxed : int;  (** User-function applications. *)
+  mutable bucket_inserts : int;  (** Insertions into bucket structures. *)
+  mutable pull_rounds : int;
+      (** Rounds traversed in dense-pull direction (hybrid/pull schedules). *)
+}
+
+(** [create ()] is all-zero counters. *)
+val create : unit -> t
+
+(** [reset t] zeroes every counter. *)
+val reset : t -> unit
+
+(** [pp] prints a one-line human-readable summary. *)
+val pp : Format.formatter -> t -> unit

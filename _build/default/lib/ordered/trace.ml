@@ -1,0 +1,40 @@
+type direction =
+  | Push
+  | Pull
+
+type round = {
+  index : int;
+  bucket_key : int;
+  priority : int;
+  frontier_size : int;
+  direction : direction;
+  fused_drains : int;
+}
+
+type t = { mutable entries : round list (* newest first *) }
+
+let create () = { entries = [] }
+let record t round = t.entries <- round :: t.entries
+let rounds t = List.rev t.entries
+let length t = List.length t.entries
+
+let pp_round ppf r =
+  Format.fprintf ppf "%6d %12d %12d %10d %6s %8d" r.index r.bucket_key r.priority
+    r.frontier_size
+    (match r.direction with Push -> "push" | Pull -> "pull")
+    r.fused_drains
+
+let pp ?(max_rounds = 40) ppf t =
+  let all = rounds t in
+  let total = List.length all in
+  Format.fprintf ppf "%6s %12s %12s %10s %6s %8s@." "round" "bucket" "priority"
+    "frontier" "dir" "fused";
+  let print_list rs = List.iter (fun r -> Format.fprintf ppf "%a@." pp_round r) rs in
+  if total <= max_rounds then print_list all
+  else begin
+    let head = List.filteri (fun i _ -> i < max_rounds / 2) all in
+    let tail = List.filteri (fun i _ -> i >= total - (max_rounds / 2)) all in
+    print_list head;
+    Format.fprintf ppf "  ... %d rounds elided ...@." (total - (2 * (max_rounds / 2)));
+    print_list tail
+  end

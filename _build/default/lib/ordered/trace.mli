@@ -1,0 +1,41 @@
+(** Per-round execution traces.
+
+    When a trace is passed to {!Engine.run}, the engine records one entry
+    per global round: the bucket being processed, the frontier size, the
+    traversal direction chosen, and how many local bins were drained by
+    bucket fusion during the round. Traces make the scheduling behaviour
+    inspectable — e.g. watching Δ-stepping's bucket keys climb while fusion
+    keeps same-key rounds off the books — and back the [--trace] flag of
+    [ordered_run]. *)
+
+type direction =
+  | Push
+  | Pull
+
+type round = {
+  index : int;  (** 1-based round number. *)
+  bucket_key : int;  (** Normalized coarsened key of the bucket. *)
+  priority : int;  (** Representative (user-facing) priority. *)
+  frontier_size : int;
+  direction : direction;
+  fused_drains : int;  (** Fusion drains performed during this round. *)
+}
+
+type t
+
+(** [create ()] is an empty trace. Recording is single-threaded (the engine
+    records between parallel phases). *)
+val create : unit -> t
+
+(** [record t round] appends an entry. *)
+val record : t -> round -> unit
+
+(** [rounds t] is the recorded entries, oldest first. *)
+val rounds : t -> round list
+
+(** [length t] is the number of recorded rounds. *)
+val length : t -> int
+
+(** [pp ppf t] prints the trace as an aligned table; [max_rounds] elides the
+    middle of long traces (default 40 rows shown). *)
+val pp : ?max_rounds:int -> Format.formatter -> t -> unit

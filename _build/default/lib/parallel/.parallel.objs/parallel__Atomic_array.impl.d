@@ -1,0 +1,1 @@
+lib/parallel/atomic_array.ml: Array Atomic

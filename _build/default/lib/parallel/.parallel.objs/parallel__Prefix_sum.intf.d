@@ -1,0 +1,1 @@
+lib/parallel/prefix_sum.mli: Pool

@@ -1,0 +1,46 @@
+type t = int Atomic.t array
+
+let make n v = Array.init n (fun _ -> Atomic.make v)
+let length = Array.length
+let get a i = Atomic.get a.(i)
+let set a i v = Atomic.set a.(i) v
+
+let compare_and_set a i ~expected ~desired =
+  Atomic.compare_and_set a.(i) expected desired
+
+let rec fetch_min a i v =
+  let cell = Array.unsafe_get a i in
+  let cur = Atomic.get cell in
+  if v >= cur then false
+  else if Atomic.compare_and_set cell cur v then true
+  else fetch_min a i v
+
+let rec fetch_max a i v =
+  let cell = Array.unsafe_get a i in
+  let cur = Atomic.get cell in
+  if v <= cur then false
+  else if Atomic.compare_and_set cell cur v then true
+  else fetch_max a i v
+
+let fetch_add a i d = Atomic.fetch_and_add a.(i) d
+
+let rec add_with_floor a i ~delta ~floor =
+  let cell = Array.unsafe_get a i in
+  let cur = Atomic.get cell in
+  (* A decrement must leave values already at or below the floor untouched
+     (clamping them *up* to the floor would un-finalize peeled vertices). *)
+  if delta < 0 && cur <= floor then None
+  else begin
+    let target = max floor (cur + delta) in
+    if target = cur then None
+    else if Atomic.compare_and_set cell cur target then Some (cur, target)
+    else add_with_floor a i ~delta ~floor
+  end
+
+let to_array a = Array.map Atomic.get a
+let of_array src = Array.map Atomic.make src
+
+let blit_from a src =
+  if Array.length a <> Array.length src then
+    invalid_arg "Atomic_array.blit_from: length mismatch";
+  Array.iteri (fun i v -> Atomic.set a.(i) v) src

@@ -1,0 +1,184 @@
+type t = {
+  num_workers : int;
+  mutex : Mutex.t;
+  work_ready : Condition.t;
+  work_done : Condition.t;
+  mutable job : (int -> unit) option;
+  mutable epoch : int;
+  mutable remaining : int;
+  mutable failure : exn option;
+  mutable stopped : bool;
+  mutable domains : unit Domain.t list;
+}
+
+(* Helper domains block on [work_ready] until the epoch advances, run the
+   published job with their worker id, then report completion on
+   [work_done]. The caller always acts as worker 0, so a 1-worker pool never
+   touches the synchronization primitives on the hot path. *)
+
+let worker_loop pool tid =
+  let current_epoch = ref 0 in
+  let rec loop () =
+    Mutex.lock pool.mutex;
+    while (not pool.stopped) && pool.epoch = !current_epoch do
+      Condition.wait pool.work_ready pool.mutex
+    done;
+    if pool.stopped then Mutex.unlock pool.mutex
+    else begin
+      current_epoch := pool.epoch;
+      let job =
+        match pool.job with
+        | Some job -> job
+        | None -> assert false
+      in
+      Mutex.unlock pool.mutex;
+      let outcome = try Ok (job tid) with exn -> Error exn in
+      Mutex.lock pool.mutex;
+      (match outcome with
+      | Ok () -> ()
+      | Error exn -> if pool.failure = None then pool.failure <- Some exn);
+      pool.remaining <- pool.remaining - 1;
+      if pool.remaining = 0 then Condition.broadcast pool.work_done;
+      Mutex.unlock pool.mutex;
+      loop ()
+    end
+  in
+  loop ()
+
+let create ~num_workers =
+  if num_workers < 1 then invalid_arg "Pool.create: num_workers must be >= 1";
+  let pool =
+    {
+      num_workers;
+      mutex = Mutex.create ();
+      work_ready = Condition.create ();
+      work_done = Condition.create ();
+      job = None;
+      epoch = 0;
+      remaining = 0;
+      failure = None;
+      stopped = false;
+      domains = [];
+    }
+  in
+  pool.domains <-
+    List.init (num_workers - 1) (fun i ->
+        Domain.spawn (fun () -> worker_loop pool (i + 1)));
+  pool
+
+let num_workers pool = pool.num_workers
+
+let run_workers pool f =
+  if pool.stopped then invalid_arg "Pool.run_workers: pool is shut down";
+  if pool.num_workers = 1 then f 0
+  else begin
+    Mutex.lock pool.mutex;
+    pool.job <- Some f;
+    pool.failure <- None;
+    pool.remaining <- pool.num_workers - 1;
+    pool.epoch <- pool.epoch + 1;
+    Condition.broadcast pool.work_ready;
+    Mutex.unlock pool.mutex;
+    let caller_outcome = try Ok (f 0) with exn -> Error exn in
+    Mutex.lock pool.mutex;
+    while pool.remaining > 0 do
+      Condition.wait pool.work_done pool.mutex
+    done;
+    pool.job <- None;
+    let failure = pool.failure in
+    pool.failure <- None;
+    Mutex.unlock pool.mutex;
+    match caller_outcome, failure with
+    | Error exn, _ -> raise exn
+    | Ok (), Some exn -> raise exn
+    | Ok (), None -> ()
+  end
+
+let parallel_for pool ?(chunk = 256) ~lo ~hi f =
+  if chunk < 1 then invalid_arg "Pool.parallel_for: chunk must be >= 1";
+  if hi > lo then
+    if pool.num_workers = 1 || hi - lo <= chunk then
+      for i = lo to hi - 1 do
+        f i
+      done
+    else begin
+      let next = Atomic.make lo in
+      run_workers pool (fun _tid ->
+          let rec claim () =
+            let start = Atomic.fetch_and_add next chunk in
+            if start < hi then begin
+              let stop = min hi (start + chunk) in
+              for i = start to stop - 1 do
+                f i
+              done;
+              claim ()
+            end
+          in
+          claim ())
+    end
+
+let parallel_for_tid pool ?(chunk = 256) ~lo ~hi f =
+  if chunk < 1 then invalid_arg "Pool.parallel_for_tid: chunk must be >= 1";
+  if hi > lo then
+    if pool.num_workers = 1 then
+      for i = lo to hi - 1 do
+        f ~tid:0 i
+      done
+    else begin
+      let next = Atomic.make lo in
+      run_workers pool (fun tid ->
+          let rec claim () =
+            let start = Atomic.fetch_and_add next chunk in
+            if start < hi then begin
+              let stop = min hi (start + chunk) in
+              for i = start to stop - 1 do
+                f ~tid i
+              done;
+              claim ()
+            end
+          in
+          claim ())
+    end
+
+let parallel_for_reduce pool ?(chunk = 256) ~lo ~hi ~neutral ~combine f =
+  if hi <= lo then neutral
+  else if pool.num_workers = 1 then begin
+    let acc = ref neutral in
+    for i = lo to hi - 1 do
+      acc := combine !acc (f i)
+    done;
+    !acc
+  end
+  else begin
+    let partials = Array.make pool.num_workers neutral in
+    let next = Atomic.make lo in
+    run_workers pool (fun tid ->
+        let acc = ref neutral in
+        let rec claim () =
+          let start = Atomic.fetch_and_add next chunk in
+          if start < hi then begin
+            let stop = min hi (start + chunk) in
+            for i = start to stop - 1 do
+              acc := combine !acc (f i)
+            done;
+            claim ()
+          end
+        in
+        claim ();
+        partials.(tid) <- !acc);
+    Array.fold_left combine neutral partials
+  end
+
+let shutdown pool =
+  if not pool.stopped then begin
+    Mutex.lock pool.mutex;
+    pool.stopped <- true;
+    Condition.broadcast pool.work_ready;
+    Mutex.unlock pool.mutex;
+    List.iter Domain.join pool.domains;
+    pool.domains <- []
+  end
+
+let with_pool ~num_workers f =
+  let pool = create ~num_workers in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)

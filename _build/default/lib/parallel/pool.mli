@@ -1,0 +1,62 @@
+(** A fixed-size pool of OCaml domains, the substrate that stands in for the
+    paper's Cilk/OpenMP runtime.
+
+    The pool supports two idioms used by the ordered-graph engines:
+
+    - {!run_workers} runs one SPMD task per worker, mirroring the
+      [#pragma omp parallel] regions of the generated eager code (Figure 9(c)
+      of the paper). Each invocation is one global synchronization: all
+      workers finish before it returns.
+    - {!parallel_for} distributes an index range over the workers with
+      dynamic chunking, mirroring [#pragma omp for schedule(dynamic)].
+
+    A pool with one worker executes everything inline on the calling domain,
+    which keeps single-threaded runs deterministic and cheap. *)
+
+type t
+
+(** [create ~num_workers] spawns [num_workers - 1] helper domains. The caller
+    participates as worker 0. Raises [Invalid_argument] when
+    [num_workers < 1]. *)
+val create : num_workers:int -> t
+
+(** [num_workers pool] is the worker count, including the caller. *)
+val num_workers : t -> int
+
+(** [run_workers pool f] runs [f tid] on every worker, [tid] ranging over
+    [0, num_workers). Returns when all workers have finished. If any worker
+    raises, one of the exceptions is re-raised on the caller after all
+    workers have stopped. Not reentrant. *)
+val run_workers : t -> (int -> unit) -> unit
+
+(** [parallel_for pool ?chunk ~lo ~hi f] applies [f i] for every
+    [lo <= i < hi], distributing indices across workers in chunks of [chunk]
+    (default 256) claimed dynamically. *)
+val parallel_for : t -> ?chunk:int -> lo:int -> hi:int -> (int -> unit) -> unit
+
+(** [parallel_for_tid pool ?chunk ~lo ~hi f] is {!parallel_for} for bodies
+    that need the worker id, e.g. to write into per-worker accumulators:
+    [f] is called as [f ~tid i]. *)
+val parallel_for_tid :
+  t -> ?chunk:int -> lo:int -> hi:int -> (tid:int -> int -> unit) -> unit
+
+(** [parallel_for_reduce pool ?chunk ~lo ~hi ~neutral ~combine f] folds the
+    per-index values [f i] into a single result. [combine] must be
+    associative and commutative with [neutral] as identity. *)
+val parallel_for_reduce :
+  t ->
+  ?chunk:int ->
+  lo:int ->
+  hi:int ->
+  neutral:'a ->
+  combine:('a -> 'a -> 'a) ->
+  (int -> 'a) ->
+  'a
+
+(** [shutdown pool] terminates the helper domains. The pool must not be used
+    afterwards. Idempotent. *)
+val shutdown : t -> unit
+
+(** [with_pool ~num_workers f] creates a pool, passes it to [f], and shuts it
+    down even when [f] raises. *)
+val with_pool : num_workers:int -> (t -> 'a) -> 'a

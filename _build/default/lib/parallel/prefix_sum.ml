@@ -1,0 +1,42 @@
+let exclusive a =
+  let n = Array.length a in
+  let out = Array.make (n + 1) 0 in
+  for i = 0 to n - 1 do
+    out.(i + 1) <- out.(i) + a.(i)
+  done;
+  out
+
+let exclusive_parallel pool a =
+  let n = Array.length a in
+  let workers = Pool.num_workers pool in
+  if workers = 1 || n < 4096 then exclusive a
+  else begin
+    let out = Array.make (n + 1) 0 in
+    let block = (n + workers - 1) / workers in
+    let block_totals = Array.make workers 0 in
+    (* Pass 1: each worker sums its block. *)
+    Pool.run_workers pool (fun tid ->
+        let lo = tid * block and hi = min n ((tid + 1) * block) in
+        let total = ref 0 in
+        for i = lo to hi - 1 do
+          total := !total + a.(i)
+        done;
+        block_totals.(tid) <- !total);
+    (* Scan block totals sequentially (workers is tiny). *)
+    let block_offsets = Array.make workers 0 in
+    let running = ref 0 in
+    for tid = 0 to workers - 1 do
+      block_offsets.(tid) <- !running;
+      running := !running + block_totals.(tid)
+    done;
+    out.(n) <- !running;
+    (* Pass 2: each worker writes its block's exclusive sums. *)
+    Pool.run_workers pool (fun tid ->
+        let lo = tid * block and hi = min n ((tid + 1) * block) in
+        let acc = ref block_offsets.(tid) in
+        for i = lo to hi - 1 do
+          out.(i) <- !acc;
+          acc := !acc + a.(i)
+        done);
+    out
+  end

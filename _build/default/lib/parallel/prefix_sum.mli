@@ -1,0 +1,15 @@
+(** Exclusive prefix sums.
+
+    The lazy bucket-update path computes output offsets for the edge buffer
+    with a prefix sum over per-vertex counts ([setupOutputBufferOffsets] in
+    Figure 9(a) of the paper); this module provides the sequential and
+    parallel variants. *)
+
+(** [exclusive a] returns a fresh array [s] of length [length a + 1] with
+    [s.(i) = a.(0) + ... + a.(i-1)]; [s.(length a)] is the total. *)
+val exclusive : int array -> int array
+
+(** [exclusive_parallel pool a] is {!exclusive} computed with a two-pass
+    block scan over the pool's workers. Results are identical to the
+    sequential version. *)
+val exclusive_parallel : Pool.t -> int array -> int array

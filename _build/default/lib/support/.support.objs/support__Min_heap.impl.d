@@ -1,0 +1,1 @@
+lib/support/min_heap.ml: Array

@@ -1,0 +1,53 @@
+type t = {
+  n : int;
+  words : Bytes.t;
+}
+
+let create n =
+  if n < 0 then invalid_arg "Bitset.create: negative capacity";
+  { n; words = Bytes.make ((n + 7) / 8) '\000' }
+
+let capacity s = s.n
+
+let check s i =
+  if i < 0 || i >= s.n then invalid_arg "Bitset: index out of bounds"
+
+let mem s i =
+  check s i;
+  Char.code (Bytes.unsafe_get s.words (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let add s i =
+  check s i;
+  let byte = i lsr 3 in
+  let cur = Char.code (Bytes.unsafe_get s.words byte) in
+  Bytes.unsafe_set s.words byte (Char.unsafe_chr (cur lor (1 lsl (i land 7))))
+
+let remove s i =
+  check s i;
+  let byte = i lsr 3 in
+  let cur = Char.code (Bytes.unsafe_get s.words byte) in
+  Bytes.unsafe_set s.words byte (Char.unsafe_chr (cur land lnot (1 lsl (i land 7))))
+
+let clear s = Bytes.fill s.words 0 (Bytes.length s.words) '\000'
+
+let count s =
+  let total = ref 0 in
+  for i = 0 to s.n - 1 do
+    if Char.code (Bytes.unsafe_get s.words (i lsr 3)) land (1 lsl (i land 7)) <> 0
+    then incr total
+  done;
+  !total
+
+let iter f s =
+  for i = 0 to s.n - 1 do
+    if Char.code (Bytes.unsafe_get s.words (i lsr 3)) land (1 lsl (i land 7)) <> 0
+    then f i
+  done
+
+let to_list s =
+  let acc = ref [] in
+  for i = s.n - 1 downto 0 do
+    if Char.code (Bytes.unsafe_get s.words (i lsr 3)) land (1 lsl (i land 7)) <> 0
+    then acc := i :: !acc
+  done;
+  !acc

@@ -1,0 +1,35 @@
+(** Fixed-capacity bit sets over vertex ids [0, n).
+
+    Used for dense frontiers and deduplication flags. Not thread-safe for
+    writes to the same word; parallel phases partition vertex ranges or use
+    {!Parallel.Atomic_array} flags instead. *)
+
+type t
+
+(** [create n] is an empty set over the universe [0, n). *)
+val create : int -> t
+
+(** [capacity s] is the universe size [n] passed to {!create}. *)
+val capacity : t -> int
+
+(** [mem s i] tests membership. Raises [Invalid_argument] when [i] is outside
+    the universe. *)
+val mem : t -> int -> bool
+
+(** [add s i] inserts [i]. *)
+val add : t -> int -> unit
+
+(** [remove s i] deletes [i]. *)
+val remove : t -> int -> unit
+
+(** [clear s] empties the set. *)
+val clear : t -> unit
+
+(** [count s] is the number of members (linear in the universe size). *)
+val count : t -> int
+
+(** [iter f s] applies [f] to every member in increasing order. *)
+val iter : (int -> unit) -> t -> unit
+
+(** [to_list s] is the members in increasing order. *)
+val to_list : t -> int list

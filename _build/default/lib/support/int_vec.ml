@@ -1,0 +1,83 @@
+type t = {
+  mutable data : int array;
+  mutable len : int;
+}
+
+let create ?(capacity = 16) () =
+  let capacity = max capacity 1 in
+  { data = Array.make capacity 0; len = 0 }
+
+let length v = v.len
+let is_empty v = v.len = 0
+
+let grow v needed =
+  let cap = max needed (max 8 (2 * Array.length v.data)) in
+  let data = Array.make cap 0 in
+  Array.blit v.data 0 data 0 v.len;
+  v.data <- data
+
+let push v x =
+  if v.len = Array.length v.data then grow v (v.len + 1);
+  Array.unsafe_set v.data v.len x;
+  v.len <- v.len + 1
+
+let check v i =
+  if i < 0 || i >= v.len then invalid_arg "Int_vec: index out of bounds"
+
+let get v i =
+  check v i;
+  Array.unsafe_get v.data i
+
+let set v i x =
+  check v i;
+  Array.unsafe_set v.data i x
+
+let clear v = v.len <- 0
+
+let iter f v =
+  for i = 0 to v.len - 1 do
+    f (Array.unsafe_get v.data i)
+  done
+
+let fold f acc v =
+  let acc = ref acc in
+  for i = 0 to v.len - 1 do
+    acc := f !acc (Array.unsafe_get v.data i)
+  done;
+  !acc
+
+let to_array v = Array.sub v.data 0 v.len
+
+let of_array a =
+  let len = Array.length a in
+  { data = (if len = 0 then Array.make 1 0 else Array.copy a); len }
+
+let append dst src =
+  if dst.len + src.len > Array.length dst.data then grow dst (dst.len + src.len);
+  Array.blit src.data 0 dst.data dst.len src.len;
+  dst.len <- dst.len + src.len
+
+let pop v =
+  if v.len = 0 then None
+  else begin
+    v.len <- v.len - 1;
+    Some (Array.unsafe_get v.data v.len)
+  end
+
+let exists p v =
+  let rec loop i = i < v.len && (p (Array.unsafe_get v.data i) || loop (i + 1)) in
+  loop 0
+
+let unsafe_get v i = Array.unsafe_get v.data i
+
+let blit_to_array v dst pos =
+  if pos < 0 || pos + v.len > Array.length dst then
+    invalid_arg "Int_vec.blit_to_array: destination too small";
+  Array.blit v.data 0 dst pos v.len
+
+let swap_buffers a b =
+  let data = a.data and len = a.len in
+  a.data <- b.data;
+  a.len <- b.len;
+  b.data <- data;
+  b.len <- len

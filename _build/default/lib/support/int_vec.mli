@@ -1,0 +1,62 @@
+(** Growable vectors of unboxed integers.
+
+    The bucketing data structures append and drain millions of vertex ids;
+    a specialized [int array]-backed vector avoids the boxing and indirection
+    of ['a Dynarray.t]-style containers. *)
+
+type t
+
+(** [create ?capacity ()] is an empty vector. [capacity] is a hint only. *)
+val create : ?capacity:int -> unit -> t
+
+(** [length v] is the number of elements currently stored. *)
+val length : t -> int
+
+(** [is_empty v] is [length v = 0]. *)
+val is_empty : t -> bool
+
+(** [push v x] appends [x], growing the backing store as needed. *)
+val push : t -> int -> unit
+
+(** [get v i] is the [i]th element. Raises [Invalid_argument] when [i] is out
+    of bounds. *)
+val get : t -> int -> int
+
+(** [set v i x] replaces the [i]th element. Raises [Invalid_argument] when
+    [i] is out of bounds. *)
+val set : t -> int -> int -> unit
+
+(** [clear v] resets the length to zero without shrinking the backing store. *)
+val clear : t -> unit
+
+(** [iter f v] applies [f] to each element in insertion order. *)
+val iter : (int -> unit) -> t -> unit
+
+(** [fold f acc v] folds [f] over the elements in insertion order. *)
+val fold : ('a -> int -> 'a) -> 'a -> t -> 'a
+
+(** [to_array v] is a fresh array of the elements in insertion order. *)
+val to_array : t -> int array
+
+(** [of_array a] is a vector with the elements of [a]. *)
+val of_array : int array -> t
+
+(** [append dst src] pushes every element of [src] onto [dst]. *)
+val append : t -> t -> unit
+
+(** [pop v] removes and returns the last element, or [None] when empty. *)
+val pop : t -> int option
+
+(** [exists p v] is true when some element satisfies [p]. *)
+val exists : (int -> bool) -> t -> bool
+
+(** [unsafe_get v i] is [get v i] without the bounds check; the index must be
+    within [0, length v). *)
+val unsafe_get : t -> int -> int
+
+(** [blit_to_array v dst pos] copies all elements into [dst] starting at
+    [pos]. Raises [Invalid_argument] when [dst] is too small. *)
+val blit_to_array : t -> int array -> int -> unit
+
+(** [swap_buffers a b] exchanges the contents of the two vectors in O(1). *)
+val swap_buffers : t -> t -> unit

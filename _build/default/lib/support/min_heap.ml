@@ -1,0 +1,65 @@
+type t = {
+  mutable keys : int array;
+  mutable values : int array;
+  mutable len : int;
+}
+
+let create () = { keys = Array.make 16 0; values = Array.make 16 0; len = 0 }
+
+let length h = h.len
+let is_empty h = h.len = 0
+
+let swap h i j =
+  let k = h.keys.(i) and v = h.values.(i) in
+  h.keys.(i) <- h.keys.(j);
+  h.values.(i) <- h.values.(j);
+  h.keys.(j) <- k;
+  h.values.(j) <- v
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if h.keys.(parent) > h.keys.(i) then begin
+      swap h parent i;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let left = (2 * i) + 1 and right = (2 * i) + 2 in
+  let smallest = ref i in
+  if left < h.len && h.keys.(left) < h.keys.(!smallest) then smallest := left;
+  if right < h.len && h.keys.(right) < h.keys.(!smallest) then smallest := right;
+  if !smallest <> i then begin
+    swap h i !smallest;
+    sift_down h !smallest
+  end
+
+let push h ~key ~value =
+  if h.len = Array.length h.keys then begin
+    let cap = 2 * h.len in
+    let keys = Array.make cap 0 and values = Array.make cap 0 in
+    Array.blit h.keys 0 keys 0 h.len;
+    Array.blit h.values 0 values 0 h.len;
+    h.keys <- keys;
+    h.values <- values
+  end;
+  h.keys.(h.len) <- key;
+  h.values.(h.len) <- value;
+  h.len <- h.len + 1;
+  sift_up h (h.len - 1)
+
+let pop_min h =
+  if h.len = 0 then None
+  else begin
+    let key = h.keys.(0) and value = h.values.(0) in
+    h.len <- h.len - 1;
+    if h.len > 0 then begin
+      h.keys.(0) <- h.keys.(h.len);
+      h.values.(0) <- h.values.(h.len);
+      sift_down h 0
+    end;
+    Some (key, value)
+  end
+
+let peek_min h = if h.len = 0 then None else Some (h.keys.(0), h.values.(0))

@@ -1,0 +1,26 @@
+(** A binary min-heap of (key, value) integer pairs.
+
+    Used by the sequential reference algorithms (Dijkstra, greedy SetCover)
+    that serve as test oracles. Duplicate insertions are allowed; callers
+    implement decrease-key by lazy deletion. *)
+
+type t
+
+(** [create ()] is an empty heap. *)
+val create : unit -> t
+
+(** [length h] is the number of stored pairs. *)
+val length : t -> int
+
+(** [is_empty h] is [length h = 0]. *)
+val is_empty : t -> bool
+
+(** [push h ~key ~value] inserts a pair. *)
+val push : t -> key:int -> value:int -> unit
+
+(** [pop_min h] removes and returns a pair with the smallest key, or [None]
+    when empty. Ties are broken arbitrarily. *)
+val pop_min : t -> (int * int) option
+
+(** [peek_min h] returns the smallest pair without removing it. *)
+val peek_min : t -> (int * int) option

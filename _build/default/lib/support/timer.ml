@@ -1,0 +1,21 @@
+let time f =
+  let start = Unix.gettimeofday () in
+  let result = f () in
+  (result, Unix.gettimeofday () -. start)
+
+let time_median ~repeats f =
+  if repeats <= 0 then invalid_arg "Timer.time_median: repeats must be positive";
+  let samples = Array.make repeats 0.0 in
+  let last = ref None in
+  for i = 0 to repeats - 1 do
+    let result, elapsed = time f in
+    samples.(i) <- elapsed;
+    last := Some result
+  done;
+  Array.sort compare samples;
+  let result =
+    match !last with
+    | Some r -> r
+    | None -> assert false
+  in
+  (result, samples.(repeats / 2))

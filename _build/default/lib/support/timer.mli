@@ -1,0 +1,9 @@
+(** Wall-clock timing helpers for the benchmark harness. *)
+
+(** [time f] is [(f (), seconds_elapsed)]. *)
+val time : (unit -> 'a) -> 'a * float
+
+(** [time_median ~repeats f] runs [f] [repeats] times and returns the result
+    of the last run with the median elapsed seconds. [repeats] must be
+    positive. *)
+val time_median : repeats:int -> (unit -> 'a) -> 'a * float

@@ -1,0 +1,1 @@
+test/test_autotune.ml: Alcotest Algorithms Autotune Graphs List Ordered Parallel Support

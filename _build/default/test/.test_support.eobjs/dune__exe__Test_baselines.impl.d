@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Algorithms Array Baselines Bucketing Graphs List Ordered Parallel Printf QCheck QCheck_alcotest Support

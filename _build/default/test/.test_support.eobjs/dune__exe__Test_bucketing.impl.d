@@ -1,0 +1,1 @@
+test/test_bucketing.ml: Alcotest Array Bucketing List Parallel Printf QCheck QCheck_alcotest String

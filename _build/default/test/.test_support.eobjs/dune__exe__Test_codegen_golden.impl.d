@@ -1,0 +1,1 @@
+test/test_codegen_golden.ml: Alcotest Dsl Filename Fun Str String

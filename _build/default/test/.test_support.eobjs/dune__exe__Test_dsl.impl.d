@@ -1,0 +1,1 @@
+test/test_dsl.ml: Alcotest Algorithms Array Bucketing Dsl Filename Format Fun Graphs List Ordered Parallel Printf QCheck QCheck_alcotest Str String Support Sys

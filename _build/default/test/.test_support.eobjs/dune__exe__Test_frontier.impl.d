@@ -1,0 +1,1 @@
+test/test_frontier.ml: Alcotest Array Frontier Graphs List QCheck QCheck_alcotest Support

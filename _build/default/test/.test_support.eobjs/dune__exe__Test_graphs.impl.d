@@ -1,0 +1,1 @@
+test/test_graphs.ml: Alcotest Array Filename Fun Graphs List Printf QCheck QCheck_alcotest String Support Sys

@@ -1,0 +1,1 @@
+test/test_ordered.ml: Alcotest Algorithms Array Bucketing Format Graphs List Ordered Parallel Printf QCheck QCheck_alcotest String Support

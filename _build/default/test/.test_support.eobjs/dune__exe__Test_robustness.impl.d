@@ -1,0 +1,1 @@
+test/test_robustness.ml: Alcotest Algorithms Array Baselines Bucketing Dsl Filename Frontier Fun Graphs List Ordered Parallel Printf QCheck QCheck_alcotest Str String Support Sys

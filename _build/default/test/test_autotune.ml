@@ -1,0 +1,122 @@
+module Pool = Parallel.Pool
+module Csr = Graphs.Csr
+module Generators = Graphs.Generators
+module Rng = Support.Rng
+module Schedule = Ordered.Schedule
+
+let test_space_size_and_validity () =
+  let space = Autotune.Search_space.default in
+  Alcotest.(check bool) "non-trivial space" true (Autotune.Search_space.size space > 1000);
+  let rng = Rng.create 1 in
+  for _ = 1 to 200 do
+    let s = Autotune.Search_space.random space rng in
+    match Schedule.validate s with
+    | Ok _ -> ()
+    | Error msg -> Alcotest.fail ("random point invalid: " ^ msg)
+  done
+
+let test_neighbors_differ_in_one_dimension () =
+  let space = Autotune.Search_space.default in
+  let rng = Rng.create 2 in
+  let point = Autotune.Search_space.random space rng in
+  let neighbors = Autotune.Search_space.neighbors space rng point in
+  Alcotest.(check bool) "has neighbors" true (List.length neighbors > 0);
+  List.iter
+    (fun n ->
+      (match Schedule.validate n with
+      | Ok _ -> ()
+      | Error msg -> Alcotest.fail ("invalid neighbor: " ^ msg));
+      let diffs =
+        (if n.Schedule.strategy <> point.Schedule.strategy then 1 else 0)
+        + (if n.Schedule.delta <> point.Schedule.delta then 1 else 0)
+        + (if n.Schedule.fusion_threshold <> point.Schedule.fusion_threshold then 1 else 0)
+        + (if n.Schedule.num_open_buckets <> point.Schedule.num_open_buckets then 1 else 0)
+        + (if n.Schedule.traversal <> point.Schedule.traversal then 1 else 0)
+        + if n.Schedule.chunk_size <> point.Schedule.chunk_size then 1 else 0
+      in
+      Alcotest.(check int) "one dimension changed" 1 diffs)
+    neighbors
+
+let test_tuner_finds_synthetic_optimum () =
+  (* A synthetic cost with a unique best point: the tuner must converge to
+     it well before exhausting the space. *)
+  let space = Autotune.Search_space.default in
+  let rng = Rng.create 3 in
+  let cost (s : Schedule.t) =
+    let strategy_penalty =
+      match s.Schedule.strategy with
+      | Schedule.Eager_with_fusion -> 0.0
+      | Schedule.Eager_no_fusion -> 1.0
+      | Schedule.Lazy | Schedule.Lazy_constant_sum -> 2.0
+    in
+    let delta_penalty = abs_float (log (float_of_int s.Schedule.delta) -. log 1024.0) in
+    1.0 +. strategy_penalty +. delta_penalty
+  in
+  let result = Autotune.Tuner.tune ~space ~rng ~budget:60 ~evaluate:cost () in
+  Alcotest.(check bool) "respected budget" true (List.length result.trials <= 60);
+  Alcotest.(check string) "found the best strategy" "eager_with_fusion"
+    (Schedule.strategy_to_string result.best.schedule.Schedule.strategy);
+  Alcotest.(check int) "found the best delta" 1024 result.best.schedule.Schedule.delta
+
+let test_tuner_tolerates_failures () =
+  let space = Autotune.Search_space.default in
+  let rng = Rng.create 4 in
+  let evaluate (s : Schedule.t) =
+    if s.Schedule.traversal = Schedule.Dense_pull then failwith "unsupported here"
+    else float_of_int s.Schedule.delta
+  in
+  let result = Autotune.Tuner.tune ~space ~rng ~budget:40 ~evaluate () in
+  Alcotest.(check int) "best delta is minimal" 1 result.best.schedule.Schedule.delta;
+  Alcotest.(check bool) "failing trials recorded as infinity" true
+    (List.for_all
+       (fun m ->
+         (m.Autotune.Tuner.seconds = infinity)
+         = (m.Autotune.Tuner.schedule.Schedule.traversal = Schedule.Dense_pull))
+       result.trials)
+
+let test_tuner_on_real_sssp () =
+  (* End-to-end: tune SSSP on a small road-like graph and check the result
+     is within 2x of the best hand schedule among the measured trials. *)
+  let rng_graph = Rng.create 5 in
+  let el, _ = Generators.road_grid ~rng:rng_graph ~rows:20 ~cols:20 () in
+  let g = Csr.of_edge_list el in
+  Pool.with_pool ~num_workers:2 (fun pool ->
+      let evaluate schedule =
+        let _, seconds =
+          Support.Timer.time (fun () ->
+              Algorithms.Sssp_delta.run ~pool ~graph:g ~schedule ~source:0 ())
+        in
+        seconds
+      in
+      let space =
+        { Autotune.Search_space.default with Autotune.Search_space.allow_dense_pull = false }
+      in
+      let rng = Rng.create 6 in
+      let result = Autotune.Tuner.tune ~space ~rng ~budget:20 ~evaluate () in
+      (* The tuned schedule must at least beat the worst observed trial and
+         produce correct results. *)
+      let r =
+        Algorithms.Sssp_delta.run ~pool ~graph:g ~schedule:result.best.schedule ~source:0 ()
+      in
+      let expected = Algorithms.Dijkstra.distances g ~source:0 in
+      Alcotest.(check (array int)) "tuned schedule is correct" expected r.dist;
+      let worst =
+        List.fold_left (fun acc m -> max acc m.Autotune.Tuner.seconds) 0.0 result.trials
+      in
+      Alcotest.(check bool) "best <= worst" true (result.best.seconds <= worst))
+
+let () =
+  Alcotest.run "autotune"
+    [
+      ( "search_space",
+        [
+          Alcotest.test_case "size and validity" `Quick test_space_size_and_validity;
+          Alcotest.test_case "neighbors" `Quick test_neighbors_differ_in_one_dimension;
+        ] );
+      ( "tuner",
+        [
+          Alcotest.test_case "synthetic optimum" `Quick test_tuner_finds_synthetic_optimum;
+          Alcotest.test_case "tolerates failures" `Quick test_tuner_tolerates_failures;
+          Alcotest.test_case "real sssp" `Quick test_tuner_on_real_sssp;
+        ] );
+    ]

@@ -1,0 +1,181 @@
+(* The comparison frameworks must be just as correct as the GraphIt engine:
+   every baseline is validated against the same sequential oracles. *)
+
+module Pool = Parallel.Pool
+module Csr = Graphs.Csr
+module Edge_list = Graphs.Edge_list
+module Generators = Graphs.Generators
+module Rng = Support.Rng
+module Bucket_order = Bucketing.Bucket_order
+
+let random_weighted_graph seed ~n ~m ~max_w =
+  let rng = Rng.create seed in
+  let el = Generators.erdos_renyi ~rng ~num_vertices:n ~num_edges:m () in
+  Csr.of_edge_list (Generators.assign_weights ~rng ~lo:1 ~hi:(max_w + 1) el)
+
+let symmetric_random seed ~n ~m =
+  let rng = Rng.create seed in
+  let el = Generators.erdos_renyi ~rng ~num_vertices:n ~num_edges:m () in
+  Csr.of_edge_list (Edge_list.symmetrized el)
+
+let test_julienne_sssp () =
+  let g = random_weighted_graph 101 ~n:200 ~m:1200 ~max_w:25 in
+  let expected = Algorithms.Dijkstra.distances g ~source:0 in
+  List.iter
+    (fun workers ->
+      Pool.with_pool ~num_workers:workers (fun pool ->
+          let r = Baselines.Julienne_like.sssp ~pool ~graph:g ~delta:8 ~source:0 () in
+          Alcotest.(check (array int))
+            (Printf.sprintf "julienne sssp workers=%d" workers)
+            expected r.dist;
+          Alcotest.(check bool) "did rounds" true (r.rounds > 0)))
+    [ 1; 4 ]
+
+let test_julienne_wbfs_ppsp () =
+  let g = random_weighted_graph 102 ~n:150 ~m:900 ~max_w:6 in
+  let expected = Algorithms.Dijkstra.distances g ~source:1 in
+  Pool.with_pool ~num_workers:2 (fun pool ->
+      let r = Baselines.Julienne_like.wbfs ~pool ~graph:g ~source:1 () in
+      Alcotest.(check (array int)) "julienne wbfs" expected r.dist;
+      let reachable =
+        let best = ref (-1) in
+        Array.iteri
+          (fun v d ->
+            if v <> 1 && d <> Bucket_order.null_priority && !best = -1 then best := v)
+          expected;
+        !best
+      in
+      let d = Baselines.Julienne_like.ppsp ~pool ~graph:g ~delta:8 ~source:1 ~target:reachable () in
+      Alcotest.(check int) "julienne ppsp" expected.(reachable) d)
+
+let test_julienne_kcore () =
+  let g = symmetric_random 103 ~n:120 ~m:700 in
+  let expected = Algorithms.Kcore_peel_seq.coreness g in
+  List.iter
+    (fun workers ->
+      Pool.with_pool ~num_workers:workers (fun pool ->
+          let r = Baselines.Julienne_like.kcore ~pool ~graph:g () in
+          Alcotest.(check (array int))
+            (Printf.sprintf "julienne kcore workers=%d" workers)
+            expected r.coreness))
+    [ 1; 4 ]
+
+let test_julienne_setcover () =
+  let g = symmetric_random 104 ~n:100 ~m:500 in
+  Pool.with_pool ~num_workers:2 (fun pool ->
+      let r = Baselines.Julienne_like.setcover ~pool ~graph:g () in
+      Alcotest.(check bool) "valid cover" true (Algorithms.Setcover.is_valid_cover g r))
+
+let test_gapbs_sssp_no_fusion () =
+  let g = random_weighted_graph 105 ~n:180 ~m:1000 ~max_w:30 in
+  let expected = Algorithms.Dijkstra.distances g ~source:0 in
+  Pool.with_pool ~num_workers:2 (fun pool ->
+      let r = Baselines.Gapbs_like.sssp ~pool ~graph:g ~delta:8 ~source:0 () in
+      Alcotest.(check (array int)) "gapbs sssp" expected r.dist;
+      Alcotest.(check int) "gapbs never fuses" 0 r.stats.Ordered.Stats.fused_drains)
+
+let test_gapbs_astar () =
+  let rng = Rng.create 106 in
+  let el, coords = Generators.road_grid ~rng ~rows:10 ~cols:15 () in
+  let g = Csr.of_edge_list el in
+  let source = 0 and target = (10 * 15) - 1 in
+  let expected = Algorithms.Dijkstra.distance_to g ~source ~target in
+  Pool.with_pool ~num_workers:2 (fun pool ->
+      let r = Baselines.Gapbs_like.astar ~pool ~graph:g ~coords ~delta:128 ~source ~target () in
+      Alcotest.(check int) "gapbs astar" expected r.distance)
+
+let test_galois_sssp () =
+  let g = random_weighted_graph 107 ~n:200 ~m:1100 ~max_w:20 in
+  let expected = Algorithms.Dijkstra.distances g ~source:0 in
+  List.iter
+    (fun workers ->
+      Pool.with_pool ~num_workers:workers (fun pool ->
+          let r = Baselines.Galois_like.sssp ~pool ~graph:g ~delta:4 ~source:0 () in
+          Alcotest.(check (array int))
+            (Printf.sprintf "galois sssp workers=%d" workers)
+            expected r.dist;
+          Alcotest.(check bool) "work accounted" true (r.work_items > 0)))
+    [ 1; 2; 4 ]
+
+let test_galois_ppsp_astar () =
+  let rng = Rng.create 108 in
+  let el, coords = Generators.road_grid ~rng ~rows:12 ~cols:12 () in
+  let g = Csr.of_edge_list el in
+  let source = 0 and target = (12 * 12) - 1 in
+  let expected = Algorithms.Dijkstra.distance_to g ~source ~target in
+  Pool.with_pool ~num_workers:2 (fun pool ->
+      Alcotest.(check int) "galois ppsp" expected
+        (Baselines.Galois_like.ppsp ~pool ~graph:g ~delta:64 ~source ~target ());
+      Alcotest.(check int) "galois astar" expected
+        (Baselines.Galois_like.astar ~pool ~graph:g ~coords ~delta:64 ~source ~target ()))
+
+let test_ligra_sssp_directions () =
+  (* A dense-ish graph forces at least one dense pull sweep. *)
+  let g = random_weighted_graph 109 ~n:80 ~m:2500 ~max_w:10 in
+  let t = Csr.transpose g in
+  let expected = Algorithms.Dijkstra.distances g ~source:0 in
+  Pool.with_pool ~num_workers:2 (fun pool ->
+      let r = Baselines.Ligra_like.sssp ~pool ~graph:g ~transpose:t ~source:0 () in
+      Alcotest.(check (array int)) "ligra sssp" expected r.dist;
+      Alcotest.(check bool)
+        (Printf.sprintf "used dense direction (%d/%d)" r.dense_iterations r.iterations)
+        true (r.dense_iterations > 0))
+
+let test_ligra_sssp_sparse_only () =
+  let rng = Rng.create 110 in
+  let el, _ = Generators.road_grid ~rng ~rows:12 ~cols:12 () in
+  let g = Csr.of_edge_list el in
+  let t = Csr.transpose g in
+  let expected = Algorithms.Dijkstra.distances g ~source:0 in
+  Pool.with_pool ~num_workers:2 (fun pool ->
+      let r = Baselines.Ligra_like.sssp ~pool ~graph:g ~transpose:t ~source:0 () in
+      Alcotest.(check (array int)) "ligra road sssp" expected r.dist)
+
+let qcheck_galois_matches_dijkstra =
+  QCheck.Test.make ~name:"galois relaxed scheduler is still exact" ~count:40
+    QCheck.(triple (int_range 2 60) (int_bound 300) (int_range 1 8))
+    (fun (n, m, delta) ->
+      let g = random_weighted_graph (n + (m * 17) + delta) ~n ~m ~max_w:15 in
+      let expected = Algorithms.Dijkstra.distances g ~source:0 in
+      Pool.with_pool ~num_workers:3 (fun pool ->
+          let r = Baselines.Galois_like.sssp ~pool ~graph:g ~delta ~source:0 () in
+          r.dist = expected))
+
+let qcheck_julienne_matches_dijkstra =
+  QCheck.Test.make ~name:"julienne lazy engine is exact" ~count:40
+    QCheck.(triple (int_range 2 60) (int_bound 300) (int_range 1 8))
+    (fun (n, m, delta) ->
+      let g = random_weighted_graph (n + (m * 29) + delta) ~n ~m ~max_w:15 in
+      let expected = Algorithms.Dijkstra.distances g ~source:0 in
+      Pool.with_pool ~num_workers:2 (fun pool ->
+          let r = Baselines.Julienne_like.sssp ~pool ~graph:g ~delta ~source:0 () in
+          r.dist = expected))
+
+let () =
+  Alcotest.run "baselines"
+    [
+      ( "julienne",
+        [
+          Alcotest.test_case "sssp" `Quick test_julienne_sssp;
+          Alcotest.test_case "wbfs + ppsp" `Quick test_julienne_wbfs_ppsp;
+          Alcotest.test_case "kcore" `Quick test_julienne_kcore;
+          Alcotest.test_case "setcover" `Quick test_julienne_setcover;
+          QCheck_alcotest.to_alcotest qcheck_julienne_matches_dijkstra;
+        ] );
+      ( "gapbs",
+        [
+          Alcotest.test_case "sssp without fusion" `Quick test_gapbs_sssp_no_fusion;
+          Alcotest.test_case "astar" `Quick test_gapbs_astar;
+        ] );
+      ( "galois",
+        [
+          Alcotest.test_case "sssp" `Quick test_galois_sssp;
+          Alcotest.test_case "ppsp + astar" `Quick test_galois_ppsp_astar;
+          QCheck_alcotest.to_alcotest qcheck_galois_matches_dijkstra;
+        ] );
+      ( "ligra",
+        [
+          Alcotest.test_case "direction switching" `Quick test_ligra_sssp_directions;
+          Alcotest.test_case "sparse-only road" `Quick test_ligra_sssp_sparse_only;
+        ] );
+    ]

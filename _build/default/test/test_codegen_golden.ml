@@ -1,0 +1,88 @@
+(* Golden tests: the exact C++ text generated for each schedule is pinned
+   under test/golden/. A diff here means the Section 5 transformations
+   changed; inspect it, and if intentional regenerate with:
+
+     for s in lazy eager_no_fusion eager_with_fusion; do
+       sed "s/\"eager_with_fusion\"/\"$s\"/" examples/apps/sssp.gt > /tmp/p.gt
+       dune exec bin/graphitc.exe -- emit /tmp/p.gt > test/golden/sssp_$s.cpp
+     done *)
+
+let apps_dir = "../examples/apps"
+let golden_dir = "golden"
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let generate ~source_transform app =
+  let source = source_transform (read_file (Filename.concat apps_dir app)) in
+  match Dsl.Lower.lower_string source with
+  | Ok lowered -> Dsl.Codegen_cpp.generate lowered
+  | Error msg -> Alcotest.fail msg
+
+let first_diff_line a b =
+  let la = String.split_on_char '\n' a and lb = String.split_on_char '\n' b in
+  let rec go i = function
+    | x :: xs, y :: ys -> if x <> y then Some (i, x, y) else go (i + 1) (xs, ys)
+    | [], [] -> None
+    | x :: _, [] -> Some (i, x, "<end of golden>")
+    | [], y :: _ -> Some (i, "<end of generated>", y)
+  in
+  go 1 (la, lb)
+
+let check_golden ~golden ~generated =
+  let expected = read_file (Filename.concat golden_dir golden) in
+  if generated <> expected then
+    match first_diff_line generated expected with
+    | Some (line, got, want) ->
+        Alcotest.failf "%s: first difference at line %d:\n  generated: %s\n  golden:    %s"
+          golden line got want
+    | None -> Alcotest.fail (golden ^ ": contents differ")
+
+let with_strategy strategy source =
+  Str.global_replace (Str.regexp_string "\"eager_with_fusion\"") strategy source
+
+let test_sssp_lazy () =
+  check_golden ~golden:"sssp_lazy.cpp"
+    ~generated:(generate ~source_transform:(with_strategy "\"lazy\"") "sssp.gt")
+
+let test_sssp_eager_no_fusion () =
+  check_golden ~golden:"sssp_eager_no_fusion.cpp"
+    ~generated:
+      (generate ~source_transform:(with_strategy "\"eager_no_fusion\"") "sssp.gt")
+
+let test_sssp_eager_with_fusion () =
+  check_golden ~golden:"sssp_eager_with_fusion.cpp"
+    ~generated:(generate ~source_transform:Fun.id "sssp.gt")
+
+let test_sssp_lazy_densepull () =
+  let transform source =
+    source
+    |> with_strategy "\"lazy\""
+    |> Str.global_replace
+         (Str.regexp_string
+            "->configApplyParallelization(\"s1\", \"dynamic-vertex-parallel\")")
+         "->configApplyDirection(\"s1\", \"DensePull\")"
+  in
+  check_golden ~golden:"sssp_lazy_densepull.cpp"
+    ~generated:(generate ~source_transform:transform "sssp.gt")
+
+let test_kcore_constant_sum () =
+  check_golden ~golden:"kcore_lazy_constant_sum.cpp"
+    ~generated:(generate ~source_transform:Fun.id "kcore.gt")
+
+let () =
+  Alcotest.run "codegen_golden"
+    [
+      ( "figure 9 shapes",
+        [
+          Alcotest.test_case "lazy SparsePush (Fig. 9a)" `Quick test_sssp_lazy;
+          Alcotest.test_case "lazy DensePull (Fig. 9b)" `Quick test_sssp_lazy_densepull;
+          Alcotest.test_case "eager (Fig. 9c)" `Quick test_sssp_eager_no_fusion;
+          Alcotest.test_case "eager with fusion (Fig. 7)" `Quick
+            test_sssp_eager_with_fusion;
+          Alcotest.test_case "constant sum (Fig. 10)" `Quick test_kcore_constant_sum;
+        ] );
+    ]

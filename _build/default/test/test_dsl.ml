@@ -1,0 +1,744 @@
+module Pool = Parallel.Pool
+module Csr = Graphs.Csr
+module Edge_list = Graphs.Edge_list
+module Generators = Graphs.Generators
+module Rng = Support.Rng
+module Schedule = Ordered.Schedule
+
+let apps_dir = "../examples/apps"
+let app path = Filename.concat apps_dir path
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* ---------------- lexer ---------------- *)
+
+let test_lexer_basics () =
+  let tokens = Dsl.Lexer.tokenize "var x : int = 42; % comment\n x min= 3;" in
+  let kinds = Array.to_list (Array.map (fun t -> t.Dsl.Token.token) tokens) in
+  Alcotest.(check bool) "token stream" true
+    (kinds
+    = [
+        Dsl.Token.Kw_var; Dsl.Token.Ident "x"; Dsl.Token.Colon; Dsl.Token.Ident "int";
+        Dsl.Token.Assign; Dsl.Token.Int_lit 42; Dsl.Token.Semicolon;
+        Dsl.Token.Ident "x"; Dsl.Token.Min_assign; Dsl.Token.Int_lit 3;
+        Dsl.Token.Semicolon; Dsl.Token.Eof;
+      ])
+
+let test_lexer_label_and_strings () =
+  let tokens = Dsl.Lexer.tokenize "#s1# \"lower_first\" -> ==" in
+  let kinds = Array.to_list (Array.map (fun t -> t.Dsl.Token.token) tokens) in
+  Alcotest.(check bool) "labels, strings, arrows" true
+    (kinds
+    = [
+        Dsl.Token.Label "s1"; Dsl.Token.String_lit "lower_first"; Dsl.Token.Arrow;
+        Dsl.Token.Eq; Dsl.Token.Eof;
+      ])
+
+let test_lexer_positions () =
+  let tokens = Dsl.Lexer.tokenize "a\n  b" in
+  Alcotest.(check int) "line of b" 2 tokens.(1).Dsl.Token.pos.Dsl.Pos.line;
+  Alcotest.(check int) "col of b" 3 tokens.(1).Dsl.Token.pos.Dsl.Pos.col
+
+let test_lexer_errors () =
+  (match Dsl.Lexer.tokenize "a @ b" with
+  | exception Dsl.Lexer.Error (_, msg) ->
+      Alcotest.(check bool) "mentions the char" true
+        (String.length msg > 0)
+  | _ -> Alcotest.fail "expected a lexer error");
+  match Dsl.Lexer.tokenize "\"unterminated" with
+  | exception Dsl.Lexer.Error (_, _) -> ()
+  | _ -> Alcotest.fail "expected unterminated string error"
+
+(* ---------------- parser ---------------- *)
+
+let test_parse_sssp_shape () =
+  let program = Dsl.Parser.parse_string (read_file (app "sssp.gt")) in
+  Alcotest.(check (list string)) "elements" [ "Vertex"; "Edge" ] program.Dsl.Ast.elements;
+  Alcotest.(check (list string))
+    "consts" [ "edges"; "dist"; "pq" ]
+    (List.map (fun c -> c.Dsl.Ast.cname) program.Dsl.Ast.consts);
+  Alcotest.(check (list string))
+    "funcs" [ "updateEdge"; "main" ]
+    (List.map (fun f -> f.Dsl.Ast.fname) program.Dsl.Ast.funcs);
+  Alcotest.(check int) "schedule calls" 4 (List.length program.Dsl.Ast.schedule)
+
+let test_parse_all_apps () =
+  List.iter
+    (fun name ->
+      match Dsl.Parser.parse_string (read_file (app name)) with
+      | _ -> ()
+      | exception Dsl.Parser.Error (pos, msg) ->
+          Alcotest.fail (Format.asprintf "%s: %a: %s" name Dsl.Pos.pp pos msg))
+    [ "sssp.gt"; "wbfs.gt"; "ppsp.gt"; "astar.gt"; "kcore.gt"; "setcover.gt" ]
+
+let test_parse_errors_are_located () =
+  List.iter
+    (fun (src, fragment) ->
+      match Dsl.Parser.parse_string src with
+      | _ -> Alcotest.fail ("expected parse error for: " ^ src)
+      | exception Dsl.Parser.Error (pos, msg) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "error %S mentions %S" msg fragment)
+            true
+            (pos.Dsl.Pos.line >= 1
+            &&
+            let re = Str.regexp_string fragment in
+            (try ignore (Str.search_forward re msg 0); true with Not_found -> false)))
+    [
+      ("func f( end", "expected");
+      ("const x : int = ;", "expression");
+      ("element", "identifier");
+      ("func main() var x : int = 1 end", "';'");
+    ]
+
+let test_operator_precedence () =
+  let program =
+    Dsl.Parser.parse_string
+      "element Vertex end\nfunc main() var x : int = 1 + 2 * 3; end"
+  in
+  let f = List.hd program.Dsl.Ast.funcs in
+  match f.Dsl.Ast.body with
+  | [ { Dsl.Ast.sdesc = Dsl.Ast.S_var_decl (_, _, Some e); _ } ] -> (
+      match e.Dsl.Ast.desc with
+      | Dsl.Ast.Binop (Dsl.Ast.Add, { Dsl.Ast.desc = Dsl.Ast.Int_lit 1; _ }, rhs) -> (
+          match rhs.Dsl.Ast.desc with
+          | Dsl.Ast.Binop (Dsl.Ast.Mul, _, _) -> ()
+          | _ -> Alcotest.fail "expected 2*3 on the right")
+      | _ -> Alcotest.fail "expected 1 + (2*3)")
+  | _ -> Alcotest.fail "unexpected body"
+
+(* ---------------- typechecker ---------------- *)
+
+let typecheck_errors src =
+  match Dsl.Typecheck.check (Dsl.Parser.parse_string src) with
+  | Ok () -> []
+  | Error errors -> List.map (fun e -> e.Dsl.Typecheck.message) errors
+
+let test_typecheck_apps () =
+  List.iter
+    (fun name ->
+      match typecheck_errors (read_file (app name)) with
+      | [] -> ()
+      | errors -> Alcotest.fail (name ^ ": " ^ String.concat "; " errors))
+    [ "sssp.gt"; "wbfs.gt"; "ppsp.gt"; "astar.gt"; "kcore.gt"; "setcover.gt" ]
+
+let contains_substring haystack needle =
+  let re = Str.regexp_string needle in
+  try
+    ignore (Str.search_forward re haystack 0);
+    true
+  with Not_found -> false
+
+let expect_type_error src fragment =
+  let errors = typecheck_errors src in
+  Alcotest.(check bool)
+    (Printf.sprintf "expected error containing %S, got [%s]" fragment
+       (String.concat "; " errors))
+    true
+    (List.exists (fun m -> contains_substring m fragment) errors)
+
+let test_typecheck_vertexset_ops () =
+  (* The unordered surface: new vertexset / addVertex / getVertexSetSize /
+     applyModified must typecheck, and misuse must be reported. *)
+  let ok =
+    typecheck_errors
+      "element Vertex end\nelement Edge end\n\
+       const edges : edgeset{Edge}(Vertex, Vertex, int) = load(argv[1]);\n\
+       const dist : vector{Vertex}(int) = INT_MAX;\n\
+       func f(src : Vertex, dst : Vertex, w : int)\n\
+       dist[dst] min= (dist[src] + w);\nend\n\
+       func main()\n\
+       var fr : vertexset{Vertex} = new vertexset{Vertex}(0);\n\
+       fr.addVertex(0);\n\
+       while (fr.getVertexSetSize() > 0)\n\
+       fr = edges.from(fr).applyModified(f, dist);\nend\nend"
+  in
+  Alcotest.(check (list string)) "well typed" [] ok;
+  expect_type_error
+    "element Vertex end\nelement Edge end\n\
+     const edges : edgeset{Edge}(Vertex, Vertex, int) = load(argv[1]);\n\
+     func main()\n\
+     var fr : vertexset{Vertex} = new vertexset{Vertex}(0);\n\
+     fr.popVertex(0);\nend"
+    "vertexsets have no method";
+  expect_type_error
+    "element Vertex end\nelement Edge end\n\
+     const edges : edgeset{Edge}(Vertex, Vertex, int) = load(argv[1]);\n\
+     func main()\n\
+     var x : int = edges.applyModified(nosuch, edges);\nend"
+    "unknown user function"
+
+let test_typecheck_rejections () =
+  expect_type_error "element Vertex end\nfunc main() var x : int = true; end"
+    "initializer of x";
+  expect_type_error "element Vertex end\nfunc main() x = 1; end" "unbound";
+  expect_type_error
+    "element Vertex end\nfunc main() var b : bool = 1 < true; end"
+    "comparison operand";
+  expect_type_error "func main() var v : vector{Vertex}(int) = 0; end"
+    "unknown element type";
+  expect_type_error
+    "element Vertex end\nconst pq : priority_queue{Vertex}(int);\nfunc main()\n\
+     pq = new priority_queue{Vertex}(int)(true, \"sideways\", pq);\nend"
+    "priority direction";
+  expect_type_error "element Vertex end\nfunc f(a : int) pq.finished(); end" "unbound";
+  expect_type_error "element Vertex end\nfunc notmain() end" "no 'main'"
+
+(* ---------------- analysis ---------------- *)
+
+let analyze src =
+  let program = Dsl.Parser.parse_string src in
+  match Dsl.Analysis.analyze program with
+  | Ok r -> r
+  | Error e -> Alcotest.fail (Format.asprintf "%a" Dsl.Analysis.pp_error e)
+
+let test_analysis_sssp () =
+  let r = analyze (read_file (app "sssp.gt")) in
+  let pq =
+    match r.Dsl.Analysis.pq with
+    | Some pq -> pq
+    | None -> Alcotest.fail "priority queue not found"
+  in
+  Alcotest.(check string) "pq name" "pq" pq.Dsl.Analysis.pq_name;
+  Alcotest.(check bool) "coarsening allowed" true pq.Dsl.Analysis.allow_coarsening;
+  Alcotest.(check string) "priority vector" "dist" pq.Dsl.Analysis.priority_vector;
+  match r.Dsl.Analysis.loop with
+  | None -> Alcotest.fail "ordered loop not recognized"
+  | Some loop ->
+      Alcotest.(check (option string)) "label" (Some "s1") loop.Dsl.Analysis.label;
+      Alcotest.(check string) "edgeset" "edges" loop.Dsl.Analysis.edgeset_name;
+      Alcotest.(check bool) "no stop vertex" true (loop.Dsl.Analysis.stop_vertex = None);
+      (match loop.Dsl.Analysis.udf.Dsl.Analysis.update with
+      | Dsl.Analysis.Update_min -> ()
+      | _ -> Alcotest.fail "expected a min update");
+      Alcotest.(check bool) "no constant sum" true
+        (loop.Dsl.Analysis.udf.Dsl.Analysis.constant_sum_diff = None)
+
+let test_analysis_kcore_constant_sum () =
+  let r = analyze (read_file (app "kcore.gt")) in
+  match r.Dsl.Analysis.loop with
+  | None -> Alcotest.fail "ordered loop not recognized"
+  | Some loop ->
+      Alcotest.(check (option int)) "constant sum -1" (Some (-1))
+        loop.Dsl.Analysis.udf.Dsl.Analysis.constant_sum_diff;
+      Alcotest.(check bool) "coarsening disallowed" false
+        (match r.Dsl.Analysis.pq with
+        | Some pq -> pq.Dsl.Analysis.allow_coarsening
+        | None -> Alcotest.fail "priority queue not found")
+
+let test_analysis_ppsp_stop_vertex () =
+  let r = analyze (read_file (app "ppsp.gt")) in
+  match r.Dsl.Analysis.loop with
+  | Some { Dsl.Analysis.stop_vertex = Some _; _ } -> ()
+  | _ -> Alcotest.fail "expected a finishedVertex early-exit conjunct"
+
+let test_analysis_astar_atomics () =
+  let r = analyze (read_file (app "astar.gt")) in
+  match r.Dsl.Analysis.loop with
+  | Some loop ->
+      Alcotest.(check (list string)) "dist written at dst needs atomics" [ "dist" ]
+        loop.Dsl.Analysis.udf.Dsl.Analysis.atomic_vectors
+  | None -> Alcotest.fail "ordered loop not recognized"
+
+let test_analysis_setcover_generic () =
+  let r = analyze (read_file (app "setcover.gt")) in
+  Alcotest.(check bool) "no replaceable loop (extern-driven)" true
+    (r.Dsl.Analysis.loop = None)
+
+let test_analysis_rejects_bucket_reuse () =
+  (* Using the bucket after applyUpdatePriority disables the transformation
+     (the paper's safety check): the loop must NOT be recognized. *)
+  let src =
+    "element Vertex end\nelement Edge end\n\
+     const edges : edgeset{Edge}(Vertex, Vertex, int) = load(argv[1]);\n\
+     const dist : vector{Vertex}(int) = INT_MAX;\n\
+     const pq : priority_queue{Vertex}(int);\n\
+     func f(src : Vertex, dst : Vertex, w : int)\n\
+     pq.updatePriorityMin(dst, dist[dst], dist[src] + w);\nend\n\
+     func main()\n\
+     pq = new priority_queue{Vertex}(int)(true, \"lower_first\", dist, 0);\n\
+     while (pq.finished() == false)\n\
+     var bucket : vertexset{Vertex} = pq.dequeueReadySet();\n\
+     edges.from(bucket).applyUpdatePriority(f);\n\
+     edges.from(bucket).applyUpdatePriority(f);\n\
+     delete bucket;\nend\nend"
+  in
+  let r = analyze src in
+  Alcotest.(check bool) "loop not replaceable" true (r.Dsl.Analysis.loop = None)
+
+let test_analysis_rejects_two_updates () =
+  let src =
+    "element Vertex end\nelement Edge end\n\
+     const edges : edgeset{Edge}(Vertex, Vertex, int) = load(argv[1]);\n\
+     const dist : vector{Vertex}(int) = INT_MAX;\n\
+     const pq : priority_queue{Vertex}(int);\n\
+     func f(src : Vertex, dst : Vertex, w : int)\n\
+     pq.updatePriorityMin(dst, dist[dst], dist[src] + w);\n\
+     pq.updatePriorityMin(src, dist[src], dist[src]);\nend\n\
+     func main()\n\
+     pq = new priority_queue{Vertex}(int)(true, \"lower_first\", dist, 0);\n\
+     while (pq.finished() == false)\n\
+     var bucket : vertexset{Vertex} = pq.dequeueReadySet();\n\
+     edges.from(bucket).applyUpdatePriority(f);\n\
+     delete bucket;\nend\nend"
+  in
+  let program = Dsl.Parser.parse_string src in
+  match Dsl.Analysis.analyze program with
+  | Error e ->
+      Alcotest.(check bool) "mentions exactly one" true
+        (contains_substring e.Dsl.Analysis.message "exactly one")
+  | Ok _ -> Alcotest.fail "expected analysis rejection"
+
+(* ---------------- scheduling language ---------------- *)
+
+let test_schedule_resolution () =
+  let program = Dsl.Parser.parse_string (read_file (app "sssp.gt")) in
+  match Dsl.Schedule_lang.resolve program.Dsl.Ast.schedule with
+  | Error e -> Alcotest.fail (Format.asprintf "%a" Dsl.Schedule_lang.pp_error e)
+  | Ok resolved ->
+      let s = Dsl.Schedule_lang.schedule_for (Some "s1") resolved in
+      Alcotest.(check string) "strategy" "eager_with_fusion"
+        (Schedule.strategy_to_string s.Schedule.strategy);
+      Alcotest.(check int) "delta" 8 s.Schedule.delta;
+      Alcotest.(check int) "threshold" 1000 s.Schedule.fusion_threshold
+
+let test_schedule_rejects_bad_values () =
+  let check_error src fragment =
+    let program = Dsl.Parser.parse_string src in
+    match Dsl.Schedule_lang.resolve program.Dsl.Ast.schedule with
+    | Error e ->
+        Alcotest.(check bool)
+          (Printf.sprintf "error mentions %s" fragment)
+          true
+          (contains_substring e.Dsl.Schedule_lang.message fragment)
+    | Ok _ -> Alcotest.fail ("expected schedule error for " ^ src)
+  in
+  let base = "element Vertex end\nfunc main() end\nschedule:\n" in
+  check_error (base ^ "program->configApplyPriorityUpdate(\"s1\", \"bogus\");")
+    "unknown priority-update strategy";
+  check_error (base ^ "program->configApplyPriorityUpdateDelta(\"s1\", \"x\");") "integer";
+  check_error (base ^ "program->configWhatever(\"s1\", \"x\");") "unknown scheduling";
+  check_error
+    (base
+   ^ "program->configApplyPriorityUpdate(\"s1\", \"eager_with_fusion\")\n\
+      ->configApplyDirection(\"s1\", \"DensePull\");")
+    "DensePull"
+
+(* ---------------- lowering legality ---------------- *)
+
+let test_lower_rejects_constant_sum_on_min () =
+  (* lazy_constant_sum on SSSP's min-update UDF must be rejected. *)
+  let src =
+    Str.global_replace (Str.regexp_string "eager_with_fusion") "lazy_constant_sum"
+      (read_file (app "sssp.gt"))
+  in
+  match Dsl.Lower.lower_string src with
+  | Error msg ->
+      Alcotest.(check bool) "mentions constant" true (contains_substring msg "constant")
+  | Ok _ -> Alcotest.fail "expected lowering rejection"
+
+let test_lower_rejects_eager_on_generic () =
+  let src =
+    Str.global_replace (Str.regexp_string "\"lazy\"") "\"eager_with_fusion\""
+      (read_file (app "setcover.gt"))
+  in
+  match Dsl.Lower.lower_string src with
+  | Error msg ->
+      Alcotest.(check bool) "mentions the pattern" true
+        (contains_substring msg "ordered while-loop pattern")
+  | Ok _ -> Alcotest.fail "expected lowering rejection"
+
+(* ---------------- end-to-end execution ---------------- *)
+
+let write_temp_graph el =
+  let path = Filename.temp_file "dsl_graph" ".el" in
+  Graphs.Graph_io.write_edge_list path el;
+  path
+
+let with_graph el f =
+  let path = write_temp_graph el in
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+
+let compile_app name =
+  match Dsl.Frontend.compile_file (app name) with
+  | Ok c -> c
+  | Error msg -> Alcotest.fail msg
+
+let find_vector name result =
+  match List.assoc_opt name result.Dsl.Interp.vectors with
+  | Some v -> v
+  | None -> Alcotest.fail ("missing vector " ^ name)
+
+let random_weighted_el seed ~n ~m ~max_w =
+  let rng = Rng.create seed in
+  let el = Generators.erdos_renyi ~rng ~num_vertices:n ~num_edges:m () in
+  Generators.assign_weights ~rng ~lo:1 ~hi:(max_w + 1) el
+
+let test_run_sssp_matches_native () =
+  let el = random_weighted_el 301 ~n:120 ~m:700 ~max_w:20 in
+  let g = Csr.of_edge_list el in
+  let expected = Algorithms.Dijkstra.distances g ~source:0 in
+  let compiled = compile_app "sssp.gt" in
+  with_graph el (fun path ->
+      List.iter
+        (fun workers ->
+          Pool.with_pool ~num_workers:workers (fun pool ->
+              let result =
+                Dsl.Frontend.run compiled ~pool ~argv:[| "sssp"; path; "0" |] ()
+              in
+              Alcotest.(check (array int))
+                (Printf.sprintf "dsl sssp workers=%d" workers)
+                expected (find_vector "dist" result);
+              match result.Dsl.Interp.stats with
+              | Some stats ->
+                  Alcotest.(check bool) "engine ran rounds" true
+                    (stats.Ordered.Stats.rounds > 0)
+              | None -> Alcotest.fail "expected engine stats"))
+        [ 1; 4 ])
+
+let test_run_sssp_all_strategies () =
+  (* Swapping only the schedule line changes the execution strategy but
+     never the results — the core promise of the scheduling language. *)
+  let el = random_weighted_el 302 ~n:100 ~m:600 ~max_w:15 in
+  let g = Csr.of_edge_list el in
+  let expected = Algorithms.Dijkstra.distances g ~source:3 in
+  let source = read_file (app "sssp.gt") in
+  with_graph el (fun path ->
+      List.iter
+        (fun strategy ->
+          let src =
+            Str.global_replace
+              (Str.regexp_string "\"eager_with_fusion\"")
+              (Printf.sprintf "%S" strategy) source
+          in
+          match Dsl.Frontend.compile ~name:strategy src with
+          | Error msg -> Alcotest.fail msg
+          | Ok compiled ->
+              Pool.with_pool ~num_workers:2 (fun pool ->
+                  let result =
+                    Dsl.Frontend.run compiled ~pool ~argv:[| "sssp"; path; "3" |] ()
+                  in
+                  Alcotest.(check (array int)) strategy expected
+                    (find_vector "dist" result)))
+        [ "eager_with_fusion"; "eager_no_fusion"; "lazy" ])
+
+let test_run_wbfs () =
+  let rng = Rng.create 303 in
+  let el = Generators.erdos_renyi ~rng ~num_vertices:90 ~num_edges:500 () in
+  let el = Generators.wbfs_weights ~rng el in
+  let g = Csr.of_edge_list el in
+  let expected = Algorithms.Dijkstra.distances g ~source:0 in
+  let compiled = compile_app "wbfs.gt" in
+  with_graph el (fun path ->
+      Pool.with_pool ~num_workers:2 (fun pool ->
+          let result = Dsl.Frontend.run compiled ~pool ~argv:[| "wbfs"; path; "0" |] () in
+          Alcotest.(check (array int)) "dsl wbfs" expected (find_vector "dist" result)))
+
+let test_run_ppsp () =
+  let el = random_weighted_el 304 ~n:150 ~m:900 ~max_w:25 in
+  let g = Csr.of_edge_list el in
+  let dist = Algorithms.Dijkstra.distances g ~source:0 in
+  let target =
+    let best = ref 1 in
+    Array.iteri
+      (fun v d ->
+        if v <> 0 && d <> Bucketing.Bucket_order.null_priority then
+          if dist.(!best) = Bucketing.Bucket_order.null_priority || d > dist.(!best)
+          then best := v)
+      dist;
+    !best
+  in
+  let compiled = compile_app "ppsp.gt" in
+  with_graph el (fun path ->
+      Pool.with_pool ~num_workers:2 (fun pool ->
+          let result =
+            Dsl.Frontend.run compiled ~pool
+              ~argv:[| "ppsp"; path; "0"; string_of_int target |]
+              ()
+          in
+          Alcotest.(check (list string))
+            "printed the exact distance"
+            [ string_of_int dist.(target) ]
+            result.Dsl.Interp.printed))
+
+let test_run_astar_with_extern () =
+  let rng = Rng.create 305 in
+  let el, coords = Generators.road_grid ~rng ~rows:12 ~cols:14 () in
+  let g = Csr.of_edge_list el in
+  let source = 0 and target = (12 * 14) - 1 in
+  let expected = Algorithms.Dijkstra.distance_to g ~source ~target in
+  let compiled = compile_app "astar.gt" in
+  with_graph el (fun path ->
+      Pool.with_pool ~num_workers:2 (fun pool ->
+          let result =
+            Dsl.Frontend.run compiled ~pool
+              ~argv:[| "astar"; path; string_of_int source; string_of_int target |]
+              ~externs:(Dsl.Externs.astar ~coords ~target)
+              ()
+          in
+          Alcotest.(check (list string))
+            "printed the exact distance"
+            [ string_of_int expected ]
+            result.Dsl.Interp.printed))
+
+let test_run_bellman_ford_unordered () =
+  (* The unordered DSL program (no priority queue at all) must compute the
+     same distances as ordered sssp.gt and the native oracle. *)
+  let el = random_weighted_el 309 ~n:110 ~m:650 ~max_w:25 in
+  let g = Csr.of_edge_list el in
+  let expected = Algorithms.Dijkstra.distances g ~source:0 in
+  let compiled = compile_app "bellman_ford.gt" in
+  with_graph el (fun path ->
+      List.iter
+        (fun workers ->
+          Pool.with_pool ~num_workers:workers (fun pool ->
+              let result =
+                Dsl.Frontend.run compiled ~pool ~argv:[| "bf"; path; "0" |] ()
+              in
+              Alcotest.(check (array int))
+                (Printf.sprintf "dsl bellman-ford workers=%d" workers)
+                expected (find_vector "dist" result);
+              Alcotest.(check bool) "no engine stats (unordered loop)" true
+                (result.Dsl.Interp.stats = None);
+              match result.Dsl.Interp.printed with
+              | [ rounds ] ->
+                  Alcotest.(check bool) "counted rounds" true (int_of_string rounds > 0)
+              | _ -> Alcotest.fail "expected one printed round count"))
+        [ 1; 2 ])
+
+let test_run_widest () =
+  let el = random_weighted_el 308 ~n:120 ~m:700 ~max_w:30 in
+  let g = Csr.of_edge_list el in
+  let expected = Algorithms.Widest_path.sequential g ~source:0 in
+  let compiled = compile_app "widest.gt" in
+  with_graph el (fun path ->
+      List.iter
+        (fun workers ->
+          Pool.with_pool ~num_workers:workers (fun pool ->
+              let result =
+                Dsl.Frontend.run compiled ~pool ~argv:[| "widest"; path; "0" |] ()
+              in
+              Alcotest.(check (array int))
+                (Printf.sprintf "dsl widest workers=%d" workers)
+                expected
+                (find_vector "cap" result)))
+        [ 1; 2 ])
+
+let test_run_kcore () =
+  let rng = Rng.create 306 in
+  let el = Generators.erdos_renyi ~rng ~num_vertices:100 ~num_edges:600 () in
+  let g_sym = Csr.of_edge_list (Edge_list.symmetrized el) in
+  let expected = Algorithms.Kcore_peel_seq.coreness g_sym in
+  let compiled = compile_app "kcore.gt" in
+  with_graph el (fun path ->
+      List.iter
+        (fun workers ->
+          Pool.with_pool ~num_workers:workers (fun pool ->
+              let result =
+                Dsl.Frontend.run compiled ~pool ~argv:[| "kcore"; path |] ()
+              in
+              Alcotest.(check (array int))
+                (Printf.sprintf "dsl kcore workers=%d" workers)
+                expected
+                (find_vector "degrees" result)))
+        [ 1; 2 ])
+
+let test_run_setcover () =
+  let rng = Rng.create 307 in
+  let el = Generators.erdos_renyi ~rng ~num_vertices:80 ~num_edges:400 () in
+  let g_sym = Csr.of_edge_list (Edge_list.symmetrized el) in
+  let compiled = compile_app "setcover.gt" in
+  with_graph el (fun path ->
+      Pool.with_pool ~num_workers:1 (fun pool ->
+          let externs, read_cover = Dsl.Externs.setcover () in
+          let result =
+            Dsl.Frontend.run compiled ~pool ~argv:[| "setcover"; path |] ~externs ()
+          in
+          Alcotest.(check (list string)) "all elements covered" [ "0" ]
+            result.Dsl.Interp.printed;
+          match read_cover () with
+          | None -> Alcotest.fail "externs never initialized"
+          | Some in_cover ->
+              let r =
+                let size =
+                  Array.fold_left (fun a b -> if b then a + 1 else a) 0 in_cover
+                in
+                {
+                  Algorithms.Setcover.in_cover;
+                  cover_size = size;
+                  cover_cost = size;
+                  rounds = 0;
+                  bucket_inserts = 0;
+                }
+              in
+              Alcotest.(check bool) "valid cover" true
+                (Algorithms.Setcover.is_valid_cover g_sym r)))
+
+let test_runtime_errors_are_located () =
+  let compiled = compile_app "sssp.gt" in
+  Pool.with_pool ~num_workers:1 (fun pool ->
+      match Dsl.Frontend.run compiled ~pool ~argv:[| "sssp"; "/nonexistent"; "0" |] () with
+      | exception Dsl.Interp.Runtime_error (_, msg) ->
+          Alcotest.(check bool) "mentions load" true (contains_substring msg "load")
+      | _ -> Alcotest.fail "expected a runtime error")
+
+(* ---------------- code generation ---------------- *)
+
+let generate_with_strategy strategy =
+  let source = read_file (app "sssp.gt") in
+  let src =
+    Str.global_replace (Str.regexp_string "\"eager_with_fusion\"") strategy source
+  in
+  match Dsl.Lower.lower_string src with
+  | Ok lowered -> Dsl.Codegen_cpp.generate lowered
+  | Error msg -> Alcotest.fail msg
+
+let test_codegen_lazy_shape () =
+  let cpp = generate_with_strategy "\"lazy\"" in
+  List.iter
+    (fun fragment ->
+      Alcotest.(check bool) ("contains " ^ fragment) true (contains_substring cpp fragment))
+    [
+      "atomicWriteMin"; "CAS(&dedup_flags"; "setupOutputBuffer"; "updateBuckets";
+      "LazyPriorityQueue";
+    ];
+  Alcotest.(check bool) "no local bins under lazy" false
+    (contains_substring cpp "local_bins")
+
+let test_codegen_eager_shape () =
+  let cpp = generate_with_strategy "\"eager_no_fusion\"" in
+  List.iter
+    (fun fragment ->
+      Alcotest.(check bool) ("contains " ^ fragment) true (contains_substring cpp fragment))
+    [ "#pragma omp parallel"; "local_bins"; "dest_bin"; "EagerPriorityQueue" ];
+  Alcotest.(check bool) "no fusion loop" false (contains_substring cpp "bucket fusion");
+  let fused = generate_with_strategy "\"eager_with_fusion\"" in
+  Alcotest.(check bool) "fusion adds the inner while" true
+    (contains_substring fused "bucket fusion")
+
+let test_codegen_pull_drops_atomics () =
+  let source = read_file (app "sssp.gt") in
+  let src =
+    Str.global_replace (Str.regexp_string "\"eager_with_fusion\"") "\"lazy\"" source
+  in
+  let src =
+    Str.global_replace
+      (Str.regexp_string "->configApplyParallelization(\"s1\", \"dynamic-vertex-parallel\")")
+      "->configApplyDirection(\"s1\", \"DensePull\")" src
+  in
+  match Dsl.Lower.lower_string src with
+  | Error msg -> Alcotest.fail msg
+  | Ok lowered ->
+      let cpp = Dsl.Codegen_cpp.generate lowered in
+      Alcotest.(check bool) "pull iterates in-neighbors" true
+        (contains_substring cpp "getInNgh");
+      Alcotest.(check bool) "no atomic min on pull" false
+        (contains_substring cpp "atomicWriteMin")
+
+let test_codegen_constant_sum_shape () =
+  let source = read_file (app "kcore.gt") in
+  match Dsl.Lower.lower_string source with
+  | Error msg -> Alcotest.fail msg
+  | Ok lowered ->
+      let cpp = Dsl.Codegen_cpp.generate lowered in
+      List.iter
+        (fun fragment ->
+          Alcotest.(check bool) ("contains " ^ fragment) true
+            (contains_substring cpp fragment))
+        [ "apply_f_transformed"; "get_current_priority"; "std::max(priority + (-1) * count" ]
+
+let test_codegen_max_update () =
+  match Dsl.Lower.lower_string (read_file (app "widest.gt")) with
+  | Error msg -> Alcotest.fail msg
+  | Ok lowered ->
+      let cpp = Dsl.Codegen_cpp.generate lowered in
+      Alcotest.(check bool) "max update emitted" true
+        (contains_substring cpp "atomicWriteMax")
+
+let qcheck_parse_never_crashes =
+  QCheck.Test.make ~name:"parser rejects garbage gracefully" ~count:300
+    QCheck.(string_of_size (QCheck.Gen.int_range 0 60))
+    (fun src ->
+      match Dsl.Parser.parse_string src with
+      | _ -> true
+      | exception Dsl.Parser.Error _ -> true
+      (* anything else (e.g. an uncaught exception) fails the property *))
+
+let () =
+  Alcotest.run "dsl"
+    [
+      ( "lexer",
+        [
+          Alcotest.test_case "basics" `Quick test_lexer_basics;
+          Alcotest.test_case "labels and strings" `Quick test_lexer_label_and_strings;
+          Alcotest.test_case "positions" `Quick test_lexer_positions;
+          Alcotest.test_case "errors" `Quick test_lexer_errors;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "sssp shape" `Quick test_parse_sssp_shape;
+          Alcotest.test_case "all apps parse" `Quick test_parse_all_apps;
+          Alcotest.test_case "located errors" `Quick test_parse_errors_are_located;
+          Alcotest.test_case "precedence" `Quick test_operator_precedence;
+          QCheck_alcotest.to_alcotest qcheck_parse_never_crashes;
+        ] );
+      ( "typecheck",
+        [
+          Alcotest.test_case "apps are well typed" `Quick test_typecheck_apps;
+          Alcotest.test_case "rejections" `Quick test_typecheck_rejections;
+          Alcotest.test_case "vertexset ops" `Quick test_typecheck_vertexset_ops;
+        ] );
+      ( "analysis",
+        [
+          Alcotest.test_case "sssp" `Quick test_analysis_sssp;
+          Alcotest.test_case "kcore constant sum" `Quick
+            test_analysis_kcore_constant_sum;
+          Alcotest.test_case "ppsp stop vertex" `Quick test_analysis_ppsp_stop_vertex;
+          Alcotest.test_case "astar atomics" `Quick test_analysis_astar_atomics;
+          Alcotest.test_case "setcover generic" `Quick test_analysis_setcover_generic;
+          Alcotest.test_case "bucket reuse disables" `Quick
+            test_analysis_rejects_bucket_reuse;
+          Alcotest.test_case "two updates rejected" `Quick
+            test_analysis_rejects_two_updates;
+        ] );
+      ( "schedule_lang",
+        [
+          Alcotest.test_case "resolution" `Quick test_schedule_resolution;
+          Alcotest.test_case "bad values" `Quick test_schedule_rejects_bad_values;
+        ] );
+      ( "lowering",
+        [
+          Alcotest.test_case "constant sum on min rejected" `Quick
+            test_lower_rejects_constant_sum_on_min;
+          Alcotest.test_case "eager on generic rejected" `Quick
+            test_lower_rejects_eager_on_generic;
+        ] );
+      ( "execution",
+        [
+          Alcotest.test_case "sssp matches native" `Quick test_run_sssp_matches_native;
+          Alcotest.test_case "sssp all strategies" `Quick test_run_sssp_all_strategies;
+          Alcotest.test_case "wbfs" `Quick test_run_wbfs;
+          Alcotest.test_case "ppsp" `Quick test_run_ppsp;
+          Alcotest.test_case "astar with extern" `Quick test_run_astar_with_extern;
+          Alcotest.test_case "bellman-ford (unordered)" `Quick
+            test_run_bellman_ford_unordered;
+          Alcotest.test_case "widest path" `Quick test_run_widest;
+          Alcotest.test_case "kcore" `Quick test_run_kcore;
+          Alcotest.test_case "setcover" `Quick test_run_setcover;
+          Alcotest.test_case "runtime errors located" `Quick
+            test_runtime_errors_are_located;
+        ] );
+      ( "codegen",
+        [
+          Alcotest.test_case "lazy shape" `Quick test_codegen_lazy_shape;
+          Alcotest.test_case "eager shape" `Quick test_codegen_eager_shape;
+          Alcotest.test_case "pull drops atomics" `Quick test_codegen_pull_drops_atomics;
+          Alcotest.test_case "constant sum shape" `Quick
+            test_codegen_constant_sum_shape;
+          Alcotest.test_case "max update shape" `Quick test_codegen_max_update;
+        ] );
+    ]

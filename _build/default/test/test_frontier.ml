@@ -1,0 +1,78 @@
+module Vertex_subset = Frontier.Vertex_subset
+module Generators = Graphs.Generators
+module Csr = Graphs.Csr
+
+let test_construction_and_cardinal () =
+  let s = Vertex_subset.of_array ~num_vertices:10 [| 3; 1; 7 |] in
+  Alcotest.(check int) "cardinal" 3 (Vertex_subset.cardinal s);
+  Alcotest.(check int) "universe" 10 (Vertex_subset.num_vertices s);
+  Alcotest.(check bool) "not empty" false (Vertex_subset.is_empty s);
+  Alcotest.(check (array int)) "sorted members" [| 1; 3; 7 |]
+    (Vertex_subset.to_sorted_array s);
+  let e = Vertex_subset.empty ~num_vertices:4 in
+  Alcotest.(check bool) "empty" true (Vertex_subset.is_empty e);
+  let f = Vertex_subset.full ~num_vertices:4 in
+  Alcotest.(check int) "full" 4 (Vertex_subset.cardinal f);
+  let g = Vertex_subset.singleton ~num_vertices:4 2 in
+  Alcotest.(check (array int)) "singleton" [| 2 |] (Vertex_subset.to_sorted_array g)
+
+let test_validation () =
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Vertex_subset: vertex out of range") (fun () ->
+      ignore (Vertex_subset.of_array ~num_vertices:3 [| 3 |]));
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Vertex_subset: duplicate member") (fun () ->
+      ignore (Vertex_subset.of_array ~num_vertices:3 [| 1; 1 |]))
+
+let test_membership_and_densify () =
+  let s = Vertex_subset.of_array ~num_vertices:8 [| 0; 5 |] in
+  Alcotest.(check bool) "mem present" true (Vertex_subset.mem s 5);
+  Alcotest.(check bool) "mem absent" false (Vertex_subset.mem s 4);
+  let flags = Vertex_subset.dense_flags s in
+  Alcotest.(check (list int)) "dense flags" [ 0; 5 ] (Support.Bitset.to_list flags)
+
+let test_unsafe_of_array () =
+  let ids = [| 4; 2 |] in
+  let s = Vertex_subset.unsafe_of_array ~num_vertices:6 ids in
+  Alcotest.(check int) "cardinal" 2 (Vertex_subset.cardinal s);
+  Alcotest.(check (array int)) "sorted" [| 2; 4 |] (Vertex_subset.to_sorted_array s);
+  Alcotest.(check bool) "densifies on demand" true (Vertex_subset.mem s 4)
+
+let test_out_degree_sum () =
+  let g = Csr.of_edge_list (Generators.star 5) in
+  let s = Vertex_subset.of_array ~num_vertices:5 [| 0; 1 |] in
+  (* Center has degree 4, leaf has degree 0. *)
+  Alcotest.(check int) "degree sum" 4 (Vertex_subset.out_degree_sum g s)
+
+let test_equal_members () =
+  let a = Vertex_subset.of_array ~num_vertices:5 [| 1; 3 |] in
+  let b = Vertex_subset.of_array ~num_vertices:5 [| 3; 1 |] in
+  let c = Vertex_subset.of_array ~num_vertices:5 [| 1; 2 |] in
+  Alcotest.(check bool) "order-insensitive equality" true (Vertex_subset.equal_members a b);
+  Alcotest.(check bool) "different sets differ" false (Vertex_subset.equal_members a c)
+
+let qcheck_sparse_dense_agree =
+  QCheck.Test.make ~name:"sparse and dense views agree" ~count:200
+    QCheck.(list (int_bound 31))
+    (fun ids ->
+      let ids = List.sort_uniq compare ids in
+      let s = Vertex_subset.of_array ~num_vertices:32 (Array.of_list ids) in
+      let from_dense = Support.Bitset.to_list (Vertex_subset.dense_flags s) in
+      let from_sparse = Array.to_list (Vertex_subset.to_sorted_array s) in
+      from_dense = ids && from_sparse = ids
+      && Vertex_subset.cardinal s = List.length ids)
+
+let () =
+  Alcotest.run "frontier"
+    [
+      ( "vertex_subset",
+        [
+          Alcotest.test_case "construction" `Quick test_construction_and_cardinal;
+          Alcotest.test_case "validation" `Quick test_validation;
+          Alcotest.test_case "membership" `Quick test_membership_and_densify;
+          Alcotest.test_case "unsafe_of_array" `Quick test_unsafe_of_array;
+          Alcotest.test_case "out_degree_sum" `Quick test_out_degree_sum;
+          Alcotest.test_case "equal_members" `Quick test_equal_members;
+          QCheck_alcotest.to_alcotest qcheck_sparse_dense_agree;
+        ] );
+    ]

@@ -1,0 +1,247 @@
+module Edge_list = Graphs.Edge_list
+module Csr = Graphs.Csr
+module Generators = Graphs.Generators
+module Graph_io = Graphs.Graph_io
+module Coords = Graphs.Coords
+module Rng = Support.Rng
+
+let edge src dst weight = { Edge_list.src; dst; weight }
+
+let test_edge_list_validation () =
+  Alcotest.check_raises "endpoint range"
+    (Invalid_argument "Edge_list.create: endpoint out of range") (fun () ->
+      ignore (Edge_list.create ~num_vertices:2 [| edge 0 2 1 |]));
+  Alcotest.check_raises "positive weights"
+    (Invalid_argument "Edge_list.create: weight must be positive") (fun () ->
+      ignore (Edge_list.create ~num_vertices:2 [| edge 0 1 0 |]))
+
+let test_edge_list_dedup () =
+  let el =
+    Edge_list.create ~num_vertices:3
+      [| edge 0 1 5; edge 0 1 3; edge 1 1 2; edge 2 0 7; edge 0 1 9 |]
+  in
+  let d = Edge_list.dedup el in
+  Alcotest.(check int) "dedup count (self-loop dropped)" 2 (Edge_list.num_edges d);
+  let weight_01 =
+    Array.fold_left
+      (fun acc e -> if e.Edge_list.src = 0 && e.Edge_list.dst = 1 then e.Edge_list.weight else acc)
+      0 d.Edge_list.edges
+  in
+  Alcotest.(check int) "keeps min weight" 3 weight_01
+
+let test_edge_list_symmetrized () =
+  let el = Edge_list.create ~num_vertices:3 [| edge 0 1 5; edge 1 0 2; edge 1 2 4 |] in
+  let s = Edge_list.symmetrized el in
+  Alcotest.(check int) "both directions" 4 (Edge_list.num_edges s);
+  let g = Csr.of_edge_list s in
+  Alcotest.(check bool) "0->1" true (Csr.mem_edge g 0 1);
+  Alcotest.(check bool) "1->0" true (Csr.mem_edge g 1 0);
+  Alcotest.(check bool) "2->1" true (Csr.mem_edge g 2 1);
+  (* Symmetrization keeps the min weight of antiparallel duplicates. *)
+  Csr.iter_out g 0 (fun v w -> if v = 1 then Alcotest.(check int) "min weight" 2 w)
+
+let test_csr_structure () =
+  let el =
+    Edge_list.create ~num_vertices:4 [| edge 0 2 7; edge 0 1 3; edge 2 3 1; edge 0 3 9 |]
+  in
+  let g = Csr.of_edge_list el in
+  Alcotest.(check int) "n" 4 (Csr.num_vertices g);
+  Alcotest.(check int) "m" 4 (Csr.num_edges g);
+  Alcotest.(check int) "deg 0" 3 (Csr.out_degree g 0);
+  Alcotest.(check int) "deg 1" 0 (Csr.out_degree g 1);
+  let neighbors = ref [] in
+  Csr.iter_out g 0 (fun v w -> neighbors := (v, w) :: !neighbors);
+  Alcotest.(check (list (pair int int)))
+    "sorted neighbor list"
+    [ (1, 3); (2, 7); (3, 9) ]
+    (List.rev !neighbors);
+  Alcotest.(check int) "fold_out sums weights" 19
+    (Csr.fold_out g 0 (fun acc _ w -> acc + w) 0);
+  Alcotest.(check bool) "mem_edge present" true (Csr.mem_edge g 0 2);
+  Alcotest.(check bool) "mem_edge absent" false (Csr.mem_edge g 1 0);
+  Alcotest.(check int) "max_weight" 9 (Csr.max_weight g)
+
+let test_csr_roundtrip_and_transpose () =
+  let rng = Rng.create 5 in
+  let el = Generators.erdos_renyi ~rng ~num_vertices:50 ~num_edges:300 () in
+  let g = Csr.of_edge_list el in
+  let g2 = Csr.of_edge_list (Csr.to_edge_list g) in
+  Alcotest.(check int) "roundtrip edges" (Csr.num_edges g) (Csr.num_edges g2);
+  let t = Csr.transpose g in
+  Alcotest.(check int) "transpose edge count" (Csr.num_edges g) (Csr.num_edges t);
+  let ok = ref true in
+  for u = 0 to 49 do
+    Csr.iter_out g u (fun v _ -> if not (Csr.mem_edge t v u) then ok := false)
+  done;
+  Alcotest.(check bool) "transpose reverses all edges" true !ok;
+  let tt = Csr.transpose t in
+  let ok = ref true in
+  for u = 0 to 49 do
+    Csr.iter_out g u (fun v _ -> if not (Csr.mem_edge tt u v) then ok := false)
+  done;
+  Alcotest.(check bool) "double transpose = original" true !ok
+
+let test_rmat_properties () =
+  let rng = Rng.create 1 in
+  let el = Generators.rmat ~rng ~scale:10 ~edge_factor:8 () in
+  Alcotest.(check int) "vertex count" 1024 el.Edge_list.num_vertices;
+  Alcotest.(check bool) "dense enough" true (Edge_list.num_edges el > 4000);
+  let g = Csr.of_edge_list el in
+  (* Power-law-ish: the max degree should far exceed the average. *)
+  let degrees = Csr.out_degrees g in
+  let max_deg = Array.fold_left max 0 degrees in
+  let avg = Csr.num_edges g / 1024 in
+  Alcotest.(check bool)
+    (Printf.sprintf "skewed degrees (max=%d avg=%d)" max_deg avg)
+    true
+    (max_deg > 4 * avg)
+
+let test_road_grid_properties () =
+  let rng = Rng.create 2 in
+  let el, coords = Generators.road_grid ~rng ~rows:20 ~cols:30 () in
+  Alcotest.(check int) "vertex count" 600 el.Edge_list.num_vertices;
+  Alcotest.(check int) "coords count" 600 (Coords.num_vertices coords);
+  let g = Csr.of_edge_list el in
+  (* Bounded degree: lattice plus a few shortcuts. *)
+  let max_deg = Array.fold_left max 0 (Csr.out_degrees g) in
+  Alcotest.(check bool) "bounded degree" true (max_deg <= 8);
+  (* Symmetric by construction. *)
+  let symmetric = ref true in
+  for u = 0 to 599 do
+    Csr.iter_out g u (fun v _ -> if not (Csr.mem_edge g v u) then symmetric := false)
+  done;
+  Alcotest.(check bool) "symmetric" true !symmetric;
+  (* Weights dominate the Euclidean heuristic (A* admissibility). *)
+  let admissible = ref true in
+  for u = 0 to 599 do
+    Csr.iter_out g u (fun v w ->
+        if w < Coords.scaled_distance ~scale:100.0 coords u v then admissible := false)
+  done;
+  Alcotest.(check bool) "weights >= scaled euclidean" true !admissible
+
+let test_weight_assignment () =
+  let rng = Rng.create 3 in
+  let el = Generators.erdos_renyi ~rng ~num_vertices:100 ~num_edges:500 () in
+  let weighted = Generators.assign_weights ~rng ~lo:1 ~hi:1000 el in
+  Array.iter
+    (fun e ->
+      if e.Edge_list.weight < 1 || e.Edge_list.weight >= 1000 then
+        Alcotest.fail "weight out of range")
+    weighted.Edge_list.edges;
+  let wbfs = Generators.wbfs_weights ~rng el in
+  Array.iter
+    (fun e ->
+      if e.Edge_list.weight < 1 || e.Edge_list.weight >= 7 then
+        Alcotest.fail "wbfs weight out of [1, log2 100)")
+    wbfs.Edge_list.edges
+
+let test_fixed_shapes () =
+  let p = Generators.path 5 in
+  Alcotest.(check int) "path edges" 4 (Edge_list.num_edges p);
+  let c = Generators.cycle 5 in
+  Alcotest.(check int) "cycle edges" 5 (Edge_list.num_edges c);
+  let s = Generators.star 5 in
+  Alcotest.(check int) "star edges" 4 (Edge_list.num_edges s);
+  let k = Generators.complete 4 in
+  Alcotest.(check int) "complete edges" 12 (Edge_list.num_edges k);
+  let g = Generators.grid 3 4 in
+  (* 2 * (rows*(cols-1) + (rows-1)*cols) directed edges *)
+  Alcotest.(check int) "grid edges" (2 * ((3 * 3) + (2 * 4))) (Edge_list.num_edges g)
+
+let with_temp_file f =
+  let path = Filename.temp_file "graphit_test" ".txt" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+
+let test_io_edge_list_roundtrip () =
+  with_temp_file (fun path ->
+      let rng = Rng.create 9 in
+      let el = Generators.erdos_renyi ~rng ~num_vertices:40 ~num_edges:200 () in
+      let el = Generators.assign_weights ~rng ~lo:1 ~hi:50 el in
+      Graph_io.write_edge_list path el;
+      let el2 = Graph_io.read_edge_list path in
+      Alcotest.(check int) "n" el.Edge_list.num_vertices el2.Edge_list.num_vertices;
+      Alcotest.(check bool) "edges preserved" true (el.Edge_list.edges = el2.Edge_list.edges))
+
+let test_io_dimacs_roundtrip () =
+  with_temp_file (fun path ->
+      let el =
+        Graphs.Edge_list.create ~num_vertices:3 [| edge 0 1 4; edge 1 2 6; edge 2 0 1 |]
+      in
+      Graph_io.write_dimacs path el;
+      let el2 = Graph_io.read_dimacs path in
+      Alcotest.(check bool) "edges preserved" true (el.Edge_list.edges = el2.Edge_list.edges))
+
+let test_io_coords_roundtrip () =
+  with_temp_file (fun path ->
+      let c = Coords.create [| 0.5; 1.25 |] [| -3.0; 7.5 |] in
+      Graph_io.write_coords path c;
+      let c2 = Graph_io.read_coords path in
+      Alcotest.(check int) "count" 2 (Coords.num_vertices c2);
+      Alcotest.(check (float 1e-5)) "x" 1.25 (Coords.x c2 1);
+      Alcotest.(check (float 1e-5)) "y" 7.5 (Coords.y c2 1))
+
+let test_io_malformed () =
+  with_temp_file (fun path ->
+      let oc = open_out path in
+      output_string oc "not a header\n";
+      close_out oc;
+      match Graph_io.read_edge_list path with
+      | exception Failure msg ->
+          Alcotest.(check bool) "located error" true
+            (String.length msg > 0 && String.contains msg ':')
+      | _ -> Alcotest.fail "expected a parse failure")
+
+let qcheck_csr_degree_sum =
+  QCheck.Test.make ~name:"sum of out-degrees = edge count" ~count:100
+    QCheck.(pair (int_range 1 60) (int_bound 300))
+    (fun (n, m) ->
+      let rng = Rng.create (n + (m * 1000)) in
+      let el = Generators.erdos_renyi ~rng ~num_vertices:n ~num_edges:m () in
+      let g = Csr.of_edge_list el in
+      Array.fold_left ( + ) 0 (Csr.out_degrees g) = Csr.num_edges g)
+
+let qcheck_symmetrized_is_symmetric =
+  QCheck.Test.make ~name:"symmetrized graphs are symmetric" ~count:50
+    QCheck.(pair (int_range 2 40) (int_bound 200))
+    (fun (n, m) ->
+      let rng = Rng.create (n + (m * 77)) in
+      let el = Generators.erdos_renyi ~rng ~num_vertices:n ~num_edges:m () in
+      let g = Csr.of_edge_list (Edge_list.symmetrized el) in
+      let ok = ref true in
+      for u = 0 to n - 1 do
+        Csr.iter_out g u (fun v _ -> if not (Csr.mem_edge g v u) then ok := false)
+      done;
+      !ok)
+
+let () =
+  Alcotest.run "graphs"
+    [
+      ( "edge_list",
+        [
+          Alcotest.test_case "validation" `Quick test_edge_list_validation;
+          Alcotest.test_case "dedup" `Quick test_edge_list_dedup;
+          Alcotest.test_case "symmetrized" `Quick test_edge_list_symmetrized;
+          QCheck_alcotest.to_alcotest qcheck_symmetrized_is_symmetric;
+        ] );
+      ( "csr",
+        [
+          Alcotest.test_case "structure" `Quick test_csr_structure;
+          Alcotest.test_case "roundtrip/transpose" `Quick
+            test_csr_roundtrip_and_transpose;
+          QCheck_alcotest.to_alcotest qcheck_csr_degree_sum;
+        ] );
+      ( "generators",
+        [
+          Alcotest.test_case "rmat" `Quick test_rmat_properties;
+          Alcotest.test_case "road grid" `Quick test_road_grid_properties;
+          Alcotest.test_case "weights" `Quick test_weight_assignment;
+          Alcotest.test_case "fixed shapes" `Quick test_fixed_shapes;
+        ] );
+      ( "io",
+        [
+          Alcotest.test_case "edge list roundtrip" `Quick test_io_edge_list_roundtrip;
+          Alcotest.test_case "dimacs roundtrip" `Quick test_io_dimacs_roundtrip;
+          Alcotest.test_case "coords roundtrip" `Quick test_io_coords_roundtrip;
+          Alcotest.test_case "malformed input" `Quick test_io_malformed;
+        ] );
+    ]

@@ -1,0 +1,185 @@
+module Pool = Parallel.Pool
+module Atomic_array = Parallel.Atomic_array
+module Prefix_sum = Parallel.Prefix_sum
+
+let worker_counts = [ 1; 2; 4 ]
+
+let test_run_workers_covers_all_tids () =
+  List.iter
+    (fun w ->
+      Pool.with_pool ~num_workers:w (fun pool ->
+          let seen = Array.make w 0 in
+          Pool.run_workers pool (fun tid -> seen.(tid) <- seen.(tid) + 1);
+          Alcotest.(check (array int))
+            (Printf.sprintf "every tid ran once (w=%d)" w)
+            (Array.make w 1) seen))
+    worker_counts
+
+let test_run_workers_propagates_exception () =
+  Pool.with_pool ~num_workers:3 (fun pool ->
+      Alcotest.check_raises "exception reaches caller" (Failure "boom") (fun () ->
+          Pool.run_workers pool (fun tid -> if tid = 2 then failwith "boom"));
+      (* The pool must still be usable afterwards. *)
+      let total = Atomic.make 0 in
+      Pool.run_workers pool (fun _ -> ignore (Atomic.fetch_and_add total 1));
+      Alcotest.(check int) "pool alive after exception" 3 (Atomic.get total))
+
+let test_parallel_for_sums () =
+  List.iter
+    (fun w ->
+      Pool.with_pool ~num_workers:w (fun pool ->
+          let n = 10_000 in
+          let hits = Atomic_array.make n 0 in
+          Pool.parallel_for pool ~chunk:7 ~lo:0 ~hi:n (fun i ->
+              ignore (Atomic_array.fetch_add hits i 1));
+          let ok = ref true in
+          for i = 0 to n - 1 do
+            if Atomic_array.get hits i <> 1 then ok := false
+          done;
+          Alcotest.(check bool)
+            (Printf.sprintf "each index exactly once (w=%d)" w)
+            true !ok))
+    worker_counts
+
+let test_parallel_for_empty_range () =
+  Pool.with_pool ~num_workers:2 (fun pool ->
+      let ran = ref false in
+      Pool.parallel_for pool ~lo:5 ~hi:5 (fun _ -> ran := true);
+      Pool.parallel_for pool ~lo:5 ~hi:2 (fun _ -> ran := true);
+      Alcotest.(check bool) "no iterations" false !ran)
+
+let test_parallel_for_reduce () =
+  List.iter
+    (fun w ->
+      Pool.with_pool ~num_workers:w (fun pool ->
+          let n = 5000 in
+          let total =
+            Pool.parallel_for_reduce pool ~chunk:13 ~lo:0 ~hi:n ~neutral:0
+              ~combine:( + ) (fun i -> i)
+          in
+          Alcotest.(check int)
+            (Printf.sprintf "sum 0..%d (w=%d)" (n - 1) w)
+            (n * (n - 1) / 2)
+            total))
+    worker_counts
+
+let test_parallel_for_tid () =
+  Pool.with_pool ~num_workers:4 (fun pool ->
+      let n = 1000 in
+      let per_tid = Array.make 4 0 in
+      let marks = Atomic_array.make n 0 in
+      Pool.parallel_for_tid pool ~chunk:9 ~lo:0 ~hi:n (fun ~tid i ->
+          per_tid.(tid) <- per_tid.(tid) + 1;
+          ignore (Atomic_array.fetch_add marks i 1));
+      Alcotest.(check int) "work conserved" n (Array.fold_left ( + ) 0 per_tid);
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        if Atomic_array.get marks i <> 1 then ok := false
+      done;
+      Alcotest.(check bool) "each index once" true !ok)
+
+let test_atomic_fetch_min_max () =
+  let a = Atomic_array.make 4 10 in
+  Alcotest.(check bool) "min lowers" true (Atomic_array.fetch_min a 0 5);
+  Alcotest.(check bool) "min no-op" false (Atomic_array.fetch_min a 0 7);
+  Alcotest.(check int) "value after min" 5 (Atomic_array.get a 0);
+  Alcotest.(check bool) "max raises" true (Atomic_array.fetch_max a 1 20);
+  Alcotest.(check bool) "max no-op" false (Atomic_array.fetch_max a 1 15);
+  Alcotest.(check int) "value after max" 20 (Atomic_array.get a 1)
+
+let test_atomic_add_with_floor () =
+  let a = Atomic_array.make 1 10 in
+  (match Atomic_array.add_with_floor a 0 ~delta:(-3) ~floor:5 with
+  | Some (before, after) ->
+      Alcotest.(check (pair int int)) "decrement" (10, 7) (before, after)
+  | None -> Alcotest.fail "expected a change");
+  (match Atomic_array.add_with_floor a 0 ~delta:(-5) ~floor:5 with
+  | Some (before, after) ->
+      Alcotest.(check (pair int int)) "clamped at floor" (7, 5) (before, after)
+  | None -> Alcotest.fail "expected a clamped change");
+  Alcotest.(check bool) "no change at floor" true
+    (Atomic_array.add_with_floor a 0 ~delta:(-1) ~floor:5 = None);
+  (* Crucially: a decrement with a *higher* floor must not raise the value
+     (finalized k-core vertices stay finalized). *)
+  Alcotest.(check bool) "never raises toward floor" true
+    (Atomic_array.add_with_floor a 0 ~delta:(-1) ~floor:9 = None);
+  Alcotest.(check int) "value untouched" 5 (Atomic_array.get a 0)
+
+let test_atomic_concurrent_min () =
+  Pool.with_pool ~num_workers:4 (fun pool ->
+      let a = Atomic_array.make 1 max_int in
+      let wins = Atomic.make 0 in
+      Pool.parallel_for pool ~chunk:1 ~lo:0 ~hi:1000 (fun i ->
+          if Atomic_array.fetch_min a 0 (1000 - i) then
+            ignore (Atomic.fetch_and_add wins 1));
+      Alcotest.(check int) "final is global min" 1 (Atomic_array.get a 0);
+      Alcotest.(check bool) "at least one win" true (Atomic.get wins >= 1))
+
+let test_atomic_concurrent_fetch_add () =
+  Pool.with_pool ~num_workers:4 (fun pool ->
+      let a = Atomic_array.make 1 0 in
+      Pool.parallel_for pool ~chunk:3 ~lo:0 ~hi:10_000 (fun _ ->
+          ignore (Atomic_array.fetch_add a 0 1));
+      Alcotest.(check int) "no lost updates" 10_000 (Atomic_array.get a 0))
+
+let test_prefix_sum_small () =
+  Alcotest.(check (array int)) "empty" [| 0 |] (Prefix_sum.exclusive [||]);
+  Alcotest.(check (array int))
+    "basic" [| 0; 1; 3; 6; 10 |]
+    (Prefix_sum.exclusive [| 1; 2; 3; 4 |])
+
+let qcheck_prefix_sum_parallel_matches =
+  QCheck.Test.make ~name:"parallel prefix sum = sequential" ~count:50
+    QCheck.(pair (array (int_bound 100)) (int_range 1 4))
+    (fun (a, workers) ->
+      Pool.with_pool ~num_workers:workers (fun pool ->
+          Prefix_sum.exclusive_parallel pool a = Prefix_sum.exclusive a))
+
+let qcheck_prefix_sum_parallel_large =
+  QCheck.Test.make ~name:"parallel prefix sum on large arrays" ~count:10
+    (QCheck.int_range 4096 20000)
+    (fun n ->
+      let rng = Support.Rng.create n in
+      let a = Array.init n (fun _ -> Support.Rng.int rng 50) in
+      Pool.with_pool ~num_workers:4 (fun pool ->
+          Prefix_sum.exclusive_parallel pool a = Prefix_sum.exclusive a))
+
+let test_pool_invalid_args () =
+  Alcotest.check_raises "zero workers"
+    (Invalid_argument "Pool.create: num_workers must be >= 1") (fun () ->
+      ignore (Pool.create ~num_workers:0));
+  Pool.with_pool ~num_workers:1 (fun pool ->
+      Alcotest.check_raises "bad chunk"
+        (Invalid_argument "Pool.parallel_for: chunk must be >= 1") (fun () ->
+          Pool.parallel_for pool ~chunk:0 ~lo:0 ~hi:10 ignore))
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "run_workers covers tids" `Quick
+            test_run_workers_covers_all_tids;
+          Alcotest.test_case "exception propagation" `Quick
+            test_run_workers_propagates_exception;
+          Alcotest.test_case "parallel_for coverage" `Quick test_parallel_for_sums;
+          Alcotest.test_case "empty range" `Quick test_parallel_for_empty_range;
+          Alcotest.test_case "parallel_for_reduce" `Quick test_parallel_for_reduce;
+          Alcotest.test_case "parallel_for_tid" `Quick test_parallel_for_tid;
+          Alcotest.test_case "invalid args" `Quick test_pool_invalid_args;
+        ] );
+      ( "atomic_array",
+        [
+          Alcotest.test_case "fetch_min/max" `Quick test_atomic_fetch_min_max;
+          Alcotest.test_case "add_with_floor" `Quick test_atomic_add_with_floor;
+          Alcotest.test_case "concurrent min" `Quick test_atomic_concurrent_min;
+          Alcotest.test_case "concurrent fetch_add" `Quick
+            test_atomic_concurrent_fetch_add;
+        ] );
+      ( "prefix_sum",
+        [
+          Alcotest.test_case "small cases" `Quick test_prefix_sum_small;
+          QCheck_alcotest.to_alcotest qcheck_prefix_sum_parallel_matches;
+          QCheck_alcotest.to_alcotest qcheck_prefix_sum_parallel_large;
+        ] );
+    ]

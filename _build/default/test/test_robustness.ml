@@ -1,0 +1,406 @@
+(* Edge cases and failure injection across layers: degenerate graphs,
+   direct priority-queue semantics, execution-counter invariants, and DSL
+   runtime errors. *)
+
+module Pool = Parallel.Pool
+module Atomic_array = Parallel.Atomic_array
+module Csr = Graphs.Csr
+module Edge_list = Graphs.Edge_list
+module Generators = Graphs.Generators
+module Rng = Support.Rng
+module Schedule = Ordered.Schedule
+module Bucket_order = Bucketing.Bucket_order
+module Pq = Ordered.Priority_queue
+
+let schedule ?(strategy = Schedule.Eager_with_fusion) ?(delta = 1) () =
+  { Schedule.default with strategy; delta }
+
+let all_strategies =
+  [ Schedule.Eager_with_fusion; Schedule.Eager_no_fusion; Schedule.Lazy ]
+
+(* ---------------- degenerate graphs ---------------- *)
+
+let test_sssp_edgeless_graph () =
+  let g = Csr.of_edge_list (Edge_list.create ~num_vertices:5 [||]) in
+  Pool.with_pool ~num_workers:2 (fun pool ->
+      List.iter
+        (fun strategy ->
+          let r =
+            Algorithms.Sssp_delta.run ~pool ~graph:g ~schedule:(schedule ~strategy ())
+              ~source:3 ()
+          in
+          Alcotest.(check int) "source at 0" 0 r.dist.(3);
+          Alcotest.(check int) "others unreachable" Bucket_order.null_priority r.dist.(0))
+        all_strategies)
+
+let test_sssp_single_vertex () =
+  let g = Csr.of_edge_list (Edge_list.create ~num_vertices:1 [||]) in
+  Pool.with_pool ~num_workers:1 (fun pool ->
+      let r = Algorithms.Sssp_delta.run ~pool ~graph:g ~schedule:(schedule ()) ~source:0 () in
+      Alcotest.(check (array int)) "singleton" [| 0 |] r.dist)
+
+let test_kcore_edgeless () =
+  let g = Csr.of_edge_list (Edge_list.create ~num_vertices:4 [||]) in
+  Pool.with_pool ~num_workers:1 (fun pool ->
+      let r = Algorithms.Kcore.run ~pool ~graph:g ~schedule:(schedule ()) () in
+      Alcotest.(check (array int)) "all coreness zero" [| 0; 0; 0; 0 |] r.coreness)
+
+let test_setcover_edgeless () =
+  (* Every vertex must buy its own singleton set. *)
+  let g = Csr.of_edge_list (Edge_list.create ~num_vertices:6 [||]) in
+  Pool.with_pool ~num_workers:2 (fun pool ->
+      let r =
+        Algorithms.Setcover.run ~pool ~graph:g
+          ~schedule:(schedule ~strategy:Schedule.Lazy ())
+          ()
+      in
+      Alcotest.(check bool) "valid" true (Algorithms.Setcover.is_valid_cover g r);
+      Alcotest.(check int) "all six sets" 6 r.cover_size)
+
+let test_widest_single_edge () =
+  let g = Csr.of_edge_list (Edge_list.create ~num_vertices:2 [| { src = 0; dst = 1; weight = 7 } |]) in
+  Pool.with_pool ~num_workers:1 (fun pool ->
+      let r = Algorithms.Widest_path.run ~pool ~graph:g ~schedule:(schedule ()) ~source:0 () in
+      Alcotest.(check int) "capacity across the edge" 7 r.capacity.(1))
+
+let test_complete_graph_all_strategies () =
+  let rng = Rng.create 9 in
+  let el = Generators.assign_weights ~rng ~lo:1 ~hi:20 (Generators.complete 12) in
+  let g = Csr.of_edge_list el in
+  let expected = Algorithms.Dijkstra.distances g ~source:0 in
+  Pool.with_pool ~num_workers:4 (fun pool ->
+      List.iter
+        (fun strategy ->
+          List.iter
+            (fun delta ->
+              let r =
+                Algorithms.Sssp_delta.run ~pool ~graph:g
+                  ~schedule:(schedule ~strategy ~delta ()) ~source:0 ()
+              in
+              Alcotest.(check (array int))
+                (Printf.sprintf "complete %s delta=%d"
+                   (Schedule.strategy_to_string strategy) delta)
+                expected r.dist)
+            [ 1; 7 ])
+        all_strategies)
+
+(* ---------------- priority queue unit semantics ---------------- *)
+
+let make_pq ?(strategy = Schedule.Eager_no_fusion) ?(direction = Bucket_order.Lower_first)
+    ?(initial = Pq.No_initial) ?constant_sum_delta priorities =
+  Pq.create
+    ~schedule:{ Schedule.default with strategy }
+    ~num_workers:1 ~direction ~allow_coarsening:false
+    ~priorities:(Atomic_array.of_array priorities)
+    ~initial ?constant_sum_delta ()
+
+let ctx = { Pq.tid = 0; use_atomics = true }
+
+let test_pq_min_updates_and_order () =
+  let pq = make_pq [| 0; max_int; max_int |] ~initial:(Pq.Start_vertex 0) in
+  Pq.update_priority_min pq ctx 1 5;
+  Pq.update_priority_min pq ctx 2 3;
+  Pq.update_priority_min pq ctx 1 2 (* improves: 5 -> 2 *);
+  let order = ref [] in
+  while not (Pq.finished pq) do
+    let frontier = Pq.dequeue_ready_set pq in
+    Frontier.Vertex_subset.iter
+      (fun v -> if Pq.vertex_on_current_bucket pq v then order := v :: !order)
+      frontier
+  done;
+  Alcotest.(check (list int)) "ascending priority order" [ 0; 1; 2 ] (List.rev !order)
+
+let test_pq_max_updates_higher_first () =
+  let pq =
+    make_pq [| 10; 0; 0 |] ~direction:Bucket_order.Higher_first
+      ~initial:(Pq.Start_vertex 0)
+  in
+  Pq.update_priority_max pq ctx 1 4;
+  Pq.update_priority_max pq ctx 2 8;
+  Pq.update_priority_max pq ctx 1 1 (* no-op: 4 > 1 *);
+  let order = ref [] in
+  while not (Pq.finished pq) do
+    let frontier = Pq.dequeue_ready_set pq in
+    Frontier.Vertex_subset.iter
+      (fun v -> if Pq.vertex_on_current_bucket pq v then order := v :: !order)
+      frontier
+  done;
+  Alcotest.(check (list int)) "descending priority order" [ 0; 2; 1 ] (List.rev !order)
+
+let test_pq_dequeue_after_finished_raises () =
+  let pq = make_pq [| max_int |] in
+  Alcotest.(check bool) "empty queue finished" true (Pq.finished pq);
+  match Pq.dequeue_ready_set pq with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+let test_pq_finished_vertex_progression () =
+  let pq = make_pq [| 0; 2; 9 |] ~initial:Pq.All_vertices in
+  Alcotest.(check bool) "nothing finished before processing" false
+    (Pq.finished_vertex pq 0);
+  ignore (Pq.dequeue_ready_set pq) (* bucket 0 *);
+  ignore (Pq.dequeue_ready_set pq) (* bucket 2: cursor moved past 0 *);
+  Alcotest.(check bool) "vertex 0 finalized" true (Pq.finished_vertex pq 0);
+  Alcotest.(check bool) "vertex 2 not yet" false (Pq.finished_vertex pq 2);
+  Alcotest.(check int) "current priority" 2 (Pq.current_priority pq)
+
+let test_pq_constant_sum_recorder_presence () =
+  let with_strategy strategy delta =
+    make_pq [| 3; 3 |] ~strategy ?constant_sum_delta:delta ~initial:Pq.All_vertices
+  in
+  Alcotest.(check bool) "eager has no recorder" true
+    (Pq.constant_sum_recorder (with_strategy Schedule.Eager_no_fusion None) = None);
+  Alcotest.(check bool) "plain lazy has no recorder" true
+    (Pq.constant_sum_recorder (with_strategy Schedule.Lazy None) = None);
+  Alcotest.(check bool) "constant-sum backend has one" true
+    (Pq.constant_sum_recorder (with_strategy Schedule.Lazy_constant_sum (Some (-1)))
+    <> None)
+
+let test_pq_constant_sum_requires_delta () =
+  match
+    Pq.create
+      ~schedule:{ Schedule.default with strategy = Schedule.Lazy_constant_sum }
+      ~num_workers:1 ~direction:Bucket_order.Lower_first ~allow_coarsening:false
+      ~priorities:(Atomic_array.make 2 1) ~initial:Pq.All_vertices ()
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected rejection without constant_sum_delta"
+
+let test_pq_sum_diff_mismatch_rejected () =
+  let pq =
+    make_pq [| 5; 5 |] ~strategy:Schedule.Lazy_constant_sum
+      ~constant_sum_delta:(-1) ~initial:Pq.All_vertices
+  in
+  match Pq.update_priority_sum pq ctx 0 ~diff:(-2) ~floor:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected diff mismatch rejection"
+
+let test_pq_set_priority_reinserts () =
+  let pq = make_pq [| 1; 5 |] ~strategy:Schedule.Lazy ~initial:Pq.All_vertices in
+  ignore (Pq.dequeue_ready_set pq) (* bucket 1 = {0} *);
+  (* Vertex 1 gets a recomputed priority (SetCover style). *)
+  Pq.set_priority pq ctx 1 3;
+  let frontier = Pq.dequeue_ready_set pq in
+  Alcotest.(check int) "reinserted at new priority" 3 (Pq.current_priority pq);
+  Alcotest.(check (array int)) "the right vertex" [| 1 |]
+    (Frontier.Vertex_subset.to_sorted_array frontier)
+
+(* ---------------- stats invariants ---------------- *)
+
+let qcheck_stats_invariants =
+  QCheck.Test.make ~name:"engine counters satisfy structural invariants" ~count:40
+    QCheck.(
+      quad (int_range 2 60) (int_bound 300) (int_range 1 16) (int_range 0 2))
+    (fun (n, m, delta, strat_idx) ->
+      let rng = Rng.create (n + (m * 97) + delta) in
+      let el = Generators.erdos_renyi ~rng ~num_vertices:n ~num_edges:m () in
+      let g = Csr.of_edge_list (Generators.assign_weights ~rng ~lo:1 ~hi:30 el) in
+      let strategy = List.nth all_strategies strat_idx in
+      Pool.with_pool ~num_workers:2 (fun pool ->
+          let r =
+            Algorithms.Sssp_delta.run ~pool ~graph:g ~schedule:(schedule ~strategy ~delta ())
+              ~source:0 ()
+          in
+          let s = r.stats in
+          let open Ordered.Stats in
+          let reachable =
+            Array.fold_left
+              (fun acc d -> if d <> Bucket_order.null_priority then acc + 1 else acc)
+              0 r.dist
+          in
+          s.buckets_processed <= s.rounds
+          && s.rounds <= s.global_syncs
+          && s.vertices_processed >= reachable - 1
+          && s.bucket_inserts >= reachable - 1
+          && (strategy = Schedule.Eager_with_fusion || s.fused_drains = 0)))
+
+(* ---------------- DSL failure injection ---------------- *)
+
+let compile src =
+  match Dsl.Frontend.compile src with
+  | Ok c -> c
+  | Error msg -> Alcotest.fail msg
+
+let expect_runtime_error ?(argv = [| "prog" |]) ?(externs = []) src fragment =
+  let compiled = compile src in
+  Pool.with_pool ~num_workers:1 (fun pool ->
+      match Dsl.Frontend.run compiled ~pool ~argv ~externs () with
+      | exception Dsl.Interp.Runtime_error (_, msg) ->
+          let re = Str.regexp_string fragment in
+          Alcotest.(check bool)
+            (Printf.sprintf "error %S mentions %S" msg fragment)
+            true
+            (try
+               ignore (Str.search_forward re msg 0);
+               true
+             with Not_found -> false)
+      | _ -> Alcotest.fail ("expected runtime error for " ^ fragment))
+
+let minimal_prelude = "element Vertex end\nelement Edge end\n"
+
+let test_dsl_argv_out_of_range () =
+  expect_runtime_error
+    (minimal_prelude ^ "func main() var x : int = atoi(argv[5]); end")
+    "argv[5] out of range"
+
+let test_dsl_division_by_zero () =
+  expect_runtime_error
+    (minimal_prelude ^ "func main() var x : int = 1 / 0; end")
+    "division by zero"
+
+let test_dsl_vector_index_out_of_range () =
+  let src =
+    "element Vertex end\nelement Edge end\n\
+     const edges : edgeset{Edge}(Vertex, Vertex, int) = load(argv[1]);\n\
+     const dist : vector{Vertex}(int) = INT_MAX;\n\
+     func main() dist[99999] = 0; end"
+  in
+  let el =
+    Edge_list.create ~num_vertices:3 [| { src = 0; dst = 1; weight = 1 } |]
+  in
+  let path = Filename.temp_file "robust" ".el" in
+  Graphs.Graph_io.write_edge_list path el;
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let compiled = compile src in
+      Pool.with_pool ~num_workers:1 (fun pool ->
+          match Dsl.Frontend.run compiled ~pool ~argv:[| "p"; path |] () with
+          | exception Dsl.Interp.Runtime_error (_, msg) ->
+              Alcotest.(check bool) "mentions range" true
+                (String.length msg > 0)
+          | _ -> Alcotest.fail "expected out-of-range error"))
+
+let test_dsl_vector_before_edgeset () =
+  expect_runtime_error
+    ("element Vertex end\nelement Edge end\n\
+      const dist : vector{Vertex}(int) = INT_MAX;\n\
+      func main() end")
+    "before any edgeset"
+
+let test_dsl_unregistered_extern () =
+  expect_runtime_error
+    (minimal_prelude
+   ^ "extern func mystery(x : int) : int;\n\
+      func main() var x : int = mystery(1); end")
+    "unknown function"
+
+let test_dsl_print_collects_output () =
+  let compiled =
+    compile
+      (minimal_prelude
+     ^ "func main()\nprint(1 + 2);\nprint(\"done\");\nend")
+  in
+  Pool.with_pool ~num_workers:1 (fun pool ->
+      let result = Dsl.Frontend.run compiled ~pool ~argv:[| "p" |] () in
+      Alcotest.(check (list string)) "printed in order" [ "3"; "done" ]
+        result.Dsl.Interp.printed)
+
+let test_dsl_generic_while_loop () =
+  (* An ordinary while loop (no priority-queue pattern) interprets
+     normally. *)
+  let compiled =
+    compile
+      (minimal_prelude
+     ^ "func main()\n\
+        var total : int = 0;\n\
+        var i : int = 0;\n\
+        while i < 5\n\
+        total = total + i;\n\
+        i = i + 1;\n\
+        end\n\
+        print(total);\n\
+        end")
+  in
+  Pool.with_pool ~num_workers:1 (fun pool ->
+      let result = Dsl.Frontend.run compiled ~pool ~argv:[| "p" |] () in
+      Alcotest.(check (list string)) "10" [ "10" ] result.Dsl.Interp.printed)
+
+(* ---------------- baseline edge cases ---------------- *)
+
+let test_galois_unreachable_target () =
+  let el =
+    Edge_list.create ~num_vertices:4
+      [| { src = 0; dst = 1; weight = 1 }; { src = 2; dst = 3; weight = 1 } |]
+  in
+  let g = Csr.of_edge_list el in
+  Pool.with_pool ~num_workers:2 (fun pool ->
+      Alcotest.(check int) "galois unreachable" Bucket_order.null_priority
+        (Baselines.Galois_like.ppsp ~pool ~graph:g ~delta:2 ~source:0 ~target:3 ());
+      Alcotest.(check int) "julienne unreachable" Bucket_order.null_priority
+        (Baselines.Julienne_like.ppsp ~pool ~graph:g ~delta:2 ~source:0 ~target:3 ()))
+
+let test_io_header_mismatch () =
+  let path = Filename.temp_file "robust" ".el" in
+  let oc = open_out path in
+  output_string oc "# 3 5\n0 1 2\n";
+  close_out oc;
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      match Graphs.Graph_io.read_edge_list path with
+      | exception Failure msg ->
+          Alcotest.(check bool) "mentions mismatch" true
+            (String.length msg > 0)
+      | _ -> Alcotest.fail "expected edge-count mismatch failure")
+
+let test_io_dimacs_comments () =
+  let path = Filename.temp_file "robust" ".gr" in
+  let oc = open_out path in
+  output_string oc "c a comment line\np sp 2 1\nc another\na 1 2 9\n";
+  close_out oc;
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let el = Graphs.Graph_io.read_dimacs path in
+      Alcotest.(check int) "one edge" 1 (Edge_list.num_edges el);
+      Alcotest.(check int) "0-indexed" 0 el.Edge_list.edges.(0).Edge_list.src)
+
+let () =
+  Alcotest.run "robustness"
+    [
+      ( "degenerate graphs",
+        [
+          Alcotest.test_case "sssp edgeless" `Quick test_sssp_edgeless_graph;
+          Alcotest.test_case "sssp singleton" `Quick test_sssp_single_vertex;
+          Alcotest.test_case "kcore edgeless" `Quick test_kcore_edgeless;
+          Alcotest.test_case "setcover edgeless" `Quick test_setcover_edgeless;
+          Alcotest.test_case "widest single edge" `Quick test_widest_single_edge;
+          Alcotest.test_case "complete graph" `Quick test_complete_graph_all_strategies;
+        ] );
+      ( "priority queue",
+        [
+          Alcotest.test_case "min updates order" `Quick test_pq_min_updates_and_order;
+          Alcotest.test_case "max updates higher first" `Quick
+            test_pq_max_updates_higher_first;
+          Alcotest.test_case "dequeue after finished" `Quick
+            test_pq_dequeue_after_finished_raises;
+          Alcotest.test_case "finished_vertex progression" `Quick
+            test_pq_finished_vertex_progression;
+          Alcotest.test_case "recorder presence" `Quick
+            test_pq_constant_sum_recorder_presence;
+          Alcotest.test_case "constant sum needs delta" `Quick
+            test_pq_constant_sum_requires_delta;
+          Alcotest.test_case "sum diff mismatch" `Quick test_pq_sum_diff_mismatch_rejected;
+          Alcotest.test_case "set_priority reinserts" `Quick
+            test_pq_set_priority_reinserts;
+        ] );
+      ("stats", [ QCheck_alcotest.to_alcotest qcheck_stats_invariants ]);
+      ( "dsl runtime errors",
+        [
+          Alcotest.test_case "argv out of range" `Quick test_dsl_argv_out_of_range;
+          Alcotest.test_case "division by zero" `Quick test_dsl_division_by_zero;
+          Alcotest.test_case "vector index" `Quick test_dsl_vector_index_out_of_range;
+          Alcotest.test_case "vector before edgeset" `Quick
+            test_dsl_vector_before_edgeset;
+          Alcotest.test_case "unregistered extern" `Quick test_dsl_unregistered_extern;
+          Alcotest.test_case "print output" `Quick test_dsl_print_collects_output;
+          Alcotest.test_case "generic while loop" `Quick test_dsl_generic_while_loop;
+        ] );
+      ( "baselines/io",
+        [
+          Alcotest.test_case "unreachable targets" `Quick test_galois_unreachable_target;
+          Alcotest.test_case "io header mismatch" `Quick test_io_header_mismatch;
+          Alcotest.test_case "dimacs comments" `Quick test_io_dimacs_comments;
+        ] );
+    ]

@@ -1,0 +1,202 @@
+module Int_vec = Support.Int_vec
+module Bitset = Support.Bitset
+module Rng = Support.Rng
+module Min_heap = Support.Min_heap
+
+let test_int_vec_push_get () =
+  let v = Int_vec.create () in
+  Alcotest.(check bool) "fresh is empty" true (Int_vec.is_empty v);
+  for i = 0 to 999 do
+    Int_vec.push v (i * 3)
+  done;
+  Alcotest.(check int) "length" 1000 (Int_vec.length v);
+  Alcotest.(check int) "get 0" 0 (Int_vec.get v 0);
+  Alcotest.(check int) "get 999" 2997 (Int_vec.get v 999);
+  Int_vec.set v 5 42;
+  Alcotest.(check int) "set/get" 42 (Int_vec.get v 5)
+
+let test_int_vec_bounds () =
+  let v = Int_vec.of_array [| 1; 2; 3 |] in
+  Alcotest.check_raises "get out of bounds"
+    (Invalid_argument "Int_vec: index out of bounds") (fun () ->
+      ignore (Int_vec.get v 3));
+  Alcotest.check_raises "negative index"
+    (Invalid_argument "Int_vec: index out of bounds") (fun () ->
+      ignore (Int_vec.get v (-1)))
+
+let test_int_vec_clear_append () =
+  let a = Int_vec.of_array [| 1; 2 |] and b = Int_vec.of_array [| 3; 4; 5 |] in
+  Int_vec.append a b;
+  Alcotest.(check (array int)) "append" [| 1; 2; 3; 4; 5 |] (Int_vec.to_array a);
+  Int_vec.clear a;
+  Alcotest.(check bool) "cleared" true (Int_vec.is_empty a);
+  Int_vec.push a 9;
+  Alcotest.(check (array int)) "reusable after clear" [| 9 |] (Int_vec.to_array a)
+
+let test_int_vec_pop_swap () =
+  let a = Int_vec.of_array [| 1; 2; 3 |] in
+  Alcotest.(check (option int)) "pop" (Some 3) (Int_vec.pop a);
+  Alcotest.(check int) "pop shrinks" 2 (Int_vec.length a);
+  let b = Int_vec.of_array [| 7 |] in
+  Int_vec.swap_buffers a b;
+  Alcotest.(check (array int)) "swap a" [| 7 |] (Int_vec.to_array a);
+  Alcotest.(check (array int)) "swap b" [| 1; 2 |] (Int_vec.to_array b)
+
+let test_int_vec_fold_iter () =
+  let v = Int_vec.of_array [| 1; 2; 3; 4 |] in
+  Alcotest.(check int) "fold sum" 10 (Int_vec.fold ( + ) 0 v);
+  let seen = ref [] in
+  Int_vec.iter (fun x -> seen := x :: !seen) v;
+  Alcotest.(check (list int)) "iter order" [ 4; 3; 2; 1 ] !seen;
+  Alcotest.(check bool) "exists" true (Int_vec.exists (fun x -> x = 3) v);
+  Alcotest.(check bool) "not exists" false (Int_vec.exists (fun x -> x = 9) v)
+
+let test_bitset_basics () =
+  let s = Bitset.create 100 in
+  Alcotest.(check int) "capacity" 100 (Bitset.capacity s);
+  Alcotest.(check bool) "initially absent" false (Bitset.mem s 7);
+  Bitset.add s 7;
+  Bitset.add s 0;
+  Bitset.add s 99;
+  Alcotest.(check bool) "added" true (Bitset.mem s 7);
+  Alcotest.(check int) "count" 3 (Bitset.count s);
+  Alcotest.(check (list int)) "to_list sorted" [ 0; 7; 99 ] (Bitset.to_list s);
+  Bitset.remove s 7;
+  Alcotest.(check bool) "removed" false (Bitset.mem s 7);
+  Bitset.clear s;
+  Alcotest.(check int) "cleared" 0 (Bitset.count s)
+
+let test_bitset_bounds () =
+  let s = Bitset.create 8 in
+  Alcotest.check_raises "out of range" (Invalid_argument "Bitset: index out of bounds")
+    (fun () -> Bitset.add s 8)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Rng.next a) (Rng.next b)
+  done;
+  let c = Rng.create 43 in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if Rng.next a <> Rng.next c then differs := true
+  done;
+  Alcotest.(check bool) "different seed differs" true !differs
+
+let test_rng_ranges () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let x = Rng.int rng 10 in
+    Alcotest.(check bool) "int in range" true (x >= 0 && x < 10);
+    let y = Rng.int_range rng 5 9 in
+    Alcotest.(check bool) "int_range in range" true (y >= 5 && y <= 9);
+    let f = Rng.float rng in
+    Alcotest.(check bool) "float in range" true (f >= 0.0 && f < 1.0)
+  done
+
+let test_rng_shuffle_permutes () =
+  let rng = Rng.create 11 in
+  let a = Array.init 50 (fun i -> i) in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is permutation" (Array.init 50 (fun i -> i)) sorted
+
+let test_min_heap_sorts () =
+  let h = Min_heap.create () in
+  let rng = Rng.create 3 in
+  let keys = Array.init 500 (fun _ -> Rng.int rng 1000) in
+  Array.iteri (fun i k -> Min_heap.push h ~key:k ~value:i) keys;
+  Alcotest.(check int) "length" 500 (Min_heap.length h);
+  let prev = ref min_int in
+  let popped = ref 0 in
+  let rec drain () =
+    match Min_heap.pop_min h with
+    | None -> ()
+    | Some (k, v) ->
+        Alcotest.(check bool) "nondecreasing keys" true (k >= !prev);
+        Alcotest.(check int) "value matches key" keys.(v) k;
+        prev := k;
+        incr popped;
+        drain ()
+  in
+  drain ();
+  Alcotest.(check int) "drained all" 500 !popped
+
+let test_min_heap_peek () =
+  let h = Min_heap.create () in
+  Alcotest.(check bool) "empty peek" true (Min_heap.peek_min h = None);
+  Min_heap.push h ~key:5 ~value:50;
+  Min_heap.push h ~key:2 ~value:20;
+  Alcotest.(check bool) "peek min" true (Min_heap.peek_min h = Some (2, 20));
+  Alcotest.(check int) "peek does not pop" 2 (Min_heap.length h)
+
+let qcheck_int_vec_roundtrip =
+  QCheck.Test.make ~name:"int_vec to_array/of_array roundtrip" ~count:200
+    QCheck.(array small_int)
+    (fun a -> Int_vec.to_array (Int_vec.of_array a) = a)
+
+let qcheck_bitset_matches_model =
+  QCheck.Test.make ~name:"bitset agrees with a list-set model" ~count:200
+    QCheck.(list (int_bound 63))
+    (fun ops ->
+      let s = Bitset.create 64 in
+      let model = Hashtbl.create 16 in
+      List.iter
+        (fun i ->
+          if Hashtbl.mem model i then begin
+            Bitset.remove s i;
+            Hashtbl.remove model i
+          end
+          else begin
+            Bitset.add s i;
+            Hashtbl.replace model i ()
+          end)
+        ops;
+      Bitset.count s = Hashtbl.length model
+      && List.for_all (fun i -> Bitset.mem s i) (List.of_seq (Hashtbl.to_seq_keys model)))
+
+let qcheck_heap_sorts =
+  QCheck.Test.make ~name:"min_heap drains in sorted order" ~count:200
+    QCheck.(list small_int)
+    (fun keys ->
+      let h = Min_heap.create () in
+      List.iter (fun k -> Min_heap.push h ~key:k ~value:k) keys;
+      let rec drain acc =
+        match Min_heap.pop_min h with
+        | None -> List.rev acc
+        | Some (k, _) -> drain (k :: acc)
+      in
+      drain [] = List.sort compare keys)
+
+let () =
+  Alcotest.run "support"
+    [
+      ( "int_vec",
+        [
+          Alcotest.test_case "push/get" `Quick test_int_vec_push_get;
+          Alcotest.test_case "bounds" `Quick test_int_vec_bounds;
+          Alcotest.test_case "clear/append" `Quick test_int_vec_clear_append;
+          Alcotest.test_case "pop/swap" `Quick test_int_vec_pop_swap;
+          Alcotest.test_case "fold/iter/exists" `Quick test_int_vec_fold_iter;
+          QCheck_alcotest.to_alcotest qcheck_int_vec_roundtrip;
+        ] );
+      ( "bitset",
+        [
+          Alcotest.test_case "basics" `Quick test_bitset_basics;
+          Alcotest.test_case "bounds" `Quick test_bitset_bounds;
+          QCheck_alcotest.to_alcotest qcheck_bitset_matches_model;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "ranges" `Quick test_rng_ranges;
+          Alcotest.test_case "shuffle permutes" `Quick test_rng_shuffle_permutes;
+        ] );
+      ( "min_heap",
+        [
+          Alcotest.test_case "sorts" `Quick test_min_heap_sorts;
+          Alcotest.test_case "peek" `Quick test_min_heap_peek;
+          QCheck_alcotest.to_alcotest qcheck_heap_sorts;
+        ] );
+    ]
