@@ -10,7 +10,9 @@
      dune exec bench/main.exe                 -- everything
      dune exec bench/main.exe -- --only tab6  -- one experiment
      dune exec bench/main.exe -- --workers 4  -- oversubscribed parallel run
-     dune exec bench/main.exe -- --scale big  -- larger graphs *)
+     dune exec bench/main.exe -- --scale big  -- larger graphs
+     dune exec bench/main.exe -- --smoke      -- tiny graphs, 1 trial
+     dune build @bench-smoke                  -- the same, as a dune alias *)
 
 module Pool = Parallel.Pool
 module Csr = Graphs.Csr
@@ -28,6 +30,7 @@ module Stats = Ordered.Stats
 let only = ref None
 let workers = ref 1
 let big = ref false
+let smoke = ref false
 
 let () =
   let rec parse = function
@@ -40,6 +43,11 @@ let () =
         parse rest
     | "--scale" :: "big" :: rest ->
         big := true;
+        parse rest
+    | "--smoke" :: rest ->
+        (* CI-sized run: tiny graphs, one trial per measurement, trimmed
+           search budgets. Checks every section end to end in seconds. *)
+        smoke := true;
         parse rest
     | arg :: rest ->
         Printf.eprintf "ignoring unknown argument %S\n" arg;
@@ -57,7 +65,7 @@ let section id title f =
       f ();
       flush stdout
 
-let time f = Timer.time_median ~repeats:3 f
+let time f = Timer.time_median ~repeats:(if !smoke then 1 else 3) f
 
 (* ------------------------------------------------------------------ *)
 (* Workload suite (DESIGN.md §3: stand-ins for the paper's datasets)    *)
@@ -112,21 +120,33 @@ let make_road name analog ~rows ~cols ~best_delta ~fusion_delta seed =
 
 let suite =
   lazy
-    (let f = if !big then 1 else 0 in
-     [
-       make_social "social-s" "LiveJournal/Orkut" ~scale:(13 + f) ~edge_factor:12
-         ~best_delta:4 ~fusion_delta:32 101;
-       make_social "social-l" "Twitter/Friendster" ~scale:(14 + f) ~edge_factor:12
-         ~best_delta:8 ~fusion_delta:32 102;
-       make_road "road-s" "Germany/MA"
-         ~rows:(90 * (f + 1))
-         ~cols:(90 * (f + 1))
-         ~best_delta:1024 ~fusion_delta:8192 103;
-       make_road "road-l" "RoadUSA"
-         ~rows:(170 * (f + 1))
-         ~cols:(170 * (f + 1))
-         ~best_delta:256 ~fusion_delta:16384 104;
-     ])
+    (if !smoke then
+       [
+         make_social "social-s" "LiveJournal/Orkut" ~scale:9 ~edge_factor:8
+           ~best_delta:4 ~fusion_delta:32 101;
+         make_social "social-l" "Twitter/Friendster" ~scale:10 ~edge_factor:8
+           ~best_delta:8 ~fusion_delta:32 102;
+         make_road "road-s" "Germany/MA" ~rows:24 ~cols:24 ~best_delta:1024
+           ~fusion_delta:8192 103;
+         make_road "road-l" "RoadUSA" ~rows:36 ~cols:36 ~best_delta:256
+           ~fusion_delta:16384 104;
+       ]
+     else
+       let f = if !big then 1 else 0 in
+       [
+         make_social "social-s" "LiveJournal/Orkut" ~scale:(13 + f) ~edge_factor:12
+           ~best_delta:4 ~fusion_delta:32 101;
+         make_social "social-l" "Twitter/Friendster" ~scale:(14 + f) ~edge_factor:12
+           ~best_delta:8 ~fusion_delta:32 102;
+         make_road "road-s" "Germany/MA"
+           ~rows:(90 * (f + 1))
+           ~cols:(90 * (f + 1))
+           ~best_delta:1024 ~fusion_delta:8192 103;
+         make_road "road-l" "RoadUSA"
+           ~rows:(170 * (f + 1))
+           ~cols:(170 * (f + 1))
+           ~best_delta:256 ~fusion_delta:16384 104;
+       ])
 
 let is_road w = w.coords <> None
 
@@ -141,7 +161,7 @@ let st_pairs w =
   [ (0, (n / 2) + 1); (n / 3, (2 * n / 3) + 1); (1, n - 2) ]
 
 let graphit_schedule w = { Schedule.default with delta = w.best_delta }
-let pool = lazy (Pool.create ~num_workers:!workers)
+let pool = lazy (Pool.create ~num_workers:!workers ())
 let avg xs = List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
 
 (* ------------------------------------------------------------------ *)
@@ -521,8 +541,8 @@ let tab6 () =
     "Bucket fusion: running time and global rounds with vs without fusion\n\
      (paper Table 6: >30x round reduction on RoadUSA, 1.2-3x speedup).\n\n";
   let p = Lazy.force pool in
-  Printf.printf "%-10s %-20s %24s %25s %8s\n" "graph" "(analog)" "with fusion"
-    "without fusion" "rounds";
+  Printf.printf "%-10s %-20s %24s %25s %8s %18s\n" "graph" "(analog)" "with fusion"
+    "without fusion" "rounds" "sync/round (us)";
   List.iter
     (fun w ->
       (* Table 6 runs in the paper's parallel-regime delta, where many
@@ -540,11 +560,20 @@ let tab6 () =
               ~source:0 ())
       in
       assert (fused.Algorithms.Sssp_delta.dist = unfused.Algorithms.Sssp_delta.dist);
-      Printf.printf "%-10s %-20s %9.3fs [%6d rds] %9.3fs [%7d rds] %7.1fx\n" w.wname
+      (* The per-round barrier cost is the quantity fusion amortizes; on a
+         1-worker pool rounds need no barrier and it reads 0. *)
+      let sync_per_round r =
+        1e6 *. r.Algorithms.Sssp_delta.stats.Stats.sync_seconds
+        /. float_of_int (max 1 r.Algorithms.Sssp_delta.stats.Stats.rounds)
+      in
+      Printf.printf
+        "%-10s %-20s %9.3fs [%6d rds] %9.3fs [%7d rds] %7.1fx %8.2f /%8.2f\n"
+        w.wname
         ("(" ^ w.paper_analog ^ ")")
         fused_s fused.stats.Stats.rounds unfused_s unfused.stats.Stats.rounds
         (float_of_int unfused.stats.Stats.rounds
-        /. float_of_int (max 1 fused.stats.Stats.rounds)))
+        /. float_of_int (max 1 fused.stats.Stats.rounds))
+        (sync_per_round fused) (sync_per_round unfused))
     (Lazy.force suite)
 
 let tab7 () =
@@ -691,7 +720,8 @@ let autotune_bench () =
       in
       let hand = evaluate (graphit_schedule w) in
       let rng = Rng.create 2020 in
-      let result = Autotune.Tuner.tune ~space ~rng ~budget:40 ~evaluate () in
+      let budget = if !smoke then 8 else 40 in
+      let result = Autotune.Tuner.tune ~space ~rng ~budget ~evaluate () in
       let best = result.Autotune.Tuner.best in
       Printf.printf
         "%-10s hand-tuned %.4fs | autotuned %.4fs in %2d trials (%s, delta=%d) => %+.0f%%\n"
@@ -884,7 +914,12 @@ let micro () =
   in
   let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
   let instance = Toolkit.Instance.monotonic_clock in
-  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) () in
+  let cfg =
+    Benchmark.cfg
+      ~limit:(if !smoke then 100 else 1000)
+      ~quota:(Time.second (if !smoke then 0.05 else 0.25))
+      ()
+  in
   let raw = Benchmark.all cfg [ instance ] tests in
   let results = Analyze.all ols instance raw in
   Hashtbl.iter
@@ -893,6 +928,130 @@ let micro () =
       | Some (ns :: _) -> Printf.printf "  %-42s %12.1f ns/run\n" name ns
       | _ -> Printf.printf "  %-42s (no estimate)\n" name)
     results
+
+let runtime () =
+  Printf.printf
+    "Parallel-runtime microbenchmarks: the substrate costs the ordered\n\
+     engine pays every round. Spin barrier vs the seed's pure condvar\n\
+     barrier (spin_budget 0), element-closure vs range iteration, and\n\
+     atomic-array throughput. NOTE: with more workers than hardware cores\n\
+     (this container exposes %d), barrier latency measures timesharing,\n\
+     not the barrier.\n\n"
+    (Domain.recommended_domain_count ());
+  let worker_counts = [ 1; 2; 4 ] in
+  (* -- barrier round-trip: empty run_workers episodes -- *)
+  let episodes = if !smoke then 500 else 5_000 in
+  Printf.printf "--- barrier round-trip, %d empty run_workers episodes ---\n" episodes;
+  Printf.printf "%8s %14s %14s %9s\n" "workers" "spin(us)" "condvar(us)" "ratio";
+  List.iter
+    (fun nw ->
+      let measure pool =
+        for _ = 1 to 100 do
+          Pool.run_workers pool (fun _ -> ())
+        done;
+        let _, s =
+          Timer.time (fun () ->
+              for _ = 1 to episodes do
+                Pool.run_workers pool (fun _ -> ())
+              done)
+        in
+        1e6 *. s /. float_of_int episodes
+      in
+      let spin =
+        let p = Pool.create ~num_workers:nw () in
+        Fun.protect ~finally:(fun () -> Pool.shutdown p) (fun () -> measure p)
+      in
+      let condvar =
+        let p = Pool.create ~spin_budget:0 ~num_workers:nw () in
+        Fun.protect ~finally:(fun () -> Pool.shutdown p) (fun () -> measure p)
+      in
+      Printf.printf "%8d %14.2f %14.2f %8.1fx\n" nw spin condvar (condvar /. spin))
+    worker_counts;
+  (* -- element closure vs range chunks: summing an array -- *)
+  let n = if !smoke then 200_000 else 2_000_000 in
+  let data = Array.init n (fun i -> i land 7) in
+  let expected = Array.fold_left ( + ) 0 data in
+  let reps = if !smoke then 3 else 10 in
+  Printf.printf
+    "\n--- parallel_for sum over %d elements (Melem/s, best of %d) ---\n" n reps;
+  Printf.printf "%8s %12s %13s %12s %12s\n" "workers" "element" "range:dyn"
+    "range:static" "range:guided";
+  List.iter
+    (fun nw ->
+      Pool.with_pool ~num_workers:nw (fun p ->
+          let partials = Array.make (nw * 8) 0 in
+          let collect () =
+            let t = ref 0 in
+            for tid = 0 to nw - 1 do
+              t := !t + partials.(tid * 8)
+            done;
+            if !t <> expected then failwith "bad sum";
+            Array.fill partials 0 (Array.length partials) 0
+          in
+          let best f =
+            let best = ref infinity in
+            for _ = 1 to reps do
+              let _, s = Timer.time f in
+              collect ();
+              if s < !best then best := s
+            done;
+            float_of_int n /. !best /. 1e6
+          in
+          let element =
+            best (fun () ->
+                Pool.parallel_for_tid p ~chunk:1024 ~lo:0 ~hi:n (fun ~tid i ->
+                    let slot = tid * 8 in
+                    partials.(slot) <- partials.(slot) + Array.unsafe_get data i))
+          in
+          let range sched =
+            best (fun () ->
+                Pool.parallel_for_ranges_tid p ~sched ~chunk:1024 ~lo:0 ~hi:n
+                  (fun ~tid ~lo ~hi ->
+                    let s = ref 0 in
+                    for i = lo to hi - 1 do
+                      s := !s + Array.unsafe_get data i
+                    done;
+                    let slot = tid * 8 in
+                    partials.(slot) <- partials.(slot) + !s))
+          in
+          Printf.printf "%8d %12.1f %13.1f %12.1f %12.1f\n" nw element
+            (range Pool.Dynamic) (range Pool.Static) (range Pool.Guided)))
+    worker_counts;
+  (* -- atomic array throughput -- *)
+  let ops = if !smoke then 200_000 else 2_000_000 in
+  Printf.printf "\n--- Atomic_array throughput, %d ops total (Mops/s) ---\n" ops;
+  Printf.printf "%8s %12s %14s %14s\n" "workers" "fetch_min" "fetch_add" "fetch_add+pad";
+  List.iter
+    (fun nw ->
+      Pool.with_pool ~num_workers:nw (fun p ->
+          let mops s = float_of_int ops /. s /. 1e6 in
+          let spread = Parallel.Atomic_array.make 1024 max_int in
+          let _, min_s =
+            Timer.time (fun () ->
+                Pool.parallel_for_ranges p ~chunk:4096 ~lo:0 ~hi:ops
+                  (fun ~lo ~hi ->
+                    for i = lo to hi - 1 do
+                      ignore
+                        (Parallel.Atomic_array.fetch_min spread (i land 1023)
+                           (ops - i))
+                    done))
+          in
+          (* Per-worker counters hammered in place: the padded layout keeps
+             each counter on its own cache line. *)
+          let per_worker = ops / nw in
+          let bump counters =
+            Timer.time (fun () ->
+                Pool.run_workers p (fun tid ->
+                    for _ = 1 to per_worker do
+                      ignore (Parallel.Atomic_array.fetch_add counters tid 1)
+                    done))
+          in
+          let _, plain_s = bump (Parallel.Atomic_array.make nw 0) in
+          let _, padded_s = bump (Parallel.Atomic_array.make_padded nw 0) in
+          let bump_mops s = float_of_int (per_worker * nw) /. s /. 1e6 in
+          Printf.printf "%8d %12.1f %14.1f %14.1f\n" nw (mops min_s)
+            (bump_mops plain_s) (bump_mops padded_s)))
+    worker_counts
 
 let () =
   Printf.printf "GraphIt ordered-extension benchmark suite\n";
@@ -916,4 +1075,5 @@ let () =
   section "dslperf" "DSL interpretation overhead vs native API" dsl_overhead;
   section "fig9" "Figure 9: generated code" fig9;
   section "micro" "Substrate micro-benchmarks" micro;
+  section "runtime" "Parallel-runtime microbenchmarks" runtime;
   Pool.shutdown (Lazy.force pool)

@@ -1,7 +1,6 @@
 module Atomic_array = Parallel.Atomic_array
 module Pool = Parallel.Pool
 module Update_buffer = Bucketing.Update_buffer
-module Int_vec = Support.Int_vec
 
 type result = {
   dist : int array;
@@ -22,31 +21,17 @@ let run ~pool ~graph ~source () =
   while Array.length !frontier > 0 do
     incr iterations;
     let members = !frontier in
-    let total = Array.length members in
-    let next = Atomic.make 0 in
-    let chunk = 64 in
-    let worker tid =
-      let rec claim () =
-        let start = Atomic.fetch_and_add next chunk in
-        if start < total then begin
-          let stop = min total (start + chunk) in
-          for i = start to stop - 1 do
-            let u = members.(i) in
-            let du = Atomic_array.get dist u in
-            edge_counts.(tid) <- edge_counts.(tid) + Graphs.Csr.out_degree graph u;
-            Graphs.Csr.iter_out graph u (fun v w ->
-                if Atomic_array.fetch_min dist v (du + w) then
-                  ignore (Update_buffer.try_add buffer ~tid v))
-          done;
-          claim ()
-        end
-      in
-      claim ()
-    in
-    if workers = 1 then worker 0 else Pool.run_workers pool worker;
-    let collected = Int_vec.create ~capacity:total () in
-    Update_buffer.drain buffer (fun v -> Int_vec.push collected v);
-    frontier := Int_vec.to_array collected
+    Pool.parallel_for_ranges_tid pool ~chunk:64 ~lo:0 ~hi:(Array.length members)
+      (fun ~tid ~lo ~hi ->
+        for i = lo to hi - 1 do
+          let u = members.(i) in
+          let du = Atomic_array.get dist u in
+          edge_counts.(tid) <- edge_counts.(tid) + Graphs.Csr.out_degree graph u;
+          Graphs.Csr.iter_out graph u (fun v w ->
+              if Atomic_array.fetch_min dist v (du + w) then
+                ignore (Update_buffer.try_add buffer ~tid v))
+        done);
+    frontier := Update_buffer.drain_to_array buffer ~pool
   done;
   {
     dist = Atomic_array.to_array dist;

@@ -19,7 +19,7 @@ let run ~pool ~graph ~schedule () =
   let pq =
     Pq.create ~schedule ~num_workers:(Parallel.Pool.num_workers pool)
       ~direction:Bucket_order.Lower_first ~allow_coarsening:false
-      ~priorities:degrees ~initial:Pq.All_vertices ?constant_sum_delta ()
+      ~priorities:degrees ~initial:Pq.All_vertices ?constant_sum_delta ~pool ()
   in
   (* The apply_f of Fig. 10 (top): peeling [src] at core value k lowers each
      neighbor's degree by one, never below k. Under the histogram schedule

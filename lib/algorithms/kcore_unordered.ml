@@ -42,25 +42,16 @@ let run ~pool ~graph () =
   while !continue do
     incr iterations;
     Array.fill changed 0 workers false;
-    let next = Atomic.make 0 in
-    let chunk = 256 in
-    let worker tid =
-      let counts = scratch.(tid) in
-      let rec claim () =
-        let start = Atomic.fetch_and_add next chunk in
-        if start < n then begin
-          let stop = min n (start + chunk) in
-          for v = start to stop - 1 do
-            let h = h_index graph estimates counts v in
-            next_estimates.(v) <- h;
-            if h <> estimates.(v) then changed.(tid) <- true
-          done;
-          claim ()
-        end
-      in
-      claim ()
-    in
-    if workers = 1 then worker 0 else Pool.run_workers pool worker;
+    (* The h-index sweep is near-uniform per vertex: guided chunks touch the
+       shared cursor O(workers log n) times instead of O(n / chunk). *)
+    Pool.parallel_for_ranges_tid pool ~sched:Pool.Guided ~chunk:256 ~lo:0 ~hi:n
+      (fun ~tid ~lo ~hi ->
+        let counts = scratch.(tid) in
+        for v = lo to hi - 1 do
+          let h = h_index graph estimates counts v in
+          next_estimates.(v) <- h;
+          if h <> estimates.(v) then changed.(tid) <- true
+        done);
     Array.blit next_estimates 0 estimates 0 n;
     continue := Array.exists Fun.id changed
   done;

@@ -17,7 +17,7 @@ let run ~pool ~graph ?transpose ~schedule ~source ~target () =
   let pq =
     Pq.create ~schedule ~num_workers:(Parallel.Pool.num_workers pool)
       ~direction:Bucket_order.Lower_first ~allow_coarsening:true ~priorities:dist
-      ~initial:(Pq.Start_vertex source) ()
+      ~initial:(Pq.Start_vertex source) ~pool ()
   in
   let edge_fn ctx ~src ~dst ~weight =
     let new_dist = Atomic_array.get dist src + weight in

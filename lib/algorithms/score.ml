@@ -24,7 +24,7 @@ let run ~pool ~graph ~schedule () =
   let pq =
     Pq.create ~schedule ~num_workers:(Parallel.Pool.num_workers pool)
       ~direction:Bucket_order.Lower_first ~allow_coarsening:false
-      ~priorities:strength ~initial:Pq.All_vertices ()
+      ~priorities:strength ~initial:Pq.All_vertices ~pool ()
   in
   let edge_fn ctx ~src:_ ~dst ~weight =
     let s = Pq.current_priority pq in

@@ -67,7 +67,7 @@ let run ~pool ~graph ~schedule ?costs () =
   in
   let pq =
     Pq.create ~schedule ~num_workers:workers ~direction:Bucket_order.Higher_first
-      ~allow_coarsening:false ~priorities ~initial:Pq.All_vertices ()
+      ~allow_coarsening:false ~priorities ~initial:Pq.All_vertices ~pool ()
   in
   let in_cover = Array.make n false in
   let uncovered = ref n in
@@ -83,18 +83,20 @@ let run ~pool ~graph ~schedule ?costs () =
        degree; refile sets whose stored priority went stale, drop fully
        covered sets, keep exact matches as this round's candidates. *)
     Array.iter Int_vec.clear candidates;
-    Pool.parallel_for_tid pool ~chunk:64 ~lo:0 ~hi:(Array.length members)
-      (fun ~tid i ->
-        let s = members.(i) in
-        if not in_cover.(s) then begin
-          let d = uncovered_degree graph covered s in
-          if d = 0 then Atomic_array.set priorities s Bucket_order.null_priority
-          else begin
-            let p = bucket_value ~cost:(cost_of s) d in
-            if p = current_value then Int_vec.push candidates.(tid) s
-            else Pq.set_priority pq { Pq.tid; use_atomics = true } s p
+    Pool.parallel_for_ranges_tid pool ~chunk:64 ~lo:0 ~hi:(Array.length members)
+      (fun ~tid ~lo ~hi ->
+        for i = lo to hi - 1 do
+          let s = members.(i) in
+          if not in_cover.(s) then begin
+            let d = uncovered_degree graph covered s in
+            if d = 0 then Atomic_array.set priorities s Bucket_order.null_priority
+            else begin
+              let p = bucket_value ~cost:(cost_of s) d in
+              if p = current_value then Int_vec.push candidates.(tid) s
+              else Pq.set_priority pq { Pq.tid; use_atomics = true } s p
+            end
           end
-        end);
+        done);
     let round_candidates =
       let merged = Int_vec.create () in
       Array.iter (fun vec -> Int_vec.append merged vec) candidates;
@@ -104,18 +106,21 @@ let run ~pool ~graph ~schedule ?costs () =
     if num_candidates > 0 then begin
       (* Phase 2: nearly-independent-set reservation — each uncovered
          element remembers the smallest candidate id claiming it. *)
-      Pool.parallel_for_tid pool ~chunk:16 ~lo:0 ~hi:num_candidates
-        (fun ~tid:_ i ->
-          let s = round_candidates.(i) in
-          iter_set graph s (fun e ->
-              if Atomic_array.get covered e = 0 then
-                ignore (Atomic_array.fetch_min reservations e s)));
+      Pool.parallel_for_ranges pool ~chunk:16 ~lo:0 ~hi:num_candidates
+        (fun ~lo ~hi ->
+          for i = lo to hi - 1 do
+            let s = round_candidates.(i) in
+            iter_set graph s (fun e ->
+                if Atomic_array.get covered e = 0 then
+                  ignore (Atomic_array.fetch_min reservations e s))
+          done);
       (* Phase 3: candidates that won at least 3/4 of their claimed elements
          join the cover; the rest release their reservations and are
          refiled by their next extraction. *)
       Array.fill covered_delta 0 workers 0;
-      Pool.parallel_for_tid pool ~chunk:16 ~lo:0 ~hi:num_candidates
-        (fun ~tid i ->
+      Pool.parallel_for_ranges_tid pool ~chunk:16 ~lo:0 ~hi:num_candidates
+        (fun ~tid ~lo ~hi ->
+          for i = lo to hi - 1 do
           let s = round_candidates.(i) in
           let claimed = ref 0 and won = ref 0 in
           iter_set graph s (fun e ->
@@ -150,7 +155,8 @@ let run ~pool ~graph ~schedule ?costs () =
               Pq.set_priority pq ctx s current_value
             else
               Pq.set_priority pq ctx s (bucket_value ~cost:(cost_of s) (max 1 remaining))
-          end);
+          end
+          done);
       uncovered := !uncovered - Array.fold_left ( + ) 0 covered_delta
     end
   done;

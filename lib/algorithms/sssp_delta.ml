@@ -16,7 +16,7 @@ let run ~pool ~graph ?transpose ~schedule ~source ?trace () =
   let pq =
     Pq.create ~schedule ~num_workers:(Parallel.Pool.num_workers pool)
       ~direction:Bucket_order.Lower_first ~allow_coarsening:true ~priorities:dist
-      ~initial:(Pq.Start_vertex source) ()
+      ~initial:(Pq.Start_vertex source) ~pool ()
   in
   (* The updateEdge user function of Fig. 3: relax and move buckets. *)
   let edge_fn ctx ~src ~dst ~weight =

@@ -19,7 +19,7 @@ let run ~pool ~graph ~schedule ~source () =
   let pq =
     Pq.create ~schedule ~num_workers:(Parallel.Pool.num_workers pool)
       ~direction:Bucket_order.Higher_first ~allow_coarsening:true
-      ~priorities:capacity ~initial:(Pq.Start_vertex source) ()
+      ~priorities:capacity ~initial:(Pq.Start_vertex source) ~pool ()
   in
   let edge_fn ctx ~src ~dst ~weight =
     let through = min (Atomic_array.get capacity src) weight in

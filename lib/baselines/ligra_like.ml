@@ -3,7 +3,6 @@ module Atomic_array = Parallel.Atomic_array
 module Csr = Graphs.Csr
 module Bucket_order = Bucketing.Bucket_order
 module Update_buffer = Bucketing.Update_buffer
-module Int_vec = Support.Int_vec
 module Bitset = Support.Bitset
 
 type result = {
@@ -34,34 +33,37 @@ let sssp ~pool ~graph ~transpose ~source () =
       incr dense_iterations;
       let flags = Bitset.create n in
       Array.iter (Bitset.add flags) members;
-      Pool.parallel_for_tid pool ~chunk:256 ~lo:0 ~hi:n (fun ~tid d ->
-          let improved = ref false in
-          let best = ref (Atomic_array.get dist d) in
-          Csr.iter_out transpose d (fun s w ->
-              if Bitset.mem flags s then begin
-                let ds = Atomic_array.get dist s in
-                if ds <> Bucket_order.null_priority && ds + w < !best then begin
-                  best := ds + w;
-                  improved := true
-                end
-              end);
-          if !improved then begin
-            Atomic_array.set dist d !best;
-            ignore (Update_buffer.try_add buffer ~tid d)
-          end)
+      Pool.parallel_for_ranges_tid pool ~sched:Pool.Guided ~chunk:256 ~lo:0
+        ~hi:n (fun ~tid ~lo ~hi ->
+          for d = lo to hi - 1 do
+            let improved = ref false in
+            let best = ref (Atomic_array.get dist d) in
+            Csr.iter_out transpose d (fun s w ->
+                if Bitset.mem flags s then begin
+                  let ds = Atomic_array.get dist s in
+                  if ds <> Bucket_order.null_priority && ds + w < !best then begin
+                    best := ds + w;
+                    improved := true
+                  end
+                end);
+            if !improved then begin
+              Atomic_array.set dist d !best;
+              ignore (Update_buffer.try_add buffer ~tid d)
+            end
+          done)
     end
     else
       (* Sparse push sweep. *)
-      Pool.parallel_for_tid pool ~chunk:64 ~lo:0 ~hi:(Array.length members)
-        (fun ~tid i ->
-          let u = members.(i) in
-          let du = Atomic_array.get dist u in
-          Csr.iter_out graph u (fun v w ->
-              if Atomic_array.fetch_min dist v (du + w) then
-                ignore (Update_buffer.try_add buffer ~tid v)));
-    let collected = Int_vec.create () in
-    Update_buffer.drain buffer (fun v -> Int_vec.push collected v);
-    frontier := Int_vec.to_array collected
+      Pool.parallel_for_ranges_tid pool ~chunk:64 ~lo:0
+        ~hi:(Array.length members) (fun ~tid ~lo ~hi ->
+          for i = lo to hi - 1 do
+            let u = members.(i) in
+            let du = Atomic_array.get dist u in
+            Csr.iter_out graph u (fun v w ->
+                if Atomic_array.fetch_min dist v (du + w) then
+                  ignore (Update_buffer.try_add buffer ~tid v))
+          done);
+    frontier := Update_buffer.drain_to_array buffer ~pool
   done;
   {
     dist = Atomic_array.to_array dist;

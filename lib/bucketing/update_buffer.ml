@@ -35,4 +35,36 @@ let drain t f =
       Int_vec.clear seg)
     t.segments
 
+(* Below this size the barrier costs more than the copy. *)
+let parallel_drain_threshold = 2048
+
+let drain_to_array t ~pool =
+  let workers = Array.length t.segments in
+  let offsets = Array.make (workers + 1) 0 in
+  for tid = 0 to workers - 1 do
+    offsets.(tid + 1) <- offsets.(tid) + Int_vec.length t.segments.(tid)
+  done;
+  let total = offsets.(workers) in
+  let out = Array.make total 0 in
+  let drain_segment tid =
+    let seg = t.segments.(tid) in
+    Int_vec.blit_to_array seg out offsets.(tid);
+    Int_vec.iter (fun v -> Atomic_array.set t.flags v 0) seg;
+    Int_vec.clear seg
+  in
+  if
+    total >= parallel_drain_threshold
+    && Parallel.Pool.num_workers pool = workers
+    && workers > 1
+  then
+    (* Segment [tid] is copied and its flags reset by worker [tid] — the
+       round that filled the buffer balanced the segments already. *)
+    Parallel.Pool.run_workers pool drain_segment
+  else
+    for tid = 0 to workers - 1 do
+      drain_segment tid
+    done;
+  t.total <- t.total + total;
+  out
+
 let total_added t = t.total

@@ -23,6 +23,14 @@ val size : t -> int
     and flags for the next round. Call between phases. *)
 val drain : t -> (int -> unit) -> unit
 
+(** [drain_to_array t ~pool] is {!drain} specialized to collecting the
+    buffered vertices into a fresh array (the common case: the next round's
+    frontier). Large buffers are copied and their deduplication flags reset
+    in parallel, one segment per worker, when [pool] matches the buffer's
+    worker count; the element order equals {!drain}'s either way. Call
+    between phases. *)
+val drain_to_array : t -> pool:Parallel.Pool.t -> int array
+
 (** [total_added t] counts vertices buffered over the structure's lifetime
     (one bucket insertion each under the lazy strategy). *)
 val total_added : t -> int

@@ -321,11 +321,13 @@ and apply_update_priority state pos recv udf_name =
   in
   let edge_fn = compile_udf state pos udf_name in
   let members = Vertex_subset.sparse_members subset in
-  Pool.parallel_for_tid state.pool ~chunk:64 ~lo:0 ~hi:(Array.length members)
-    (fun ~tid i ->
+  Pool.parallel_for_ranges_tid state.pool ~chunk:64 ~lo:0
+    ~hi:(Array.length members) (fun ~tid ~lo ~hi ->
       let ctx = { Pq.tid; use_atomics = true } in
-      let u = members.(i) in
-      Csr.iter_out graph u (fun dst weight -> edge_fn ctx ~src:u ~dst ~weight))
+      for i = lo to hi - 1 do
+        let u = members.(i) in
+        Csr.iter_out graph u (fun dst weight -> edge_fn ctx ~src:u ~dst ~weight)
+      done)
 
 (* The unordered GraphIt operator: apply the user function to the out-edges
    of a subset and return the set of destinations whose tracked vector
@@ -346,19 +348,19 @@ and apply_modified state frame pos recv udf_name vec_name =
   (* Snapshot-free change tracking: compare the tracked cell around the
      user-function application (reductions are atomic, so a change by any
      worker is observed by at least the worker that made it). *)
-  Pool.parallel_for_tid state.pool ~chunk:64 ~lo:0 ~hi:(Array.length members)
-    (fun ~tid i ->
+  Pool.parallel_for_ranges_tid state.pool ~chunk:64 ~lo:0
+    ~hi:(Array.length members) (fun ~tid ~lo ~hi ->
       let ctx = { Pq.tid; use_atomics = true } in
-      let u = members.(i) in
-      Csr.iter_out graph u (fun dst weight ->
-          let before = Atomic_array.get tracked dst in
-          edge_fn ctx ~src:u ~dst ~weight;
-          if Atomic_array.get tracked dst <> before then
-            ignore (Bucketing.Update_buffer.try_add buffer ~tid dst)));
-  let next = Support.Int_vec.create () in
-  Bucketing.Update_buffer.drain buffer (fun v -> Support.Int_vec.push next v);
-  V_vertexset
-    (Vertex_subset.unsafe_of_array ~num_vertices:n (Support.Int_vec.to_array next))
+      for i = lo to hi - 1 do
+        let u = members.(i) in
+        Csr.iter_out graph u (fun dst weight ->
+            let before = Atomic_array.get tracked dst in
+            edge_fn ctx ~src:u ~dst ~weight;
+            if Atomic_array.get tracked dst <> before then
+              ignore (Bucketing.Update_buffer.try_add buffer ~tid dst))
+      done);
+  let next = Bucketing.Update_buffer.drain_to_array buffer ~pool:state.pool in
+  V_vertexset (Vertex_subset.unsafe_of_array ~num_vertices:n next)
 
 (* Compile a user function to an engine edge function: a closure that binds
    the parameters and interprets the body. *)
@@ -520,7 +522,7 @@ and construct_pq state frame pos name =
     Pq.create ~schedule ~num_workers:(Pool.num_workers state.pool)
       ~direction:info.Analysis.direction
       ~allow_coarsening:info.Analysis.allow_coarsening ~priorities ~initial
-      ?constant_sum_delta ()
+      ?constant_sum_delta ~pool:state.pool ()
   in
   state.pq <- Some pq;
   Hashtbl.replace state.globals name (V_pq pq)

@@ -6,16 +6,37 @@ module Pq = Priority_queue
 
 type edge_fn = Priority_queue.ctx -> src:int -> dst:int -> weight:int -> unit
 
+(* Per-worker counters live [stride] ints apart: they are bumped once per
+   vertex/edge on the hot path, and packing one slot per worker would
+   false-share a cache line between all workers. *)
+let stride = 8
+
 type counters = {
-  vertices : int array; (* per worker *)
+  vertices : int array; (* slot tid * stride *)
   edges : int array;
   fused : int array;
 }
 
+let make_counters ~workers =
+  {
+    vertices = Array.make (workers * stride) 0;
+    edges = Array.make (workers * stride) 0;
+    fused = Array.make (workers * stride) 0;
+  }
+
+let counter_sum a =
+  let total = ref 0 in
+  let slots = Array.length a / stride in
+  for tid = 0 to slots - 1 do
+    total := !total + a.(tid * stride)
+  done;
+  !total
+
 let process_vertex graph pq ~filter ~ctx ~edge_fn counters u =
   if (not filter) || Pq.vertex_on_current_bucket pq u then begin
-    counters.vertices.(ctx.Pq.tid) <- counters.vertices.(ctx.Pq.tid) + 1;
-    counters.edges.(ctx.Pq.tid) <- counters.edges.(ctx.Pq.tid) + Csr.out_degree graph u;
+    let slot = ctx.Pq.tid * stride in
+    counters.vertices.(slot) <- counters.vertices.(slot) + 1;
+    counters.edges.(slot) <- counters.edges.(slot) + Csr.out_degree graph u;
     Csr.iter_out graph u (fun dst weight -> edge_fn ctx ~src:u ~dst ~weight)
   end
 
@@ -32,7 +53,7 @@ let fusion_loop graph pq ~threshold ~ctx ~edge_fn counters =
       match Eager_buckets.take_local eb ~tid ~key with
       | None -> ()
       | Some bin ->
-          counters.fused.(tid) <- counters.fused.(tid) + 1;
+          counters.fused.(tid * stride) <- counters.fused.(tid * stride) + 1;
           Array.iter
             (fun u -> process_vertex graph pq ~filter:true ~ctx ~edge_fn counters u)
             bin;
@@ -46,60 +67,54 @@ let push_round pool graph schedule pq ~edge_fn counters frontier =
   let filter = Pq.needs_processing_filter pq in
   let fusion = schedule.Schedule.strategy = Schedule.Eager_with_fusion in
   let chunk = schedule.Schedule.chunk_size in
-  let worker next tid =
-    let ctx = { Pq.tid; use_atomics = true } in
-    let rec claim () =
-      let start = Atomic.fetch_and_add next chunk in
-      if start < total then begin
-        let stop = min total (start + chunk) in
-        for i = start to stop - 1 do
-          process_vertex graph pq ~filter ~ctx ~edge_fn counters members.(i)
-        done;
-        claim ()
-      end
-    in
-    claim ();
-    if fusion then
-      fusion_loop graph pq ~threshold:schedule.Schedule.fusion_threshold ~ctx
-        ~edge_fn counters
-  in
-  if Pool.num_workers pool = 1 then worker (Atomic.make 0) 0
-  else begin
-    let next = Atomic.make 0 in
-    Pool.run_workers pool (worker next)
-  end
+  (* Frontier members have wildly uneven degrees: claim fixed chunks
+     dynamically, then run a tight local loop over each chunk. *)
+  let cursor = Pool.range_cursor pool ~sched:Pool.Dynamic ~chunk ~lo:0 ~hi:total () in
+  Pool.run_workers pool (fun tid ->
+      let ctx = { Pq.tid; use_atomics = true } in
+      let rec drain () =
+        match Pool.next_range cursor ~tid with
+        | Some (lo, hi) ->
+            for i = lo to hi - 1 do
+              process_vertex graph pq ~filter ~ctx ~edge_fn counters
+                (Array.unsafe_get members i)
+            done;
+            drain ()
+        | None -> ()
+      in
+      drain ();
+      if fusion then
+        fusion_loop graph pq ~threshold:schedule.Schedule.fusion_threshold ~ctx
+          ~edge_fn counters)
 
 let pull_round pool graph transpose schedule ~edge_fn counters frontier =
   let flags = Vertex_subset.dense_flags frontier in
   let n = Csr.num_vertices graph in
   let chunk = max schedule.Schedule.chunk_size 64 in
   let frontier_size = Vertex_subset.cardinal frontier in
-  let worker next tid =
-    (* Pull ownership: only this worker writes vertex [d], so the user
-       function runs without atomics (Fig. 9(b)). *)
-    let ctx = { Pq.tid; use_atomics = false } in
-    let rec claim () =
-      let start = Atomic.fetch_and_add next chunk in
-      if start < n then begin
-        let stop = min n (start + chunk) in
-        for d = start to stop - 1 do
-          Csr.iter_out transpose d (fun src weight ->
-              if Support.Bitset.mem flags src then begin
-                counters.edges.(tid) <- counters.edges.(tid) + 1;
-                edge_fn ctx ~src ~dst:d ~weight
-              end)
-        done;
-        claim ()
-      end
-    in
-    claim ()
-  in
-  counters.vertices.(0) <- counters.vertices.(0) + frontier_size;
-  if Pool.num_workers pool = 1 then worker (Atomic.make 0) 0
-  else begin
-    let next = Atomic.make 0 in
-    Pool.run_workers pool (worker next)
-  end
+  (* The pull sweep touches every vertex: guided chunks keep the shared
+     cursor cold for most of the range and still balance the tail. *)
+  let cursor = Pool.range_cursor pool ~sched:Pool.Guided ~chunk ~lo:0 ~hi:n () in
+  Pool.run_workers pool (fun tid ->
+      (* Pull ownership: only this worker writes vertex [d], so the user
+         function runs without atomics (Fig. 9(b)). *)
+      let ctx = { Pq.tid; use_atomics = false } in
+      let slot = tid * stride in
+      let rec drain () =
+        match Pool.next_range cursor ~tid with
+        | Some (lo, hi) ->
+            for d = lo to hi - 1 do
+              Csr.iter_out transpose d (fun src weight ->
+                  if Support.Bitset.mem flags src then begin
+                    counters.edges.(slot) <- counters.edges.(slot) + 1;
+                    edge_fn ctx ~src ~dst:d ~weight
+                  end)
+            done;
+            drain ()
+        | None -> ()
+      in
+      drain ());
+  counters.vertices.(0) <- counters.vertices.(0) + frontier_size
 
 let run ~pool ~graph ?transpose ~schedule ~pq ~edge_fn ?(stop = fun () -> false)
     ?trace () =
@@ -125,14 +140,9 @@ let run ~pool ~graph ?transpose ~schedule ~pq ~edge_fn ?(stop = fun () -> false)
         > dense_threshold
   in
   let workers = Pool.num_workers pool in
-  let counters =
-    {
-      vertices = Array.make workers 0;
-      edges = Array.make workers 0;
-      fused = Array.make workers 0;
-    }
-  in
+  let counters = make_counters ~workers in
   let stats = Stats.create () in
+  let sync_start = Pool.barrier_wait_seconds pool in
   let last_key = ref min_int in
   let continue = ref true in
   while !continue && (not (stop ())) && not (Pq.finished pq) do
@@ -142,7 +152,7 @@ let run ~pool ~graph ?transpose ~schedule ~pq ~edge_fn ?(stop = fun () -> false)
       stats.Stats.buckets_processed <- stats.Stats.buckets_processed + 1;
       last_key := Pq.current_key pq
     end;
-    let fused_before = Array.fold_left ( + ) 0 counters.fused in
+    let fused_before = counter_sum counters.fused in
     let direction =
       match (transpose_graph, choose_pull frontier) with
       | Some tg, true ->
@@ -162,7 +172,7 @@ let run ~pool ~graph ?transpose ~schedule ~pq ~edge_fn ?(stop = fun () -> false)
             priority = Pq.current_priority pq;
             frontier_size = Vertex_subset.cardinal frontier;
             direction;
-            fused_drains = Array.fold_left ( + ) 0 counters.fused - fused_before;
+            fused_drains = counter_sum counters.fused - fused_before;
           }
     | None -> ());
     stats.Stats.global_syncs <- stats.Stats.global_syncs + 1;
@@ -172,9 +182,9 @@ let run ~pool ~graph ?transpose ~schedule ~pq ~edge_fn ?(stop = fun () -> false)
       stats.Stats.global_syncs <- stats.Stats.global_syncs + 1;
     if stats.Stats.rounds > 100_000_000 then continue := false
   done;
-  let sum a = Array.fold_left ( + ) 0 a in
-  stats.Stats.vertices_processed <- sum counters.vertices;
-  stats.Stats.edges_relaxed <- sum counters.edges;
-  stats.Stats.fused_drains <- sum counters.fused;
+  stats.Stats.vertices_processed <- counter_sum counters.vertices;
+  stats.Stats.edges_relaxed <- counter_sum counters.edges;
+  stats.Stats.fused_drains <- counter_sum counters.fused;
   stats.Stats.bucket_inserts <- Pq.total_bucket_inserts pq;
+  stats.Stats.sync_seconds <- Pool.barrier_wait_seconds pool -. sync_start;
   stats

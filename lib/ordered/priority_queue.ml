@@ -32,6 +32,7 @@ type t = {
   priorities : Atomic_array.t;
   backend : backend;
   constant_sum_delta : int option;
+  pool : Parallel.Pool.t option;
   mutable cur_key : int;
   mutable pending : Vertex_subset.t option;
   mutable exhausted : bool;
@@ -55,7 +56,7 @@ let min_initial_key ~direction ~delta ~priorities ~initial =
   | No_initial -> 0
 
 let create ~schedule ~num_workers ~direction ~allow_coarsening ~priorities ~initial
-    ?constant_sum_delta () =
+    ?constant_sum_delta ?pool () =
   let delta = if allow_coarsening then schedule.Schedule.delta else 1 in
   let num_vertices = Atomic_array.length priorities in
   let backend =
@@ -94,6 +95,7 @@ let create ~schedule ~num_workers ~direction ~allow_coarsening ~priorities ~init
       priorities;
       backend;
       constant_sum_delta;
+      pool;
       cur_key = min_int;
       pending = None;
       exhausted = false;
@@ -143,7 +145,13 @@ let compute_next t =
       (match histogram with
       | Some h -> flush_histogram t buckets h scratch
       | None -> ());
-      Update_buffer.drain buffer (fun v -> Lazy_buckets.insert buckets v);
+      (* The insert sweep is inherently sequential, but with a pool the
+         buffer copy and flag resets run one segment per worker. *)
+      (match t.pool with
+      | Some pool ->
+          let vs = Update_buffer.drain_to_array buffer ~pool in
+          Array.iter (fun v -> Lazy_buckets.insert buckets v) vs
+      | None -> Update_buffer.drain buffer (fun v -> Lazy_buckets.insert buckets v));
       match Lazy_buckets.next_bucket buckets with
       | None -> None
       | Some (key, members) ->

@@ -30,7 +30,10 @@ type t
     (k-core and SetCover tolerate no priority inversion, Section 2).
     [constant_sum_delta] must be supplied for the [Lazy_constant_sum]
     strategy: it is the fixed per-update priority change the analysis
-    extracted (e.g. -1 for k-core). *)
+    extracted (e.g. -1 for k-core). When [pool] is supplied (it must be the
+    pool the algorithm runs on, so worker counts agree), lazy backends drain
+    their update buffer in parallel at round boundaries via
+    {!Bucketing.Update_buffer.drain_to_array}. *)
 val create :
   schedule:Schedule.t ->
   num_workers:int ->
@@ -39,6 +42,7 @@ val create :
   priorities:Parallel.Atomic_array.t ->
   initial:initial ->
   ?constant_sum_delta:int ->
+  ?pool:Parallel.Pool.t ->
   unit ->
   t
 

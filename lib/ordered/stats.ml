@@ -7,6 +7,7 @@ type t = {
   mutable edges_relaxed : int;
   mutable bucket_inserts : int;
   mutable pull_rounds : int;
+  mutable sync_seconds : float;
 }
 
 let create () =
@@ -19,6 +20,7 @@ let create () =
     edges_relaxed = 0;
     bucket_inserts = 0;
     pull_rounds = 0;
+    sync_seconds = 0.0;
   }
 
 let reset t =
@@ -29,11 +31,13 @@ let reset t =
   t.vertices_processed <- 0;
   t.edges_relaxed <- 0;
   t.bucket_inserts <- 0;
-  t.pull_rounds <- 0
+  t.pull_rounds <- 0;
+  t.sync_seconds <- 0.0
 
 let pp ppf t =
   Format.fprintf ppf
     "rounds=%d syncs=%d fused=%d buckets=%d vertices=%d edges=%d inserts=%d \
-     pull_rounds=%d"
+     pull_rounds=%d sync=%.6fs"
     t.rounds t.global_syncs t.fused_drains t.buckets_processed
     t.vertices_processed t.edges_relaxed t.bucket_inserts t.pull_rounds
+    t.sync_seconds

@@ -17,6 +17,11 @@ type t = {
   mutable bucket_inserts : int;  (** Insertions into bucket structures. *)
   mutable pull_rounds : int;
       (** Rounds traversed in dense-pull direction (hybrid/pull schedules). *)
+  mutable sync_seconds : float;
+      (** Wall-clock seconds worker 0 spent waiting at end-of-round barriers
+          during the run ({!Parallel.Pool.barrier_wait_seconds} delta) — the
+          per-round synchronization cost that bucket fusion amortizes.
+          [0.] on single-worker pools, where rounds need no barrier. *)
 }
 
 (** [create ()] is all-zero counters. *)

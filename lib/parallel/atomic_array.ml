@@ -1,46 +1,100 @@
-type t = int Atomic.t array
+(* OCaml 5.1 has no flat atomic int array primitive, so each cell is a
+   boxed [int Atomic.t] (a 2-word block). Two layout decisions reclaim most
+   of the cost of that representation:
 
-let make n v = Array.init n (fun _ -> Atomic.make v)
-let length = Array.length
-let get a i = Atomic.get a.(i)
-let set a i v = Atomic.set a.(i) v
+   - [make] allocates all cells in one tight loop, so they sit back-to-back
+     on the heap in index order: a scan over [i, i+1, ...] touches
+     consecutive cache lines (4 cells per 64-byte line) instead of chasing
+     pointers to scattered boxes;
+   - [make_padded] spaces the *used* cells a cache line apart (by
+     interleaving never-read spacer cells in the same allocation stream),
+     for small fetch_add-heavy counter arrays indexed by worker id, where
+     4-cells-per-line is false sharing, not locality.
+
+   Access discipline: every public operation bounds-checks its index once
+   (in [cell]) and then runs on the unboxed cell reference — CAS retry
+   loops never re-index the array, and bulk operations use [unsafe_get]
+   inside their loops. *)
+
+type t = {
+  cells : int Atomic.t array;
+  length : int;
+  shift : int; (* cell index of logical [i] is [i lsl shift] *)
+}
+
+(* cells/line: an Atomic.t box is 2 words, a cache line holds 4 of them. *)
+let pad_shift = 2
+
+let alloc ~shift n v =
+  let cells = Array.init (n lsl shift) (fun _ -> Atomic.make v) in
+  { cells; length = n; shift }
+
+let make n v = alloc ~shift:0 n v
+let make_padded n v = alloc ~shift:pad_shift n v
+let length a = a.length
+
+let[@inline] cell a i =
+  if i < 0 || i >= a.length then invalid_arg "Atomic_array: index out of bounds";
+  Array.unsafe_get a.cells (i lsl a.shift)
+
+let get a i = Atomic.get (cell a i)
+let set a i v = Atomic.set (cell a i) v
 
 let compare_and_set a i ~expected ~desired =
-  Atomic.compare_and_set a.(i) expected desired
+  Atomic.compare_and_set (cell a i) expected desired
 
-let rec fetch_min a i v =
-  let cell = Array.unsafe_get a i in
-  let cur = Atomic.get cell in
-  if v >= cur then false
-  else if Atomic.compare_and_set cell cur v then true
-  else fetch_min a i v
+let fetch_min a i v =
+  let c = cell a i in
+  let rec retry () =
+    let cur = Atomic.get c in
+    if v >= cur then false
+    else if Atomic.compare_and_set c cur v then true
+    else retry ()
+  in
+  retry ()
 
-let rec fetch_max a i v =
-  let cell = Array.unsafe_get a i in
-  let cur = Atomic.get cell in
-  if v <= cur then false
-  else if Atomic.compare_and_set cell cur v then true
-  else fetch_max a i v
+let fetch_max a i v =
+  let c = cell a i in
+  let rec retry () =
+    let cur = Atomic.get c in
+    if v <= cur then false
+    else if Atomic.compare_and_set c cur v then true
+    else retry ()
+  in
+  retry ()
 
-let fetch_add a i d = Atomic.fetch_and_add a.(i) d
+let fetch_add a i d = Atomic.fetch_and_add (cell a i) d
 
-let rec add_with_floor a i ~delta ~floor =
-  let cell = Array.unsafe_get a i in
-  let cur = Atomic.get cell in
-  (* A decrement must leave values already at or below the floor untouched
-     (clamping them *up* to the floor would un-finalize peeled vertices). *)
-  if delta < 0 && cur <= floor then None
-  else begin
-    let target = max floor (cur + delta) in
-    if target = cur then None
-    else if Atomic.compare_and_set cell cur target then Some (cur, target)
-    else add_with_floor a i ~delta ~floor
-  end
+let add_with_floor a i ~delta ~floor =
+  let c = cell a i in
+  let rec retry () =
+    let cur = Atomic.get c in
+    (* A decrement must leave values already at or below the floor untouched
+       (clamping them *up* to the floor would un-finalize peeled vertices). *)
+    if delta < 0 && cur <= floor then None
+    else begin
+      let target = max floor (cur + delta) in
+      if target = cur then None
+      else if Atomic.compare_and_set c cur target then Some (cur, target)
+      else retry ()
+    end
+  in
+  retry ()
 
-let to_array a = Array.map Atomic.get a
-let of_array src = Array.map Atomic.make src
+let to_array a =
+  Array.init a.length (fun i ->
+      Atomic.get (Array.unsafe_get a.cells (i lsl a.shift)))
+
+let of_array src =
+  let a = alloc ~shift:0 (Array.length src) 0 in
+  Array.iteri (fun i v -> Atomic.set (Array.unsafe_get a.cells i) v) src;
+  a
 
 let blit_from a src =
-  if Array.length a <> Array.length src then
+  if a.length <> Array.length src then
     invalid_arg "Atomic_array.blit_from: length mismatch";
-  Array.iteri (fun i v -> Atomic.set a.(i) v) src
+  for i = 0 to a.length - 1 do
+    Atomic.set
+      (Array.unsafe_get a.cells (i lsl a.shift))
+      (Array.unsafe_get src i)
+  done

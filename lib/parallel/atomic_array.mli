@@ -7,8 +7,16 @@
 
 type t
 
-(** [make n v] is an array of [n] cells, all holding [v]. *)
+(** [make n v] is an array of [n] cells, all holding [v]. The cells are
+    allocated back-to-back in index order, so sequential scans have array
+    locality despite the boxed representation. *)
 val make : int -> int -> t
+
+(** [make_padded n v] is {!make} with each cell on its own cache line. Use
+    for small, contention-heavy counter arrays (per-worker [fetch_add]
+    slots), where packing 4 cells per line causes false sharing; never for
+    per-vertex vectors, where density is what matters. *)
+val make_padded : int -> int -> t
 
 (** [length a] is the cell count. *)
 val length : t -> int

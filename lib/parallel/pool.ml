@@ -1,63 +1,139 @@
+(* SPMD pool with a spin-then-block barrier.
+
+   The seed implementation paid a mutex + condvar broadcast + wakeup for
+   every [run_workers] round. Ordered graph algorithms run hundreds of
+   thousands of rounds on high-diameter graphs (the whole point of bucket
+   fusion, Table 6 of the paper, is to cut that count), so the round
+   turnaround itself must be cheap. Like GAPBS and Julienne we busy-wait:
+   all cross-round signalling goes through three atomics ([epoch],
+   [remaining], [stop_flag]); workers spin on them with [Domain.cpu_relax]
+   and exponential backoff, and only fall back to the mutex + condvar slow
+   path once a spin budget is exhausted, so idle or oversubscribed pools do
+   not burn CPU. *)
+
+type sched =
+  | Static
+  | Dynamic
+  | Guided
+
 type t = {
   num_workers : int;
+  spin_budget : int;
+  (* Hot-path state: every per-round handshake is on these atomics. *)
+  epoch : int Atomic.t; (* bumped to publish a job *)
+  remaining : int Atomic.t; (* helpers yet to finish the current job *)
+  failure : exn option Atomic.t;
+  stop_flag : bool Atomic.t;
+  (* Cold-path state: blocking fallback after the spin budget. [sleepers]
+     and [done_waiters] let the fast path skip taking the mutex entirely
+     when nobody is blocked. *)
+  sleepers : int Atomic.t;
+  done_waiters : int Atomic.t;
   mutex : Mutex.t;
   work_ready : Condition.t;
   work_done : Condition.t;
-  mutable job : (int -> unit) option;
-  mutable epoch : int;
-  mutable remaining : int;
-  mutable failure : exn option;
-  mutable stopped : bool;
+  mutable job : (int -> unit) option; (* published by the [epoch] bump *)
+  mutable barrier_wait : float; (* cumulative seconds worker 0 waited *)
   mutable domains : unit Domain.t list;
 }
 
-(* Helper domains block on [work_ready] until the epoch advances, run the
-   published job with their worker id, then report completion on
-   [work_done]. The caller always acts as worker 0, so a 1-worker pool never
-   touches the synchronization primitives on the hot path. *)
+(* Spin until [cond ()] holds or [budget] cpu_relax steps have been spent;
+   returns whether the condition was observed. The pause length doubles up
+   to 64 so a long wait backs off the interconnect. *)
+let spin_until ~budget cond =
+  let rec go spent pause =
+    if cond () then true
+    else if spent >= budget then false
+    else begin
+      for _ = 1 to pause do
+        Domain.cpu_relax ()
+      done;
+      go (spent + pause) (min (2 * pause) 64)
+    end
+  in
+  go 0 1
+
+let note_failure pool exn =
+  (* Keep the first failure; later ones lose the race and are dropped, as
+     in the seed implementation. *)
+  ignore (Atomic.compare_and_set pool.failure None (Some exn))
+
+(* Mark this worker's share of the round done. The [done_waiters] check
+   pairs with the caller's increment-then-recheck under the mutex: with
+   sequentially consistent atomics one side always sees the other, so the
+   broadcast cannot be lost. *)
+let finish_one pool =
+  if Atomic.fetch_and_add pool.remaining (-1) = 1 then
+    if Atomic.get pool.done_waiters > 0 then begin
+      Mutex.lock pool.mutex;
+      Condition.broadcast pool.work_done;
+      Mutex.unlock pool.mutex
+    end
 
 let worker_loop pool tid =
-  let current_epoch = ref 0 in
+  let seen = ref 0 in
   let rec loop () =
-    Mutex.lock pool.mutex;
-    while (not pool.stopped) && pool.epoch = !current_epoch do
-      Condition.wait pool.work_ready pool.mutex
-    done;
-    if pool.stopped then Mutex.unlock pool.mutex
-    else begin
-      current_epoch := pool.epoch;
+    let woke =
+      spin_until ~budget:pool.spin_budget (fun () ->
+          Atomic.get pool.epoch <> !seen || Atomic.get pool.stop_flag)
+    in
+    if not woke then begin
+      (* Register as a sleeper, then re-check the epoch under the mutex:
+         a publisher that missed our registration has already bumped the
+         epoch, which the [while] observes before waiting. *)
+      Mutex.lock pool.mutex;
+      Atomic.incr pool.sleepers;
+      while Atomic.get pool.epoch = !seen && not (Atomic.get pool.stop_flag) do
+        Condition.wait pool.work_ready pool.mutex
+      done;
+      Atomic.decr pool.sleepers;
+      Mutex.unlock pool.mutex
+    end;
+    if not (Atomic.get pool.stop_flag) then begin
+      seen := Atomic.get pool.epoch;
+      (* [job] was written before the epoch bump, so observing the bump
+         makes this plain read well-defined (publication via atomics). *)
       let job =
         match pool.job with
         | Some job -> job
         | None -> assert false
       in
-      Mutex.unlock pool.mutex;
-      let outcome = try Ok (job tid) with exn -> Error exn in
-      Mutex.lock pool.mutex;
-      (match outcome with
-      | Ok () -> ()
-      | Error exn -> if pool.failure = None then pool.failure <- Some exn);
-      pool.remaining <- pool.remaining - 1;
-      if pool.remaining = 0 then Condition.broadcast pool.work_done;
-      Mutex.unlock pool.mutex;
+      (try job tid with exn -> note_failure pool exn);
+      finish_one pool;
       loop ()
     end
   in
   loop ()
 
-let create ~num_workers =
+let default_spin_budget ~num_workers =
+  (* Spinning only helps when every worker owns a core. On an oversubscribed
+     machine (more workers than cores) every relax step burns the quantum
+     the domain we are waiting for needs, so the only sane budget is 0:
+     block immediately, exactly the seed's condvar behavior. *)
+  if num_workers <= Domain.recommended_domain_count () then 4096 else 0
+
+let create ?spin_budget ~num_workers () =
   if num_workers < 1 then invalid_arg "Pool.create: num_workers must be >= 1";
+  let spin_budget =
+    match spin_budget with
+    | Some b -> if b < 0 then 0 else b
+    | None -> default_spin_budget ~num_workers
+  in
   let pool =
     {
       num_workers;
+      spin_budget;
+      epoch = Atomic.make 0;
+      remaining = Atomic.make 0;
+      failure = Atomic.make None;
+      stop_flag = Atomic.make false;
+      sleepers = Atomic.make 0;
+      done_waiters = Atomic.make 0;
       mutex = Mutex.create ();
       work_ready = Condition.create ();
       work_done = Condition.create ();
       job = None;
-      epoch = 0;
-      remaining = 0;
-      failure = None;
-      stopped = false;
+      barrier_wait = 0.0;
       domains = [];
     }
   in
@@ -67,82 +143,162 @@ let create ~num_workers =
   pool
 
 let num_workers pool = pool.num_workers
+let barrier_wait_seconds pool = pool.barrier_wait
 
 let run_workers pool f =
-  if pool.stopped then invalid_arg "Pool.run_workers: pool is shut down";
+  if Atomic.get pool.stop_flag then
+    invalid_arg "Pool.run_workers: pool is shut down";
   if pool.num_workers = 1 then f 0
   else begin
-    Mutex.lock pool.mutex;
     pool.job <- Some f;
-    pool.failure <- None;
-    pool.remaining <- pool.num_workers - 1;
-    pool.epoch <- pool.epoch + 1;
-    Condition.broadcast pool.work_ready;
-    Mutex.unlock pool.mutex;
+    Atomic.set pool.failure None;
+    Atomic.set pool.remaining (pool.num_workers - 1);
+    Atomic.incr pool.epoch;
+    if Atomic.get pool.sleepers > 0 then begin
+      Mutex.lock pool.mutex;
+      Condition.broadcast pool.work_ready;
+      Mutex.unlock pool.mutex
+    end;
     let caller_outcome = try Ok (f 0) with exn -> Error exn in
-    Mutex.lock pool.mutex;
-    while pool.remaining > 0 do
-      Condition.wait pool.work_done pool.mutex
-    done;
+    let wait_start = Unix.gettimeofday () in
+    let finished =
+      spin_until ~budget:pool.spin_budget (fun () ->
+          Atomic.get pool.remaining = 0)
+    in
+    if not finished then begin
+      Mutex.lock pool.mutex;
+      Atomic.incr pool.done_waiters;
+      while Atomic.get pool.remaining > 0 do
+        Condition.wait pool.work_done pool.mutex
+      done;
+      Atomic.decr pool.done_waiters;
+      Mutex.unlock pool.mutex
+    end;
+    pool.barrier_wait <- pool.barrier_wait +. (Unix.gettimeofday () -. wait_start);
     pool.job <- None;
-    let failure = pool.failure in
-    pool.failure <- None;
-    Mutex.unlock pool.mutex;
-    match caller_outcome, failure with
+    let failure = Atomic.get pool.failure in
+    Atomic.set pool.failure None;
+    match (caller_outcome, failure) with
     | Error exn, _ -> raise exn
     | Ok (), Some exn -> raise exn
     | Ok (), None -> ()
   end
 
-let parallel_for pool ?(chunk = 256) ~lo ~hi f =
-  if chunk < 1 then invalid_arg "Pool.parallel_for: chunk must be >= 1";
+(* ------------------------------------------------------------------ *)
+(* Range-granularity scheduling.
+
+   Workers claim [(lo, hi)] chunks instead of single indices, so callers
+   run tight local loops with no per-element closure call or shared-counter
+   traffic. Three policies, mirroring OpenMP's schedule clause:
+
+   - [Static]: one contiguous block per worker, no shared state at all;
+   - [Dynamic]: fixed-size chunks off a shared atomic cursor;
+   - [Guided]: exponentially decaying chunks (remaining / 2W, floored at
+     [chunk]) — few cursor bumps up front, fine-grained load balancing at
+     the tail. *)
+
+(* Per-worker slots are spread [slot_stride] ints apart so the cursor state
+   of different workers never shares a cache line. *)
+let slot_stride = 8
+
+type range_cursor = {
+  r_lo : int;
+  r_hi : int;
+  r_chunk : int;
+  r_sched : sched;
+  r_workers : int;
+  cursor : int Atomic.t; (* Dynamic / Guided *)
+  taken : bool array; (* Static: slot tid * slot_stride *)
+}
+
+let range_cursor pool ?(sched = Dynamic) ?(chunk = 256) ~lo ~hi () =
+  if chunk < 1 then invalid_arg "Pool.range_cursor: chunk must be >= 1";
+  {
+    r_lo = lo;
+    r_hi = hi;
+    r_chunk = chunk;
+    r_sched = sched;
+    r_workers = pool.num_workers;
+    cursor = Atomic.make lo;
+    taken =
+      (match sched with
+      | Static -> Array.make (pool.num_workers * slot_stride) false
+      | Dynamic | Guided -> [||]);
+  }
+
+let next_range c ~tid =
+  match c.r_sched with
+  | Static ->
+      let slot = tid * slot_stride in
+      if c.taken.(slot) then None
+      else begin
+        c.taken.(slot) <- true;
+        let n = c.r_hi - c.r_lo in
+        let share = (n + c.r_workers - 1) / c.r_workers in
+        let lo = c.r_lo + (tid * share) in
+        let hi = min c.r_hi (lo + share) in
+        if lo >= hi then None else Some (lo, hi)
+      end
+  | Dynamic ->
+      let start = Atomic.fetch_and_add c.cursor c.r_chunk in
+      if start >= c.r_hi then None
+      else Some (start, min c.r_hi (start + c.r_chunk))
+  | Guided ->
+      let rec claim () =
+        let start = Atomic.get c.cursor in
+        if start >= c.r_hi then None
+        else begin
+          let remaining = c.r_hi - start in
+          let take = min remaining (max c.r_chunk (remaining / (2 * c.r_workers))) in
+          if Atomic.compare_and_set c.cursor start (start + take) then
+            Some (start, start + take)
+          else claim ()
+        end
+      in
+      claim ()
+
+let for_ranges name pool sched chunk ~lo ~hi f =
+  if chunk < 1 then invalid_arg (name ^ ": chunk must be >= 1");
   if hi > lo then
-    if pool.num_workers = 1 || hi - lo <= chunk then
+    if pool.num_workers = 1 || hi - lo <= chunk then f 0 lo hi
+    else begin
+      let c = range_cursor pool ~sched ~chunk ~lo ~hi () in
+      run_workers pool (fun tid ->
+          let rec drain () =
+            match next_range c ~tid with
+            | Some (lo, hi) ->
+                f tid lo hi;
+                drain ()
+            | None -> ()
+          in
+          drain ())
+    end
+
+let parallel_for_ranges pool ?(sched = Dynamic) ?(chunk = 256) ~lo ~hi f =
+  for_ranges "Pool.parallel_for_ranges" pool sched chunk ~lo ~hi
+    (fun _tid lo hi -> f ~lo ~hi)
+
+let parallel_for_ranges_tid pool ?(sched = Dynamic) ?(chunk = 256) ~lo ~hi f =
+  for_ranges "Pool.parallel_for_ranges_tid" pool sched chunk ~lo ~hi
+    (fun tid lo hi -> f ~tid ~lo ~hi)
+
+let parallel_for pool ?(sched = Dynamic) ?(chunk = 256) ~lo ~hi f =
+  for_ranges "Pool.parallel_for" pool sched chunk ~lo ~hi (fun _tid lo hi ->
       for i = lo to hi - 1 do
         f i
-      done
-    else begin
-      let next = Atomic.make lo in
-      run_workers pool (fun _tid ->
-          let rec claim () =
-            let start = Atomic.fetch_and_add next chunk in
-            if start < hi then begin
-              let stop = min hi (start + chunk) in
-              for i = start to stop - 1 do
-                f i
-              done;
-              claim ()
-            end
-          in
-          claim ())
-    end
+      done)
 
-let parallel_for_tid pool ?(chunk = 256) ~lo ~hi f =
-  if chunk < 1 then invalid_arg "Pool.parallel_for_tid: chunk must be >= 1";
-  if hi > lo then
-    if pool.num_workers = 1 then
+let parallel_for_tid pool ?(sched = Dynamic) ?(chunk = 256) ~lo ~hi f =
+  for_ranges "Pool.parallel_for_tid" pool sched chunk ~lo ~hi (fun tid lo hi ->
       for i = lo to hi - 1 do
-        f ~tid:0 i
-      done
-    else begin
-      let next = Atomic.make lo in
-      run_workers pool (fun tid ->
-          let rec claim () =
-            let start = Atomic.fetch_and_add next chunk in
-            if start < hi then begin
-              let stop = min hi (start + chunk) in
-              for i = start to stop - 1 do
-                f ~tid i
-              done;
-              claim ()
-            end
-          in
-          claim ())
-    end
+        f ~tid i
+      done)
 
-let parallel_for_reduce pool ?(chunk = 256) ~lo ~hi ~neutral ~combine f =
+let parallel_for_reduce pool ?(sched = Dynamic) ?(chunk = 256) ~lo ~hi ~neutral
+    ~combine f =
+  if chunk < 1 then invalid_arg "Pool.parallel_for_reduce: chunk must be >= 1";
   if hi <= lo then neutral
-  else if pool.num_workers = 1 then begin
+  else if pool.num_workers = 1 || hi - lo <= chunk then begin
     let acc = ref neutral in
     for i = lo to hi - 1 do
       acc := combine !acc (f i)
@@ -150,35 +306,41 @@ let parallel_for_reduce pool ?(chunk = 256) ~lo ~hi ~neutral ~combine f =
     !acc
   end
   else begin
-    let partials = Array.make pool.num_workers neutral in
-    let next = Atomic.make lo in
+    (* Partial results sit [slot_stride] words apart: they are written once
+       per worker, but that write must not invalidate a neighbour's line
+       mid-loop. *)
+    let partials = Array.make (pool.num_workers * slot_stride) neutral in
+    let c = range_cursor pool ~sched ~chunk ~lo ~hi () in
     run_workers pool (fun tid ->
         let acc = ref neutral in
-        let rec claim () =
-          let start = Atomic.fetch_and_add next chunk in
-          if start < hi then begin
-            let stop = min hi (start + chunk) in
-            for i = start to stop - 1 do
-              acc := combine !acc (f i)
-            done;
-            claim ()
-          end
+        let rec drain () =
+          match next_range c ~tid with
+          | Some (lo, hi) ->
+              for i = lo to hi - 1 do
+                acc := combine !acc (f i)
+              done;
+              drain ()
+          | None -> ()
         in
-        claim ();
-        partials.(tid) <- !acc);
-    Array.fold_left combine neutral partials
+        drain ();
+        partials.(tid * slot_stride) <- !acc);
+    let total = ref neutral in
+    for tid = 0 to pool.num_workers - 1 do
+      total := combine !total partials.(tid * slot_stride)
+    done;
+    !total
   end
 
 let shutdown pool =
-  if not pool.stopped then begin
+  if not (Atomic.get pool.stop_flag) then begin
+    Atomic.set pool.stop_flag true;
     Mutex.lock pool.mutex;
-    pool.stopped <- true;
     Condition.broadcast pool.work_ready;
     Mutex.unlock pool.mutex;
     List.iter Domain.join pool.domains;
     pool.domains <- []
   end
 
-let with_pool ~num_workers f =
-  let pool = create ~num_workers in
+let with_pool ?spin_budget ~num_workers f =
+  let pool = create ?spin_budget ~num_workers () in
   Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)

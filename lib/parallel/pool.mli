@@ -1,27 +1,60 @@
 (** A fixed-size pool of OCaml domains, the substrate that stands in for the
     paper's Cilk/OpenMP runtime.
 
-    The pool supports two idioms used by the ordered-graph engines:
+    The pool supports the idioms used by the ordered-graph engines:
 
     - {!run_workers} runs one SPMD task per worker, mirroring the
       [#pragma omp parallel] regions of the generated eager code (Figure 9(c)
       of the paper). Each invocation is one global synchronization: all
-      workers finish before it returns.
-    - {!parallel_for} distributes an index range over the workers with
-      dynamic chunking, mirroring [#pragma omp for schedule(dynamic)].
+      workers finish before it returns. Rounds are synchronized by a
+      {e spin-then-block barrier}: workers busy-wait on atomics with
+      [Domain.cpu_relax] and exponential backoff, falling back to a
+      mutex/condvar only after a spin budget, so back-to-back rounds never
+      pay a kernel round-trip while idle pools still sleep.
+    - {!parallel_for} and friends distribute an index range over the
+      workers, mirroring [#pragma omp for]. The {!sched} policy picks
+      between static block partitioning, fixed dynamic chunks, and guided
+      (decaying-chunk) scheduling.
+    - {!parallel_for_ranges} hands workers whole [(lo, hi)] chunks so the
+      caller runs a tight local loop instead of one closure call per
+      element — the hot-path form used by the engine and baselines.
 
     A pool with one worker executes everything inline on the calling domain,
     which keeps single-threaded runs deterministic and cheap. *)
 
 type t
 
-(** [create ~num_workers] spawns [num_workers - 1] helper domains. The caller
-    participates as worker 0. Raises [Invalid_argument] when
-    [num_workers < 1]. *)
-val create : num_workers:int -> t
+(** Loop scheduling policy, mirroring OpenMP's [schedule] clause:
+    - [Static]: one contiguous block per worker; zero shared-counter
+      traffic, best when per-index work is uniform;
+    - [Dynamic]: fixed-size chunks claimed off a shared atomic cursor;
+      best when per-index work is skewed (frontier vertices with wildly
+      different degrees);
+    - [Guided]: chunk size decays from [remaining / (2 * workers)] down to
+      the requested [chunk]; few cursor bumps up front, fine-grained
+      balancing at the tail. *)
+type sched =
+  | Static
+  | Dynamic
+  | Guided
+
+(** [create ?spin_budget ~num_workers ()] spawns [num_workers - 1] helper
+    domains. The caller participates as worker 0. [spin_budget] bounds the
+    number of [Domain.cpu_relax] steps spent busy-waiting at each barrier
+    before blocking on a condition variable; it defaults high when the pool
+    fits the machine and near-zero when oversubscribed, and [0] recovers
+    the always-block behaviour of the seed implementation. Raises
+    [Invalid_argument] when [num_workers < 1]. *)
+val create : ?spin_budget:int -> num_workers:int -> unit -> t
 
 (** [num_workers pool] is the worker count, including the caller. *)
 val num_workers : t -> int
+
+(** [barrier_wait_seconds pool] is the cumulative wall-clock time worker 0
+    has spent waiting for helpers at the end of {!run_workers} rounds —
+    the synchronization cost the paper's bucket fusion exists to avoid.
+    Always [0.] on single-worker pools. *)
+val barrier_wait_seconds : t -> float
 
 (** [run_workers pool f] runs [f tid] on every worker, [tid] ranging over
     [0, num_workers). Returns when all workers have finished. If any worker
@@ -29,22 +62,55 @@ val num_workers : t -> int
     workers have stopped. Not reentrant. *)
 val run_workers : t -> (int -> unit) -> unit
 
-(** [parallel_for pool ?chunk ~lo ~hi f] applies [f i] for every
+(** A shared work cursor for SPMD loops written directly on top of
+    {!run_workers} (e.g. when a per-worker epilogue must run after the
+    loop, as in the engine's bucket-fusion drain). *)
+type range_cursor
+
+(** [range_cursor pool ?sched ?chunk ~lo ~hi ()] is a fresh cursor over
+    [lo, hi) for [pool]'s workers. *)
+val range_cursor :
+  t -> ?sched:sched -> ?chunk:int -> lo:int -> hi:int -> unit -> range_cursor
+
+(** [next_range cursor ~tid] claims the next [(lo, hi)] chunk for worker
+    [tid], or [None] when the range is exhausted (for [Static], when the
+    worker's block has been handed out). *)
+val next_range : range_cursor -> tid:int -> (int * int) option
+
+(** [parallel_for_ranges pool ?sched ?chunk ~lo ~hi f] partitions [lo, hi)
+    into chunks per [sched] (default [Dynamic], chunk 256) and calls
+    [f ~lo ~hi] once per chunk, in parallel. The caller's loop body runs as
+    a tight local loop: no per-element closure call, no per-element
+    shared-counter traffic. *)
+val parallel_for_ranges :
+  t -> ?sched:sched -> ?chunk:int -> lo:int -> hi:int ->
+  (lo:int -> hi:int -> unit) -> unit
+
+(** [parallel_for_ranges_tid] is {!parallel_for_ranges} for bodies that
+    need the worker id: [f ~tid ~lo ~hi]. *)
+val parallel_for_ranges_tid :
+  t -> ?sched:sched -> ?chunk:int -> lo:int -> hi:int ->
+  (tid:int -> lo:int -> hi:int -> unit) -> unit
+
+(** [parallel_for pool ?sched ?chunk ~lo ~hi f] applies [f i] for every
     [lo <= i < hi], distributing indices across workers in chunks of [chunk]
-    (default 256) claimed dynamically. *)
-val parallel_for : t -> ?chunk:int -> lo:int -> hi:int -> (int -> unit) -> unit
+    (default 256) per the scheduling policy (default [Dynamic]). *)
+val parallel_for :
+  t -> ?sched:sched -> ?chunk:int -> lo:int -> hi:int -> (int -> unit) -> unit
 
-(** [parallel_for_tid pool ?chunk ~lo ~hi f] is {!parallel_for} for bodies
-    that need the worker id, e.g. to write into per-worker accumulators:
-    [f] is called as [f ~tid i]. *)
+(** [parallel_for_tid pool ?sched ?chunk ~lo ~hi f] is {!parallel_for} for
+    bodies that need the worker id, e.g. to write into per-worker
+    accumulators: [f] is called as [f ~tid i]. *)
 val parallel_for_tid :
-  t -> ?chunk:int -> lo:int -> hi:int -> (tid:int -> int -> unit) -> unit
+  t -> ?sched:sched -> ?chunk:int -> lo:int -> hi:int ->
+  (tid:int -> int -> unit) -> unit
 
-(** [parallel_for_reduce pool ?chunk ~lo ~hi ~neutral ~combine f] folds the
-    per-index values [f i] into a single result. [combine] must be
-    associative and commutative with [neutral] as identity. *)
+(** [parallel_for_reduce pool ?sched ?chunk ~lo ~hi ~neutral ~combine f]
+    folds the per-index values [f i] into a single result. [combine] must
+    be associative and commutative with [neutral] as identity. *)
 val parallel_for_reduce :
   t ->
+  ?sched:sched ->
   ?chunk:int ->
   lo:int ->
   hi:int ->
@@ -57,6 +123,6 @@ val parallel_for_reduce :
     afterwards. Idempotent. *)
 val shutdown : t -> unit
 
-(** [with_pool ~num_workers f] creates a pool, passes it to [f], and shuts it
-    down even when [f] raises. *)
-val with_pool : num_workers:int -> (t -> 'a) -> 'a
+(** [with_pool ?spin_budget ~num_workers f] creates a pool, passes it to
+    [f], and shuts it down even when [f] raises. *)
+val with_pool : ?spin_budget:int -> num_workers:int -> (t -> 'a) -> 'a

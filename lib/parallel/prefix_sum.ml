@@ -6,6 +6,14 @@ let exclusive a =
   done;
   out
 
+(* One barrier episode instead of two: the block-sum and block-write phases
+   run inside a single [run_workers] call, separated by an internal
+   arrival-counter barrier. Publishing each block total with an atomic
+   increment and waiting until all workers have arrived orders every plain
+   [block_totals] write before every read (happens-before through the
+   counter), and the per-block offsets are then computed redundantly by
+   each worker — a [workers]-length scan, far cheaper than a second global
+   round trip. *)
 let exclusive_parallel pool a =
   let n = Array.length a in
   let workers = Pool.num_workers pool in
@@ -14,29 +22,29 @@ let exclusive_parallel pool a =
     let out = Array.make (n + 1) 0 in
     let block = (n + workers - 1) / workers in
     let block_totals = Array.make workers 0 in
-    (* Pass 1: each worker sums its block. *)
+    let arrivals = Atomic.make 0 in
     Pool.run_workers pool (fun tid ->
         let lo = tid * block and hi = min n ((tid + 1) * block) in
+        (* Phase 1: sum this worker's block. *)
         let total = ref 0 in
         for i = lo to hi - 1 do
-          total := !total + a.(i)
+          total := !total + Array.unsafe_get a i
         done;
-        block_totals.(tid) <- !total);
-    (* Scan block totals sequentially (workers is tiny). *)
-    let block_offsets = Array.make workers 0 in
-    let running = ref 0 in
-    for tid = 0 to workers - 1 do
-      block_offsets.(tid) <- !running;
-      running := !running + block_totals.(tid)
-    done;
-    out.(n) <- !running;
-    (* Pass 2: each worker writes its block's exclusive sums. *)
-    Pool.run_workers pool (fun tid ->
-        let lo = tid * block and hi = min n ((tid + 1) * block) in
-        let acc = ref block_offsets.(tid) in
+        block_totals.(tid) <- !total;
+        Atomic.incr arrivals;
+        while Atomic.get arrivals < workers do
+          Domain.cpu_relax ()
+        done;
+        (* Phase 2: every block total is now visible; scan the ones before
+           this block and write the block's exclusive sums. *)
+        let acc = ref 0 in
+        for t = 0 to tid - 1 do
+          acc := !acc + block_totals.(t)
+        done;
+        if tid = workers - 1 then out.(n) <- !acc + block_totals.(tid);
         for i = lo to hi - 1 do
           out.(i) <- !acc;
-          acc := !acc + a.(i)
+          acc := !acc + Array.unsafe_get a i
         done);
     out
   end

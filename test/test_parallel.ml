@@ -144,10 +144,165 @@ let qcheck_prefix_sum_parallel_large =
       Pool.with_pool ~num_workers:4 (fun pool ->
           Prefix_sum.exclusive_parallel pool a = Prefix_sum.exclusive a))
 
+(* ---- range API properties ---- *)
+
+let sched_of_int = function
+  | 0 -> Pool.Static
+  | 1 -> Pool.Dynamic
+  | _ -> Pool.Guided
+
+let sched_name = function
+  | Pool.Static -> "static"
+  | Pool.Dynamic -> "dynamic"
+  | Pool.Guided -> "guided"
+
+(* Random (lo, hi, chunk, workers, sched) including empty/backwards ranges
+   and chunks larger than the range. *)
+let range_case =
+  QCheck.(
+    map
+      (fun (lo, len, chunk, workers, s) -> (lo, lo + len, chunk, workers, sched_of_int s))
+      (tup5 (int_range (-50) 200) (int_range (-10) 3000) (int_range 1 5000)
+         (int_range 1 4) (int_range 0 2)))
+
+let print_range_case (lo, hi, chunk, workers, sched) =
+  Printf.sprintf "lo=%d hi=%d chunk=%d workers=%d sched=%s" lo hi chunk workers
+    (sched_name sched)
+
+let qcheck_ranges_cover_like_sequential =
+  QCheck.Test.make ~name:"parallel_for_ranges = sequential loop" ~count:100
+    (QCheck.make ~print:print_range_case (QCheck.gen range_case))
+    (fun (lo, hi, chunk, workers, sched) ->
+      Pool.with_pool ~num_workers:workers (fun pool ->
+          let n = max 0 (hi - lo) in
+          let hits = Atomic_array.make (max n 1) 0 in
+          Pool.parallel_for_ranges pool ~sched ~chunk ~lo ~hi (fun ~lo:rlo ~hi:rhi ->
+              if rlo < lo || rhi > hi || rlo >= rhi then failwith "bad range";
+              for i = rlo to rhi - 1 do
+                ignore (Atomic_array.fetch_add hits (i - lo) 1)
+              done);
+          let ok = ref true in
+          for i = 0 to n - 1 do
+            if Atomic_array.get hits i <> 1 then ok := false
+          done;
+          !ok))
+
+let qcheck_ranges_tid_partition =
+  QCheck.Test.make ~name:"parallel_for_ranges_tid partitions work" ~count:100
+    (QCheck.make ~print:print_range_case (QCheck.gen range_case))
+    (fun (lo, hi, chunk, workers, sched) ->
+      Pool.with_pool ~num_workers:workers (fun pool ->
+          let covered = Atomic.make 0 in
+          Pool.parallel_for_ranges_tid pool ~sched ~chunk ~lo ~hi
+            (fun ~tid ~lo:rlo ~hi:rhi ->
+              if tid < 0 || tid >= workers then failwith "bad tid";
+              ignore (Atomic.fetch_and_add covered (rhi - rlo)));
+          Atomic.get covered = max 0 (hi - lo)))
+
+let qcheck_reduce_matches_sequential =
+  QCheck.Test.make ~name:"parallel_for_reduce = sequential fold" ~count:100
+    (QCheck.make ~print:print_range_case (QCheck.gen range_case))
+    (fun (lo, hi, chunk, workers, sched) ->
+      Pool.with_pool ~num_workers:workers (fun pool ->
+          let expected = ref 0 in
+          for i = lo to hi - 1 do
+            expected := !expected + (i * i)
+          done;
+          let got =
+            Pool.parallel_for_reduce pool ~sched ~chunk ~lo ~hi ~neutral:0
+              ~combine:( + ) (fun i -> i * i)
+          in
+          got = !expected))
+
+let qcheck_exception_mid_range =
+  QCheck.Test.make ~name:"exception mid-range propagates, pool survives" ~count:30
+    QCheck.(tup2 (int_range 2 4) (int_range 0 2))
+    (fun (workers, s) ->
+      let sched = sched_of_int s in
+      Pool.with_pool ~num_workers:workers (fun pool ->
+          let raised =
+            try
+              Pool.parallel_for_ranges pool ~sched ~chunk:8 ~lo:0 ~hi:1000
+                (fun ~lo ~hi:_ -> if lo >= 496 then failwith "mid-range");
+              false
+            with Failure msg -> msg = "mid-range"
+          in
+          (* The pool must stay usable after a worker threw. *)
+          let total = Atomic.make 0 in
+          Pool.parallel_for pool ~lo:0 ~hi:100 (fun _ ->
+              ignore (Atomic.fetch_and_add total 1));
+          raised && Atomic.get total = 100))
+
+let test_spin_budget_zero_pool () =
+  (* spin_budget 0 forces the pure condvar path of the barrier. *)
+  let pool = Pool.create ~spin_budget:0 ~num_workers:3 () in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pool)
+    (fun () ->
+      let hits = Atomic.make 0 in
+      for _ = 1 to 50 do
+        Pool.run_workers pool (fun _ -> ignore (Atomic.fetch_and_add hits 1))
+      done;
+      Alcotest.(check int) "all episodes complete" 150 (Atomic.get hits))
+
+let test_barrier_wait_counter () =
+  Pool.with_pool ~num_workers:2 (fun pool ->
+      let before = Pool.barrier_wait_seconds pool in
+      Alcotest.(check bool) "starts non-negative" true (before >= 0.0);
+      for _ = 1 to 20 do
+        Pool.run_workers pool (fun _ -> ())
+      done;
+      Alcotest.(check bool) "monotone" true
+        (Pool.barrier_wait_seconds pool >= before))
+
+let test_make_padded () =
+  let a = Atomic_array.make_padded 5 7 in
+  Alcotest.(check int) "length" 5 (Atomic_array.length a);
+  for i = 0 to 4 do
+    Alcotest.(check int) "initial" 7 (Atomic_array.get a i)
+  done;
+  Pool.with_pool ~num_workers:4 (fun pool ->
+      Pool.parallel_for pool ~chunk:3 ~lo:0 ~hi:10_000 (fun i ->
+          ignore (Atomic_array.fetch_add a (i mod 5) 1)));
+  let total = ref 0 in
+  for i = 0 to 4 do
+    total := !total + Atomic_array.get a i - 7
+  done;
+  Alcotest.(check int) "no lost updates across padded cells" 10_000 !total;
+  Alcotest.(check (array int))
+    "to_array sees logical cells" [| 1; 2; 3 |]
+    (Atomic_array.to_array (Atomic_array.of_array [| 1; 2; 3 |]))
+
+let qcheck_drain_to_array_matches_drain =
+  QCheck.Test.make ~name:"Update_buffer.drain_to_array = drain" ~count:50
+    QCheck.(tup2 (int_range 1 4) (list_of_size (Gen.int_range 0 5000) (int_bound 999)))
+    (fun (workers, adds) ->
+      let module Ub = Bucketing.Update_buffer in
+      Pool.with_pool ~num_workers:workers (fun pool ->
+          let mk () =
+            let b = Ub.create ~num_vertices:1000 ~num_workers:workers () in
+            List.iteri
+              (fun i v -> ignore (Ub.try_add b ~tid:(i mod workers) v))
+              adds;
+            b
+          in
+          let b1 = mk () and b2 = mk () in
+          let via_drain = ref [] in
+          Ub.drain b1 (fun v -> via_drain := v :: !via_drain);
+          let expected = Array.of_list (List.rev !via_drain) in
+          let got = Ub.drain_to_array b2 ~pool in
+          got = expected
+          && Ub.size b2 = 0
+          && Ub.total_added b2 = Array.length expected
+          (* Flags were reset: everything can be buffered again. *)
+          && List.for_all Fun.id
+               (List.sort_uniq compare (Array.to_list expected)
+               |> List.map (fun v -> Ub.try_add b2 ~tid:0 v))))
+
 let test_pool_invalid_args () =
   Alcotest.check_raises "zero workers"
     (Invalid_argument "Pool.create: num_workers must be >= 1") (fun () ->
-      ignore (Pool.create ~num_workers:0));
+      ignore (Pool.create ~num_workers:0 ()));
   Pool.with_pool ~num_workers:1 (fun pool ->
       Alcotest.check_raises "bad chunk"
         (Invalid_argument "Pool.parallel_for: chunk must be >= 1") (fun () ->
@@ -167,6 +322,16 @@ let () =
           Alcotest.test_case "parallel_for_reduce" `Quick test_parallel_for_reduce;
           Alcotest.test_case "parallel_for_tid" `Quick test_parallel_for_tid;
           Alcotest.test_case "invalid args" `Quick test_pool_invalid_args;
+          Alcotest.test_case "spin_budget 0 (condvar path)" `Quick
+            test_spin_budget_zero_pool;
+          Alcotest.test_case "barrier wait counter" `Quick test_barrier_wait_counter;
+        ] );
+      ( "ranges",
+        [
+          QCheck_alcotest.to_alcotest qcheck_ranges_cover_like_sequential;
+          QCheck_alcotest.to_alcotest qcheck_ranges_tid_partition;
+          QCheck_alcotest.to_alcotest qcheck_reduce_matches_sequential;
+          QCheck_alcotest.to_alcotest qcheck_exception_mid_range;
         ] );
       ( "atomic_array",
         [
@@ -175,7 +340,10 @@ let () =
           Alcotest.test_case "concurrent min" `Quick test_atomic_concurrent_min;
           Alcotest.test_case "concurrent fetch_add" `Quick
             test_atomic_concurrent_fetch_add;
+          Alcotest.test_case "make_padded" `Quick test_make_padded;
         ] );
+      ( "update_buffer",
+        [ QCheck_alcotest.to_alcotest qcheck_drain_to_array_matches_drain ] );
       ( "prefix_sum",
         [
           Alcotest.test_case "small cases" `Quick test_prefix_sum_small;
