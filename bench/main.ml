@@ -12,6 +12,7 @@
      dune exec bench/main.exe -- --workers 4  -- oversubscribed parallel run
      dune exec bench/main.exe -- --scale big  -- larger graphs
      dune exec bench/main.exe -- --smoke      -- tiny graphs, 1 trial
+     dune exec bench/main.exe -- --json f.json -- machine-readable dump
      dune build @bench-smoke                  -- the same, as a dune alias *)
 
 module Pool = Parallel.Pool
@@ -23,6 +24,7 @@ module Rng = Support.Rng
 module Timer = Support.Timer
 module Schedule = Ordered.Schedule
 module Stats = Ordered.Stats
+module Json = Support.Json
 
 (* ------------------------------------------------------------------ *)
 (* Configuration                                                        *)
@@ -49,6 +51,9 @@ let () =
            search budgets. Checks every section end to end in seconds. *)
         smoke := true;
         parse rest
+    | "--json" :: file :: rest ->
+        Report.set_path file;
+        parse rest
     | arg :: rest ->
         Printf.eprintf "ignoring unknown argument %S\n" arg;
         parse rest
@@ -62,7 +67,8 @@ let section id title f =
       Printf.printf "\n================================================================\n";
       Printf.printf "[%s] %s\n" id title;
       Printf.printf "================================================================\n";
-      f ();
+      let (), seconds = Timer.time f in
+      Report.add_duration id seconds;
       flush stdout
 
 let time f = Timer.time_median ~repeats:(if !smoke then 1 else 3) f
@@ -355,22 +361,26 @@ let fig1 () =
      (paper Figure 1: largest on large-diameter road networks).\n\n";
   Printf.printf "%-11s %-22s %12s %12s %9s\n" "graph" "(analog)" "ordered(s)"
     "unordered(s)" "speedup";
-  List.iter
-    (fun w ->
-      let ordered = sssp_time `Graphit w in
-      let unordered = sssp_time `Unordered w in
-      Printf.printf "SSSP  %-5s %-22s %12.3f %12.3f %8.1fx\n" w.wname
-        ("(" ^ w.paper_analog ^ ")")
-        ordered unordered (unordered /. ordered))
-    (Lazy.force suite);
-  List.iter
-    (fun w ->
-      let ordered = kcore_time `Graphit w in
-      let unordered = kcore_time `Unordered w in
-      Printf.printf "kcore %-5s %-22s %12.3f %12.3f %8.1fx\n" w.wname
-        ("(" ^ w.paper_analog ^ ")")
-        ordered unordered (unordered /. ordered))
-    (Lazy.force suite)
+  let run alg driver =
+    List.iter
+      (fun w ->
+        let ordered = driver `Graphit w in
+        let unordered = driver `Unordered w in
+        Printf.printf "%-5s %-5s %-22s %12.3f %12.3f %8.1fx\n" alg w.wname
+          ("(" ^ w.paper_analog ^ ")")
+          ordered unordered (unordered /. ordered);
+        Report.row "fig1"
+          [
+            ("algorithm", Json.String alg);
+            ("graph", Json.String w.wname);
+            ("ordered_seconds", Json.Float ordered);
+            ("unordered_seconds", Json.Float unordered);
+            ("speedup", Json.Float (unordered /. ordered));
+          ])
+      (Lazy.force suite)
+  in
+  run "SSSP" sssp_time;
+  run "kcore" kcore_time
 
 let collect_tab4 () =
   let algorithms =
@@ -441,6 +451,23 @@ let tab4 () =
             per_graph;
           print_newline ())
         frameworks)
+    (tab4_data ());
+  List.iter
+    (fun (alg_name, per_graph) ->
+      List.iter
+        (fun (graph, cells) ->
+          List.iter
+            (fun (fw, t) ->
+              Report.row "tab4"
+                [
+                  ("algorithm", Json.String alg_name);
+                  ("graph", Json.String graph);
+                  ("framework", Json.String fw);
+                  (* nan (unsupported combination) serializes as null *)
+                  ("seconds", Json.Float t);
+                ])
+            cells)
+        per_graph)
     (tab4_data ())
 
 let fig4 () =
@@ -533,7 +560,13 @@ let tab5 () =
               0 ml_files
           in
           Printf.printf "%-10s %18d %26d %7.1fx\n" name dsl ml
-            (float_of_int ml /. float_of_int (max 1 dsl)))
+            (float_of_int ml /. float_of_int (max 1 dsl));
+          Report.row "tab5"
+            [
+              ("algorithm", Json.String name);
+              ("dsl_loc", Json.Int dsl);
+              ("ocaml_loc", Json.Int ml);
+            ])
     rows
 
 let tab6 () =
@@ -560,20 +593,40 @@ let tab6 () =
               ~source:0 ())
       in
       assert (fused.Algorithms.Sssp_delta.dist = unfused.Algorithms.Sssp_delta.dist);
-      (* The per-round barrier cost is the quantity fusion amortizes; on a
-         1-worker pool rounds need no barrier and it reads 0. *)
+      (* The per-round barrier cost is the quantity fusion amortizes; a
+         1-worker pool has no barrier, so the column renders as '-' there
+         rather than a misleading 0. *)
       let sync_per_round r =
-        1e6 *. r.Algorithms.Sssp_delta.stats.Stats.sync_seconds
-        /. float_of_int (max 1 r.Algorithms.Sssp_delta.stats.Stats.rounds)
+        if !workers <= 1 then "-"
+        else
+          Printf.sprintf "%.2f"
+            (1e6 *. r.Algorithms.Sssp_delta.stats.Stats.sync_seconds
+            /. float_of_int (max 1 r.Algorithms.Sssp_delta.stats.Stats.rounds))
       in
       Printf.printf
-        "%-10s %-20s %9.3fs [%6d rds] %9.3fs [%7d rds] %7.1fx %8.2f /%8.2f\n"
+        "%-10s %-20s %9.3fs [%6d rds] %9.3fs [%7d rds] %7.1fx %8s /%8s\n"
         w.wname
         ("(" ^ w.paper_analog ^ ")")
         fused_s fused.stats.Stats.rounds unfused_s unfused.stats.Stats.rounds
         (float_of_int unfused.stats.Stats.rounds
         /. float_of_int (max 1 fused.stats.Stats.rounds))
-        (sync_per_round fused) (sync_per_round unfused))
+        (sync_per_round fused) (sync_per_round unfused);
+      let variant name seconds (r : Algorithms.Sssp_delta.result) =
+        ( name,
+          Json.Obj
+            [ ("seconds", Json.Float seconds); ("stats", Stats.to_json r.stats) ] )
+      in
+      Report.row "tab6"
+        [
+          ("graph", Json.String w.wname);
+          ("delta", Json.Int w.fusion_delta);
+          variant "with_fusion" fused_s fused;
+          variant "without_fusion" unfused_s unfused;
+          ( "round_reduction",
+            Json.Float
+              (float_of_int unfused.stats.Stats.rounds
+              /. float_of_int (max 1 fused.stats.Stats.rounds)) );
+        ])
     (Lazy.force suite)
 
 let tab7 () =
@@ -616,7 +669,15 @@ let tab7 () =
                  ~source:0 ()))
       in
       Printf.printf "%-10s | %13.3f %17.3f | %13.3f %17.3f\n" w.wname kcore_eager
-        kcore_lazy sssp_eager sssp_lazy)
+        kcore_lazy sssp_eager sssp_lazy;
+      Report.row "tab7"
+        [
+          ("graph", Json.String w.wname);
+          ("kcore_eager_seconds", Json.Float kcore_eager);
+          ("kcore_lazy_seconds", Json.Float kcore_lazy);
+          ("sssp_eager_seconds", Json.Float sssp_eager);
+          ("sssp_lazy_seconds", Json.Float sssp_lazy);
+        ])
     (Lazy.force suite)
 
 let fig11 () =
@@ -644,8 +705,22 @@ let fig11 () =
                     Algorithms.Sssp_delta.run ~pool:p ~graph:w.directed
                       ~schedule:(graphit_schedule w) ~source:0 ())
               in
+              let fig11_row fw seconds rounds edges =
+                Report.row "fig11"
+                  [
+                    ("graph", Json.String w.wname);
+                    ("framework", Json.String fw);
+                    ("workers", Json.Int nw);
+                    ("seconds", Json.Float seconds);
+                    ("rounds", Json.Int rounds);
+                    ( "edges_relaxed",
+                      match edges with Some e -> Json.Int e | None -> Json.Null );
+                  ]
+              in
               Printf.printf "%-10s %8d %10.3f %10d %12d\n" "graphit" nw gs
                 graphit.stats.Stats.rounds graphit.stats.Stats.edges_relaxed;
+              fig11_row "graphit" gs graphit.stats.Stats.rounds
+                (Some graphit.stats.Stats.edges_relaxed);
               let gapbs, bs =
                 time (fun () ->
                     Baselines.Gapbs_like.sssp ~pool:p ~graph:w.directed
@@ -654,13 +729,17 @@ let fig11 () =
               Printf.printf "%-10s %8d %10.3f %10d %12d\n" "gapbs" nw bs
                 gapbs.Algorithms.Sssp_delta.stats.Stats.rounds
                 gapbs.Algorithms.Sssp_delta.stats.Stats.edges_relaxed;
+              fig11_row "gapbs" bs gapbs.Algorithms.Sssp_delta.stats.Stats.rounds
+                (Some gapbs.Algorithms.Sssp_delta.stats.Stats.edges_relaxed);
               let julienne, js =
                 time (fun () ->
                     Baselines.Julienne_like.sssp ~pool:p ~graph:w.directed
                       ~delta:w.best_delta ~source:0 ())
               in
               Printf.printf "%-10s %8d %10.3f %10d %12s\n" "julienne" nw js
-                julienne.Baselines.Julienne_like.rounds "-"))
+                julienne.Baselines.Julienne_like.rounds "-";
+              fig11_row "julienne" js julienne.Baselines.Julienne_like.rounds
+                None))
         worker_counts;
       print_newline ())
     graphs
@@ -698,7 +777,18 @@ let delta_sweep () =
       List.iter
         (fun (d, s) -> Printf.printf " %7.3f%s" s (if d = best_delta then "*" else " "))
         results;
-      Printf.printf " %8d\n" best_delta)
+      Printf.printf " %8d\n" best_delta;
+      Report.row "delta"
+        [
+          ("graph", Json.String w.wname);
+          ("best_delta", Json.Int best_delta);
+          ( "sweep",
+            Json.List
+              (List.map
+                 (fun (d, s) ->
+                   Json.Obj [ ("delta", Json.Int d); ("seconds", Json.Float s) ])
+                 results) );
+        ])
     (Lazy.force suite)
 
 let autotune_bench () =
@@ -729,7 +819,19 @@ let autotune_bench () =
         (List.length result.Autotune.Tuner.trials)
         (Schedule.strategy_to_string best.Autotune.Tuner.schedule.Schedule.strategy)
         best.Autotune.Tuner.schedule.Schedule.delta
-        (100.0 *. ((best.Autotune.Tuner.seconds -. hand) /. hand)))
+        (100.0 *. ((best.Autotune.Tuner.seconds -. hand) /. hand));
+      Report.row "autotune"
+        [
+          ("graph", Json.String w.wname);
+          ("hand_tuned_seconds", Json.Float hand);
+          ("autotuned_seconds", Json.Float best.Autotune.Tuner.seconds);
+          ("trials", Json.Int (List.length result.Autotune.Tuner.trials));
+          ( "strategy",
+            Json.String
+              (Schedule.strategy_to_string
+                 best.Autotune.Tuner.schedule.Schedule.strategy) );
+          ("delta", Json.Int best.Autotune.Tuner.schedule.Schedule.delta);
+        ])
     (Lazy.force suite)
 
 let ablation () =
@@ -753,7 +855,16 @@ let ablation () =
               ~source:0 ())
       in
       Printf.printf "%-10d %10.3f %10d %12d\n" fusion_threshold seconds
-        r.stats.Stats.rounds r.stats.Stats.fused_drains)
+        r.stats.Stats.rounds r.stats.Stats.fused_drains;
+      Report.row "ablate"
+        [
+          ("knob", Json.String "fusion_threshold");
+          ("graph", Json.String road.wname);
+          ("value", Json.Int fusion_threshold);
+          ("seconds", Json.Float seconds);
+          ("rounds", Json.Int r.stats.Stats.rounds);
+          ("fused_drains", Json.Int r.stats.Stats.fused_drains);
+        ])
     [ 1; 10; 100; 1000; 10000 ];
   Printf.printf
     "\n--- configNumBuckets (k-core lazy_constant_sum on %s) ---\n" social.wname;
@@ -771,7 +882,14 @@ let ablation () =
                 }
               ())
       in
-      Printf.printf "%-12d %10.3f\n" num_open_buckets seconds)
+      Printf.printf "%-12d %10.3f\n" num_open_buckets seconds;
+      Report.row "ablate"
+        [
+          ("knob", Json.String "num_open_buckets");
+          ("graph", Json.String social.wname);
+          ("value", Json.Int num_open_buckets);
+          ("seconds", Json.Float seconds);
+        ])
     [ 2; 8; 32; 128; 512; 2048 ];
   Printf.printf
     "\n--- widest path (Higher_first + updatePriorityMax), delta sweep on %s ---\n"
@@ -785,7 +903,15 @@ let ablation () =
               ~schedule:{ Schedule.default with delta }
               ~source:0 ())
       in
-      Printf.printf "%-10d %10.3f %10d\n" delta seconds r.stats.Stats.rounds)
+      Printf.printf "%-10d %10.3f %10d\n" delta seconds r.stats.Stats.rounds;
+      Report.row "ablate"
+        [
+          ("knob", Json.String "widest_path_delta");
+          ("graph", Json.String road.wname);
+          ("value", Json.Int delta);
+          ("seconds", Json.Float seconds);
+          ("rounds", Json.Int r.stats.Stats.rounds);
+        ])
     [ 1; 8; 64; 512 ]
 
 let fig9 () =
@@ -865,7 +991,15 @@ let dsl_overhead () =
                   in
                   let dsl_exec = Float.max 0.0 (dsl -. load) in
                   Printf.printf "%-10s %12.3f %12.3f %12.3f %9.1fx\n" w.wname native
-                    dsl dsl_exec (dsl_exec /. native)))
+                    dsl dsl_exec (dsl_exec /. native);
+                  Report.row "dslperf"
+                    [
+                      ("graph", Json.String w.wname);
+                      ("native_seconds", Json.Float native);
+                      ("dsl_seconds", Json.Float dsl);
+                      ("dsl_exec_seconds", Json.Float dsl_exec);
+                      ("overhead", Json.Float (dsl_exec /. native));
+                    ]))
             (Lazy.force suite))
 
 let micro () =
@@ -925,7 +1059,10 @@ let micro () =
   Hashtbl.iter
     (fun name fit ->
       match Analyze.OLS.estimates fit with
-      | Some (ns :: _) -> Printf.printf "  %-42s %12.1f ns/run\n" name ns
+      | Some (ns :: _) ->
+          Printf.printf "  %-42s %12.1f ns/run\n" name ns;
+          Report.row "micro"
+            [ ("name", Json.String name); ("ns_per_run", Json.Float ns) ]
       | _ -> Printf.printf "  %-42s (no estimate)\n" name)
     results
 
@@ -965,7 +1102,14 @@ let runtime () =
         let p = Pool.create ~spin_budget:0 ~num_workers:nw () in
         Fun.protect ~finally:(fun () -> Pool.shutdown p) (fun () -> measure p)
       in
-      Printf.printf "%8d %14.2f %14.2f %8.1fx\n" nw spin condvar (condvar /. spin))
+      Printf.printf "%8d %14.2f %14.2f %8.1fx\n" nw spin condvar (condvar /. spin);
+      Report.row "runtime"
+        [
+          ("benchmark", Json.String "barrier_round_trip");
+          ("workers", Json.Int nw);
+          ("spin_us", Json.Float spin);
+          ("condvar_us", Json.Float condvar);
+        ])
     worker_counts;
   (* -- element closure vs range chunks: summing an array -- *)
   let n = if !smoke then 200_000 else 2_000_000 in
@@ -1076,4 +1220,24 @@ let () =
   section "fig9" "Figure 9: generated code" fig9;
   section "micro" "Substrate micro-benchmarks" micro;
   section "runtime" "Parallel-runtime microbenchmarks" runtime;
+  Report.write
+    ~meta:
+      (Json.Obj
+         [
+           ("workers", Json.Int !workers);
+           ("scale", Json.String (if !big then "big" else "default"));
+           ("smoke", Json.Bool !smoke);
+           ( "suite",
+             Json.List
+               (List.map
+                  (fun wl ->
+                    Json.Obj
+                      [
+                        ("name", Json.String wl.wname);
+                        ("paper_analog", Json.String wl.paper_analog);
+                        ("num_vertices", Json.Int (Csr.num_vertices wl.directed));
+                        ("num_edges", Json.Int (Csr.num_edges wl.directed));
+                      ])
+                  (Lazy.force suite)) );
+         ]);
   Pool.shutdown (Lazy.force pool)

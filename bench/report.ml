@@ -1,0 +1,66 @@
+(* Machine-readable export for the benchmark harness: sections register
+   JSON rows as they run, and [write] dumps one object per run. The schema
+   is documented in docs/OBSERVABILITY.md; EXPERIMENTS.md is regenerated
+   from the human-readable tables, the JSON feeds dashboards and CI
+   artifact diffing. *)
+
+module Json = Support.Json
+
+let path : string option ref = ref None
+let rows : (string * Json.t) list ref = ref [] (* newest first *)
+
+let set_path p = path := Some p
+let enabled () = !path <> None
+
+(* Rows are cheap to build but the drivers behind them are not: guard at
+   the call site with [enabled] only when building the row itself is
+   expensive. *)
+let add section row = if enabled () then rows := (section, row) :: !rows
+let row section fields = add section (Json.Obj fields)
+
+(* Wall-clock of each executed section, recorded by the [section] runner so
+   every section appears in the dump even when it registers no data rows. *)
+let durations : (string * float) list ref = ref [] (* newest first *)
+let add_duration id seconds = if enabled () then durations := (id, seconds) :: !durations
+
+(* Group rows by section, preserving both section order and row order of
+   first appearance. *)
+let sections () =
+  let ordered = List.rev !rows in
+  let ids = ref [] in
+  List.iter
+    (fun (id, _) -> if not (List.mem id !ids) then ids := id :: !ids)
+    ordered;
+  List.rev_map
+    (fun id ->
+      ( id,
+        Json.List
+          (List.filter_map
+             (fun (id', r) -> if id' = id then Some r else None)
+             ordered) ))
+    !ids
+  |> List.rev
+
+let write ~meta =
+  match !path with
+  | None -> ()
+  | Some file ->
+      let doc =
+        Json.Obj
+          [
+            ("meta", meta);
+            ( "section_seconds",
+              Json.Obj
+                (List.rev_map (fun (id, s) -> (id, Json.Float s)) !durations) );
+            ("sections", Json.Obj (sections ()));
+          ]
+      in
+      let oc = open_out file in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          let ppf = Format.formatter_of_out_channel oc in
+          Json.pp ppf doc;
+          Format.pp_print_newline ppf ());
+      Printf.printf "\nwrote JSON report to %s (%d sections)\n" file
+        (List.length (sections ()))

@@ -23,7 +23,7 @@ let make_schedule strategy delta threshold buckets traversal =
     }
 
 let run algorithm graph_path source target workers strategy delta threshold buckets
-    traversal coords_path show_trace =
+    traversal coords_path show_trace profile =
   let schedule =
     match make_schedule strategy delta threshold buckets traversal with
     | Ok s -> s
@@ -31,6 +31,10 @@ let run algorithm graph_path source target workers strategy delta threshold buck
         Printf.eprintf "invalid schedule: %s\n" msg;
         exit 1
   in
+  if profile then begin
+    Observe.Span.set_enabled true;
+    Observe.Span.install_pool_hook ()
+  end;
   Parallel.Pool.with_pool ~num_workers:workers (fun pool ->
       let report name seconds (stats : Ordered.Stats.t option) =
         Printf.printf "%s: %.4fs\n" name seconds;
@@ -115,7 +119,12 @@ let run algorithm graph_path source target workers strategy delta threshold buck
           Printf.eprintf
             "unknown algorithm %S (sssp|wbfs|ppsp|astar|kcore|setcover|bellman-ford)\n"
             other;
-          exit 1)
+          exit 1);
+  if profile then begin
+    let snap = Observe.Metrics.snapshot Observe.Metrics.default in
+    Format.printf "@.flight recorder (docs/OBSERVABILITY.md):@.%a"
+      (Observe.Metrics.pp ?times:None) snap
+  end
 
 let () =
   let algorithm =
@@ -146,10 +155,18 @@ let () =
   let show_trace =
     Arg.(value & flag & info [ "trace" ] ~doc:"Print a per-round trace (sssp)")
   in
+  let profile =
+    Arg.(
+      value & flag
+      & info [ "profile" ]
+          ~doc:
+            "Enable the flight recorder (span timings and cumulative \
+             counters) and print its table after the run")
+  in
   let term =
     Term.(
       const run $ algorithm $ graph $ source $ target $ workers $ strategy $ delta
-      $ threshold $ buckets $ traversal $ coords $ show_trace)
+      $ threshold $ buckets $ traversal $ coords $ show_trace $ profile)
   in
   exit
     (Cmd.eval

@@ -43,23 +43,23 @@ let sssp_engine ~pool ~graph ~delta ~source ~stop () =
     | None -> finished := true
     | Some (key, members) ->
         if stop ~current_key:key ~dist then finished := true
-        else begin
-          incr rounds;
-          let sum = degree_sum pool graph members in
-          if sum > Csr.num_edges graph / 20 then incr dense_rounds;
-          Pool.parallel_for_ranges_tid pool ~chunk:64 ~lo:0
-            ~hi:(Array.length members) (fun ~tid ~lo ~hi ->
-              for i = lo to hi - 1 do
-                let u = members.(i) in
-                let du = Atomic_array.get dist u in
-                Csr.iter_out graph u (fun v w ->
-                    if Atomic_array.fetch_min dist v (du + w) then
-                      ignore (Update_buffer.try_add buffer ~tid v))
-              done);
-          Array.iter
-            (fun v -> Lazy_buckets.insert buckets v)
-            (Update_buffer.drain_to_array buffer ~pool)
-        end
+        else
+          Observe.Span.with_ "julienne.round" (fun () ->
+              incr rounds;
+              let sum = degree_sum pool graph members in
+              if sum > Csr.num_edges graph / 20 then incr dense_rounds;
+              Pool.parallel_for_ranges_tid pool ~chunk:64 ~lo:0
+                ~hi:(Array.length members) (fun ~tid ~lo ~hi ->
+                  for i = lo to hi - 1 do
+                    let u = members.(i) in
+                    let du = Atomic_array.get dist u in
+                    Csr.iter_out graph u (fun v w ->
+                        if Atomic_array.fetch_min dist v (du + w) then
+                          ignore (Update_buffer.try_add buffer ~tid v))
+                  done);
+              Array.iter
+                (fun v -> Lazy_buckets.insert buckets v)
+                (Update_buffer.drain_to_array buffer ~pool))
   done;
   (dist, !rounds)
 
@@ -102,20 +102,21 @@ let kcore ~pool ~graph () =
     match Lazy_buckets.next_bucket buckets with
     | None -> finished := true
     | Some (k, members) ->
-        incr rounds;
-        ignore (degree_sum pool graph members);
-        Pool.parallel_for_ranges_tid pool ~chunk:64 ~lo:0
-          ~hi:(Array.length members) (fun ~tid ~lo ~hi ->
-            for i = lo to hi - 1 do
-              Csr.iter_out graph members.(i) (fun v _w ->
-                  Histogram.record histogram ~tid v)
-            done);
-        Histogram.reduce histogram ~scratch (fun ~vertex ~count ->
-            let d = Atomic_array.get degrees vertex in
-            if d > k then begin
-              Atomic_array.set degrees vertex (max (d - count) k);
-              Lazy_buckets.insert buckets vertex
-            end)
+        Observe.Span.with_ "julienne.round" (fun () ->
+            incr rounds;
+            ignore (degree_sum pool graph members);
+            Pool.parallel_for_ranges_tid pool ~chunk:64 ~lo:0
+              ~hi:(Array.length members) (fun ~tid ~lo ~hi ->
+                for i = lo to hi - 1 do
+                  Csr.iter_out graph members.(i) (fun v _w ->
+                      Histogram.record histogram ~tid v)
+                done);
+            Histogram.reduce histogram ~scratch (fun ~vertex ~count ->
+                let d = Atomic_array.get degrees vertex in
+                if d > k then begin
+                  Atomic_array.set degrees vertex (max (d - count) k);
+                  Lazy_buckets.insert buckets vertex
+                end))
   done;
   { coreness = Atomic_array.to_array degrees; rounds = !rounds }
 

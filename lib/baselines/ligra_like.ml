@@ -21,49 +21,52 @@ let sssp ~pool ~graph ~transpose ~source () =
   let frontier = ref [| source |] in
   let iterations = ref 0 and dense_iterations = ref 0 in
   while Array.length !frontier > 0 do
-    incr iterations;
-    let members = !frontier in
-    let degree_sum =
-      Pool.parallel_for_reduce pool ~chunk:128 ~lo:0 ~hi:(Array.length members)
-        ~neutral:0 ~combine:( + ) (fun i -> Csr.out_degree graph members.(i))
-    in
-    if degree_sum + Array.length members > m / 20 then begin
-      (* Dense pull sweep: every vertex scans its in-neighbors against the
-         frontier bitmap; no atomics on the destination. *)
-      incr dense_iterations;
-      let flags = Bitset.create n in
-      Array.iter (Bitset.add flags) members;
-      Pool.parallel_for_ranges_tid pool ~sched:Pool.Guided ~chunk:256 ~lo:0
-        ~hi:n (fun ~tid ~lo ~hi ->
-          for d = lo to hi - 1 do
-            let improved = ref false in
-            let best = ref (Atomic_array.get dist d) in
-            Csr.iter_out transpose d (fun s w ->
-                if Bitset.mem flags s then begin
-                  let ds = Atomic_array.get dist s in
-                  if ds <> Bucket_order.null_priority && ds + w < !best then begin
-                    best := ds + w;
-                    improved := true
-                  end
-                end);
-            if !improved then begin
-              Atomic_array.set dist d !best;
-              ignore (Update_buffer.try_add buffer ~tid d)
-            end
-          done)
-    end
-    else
-      (* Sparse push sweep. *)
-      Pool.parallel_for_ranges_tid pool ~chunk:64 ~lo:0
-        ~hi:(Array.length members) (fun ~tid ~lo ~hi ->
-          for i = lo to hi - 1 do
-            let u = members.(i) in
-            let du = Atomic_array.get dist u in
-            Csr.iter_out graph u (fun v w ->
-                if Atomic_array.fetch_min dist v (du + w) then
-                  ignore (Update_buffer.try_add buffer ~tid v))
-          done);
-    frontier := Update_buffer.drain_to_array buffer ~pool
+    Observe.Span.with_ "ligra.iteration" (fun () ->
+        incr iterations;
+        let members = !frontier in
+        let degree_sum =
+          Pool.parallel_for_reduce pool ~chunk:128 ~lo:0
+            ~hi:(Array.length members) ~neutral:0 ~combine:( + ) (fun i ->
+              Csr.out_degree graph members.(i))
+        in
+        if degree_sum + Array.length members > m / 20 then begin
+          (* Dense pull sweep: every vertex scans its in-neighbors against the
+             frontier bitmap; no atomics on the destination. *)
+          incr dense_iterations;
+          let flags = Bitset.create n in
+          Array.iter (Bitset.add flags) members;
+          Pool.parallel_for_ranges_tid pool ~sched:Pool.Guided ~chunk:256 ~lo:0
+            ~hi:n (fun ~tid ~lo ~hi ->
+              for d = lo to hi - 1 do
+                let improved = ref false in
+                let best = ref (Atomic_array.get dist d) in
+                Csr.iter_out transpose d (fun s w ->
+                    if Bitset.mem flags s then begin
+                      let ds = Atomic_array.get dist s in
+                      if ds <> Bucket_order.null_priority && ds + w < !best
+                      then begin
+                        best := ds + w;
+                        improved := true
+                      end
+                    end);
+                if !improved then begin
+                  Atomic_array.set dist d !best;
+                  ignore (Update_buffer.try_add buffer ~tid d)
+                end
+              done)
+        end
+        else
+          (* Sparse push sweep. *)
+          Pool.parallel_for_ranges_tid pool ~chunk:64 ~lo:0
+            ~hi:(Array.length members) (fun ~tid ~lo ~hi ->
+              for i = lo to hi - 1 do
+                let u = members.(i) in
+                let du = Atomic_array.get dist u in
+                Csr.iter_out graph u (fun v w ->
+                    if Atomic_array.fetch_min dist v (du + w) then
+                      ignore (Update_buffer.try_add buffer ~tid v))
+              done);
+        frontier := Update_buffer.drain_to_array buffer ~pool)
   done;
   {
     dist = Atomic_array.to_array dist;

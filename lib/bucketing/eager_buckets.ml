@@ -48,50 +48,57 @@ let insert t ~tid ~vertex ~key =
     local.inserts <- local.inserts + 1
   end
 
+(* Both global operations below run once per round, between parallel
+   phases — round-granular spans, never per-edge. *)
 let next_global_key t =
-  let best = ref max_int in
-  Array.iter
-    (fun local ->
-      let len = Array.length local.bins in
-      let slot = ref (max local.min_slot t.cur_slot) in
-      while
-        !slot < len && !slot < !best && Int_vec.is_empty local.bins.(!slot)
-      do
-        incr slot
-      done;
-      local.min_slot <- !slot;
-      if !slot < len && !slot < !best && not (Int_vec.is_empty local.bins.(!slot))
-      then best := !slot)
-    t.locals;
-  if !best = max_int then None
-  else begin
-    t.cur_slot <- !best;
-    Some (t.base + !best)
-  end
+  Observe.Span.with_ "eager_buckets.next_global_key" (fun () ->
+      let best = ref max_int in
+      Array.iter
+        (fun local ->
+          let len = Array.length local.bins in
+          let slot = ref (max local.min_slot t.cur_slot) in
+          while
+            !slot < len && !slot < !best && Int_vec.is_empty local.bins.(!slot)
+          do
+            incr slot
+          done;
+          local.min_slot <- !slot;
+          if
+            !slot < len && !slot < !best
+            && not (Int_vec.is_empty local.bins.(!slot))
+          then best := !slot)
+        t.locals;
+      if !best = max_int then None
+      else begin
+        t.cur_slot <- !best;
+        Some (t.base + !best)
+      end)
 
 let cursor_key t = t.base + t.cur_slot
 
 let drain_global t ~key =
-  let slot = key - t.base in
-  let total =
-    Array.fold_left
-      (fun acc local ->
-        if slot < Array.length local.bins then acc + Int_vec.length local.bins.(slot)
-        else acc)
-      0 t.locals
-  in
-  let out = Array.make total 0 in
-  let pos = ref 0 in
-  Array.iter
-    (fun local ->
-      if slot < Array.length local.bins then begin
-        let bin = local.bins.(slot) in
-        Int_vec.blit_to_array bin out !pos;
-        pos := !pos + Int_vec.length bin;
-        Int_vec.clear bin
-      end)
-    t.locals;
-  out
+  Observe.Span.with_ "eager_buckets.drain_global" (fun () ->
+      let slot = key - t.base in
+      let total =
+        Array.fold_left
+          (fun acc local ->
+            if slot < Array.length local.bins then
+              acc + Int_vec.length local.bins.(slot)
+            else acc)
+          0 t.locals
+      in
+      let out = Array.make total 0 in
+      let pos = ref 0 in
+      Array.iter
+        (fun local ->
+          if slot < Array.length local.bins then begin
+            let bin = local.bins.(slot) in
+            Int_vec.blit_to_array bin out !pos;
+            pos := !pos + Int_vec.length bin;
+            Int_vec.clear bin
+          end)
+        t.locals;
+      out)
 
 let local_size t ~tid ~key =
   let local = t.locals.(tid) in

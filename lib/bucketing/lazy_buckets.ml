@@ -59,9 +59,10 @@ let insert t v =
   end
 
 let insert_all t =
-  for v = 0 to t.num_vertices - 1 do
-    insert t v
-  done
+  Observe.Span.with_ "lazy_buckets.insert_all" (fun () ->
+      for v = 0 to t.num_vertices - 1 do
+        insert t v
+      done)
 
 (* Move every overflow vertex whose key now falls inside the window rooted
    at [new_lo] into the open buckets; keep the rest in overflow.
@@ -114,7 +115,7 @@ let drain_bucket t slot key =
   Int_vec.clear bucket;
   Int_vec.to_array live
 
-let rec next_bucket t =
+let rec next_bucket_loop t =
   if not t.window_set then begin
     if Int_vec.is_empty t.overflow then None
     else begin
@@ -125,7 +126,7 @@ let rec next_bucket t =
       end
       else begin
         materialize_window t new_lo;
-        next_bucket t
+        next_bucket_loop t
       end
     end
   end
@@ -143,7 +144,7 @@ let rec next_bucket t =
           end
           else begin
             materialize_window t new_lo;
-            next_bucket t
+            next_bucket_loop t
           end
         end
       else if Int_vec.is_empty t.open_buckets.(slot) then scan (slot + 1)
@@ -156,6 +157,11 @@ let rec next_bucket t =
     in
     scan start_slot
   end
+
+(* The extraction sweep is a between-phase operation: one span per call is
+   round-granular, not hot-path. *)
+let next_bucket t =
+  Observe.Span.with_ "lazy_buckets.next_bucket" (fun () -> next_bucket_loop t)
 
 let current_key t = t.cur
 let total_inserts t = t.total_inserts

@@ -1,0 +1,244 @@
+module Atomic_array = Parallel.Atomic_array
+
+(* Counter slots: a fixed power of two so any worker id can be folded in
+   with a mask. 16 padded slots cover every pool size this repo runs. *)
+let num_slots = 16
+
+type counter = { c_slots : Atomic_array.t (* padded, [num_slots] *) }
+
+(* Histogram buckets by position of the highest set bit of the duration in
+   nanoseconds: bucket 0 holds [0,1] ns, bucket 40 ~ 18 minutes. The
+   [h_state] array packs (count, total, min, max) as padded atomic cells. *)
+let num_buckets = 48
+let st_count = 0
+let st_total = 1
+let st_min = 2
+let st_max = 3
+
+type histogram = {
+  h_counts : Atomic_array.t; (* [num_buckets], plain density is fine *)
+  h_state : Atomic_array.t; (* padded, 4 cells *)
+}
+
+type t = {
+  mutex : Mutex.t;
+  counters : (string, counter) Hashtbl.t;
+  histograms : (string, histogram) Hashtbl.t;
+}
+
+let create () =
+  {
+    mutex = Mutex.create ();
+    counters = Hashtbl.create 16;
+    histograms = Hashtbl.create 16;
+  }
+
+let default = create ()
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let counter t name =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.counters name with
+      | Some c -> c
+      | None ->
+          let c = { c_slots = Atomic_array.make_padded num_slots 0 } in
+          Hashtbl.add t.counters name c;
+          c)
+
+let incr c ~tid ?(by = 1) () =
+  if by < 0 then invalid_arg "Metrics.incr: counters are monotonic (by < 0)";
+  ignore (Atomic_array.fetch_add c.c_slots (tid land (num_slots - 1)) by)
+
+let counter_value c =
+  let total = ref 0 in
+  for i = 0 to num_slots - 1 do
+    total := !total + Atomic_array.get c.c_slots i
+  done;
+  !total
+
+let histogram t name =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.histograms name with
+      | Some h -> h
+      | None ->
+          let h =
+            {
+              h_counts = Atomic_array.make num_buckets 0;
+              h_state = Atomic_array.make_padded 4 0;
+            }
+          in
+          Atomic_array.set h.h_state st_min max_int;
+          Hashtbl.add t.histograms name h;
+          h)
+
+let bucket_of_ns ns =
+  let rec bits acc n = if n = 0 then acc else bits (acc + 1) (n lsr 1) in
+  min (num_buckets - 1) (bits 0 ns)
+
+let observe h seconds =
+  let ns = int_of_float (Float.max 0.0 seconds *. 1e9) in
+  ignore (Atomic_array.fetch_add h.h_counts (bucket_of_ns ns) 1);
+  ignore (Atomic_array.fetch_add h.h_state st_count 1);
+  ignore (Atomic_array.fetch_add h.h_state st_total ns);
+  ignore (Atomic_array.fetch_min h.h_state st_min ns);
+  ignore (Atomic_array.fetch_max h.h_state st_max ns)
+
+let reset t =
+  with_lock t (fun () ->
+      Hashtbl.iter
+        (fun _ c ->
+          for i = 0 to num_slots - 1 do
+            Atomic_array.set c.c_slots i 0
+          done)
+        t.counters;
+      Hashtbl.iter
+        (fun _ h ->
+          for i = 0 to num_buckets - 1 do
+            Atomic_array.set h.h_counts i 0
+          done;
+          Atomic_array.set h.h_state st_count 0;
+          Atomic_array.set h.h_state st_total 0;
+          Atomic_array.set h.h_state st_min max_int;
+          Atomic_array.set h.h_state st_max 0)
+        t.histograms)
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots                                                            *)
+
+type hist_summary = {
+  count : int;
+  total_ns : int;
+  min_ns : int;
+  max_ns : int;
+  buckets : (int * int) list;
+}
+
+type snapshot = {
+  counters : (string * int) list;
+  histograms : (string * hist_summary) list;
+}
+
+let summarize h =
+  let count = Atomic_array.get h.h_state st_count in
+  let buckets = ref [] in
+  for b = num_buckets - 1 downto 0 do
+    let n = Atomic_array.get h.h_counts b in
+    if n > 0 then buckets := (b, n) :: !buckets
+  done;
+  {
+    count;
+    total_ns = Atomic_array.get h.h_state st_total;
+    min_ns = (if count = 0 then 0 else Atomic_array.get h.h_state st_min);
+    max_ns = Atomic_array.get h.h_state st_max;
+    buckets = !buckets;
+  }
+
+let snapshot t =
+  with_lock t (fun () ->
+      let sorted_bindings tbl value =
+        Hashtbl.fold (fun name v acc -> (name, value v) :: acc) tbl []
+        |> List.sort (fun (a, _) (b, _) -> compare a b)
+      in
+      {
+        counters = sorted_bindings t.counters counter_value;
+        histograms = sorted_bindings t.histograms summarize;
+      })
+
+let diff ~earlier later =
+  let counter_base name =
+    match List.assoc_opt name earlier.counters with Some v -> v | None -> 0
+  in
+  let hist_base name =
+    List.assoc_opt name earlier.histograms
+  in
+  let sub_hist name h =
+    match hist_base name with
+    | None -> h
+    | Some e ->
+        let sub_buckets =
+          List.filter_map
+            (fun (b, n) ->
+              let prev =
+                match List.assoc_opt b e.buckets with Some p -> p | None -> 0
+              in
+              if n - prev > 0 then Some (b, n - prev) else None)
+            h.buckets
+        in
+        {
+          count = h.count - e.count;
+          total_ns = h.total_ns - e.total_ns;
+          min_ns = h.min_ns;
+          max_ns = h.max_ns;
+          buckets = sub_buckets;
+        }
+  in
+  {
+    counters =
+      List.map (fun (name, v) -> (name, v - counter_base name)) later.counters;
+    histograms =
+      List.map (fun (name, h) -> (name, sub_hist name h)) later.histograms;
+  }
+
+let is_empty s =
+  List.for_all (fun (_, v) -> v = 0) s.counters
+  && List.for_all (fun (_, h) -> h.count = 0) s.histograms
+
+(* ------------------------------------------------------------------ *)
+(* Exporters                                                            *)
+
+let pp ?(times = true) ppf s =
+  let live_counters = List.filter (fun (_, v) -> v <> 0) s.counters in
+  let live_hists = List.filter (fun (_, h) -> h.count <> 0) s.histograms in
+  if live_counters <> [] then begin
+    Format.fprintf ppf "%-36s %14s@." "counter" "value";
+    List.iter
+      (fun (name, v) -> Format.fprintf ppf "%-36s %14d@." name v)
+      live_counters
+  end;
+  if live_hists <> [] then begin
+    if times then
+      Format.fprintf ppf "%-36s %10s %12s %10s %10s %10s@." "span" "count"
+        "total(ms)" "mean(us)" "min(us)" "max(us)"
+    else Format.fprintf ppf "%-36s %10s@." "span" "count";
+    List.iter
+      (fun (name, h) ->
+        if times then
+          Format.fprintf ppf "%-36s %10d %12.3f %10.2f %10.2f %10.2f@." name
+            h.count
+            (float_of_int h.total_ns /. 1e6)
+            (float_of_int h.total_ns /. float_of_int h.count /. 1e3)
+            (float_of_int h.min_ns /. 1e3)
+            (float_of_int h.max_ns /. 1e3)
+        else Format.fprintf ppf "%-36s %10d@." name h.count)
+      live_hists
+  end;
+  if live_counters = [] && live_hists = [] then
+    Format.fprintf ppf "(no recorded metrics)@."
+
+let to_json s =
+  let open Support.Json in
+  Obj
+    [
+      ("counters", Obj (List.map (fun (name, v) -> (name, Int v)) s.counters));
+      ( "histograms",
+        Obj
+          (List.map
+             (fun (name, h) ->
+               ( name,
+                 Obj
+                   [
+                     ("count", Int h.count);
+                     ("total_ns", Int h.total_ns);
+                     ("min_ns", Int h.min_ns);
+                     ("max_ns", Int h.max_ns);
+                     ( "buckets",
+                       List
+                         (List.map
+                            (fun (b, n) -> List [ Int b; Int n ])
+                            h.buckets) );
+                   ] ))
+             s.histograms) );
+    ]

@@ -1,0 +1,45 @@
+(* The master switch is a compile-time constant: with [static_enabled =
+   false] every guard below is [if false && ...], which the compiler
+   folds away, leaving [with_ _ f = f ()]. *)
+let static_enabled = true
+
+let runtime_enabled = Atomic.make false
+let set_enabled b = Atomic.set runtime_enabled (static_enabled && b)
+let enabled () = static_enabled && Atomic.get runtime_enabled
+
+(* Histogram/counter handles are resolved per label on the slow (enabled)
+   path only; the registry memoizes them behind a mutex. Callers on hot
+   paths should still hoist [with_] to round granularity. *)
+let record label seconds =
+  if enabled () then
+    Metrics.observe (Metrics.histogram Metrics.default label) seconds
+
+let count label ~tid ?(by = 1) () =
+  if enabled () then
+    Metrics.incr (Metrics.counter Metrics.default label) ~tid ~by ()
+
+let with_ label f =
+  if not (enabled ()) then f ()
+  else begin
+    let start = Unix.gettimeofday () in
+    match f () with
+    | result ->
+        record label (Unix.gettimeofday () -. start);
+        result
+    | exception exn ->
+        record label (Unix.gettimeofday () -. start);
+        raise exn
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Pool wiring: the parallel substrate cannot depend on this library, so
+   it exposes a hook and we install the recorder into it. *)
+
+let pool_hook ~workers:_ ~seconds =
+  if enabled () then begin
+    record "pool.episode" seconds;
+    count "pool.episodes" ~tid:0 ()
+  end
+
+let install_pool_hook () = Parallel.Pool.set_episode_hook (Some pool_hook)
+let remove_pool_hook () = Parallel.Pool.set_episode_hook None

@@ -1,0 +1,53 @@
+(** Span-based profiling: wall-clock scopes recorded into
+    {!Metrics.default} duration histograms.
+
+    Spans are {b off by default}. Disabled, {!with_} is a single atomic
+    flag read followed by a direct call of the body — the no-op path that
+    keeps instrumented hot loops at their uninstrumented cost (every span
+    shipped in this repository is at round granularity or coarser, never
+    per edge). The flag is the runtime form of compiling the
+    instrumentation out: builds that must not even pay the flag read can
+    set {!static_enabled} to [false], turning [with_] into a direct call
+    the optimizer erases.
+
+    Enabled, a span times its body and records the duration under its
+    label, whether the body returns or raises — a span that dies by
+    exception is still part of the flight. Nesting is by lexical scope;
+    labels are dot-separated paths by convention ([engine.traverse.push]).
+    The recorded labels are documented in [docs/OBSERVABILITY.md]. *)
+
+(** Build-time master switch. [false] removes the instrumentation
+    entirely: {!with_} becomes an alias for application and enabling at
+    runtime has no effect. Ships as [true]; the runtime flag below is the
+    normal control. *)
+val static_enabled : bool
+
+(** [set_enabled b] turns recording on or off process-wide. *)
+val set_enabled : bool -> unit
+
+(** [enabled ()] is the current recording state ([false] whenever
+    {!static_enabled} is [false]). *)
+val enabled : unit -> bool
+
+(** [with_ label f] runs [f ()], recording its wall-clock duration under
+    [label] when enabled. The duration is recorded even when [f] raises
+    (the exception is re-raised). Returns [f ()]'s value. *)
+val with_ : string -> (unit -> 'a) -> 'a
+
+(** [record label seconds] records an externally measured duration under
+    [label] when enabled — for phases whose cost is measured by the
+    substrate rather than timed here (e.g. the engine's per-round barrier
+    wait, sampled from {!Parallel.Pool.barrier_wait_seconds}). *)
+val record : string -> float -> unit
+
+(** [count label ~tid ?by ()] bumps the counter [label] when enabled. The
+    per-worker slot is picked by [tid]. *)
+val count : string -> tid:int -> ?by:int -> unit -> unit
+
+(** [install_pool_hook ()] wires {!Parallel.Pool.set_episode_hook} to the
+    recorder: every [run_workers] episode then records the
+    [pool.episode] histogram and the [pool.episodes] counter. Idempotent.
+    [remove_pool_hook] detaches it again. *)
+val install_pool_hook : unit -> unit
+
+val remove_pool_hook : unit -> unit

@@ -3,6 +3,7 @@ module Csr = Graphs.Csr
 module Vertex_subset = Frontier.Vertex_subset
 module Eager_buckets = Bucketing.Eager_buckets
 module Pq = Priority_queue
+module Span = Observe.Span
 
 type edge_fn = Priority_queue.ctx -> src:int -> dst:int -> weight:int -> unit
 
@@ -142,11 +143,21 @@ let run ~pool ~graph ?transpose ~schedule ~pq ~edge_fn ?(stop = fun () -> false)
   let workers = Pool.num_workers pool in
   let counters = make_counters ~workers in
   let stats = Stats.create () in
+  stats.Stats.workers <- workers;
   let sync_start = Pool.barrier_wait_seconds pool in
   let last_key = ref min_int in
   let continue = ref true in
+  (* Phase timestamps are taken only when a trace collects them; the span
+     guards below are a flag read each when the recorder is off. *)
+  let tracing = trace <> None in
+  let timestamp () = if tracing then Unix.gettimeofday () else 0.0 in
   while !continue && (not (stop ())) && not (Pq.finished pq) do
-    let frontier = Pq.dequeue_ready_set pq in
+    let round_start = timestamp () in
+    let round_sync_start = Pool.barrier_wait_seconds pool in
+    let frontier =
+      Span.with_ "engine.dequeue" (fun () -> Pq.dequeue_ready_set pq)
+    in
+    let dequeue_done = timestamp () in
     stats.Stats.rounds <- stats.Stats.rounds + 1;
     if Pq.current_key pq <> !last_key then begin
       stats.Stats.buckets_processed <- stats.Stats.buckets_processed + 1;
@@ -157,12 +168,17 @@ let run ~pool ~graph ?transpose ~schedule ~pq ~edge_fn ?(stop = fun () -> false)
       match (transpose_graph, choose_pull frontier) with
       | Some tg, true ->
           stats.Stats.pull_rounds <- stats.Stats.pull_rounds + 1;
-          pull_round pool graph tg schedule ~edge_fn counters frontier;
+          Span.with_ "engine.traverse.pull" (fun () ->
+              pull_round pool graph tg schedule ~edge_fn counters frontier);
           Trace.Pull
       | _, _ ->
-          push_round pool graph schedule pq ~edge_fn counters frontier;
+          Span.with_ "engine.traverse.push" (fun () ->
+              push_round pool graph schedule pq ~edge_fn counters frontier);
           Trace.Push
     in
+    let traverse_done = timestamp () in
+    let round_sync = Pool.barrier_wait_seconds pool -. round_sync_start in
+    if Span.enabled () then Span.record "engine.sync_wait" round_sync;
     (match trace with
     | Some t ->
         Trace.record t
@@ -173,6 +189,10 @@ let run ~pool ~graph ?transpose ~schedule ~pq ~edge_fn ?(stop = fun () -> false)
             frontier_size = Vertex_subset.cardinal frontier;
             direction;
             fused_drains = counter_sum counters.fused - fused_before;
+            wall_seconds = traverse_done -. round_start;
+            dequeue_seconds = dequeue_done -. round_start;
+            traverse_seconds = traverse_done -. dequeue_done;
+            sync_wait_seconds = round_sync;
           }
     | None -> ());
     stats.Stats.global_syncs <- stats.Stats.global_syncs + 1;
@@ -187,4 +207,18 @@ let run ~pool ~graph ?transpose ~schedule ~pq ~edge_fn ?(stop = fun () -> false)
   stats.Stats.fused_drains <- counter_sum counters.fused;
   stats.Stats.bucket_inserts <- Pq.total_bucket_inserts pq;
   stats.Stats.sync_seconds <- Pool.barrier_wait_seconds pool -. sync_start;
+  if Span.enabled () then begin
+    (* Fold the run's hardware-independent counters into the flight
+       recorder, so cumulative totals survive across runs. *)
+    let bump name by = Span.count name ~tid:0 ~by () in
+    bump "engine.runs" 1;
+    bump "engine.rounds" stats.Stats.rounds;
+    bump "engine.global_syncs" stats.Stats.global_syncs;
+    bump "engine.fused_drains" stats.Stats.fused_drains;
+    bump "engine.buckets_processed" stats.Stats.buckets_processed;
+    bump "engine.vertices_processed" stats.Stats.vertices_processed;
+    bump "engine.edges_relaxed" stats.Stats.edges_relaxed;
+    bump "engine.bucket_inserts" stats.Stats.bucket_inserts;
+    bump "engine.pull_rounds" stats.Stats.pull_rounds
+  end;
   stats

@@ -17,7 +17,14 @@
 
     The traversal direction follows the schedule: [Sparse_push] maps the
     user function over out-edges of frontier members; [Dense_pull] scans
-    in-edges of every vertex against a dense frontier, without atomics. *)
+    in-edges of every vertex against a dense frontier, without atomics.
+
+    Every run returns {!Stats}; a supplied {!Trace} additionally records a
+    per-round wall-clock phase breakdown, and when the flight recorder is
+    enabled ([Observe.Span.set_enabled]) the engine's phases are recorded
+    as spans ([engine.dequeue], [engine.traverse.push]/[.pull],
+    [engine.sync_wait]) and its counters folded into [Observe.Metrics] —
+    see [docs/OBSERVABILITY.md]. *)
 
 type edge_fn = Priority_queue.ctx -> src:int -> dst:int -> weight:int -> unit
 (** The compiled user-defined function ([updateEdge] in Fig. 3): it must

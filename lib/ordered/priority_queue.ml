@@ -142,16 +142,20 @@ let flush_histogram t buckets histogram scratch =
 let compute_next t =
   match t.backend with
   | Lazy_backend { buckets; buffer; histogram; scratch } -> (
-      (match histogram with
-      | Some h -> flush_histogram t buckets h scratch
-      | None -> ());
-      (* The insert sweep is inherently sequential, but with a pool the
-         buffer copy and flag resets run one segment per worker. *)
-      (match t.pool with
-      | Some pool ->
-          let vs = Update_buffer.drain_to_array buffer ~pool in
-          Array.iter (fun v -> Lazy_buckets.insert buckets v) vs
-      | None -> Update_buffer.drain buffer (fun v -> Lazy_buckets.insert buckets v));
+      (* The bulk bucket update of Fig. 5 (lines 12-13): the per-round
+         "update" phase the observability layer records. *)
+      Observe.Span.with_ "pq.bulk_update" (fun () ->
+          (match histogram with
+          | Some h -> flush_histogram t buckets h scratch
+          | None -> ());
+          (* The insert sweep is inherently sequential, but with a pool the
+             buffer copy and flag resets run one segment per worker. *)
+          match t.pool with
+          | Some pool ->
+              let vs = Update_buffer.drain_to_array buffer ~pool in
+              Array.iter (fun v -> Lazy_buckets.insert buckets v) vs
+          | None ->
+              Update_buffer.drain buffer (fun v -> Lazy_buckets.insert buckets v));
       match Lazy_buckets.next_bucket buckets with
       | None -> None
       | Some (key, members) ->

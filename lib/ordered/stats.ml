@@ -8,6 +8,7 @@ type t = {
   mutable bucket_inserts : int;
   mutable pull_rounds : int;
   mutable sync_seconds : float;
+  mutable workers : int;
 }
 
 let create () =
@@ -21,6 +22,7 @@ let create () =
     bucket_inserts = 0;
     pull_rounds = 0;
     sync_seconds = 0.0;
+    workers = 1;
   }
 
 let reset t =
@@ -32,12 +34,33 @@ let reset t =
   t.edges_relaxed <- 0;
   t.bucket_inserts <- 0;
   t.pull_rounds <- 0;
-  t.sync_seconds <- 0.0
+  t.sync_seconds <- 0.0;
+  t.workers <- 1
 
 let pp ppf t =
+  (* On a single-worker pool rounds need no barrier: print the sync column
+     as unmeasured rather than a measured zero. *)
+  let sync =
+    if t.workers <= 1 then "-" else Printf.sprintf "%.6fs" t.sync_seconds
+  in
   Format.fprintf ppf
     "rounds=%d syncs=%d fused=%d buckets=%d vertices=%d edges=%d inserts=%d \
-     pull_rounds=%d sync=%.6fs"
+     pull_rounds=%d sync=%s"
     t.rounds t.global_syncs t.fused_drains t.buckets_processed
-    t.vertices_processed t.edges_relaxed t.bucket_inserts t.pull_rounds
-    t.sync_seconds
+    t.vertices_processed t.edges_relaxed t.bucket_inserts t.pull_rounds sync
+
+let to_json t =
+  let open Support.Json in
+  Obj
+    [
+      ("rounds", Int t.rounds);
+      ("global_syncs", Int t.global_syncs);
+      ("fused_drains", Int t.fused_drains);
+      ("buckets_processed", Int t.buckets_processed);
+      ("vertices_processed", Int t.vertices_processed);
+      ("edges_relaxed", Int t.edges_relaxed);
+      ("bucket_inserts", Int t.bucket_inserts);
+      ("pull_rounds", Int t.pull_rounds);
+      ("sync_seconds", if t.workers <= 1 then Null else Float t.sync_seconds);
+      ("workers", Int t.workers);
+    ]

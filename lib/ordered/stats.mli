@@ -2,7 +2,9 @@
 
     Rounds and synchronizations are the hardware-independent quantities the
     paper reports (Table 6 shows bucket fusion cutting SSSP on RoadUSA from
-    48407 to 1069 rounds), so the engine maintains them exactly. *)
+    48407 to 1069 rounds), so the engine maintains them exactly. Every
+    field is documented with its exported name in
+    [docs/OBSERVABILITY.md]. *)
 
 type t = {
   mutable rounds : int;  (** Global rounds (one {!Engine} iteration each). *)
@@ -12,7 +14,8 @@ type t = {
       (** Local bucket drains performed inside the fusion inner loop,
           i.e. rounds that skipped their global synchronization. *)
   mutable buckets_processed : int;  (** Distinct bucket keys processed. *)
-  mutable vertices_processed : int;  (** Frontier members processed (incl. re-processing). *)
+  mutable vertices_processed : int;
+      (** Frontier members processed (incl. re-processing). *)
   mutable edges_relaxed : int;  (** User-function applications. *)
   mutable bucket_inserts : int;  (** Insertions into bucket structures. *)
   mutable pull_rounds : int;
@@ -21,14 +24,29 @@ type t = {
       (** Wall-clock seconds worker 0 spent waiting at end-of-round barriers
           during the run ({!Parallel.Pool.barrier_wait_seconds} delta) — the
           per-round synchronization cost that bucket fusion amortizes.
-          [0.] on single-worker pools, where rounds need no barrier. *)
+          Meaningless on single-worker pools, where rounds need no barrier;
+          {!pp} and {!to_json} render it as unmeasured there. *)
+  mutable workers : int;
+      (** Worker count of the pool the run executed on (set by the engine;
+          [1] after {!create}/{!reset}). Lets consumers tell a measured
+          zero in [sync_seconds] apart from "no barrier exists". *)
 }
 
-(** [create ()] is all-zero counters. *)
+(** [create ()] is all-zero counters on one worker. *)
 val create : unit -> t
 
-(** [reset t] zeroes every counter. *)
+(** [reset t] zeroes every counter and resets [workers] to [1]. *)
 val reset : t -> unit
 
-(** [pp] prints a one-line human-readable summary. *)
+(** [pp] prints a one-line human-readable summary. [sync] renders as [-]
+    when [workers <= 1] so the column cannot be misread as a measured
+    zero. *)
 val pp : Format.formatter -> t -> unit
+
+(** [to_json t] is the flat object
+    [{"rounds": .., "global_syncs": .., "fused_drains": ..,
+      "buckets_processed": .., "vertices_processed": .., "edges_relaxed": ..,
+      "bucket_inserts": .., "pull_rounds": .., "sync_seconds": ..,
+      "workers": ..}].
+    [sync_seconds] is [null] when [workers <= 1] (unmeasured, not zero). *)
+val to_json : t -> Support.Json.t

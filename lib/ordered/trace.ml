@@ -9,6 +9,10 @@ type round = {
   frontier_size : int;
   direction : direction;
   fused_drains : int;
+  wall_seconds : float;
+  dequeue_seconds : float;
+  traverse_seconds : float;
+  sync_wait_seconds : float;
 }
 
 type t = { mutable entries : round list (* newest first *) }
@@ -19,16 +23,18 @@ let rounds t = List.rev t.entries
 let length t = List.length t.entries
 
 let pp_round ppf r =
-  Format.fprintf ppf "%6d %12d %12d %10d %6s %8d" r.index r.bucket_key r.priority
-    r.frontier_size
+  Format.fprintf ppf "%6d %12d %12d %10d %6s %8d %9.3f %9.3f" r.index
+    r.bucket_key r.priority r.frontier_size
     (match r.direction with Push -> "push" | Pull -> "pull")
     r.fused_drains
+    (1e3 *. r.wall_seconds)
+    (1e3 *. r.traverse_seconds)
 
 let pp ?(max_rounds = 40) ppf t =
   let all = rounds t in
   let total = List.length all in
-  Format.fprintf ppf "%6s %12s %12s %10s %6s %8s@." "round" "bucket" "priority"
-    "frontier" "dir" "fused";
+  Format.fprintf ppf "%6s %12s %12s %10s %6s %8s %9s %9s@." "round" "bucket"
+    "priority" "frontier" "dir" "fused" "wall(ms)" "trav(ms)";
   let print_list rs = List.iter (fun r -> Format.fprintf ppf "%a@." pp_round r) rs in
   if total <= max_rounds then print_list all
   else begin
@@ -37,4 +43,34 @@ let pp ?(max_rounds = 40) ppf t =
     print_list head;
     Format.fprintf ppf "  ... %d rounds elided ...@." (total - (2 * (max_rounds / 2)));
     print_list tail
-  end
+  end;
+  (* Phase totals over the whole trace, including any elided rounds. *)
+  let sum f = List.fold_left (fun acc r -> acc +. f r) 0.0 all in
+  if total > 0 then
+    Format.fprintf ppf
+      "phase totals over %d rounds: wall=%.3fms dequeue=%.3fms \
+       traverse=%.3fms sync_wait=%.3fms@."
+      total
+      (1e3 *. sum (fun r -> r.wall_seconds))
+      (1e3 *. sum (fun r -> r.dequeue_seconds))
+      (1e3 *. sum (fun r -> r.traverse_seconds))
+      (1e3 *. sum (fun r -> r.sync_wait_seconds))
+
+let round_to_json r =
+  let open Support.Json in
+  Obj
+    [
+      ("index", Int r.index);
+      ("bucket_key", Int r.bucket_key);
+      ("priority", Int r.priority);
+      ("frontier_size", Int r.frontier_size);
+      ( "direction",
+        String (match r.direction with Push -> "push" | Pull -> "pull") );
+      ("fused_drains", Int r.fused_drains);
+      ("wall_seconds", Float r.wall_seconds);
+      ("dequeue_seconds", Float r.dequeue_seconds);
+      ("traverse_seconds", Float r.traverse_seconds);
+      ("sync_wait_seconds", Float r.sync_wait_seconds);
+    ]
+
+let to_json t = Support.Json.List (List.map round_to_json (rounds t))

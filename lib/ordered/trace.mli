@@ -2,11 +2,13 @@
 
     When a trace is passed to {!Engine.run}, the engine records one entry
     per global round: the bucket being processed, the frontier size, the
-    traversal direction chosen, and how many local bins were drained by
-    bucket fusion during the round. Traces make the scheduling behaviour
-    inspectable — e.g. watching Δ-stepping's bucket keys climb while fusion
-    keeps same-key rounds off the books — and back the [--trace] flag of
-    [ordered_run]. *)
+    traversal direction chosen, how many local bins were drained by bucket
+    fusion during the round, and the round's wall-clock broken down by
+    engine phase. Traces make the scheduling behaviour inspectable — e.g.
+    watching Δ-stepping's bucket keys climb while fusion keeps same-key
+    rounds off the books — and back the [--trace] flag of [ordered_run].
+    Every field's exported name is documented in
+    [docs/OBSERVABILITY.md]. *)
 
 type direction =
   | Push
@@ -16,9 +18,21 @@ type round = {
   index : int;  (** 1-based round number. *)
   bucket_key : int;  (** Normalized coarsened key of the bucket. *)
   priority : int;  (** Representative (user-facing) priority. *)
-  frontier_size : int;
-  direction : direction;
+  frontier_size : int;  (** Members extracted for this round. *)
+  direction : direction;  (** Traversal direction the engine chose. *)
   fused_drains : int;  (** Fusion drains performed during this round. *)
+  wall_seconds : float;
+      (** Wall-clock of the whole round, dequeue through synchronization. *)
+  dequeue_seconds : float;
+      (** Time in [dequeue_ready_set] — for lazy schedules this includes
+          the bulk bucket update (buffer reduction / histogram flush). *)
+  traverse_seconds : float;
+      (** Time in the parallel edge-processing region, including any
+          fusion drains performed inside it. *)
+  sync_wait_seconds : float;
+      (** Worker 0's end-of-round barrier wait
+          ({!Parallel.Pool.barrier_wait_seconds} delta); [0.] on
+          single-worker pools. *)
 }
 
 type t
@@ -36,6 +50,13 @@ val rounds : t -> round list
 (** [length t] is the number of recorded rounds. *)
 val length : t -> int
 
-(** [pp ppf t] prints the trace as an aligned table; [max_rounds] elides the
-    middle of long traces (default 40 rows shown). *)
+(** [pp ?max_rounds ppf t] prints the trace as an aligned table (round,
+    bucket, priority, frontier, direction, fused drains, wall and traverse
+    milliseconds) followed by a phase-totals line covering every recorded
+    round. [max_rounds] elides the middle of long traces (default 40 rows
+    shown); the totals line always covers the full trace. *)
 val pp : ?max_rounds:int -> Format.formatter -> t -> unit
+
+(** [to_json t] is the trace as a JSON array, one object per round with
+    the field names of {!round} (direction as ["push"]/["pull"]). *)
+val to_json : t -> Support.Json.t

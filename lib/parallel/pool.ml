@@ -145,7 +145,13 @@ let create ?spin_budget ~num_workers () =
 let num_workers pool = pool.num_workers
 let barrier_wait_seconds pool = pool.barrier_wait
 
-let run_workers pool f =
+(* Observability hook (lib/observe installs the recorder; this module
+   cannot depend on it). [None] is the shipped default: the episode path
+   below pays no clock read and no call. *)
+let episode_hook : (workers:int -> seconds:float -> unit) option ref = ref None
+let set_episode_hook h = episode_hook := h
+
+let run_workers_uninstrumented pool f =
   if Atomic.get pool.stop_flag then
     invalid_arg "Pool.run_workers: pool is shut down";
   if pool.num_workers = 1 then f 0
@@ -183,6 +189,21 @@ let run_workers pool f =
     | Ok (), Some exn -> raise exn
     | Ok (), None -> ()
   end
+
+let run_workers pool f =
+  match !episode_hook with
+  | None -> run_workers_uninstrumented pool f
+  | Some hook -> (
+      let start = Unix.gettimeofday () in
+      let finish () =
+        hook ~workers:pool.num_workers
+          ~seconds:(Unix.gettimeofday () -. start)
+      in
+      match run_workers_uninstrumented pool f with
+      | () -> finish ()
+      | exception exn ->
+          finish ();
+          raise exn)
 
 (* ------------------------------------------------------------------ *)
 (* Range-granularity scheduling.

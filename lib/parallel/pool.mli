@@ -62,6 +62,16 @@ val barrier_wait_seconds : t -> float
     workers have stopped. Not reentrant. *)
 val run_workers : t -> (int -> unit) -> unit
 
+(** [set_episode_hook h] installs (or with [None], removes) a process-wide
+    observer called once per {!run_workers} episode — including the inline
+    single-worker path and the [parallel_for] family, which run on top of
+    it — with the pool's worker count and the episode's wall-clock
+    seconds. With no hook installed (the default), episodes pay no clock
+    read. This is the attachment point for the observability layer
+    ([Observe.Span.install_pool_hook]); the hook runs on the calling
+    domain and must not use the pool. *)
+val set_episode_hook : (workers:int -> seconds:float -> unit) option -> unit
+
 (** A shared work cursor for SPMD loops written directly on top of
     {!run_workers} (e.g. when a per-worker epilogue must run after the
     loop, as in the engine's bucket-fusion drain). *)

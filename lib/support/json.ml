@@ -1,0 +1,302 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* ------------------------------------------------------------------ *)
+(* Emission                                                             *)
+
+let escape_string buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\b' -> Buffer.add_string buf "\\b"
+      | '\012' -> Buffer.add_string buf "\\f"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+(* %.17g round-trips every finite double; JSON has no nan/inf, so those
+   become null (a nan bench cell means "not supported"). *)
+let float_token f =
+  if not (Float.is_finite f) then "null" else Printf.sprintf "%.17g" f
+
+let rec emit buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> Buffer.add_string buf (float_token f)
+  | String s -> escape_string buf s
+  | List xs ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char buf ',';
+          emit buf x)
+        xs;
+      Buffer.add_char buf ']'
+  | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          escape_string buf k;
+          Buffer.add_char buf ':';
+          emit buf v)
+        fields;
+      Buffer.add_char buf '}'
+
+let to_string t =
+  let buf = Buffer.create 256 in
+  emit buf t;
+  Buffer.contents buf
+
+let rec pp ppf = function
+  | (Null | Bool _ | Int _ | Float _ | String _) as atom ->
+      Format.pp_print_string ppf (to_string atom)
+  | List [] -> Format.pp_print_string ppf "[]"
+  | List xs ->
+      Format.fprintf ppf "[@;<0 2>@[<v>%a@]@,]"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@,")
+           pp)
+        xs
+  | Obj [] -> Format.pp_print_string ppf "{}"
+  | Obj fields ->
+      let field ppf (k, v) =
+        Format.fprintf ppf "%s: %a" (to_string (String k)) pp v
+      in
+      Format.fprintf ppf "{@;<0 2>@[<v>%a@]@,}"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@,")
+           field)
+        fields
+
+(* ------------------------------------------------------------------ *)
+(* Parsing: plain recursive descent over the string.                    *)
+
+exception Parse_error of string
+
+type cursor = {
+  src : string;
+  mutable pos : int;
+}
+
+let fail c msg = raise (Parse_error (Printf.sprintf "at offset %d: %s" c.pos msg))
+let peek c = if c.pos < String.length c.src then Some c.src.[c.pos] else None
+
+let skip_ws c =
+  while
+    c.pos < String.length c.src
+    &&
+    match c.src.[c.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+  do
+    c.pos <- c.pos + 1
+  done
+
+let expect c ch =
+  match peek c with
+  | Some x when x = ch -> c.pos <- c.pos + 1
+  | _ -> fail c (Printf.sprintf "expected %C" ch)
+
+let literal c word value =
+  let n = String.length word in
+  if c.pos + n <= String.length c.src && String.sub c.src c.pos n = word then begin
+    c.pos <- c.pos + n;
+    value
+  end
+  else fail c (Printf.sprintf "expected %s" word)
+
+let add_utf8 buf code =
+  (* Encode a BMP code point from a \uXXXX escape. *)
+  if code < 0x80 then Buffer.add_char buf (Char.chr code)
+  else if code < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+  end
+
+let parse_string c =
+  expect c '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek c with
+    | None -> fail c "unterminated string"
+    | Some '"' -> c.pos <- c.pos + 1
+    | Some '\\' -> (
+        c.pos <- c.pos + 1;
+        match peek c with
+        | None -> fail c "unterminated escape"
+        | Some e ->
+            c.pos <- c.pos + 1;
+            (match e with
+            | '"' -> Buffer.add_char buf '"'
+            | '\\' -> Buffer.add_char buf '\\'
+            | '/' -> Buffer.add_char buf '/'
+            | 'n' -> Buffer.add_char buf '\n'
+            | 'r' -> Buffer.add_char buf '\r'
+            | 't' -> Buffer.add_char buf '\t'
+            | 'b' -> Buffer.add_char buf '\b'
+            | 'f' -> Buffer.add_char buf '\012'
+            | 'u' ->
+                if c.pos + 4 > String.length c.src then fail c "short \\u escape";
+                let hex = String.sub c.src c.pos 4 in
+                let code =
+                  try int_of_string ("0x" ^ hex)
+                  with _ -> fail c "bad \\u escape"
+                in
+                c.pos <- c.pos + 4;
+                add_utf8 buf code
+            | _ -> fail c "unknown escape");
+            go ())
+    | Some ch ->
+        c.pos <- c.pos + 1;
+        Buffer.add_char buf ch;
+        go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_number c =
+  let start = c.pos in
+  let is_float = ref false in
+  let consume_digits () =
+    while
+      match peek c with Some ('0' .. '9') -> true | _ -> false
+    do
+      c.pos <- c.pos + 1
+    done
+  in
+  if peek c = Some '-' then c.pos <- c.pos + 1;
+  consume_digits ();
+  if peek c = Some '.' then begin
+    is_float := true;
+    c.pos <- c.pos + 1;
+    consume_digits ()
+  end;
+  (match peek c with
+  | Some ('e' | 'E') ->
+      is_float := true;
+      c.pos <- c.pos + 1;
+      (match peek c with
+      | Some ('+' | '-') -> c.pos <- c.pos + 1
+      | _ -> ());
+      consume_digits ()
+  | _ -> ());
+  let token = String.sub c.src start (c.pos - start) in
+  if !is_float then
+    match float_of_string_opt token with
+    | Some f -> Float f
+    | None -> fail c "malformed number"
+  else
+    match int_of_string_opt token with
+    | Some i -> Int i
+    | None -> (
+        (* Integer literal beyond the int range: keep it as a float. *)
+        match float_of_string_opt token with
+        | Some f -> Float f
+        | None -> fail c "malformed number")
+
+let rec parse_value c =
+  skip_ws c;
+  match peek c with
+  | None -> fail c "unexpected end of input"
+  | Some 'n' -> literal c "null" Null
+  | Some 't' -> literal c "true" (Bool true)
+  | Some 'f' -> literal c "false" (Bool false)
+  | Some '"' -> String (parse_string c)
+  | Some '[' ->
+      c.pos <- c.pos + 1;
+      skip_ws c;
+      if peek c = Some ']' then begin
+        c.pos <- c.pos + 1;
+        List []
+      end
+      else begin
+        let items = ref [ parse_value c ] in
+        skip_ws c;
+        while peek c = Some ',' do
+          c.pos <- c.pos + 1;
+          items := parse_value c :: !items;
+          skip_ws c
+        done;
+        expect c ']';
+        List (List.rev !items)
+      end
+  | Some '{' ->
+      c.pos <- c.pos + 1;
+      skip_ws c;
+      if peek c = Some '}' then begin
+        c.pos <- c.pos + 1;
+        Obj []
+      end
+      else begin
+        let field () =
+          skip_ws c;
+          let k = parse_string c in
+          skip_ws c;
+          expect c ':';
+          let v = parse_value c in
+          (k, v)
+        in
+        let fields = ref [ field () ] in
+        skip_ws c;
+        while peek c = Some ',' do
+          c.pos <- c.pos + 1;
+          fields := field () :: !fields;
+          skip_ws c
+        done;
+        expect c '}';
+        Obj (List.rev !fields)
+      end
+  | Some ('-' | '0' .. '9') -> parse_number c
+  | Some ch -> fail c (Printf.sprintf "unexpected character %C" ch)
+
+let of_string s =
+  let c = { src = s; pos = 0 } in
+  match parse_value c with
+  | v ->
+      skip_ws c;
+      if c.pos <> String.length s then
+        Error (Printf.sprintf "at offset %d: trailing garbage" c.pos)
+      else Ok v
+  | exception Parse_error msg -> Error msg
+
+(* ------------------------------------------------------------------ *)
+
+let rec equal a b =
+  match (a, b) with
+  | Null, Null -> true
+  | Bool x, Bool y -> x = y
+  | Int x, Int y -> x = y
+  | Int x, Float y | Float y, Int x -> float_of_int x = y
+  | Float x, Float y -> x = y
+  | String x, String y -> x = y
+  | List xs, List ys ->
+      List.length xs = List.length ys && List.for_all2 equal xs ys
+  | Obj xs, Obj ys ->
+      List.length xs = List.length ys
+      && List.for_all2
+           (fun (ka, va) (kb, vb) -> ka = kb && equal va vb)
+           xs ys
+  | _ -> false
+
+let member name = function
+  | Obj fields -> List.assoc_opt name fields
+  | _ -> None

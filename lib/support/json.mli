@@ -1,0 +1,41 @@
+(** A minimal JSON tree with a hand-rolled emitter and parser.
+
+    This backs the machine-readable exports of the observability layer
+    (bench [--json], {!Observe.Metrics.to_json} via [lib/observe]) without
+    pulling in an external dependency. The emitter always produces valid
+    RFC 8259 JSON; the parser accepts exactly that grammar and exists so
+    exports can be read back (CI trajectory diffs, the parse-back property
+    tests). See [docs/OBSERVABILITY.md] for the schemas built on top. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+      (** Non-finite floats cannot be represented in JSON and are emitted
+          as [null] (a nan benchmark cell means "not supported"). *)
+  | String of string
+  | List of t list
+  | Obj of (string * t) list  (** Fields are emitted in list order. *)
+
+(** [to_string t] is the compact (single-line) serialization. *)
+val to_string : t -> string
+
+(** [pp ppf t] pretty-prints with two-space indentation — the form written
+    by [bench --json FILE] so trajectory files diff cleanly line-by-line. *)
+val pp : Format.formatter -> t -> unit
+
+(** [of_string s] parses a serialized document. Numbers with a fraction,
+    exponent, or magnitude beyond [int] parse as [Float]; [null] parses as
+    [Null] (so non-finite floats do not round-trip, by design). *)
+val of_string : string -> (t, string) result
+
+(** [equal a b] is structural equality with numeric tolerance: [Int] and
+    [Float] compare by numeric value, so a value survives
+    {!to_string}/{!of_string} even when the parser reads [1.0] back as an
+    integer-valued float. *)
+val equal : t -> t -> bool
+
+(** [member name obj] is the first field named [name], if [obj] is an
+    object that has one. Convenience for tests and consumers of dumps. *)
+val member : string -> t -> t option

@@ -1,0 +1,323 @@
+module Json = Support.Json
+module Metrics = Observe.Metrics
+module Span = Observe.Span
+module Pool = Parallel.Pool
+module Csr = Graphs.Csr
+module Schedule = Ordered.Schedule
+module Stats = Ordered.Stats
+
+(* ------------------------------------------------------------------ *)
+(* Metrics: counters                                                    *)
+
+let test_counter_monotonic () =
+  let reg = Metrics.create () in
+  let c = Metrics.counter reg "test.counter" in
+  Alcotest.(check int) "fresh counter" 0 (Metrics.counter_value c);
+  Metrics.incr c ~tid:0 ();
+  Metrics.incr c ~tid:1 ~by:5 ();
+  (* Worker ids beyond the slot count fold in by masking. *)
+  Metrics.incr c ~tid:4097 ~by:2 ();
+  Alcotest.(check int) "sums per-worker slots" 8 (Metrics.counter_value c);
+  Alcotest.check_raises "negative increments rejected"
+    (Invalid_argument "Metrics.incr: counters are monotonic (by < 0)")
+    (fun () -> Metrics.incr c ~tid:0 ~by:(-1) ());
+  Alcotest.(check int) "value unchanged after rejection" 8
+    (Metrics.counter_value c);
+  Alcotest.(check bool) "registration is idempotent" true
+    (Metrics.counter reg "test.counter" == c)
+
+let test_histogram_summary () =
+  let reg = Metrics.create () in
+  let h = Metrics.histogram reg "test.hist" in
+  Metrics.observe h 1e-6;
+  Metrics.observe h 2e-6;
+  Metrics.observe h (-5.0);
+  (* clamps to zero, still counted *)
+  let snap = Metrics.snapshot reg in
+  let summary = List.assoc "test.hist" snap.Metrics.histograms in
+  Alcotest.(check int) "count" 3 summary.Metrics.count;
+  Alcotest.(check bool) "total covers both observations" true
+    (summary.Metrics.total_ns >= 3000 && summary.Metrics.total_ns < 4000);
+  Alcotest.(check int) "min clamped to zero" 0 summary.Metrics.min_ns;
+  Alcotest.(check bool) "max is the largest" true (summary.Metrics.max_ns >= 2000);
+  Alcotest.(check int) "bucket counts sum to count" 3
+    (List.fold_left (fun acc (_, c) -> acc + c) 0 summary.Metrics.buckets)
+
+let test_snapshot_diff () =
+  let reg = Metrics.create () in
+  let c = Metrics.counter reg "test.rounds" in
+  let h = Metrics.histogram reg "test.phase" in
+  Metrics.incr c ~tid:0 ~by:10 ();
+  Metrics.observe h 1e-3;
+  let earlier = Metrics.snapshot reg in
+  Metrics.incr c ~tid:0 ~by:7 ();
+  Metrics.observe h 2e-3;
+  Metrics.observe h 3e-3;
+  let later = Metrics.snapshot reg in
+  let d = Metrics.diff ~earlier later in
+  Alcotest.(check int) "counter diff is the delta" 7
+    (List.assoc "test.rounds" d.Metrics.counters);
+  let hd = List.assoc "test.phase" d.Metrics.histograms in
+  Alcotest.(check int) "histogram diff count" 2 hd.Metrics.count;
+  Alcotest.(check bool) "self-diff is empty" true
+    (Metrics.is_empty (Metrics.diff ~earlier:later later));
+  (* Round-trip: earlier + diff = later, entry-wise. *)
+  List.iter
+    (fun (name, v) ->
+      let e = try List.assoc name earlier.Metrics.counters with Not_found -> 0 in
+      let dv = List.assoc name d.Metrics.counters in
+      Alcotest.(check int) ("counter round-trip " ^ name) v (e + dv))
+    later.Metrics.counters
+
+let test_reset () =
+  let reg = Metrics.create () in
+  let c = Metrics.counter reg "test.c" in
+  Metrics.incr c ~tid:0 ~by:3 ();
+  Metrics.reset reg;
+  Alcotest.(check int) "reset zeroes, handle stays valid" 0
+    (Metrics.counter_value c);
+  Metrics.incr c ~tid:0 ();
+  Alcotest.(check int) "usable after reset" 1 (Metrics.counter_value c)
+
+(* ------------------------------------------------------------------ *)
+(* Spans                                                                *)
+
+(* Global on/off state: always restore, the other suites assume it off. *)
+let with_spans f =
+  Span.set_enabled true;
+  Fun.protect ~finally:(fun () -> Span.set_enabled false) f
+
+let hist_count snap name =
+  match List.assoc_opt name snap.Metrics.histograms with
+  | Some s -> s.Metrics.count
+  | None -> 0
+
+let test_span_disabled_is_noop () =
+  Span.set_enabled false;
+  let before = Metrics.snapshot Metrics.default in
+  let r = Span.with_ "test.span.off" (fun () -> 41 + 1) in
+  Alcotest.(check int) "body result" 42 r;
+  let d = Metrics.diff ~earlier:before (Metrics.snapshot Metrics.default) in
+  Alcotest.(check int) "nothing recorded" 0 (hist_count d "test.span.off")
+
+let test_span_nesting_and_exceptions () =
+  with_spans (fun () ->
+      let before = Metrics.snapshot Metrics.default in
+      (match
+         Span.with_ "test.span.outer" (fun () ->
+             Span.with_ "test.span.inner" (fun () -> raise Exit))
+       with
+      | () -> Alcotest.fail "expected Exit"
+      | exception Exit -> ());
+      let d = Metrics.diff ~earlier:before (Metrics.snapshot Metrics.default) in
+      Alcotest.(check int) "outer recorded despite the raise" 1
+        (hist_count d "test.span.outer");
+      Alcotest.(check int) "inner recorded despite the raise" 1
+        (hist_count d "test.span.inner"))
+
+let test_pool_hook () =
+  with_spans (fun () ->
+      Span.install_pool_hook ();
+      Fun.protect
+        ~finally:(fun () -> Span.remove_pool_hook ())
+        (fun () ->
+          let before = Metrics.snapshot Metrics.default in
+          Pool.with_pool ~num_workers:2 (fun pool ->
+              for _ = 1 to 5 do
+                Pool.run_workers pool (fun _ -> ())
+              done);
+          let d =
+            Metrics.diff ~earlier:before (Metrics.snapshot Metrics.default)
+          in
+          Alcotest.(check int) "one episode histogram entry per run_workers" 5
+            (hist_count d "pool.episode");
+          Alcotest.(check int) "episode counter matches" 5
+            (List.assoc "pool.episodes" d.Metrics.counters)))
+
+(* ------------------------------------------------------------------ *)
+(* JSON                                                                 *)
+
+let test_json_emit () =
+  let open Json in
+  Alcotest.(check string)
+    "escaping and scalars"
+    {|{"a":null,"b\n":true,"c":[1,-2,"x\"y"],"nan":null}|}
+    (to_string
+       (Obj
+          [
+            ("a", Null);
+            ("b\n", Bool true);
+            ("c", List [ Int 1; Int (-2); String "x\"y" ]);
+            ("nan", Float Float.nan);
+          ]))
+
+let test_json_parse () =
+  let open Json in
+  (match of_string {| {"k": [1, 2.5, "s", null, false]} |} with
+  | Error e -> Alcotest.fail e
+  | Ok v ->
+      Alcotest.(check bool) "structure" true
+        (equal v
+           (Obj
+              [ ("k", List [ Int 1; Float 2.5; String "s"; Null; Bool false ]) ])));
+  (match of_string "[1," with
+  | Ok _ -> Alcotest.fail "expected parse error"
+  | Error _ -> ());
+  match member "x" (Obj [ ("x", Int 3) ]) with
+  | Some (Int 3) -> ()
+  | _ -> Alcotest.fail "member lookup"
+
+let json_gen =
+  let open QCheck.Gen in
+  let scalar =
+    oneof
+      [
+        return Json.Null;
+        map (fun b -> Json.Bool b) bool;
+        map (fun i -> Json.Int i) int;
+        map
+          (fun f -> Json.Float (if Float.is_finite f then f else 0.0))
+          float;
+        map (fun s -> Json.String s) (string_size (int_bound 10));
+      ]
+  in
+  sized_size (int_bound 4) (fix (fun self n ->
+      if n <= 0 then scalar
+      else
+        frequency
+          [
+            (2, scalar);
+            (1, map (fun l -> Json.List l) (list_size (int_bound 4) (self (n - 1))));
+            ( 1,
+              map
+                (fun kvs -> Json.Obj kvs)
+                (list_size (int_bound 4)
+                   (pair (string_size (int_bound 6)) (self (n - 1)))) );
+          ]))
+
+let qcheck_json_roundtrip =
+  QCheck.Test.make ~name:"json survives to_string/of_string" ~count:500
+    (QCheck.make ~print:Json.to_string json_gen) (fun v ->
+      match Json.of_string (Json.to_string v) with
+      | Ok v' -> Json.equal v v'
+      | Error e -> QCheck.Test.fail_reportf "parse error: %s" e)
+
+let qcheck_json_pp_roundtrip =
+  QCheck.Test.make ~name:"pretty-printed json parses back" ~count:200
+    (QCheck.make ~print:Json.to_string json_gen) (fun v ->
+      let pretty = Format.asprintf "%a" Json.pp v in
+      match Json.of_string pretty with
+      | Ok v' -> Json.equal v v'
+      | Error e -> QCheck.Test.fail_reportf "parse error: %s" e)
+
+(* ------------------------------------------------------------------ *)
+(* Stats / Trace export                                                 *)
+
+let test_stats_sync_rendering () =
+  let s = Stats.create () in
+  s.Stats.sync_seconds <- 0.25;
+  let render () = Format.asprintf "%a" Stats.pp s in
+  Alcotest.(check bool) "1-worker pool renders '-'" true
+    (s.Stats.workers = 1
+    &&
+    let str = render () in
+    String.length str >= 6
+    && String.sub str (String.length str - 6) 6 = "sync=-");
+  s.Stats.workers <- 2;
+  let str = render () in
+  let suffix = "sync=0.250000s" in
+  Alcotest.(check bool) "multi-worker pool renders seconds" true
+    (String.length str >= String.length suffix
+    && String.sub str
+         (String.length str - String.length suffix)
+         (String.length suffix)
+       = suffix);
+  (match Json.member "sync_seconds" (Stats.to_json s) with
+  | Some (Json.Float f) -> Alcotest.(check (float 1e-9)) "json value" 0.25 f
+  | _ -> Alcotest.fail "expected a float");
+  s.Stats.workers <- 1;
+  match Json.member "sync_seconds" (Stats.to_json s) with
+  | Some Json.Null -> ()
+  | _ -> Alcotest.fail "1-worker sync_seconds must export as null"
+
+(* ------------------------------------------------------------------ *)
+(* Golden: the --profile flight table on a deterministic run            *)
+
+(* A 6-vertex weighted path 0 -1-> 1 -1-> 2 ... with one shortcut; SSSP
+   from 0 with delta=1 on one worker is fully deterministic, so the
+   [~times:false] table (names and counts, no wall-clock) is stable. *)
+let profile_graph () =
+  Csr.of_edge_list
+    (Graphs.Edge_list.create ~num_vertices:6
+       (Array.map
+          (fun (src, dst, weight) -> { Graphs.Edge_list.src; dst; weight })
+          [| (0, 1, 1); (1, 2, 1); (2, 3, 1); (3, 4, 1); (4, 5, 1); (0, 3, 5) |]))
+
+let test_profile_table_golden () =
+  with_spans (fun () ->
+      Span.install_pool_hook ();
+      Fun.protect
+        ~finally:(fun () -> Span.remove_pool_hook ())
+        (fun () ->
+          let before = Metrics.snapshot Metrics.default in
+          Pool.with_pool ~num_workers:1 (fun pool ->
+              ignore
+                (Algorithms.Sssp_delta.run ~pool ~graph:(profile_graph ())
+                   ~schedule:Schedule.default ~source:0 ()));
+          let d =
+            Metrics.diff ~earlier:before (Metrics.snapshot Metrics.default)
+          in
+          let table = Format.asprintf "%a" (Metrics.pp ~times:false) d in
+          let expected =
+            "counter                                       value\n\
+             engine.bucket_inserts                             7\n\
+             engine.buckets_processed                          6\n\
+             engine.edges_relaxed                              6\n\
+             engine.global_syncs                               6\n\
+             engine.rounds                                     6\n\
+             engine.runs                                       1\n\
+             engine.vertices_processed                         6\n\
+             pool.episodes                                     6\n\
+             span                                      count\n\
+             eager_buckets.drain_global                    6\n\
+             eager_buckets.next_global_key                 7\n\
+             engine.dequeue                                6\n\
+             engine.sync_wait                              6\n\
+             engine.traverse.push                          6\n\
+             pool.episode                                  6\n"
+          in
+          Alcotest.(check string) "flight table" expected table))
+
+let () =
+  Alcotest.run "observe"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "counter monotonicity" `Quick test_counter_monotonic;
+          Alcotest.test_case "histogram summary" `Quick test_histogram_summary;
+          Alcotest.test_case "snapshot/diff" `Quick test_snapshot_diff;
+          Alcotest.test_case "reset" `Quick test_reset;
+        ] );
+      ( "span",
+        [
+          Alcotest.test_case "disabled is a no-op" `Quick
+            test_span_disabled_is_noop;
+          Alcotest.test_case "nesting and exceptions" `Quick
+            test_span_nesting_and_exceptions;
+          Alcotest.test_case "pool hook" `Quick test_pool_hook;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "emit" `Quick test_json_emit;
+          Alcotest.test_case "parse" `Quick test_json_parse;
+          QCheck_alcotest.to_alcotest qcheck_json_roundtrip;
+          QCheck_alcotest.to_alcotest qcheck_json_pp_roundtrip;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "stats sync rendering" `Quick
+            test_stats_sync_rendering;
+          Alcotest.test_case "profile table golden" `Quick
+            test_profile_table_golden;
+        ] );
+    ]
