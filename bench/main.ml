@@ -33,6 +33,7 @@ let only = ref None
 let workers = ref 1
 let big = ref false
 let smoke = ref false
+let trace_out = ref None
 
 let () =
   let rec parse = function
@@ -53,6 +54,9 @@ let () =
         parse rest
     | "--json" :: file :: rest ->
         Report.set_path file;
+        parse rest
+    | "--trace" :: file :: rest ->
+        trace_out := Some file;
         parse rest
     | arg :: rest ->
         Printf.eprintf "ignoring unknown argument %S\n" arg;
@@ -1198,6 +1202,17 @@ let runtime () =
     worker_counts
 
 let () =
+  let tracer =
+    match !trace_out with
+    | None -> None
+    | Some _ ->
+        (* A bench run is long: a deep ring keeps a useful tail of the
+           timeline even when early sections have wrapped out. *)
+        let t = Observe.Tracer.create ~capacity_per_track:65536 () in
+        Observe.Tracer.set_current (Some t);
+        Observe.Tracer.install_pool_hooks ();
+        Some t
+  in
   Printf.printf "GraphIt ordered-extension benchmark suite\n";
   Printf.printf "workers=%d scale=%s (see EXPERIMENTS.md for methodology)\n" !workers
     (if !big then "big" else "default");
@@ -1220,10 +1235,18 @@ let () =
   section "fig9" "Figure 9: generated code" fig9;
   section "micro" "Substrate micro-benchmarks" micro;
   section "runtime" "Parallel-runtime microbenchmarks" runtime;
+  (match (tracer, !trace_out) with
+  | Some t, Some path ->
+      Observe.Tracer.set_current None;
+      Observe.Tracer.write t path;
+      Printf.printf "\nwrote timeline trace to %s (%d events; open in \
+                     ui.perfetto.dev)\n" path (Observe.Tracer.event_count t)
+  | _ -> ());
   Report.write
     ~meta:
       (Json.Obj
-         [
+         (Report.provenance ()
+         @ [
            ("workers", Json.Int !workers);
            ("scale", Json.String (if !big then "big" else "default"));
            ("smoke", Json.Bool !smoke);
@@ -1239,5 +1262,5 @@ let () =
                         ("num_edges", Json.Int (Csr.num_edges wl.directed));
                       ])
                   (Lazy.force suite)) );
-         ]);
+         ]));
   Pool.shutdown (Lazy.force pool)

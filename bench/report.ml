@@ -41,6 +41,65 @@ let sections () =
     !ids
   |> List.rev
 
+(* ------------------------------------------------------------------ *)
+(* Provenance: where was this report produced? bench_diff refuses to
+   compare timings across machines/configurations unless forced, so the
+   meta block must carry enough identity to detect the mismatch. *)
+
+let hostname () = try Unix.gethostname () with _ -> "unknown"
+
+(* Resolve HEAD by reading the git files directly — no subprocess, and
+   a graceful "unknown" outside a work tree (e.g. a release tarball). *)
+let git_commit () =
+  let read_first_line path =
+    try
+      In_channel.with_open_text path (fun ic ->
+          match In_channel.input_line ic with Some l -> Some (String.trim l) | None -> None)
+    with Sys_error _ -> None
+  in
+  let looks_like_hash s =
+    String.length s >= 7
+    && String.for_all
+         (function '0' .. '9' | 'a' .. 'f' -> true | _ -> false)
+         s
+  in
+  let from_packed_refs refname =
+    try
+      In_channel.with_open_text ".git/packed-refs" (fun ic ->
+          let rec scan () =
+            match In_channel.input_line ic with
+            | None -> None
+            | Some line ->
+                let line = String.trim line in
+                if
+                  String.length line > 41
+                  && String.sub line 41 (String.length line - 41) = refname
+                then Some (String.sub line 0 40)
+                else scan ()
+          in
+          scan ())
+    with Sys_error _ -> None
+  in
+  match read_first_line ".git/HEAD" with
+  | Some head when looks_like_hash head -> head (* detached HEAD *)
+  | Some head
+    when String.length head > 5 && String.sub head 0 5 = "ref: " -> (
+      let refname = String.trim (String.sub head 5 (String.length head - 5)) in
+      match read_first_line (".git/" ^ refname) with
+      | Some hash when looks_like_hash hash -> hash
+      | _ -> (
+          match from_packed_refs refname with
+          | Some hash -> hash
+          | None -> "unknown"))
+  | _ -> "unknown"
+
+let provenance () =
+  [
+    ("git_commit", Json.String (git_commit ()));
+    ("hostname", Json.String (hostname ()));
+    ("ocaml_version", Json.String Sys.ocaml_version);
+  ]
+
 let write ~meta =
   match !path with
   | None -> ()

@@ -1,0 +1,99 @@
+(* bench_diff: compare two [bench --json] reports and gate on regressions.
+
+   Exit codes: 0 = no regression; 1 = at least one measured field regressed
+   past the threshold; 2 = unreadable report or provenance mismatch without
+   --force. See docs/OBSERVABILITY.md §7. *)
+
+open Cmdliner
+module Json = Support.Json
+module Report_diff = Observe.Report_diff
+
+let load path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error msg ->
+      Printf.eprintf "bench_diff: cannot read %s: %s\n" path msg;
+      exit 2
+  | contents -> (
+      match Json.of_string contents with
+      | Ok json -> json
+      | Error msg ->
+          Printf.eprintf "bench_diff: %s is not a bench report: %s\n" path msg;
+          exit 2)
+
+let print_provenance name report =
+  match Report_diff.provenance report with
+  | [] -> Printf.printf "%s: (no provenance)\n" name
+  | fields ->
+      Printf.printf "%s: %s\n" name
+        (String.concat " "
+           (List.map (fun (k, v) -> Printf.sprintf "%s=%s" k v) fields))
+
+let run old_path new_path threshold floor force =
+  let old_ = load old_path and new_ = load new_path in
+  print_provenance old_path old_;
+  print_provenance new_path new_;
+  (match Report_diff.provenance_mismatches ~old_ ~new_ with
+  | [] -> ()
+  | mismatches ->
+      List.iter
+        (fun (name, ov, nv) ->
+          Printf.eprintf "bench_diff: provenance mismatch: %s is %s vs %s\n"
+            name ov nv)
+        mismatches;
+      if force then
+        Printf.eprintf
+          "bench_diff: --force given, comparing across environments anyway\n"
+      else begin
+        Printf.eprintf
+          "bench_diff: refusing to compare reports from different \
+           environments (pass --force to override)\n";
+        exit 2
+      end);
+  let diff =
+    Report_diff.compare_reports ~threshold ~floor_seconds:floor ~old_ ~new_ ()
+  in
+  Format.printf "%a@?" Report_diff.pp diff;
+  if diff.Report_diff.regressions > 0 then exit 1
+
+let () =
+  let old_path =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"OLD" ~doc:"Baseline bench --json report")
+  in
+  let new_path =
+    Arg.(
+      required
+      & pos 1 (some file) None
+      & info [] ~docv:"NEW" ~doc:"Candidate bench --json report")
+  in
+  let threshold =
+    Arg.(
+      value & opt float 0.10
+      & info [ "threshold" ]
+          ~doc:"Relative slowdown that counts as a regression (0.10 = 10%)")
+  in
+  let floor =
+    Arg.(
+      value & opt float 1e-4
+      & info [ "floor" ]
+          ~doc:
+            "Absolute floor in seconds: rows whose baseline is below it \
+             never gate (scheduler noise)")
+  in
+  let force =
+    Arg.(
+      value & flag
+      & info [ "force" ]
+          ~doc:"Compare even when provenance (hostname, workers, ...) differs")
+  in
+  let term =
+    Term.(const run $ old_path $ new_path $ threshold $ floor $ force)
+  in
+  exit
+    (Cmd.eval
+       (Cmd.v
+          (Cmd.info "bench_diff"
+             ~doc:"Diff two bench --json reports and fail on regressions")
+          term))

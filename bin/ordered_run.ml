@@ -23,7 +23,7 @@ let make_schedule strategy delta threshold buckets traversal =
     }
 
 let run algorithm graph_path source target workers strategy delta threshold buckets
-    traversal coords_path show_trace profile =
+    traversal coords_path show_rounds trace_path profile =
   let schedule =
     match make_schedule strategy delta threshold buckets traversal with
     | Ok s -> s
@@ -35,6 +35,15 @@ let run algorithm graph_path source target workers strategy delta threshold buck
     Observe.Span.set_enabled true;
     Observe.Span.install_pool_hook ()
   end;
+  let tracer =
+    match trace_path with
+    | None -> None
+    | Some _ ->
+        let t = Observe.Tracer.create () in
+        Observe.Tracer.set_current (Some t);
+        Observe.Tracer.install_pool_hooks ();
+        Some t
+  in
   Parallel.Pool.with_pool ~num_workers:workers (fun pool ->
       let report name seconds (stats : Ordered.Stats.t option) =
         Printf.printf "%s: %.4fs\n" name seconds;
@@ -50,7 +59,7 @@ let run algorithm graph_path source target workers strategy delta threshold buck
             then Some (Graphs.Csr.transpose graph)
             else None
           in
-          let trace = if show_trace then Some (Ordered.Trace.create ()) else None in
+          let trace = if show_rounds then Some (Ordered.Trace.create ()) else None in
           let r, seconds =
             Support.Timer.time (fun () ->
                 Algorithms.Sssp_delta.run ~pool ~graph ?transpose ~schedule ~source
@@ -120,6 +129,13 @@ let run algorithm graph_path source target workers strategy delta threshold buck
             "unknown algorithm %S (sssp|wbfs|ppsp|astar|kcore|setcover|bellman-ford)\n"
             other;
           exit 1);
+  (match (tracer, trace_path) with
+  | Some t, Some path ->
+      Observe.Tracer.set_current None;
+      Observe.Tracer.write t path;
+      Printf.printf "trace: %s (%d events; open in ui.perfetto.dev)\n" path
+        (Observe.Tracer.event_count t)
+  | _ -> ());
   if profile then begin
     let snap = Observe.Metrics.snapshot Observe.Metrics.default in
     Format.printf "@.flight recorder (docs/OBSERVABILITY.md):@.%a"
@@ -152,8 +168,17 @@ let () =
   let coords =
     Arg.(value & opt (some file) None & info [ "coords" ] ~doc:"Coordinates file (astar)")
   in
-  let show_trace =
-    Arg.(value & flag & info [ "trace" ] ~doc:"Print a per-round trace (sssp)")
+  let show_rounds =
+    Arg.(value & flag & info [ "rounds" ] ~doc:"Print a per-round trace table (sssp)")
+  in
+  let trace_path =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Record a per-worker timeline and write it as Chrome trace_event \
+             JSON (open in ui.perfetto.dev)")
   in
   let profile =
     Arg.(
@@ -166,7 +191,8 @@ let () =
   let term =
     Term.(
       const run $ algorithm $ graph $ source $ target $ workers $ strategy $ delta
-      $ threshold $ buckets $ traversal $ coords $ show_trace $ profile)
+      $ threshold $ buckets $ traversal $ coords $ show_rounds $ trace_path
+      $ profile)
   in
   exit
     (Cmd.eval

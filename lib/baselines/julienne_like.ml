@@ -44,7 +44,9 @@ let sssp_engine ~pool ~graph ~delta ~source ~stop () =
     | Some (key, members) ->
         if stop ~current_key:key ~dist then finished := true
         else
-          Observe.Span.with_ "julienne.round" (fun () ->
+          (* The round index rides on the timeline slice so straggler
+             rounds are addressable in the Perfetto view. *)
+          Observe.Span.with_ ~arg:(!rounds + 1) "julienne.round" (fun () ->
               incr rounds;
               let sum = degree_sum pool graph members in
               if sum > Csr.num_edges graph / 20 then incr dense_rounds;
@@ -102,7 +104,7 @@ let kcore ~pool ~graph () =
     match Lazy_buckets.next_bucket buckets with
     | None -> finished := true
     | Some (k, members) ->
-        Observe.Span.with_ "julienne.round" (fun () ->
+        Observe.Span.with_ ~arg:(!rounds + 1) "julienne.round" (fun () ->
             incr rounds;
             ignore (degree_sum pool graph members);
             Pool.parallel_for_ranges_tid pool ~chunk:64 ~lo:0

@@ -21,7 +21,7 @@ let sssp ~pool ~graph ~transpose ~source () =
   let frontier = ref [| source |] in
   let iterations = ref 0 and dense_iterations = ref 0 in
   while Array.length !frontier > 0 do
-    Observe.Span.with_ "ligra.iteration" (fun () ->
+    Observe.Span.with_ ~arg:(!iterations + 1) "ligra.iteration" (fun () ->
         incr iterations;
         let members = !frontier in
         let degree_sum =

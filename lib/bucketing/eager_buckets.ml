@@ -77,7 +77,7 @@ let next_global_key t =
 let cursor_key t = t.base + t.cur_slot
 
 let drain_global t ~key =
-  Observe.Span.with_ "eager_buckets.drain_global" (fun () ->
+  Observe.Span.with_ ~arg:key "eager_buckets.drain_global" (fun () ->
       let slot = key - t.base in
       let total =
         Array.fold_left

@@ -161,7 +161,8 @@ let rec next_bucket_loop t =
 (* The extraction sweep is a between-phase operation: one span per call is
    round-granular, not hot-path. *)
 let next_bucket t =
-  Observe.Span.with_ "lazy_buckets.next_bucket" (fun () -> next_bucket_loop t)
+  Observe.Span.with_ ~arg:t.cur "lazy_buckets.next_bucket" (fun () ->
+      next_bucket_loop t)
 
 let current_key t = t.cur
 let total_inserts t = t.total_inserts

@@ -1,0 +1,256 @@
+module Json = Support.Json
+
+type cell = {
+  section : string;
+  key : string;
+  field : string;
+  old_v : float;
+  new_v : float;
+  delta_pct : float;
+  gated : bool;
+  regressed : bool;
+  improved : bool;
+}
+
+type t = {
+  cells : cell list;
+  warnings : string list;
+  regressions : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Measured fields: which leaves are timings, and in what unit.         *)
+
+let ends_with ~suffix s =
+  let ls = String.length s and lx = String.length suffix in
+  ls >= lx && String.sub s (ls - lx) lx = suffix
+
+(* Seconds per unit of the field, or None when the field is identity or
+   a hardware-independent count (rounds, trials, loc, ...). *)
+let unit_of_field name =
+  let base =
+    match String.rindex_opt name '.' with
+    | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+    | None -> name
+  in
+  if ends_with ~suffix:"seconds" base then Some 1.0
+  else if ends_with ~suffix:"_us" base then Some 1e-6
+  else if ends_with ~suffix:"_ns" base || base = "ns_per_run" then Some 1e-9
+  else None
+
+let number = function
+  | Json.Int i -> Some (float_of_int i)
+  | Json.Float f -> Some f
+  | _ -> None
+
+(* Flatten a row into (identity fields, measured leaves). Identity is
+   every top-level scalar that is not a measurement; measured leaves are
+   collected recursively with dotted paths so nested objects like tab6's
+   [with_fusion.stats] contribute. *)
+let flatten_row row =
+  let identity = ref [] and measured = ref [] in
+  let rec walk prefix = function
+    | Json.Obj fields ->
+        List.iter
+          (fun (name, v) ->
+            let path = if prefix = "" then name else prefix ^ "." ^ name in
+            match v with
+            | Json.Obj _ -> walk path v
+            | Json.List _ -> () (* sweeps etc.: no stable identity, skip *)
+            | scalar -> (
+                match (unit_of_field path, number scalar) with
+                | Some _, Some x -> measured := (path, x) :: !measured
+                | Some _, None -> () (* null timing: unsupported cell *)
+                | None, _ ->
+                    if prefix = "" then
+                      let rendered =
+                        match scalar with
+                        | Json.String s -> Some s
+                        | Json.Int i -> Some (string_of_int i)
+                        | Json.Bool b -> Some (string_of_bool b)
+                        | _ -> None
+                      in
+                      match rendered with
+                      | Some r -> identity := (name, r) :: !identity
+                      | None -> ()))
+          fields
+    | _ -> ()
+  in
+  walk "" row;
+  let key =
+    String.concat " "
+      (List.rev_map (fun (name, v) -> name ^ "=" ^ v) !identity)
+  in
+  (key, List.rev !measured)
+
+(* ------------------------------------------------------------------ *)
+(* Report structure                                                     *)
+
+let sections_of report =
+  let data =
+    match Json.member "sections" report with
+    | Some (Json.Obj fields) ->
+        List.map
+          (fun (id, rows) ->
+            let rows = match rows with Json.List l -> l | other -> [ other ] in
+            (id, List.map flatten_row rows))
+          fields
+    | _ -> []
+  in
+  (* section_seconds as a pseudo-section: one row per executed section. *)
+  let durations =
+    match Json.member "section_seconds" report with
+    | Some (Json.Obj fields) ->
+        List.filter_map
+          (fun (id, v) ->
+            match number v with
+            | Some x -> Some (id, [ ("seconds", x) ])
+            | None -> None)
+          fields
+    | _ -> []
+  in
+  if durations = [] then data else ("section_seconds", durations) :: data
+
+(* Duplicate row keys within a section (e.g. a sweep whose identity
+   fields repeat) are disambiguated by occurrence index, so matching
+   stays positional among same-key rows. *)
+let number_duplicates rows =
+  let seen = Hashtbl.create 16 in
+  List.map
+    (fun (key, fields) ->
+      let n = try Hashtbl.find seen key with Not_found -> 0 in
+      Hashtbl.replace seen key (n + 1);
+      let key = if n = 0 then key else Printf.sprintf "%s #%d" key n in
+      (key, fields))
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Provenance                                                           *)
+
+let provenance_fields =
+  [ "git_commit"; "hostname"; "ocaml_version"; "workers"; "scale"; "smoke" ]
+
+let provenance report =
+  let meta =
+    match Json.member "meta" report with Some m -> m | None -> Json.Obj []
+  in
+  List.filter_map
+    (fun name ->
+      match Json.member name meta with
+      | Some (Json.String s) -> Some (name, s)
+      | Some (Json.Int i) -> Some (name, string_of_int i)
+      | Some (Json.Bool b) -> Some (name, string_of_bool b)
+      | Some (Json.Float f) -> Some (name, string_of_float f)
+      | _ -> None)
+    provenance_fields
+
+let provenance_mismatches ~old_ ~new_ =
+  let po = provenance old_ and pn = provenance new_ in
+  List.filter_map
+    (fun (name, ov) ->
+      if name = "git_commit" then None
+      else
+        match List.assoc_opt name pn with
+        | Some nv when nv <> ov -> Some (name, ov, nv)
+        | _ -> None)
+    po
+
+(* ------------------------------------------------------------------ *)
+(* The comparison                                                       *)
+
+let compare_reports ?(threshold = 0.10) ?(floor_seconds = 1e-4) ~old_ ~new_ () =
+  let warnings = ref [] in
+  let warn fmt = Printf.ksprintf (fun s -> warnings := s :: !warnings) fmt in
+  let cells = ref [] in
+  let old_sections = sections_of old_ and new_sections = sections_of new_ in
+  List.iter
+    (fun (id, old_rows) ->
+      match List.assoc_opt id new_sections with
+      | None -> warn "section %s: missing from the new report" id
+      | Some new_rows ->
+          let old_rows = number_duplicates old_rows in
+          let new_rows = number_duplicates new_rows in
+          List.iter
+            (fun (key, old_fields) ->
+              match List.assoc_opt key new_rows with
+              | None -> warn "section %s: row [%s] missing from the new report" id key
+              | Some new_fields ->
+                  List.iter
+                    (fun (field, old_v) ->
+                      match List.assoc_opt field new_fields with
+                      | None ->
+                          warn "section %s: row [%s] lost field %s" id key field
+                      | Some new_v ->
+                          let unit_s =
+                            match unit_of_field field with
+                            | Some u -> u
+                            | None -> assert false
+                          in
+                          let gated = old_v *. unit_s >= floor_seconds in
+                          let delta_pct =
+                            if old_v > 0.0 then
+                              100.0 *. (new_v -. old_v) /. old_v
+                            else if new_v > 0.0 then Float.infinity
+                            else 0.0
+                          in
+                          let regressed =
+                            gated && delta_pct > 100.0 *. threshold
+                          in
+                          let improved =
+                            gated && delta_pct < -100.0 *. threshold
+                          in
+                          cells :=
+                            {
+                              section = id;
+                              key;
+                              field;
+                              old_v;
+                              new_v;
+                              delta_pct;
+                              gated;
+                              regressed;
+                              improved;
+                            }
+                            :: !cells)
+                    old_fields)
+            old_rows;
+          List.iter
+            (fun (key, _) ->
+              if List.assoc_opt key old_rows = None then
+                warn "section %s: row [%s] only in the new report" id key)
+            new_rows)
+    old_sections;
+  List.iter
+    (fun (id, _) ->
+      if List.assoc_opt id old_sections = None then
+        warn "section %s: only in the new report" id)
+    new_sections;
+  let cells = List.rev !cells in
+  {
+    cells;
+    warnings = List.rev !warnings;
+    regressions = List.length (List.filter (fun c -> c.regressed) cells);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                            *)
+
+let verdict c =
+  if c.regressed then "REGRESS"
+  else if c.improved then "improved"
+  else if not c.gated then "~"
+  else "ok"
+
+let pp ppf t =
+  Format.fprintf ppf "%-16s %-38s %-26s %10s %10s %9s  %s@." "section" "row"
+    "field" "old" "new" "delta" "verdict";
+  List.iter
+    (fun c ->
+      Format.fprintf ppf "%-16s %-38s %-26s %10.4g %10.4g %+8.1f%%  %s@."
+        c.section
+        (if c.key = "" then "-" else c.key)
+        c.field c.old_v c.new_v c.delta_pct (verdict c))
+    t.cells;
+  List.iter (fun w -> Format.fprintf ppf "warning: %s@." w) t.warnings;
+  Format.fprintf ppf "%d comparison(s), %d regression(s)@."
+    (List.length t.cells) t.regressions

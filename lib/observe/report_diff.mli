@@ -1,0 +1,69 @@
+(** Section-by-section comparison of two [bench --json] reports — the
+    regression gate behind [bin/bench_diff.exe].
+
+    A report (schema in [docs/OBSERVABILITY.md] §5) is an object with
+    [meta], [section_seconds], and [sections]. The comparison walks every
+    section present in both reports, matches rows by their identity
+    fields (every scalar field that is not a measurement), and compares
+    the {e measured} fields: numeric leaves whose name ends in
+    [seconds], [_us], or [_ns], or equals [ns_per_run] — dotted paths
+    reach into nested objects, e.g. [with_fusion.seconds] in [tab6]
+    rows. [section_seconds] is compared too, as a pseudo-section.
+
+    A cell {e regresses} when the new value exceeds the old by more than
+    [threshold] (relative), {e and} the old value, converted to seconds,
+    is at least [floor_seconds] — sub-millisecond timings are pure
+    scheduler noise and never gate (they still appear in the table).
+    Rows or sections present on only one side produce warnings, never
+    regressions. *)
+
+module Json = Support.Json
+
+type cell = {
+  section : string;
+  key : string;  (** Identity fields of the row, rendered [k=v k=v]. *)
+  field : string;  (** Dotted path of the measured leaf. *)
+  old_v : float;
+  new_v : float;  (** In the field's native unit. *)
+  delta_pct : float;
+  gated : bool;  (** Old value at/above the floor: eligible to regress. *)
+  regressed : bool;
+  improved : bool;  (** Mirror of [regressed], same threshold. *)
+}
+
+type t = {
+  cells : cell list;  (** Report order: section by section, row by row. *)
+  warnings : string list;
+  regressions : int;
+}
+
+(** [provenance report] is the meta fields that identify where a report
+    was produced (present ones among [git_commit], [hostname],
+    [ocaml_version], [workers], [scale], [smoke]), rendered as strings. *)
+val provenance : Json.t -> (string * string) list
+
+(** [provenance_mismatches ~old_ ~new_] is the provenance fields that
+    are present in both reports but differ — excluding [git_commit],
+    which is {e expected} to differ across a comparison. A non-empty
+    result means the reports come from different machines or
+    configurations and their timings are not comparable; [bench_diff]
+    refuses unless [--force] is passed. *)
+val provenance_mismatches :
+  old_:Json.t -> new_:Json.t -> (string * string * string) list
+
+(** [compare_reports ?threshold ?floor_seconds ~old_ ~new_ ()] runs the
+    comparison. [threshold] is relative (default [0.10] = 10%);
+    [floor_seconds] (default [1e-4]) is the absolute gate described
+    above. *)
+val compare_reports :
+  ?threshold:float ->
+  ?floor_seconds:float ->
+  old_:Json.t ->
+  new_:Json.t ->
+  unit ->
+  t
+
+(** [pp ppf t] prints the per-row delta table (every cell, one line
+    each, verdict column: [ok] / [~] below-floor / [improved] /
+    [REGRESS]), then warnings, then a one-line summary. *)
+val pp : Format.formatter -> t -> unit

@@ -14,20 +14,34 @@ let record label seconds =
   if enabled () then
     Metrics.observe (Metrics.histogram Metrics.default label) seconds
 
-let count label ~tid ?(by = 1) () =
+let count ~tid ?(by = 1) label =
   if enabled () then
     Metrics.incr (Metrics.counter Metrics.default label) ~tid ~by ()
 
-let with_ label f =
-  if not (enabled ()) then f ()
+(* A span feeds two sinks with independent switches: the metrics
+   histograms (aggregate, [enabled]) and the current tracer (timeline,
+   [Tracer.current]). Both off — the common case — costs two flag reads
+   before the body runs. *)
+let with_ ?(tid = 0) ?arg label f =
+  let tracer = Tracer.current () in
+  if (not (enabled ())) && tracer = None then f ()
   else begin
+    (match tracer with
+    | Some t -> Tracer.begin_ t ~tid ?arg (Tracer.label label)
+    | None -> ());
     let start = Unix.gettimeofday () in
+    let finish () =
+      record label (Unix.gettimeofday () -. start);
+      match tracer with
+      | Some t -> Tracer.end_ t ~tid (Tracer.label label)
+      | None -> ()
+    in
     match f () with
     | result ->
-        record label (Unix.gettimeofday () -. start);
+        finish ();
         result
     | exception exn ->
-        record label (Unix.gettimeofday () -. start);
+        finish ();
         raise exn
   end
 
@@ -38,7 +52,7 @@ let with_ label f =
 let pool_hook ~workers:_ ~seconds =
   if enabled () then begin
     record "pool.episode" seconds;
-    count "pool.episodes" ~tid:0 ()
+    count ~tid:0 "pool.episodes"
   end
 
 let install_pool_hook () = Parallel.Pool.set_episode_hook (Some pool_hook)

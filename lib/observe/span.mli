@@ -29,10 +29,18 @@ val set_enabled : bool -> unit
     {!static_enabled} is [false]). *)
 val enabled : unit -> bool
 
-(** [with_ label f] runs [f ()], recording its wall-clock duration under
-    [label] when enabled. The duration is recorded even when [f] raises
-    (the exception is re-raised). Returns [f ()]'s value. *)
-val with_ : string -> (unit -> 'a) -> 'a
+(** [with_ ?tid ?arg label f] runs [f ()], recording its wall-clock
+    duration under [label] when enabled. The duration is recorded even
+    when [f] raises (the exception is re-raised). Returns [f ()]'s value.
+
+    When a {!Tracer} is current, the span additionally emits a timeline
+    slice on worker [tid]'s track (default 0 — every shipped span runs
+    on the orchestrating worker between parallel phases), carrying [arg]
+    (a round index, a bucket key) as its integer payload. The tracer
+    sink is independent of {!enabled}: [--trace] works without
+    [--profile] and vice versa. With both sinks off, the cost is two
+    flag reads. *)
+val with_ : ?tid:int -> ?arg:int -> string -> (unit -> 'a) -> 'a
 
 (** [record label seconds] records an externally measured duration under
     [label] when enabled — for phases whose cost is measured by the
@@ -40,9 +48,10 @@ val with_ : string -> (unit -> 'a) -> 'a
     wait, sampled from {!Parallel.Pool.barrier_wait_seconds}). *)
 val record : string -> float -> unit
 
-(** [count label ~tid ?by ()] bumps the counter [label] when enabled. The
-    per-worker slot is picked by [tid]. *)
-val count : string -> tid:int -> ?by:int -> unit -> unit
+(** [count ~tid ?by label] bumps the counter [label] by [by] (default 1)
+    when enabled. The per-worker slot is picked by [tid]. Disabled, the
+    cost is a single flag read. *)
+val count : tid:int -> ?by:int -> string -> unit
 
 (** [install_pool_hook ()] wires {!Parallel.Pool.set_episode_hook} to the
     recorder: every [run_workers] episode then records the

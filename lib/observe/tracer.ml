@@ -1,0 +1,248 @@
+(* Per-worker timeline rings. The hot path must be safe to call from a
+   worker loop: no locks, no allocation, no branches beyond the capacity
+   mask. Each track is three int arrays plus a plain head counter, and
+   each track has a single writer (the worker that owns the slot), so
+   plain stores are enough; readers run between parallel phases, after a
+   pool barrier has ordered the writes. *)
+
+let num_tracks = 16
+
+(* Phase tag packed into the low bits of the code word. *)
+let ph_begin = 0
+let ph_end = 1
+let ph_counter = 2
+let no_arg = min_int
+
+type ring = {
+  mutable head : int; (* total events ever written to this track *)
+  ts : int array; (* ns since tracer creation *)
+  code : int array; (* (label lsl 2) lor phase *)
+  arg : int array; (* payload; [no_arg] = none *)
+}
+
+type t = {
+  capacity : int; (* power of two *)
+  mask : int;
+  rings : ring array; (* [num_tracks], tid folds in by masking *)
+  start_ns : int;
+  mutable dropped_reported : int; (* folded into Metrics by [write] *)
+}
+
+let now_ns () = Int64.to_int (Monotonic_clock.now ())
+
+let rec pow2_at_least n acc = if acc >= n then acc else pow2_at_least n (acc * 2)
+
+let create ?(capacity_per_track = 8192) () =
+  if capacity_per_track < 1 then
+    invalid_arg "Tracer.create: capacity_per_track must be >= 1";
+  let capacity = pow2_at_least capacity_per_track 1 in
+  {
+    capacity;
+    mask = capacity - 1;
+    rings =
+      Array.init num_tracks (fun _ ->
+          {
+            head = 0;
+            ts = Array.make capacity 0;
+            code = Array.make capacity 0;
+            arg = Array.make capacity no_arg;
+          });
+    start_ns = now_ns ();
+    dropped_reported = 0;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* The current tracer *)
+
+let current_tracer : t option Atomic.t = Atomic.make None
+let set_current t = Atomic.set current_tracer t
+let current () = Atomic.get current_tracer
+
+(* ------------------------------------------------------------------ *)
+(* Labels: interned once; reads scan an immutable array with no lock so
+   round-granular call sites can resolve by string without contention. *)
+
+type label = int
+
+let labels : string array Atomic.t = Atomic.make [||]
+let label_mutex = Mutex.create ()
+
+let find_label arr name =
+  let rec go i =
+    if i >= Array.length arr then -1
+    else if String.equal (Array.unsafe_get arr i) name then i
+    else go (i + 1)
+  in
+  go 0
+
+let label name =
+  let arr = Atomic.get labels in
+  let i = find_label arr name in
+  if i >= 0 then i
+  else begin
+    Mutex.lock label_mutex;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock label_mutex)
+      (fun () ->
+        (* Re-check: another domain may have interned it meanwhile. *)
+        let arr = Atomic.get labels in
+        let i = find_label arr name in
+        if i >= 0 then i
+        else begin
+          Atomic.set labels (Array.append arr [| name |]);
+          Array.length arr
+        end)
+  end
+
+let label_name l =
+  let arr = Atomic.get labels in
+  if l >= 0 && l < Array.length arr then arr.(l) else "?"
+
+(* ------------------------------------------------------------------ *)
+(* Recording *)
+
+let push t ~tid phase lbl arg =
+  let r = Array.unsafe_get t.rings (tid land (num_tracks - 1)) in
+  let i = r.head land t.mask in
+  Array.unsafe_set r.ts i (now_ns () - t.start_ns);
+  Array.unsafe_set r.code i ((lbl lsl 2) lor phase);
+  Array.unsafe_set r.arg i arg;
+  r.head <- r.head + 1
+
+let begin_ t ~tid ?(arg = no_arg) lbl = push t ~tid ph_begin lbl arg
+let end_ t ~tid lbl = push t ~tid ph_end lbl no_arg
+let counter t ~tid lbl v = push t ~tid ph_counter lbl v
+
+(* ------------------------------------------------------------------ *)
+(* Reading *)
+
+let retained r ~capacity = min r.head capacity
+
+let event_count t =
+  Array.fold_left (fun acc r -> acc + retained r ~capacity:t.capacity) 0 t.rings
+
+let dropped_of_ring r ~capacity = max 0 (r.head - capacity)
+
+let dropped_events t =
+  Array.fold_left (fun acc r -> acc + dropped_of_ring r ~capacity:t.capacity) 0 t.rings
+
+(* ------------------------------------------------------------------ *)
+(* Export *)
+
+let us_of_ns ns = float_of_int ns /. 1e3
+
+let event ~name ~ph ~ts ~tid extra =
+  let open Support.Json in
+  Obj
+    ([
+       ("name", String name);
+       ("ph", String ph);
+       ("ts", Float (us_of_ns ts));
+       ("pid", Int 1);
+       ("tid", Int tid);
+     ]
+    @ extra)
+
+let to_json t =
+  let open Support.Json in
+  let events = ref [] in
+  (* newest first while building *)
+  let emit e = events := e :: !events in
+  emit
+    (Obj
+       [
+         ("name", String "process_name");
+         ("ph", String "M");
+         ("pid", Int 1);
+         ("args", Obj [ ("name", String "graphit-ordered") ]);
+       ]);
+  Array.iteri
+    (fun tid r ->
+      let n = retained r ~capacity:t.capacity in
+      if n > 0 then begin
+        emit
+          (Obj
+             [
+               ("name", String "thread_name");
+               ("ph", String "M");
+               ("pid", Int 1);
+               ("tid", Int tid);
+               ("args", Obj [ ("name", String (Printf.sprintf "worker %d" tid)) ]);
+             ]);
+        let first = r.head - n in
+        (* Open-slice stack for the balance guarantee: orphan ends (their
+           begin was overwritten by wraparound) are skipped; slices still
+           open at the end of the track are closed at its last timestamp. *)
+        let stack = ref [] in
+        let last_ts = ref 0 in
+        for j = first to r.head - 1 do
+          let i = j land t.mask in
+          let code = r.code.(i) and ts = r.ts.(i) and arg = r.arg.(i) in
+          let lbl = code lsr 2 and phase = code land 3 in
+          last_ts := ts;
+          if phase = ph_begin then begin
+            stack := lbl :: !stack;
+            let args = if arg = no_arg then [] else [ ("args", Obj [ ("n", Int arg) ]) ] in
+            emit (event ~name:(label_name lbl) ~ph:"B" ~ts ~tid args)
+          end
+          else if phase = ph_end then (
+            match !stack with
+            | [] -> () (* orphan end: begin lost to wraparound *)
+            | _ :: rest ->
+                stack := rest;
+                emit (event ~name:(label_name lbl) ~ph:"E" ~ts ~tid []))
+          else
+            emit
+              (event ~name:(label_name lbl) ~ph:"C" ~ts ~tid
+                 [ ("args", Obj [ ("value", Int arg) ]) ])
+        done;
+        List.iter
+          (fun lbl -> emit (event ~name:(label_name lbl) ~ph:"E" ~ts:!last_ts ~tid []))
+          !stack
+      end)
+    t.rings;
+  Obj
+    [
+      ("traceEvents", List (List.rev !events));
+      ("displayTimeUnit", String "ns");
+    ]
+
+let write t path =
+  let doc = to_json t in
+  let dropped = dropped_events t in
+  if dropped > t.dropped_reported then begin
+    Metrics.incr
+      (Metrics.counter Metrics.default "trace.dropped_events")
+      ~tid:0
+      ~by:(dropped - t.dropped_reported)
+      ();
+    t.dropped_reported <- dropped
+  end;
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Support.Json.to_string doc);
+      output_char oc '\n');
+  if dropped > 0 then
+    Printf.eprintf
+      "WARNING: trace %s is TRUNCATED: %d event(s) were dropped by ring-buffer \
+       wraparound (capacity %d/track). The timeline keeps only the newest \
+       events per worker; re-run with a larger capacity for a complete trace.\n\
+       %!"
+      path dropped t.capacity
+
+(* ------------------------------------------------------------------ *)
+(* Pool wiring: one [pool.worker] slice per worker per episode, on that
+   worker's own track. The hook reads the current tracer per event so it
+   can stay installed across tracer swaps. *)
+
+let worker_hook ~tid ~enter =
+  match current () with
+  | None -> ()
+  | Some t ->
+      let lbl = label "pool.worker" in
+      if enter then begin_ t ~tid lbl else end_ t ~tid lbl
+
+let install_pool_hooks () = Parallel.Pool.set_worker_hook (Some worker_hook)
+let remove_pool_hooks () = Parallel.Pool.set_worker_hook None

@@ -1,0 +1,113 @@
+(** Per-worker timeline tracing: fixed-capacity ring buffers of
+    timestamped begin/end events, exported as Chrome/Perfetto
+    [trace_event] JSON so any run opens directly in [ui.perfetto.dev].
+
+    Where {!Metrics} aggregates (how much time went to dequeue overall),
+    a tracer keeps the {e timeline}: which rounds, which workers, where
+    the stragglers sit. One track per worker; slices nest by lexical
+    scope, exactly like spans.
+
+    Recording is lock-free and allocation-free on the hot path: each
+    worker owns a ring of three int arrays (timestamp, packed
+    label/phase, argument) indexed by a plain head counter, and a write
+    is three stores plus an increment. Timestamps come from the
+    monotonic clock ([bechamel.monotonic_clock], [clock_gettime]
+    underneath), relative to tracer creation. When a ring wraps, the
+    {e newest} events win and the overwritten ones are counted as
+    dropped — see {!dropped_events} and the [trace.dropped_events]
+    metric recorded by {!write}.
+
+    Rings are fixed at {!num_tracks} slots; worker ids fold in by
+    masking (like {!Metrics} counter slots), so any [tid] is safe. Two
+    workers that alias the same slot interleave raggedly rather than
+    crash; pools in this repository stay within [num_tracks].
+
+    The export sanitizes each track so nesting is always balanced:
+    orphan end events (whose begin was overwritten by wraparound) are
+    dropped, and slices still open at export time are closed at the
+    track's last timestamp. *)
+
+type t
+
+(** Number of per-worker tracks (16, a power of two). *)
+val num_tracks : int
+
+(** [create ?capacity_per_track ()] is a fresh tracer. Capacity is
+    rounded up to a power of two, default 8192 events per track; at 24
+    bytes per event the default costs ~3 MB across all tracks. *)
+val create : ?capacity_per_track:int -> unit -> t
+
+(** {1 The current tracer}
+
+    Instrumentation sites ({!Span.with_}, the pool worker hook, the
+    engine) record into the process-wide current tracer; [None] (the
+    default) makes every emission a single flag read. *)
+
+val set_current : t option -> unit
+val current : unit -> t option
+
+(** {1 Labels}
+
+    Event names are interned to small ints once so the hot path stores
+    an int, not a string. The read path is lock-free (an immutable
+    array behind an [Atomic]); interning a new name takes a mutex. *)
+
+type label = private int
+
+val label : string -> label
+val label_name : label -> string
+
+(** {1 Recording}
+
+    Safe with no effect when the event does not fit ([tid] is masked,
+    never rejected). *)
+
+(** [begin_ t ~tid ?arg l] opens a slice on worker [tid]'s track.
+    [arg] is an optional integer payload (a round index, a bucket key)
+    exported as [args:{"n": arg}]. *)
+val begin_ : t -> tid:int -> ?arg:int -> label -> unit
+
+(** [end_ t ~tid l] closes the innermost slice named [l]. *)
+val end_ : t -> tid:int -> label -> unit
+
+(** [counter t ~tid l v] records a Perfetto counter sample ([ph:"C"]),
+    rendered as a stepped value track — used for per-round barrier-wait
+    time, which is sampled rather than timed. *)
+val counter : t -> tid:int -> label -> int -> unit
+
+(** {1 Reading} *)
+
+(** [event_count t] is the number of events currently retained. *)
+val event_count : t -> int
+
+(** [dropped_events t] is the number of events overwritten by ring
+    wraparound so far — a non-zero value means the exported timeline is
+    truncated to the newest [capacity] events per track. *)
+val dropped_events : t -> int
+
+(** [to_json t] is the trace as a Chrome [trace_event] document:
+    [{"traceEvents": [{"name", "ph", "ts", "pid", "tid", ...}, ...],
+      "displayTimeUnit": "ns"}] with [ph] one of ["B"]/["E"]/["C"]/["M"]
+    and [ts] in (fractional) microseconds. Tracks are emitted in [tid]
+    order, each preceded by a [thread_name] metadata event; per-track
+    event order is oldest to newest. Safe to call while the tracer is
+    still current, between parallel phases. *)
+val to_json : t -> Support.Json.t
+
+(** [write t path] dumps {!to_json} to [path]. If any events were
+    dropped it prints a loud warning on stderr and folds the count into
+    the [trace.dropped_events] counter of {!Metrics.default} (the delta
+    since the previous [write]), so truncated timelines are never
+    mistaken for complete ones. *)
+val write : t -> string -> unit
+
+(** {1 Pool wiring}
+
+    [install_pool_hooks ()] sets {!Parallel.Pool.set_worker_hook} to
+    record a [pool.worker] slice on each worker's own track for every
+    episode — the per-worker busy/idle picture. Records into whichever
+    tracer is current at event time; harmless when none is.
+    [remove_pool_hooks] detaches it. *)
+
+val install_pool_hooks : unit -> unit
+val remove_pool_hooks : unit -> unit

@@ -151,7 +151,7 @@ let run ~pool ~graph ?transpose ~schedule ~pq ~edge_fn ?(stop = fun () -> false)
      guards below are a flag read each when the recorder is off. *)
   let tracing = trace <> None in
   let timestamp () = if tracing then Unix.gettimeofday () else 0.0 in
-  while !continue && (not (stop ())) && not (Pq.finished pq) do
+  let run_round () =
     let round_start = timestamp () in
     let round_sync_start = Pool.barrier_wait_seconds pool in
     let frontier =
@@ -179,6 +179,14 @@ let run ~pool ~graph ?transpose ~schedule ~pq ~edge_fn ?(stop = fun () -> false)
     let traverse_done = timestamp () in
     let round_sync = Pool.barrier_wait_seconds pool -. round_sync_start in
     if Span.enabled () then Span.record "engine.sync_wait" round_sync;
+    (* The barrier wait is sampled, not timed, so the timeline renders it
+       as a stepped counter track (µs per round) rather than a slice. *)
+    (match Observe.Tracer.current () with
+    | Some t ->
+        Observe.Tracer.counter t ~tid:0
+          (Observe.Tracer.label "engine.sync_wait_us")
+          (int_of_float (round_sync *. 1e6))
+    | None -> ());
     (match trace with
     | Some t ->
         Trace.record t
@@ -201,6 +209,11 @@ let run ~pool ~graph ?transpose ~schedule ~pq ~edge_fn ?(stop = fun () -> false)
          buffer reduction / bulk bucket update (Fig. 5, lines 12-13). *)
       stats.Stats.global_syncs <- stats.Stats.global_syncs + 1;
     if stats.Stats.rounds > 100_000_000 then continue := false
+  in
+  while !continue && (not (stop ())) && not (Pq.finished pq) do
+    (* One timeline slice per round, the round index as its payload;
+       the dequeue/traverse spans nest inside it on worker 0's track. *)
+    Span.with_ ~arg:(stats.Stats.rounds + 1) "engine.round" run_round
   done;
   stats.Stats.vertices_processed <- counter_sum counters.vertices;
   stats.Stats.edges_relaxed <- counter_sum counters.edges;
@@ -210,7 +223,7 @@ let run ~pool ~graph ?transpose ~schedule ~pq ~edge_fn ?(stop = fun () -> false)
   if Span.enabled () then begin
     (* Fold the run's hardware-independent counters into the flight
        recorder, so cumulative totals survive across runs. *)
-    let bump name by = Span.count name ~tid:0 ~by () in
+    let bump name by = Span.count ~tid:0 ~by name in
     bump "engine.runs" 1;
     bump "engine.rounds" stats.Stats.rounds;
     bump "engine.global_syncs" stats.Stats.global_syncs;

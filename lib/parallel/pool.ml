@@ -70,6 +70,26 @@ let finish_one pool =
       Mutex.unlock pool.mutex
     end
 
+(* Per-worker observability hook (lib/observe installs the timeline
+   tracer; this module cannot depend on it). [None] is the shipped
+   default: each worker then pays one ref read per episode. *)
+let worker_hook : (tid:int -> enter:bool -> unit) option ref = ref None
+let set_worker_hook h = worker_hook := h
+
+(* Every job execution — helper loop, caller's share, and the inline
+   single-worker path — funnels through here so the per-worker timeline
+   sees exactly one enter/exit pair per worker per episode. *)
+let run_job job tid =
+  match !worker_hook with
+  | None -> job tid
+  | Some hook -> (
+      hook ~tid ~enter:true;
+      match job tid with
+      | () -> hook ~tid ~enter:false
+      | exception exn ->
+          hook ~tid ~enter:false;
+          raise exn)
+
 let worker_loop pool tid =
   let seen = ref 0 in
   let rec loop () =
@@ -98,7 +118,7 @@ let worker_loop pool tid =
         | Some job -> job
         | None -> assert false
       in
-      (try job tid with exn -> note_failure pool exn);
+      (try run_job job tid with exn -> note_failure pool exn);
       finish_one pool;
       loop ()
     end
@@ -154,7 +174,7 @@ let set_episode_hook h = episode_hook := h
 let run_workers_uninstrumented pool f =
   if Atomic.get pool.stop_flag then
     invalid_arg "Pool.run_workers: pool is shut down";
-  if pool.num_workers = 1 then f 0
+  if pool.num_workers = 1 then run_job f 0
   else begin
     pool.job <- Some f;
     Atomic.set pool.failure None;
@@ -165,7 +185,7 @@ let run_workers_uninstrumented pool f =
       Condition.broadcast pool.work_ready;
       Mutex.unlock pool.mutex
     end;
-    let caller_outcome = try Ok (f 0) with exn -> Error exn in
+    let caller_outcome = try Ok (run_job f 0) with exn -> Error exn in
     let wait_start = Unix.gettimeofday () in
     let finished =
       spin_until ~budget:pool.spin_budget (fun () ->

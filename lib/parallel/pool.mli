@@ -72,6 +72,18 @@ val run_workers : t -> (int -> unit) -> unit
     domain and must not use the pool. *)
 val set_episode_hook : (workers:int -> seconds:float -> unit) option -> unit
 
+(** [set_worker_hook h] installs (or with [None], removes) a process-wide
+    per-worker observer: for every {!run_workers} episode each
+    participating worker calls [h ~tid ~enter:true] on its own domain
+    just before running its share of the job and [h ~tid ~enter:false]
+    just after (also when the job raises) — including the inline
+    single-worker path. This is the attachment point for per-worker
+    timeline tracing ([Observe.Tracer.install_pool_hooks]); the hook
+    runs on the worker's domain and must be lock-free and must not use
+    the pool. With no hook installed (the default) each worker pays one
+    ref read per episode. *)
+val set_worker_hook : (tid:int -> enter:bool -> unit) option -> unit
+
 (** A shared work cursor for SPMD loops written directly on top of
     {!run_workers} (e.g. when a per-worker epilogue must run after the
     loop, as in the engine's bucket-fusion drain). *)

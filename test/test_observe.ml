@@ -1,6 +1,8 @@
 module Json = Support.Json
 module Metrics = Observe.Metrics
 module Span = Observe.Span
+module Tracer = Observe.Tracer
+module Report_diff = Observe.Report_diff
 module Pool = Parallel.Pool
 module Csr = Graphs.Csr
 module Schedule = Ordered.Schedule
@@ -241,6 +243,136 @@ let test_stats_sync_rendering () =
   | _ -> Alcotest.fail "1-worker sync_seconds must export as null"
 
 (* ------------------------------------------------------------------ *)
+(* Tracer: per-worker timelines as Chrome trace_event JSON              *)
+
+let with_tracer ?capacity f =
+  let t = Tracer.create ?capacity_per_track:capacity () in
+  Tracer.set_current (Some t);
+  Fun.protect ~finally:(fun () -> Tracer.set_current None) (fun () -> f t)
+
+let trace_events json =
+  match Json.member "traceEvents" json with
+  | Some (Json.List l) -> l
+  | _ -> Alcotest.fail "export has no traceEvents array"
+
+let str_field name e =
+  match Json.member name e with Some (Json.String s) -> Some s | _ -> None
+
+let int_field name e =
+  match Json.member name e with Some (Json.Int i) -> Some i | _ -> None
+
+(* Every track's B/E events must pair up in order: that is what makes the
+   export loadable as nested slices. *)
+let balanced events =
+  let depth = Hashtbl.create 8 in
+  let get tid = try Hashtbl.find depth tid with Not_found -> 0 in
+  let ok = ref true in
+  List.iter
+    (fun e ->
+      match (str_field "ph" e, int_field "tid" e) with
+      | Some "B", Some tid -> Hashtbl.replace depth tid (get tid + 1)
+      | Some "E", Some tid ->
+          let d = get tid - 1 in
+          if d < 0 then ok := false else Hashtbl.replace depth tid d
+      | _ -> ())
+    events;
+  Hashtbl.iter (fun _ d -> if d <> 0 then ok := false) depth;
+  !ok
+
+let qcheck_tracer_wraparound =
+  QCheck.Test.make ~name:"ring wraparound keeps the newest events" ~count:100
+    QCheck.(pair (int_bound 200) (int_bound 5))
+    (fun (n, cap_exp) ->
+      let cap = 1 lsl cap_exp in
+      let t = Tracer.create ~capacity_per_track:cap () in
+      let lbl = Tracer.label "test.trace_counter" in
+      for i = 0 to n - 1 do
+        Tracer.counter t ~tid:0 lbl i
+      done;
+      let values =
+        List.filter_map
+          (fun e ->
+            match (str_field "ph" e, Json.member "args" e) with
+            | Some "C", Some args -> (
+                match Json.member "value" args with
+                | Some (Json.Int v) -> Some v
+                | _ -> None)
+            | _ -> None)
+          (trace_events (Tracer.to_json t))
+      in
+      let kept = min n cap in
+      values = List.init kept (fun i -> n - kept + i)
+      && Tracer.event_count t = kept
+      && Tracer.dropped_events t = max 0 (n - cap))
+
+let qcheck_tracer_balanced =
+  (* Arbitrary begin/end sequences — including unmatched ends, unclosed
+     begins, and tids beyond num_tracks — on a tiny ring, so wraparound
+     orphans are common. The export must still balance every track. *)
+  QCheck.Test.make ~name:"export nesting is balanced per track" ~count:200
+    QCheck.(list_of_size Gen.(int_bound 120) (triple (int_bound 20) bool (int_bound 2)))
+    (fun ops ->
+      let t = Tracer.create ~capacity_per_track:8 () in
+      let lbls =
+        [| Tracer.label "test.a"; Tracer.label "test.b"; Tracer.label "test.c" |]
+      in
+      List.iter
+        (fun (tid, is_begin, l) ->
+          if is_begin then Tracer.begin_ t ~tid lbls.(l)
+          else Tracer.end_ t ~tid lbls.(l))
+        ops;
+      balanced (trace_events (Tracer.to_json t)))
+
+let qcheck_tracer_roundtrip =
+  QCheck.Test.make ~name:"trace export survives to_string/of_string" ~count:50
+    QCheck.(list_of_size Gen.(int_bound 40) (pair (int_bound 3) (int_bound 2)))
+    (fun ops ->
+      let t = Tracer.create ~capacity_per_track:16 () in
+      let lbls =
+        [| Tracer.label "test.a"; Tracer.label "test.b"; Tracer.label "test.c" |]
+      in
+      List.iter
+        (fun (tid, l) ->
+          Tracer.begin_ t ~tid ~arg:l lbls.(l);
+          Tracer.end_ t ~tid lbls.(l))
+        ops;
+      let json = Tracer.to_json t in
+      match Json.of_string (Json.to_string json) with
+      | Ok v -> Json.equal v json
+      | Error e -> QCheck.Test.fail_reportf "parse error: %s" e)
+
+let test_tracer_write_dropped () =
+  let t = Tracer.create ~capacity_per_track:4 () in
+  let lbl = Tracer.label "test.spam" in
+  for i = 0 to 9 do
+    Tracer.counter t ~tid:0 lbl i
+  done;
+  Alcotest.(check int) "dropped" 6 (Tracer.dropped_events t);
+  let before = Metrics.snapshot Metrics.default in
+  let path = Filename.temp_file "trace" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Tracer.write t path;
+      let d = Metrics.diff ~earlier:before (Metrics.snapshot Metrics.default) in
+      Alcotest.(check int) "write folds the drop count into metrics" 6
+        (List.assoc "trace.dropped_events" d.Metrics.counters);
+      (* A second write reports only the delta — none here. *)
+      Tracer.write t path;
+      let d = Metrics.diff ~earlier:before (Metrics.snapshot Metrics.default) in
+      Alcotest.(check int) "no double counting across writes" 6
+        (List.assoc "trace.dropped_events" d.Metrics.counters);
+      let contents =
+        let ic = open_in path in
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      match Json.of_string contents with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail ("written trace does not parse: " ^ e))
+
+(* ------------------------------------------------------------------ *)
 (* Golden: the --profile flight table on a deterministic run            *)
 
 (* A 6-vertex weighted path 0 -1-> 1 -1-> 2 ... with one shortcut; SSSP
@@ -282,11 +414,127 @@ let test_profile_table_golden () =
              eager_buckets.drain_global                    6\n\
              eager_buckets.next_global_key                 7\n\
              engine.dequeue                                6\n\
+             engine.round                                  6\n\
              engine.sync_wait                              6\n\
              engine.traverse.push                          6\n\
              pool.episode                                  6\n"
           in
           Alcotest.(check string) "flight table" expected table))
+
+(* End to end: a 2-worker SSSP run with the tracer current produces a
+   loadable timeline — one track per worker, nested round slices with the
+   round index as payload, thread_name metadata. *)
+let test_tracer_sssp_export () =
+  with_tracer (fun t ->
+      Tracer.install_pool_hooks ();
+      Fun.protect
+        ~finally:(fun () -> Tracer.remove_pool_hooks ())
+        (fun () ->
+          Pool.with_pool ~num_workers:2 (fun pool ->
+              ignore
+                (Algorithms.Sssp_delta.run ~pool ~graph:(profile_graph ())
+                   ~schedule:Schedule.default ~source:0 ())));
+      let json = Tracer.to_json t in
+      (match Json.of_string (Json.to_string json) with
+      | Ok v ->
+          Alcotest.(check bool) "export round-trips" true (Json.equal v json)
+      | Error e -> Alcotest.fail ("export does not parse: " ^ e));
+      let events = trace_events json in
+      let data_tids =
+        List.sort_uniq compare
+          (List.filter_map
+             (fun e ->
+               match (str_field "ph" e, int_field "tid" e) with
+               | Some ("B" | "E" | "C"), Some tid -> Some tid
+               | _ -> None)
+             events)
+      in
+      Alcotest.(check (list int)) "one track per worker" [ 0; 1 ] data_tids;
+      Alcotest.(check bool) "nesting balanced" true (balanced events);
+      Alcotest.(check bool) "thread_name metadata present" true
+        (List.exists
+           (fun e ->
+             str_field "name" e = Some "thread_name"
+             && str_field "ph" e = Some "M")
+           events);
+      Alcotest.(check bool) "worker slices on the helper track" true
+        (List.exists
+           (fun e ->
+             str_field "name" e = Some "pool.worker" && int_field "tid" e = Some 1)
+           events);
+      Alcotest.(check bool) "round slices carry the round index" true
+        (List.exists
+           (fun e ->
+             str_field "name" e = Some "engine.round"
+             && str_field "ph" e = Some "B"
+             &&
+             match Json.member "args" e with
+             | Some args -> (
+                 match Json.member "n" args with
+                 | Some (Json.Int n) -> n >= 1
+                 | _ -> false)
+             | None -> false)
+           events))
+
+(* ------------------------------------------------------------------ *)
+(* Report_diff: the bench regression gate                               *)
+
+let read_json path =
+  let contents =
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  match Json.of_string contents with
+  | Ok v -> v
+  | Error e -> Alcotest.fail (path ^ ": " ^ e)
+
+let test_report_diff_golden () =
+  let old_ = read_json "golden/bench_diff_old.json" in
+  let new_ = read_json "golden/bench_diff_new.json" in
+  Alcotest.(check int) "git_commit alone never mismatches" 0
+    (List.length (Report_diff.provenance_mismatches ~old_ ~new_));
+  let d = Report_diff.compare_reports ~old_ ~new_ () in
+  Alcotest.(check int) "regressions" 2 d.Report_diff.regressions;
+  (* The exact delta table is pinned under test/golden/; regenerate with
+       dune exec bin/bench_diff.exe -- test/golden/bench_diff_old.json \
+         test/golden/bench_diff_new.json | tail -n +3 \
+         > test/golden/bench_diff_table.txt
+     after inspecting the change. *)
+  let expected =
+    let ic = open_in "golden/bench_diff_table.txt" in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  Alcotest.(check string) "delta table" expected
+    (Format.asprintf "%a" Report_diff.pp d)
+
+let test_report_diff_identical () =
+  let old_ = read_json "golden/bench_diff_old.json" in
+  let d = Report_diff.compare_reports ~old_ ~new_:old_ () in
+  Alcotest.(check int) "no regressions against itself" 0 d.Report_diff.regressions;
+  Alcotest.(check bool) "all deltas zero" true
+    (List.for_all (fun c -> c.Report_diff.delta_pct = 0.0) d.Report_diff.cells);
+  Alcotest.(check (list string)) "no warnings" [] d.Report_diff.warnings
+
+let test_report_diff_provenance () =
+  let old_ = read_json "golden/bench_diff_old.json" in
+  let other =
+    Json.Obj
+      [
+        ( "meta",
+          Json.Obj
+            [
+              ("hostname", Json.String "elsewhere"); ("workers", Json.Int 4);
+            ] );
+      ]
+  in
+  match Report_diff.provenance_mismatches ~old_ ~new_:other with
+  | [ ("hostname", "ci-runner", "elsewhere"); ("workers", "1", "4") ] -> ()
+  | other ->
+      Alcotest.failf "unexpected mismatch list (%d entries)" (List.length other)
 
 let () =
   Alcotest.run "observe"
@@ -319,5 +567,22 @@ let () =
             test_stats_sync_rendering;
           Alcotest.test_case "profile table golden" `Quick
             test_profile_table_golden;
+        ] );
+      ( "tracer",
+        [
+          Alcotest.test_case "sssp export" `Quick test_tracer_sssp_export;
+          Alcotest.test_case "write reports drops" `Quick
+            test_tracer_write_dropped;
+          QCheck_alcotest.to_alcotest qcheck_tracer_wraparound;
+          QCheck_alcotest.to_alcotest qcheck_tracer_balanced;
+          QCheck_alcotest.to_alcotest qcheck_tracer_roundtrip;
+        ] );
+      ( "report_diff",
+        [
+          Alcotest.test_case "golden delta table" `Quick test_report_diff_golden;
+          Alcotest.test_case "identical reports" `Quick
+            test_report_diff_identical;
+          Alcotest.test_case "provenance mismatch" `Quick
+            test_report_diff_provenance;
         ] );
     ]
