@@ -795,6 +795,48 @@ let delta_sweep () =
         ])
     (Lazy.force suite)
 
+let traverse_bench () =
+  Printf.printf
+    "Traversal core (lib/traverse): the same lazy wBFS forced through each\n\
+     edge-map direction. Push pays atomics on sparse frontiers, Pull sweeps\n\
+     the transpose without them, Hybrid picks per round via the degree-sum\n\
+     heuristic (pull_rounds counts its dense choices).\n\n";
+  let p = Lazy.force pool in
+  Printf.printf "%-10s %-10s %10s %8s %12s\n" "graph" "direction" "seconds"
+    "rounds" "pull_rounds";
+  List.iter
+    (fun w ->
+      let transpose = Csr.transpose w.directed in
+      List.iter
+        (fun traversal ->
+          let schedule =
+            { Schedule.default with strategy = Schedule.Lazy; traversal;
+              delta = w.best_delta }
+          in
+          let r, seconds =
+            time (fun () ->
+                Algorithms.Sssp_delta.run ~pool:p ~graph:w.directed ~transpose
+                  ~schedule ~source:0 ())
+          in
+          let label = Schedule.traversal_to_string traversal in
+          Printf.printf "%-10s %-10s %10.4f %8d %12d\n" w.wname label seconds
+            r.Algorithms.Sssp_delta.stats.Stats.rounds
+            r.Algorithms.Sssp_delta.stats.Stats.pull_rounds;
+          Report.row "traverse"
+            [
+              ("graph", Json.String w.wname);
+              ("direction", Json.String label);
+              ("seconds", Json.Float seconds);
+              ("rounds", Json.Int r.Algorithms.Sssp_delta.stats.Stats.rounds);
+              ( "pull_rounds",
+                Json.Int r.Algorithms.Sssp_delta.stats.Stats.pull_rounds );
+            ])
+        [ Schedule.Sparse_push; Schedule.Dense_pull; Schedule.Hybrid ])
+    (List.filter
+       (fun w -> w.wname = "social-l" || w.wname = "road-l")
+       (Lazy.force suite));
+  print_newline ()
+
 let autotune_bench () =
   Printf.printf
     "Autotuning (paper §5.3/§6.2: schedules within ~5%% of hand-tuned found\n\
@@ -1229,6 +1271,7 @@ let () =
   section "tab7" "Table 7: eager vs lazy bucket updates" tab7;
   section "fig11" "Figure 11: scalability" fig11;
   section "delta" "Section 6.2: delta selection" delta_sweep;
+  section "traverse" "Traversal kernel: push vs pull vs hybrid (SSSP)" traverse_bench;
   section "autotune" "Section 6.2: autotuning" autotune_bench;
   section "ablate" "Ablations: fusion threshold, bucket window, widest path" ablation;
   section "dslperf" "DSL interpretation overhead vs native API" dsl_overhead;

@@ -1,6 +1,8 @@
 module Atomic_array = Parallel.Atomic_array
-module Pool = Parallel.Pool
 module Update_buffer = Bucketing.Update_buffer
+module Vertex_subset = Frontier.Vertex_subset
+module Edge_map = Traverse.Edge_map
+module Scratch = Traverse.Scratch
 
 type result = {
   dist : int array;
@@ -11,30 +13,24 @@ type result = {
 let run ~pool ~graph ~source () =
   let n = Graphs.Csr.num_vertices graph in
   if source < 0 || source >= n then invalid_arg "Bellman_ford.run: source out of range";
-  let workers = Pool.num_workers pool in
   let dist = Atomic_array.make n Bucketing.Bucket_order.null_priority in
   Atomic_array.set dist source 0;
-  let buffer = Update_buffer.create ~num_vertices:n ~num_workers:workers () in
-  let frontier = ref [| source |] in
+  let scratch = Scratch.create ~pool ~graph in
+  let buffer = Scratch.buffer scratch in
+  let relax ctx ~src ~dst ~weight =
+    if Atomic_array.fetch_min dist dst (Atomic_array.get dist src + weight)
+    then ignore (Update_buffer.try_add buffer ~tid:ctx.Edge_map.tid dst)
+  in
+  let frontier = ref (Vertex_subset.singleton ~num_vertices:n source) in
   let iterations = ref 0 in
-  let edge_counts = Array.make workers 0 in
-  while Array.length !frontier > 0 do
+  while not (Vertex_subset.is_empty !frontier) do
     incr iterations;
-    let members = !frontier in
-    Pool.parallel_for_ranges_tid pool ~chunk:64 ~lo:0 ~hi:(Array.length members)
-      (fun ~tid ~lo ~hi ->
-        for i = lo to hi - 1 do
-          let u = members.(i) in
-          let du = Atomic_array.get dist u in
-          edge_counts.(tid) <- edge_counts.(tid) + Graphs.Csr.out_degree graph u;
-          Graphs.Csr.iter_out graph u (fun v w ->
-              if Atomic_array.fetch_min dist v (du + w) then
-                ignore (Update_buffer.try_add buffer ~tid v))
-        done);
-    frontier := Update_buffer.drain_to_array buffer ~pool
+    ignore
+      (Edge_map.run scratch ~graph ~direction:Edge_map.Push !frontier ~f:relax);
+    frontier := Scratch.drain_frontier scratch
   done;
   {
     dist = Atomic_array.to_array dist;
     iterations = !iterations;
-    edges_relaxed = Array.fold_left ( + ) 0 edge_counts;
+    edges_relaxed = Scratch.edges_traversed scratch;
   }

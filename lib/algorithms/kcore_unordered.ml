@@ -1,23 +1,44 @@
-module Pool = Parallel.Pool
+module Vertex_subset = Frontier.Vertex_subset
+module Edge_map = Traverse.Edge_map
+module Scratch = Traverse.Scratch
 
 type result = {
   coreness : int array;
   iterations : int;
 }
 
-(* H-index of the neighbor estimates of [v]: the largest h such that at
-   least h neighbors have estimate >= h. Computed by counting estimates
-   into a histogram truncated at the current estimate of [v]. *)
-let h_index graph estimates counts v =
-  let cap = estimates.(v) in
-  if cap = 0 then 0
-  else begin
-    for i = 0 to cap do
+(* H-index fixpoint: each sweep recomputes, for every vertex [v], the
+   largest h such that at least h neighbors have estimate >= h, by counting
+   estimates into a histogram truncated at [v]'s current estimate. The
+   sweep runs as a Pull edge-map over the full frontier (no gating bitmap,
+   pull ownership, no atomics): [vertex_begin] resets the worker's
+   histogram, the edge function bins one neighbor estimate, [vertex_end]
+   scans the histogram down. *)
+let run ~pool ~graph () =
+  let n = Graphs.Csr.num_vertices graph in
+  let workers = Parallel.Pool.num_workers pool in
+  let estimates = Graphs.Csr.out_degrees graph in
+  let next_estimates = Array.make n 0 in
+  let max_degree = Array.fold_left max 0 estimates in
+  (* Per-worker histogram scratch so sweeps can run in parallel. *)
+  let hist = Array.init workers (fun _ -> Array.make (max_degree + 1) 0) in
+  let changed = Array.make workers false in
+  let scratch = Scratch.create ~pool ~graph in
+  let everyone = Vertex_subset.full ~num_vertices:n in
+  let vertex_begin ctx v =
+    let counts = hist.(ctx.Edge_map.tid) in
+    for i = 0 to estimates.(v) do
       counts.(i) <- 0
-    done;
-    Graphs.Csr.iter_out graph v (fun u _w ->
-        let e = min estimates.(u) cap in
-        counts.(e) <- counts.(e) + 1);
+    done
+  in
+  let count ctx ~src ~dst ~weight:_ =
+    let counts = hist.(ctx.Edge_map.tid) in
+    let e = min estimates.(src) estimates.(dst) in
+    counts.(e) <- counts.(e) + 1
+  in
+  let vertex_end ctx v =
+    let counts = hist.(ctx.Edge_map.tid) in
+    let cap = estimates.(v) in
     let rec scan h cumulative =
       if h <= 0 then 0
       else begin
@@ -25,33 +46,23 @@ let h_index graph estimates counts v =
         if cumulative >= h then h else scan (h - 1) cumulative
       end
     in
-    scan cap 0
-  end
-
-let run ~pool ~graph () =
-  let n = Graphs.Csr.num_vertices graph in
-  let workers = Pool.num_workers pool in
-  let estimates = Graphs.Csr.out_degrees graph in
-  let next_estimates = Array.make n 0 in
-  let max_degree = Array.fold_left max 0 estimates in
-  (* Per-worker histogram scratch so sweeps can run in parallel. *)
-  let scratch = Array.init workers (fun _ -> Array.make (max_degree + 1) 0) in
-  let changed = Array.make workers false in
+    let h = scan cap 0 in
+    next_estimates.(v) <- h;
+    if h <> cap then changed.(ctx.Edge_map.tid) <- true
+  in
   let iterations = ref 0 in
   let continue = ref true in
   while !continue do
     incr iterations;
     Array.fill changed 0 workers false;
-    (* The h-index sweep is near-uniform per vertex: guided chunks touch the
-       shared cursor O(workers log n) times instead of O(n / chunk). *)
-    Pool.parallel_for_ranges_tid pool ~sched:Pool.Guided ~chunk:256 ~lo:0 ~hi:n
-      (fun ~tid ~lo ~hi ->
-        let counts = scratch.(tid) in
-        for v = lo to hi - 1 do
-          let h = h_index graph estimates counts v in
-          next_estimates.(v) <- h;
-          if h <> estimates.(v) then changed.(tid) <- true
-        done);
+    (* Passing the graph itself as the "transpose" makes the pull sweep
+       enumerate each destination's out-neighbors, which is exactly the
+       neighborhood the h-index needs. Chunk 256: the sweep is
+       near-uniform per vertex, so guided chunks touch the shared cursor
+       O(workers log n) times instead of O(n / chunk). *)
+    ignore
+      (Edge_map.run scratch ~graph ~transpose:graph ~vertex_begin ~vertex_end
+         ~chunk:256 ~direction:Edge_map.Pull everyone ~f:count);
     Array.blit next_estimates 0 estimates 0 n;
     continue := Array.exists Fun.id changed
   done;

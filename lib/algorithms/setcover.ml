@@ -3,6 +3,9 @@ module Pool = Parallel.Pool
 module Bucket_order = Bucketing.Bucket_order
 module Pq = Ordered.Priority_queue
 module Int_vec = Support.Int_vec
+module Vertex_subset = Frontier.Vertex_subset
+module Edge_map = Traverse.Edge_map
+module Scratch = Traverse.Scratch
 
 type result = {
   in_cover : bool array;
@@ -22,10 +25,6 @@ let iter_set graph s f =
   f s;
   Graphs.Csr.iter_out graph s (fun v _w -> f v)
 
-let uncovered_degree graph covered s =
-  let d = ref 0 in
-  iter_set graph s (fun e -> if Atomic_array.get covered e = 0 then incr d);
-  !d
 
 (* Cost-per-element bucket value: floor(log2 of the scaled coverage/cost
    ratio). With unit costs this degenerates to floor(log2 degree), the
@@ -74,89 +73,126 @@ let run ~pool ~graph ~schedule ?costs () =
   let rounds = ref 0 in
   let candidates = Array.init workers (fun _ -> Int_vec.create ()) in
   let covered_delta = Array.make workers 0 in
+  let scratch = Scratch.create ~pool ~graph in
+  (* The kernel's edge function sees only out-edges; the set of [s] also
+     covers [s] itself, so [vertex_begin] accounts for the self element.
+     Per-vertex accumulators live in padded per-worker slots (one sweep's
+     vertex is processed start-to-finish by one worker). *)
+  let stride = 8 in
+  let uncovered_count = Array.make (workers * stride) 0 in
+  let claimed = Array.make (workers * stride) 0 in
+  let won = Array.make (workers * stride) 0 in
+  let current_value = ref 0 in
+  (* Phase 1 hooks: validate each extracted set against its true uncovered
+     degree; refile sets whose stored priority went stale, drop fully
+     covered sets, keep exact matches as this round's candidates. *)
+  let validate_begin ctx s =
+    let slot = ctx.Pq.tid * stride in
+    uncovered_count.(slot) <- (if Atomic_array.get covered s = 0 then 1 else 0)
+  in
+  let validate_edge ctx ~src:_ ~dst ~weight:_ =
+    if Atomic_array.get covered dst = 0 then begin
+      let slot = ctx.Pq.tid * stride in
+      uncovered_count.(slot) <- uncovered_count.(slot) + 1
+    end
+  in
+  let validate_end ctx s =
+    let d = uncovered_count.(ctx.Pq.tid * stride) in
+    if d = 0 then Atomic_array.set priorities s Bucket_order.null_priority
+    else begin
+      let p = bucket_value ~cost:(cost_of s) d in
+      if p = !current_value then Int_vec.push candidates.(ctx.Pq.tid) s
+      else Pq.set_priority pq ctx s p
+    end
+  in
+  (* Phase 2 hooks: nearly-independent-set reservation — each uncovered
+     element remembers the smallest candidate id claiming it. *)
+  let reserve_begin _ctx s =
+    if Atomic_array.get covered s = 0 then
+      ignore (Atomic_array.fetch_min reservations s s)
+  in
+  let reserve_edge _ctx ~src ~dst ~weight:_ =
+    if Atomic_array.get covered dst = 0 then
+      ignore (Atomic_array.fetch_min reservations dst src)
+  in
+  (* Phase 3 hooks: candidates that won at least 3/4 of their claimed
+     elements join the cover; the rest release their reservations and are
+     refiled by their next extraction. The commit/release passes re-iterate
+     the winner's own set sequentially — per-set follow-up work, not a
+     frontier sweep. *)
+  let commit_begin ctx s =
+    let slot = ctx.Pq.tid * stride in
+    claimed.(slot) <- 0;
+    won.(slot) <- 0;
+    if Atomic_array.get covered s = 0 then begin
+      claimed.(slot) <- 1;
+      if Atomic_array.get reservations s = s then won.(slot) <- 1
+    end
+  in
+  let commit_edge ctx ~src ~dst ~weight:_ =
+    if Atomic_array.get covered dst = 0 then begin
+      let slot = ctx.Pq.tid * stride in
+      claimed.(slot) <- claimed.(slot) + 1;
+      if Atomic_array.get reservations dst = src then won.(slot) <- won.(slot) + 1
+    end
+  in
+  let commit_end ctx s =
+    let slot = ctx.Pq.tid * stride in
+    let claimed = claimed.(slot) and won = won.(slot) in
+    if won > 0 && won * 4 >= claimed * 3 then begin
+      in_cover.(s) <- true;
+      Atomic_array.set priorities s Bucket_order.null_priority;
+      let actually_covered = ref 0 in
+      iter_set graph s (fun e ->
+          if
+            Atomic_array.get reservations e = s
+            && Atomic_array.get covered e = 0
+          then begin
+            Atomic_array.set covered e 1;
+            incr actually_covered
+          end);
+      covered_delta.(ctx.Pq.tid) <- covered_delta.(ctx.Pq.tid) + !actually_covered
+    end
+    else begin
+      (* Release this candidate's reservations and refile it. *)
+      iter_set graph s (fun e ->
+          if Atomic_array.get reservations e = s then
+            Atomic_array.set reservations e max_int);
+      let remaining = max 0 (claimed - won) in
+      if remaining = 0 then
+        (* Everything it claimed is being taken by winners; it will be
+           dropped or refiled at its next extraction. *)
+        Pq.set_priority pq ctx s !current_value
+      else
+        Pq.set_priority pq ctx s (bucket_value ~cost:(cost_of s) (max 1 remaining))
+    end
+  in
   while !uncovered > 0 && not (Pq.finished pq) do
     incr rounds;
     let frontier = Pq.dequeue_ready_set pq in
-    let members = Frontier.Vertex_subset.sparse_members frontier in
-    let current_value = Pq.current_priority pq in
-    (* Phase 1: validate each extracted set against its true uncovered
-       degree; refile sets whose stored priority went stale, drop fully
-       covered sets, keep exact matches as this round's candidates. *)
+    current_value := Pq.current_priority pq;
     Array.iter Int_vec.clear candidates;
-    Pool.parallel_for_ranges_tid pool ~chunk:64 ~lo:0 ~hi:(Array.length members)
-      (fun ~tid ~lo ~hi ->
-        for i = lo to hi - 1 do
-          let s = members.(i) in
-          if not in_cover.(s) then begin
-            let d = uncovered_degree graph covered s in
-            if d = 0 then Atomic_array.set priorities s Bucket_order.null_priority
-            else begin
-              let p = bucket_value ~cost:(cost_of s) d in
-              if p = current_value then Int_vec.push candidates.(tid) s
-              else Pq.set_priority pq { Pq.tid; use_atomics = true } s p
-            end
-          end
-        done);
+    ignore
+      (Edge_map.run scratch ~graph ~filter:(fun s -> not in_cover.(s))
+         ~vertex_begin:validate_begin ~vertex_end:validate_end
+         ~direction:Edge_map.Push frontier ~f:validate_edge);
     let round_candidates =
       let merged = Int_vec.create () in
       Array.iter (fun vec -> Int_vec.append merged vec) candidates;
       Int_vec.to_array merged
     in
-    let num_candidates = Array.length round_candidates in
-    if num_candidates > 0 then begin
-      (* Phase 2: nearly-independent-set reservation — each uncovered
-         element remembers the smallest candidate id claiming it. *)
-      Pool.parallel_for_ranges pool ~chunk:16 ~lo:0 ~hi:num_candidates
-        (fun ~lo ~hi ->
-          for i = lo to hi - 1 do
-            let s = round_candidates.(i) in
-            iter_set graph s (fun e ->
-                if Atomic_array.get covered e = 0 then
-                  ignore (Atomic_array.fetch_min reservations e s))
-          done);
-      (* Phase 3: candidates that won at least 3/4 of their claimed elements
-         join the cover; the rest release their reservations and are
-         refiled by their next extraction. *)
+    if Array.length round_candidates > 0 then begin
+      let candidate_set =
+        Vertex_subset.unsafe_of_array ~num_vertices:n round_candidates
+      in
+      ignore
+        (Edge_map.run scratch ~graph ~vertex_begin:reserve_begin ~chunk:16
+           ~direction:Edge_map.Push candidate_set ~f:reserve_edge);
       Array.fill covered_delta 0 workers 0;
-      Pool.parallel_for_ranges_tid pool ~chunk:16 ~lo:0 ~hi:num_candidates
-        (fun ~tid ~lo ~hi ->
-          for i = lo to hi - 1 do
-          let s = round_candidates.(i) in
-          let claimed = ref 0 and won = ref 0 in
-          iter_set graph s (fun e ->
-              if Atomic_array.get covered e = 0 then begin
-                incr claimed;
-                if Atomic_array.get reservations e = s then incr won
-              end);
-          let ctx = { Pq.tid; use_atomics = true } in
-          if !won > 0 && !won * 4 >= !claimed * 3 then begin
-            in_cover.(s) <- true;
-            Atomic_array.set priorities s Bucket_order.null_priority;
-            let actually_covered = ref 0 in
-            iter_set graph s (fun e ->
-                if
-                  Atomic_array.get reservations e = s
-                  && Atomic_array.get covered e = 0
-                then begin
-                  Atomic_array.set covered e 1;
-                  incr actually_covered
-                end);
-            covered_delta.(tid) <- covered_delta.(tid) + !actually_covered
-          end
-          else begin
-            (* Release this candidate's reservations and refile it. *)
-            iter_set graph s (fun e ->
-                if Atomic_array.get reservations e = s then
-                  Atomic_array.set reservations e max_int);
-            let remaining = max 0 (!claimed - !won) in
-            if remaining = 0 then
-              (* Everything it claimed is being taken by winners; it will be
-                 dropped or refiled at its next extraction. *)
-              Pq.set_priority pq ctx s current_value
-            else
-              Pq.set_priority pq ctx s (bucket_value ~cost:(cost_of s) (max 1 remaining))
-          end
-          done);
+      ignore
+        (Edge_map.run scratch ~graph ~vertex_begin:commit_begin
+           ~vertex_end:commit_end ~chunk:16 ~direction:Edge_map.Push
+           candidate_set ~f:commit_edge);
       uncovered := !uncovered - Array.fold_left ( + ) 0 covered_delta
     end
   done;

@@ -73,6 +73,10 @@ let search ~pool ~graph ~delta ~source ~heuristic ~target () =
         let dt = Atomic_array.get dist t in
         dt <> Bucket_order.null_priority && key * delta >= dt + heuristic t
   in
+  (* Asynchronous per-item processor, not a frontier sweep: Galois has no
+     bulk-synchronous rounds, so this is the one baseline loop that cannot
+     run through [Traverse.Edge_map] (items pop off relaxed multi-queues
+     one at a time, mid-flight). *)
   let process tid v =
     processed.(tid) <- processed.(tid) + 1;
     let du = Atomic_array.get dist v in

@@ -5,23 +5,17 @@ module Bucket_order = Bucketing.Bucket_order
 module Lazy_buckets = Bucketing.Lazy_buckets
 module Update_buffer = Bucketing.Update_buffer
 module Histogram = Bucketing.Histogram
+module Vertex_subset = Frontier.Vertex_subset
+module Edge_map = Traverse.Edge_map
+module Scratch = Traverse.Scratch
 
 type sssp_result = {
   dist : int array;
   rounds : int;
 }
 
-(* Julienne's direction-selection preamble: an out-degree sum over the
-   frontier every round (the paper measures this as a significant share of
-   Julienne's extra instructions on SSSP). The result feeds a threshold test
-   whose outcome we record to keep the computation observable. *)
-let degree_sum pool graph members =
-  Pool.parallel_for_reduce pool ~chunk:128 ~lo:0 ~hi:(Array.length members)
-    ~neutral:0 ~combine:( + ) (fun i -> Csr.out_degree graph members.(i))
-
 let sssp_engine ~pool ~graph ~delta ~source ~stop () =
   let n = Csr.num_vertices graph in
-  let workers = Pool.num_workers pool in
   let dist = Atomic_array.make n Bucket_order.null_priority in
   Atomic_array.set dist source 0;
   (* Closure-based priority interface: a function call per computation. *)
@@ -34,7 +28,12 @@ let sssp_engine ~pool ~graph ~delta ~source ~stop () =
       ~source:(Lazy_buckets.Closure bucket_of) ()
   in
   Lazy_buckets.insert buckets source;
-  let buffer = Update_buffer.create ~num_vertices:n ~num_workers:workers () in
+  let scratch = Scratch.create ~pool ~graph in
+  let buffer = Scratch.buffer scratch in
+  let relax ctx ~src ~dst ~weight =
+    if Atomic_array.fetch_min dist dst (Atomic_array.get dist src + weight)
+    then ignore (Update_buffer.try_add buffer ~tid:ctx.Edge_map.tid dst)
+  in
   let rounds = ref 0 in
   let dense_rounds = ref 0 in
   let finished = ref false in
@@ -48,17 +47,16 @@ let sssp_engine ~pool ~graph ~delta ~source ~stop () =
              rounds are addressable in the Perfetto view. *)
           Observe.Span.with_ ~arg:(!rounds + 1) "julienne.round" (fun () ->
               incr rounds;
-              let sum = degree_sum pool graph members in
-              if sum > Csr.num_edges graph / 20 then incr dense_rounds;
-              Pool.parallel_for_ranges_tid pool ~chunk:64 ~lo:0
-                ~hi:(Array.length members) (fun ~tid ~lo ~hi ->
-                  for i = lo to hi - 1 do
-                    let u = members.(i) in
-                    let du = Atomic_array.get dist u in
-                    Csr.iter_out graph u (fun v w ->
-                        if Atomic_array.fetch_min dist v (du + w) then
-                          ignore (Update_buffer.try_add buffer ~tid v))
-                  done);
+              let frontier = Vertex_subset.unsafe_of_array ~num_vertices:n members in
+              (* Julienne's direction-selection preamble: an out-degree sum
+                 over the frontier every round (the paper measures this as a
+                 significant share of Julienne's extra instructions on SSSP).
+                 The threshold outcome is recorded to keep it observable. *)
+              let sum = Edge_map.degree_sum scratch ~graph frontier in
+              if sum > Scratch.dense_threshold scratch then incr dense_rounds;
+              ignore
+                (Edge_map.run scratch ~graph ~direction:Edge_map.Push frontier
+                   ~f:relax);
               Array.iter
                 (fun v -> Lazy_buckets.insert buckets v)
                 (Update_buffer.drain_to_array buffer ~pool))
@@ -97,6 +95,10 @@ let kcore ~pool ~graph () =
   in
   Lazy_buckets.insert_all buckets;
   let histogram = Histogram.create ~num_workers:workers () in
+  let traverse_scratch = Scratch.create ~pool ~graph in
+  let record ctx ~src:_ ~dst ~weight:_ =
+    Histogram.record histogram ~tid:ctx.Edge_map.tid dst
+  in
   let scratch = Array.make n 0 in
   let rounds = ref 0 in
   let finished = ref false in
@@ -106,13 +108,11 @@ let kcore ~pool ~graph () =
     | Some (k, members) ->
         Observe.Span.with_ ~arg:(!rounds + 1) "julienne.round" (fun () ->
             incr rounds;
-            ignore (degree_sum pool graph members);
-            Pool.parallel_for_ranges_tid pool ~chunk:64 ~lo:0
-              ~hi:(Array.length members) (fun ~tid ~lo ~hi ->
-                for i = lo to hi - 1 do
-                  Csr.iter_out graph members.(i) (fun v _w ->
-                      Histogram.record histogram ~tid v)
-                done);
+            let frontier = Vertex_subset.unsafe_of_array ~num_vertices:n members in
+            ignore (Edge_map.degree_sum traverse_scratch ~graph frontier);
+            ignore
+              (Edge_map.run traverse_scratch ~graph ~direction:Edge_map.Push
+                 frontier ~f:record);
             Histogram.reduce histogram ~scratch (fun ~vertex ~count ->
                 let d = Atomic_array.get degrees vertex in
                 if d > k then begin

@@ -3,7 +3,9 @@ module Atomic_array = Parallel.Atomic_array
 module Csr = Graphs.Csr
 module Bucket_order = Bucketing.Bucket_order
 module Update_buffer = Bucketing.Update_buffer
-module Bitset = Support.Bitset
+module Vertex_subset = Frontier.Vertex_subset
+module Edge_map = Traverse.Edge_map
+module Scratch = Traverse.Scratch
 
 type result = {
   dist : int array;
@@ -11,62 +13,44 @@ type result = {
   dense_iterations : int;
 }
 
+(* Ligra's direction-switching Bellman-Ford: one Hybrid edge-map per
+   iteration. The kernel owns the degree-sum heuristic, the dense gating
+   bitmap (reused from the scratch across iterations rather than
+   reallocated per dense sweep), and the atomics policy: the relax
+   function just branches on [ctx.use_atomics]. *)
 let sssp ~pool ~graph ~transpose ~source () =
   let n = Csr.num_vertices graph in
-  let m = Csr.num_edges graph in
-  let workers = Pool.num_workers pool in
   let dist = Atomic_array.make n Bucket_order.null_priority in
   Atomic_array.set dist source 0;
-  let buffer = Update_buffer.create ~num_vertices:n ~num_workers:workers () in
-  let frontier = ref [| source |] in
+  let scratch = Scratch.create ~pool ~graph in
+  let buffer = Scratch.buffer scratch in
+  let relax ctx ~src ~dst ~weight =
+    let ds = Atomic_array.get dist src in
+    if ds <> Bucket_order.null_priority then begin
+      let nd = ds + weight in
+      if ctx.Edge_map.use_atomics then begin
+        if Atomic_array.fetch_min dist dst nd then
+          ignore (Update_buffer.try_add buffer ~tid:ctx.Edge_map.tid dst)
+      end
+      else if nd < Atomic_array.get dist dst then begin
+        (* Pull ownership: this worker is the only writer of [dst]. *)
+        Atomic_array.set dist dst nd;
+        ignore (Update_buffer.try_add buffer ~tid:ctx.Edge_map.tid dst)
+      end
+    end
+  in
+  let frontier = ref (Vertex_subset.singleton ~num_vertices:n source) in
   let iterations = ref 0 and dense_iterations = ref 0 in
-  while Array.length !frontier > 0 do
+  while not (Vertex_subset.is_empty !frontier) do
     Observe.Span.with_ ~arg:(!iterations + 1) "ligra.iteration" (fun () ->
         incr iterations;
-        let members = !frontier in
-        let degree_sum =
-          Pool.parallel_for_reduce pool ~chunk:128 ~lo:0
-            ~hi:(Array.length members) ~neutral:0 ~combine:( + ) (fun i ->
-              Csr.out_degree graph members.(i))
-        in
-        if degree_sum + Array.length members > m / 20 then begin
-          (* Dense pull sweep: every vertex scans its in-neighbors against the
-             frontier bitmap; no atomics on the destination. *)
-          incr dense_iterations;
-          let flags = Bitset.create n in
-          Array.iter (Bitset.add flags) members;
-          Pool.parallel_for_ranges_tid pool ~sched:Pool.Guided ~chunk:256 ~lo:0
-            ~hi:n (fun ~tid ~lo ~hi ->
-              for d = lo to hi - 1 do
-                let improved = ref false in
-                let best = ref (Atomic_array.get dist d) in
-                Csr.iter_out transpose d (fun s w ->
-                    if Bitset.mem flags s then begin
-                      let ds = Atomic_array.get dist s in
-                      if ds <> Bucket_order.null_priority && ds + w < !best
-                      then begin
-                        best := ds + w;
-                        improved := true
-                      end
-                    end);
-                if !improved then begin
-                  Atomic_array.set dist d !best;
-                  ignore (Update_buffer.try_add buffer ~tid d)
-                end
-              done)
-        end
-        else
-          (* Sparse push sweep. *)
-          Pool.parallel_for_ranges_tid pool ~chunk:64 ~lo:0
-            ~hi:(Array.length members) (fun ~tid ~lo ~hi ->
-              for i = lo to hi - 1 do
-                let u = members.(i) in
-                let du = Atomic_array.get dist u in
-                Csr.iter_out graph u (fun v w ->
-                    if Atomic_array.fetch_min dist v (du + w) then
-                      ignore (Update_buffer.try_add buffer ~tid v))
-              done);
-        frontier := Update_buffer.drain_to_array buffer ~pool)
+        (match
+           Edge_map.run scratch ~graph ~transpose ~direction:Edge_map.Hybrid
+             !frontier ~f:relax
+         with
+        | Edge_map.Ran_pull -> incr dense_iterations
+        | Edge_map.Ran_push -> ());
+        frontier := Scratch.drain_frontier scratch)
   done;
   {
     dist = Atomic_array.to_array dist;

@@ -19,6 +19,9 @@ let ilog2 d =
   let rec go acc v = if v <= 1 then acc else go (acc + 1) (v lsr 1) in
   go 0 d
 
+(* Sequential membership iteration over one set (self + out-neighbors),
+   used by the greedy winner-commit phase — order-dependent per-set work,
+   not a frontier sweep, so it stays off [Traverse.Edge_map]. *)
 let iter_set graph s f =
   f s;
   Csr.iter_out graph s (fun v _w -> f v)

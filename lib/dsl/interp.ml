@@ -6,6 +6,8 @@ module Bucket_order = Bucketing.Bucket_order
 module Pq = Ordered.Priority_queue
 module Engine = Ordered.Engine
 module Schedule = Ordered.Schedule
+module Edge_map = Traverse.Edge_map
+module Scratch = Traverse.Scratch
 
 type value =
   | V_unit
@@ -40,6 +42,9 @@ type state = {
   mutable stats : Ordered.Stats.t option;
   mutable transpose : Csr.t option;
   mutable printed : string list;
+  (* Traversal scratch, cached per graph (physical equality): the edgeset
+     ops of an unordered loop reuse one scratch across all iterations. *)
+  mutable scratch : (Csr.t * Scratch.t) option;
 }
 
 type frame = {
@@ -48,6 +53,14 @@ type frame = {
 }
 
 let sequential_ctx = { Pq.tid = 0; use_atomics = true }
+
+let scratch_for state graph =
+  match state.scratch with
+  | Some (g, s) when g == graph -> s
+  | _ ->
+      let s = Scratch.create ~pool:state.pool ~graph in
+      state.scratch <- Some (graph, s);
+      s
 
 let describe_value = function
   | V_unit -> "unit"
@@ -320,14 +333,9 @@ and apply_update_priority state pos recv udf_name =
     | _ -> assert false
   in
   let edge_fn = compile_udf state pos udf_name in
-  let members = Vertex_subset.sparse_members subset in
-  Pool.parallel_for_ranges_tid state.pool ~chunk:64 ~lo:0
-    ~hi:(Array.length members) (fun ~tid ~lo ~hi ->
-      let ctx = { Pq.tid; use_atomics = true } in
-      for i = lo to hi - 1 do
-        let u = members.(i) in
-        Csr.iter_out graph u (fun dst weight -> edge_fn ctx ~src:u ~dst ~weight)
-      done)
+  ignore
+    (Edge_map.run (scratch_for state graph) ~graph ~direction:Edge_map.Push
+       subset ~f:edge_fn)
 
 (* The unordered GraphIt operator: apply the user function to the out-edges
    of a subset and return the set of destinations whose tracked vector
@@ -340,27 +348,20 @@ and apply_modified state frame pos recv udf_name vec_name =
     | _ -> assert false
   in
   let tracked = as_vector pos (lookup state frame pos vec_name) in
-  let n = Atomic_array.length tracked in
-  let workers = Pool.num_workers state.pool in
-  let buffer = Bucketing.Update_buffer.create ~num_vertices:n ~num_workers:workers () in
+  let scratch = scratch_for state graph in
+  let buffer = Scratch.buffer scratch in
   let edge_fn = compile_udf state pos udf_name in
-  let members = Vertex_subset.sparse_members subset in
   (* Snapshot-free change tracking: compare the tracked cell around the
      user-function application (reductions are atomic, so a change by any
      worker is observed by at least the worker that made it). *)
-  Pool.parallel_for_ranges_tid state.pool ~chunk:64 ~lo:0
-    ~hi:(Array.length members) (fun ~tid ~lo ~hi ->
-      let ctx = { Pq.tid; use_atomics = true } in
-      for i = lo to hi - 1 do
-        let u = members.(i) in
-        Csr.iter_out graph u (fun dst weight ->
-            let before = Atomic_array.get tracked dst in
-            edge_fn ctx ~src:u ~dst ~weight;
-            if Atomic_array.get tracked dst <> before then
-              ignore (Bucketing.Update_buffer.try_add buffer ~tid dst))
-      done);
-  let next = Bucketing.Update_buffer.drain_to_array buffer ~pool:state.pool in
-  V_vertexset (Vertex_subset.unsafe_of_array ~num_vertices:n next)
+  let f ctx ~src ~dst ~weight =
+    let before = Atomic_array.get tracked dst in
+    edge_fn ctx ~src ~dst ~weight;
+    if Atomic_array.get tracked dst <> before then
+      ignore (Bucketing.Update_buffer.try_add buffer ~tid:ctx.Pq.tid dst)
+  in
+  ignore (Edge_map.run scratch ~graph ~direction:Edge_map.Push subset ~f);
+  V_vertexset (Scratch.drain_frontier scratch)
 
 (* Compile a user function to an engine edge function: a closure that binds
    the parameters and interprets the body. *)
@@ -570,6 +571,7 @@ let run lowered ~pool ~argv ?(externs = []) () =
       stats = None;
       transpose = None;
       printed = [];
+      scratch = None;
     }
   in
   List.iter (fun (name, fn) -> Hashtbl.replace state.externs name fn) externs;

@@ -27,11 +27,25 @@ let of_vec ~num_vertices vec = of_array ~num_vertices (Int_vec.to_array vec)
 
 let unsafe_of_array ~num_vertices ids =
   { n = num_vertices; sparse = Some ids; dense = None; card = Array.length ids }
-let singleton ~num_vertices v = of_array ~num_vertices [| v |]
-let empty ~num_vertices = of_array ~num_vertices [||]
+
+(* The fixed-shape constructors are correct by construction: a range check
+   is all [singleton] needs, and [empty]/[full] need nothing, so none of
+   them pay [of_array]'s O(n) duplicate-check bitset. *)
+let singleton ~num_vertices v =
+  if v < 0 || v >= num_vertices then
+    invalid_arg "Vertex_subset.singleton: vertex out of range";
+  { n = num_vertices; sparse = Some [| v |]; dense = None; card = 1 }
+
+let empty ~num_vertices =
+  { n = num_vertices; sparse = Some [||]; dense = None; card = 0 }
 
 let full ~num_vertices =
-  of_array ~num_vertices (Array.init num_vertices (fun i -> i))
+  {
+    n = num_vertices;
+    sparse = Some (Array.init num_vertices (fun i -> i));
+    dense = None;
+    card = num_vertices;
+  }
 
 let num_vertices t = t.n
 let cardinal t = t.card
@@ -81,6 +95,9 @@ let to_sorted_array t =
 
 let sparse_members t = sparsify t
 let dense_flags t = densify t
+
+let fill_flags t flags = iter (Bitset.add flags) t
+let clear_flags t flags = iter (Bitset.remove flags) t
 
 let out_degree_sum graph t =
   let total = ref 0 in

@@ -24,13 +24,16 @@ val of_vec : num_vertices:int -> Support.Int_vec.t -> t
     of tiny frontiers. *)
 val unsafe_of_array : num_vertices:int -> int array -> t
 
-(** [singleton ~num_vertices v] contains exactly [v]. *)
+(** [singleton ~num_vertices v] contains exactly [v]. Range-checks [v] but
+    pays none of [of_array]'s O(n) validation. *)
 val singleton : num_vertices:int -> int -> t
 
-(** [empty ~num_vertices] contains nothing. *)
+(** [empty ~num_vertices] contains nothing. O(1). *)
 val empty : num_vertices:int -> t
 
-(** [full ~num_vertices] contains every vertex. *)
+(** [full ~num_vertices] contains every vertex. Builds the identity member
+    array without the O(n) duplicate check (it is unique by
+    construction). *)
 val full : num_vertices:int -> t
 
 (** [num_vertices t] is the universe size. *)
@@ -59,6 +62,15 @@ val sparse_members : t -> int array
 (** [dense_flags t] is the membership bitmap, densifying if needed. Do not
     mutate. *)
 val dense_flags : t -> Support.Bitset.t
+
+(** [fill_flags t flags] adds every member to [flags], and [clear_flags]
+    removes them again — the clear-by-members sweep that lets a traversal
+    scratch reuse one bitmap across rounds (O(|t|) per round) instead of
+    allocating a fresh O(n) bitmap per dense round. [flags] must belong to
+    the same universe. *)
+val fill_flags : t -> Support.Bitset.t -> unit
+
+val clear_flags : t -> Support.Bitset.t -> unit
 
 (** [out_degree_sum graph t] sums the out-degrees of the members — the
     quantity Julienne computes each round to drive direction selection

@@ -2,28 +2,16 @@ module Pool = Parallel.Pool
 module Csr = Graphs.Csr
 module Vertex_subset = Frontier.Vertex_subset
 module Eager_buckets = Bucketing.Eager_buckets
+module Edge_map = Traverse.Edge_map
+module Scratch = Traverse.Scratch
 module Pq = Priority_queue
 module Span = Observe.Span
 
 type edge_fn = Priority_queue.ctx -> src:int -> dst:int -> weight:int -> unit
 
-(* Per-worker counters live [stride] ints apart: they are bumped once per
-   vertex/edge on the hot path, and packing one slot per worker would
-   false-share a cache line between all workers. *)
+(* The fused-drain counter stays engine-side (the kernel knows nothing of
+   buckets); same padded-slot layout as the kernel's counters. *)
 let stride = 8
-
-type counters = {
-  vertices : int array; (* slot tid * stride *)
-  edges : int array;
-  fused : int array;
-}
-
-let make_counters ~workers =
-  {
-    vertices = Array.make (workers * stride) 0;
-    edges = Array.make (workers * stride) 0;
-    fused = Array.make (workers * stride) 0;
-  }
 
 let counter_sum a =
   let total = ref 0 in
@@ -33,18 +21,21 @@ let counter_sum a =
   done;
   !total
 
-let process_vertex graph pq ~filter ~ctx ~edge_fn counters u =
-  if (not filter) || Pq.vertex_on_current_bucket pq u then begin
-    let slot = ctx.Pq.tid * stride in
-    counters.vertices.(slot) <- counters.vertices.(slot) + 1;
-    counters.edges.(slot) <- counters.edges.(slot) + Csr.out_degree graph u;
+let process_vertex graph pq scratch ~ctx ~edge_fn u =
+  if Pq.vertex_on_current_bucket pq u then begin
+    let tid = ctx.Pq.tid in
+    Scratch.add_vertices scratch ~tid 1;
+    Scratch.add_edges scratch ~tid (Csr.out_degree graph u);
     Csr.iter_out graph u (fun dst weight -> edge_fn ctx ~src:u ~dst ~weight)
   end
 
 (* Fused inner loop (Fig. 7, lines 14-20): keep draining this worker's bin
    for the current bucket while it stays under the threshold; a larger bin
-   is left in place so the next global round redistributes it. *)
-let fusion_loop graph pq ~threshold ~ctx ~edge_fn counters =
+   is left in place so the next global round redistributes it. This is the
+   one sweep that stays outside the traversal kernel — it runs as the
+   kernel's per-worker epilogue, inside the same parallel episode, so a
+   fused drain still avoids a global barrier. *)
+let fusion_loop graph pq scratch ~threshold ~fused ~ctx ~edge_fn =
   let eb = Pq.eager_buckets pq in
   let tid = ctx.Pq.tid in
   let key = Pq.current_key pq in
@@ -54,68 +45,11 @@ let fusion_loop graph pq ~threshold ~ctx ~edge_fn counters =
       match Eager_buckets.take_local eb ~tid ~key with
       | None -> ()
       | Some bin ->
-          counters.fused.(tid * stride) <- counters.fused.(tid * stride) + 1;
-          Array.iter
-            (fun u -> process_vertex graph pq ~filter:true ~ctx ~edge_fn counters u)
-            bin;
+          fused.(tid * stride) <- fused.(tid * stride) + 1;
+          Array.iter (fun u -> process_vertex graph pq scratch ~ctx ~edge_fn u) bin;
           fuse ()
   in
   fuse ()
-
-let push_round pool graph schedule pq ~edge_fn counters frontier =
-  let members = Vertex_subset.sparse_members frontier in
-  let total = Array.length members in
-  let filter = Pq.needs_processing_filter pq in
-  let fusion = schedule.Schedule.strategy = Schedule.Eager_with_fusion in
-  let chunk = schedule.Schedule.chunk_size in
-  (* Frontier members have wildly uneven degrees: claim fixed chunks
-     dynamically, then run a tight local loop over each chunk. *)
-  let cursor = Pool.range_cursor pool ~sched:Pool.Dynamic ~chunk ~lo:0 ~hi:total () in
-  Pool.run_workers pool (fun tid ->
-      let ctx = { Pq.tid; use_atomics = true } in
-      let rec drain () =
-        match Pool.next_range cursor ~tid with
-        | Some (lo, hi) ->
-            for i = lo to hi - 1 do
-              process_vertex graph pq ~filter ~ctx ~edge_fn counters
-                (Array.unsafe_get members i)
-            done;
-            drain ()
-        | None -> ()
-      in
-      drain ();
-      if fusion then
-        fusion_loop graph pq ~threshold:schedule.Schedule.fusion_threshold ~ctx
-          ~edge_fn counters)
-
-let pull_round pool graph transpose schedule ~edge_fn counters frontier =
-  let flags = Vertex_subset.dense_flags frontier in
-  let n = Csr.num_vertices graph in
-  let chunk = max schedule.Schedule.chunk_size 64 in
-  let frontier_size = Vertex_subset.cardinal frontier in
-  (* The pull sweep touches every vertex: guided chunks keep the shared
-     cursor cold for most of the range and still balance the tail. *)
-  let cursor = Pool.range_cursor pool ~sched:Pool.Guided ~chunk ~lo:0 ~hi:n () in
-  Pool.run_workers pool (fun tid ->
-      (* Pull ownership: only this worker writes vertex [d], so the user
-         function runs without atomics (Fig. 9(b)). *)
-      let ctx = { Pq.tid; use_atomics = false } in
-      let slot = tid * stride in
-      let rec drain () =
-        match Pool.next_range cursor ~tid with
-        | Some (lo, hi) ->
-            for d = lo to hi - 1 do
-              Csr.iter_out transpose d (fun src weight ->
-                  if Support.Bitset.mem flags src then begin
-                    counters.edges.(slot) <- counters.edges.(slot) + 1;
-                    edge_fn ctx ~src ~dst:d ~weight
-                  end)
-            done;
-            drain ()
-        | None -> ()
-      in
-      drain ());
-  counters.vertices.(0) <- counters.vertices.(0) + frontier_size
 
 let run ~pool ~graph ?transpose ~schedule ~pq ~edge_fn ?(stop = fun () -> false)
     ?trace () =
@@ -129,19 +63,32 @@ let run ~pool ~graph ?transpose ~schedule ~pq ~edge_fn ?(stop = fun () -> false)
     | (Schedule.Dense_pull | Schedule.Hybrid), Some tg -> Some tg
     | Schedule.Sparse_push, _ -> None
   in
-  (* Ligra's direction heuristic for the hybrid schedule: pull when the
-     frontier and its out-edges cover more than 1/20 of the graph. *)
-  let dense_threshold = Csr.num_edges graph / 20 in
-  let choose_pull frontier =
+  (* The kernel applies Ligra's hybrid heuristic (with a parallel degree
+     sum); the engine only maps the schedule onto a kernel direction. *)
+  let direction =
     match schedule.Schedule.traversal with
-    | Schedule.Sparse_push -> false
-    | Schedule.Dense_pull -> true
-    | Schedule.Hybrid ->
-        Vertex_subset.out_degree_sum graph frontier + Vertex_subset.cardinal frontier
-        > dense_threshold
+    | Schedule.Sparse_push -> Edge_map.Push
+    | Schedule.Dense_pull -> Edge_map.Pull
+    | Schedule.Hybrid -> Edge_map.Hybrid
   in
   let workers = Pool.num_workers pool in
-  let counters = make_counters ~workers in
+  let scratch = Scratch.create ~pool ~graph in
+  let fused = Array.make (workers * stride) 0 in
+  let filter =
+    if Pq.needs_processing_filter pq then Some (Pq.vertex_on_current_bucket pq)
+    else None
+  in
+  (* Fusion only composes with eager strategies, which the schedule
+     validator restricts to push traversal — the epilogue never runs under
+     pull. *)
+  let epilogue =
+    if schedule.Schedule.strategy = Schedule.Eager_with_fusion then
+      Some
+        (fun ctx ->
+          fusion_loop graph pq scratch
+            ~threshold:schedule.Schedule.fusion_threshold ~fused ~ctx ~edge_fn)
+    else None
+  in
   let stats = Stats.create () in
   stats.Stats.workers <- workers;
   let sync_start = Pool.barrier_wait_seconds pool in
@@ -163,18 +110,18 @@ let run ~pool ~graph ?transpose ~schedule ~pq ~edge_fn ?(stop = fun () -> false)
       stats.Stats.buckets_processed <- stats.Stats.buckets_processed + 1;
       last_key := Pq.current_key pq
     end;
-    let fused_before = counter_sum counters.fused in
+    let fused_before = counter_sum fused in
+    let executed =
+      Edge_map.run scratch ~graph ?transpose:transpose_graph ?filter
+        ?epilogue ~chunk:schedule.Schedule.chunk_size ~direction frontier
+        ~f:edge_fn
+    in
     let direction =
-      match (transpose_graph, choose_pull frontier) with
-      | Some tg, true ->
+      match executed with
+      | Edge_map.Ran_pull ->
           stats.Stats.pull_rounds <- stats.Stats.pull_rounds + 1;
-          Span.with_ "engine.traverse.pull" (fun () ->
-              pull_round pool graph tg schedule ~edge_fn counters frontier);
           Trace.Pull
-      | _, _ ->
-          Span.with_ "engine.traverse.push" (fun () ->
-              push_round pool graph schedule pq ~edge_fn counters frontier);
-          Trace.Push
+      | Edge_map.Ran_push -> Trace.Push
     in
     let traverse_done = timestamp () in
     let round_sync = Pool.barrier_wait_seconds pool -. round_sync_start in
@@ -196,7 +143,7 @@ let run ~pool ~graph ?transpose ~schedule ~pq ~edge_fn ?(stop = fun () -> false)
             priority = Pq.current_priority pq;
             frontier_size = Vertex_subset.cardinal frontier;
             direction;
-            fused_drains = counter_sum counters.fused - fused_before;
+            fused_drains = counter_sum fused - fused_before;
             wall_seconds = traverse_done -. round_start;
             dequeue_seconds = dequeue_done -. round_start;
             traverse_seconds = traverse_done -. dequeue_done;
@@ -215,9 +162,9 @@ let run ~pool ~graph ?transpose ~schedule ~pq ~edge_fn ?(stop = fun () -> false)
        the dequeue/traverse spans nest inside it on worker 0's track. *)
     Span.with_ ~arg:(stats.Stats.rounds + 1) "engine.round" run_round
   done;
-  stats.Stats.vertices_processed <- counter_sum counters.vertices;
-  stats.Stats.edges_relaxed <- counter_sum counters.edges;
-  stats.Stats.fused_drains <- counter_sum counters.fused;
+  stats.Stats.vertices_processed <- Scratch.vertices_processed scratch;
+  stats.Stats.edges_relaxed <- Scratch.edges_traversed scratch;
+  stats.Stats.fused_drains <- counter_sum fused;
   stats.Stats.bucket_inserts <- Pq.total_bucket_inserts pq;
   stats.Stats.sync_seconds <- Pool.barrier_wait_seconds pool -. sync_start;
   if Span.enabled () then begin

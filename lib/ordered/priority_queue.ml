@@ -11,7 +11,7 @@ type initial =
   | All_vertices
   | No_initial
 
-type ctx = {
+type ctx = Traverse.Edge_map.ctx = {
   tid : int;
   use_atomics : bool;
 }

@@ -16,8 +16,10 @@ type initial =
 
 (** Per-worker update context. [use_atomics] is false only in pull
     traversal, where each destination is owned by a single worker
-    (Fig. 9(b) of the paper drops the atomics). *)
-type ctx = {
+    (Fig. 9(b) of the paper drops the atomics). This is an alias for
+    {!Traverse.Edge_map.ctx} — the traversal kernel constructs it; relax
+    functions written against either name are interchangeable. *)
+type ctx = Traverse.Edge_map.ctx = {
   tid : int;
   use_atomics : bool;
 }

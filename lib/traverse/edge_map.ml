@@ -1,0 +1,137 @@
+module Pool = Parallel.Pool
+module Csr = Graphs.Csr
+module Bitset = Support.Bitset
+module Vertex_subset = Frontier.Vertex_subset
+module Span = Observe.Span
+
+type ctx = {
+  tid : int;
+  use_atomics : bool;
+}
+
+type direction =
+  | Push
+  | Pull
+  | Hybrid
+
+type executed =
+  | Ran_push
+  | Ran_pull
+
+type edge_fn = ctx -> src:int -> dst:int -> weight:int -> unit
+
+let degree_sum scratch ~graph frontier =
+  let members = Vertex_subset.sparse_members frontier in
+  Pool.parallel_for_reduce (Scratch.pool scratch) ~chunk:128 ~lo:0
+    ~hi:(Array.length members) ~neutral:0 ~combine:( + ) (fun i ->
+      Csr.out_degree graph (Array.unsafe_get members i))
+
+let no_filter _ = true
+let no_hook _ _ = ()
+let no_epilogue _ = ()
+
+let run_push scratch ~graph ~filter ~vertex_begin ~vertex_end ~epilogue ~chunk
+    frontier ~f =
+  Span.with_ "traverse.push" (fun () ->
+      let members = Vertex_subset.sparse_members frontier in
+      let total = Array.length members in
+      let pool = Scratch.pool scratch in
+      (* Frontier members have wildly uneven degrees: claim fixed chunks
+         dynamically, then run a tight local loop over each chunk. *)
+      let cursor =
+        Pool.range_cursor pool ~sched:Pool.Dynamic ~chunk ~lo:0 ~hi:total ()
+      in
+      Pool.run_workers pool (fun tid ->
+          let ctx = { tid; use_atomics = true } in
+          let rec drain () =
+            match Pool.next_range cursor ~tid with
+            | Some (lo, hi) ->
+                for i = lo to hi - 1 do
+                  let u = Array.unsafe_get members i in
+                  if filter u then begin
+                    Scratch.add_vertices scratch ~tid 1;
+                    Scratch.add_edges scratch ~tid (Csr.out_degree graph u);
+                    vertex_begin ctx u;
+                    Csr.iter_out graph u (fun dst weight ->
+                        f ctx ~src:u ~dst ~weight);
+                    vertex_end ctx u
+                  end
+                done;
+                drain ()
+            | None -> ()
+          in
+          drain ();
+          epilogue ctx));
+  Ran_push
+
+let run_pull scratch ~graph ~transpose ~vertex_begin ~vertex_end ~epilogue
+    ~chunk frontier ~f =
+  Span.with_ "traverse.pull" (fun () ->
+      let pool = Scratch.pool scratch in
+      let n = Csr.num_vertices graph in
+      let card = Vertex_subset.cardinal frontier in
+      (* A full frontier gates nothing: skip the bitmap entirely, the
+         common case for whole-graph sweeps (h-index k-core). *)
+      let gated = card < n in
+      let flags = Scratch.flags scratch in
+      if gated then Vertex_subset.fill_flags frontier flags;
+      let chunk = max chunk 64 in
+      (* The pull sweep touches every vertex: guided chunks keep the shared
+         cursor cold for most of the range and still balance the tail. *)
+      let cursor =
+        Pool.range_cursor pool ~sched:Pool.Guided ~chunk ~lo:0 ~hi:n ()
+      in
+      Pool.run_workers pool (fun tid ->
+          (* Pull ownership: only this worker writes vertex [d], so the user
+             function runs without atomics (Fig. 9(b)). *)
+          let ctx = { tid; use_atomics = false } in
+          let rec drain () =
+            match Pool.next_range cursor ~tid with
+            | Some (lo, hi) ->
+                for d = lo to hi - 1 do
+                  vertex_begin ctx d;
+                  Csr.iter_out transpose d (fun src weight ->
+                      if (not gated) || Bitset.mem flags src then begin
+                        Scratch.add_edges scratch ~tid 1;
+                        f ctx ~src ~dst:d ~weight
+                      end);
+                  vertex_end ctx d
+                done;
+                drain ()
+            | None -> ()
+          in
+          drain ();
+          epilogue ctx);
+      if gated then Vertex_subset.clear_flags frontier flags;
+      Scratch.add_vertices scratch ~tid:0 card);
+  Ran_pull
+
+let run scratch ~graph ?transpose ?(filter = no_filter)
+    ?(vertex_begin = no_hook) ?(vertex_end = no_hook)
+    ?(epilogue = no_epilogue) ?(chunk = 64) ~direction frontier ~f =
+  let require_transpose () =
+    match transpose with
+    | Some tg -> tg
+    | None -> invalid_arg "Edge_map.run: Pull/Hybrid requires ~transpose"
+  in
+  match direction with
+  | Push ->
+      run_push scratch ~graph ~filter ~vertex_begin ~vertex_end ~epilogue
+        ~chunk frontier ~f
+  | Pull ->
+      let transpose = require_transpose () in
+      run_pull scratch ~graph ~transpose ~vertex_begin ~vertex_end ~epilogue
+        ~chunk frontier ~f
+  | Hybrid ->
+      (* Ligra's direction heuristic: pull when the frontier and its
+         out-edges cover more than 1/20 of the graph. *)
+      let transpose = require_transpose () in
+      if
+        degree_sum scratch ~graph frontier + Vertex_subset.cardinal frontier
+        > Scratch.dense_threshold scratch
+      then
+        run_pull scratch ~graph ~transpose ~vertex_begin ~vertex_end
+          ~epilogue ~chunk frontier ~f
+      else
+        run_push scratch ~graph ~filter ~vertex_begin ~vertex_end ~epilogue
+          ~chunk frontier ~f

@@ -1,0 +1,90 @@
+(** The single direction-optimizing traversal kernel (GraphIt's
+    edgeset-apply, Ligra's edgeMap).
+
+    Every frontier sweep in the repository — the ordered engine's rounds,
+    the Ligra/Julienne baselines, the DSL interpreter's edgeset-apply ops,
+    and the unordered algorithm loops — runs through {!run}. The kernel
+    owns the traversal mechanics the call sites used to duplicate: chunked
+    parallel scheduling, the dense gating bitmap, the per-direction atomics
+    policy, and the Span/Tracer instrumentation ([traverse.push] /
+    [traverse.pull] slices plus the padded per-worker vertex/edge
+    counters in {!Scratch}).
+
+    {2 Directions}
+
+    - [Push] claims fixed {e Dynamic} chunks of the frontier's sparse
+      members (uneven degrees need the balancing) and applies [f] to each
+      member's out-edges with [ctx.use_atomics = true]: many sources may
+      relax the same destination concurrently.
+    - [Pull] sweeps all destinations [0, n) of the transpose with {e
+      Guided} chunks, gated on the scratch's dense bitmap, and applies [f]
+      with [ctx.use_atomics = false]: each destination is written only by
+      the worker that owns its range (pull ownership, Fig. 9(b) of the
+      GraphIt paper).
+    - [Hybrid] decides per call with Ligra's heuristic: pull when
+      [degree_sum frontier + cardinal frontier > m/20] (the threshold is
+      cached in {!Scratch}), where the degree sum is a {e parallel}
+      reduce — the per-round sequential walk the old engine did is gone.
+
+    {2 Hooks}
+
+    [filter] (push only) skips members without touching their edges — the
+    engine's "is this vertex still on the current bucket" check.
+    [vertex_begin]/[vertex_end] bracket each processed vertex — each
+    frontier member under push, {e every} destination in [0, n) under pull
+    (which is what per-vertex accumulator sweeps like the h-index k-core
+    want). [epilogue] runs once per worker after its share of the sweep,
+    {e inside the same parallel episode} — the engine's bucket-fusion
+    drain lives there so fused drains still avoid a global barrier. *)
+
+(** The apply context handed to every callback. [tid] picks per-worker
+    slots; [use_atomics] tells the caller's relax function whether
+    destination writes race ([true] under push) or are owned ([false]
+    under pull). [Ordered.Priority_queue.ctx] re-exports this type, so
+    relax functions written against either name are interchangeable. *)
+type ctx = {
+  tid : int;
+  use_atomics : bool;
+}
+
+type direction =
+  | Push
+  | Pull
+  | Hybrid
+
+(** Which direction a {!run} actually executed ([Hybrid] resolves to one
+    of the two). *)
+type executed =
+  | Ran_push
+  | Ran_pull
+
+type edge_fn = ctx -> src:int -> dst:int -> weight:int -> unit
+
+(** [degree_sum scratch ~graph frontier] is the sum of the members'
+    out-degrees, reduced in parallel on the scratch's pool — the quantity
+    the hybrid heuristic (and Julienne's per-round direction accounting)
+    needs. *)
+val degree_sum : Scratch.t -> graph:Graphs.Csr.t -> Frontier.Vertex_subset.t -> int
+
+(** [run scratch ~graph ?transpose ~direction frontier ~f] traverses the
+    out-edges of [frontier] per [direction], calling [f] on each. Raises
+    [Invalid_argument] when [direction] is [Pull] or [Hybrid] and
+    [transpose] is missing. [chunk] (default 64) sizes the scheduling
+    chunks; pull raises it to at least 64. [filter] is honoured under push
+    only. Counter totals land in [scratch]
+    ({!Scratch.vertices_processed} / {!Scratch.edges_traversed}); under
+    pull the vertex counter advances by the frontier cardinality, matching
+    the old engine's accounting. *)
+val run :
+  Scratch.t ->
+  graph:Graphs.Csr.t ->
+  ?transpose:Graphs.Csr.t ->
+  ?filter:(int -> bool) ->
+  ?vertex_begin:(ctx -> int -> unit) ->
+  ?vertex_end:(ctx -> int -> unit) ->
+  ?epilogue:(ctx -> unit) ->
+  ?chunk:int ->
+  direction:direction ->
+  Frontier.Vertex_subset.t ->
+  f:edge_fn ->
+  executed

@@ -1,0 +1,69 @@
+module Pool = Parallel.Pool
+module Csr = Graphs.Csr
+module Bitset = Support.Bitset
+module Update_buffer = Bucketing.Update_buffer
+module Vertex_subset = Frontier.Vertex_subset
+
+(* Per-worker counters live [stride] ints apart: they are bumped once per
+   vertex/edge on the hot path, and packing one slot per worker would
+   false-share a cache line between all workers. *)
+let stride = 8
+
+type t = {
+  pool : Pool.t;
+  n : int;
+  workers : int;
+  dense_threshold : int;
+  flags : Bitset.t;
+  buffer : Update_buffer.t;
+  vertices : int array; (* slot tid * stride *)
+  edges : int array;
+}
+
+let create ~pool ~graph =
+  let n = Csr.num_vertices graph in
+  let workers = Pool.num_workers pool in
+  {
+    pool;
+    n;
+    workers;
+    dense_threshold = Csr.num_edges graph / 20;
+    flags = Bitset.create n;
+    buffer = Update_buffer.create ~num_vertices:n ~num_workers:workers ();
+    vertices = Array.make (workers * stride) 0;
+    edges = Array.make (workers * stride) 0;
+  }
+
+let pool t = t.pool
+let num_vertices t = t.n
+let num_workers t = t.workers
+let dense_threshold t = t.dense_threshold
+let flags t = t.flags
+let buffer t = t.buffer
+
+let drain_frontier t =
+  Vertex_subset.unsafe_of_array ~num_vertices:t.n
+    (Update_buffer.drain_to_array t.buffer ~pool:t.pool)
+
+let add_vertices t ~tid by =
+  let slot = tid * stride in
+  t.vertices.(slot) <- t.vertices.(slot) + by
+
+let add_edges t ~tid by =
+  let slot = tid * stride in
+  t.edges.(slot) <- t.edges.(slot) + by
+
+let counter_sum a =
+  let total = ref 0 in
+  let slots = Array.length a / stride in
+  for tid = 0 to slots - 1 do
+    total := !total + a.(tid * stride)
+  done;
+  !total
+
+let vertices_processed t = counter_sum t.vertices
+let edges_traversed t = counter_sum t.edges
+
+let reset_counters t =
+  Array.fill t.vertices 0 (Array.length t.vertices) 0;
+  Array.fill t.edges 0 (Array.length t.edges) 0

@@ -1,0 +1,57 @@
+(** Per-run reusable traversal state.
+
+    One [Scratch.t] is created per algorithm run (per pool × graph pair) and
+    threaded through every {!Edge_map.run} call of that run, so the hot loop
+    allocates nothing per round: the dense gating bitmap, the next-frontier
+    update buffer, and the padded per-worker vertex/edge counters are all
+    allocated once here and reused round after round. *)
+
+type t
+
+(** [create ~pool ~graph] allocates scratch state sized for [graph] and
+    [pool]'s worker count, and caches the hybrid direction threshold
+    [num_edges graph / 20] (Ligra's [m/20]). *)
+val create : pool:Parallel.Pool.t -> graph:Graphs.Csr.t -> t
+
+(** The pool the scratch was created for. *)
+val pool : t -> Parallel.Pool.t
+
+(** Universe size (vertex count of the graph at creation). *)
+val num_vertices : t -> int
+
+(** Worker count of the pool at creation. *)
+val num_workers : t -> int
+
+(** The cached [m/20] threshold the hybrid heuristic compares
+    [degree_sum + |F|] against. *)
+val dense_threshold : t -> int
+
+(** The dense gating bitmap used by pull traversal. Owned by the kernel
+    while {!Edge_map.run} executes; empty between calls. *)
+val flags : t -> Support.Bitset.t
+
+(** The CAS-deduplicated next-frontier buffer. Callers [try_add] into it
+    from their edge function and drain it between rounds (directly or via
+    {!drain_frontier}). *)
+val buffer : t -> Bucketing.Update_buffer.t
+
+(** [drain_frontier t] drains {!buffer} into a fresh sparse vertex subset
+    (parallel for large buffers), resetting it for the next round. *)
+val drain_frontier : t -> Frontier.Vertex_subset.t
+
+(** [add_vertices t ~tid by] / [add_edges t ~tid by] bump worker [tid]'s
+    padded counter slot. The kernel bumps these on the hot path; epilogues
+    (e.g. the engine's fusion drain) bump them for vertices they process
+    outside the kernel loop. *)
+val add_vertices : t -> tid:int -> int -> unit
+
+val add_edges : t -> tid:int -> int -> unit
+
+(** Totals across all worker slots since the last {!reset_counters}. *)
+val vertices_processed : t -> int
+
+val edges_traversed : t -> int
+
+(** [reset_counters t] zeroes the vertex/edge counters (call at run start
+    when reusing a scratch across algorithm runs). *)
+val reset_counters : t -> unit

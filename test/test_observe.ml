@@ -416,8 +416,8 @@ let test_profile_table_golden () =
              engine.dequeue                                6\n\
              engine.round                                  6\n\
              engine.sync_wait                              6\n\
-             engine.traverse.push                          6\n\
-             pool.episode                                  6\n"
+             pool.episode                                  6\n\
+             traverse.push                                 6\n"
           in
           Alcotest.(check string) "flight table" expected table))
 
