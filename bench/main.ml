@@ -1255,6 +1255,15 @@ let () =
         Observe.Tracer.install_pool_hooks ();
         Some t
   in
+  (* Detach the process-wide worker hook even if a section raises;
+     otherwise every later Pool user pays for tracing into a dead ring. *)
+  Fun.protect
+    ~finally:(fun () ->
+      if tracer <> None then begin
+        Observe.Tracer.remove_pool_hooks ();
+        Observe.Tracer.set_current None
+      end)
+  @@ fun () ->
   Printf.printf "GraphIt ordered-extension benchmark suite\n";
   Printf.printf "workers=%d scale=%s (see EXPERIMENTS.md for methodology)\n" !workers
     (if !big then "big" else "default");

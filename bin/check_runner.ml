@@ -1,0 +1,237 @@
+(* check_runner: the schedule-space differential checker.
+
+   Two modes:
+
+   - sweep (default): enumerate apps x graphs x the schedule cross-product
+     x worker counts under a time budget, judge every point against the
+     sequential oracles, and print a machine-readable JSON summary on
+     stdout. Failures are shrunk and come with paste-able repro lines
+     (also written to --failures FILE for CI artifacts).
+
+   - repro: --app/--graph/--schedule re-run exactly one configuration
+     (the syntax printed in repro lines) and report pass/fail.
+
+   Exit codes: 0 = clean; 1 = oracle mismatch or race finding; 2 = bad
+   command line. *)
+
+open Cmdliner
+module Json = Support.Json
+module Sweep = Check.Sweep
+module Graph_case = Check.Graph_case
+
+let parse_or_exit what = function
+  | Ok v -> v
+  | Error msg ->
+      Printf.eprintf "check_runner: bad %s: %s\n" what msg;
+      exit 2
+
+let parse_workers s =
+  String.split_on_char ',' s
+  |> List.map (fun w ->
+         match int_of_string_opt (String.trim w) with
+         | Some n when n >= 1 -> n
+         | _ ->
+             Printf.eprintf "check_runner: bad worker count %S\n" w;
+             exit 2)
+
+let parse_apps s =
+  String.split_on_char ',' s
+  |> List.map (fun a -> parse_or_exit "app" (Sweep.app_of_string (String.trim a)))
+
+let failure_json (f : Sweep.failure) =
+  Json.Obj
+    [
+      ("app", Json.String (Sweep.app_to_string f.config.Sweep.app));
+      ("graph", Json.String (Graph_case.to_string f.config.Sweep.spec));
+      ("schedule", Json.String (Sweep.schedule_to_string f.config.Sweep.schedule));
+      ("workers", Json.Int f.config.Sweep.workers);
+      ("message", Json.String f.message);
+      ( "shrunk",
+        match f.shrunk with
+        | None -> Json.Null
+        | Some spec -> Json.String (Graph_case.to_string spec) );
+      ("repro", Json.String f.repro);
+    ]
+
+let summary_json ~seed (s : Sweep.summary) =
+  Json.Obj
+    [
+      ("seed", Json.Int seed);
+      ("configs_run", Json.Int s.configs_run);
+      ( "per_app",
+        Json.Obj
+          (List.map
+             (fun (app, n) -> (Sweep.app_to_string app, Json.Int n))
+             s.per_app) );
+      ("failures", Json.List (List.map failure_json s.failures));
+      ("race_findings", Json.Int s.race_findings);
+      ("elapsed_seconds", Json.Float s.elapsed_seconds);
+      ("budget_exhausted", Json.Bool s.budget_exhausted);
+    ]
+
+let run_repro ~seed ~chaos ~race ~workers app graph schedule =
+  let app = parse_or_exit "app" (Sweep.app_of_string app) in
+  let spec = parse_or_exit "graph spec" (Graph_case.of_string graph) in
+  let schedule = parse_or_exit "schedule" (Sweep.schedule_of_string schedule) in
+  let case = Graph_case.build spec in
+  if chaos then Parallel.Chaos.enable ~seed;
+  if race then begin
+    Parallel.Race.clear ();
+    Parallel.Race.enable ()
+  end;
+  let failed = ref false in
+  List.iter
+    (fun w ->
+      Parallel.Pool.with_pool ~num_workers:w (fun pool ->
+          match Sweep.run_one ~pool app case schedule with
+          | Ok () -> Printf.printf "ok: %d workers\n" w
+          | Error msg ->
+              failed := true;
+              Printf.printf "FAIL: %d workers: %s\n" w msg))
+    workers;
+  let findings = if race then Parallel.Race.num_findings () else 0 in
+  if findings > 0 then begin
+    failed := true;
+    Printf.printf "race findings: %d\n" findings;
+    List.iter
+      (fun f -> Format.printf "  %a@." Parallel.Race.pp_finding f)
+      (Parallel.Race.findings ())
+  end;
+  if !failed then exit 1
+
+let run_sweep ~seed ~budget ~chaos ~race ~workers ~max_failures ~apps
+    ~json_path ~failures_path =
+  let apps =
+    match apps with None -> Sweep.all_apps | Some apps -> parse_apps apps
+  in
+  let summary =
+    Sweep.run ~apps ~workers ~budget ~seed ~max_failures ~chaos ~race
+      ~log:prerr_endline ()
+  in
+  let json = summary_json ~seed summary in
+  print_endline (Json.to_string json);
+  Option.iter
+    (fun path ->
+      Out_channel.with_open_text path (fun oc ->
+          Format.fprintf
+            (Format.formatter_of_out_channel oc)
+            "%a@?" Json.pp json))
+    json_path;
+  Option.iter
+    (fun path ->
+      if summary.Sweep.failures <> [] then
+        Out_channel.with_open_text path (fun oc ->
+            List.iter
+              (fun (f : Sweep.failure) ->
+                Printf.fprintf oc "%s\n  %s\n" f.message f.repro)
+              summary.Sweep.failures))
+    failures_path;
+  if summary.Sweep.failures <> [] || summary.Sweep.race_findings > 0 then
+    exit 1
+
+let main budget seed apps app graph schedule workers chaos race max_failures
+    json_path failures_path =
+  let workers = parse_workers workers in
+  match (app, graph, schedule) with
+  | Some app, Some graph, Some schedule ->
+      run_repro ~seed ~chaos ~race ~workers app graph schedule
+  | None, None, None ->
+      run_sweep ~seed ~budget ~chaos ~race ~workers ~max_failures ~apps
+        ~json_path ~failures_path
+  | _ ->
+      Printf.eprintf
+        "check_runner: repro mode needs all of --app, --graph, --schedule\n";
+      exit 2
+
+let () =
+  let budget =
+    Arg.(
+      value & opt float 60.
+      & info [ "budget" ] ~docv:"SECONDS"
+          ~doc:"Stop enumerating new configurations after this long")
+  in
+  let seed =
+    Arg.(
+      value & opt int 0
+      & info [ "seed" ]
+          ~doc:"Master seed for graphs, sampled schedules, and chaos streams")
+  in
+  let apps =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "apps" ] ~docv:"LIST"
+          ~doc:"Comma-separated subset of sssp,wbfs,ppsp,astar,kcore,setcover")
+  in
+  let app_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "app" ] ~doc:"Repro mode: the app of the failing configuration")
+  in
+  let graph =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "graph" ] ~docv:"SPEC"
+          ~doc:"Repro mode: graph spec, e.g. 'random:seed=3,n=48,m=200,w=12'")
+  in
+  let schedule =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "schedule" ] ~docv:"SCHED"
+          ~doc:
+            "Repro mode: schedule, e.g. \
+             'strategy=lazy,delta=2,traversal=DensePull,sched=guided'")
+  in
+  let workers =
+    Arg.(
+      value & opt string "1,2,4"
+      & info [ "workers" ] ~docv:"LIST" ~doc:"Worker counts to sweep")
+  in
+  let chaos =
+    Arg.(
+      value & flag
+      & info [ "chaos" ]
+          ~doc:"Inject seeded scheduling perturbation (Parallel.Chaos)")
+  in
+  let race =
+    Arg.(
+      value & flag
+      & info [ "race" ]
+          ~doc:
+            "Enable the plain-write race detector (Parallel.Race); any \
+             finding fails the run")
+  in
+  let max_failures =
+    Arg.(
+      value & opt int 5
+      & info [ "max-failures" ] ~doc:"Stop the sweep after this many failures")
+  in
+  let json_path =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE" ~doc:"Also write the JSON summary here")
+  in
+  let failures_path =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "failures" ] ~docv:"FILE"
+          ~doc:"Write failure messages and repro lines here (CI artifact)")
+  in
+  let term =
+    Term.(
+      const main $ budget $ seed $ apps $ app_arg $ graph $ schedule $ workers
+      $ chaos $ race $ max_failures $ json_path $ failures_path)
+  in
+  exit
+    (Cmd.eval
+       (Cmd.v
+          (Cmd.info "check_runner"
+             ~doc:
+               "Differential checker: every schedule-space point must match \
+                the sequential oracles")
+          term))

@@ -44,6 +44,17 @@ let run algorithm graph_path source target workers strategy delta threshold buck
         Observe.Tracer.install_pool_hooks ();
         Some t
   in
+  (* The pool hooks are process-wide state: detach them even when the run
+     below raises (bad graph file, unknown algorithm), or they would keep
+     firing — against a dead tracer — for the rest of the process. *)
+  Fun.protect
+    ~finally:(fun () ->
+      if profile then Observe.Span.remove_pool_hook ();
+      if tracer <> None then begin
+        Observe.Tracer.remove_pool_hooks ();
+        Observe.Tracer.set_current None
+      end)
+  @@ fun () ->
   Parallel.Pool.with_pool ~num_workers:workers (fun pool ->
       let report name seconds (stats : Ordered.Stats.t option) =
         Printf.printf "%s: %.4fs\n" name seconds;

@@ -18,6 +18,10 @@ let thresholds = [ 128; 512; 1000; 4096 ]
 let bucket_counts = [ 32; 128; 512 ]
 let chunks = [ 16; 64; 256 ]
 
+let scheds =
+  [ None; Some Parallel.Pool.Static; Some Parallel.Pool.Dynamic;
+    Some Parallel.Pool.Guided ]
+
 let traversals space strategy =
   match strategy with
   | Schedule.Eager_with_fusion | Schedule.Eager_no_fusion -> [ Schedule.Sparse_push ]
@@ -32,7 +36,8 @@ let size space =
       acc
       + List.length (traversals space strategy)
         * (space.max_delta_exp + 1)
-        * List.length thresholds * List.length bucket_counts * List.length chunks)
+        * List.length thresholds * List.length bucket_counts
+        * List.length chunks * List.length scheds)
     0 space.strategies
 
 let pick rng xs = List.nth xs (Rng.int rng (List.length xs))
@@ -46,6 +51,7 @@ let random space rng =
     num_open_buckets = pick rng bucket_counts;
     traversal = pick rng (traversals space strategy);
     chunk_size = pick rng chunks;
+    sched = pick rng scheds;
   }
 
 let neighbors space _rng (point : Schedule.t) =
@@ -67,4 +73,5 @@ let neighbors space _rng (point : Schedule.t) =
     (fun traversal -> add { point with Schedule.traversal })
     (traversals space point.Schedule.strategy);
   List.iter (fun chunk_size -> add { point with Schedule.chunk_size }) chunks;
+  List.iter (fun sched -> add { point with Schedule.sched }) scheds;
   !changed

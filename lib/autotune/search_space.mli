@@ -2,7 +2,7 @@
     paper): bucket-update strategy × priority-coarsening Δ (powers of two,
     spanning the social-network range 1..100 up to the road-network range
     2^13..2^17) × fusion threshold × materialized-bucket count × traversal
-    direction × parallel grain size. *)
+    direction × parallel grain size × loop-scheduling policy. *)
 
 type t = {
   strategies : Ordered.Schedule.update_strategy list;

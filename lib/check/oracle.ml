@@ -1,0 +1,115 @@
+module Csr = Graphs.Csr
+
+let null = Bucketing.Bucket_order.null_priority
+
+(* Textbook Bellman-Ford (edge relaxation to fixpoint). Asymptotically
+   hopeless and completely schedule-free — which is exactly what makes it
+   a useful cross-check on Dijkstra: the two sequential references share
+   no code, so an agreement bug would have to be made twice. *)
+let bellman_ford graph ~source =
+  let n = Csr.num_vertices graph in
+  let dist = Array.make n null in
+  if n > 0 then dist.(source) <- 0;
+  let changed = ref (n > 0) in
+  while !changed do
+    changed := false;
+    for u = 0 to n - 1 do
+      if dist.(u) <> null then
+        Csr.iter_out graph u (fun v w ->
+            let d = dist.(u) + w in
+            if dist.(v) = null || d < dist.(v) then begin
+              dist.(v) <- d;
+              changed := true
+            end)
+    done
+  done;
+  dist
+
+type t = {
+  sssp : Csr.t -> source:int -> int array -> (unit, string) result;
+  ppsp : Csr.t -> source:int -> target:int -> int -> (unit, string) result;
+  kcore : Csr.t -> int array -> (unit, string) result;
+  setcover : Csr.t -> Algorithms.Setcover.result -> (unit, string) result;
+}
+
+let pp_dist d = if d = null then "unreachable" else string_of_int d
+
+let check_dist_array ~expected ~actual =
+  if Array.length expected <> Array.length actual then
+    Error
+      (Printf.sprintf "distance array length %d, expected %d"
+         (Array.length actual) (Array.length expected))
+  else begin
+    let bad = ref None in
+    Array.iteri
+      (fun v e -> if !bad = None && actual.(v) <> e then bad := Some v)
+      expected;
+    match !bad with
+    | None -> Ok ()
+    | Some v ->
+        Error
+          (Printf.sprintf "dist(%d) = %s, oracle says %s" v
+             (pp_dist actual.(v)) (pp_dist expected.(v)))
+  end
+
+let default_sssp graph ~source actual =
+  let expected = Algorithms.Dijkstra.distances graph ~source in
+  let bf = bellman_ford graph ~source in
+  if bf <> expected then
+    (* Oracle self-check: if the two references disagree, no verdict on
+       the parallel run is trustworthy. *)
+    Error "oracle disagreement: sequential Dijkstra <> Bellman-Ford"
+  else check_dist_array ~expected ~actual
+
+let default_ppsp graph ~source ~target actual =
+  let expected = Algorithms.Dijkstra.distance_to graph ~source ~target in
+  if actual = expected then Ok ()
+  else
+    Error
+      (Printf.sprintf "distance(%d -> %d) = %s, oracle says %s" source target
+         (pp_dist actual) (pp_dist expected))
+
+let default_kcore graph actual =
+  let expected = Algorithms.Kcore_peel_seq.coreness graph in
+  if Array.length expected <> Array.length actual then
+    Error
+      (Printf.sprintf "coreness array length %d, expected %d"
+         (Array.length actual) (Array.length expected))
+  else begin
+    let bad = ref None in
+    Array.iteri
+      (fun v e -> if !bad = None && actual.(v) <> e then bad := Some v)
+      expected;
+    match !bad with
+    | None -> Ok ()
+    | Some v ->
+        Error
+          (Printf.sprintf "coreness(%d) = %d, oracle says %d" v actual.(v)
+             expected.(v))
+  end
+
+(* Set cover is approximate, so equality with the greedy reference is the
+   wrong predicate. What every schedule must guarantee: the cover is
+   valid, and its size is within the algorithm's quality envelope — the
+   same 4x-of-greedy bound the unit tests use. *)
+let default_setcover graph (r : Algorithms.Setcover.result) =
+  if not (Algorithms.Setcover.is_valid_cover graph r) then
+    Error "cover is not valid: some vertex is uncovered"
+  else begin
+    let greedy = Algorithms.Setcover_greedy.run graph in
+    let bound = max 1 (4 * greedy.Algorithms.Setcover_greedy.cover_size) in
+    if r.Algorithms.Setcover.cover_size <= bound then Ok ()
+    else
+      Error
+        (Printf.sprintf "cover size %d exceeds 4x greedy (%d)"
+           r.Algorithms.Setcover.cover_size
+           greedy.Algorithms.Setcover_greedy.cover_size)
+  end
+
+let default =
+  {
+    sssp = default_sssp;
+    ppsp = default_ppsp;
+    kcore = default_kcore;
+    setcover = default_setcover;
+  }

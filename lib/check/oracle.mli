@@ -1,0 +1,39 @@
+(** Sequential reference implementations and result-equivalence predicates.
+
+    Each predicate states what {e every} point of the schedule space must
+    produce, tolerating the nondeterminism the algorithm legitimately has:
+
+    - shortest-path distances are unique, so SSSP/wBFS compare exact
+      arrays against sequential Dijkstra (itself cross-checked against an
+      independent Bellman-Ford — two shared-nothing references must agree
+      before either is trusted to judge a parallel run);
+    - PPSP and A* compare the single source→target distance (the paths and
+      the set of settled vertices may differ per schedule);
+    - coreness values are unique (Matula–Beck), so k-core compares exact
+      arrays against the sequential peel;
+    - set cover only promises an approximation, so the predicate is
+      validity plus the 4×-of-greedy size envelope — any cover in that
+      envelope passes, whatever tie-breaking the schedule induced.
+
+    The checkers live in a record precisely so tests can graft a broken
+    one in ({!default} with a field override) and prove the sweep's
+    failure path — shrinking, repro line — actually fires. *)
+
+type t = {
+  sssp : Graphs.Csr.t -> source:int -> int array -> (unit, string) result;
+      (** Judges a full distance array (SSSP and wBFS). *)
+  ppsp :
+    Graphs.Csr.t -> source:int -> target:int -> int -> (unit, string) result;
+      (** Judges a point-to-point distance (PPSP and A-star). *)
+  kcore : Graphs.Csr.t -> int array -> (unit, string) result;
+      (** Judges a coreness array; the graph must be symmetric. *)
+  setcover : Graphs.Csr.t -> Algorithms.Setcover.result -> (unit, string) result;
+      (** Judges cover validity and size; the graph must be symmetric. *)
+}
+
+val default : t
+
+(** [bellman_ford graph ~source] is the independent sequential reference
+    used to cross-check Dijkstra (exposed for the unit tests); unreachable
+    vertices hold {!Bucketing.Bucket_order.null_priority}. *)
+val bellman_ford : Graphs.Csr.t -> source:int -> int array

@@ -1,0 +1,104 @@
+(** The schedule-space differential sweep.
+
+    One algorithm text must produce oracle-equivalent results under every
+    point of the paper's schedule space (Table 2). {!run} enumerates, per
+    app and graph, the cross-product
+
+    {v strategy × Δ ∈ {1, 2, 8, Δ*} × traversal (push/pull/hybrid)
+     × open-bucket count × fusion threshold × Static/Dynamic/Guided
+     × 1/2/4 workers v}
+
+    plus a few {!Autotune.Search_space} samples, runs the app on each
+    point, and judges the result with {!Oracle}. A failing point is
+    shrunk (ddmin over the edge list, then a vertex trim) and reported
+    with a paste-able [check_runner] repro line.
+
+    Everything is deterministic in [seed] — graph contents, sampled
+    schedules, and (given the same machine timing) the chaos streams. *)
+
+type app = Sssp | Wbfs | Ppsp | Astar | Kcore | Setcover
+
+val all_apps : app list
+val app_to_string : app -> string
+val app_of_string : string -> (app, string) result
+
+(** [schedule_to_string] / [schedule_of_string] round-trip a schedule
+    through the repro-line syntax
+    ([strategy=lazy,delta=2,...,sched=guided]); parsing starts from
+    {!Ordered.Schedule.default}, so keys may be omitted, and validates
+    the result. *)
+val schedule_to_string : Ordered.Schedule.t -> string
+
+val schedule_of_string : string -> (Ordered.Schedule.t, string) result
+
+type config = {
+  app : app;
+  spec : Graph_case.spec;
+  schedule : Ordered.Schedule.t;
+  workers : int;
+}
+
+(** [repro_line ~seed config] is the [check_runner] invocation that
+    re-runs exactly [config]. *)
+val repro_line : ?chaos:bool -> seed:int -> config -> string
+
+(** [run_one ~pool app case schedule] runs one configuration and judges
+    it against [oracle] (default {!Oracle.default}). Engine exceptions
+    are reported as [Error] like any mismatch. k-core and set cover run
+    on the symmetrized edge list; A* requires [case.coords]. *)
+val run_one :
+  ?oracle:Oracle.t ->
+  pool:Parallel.Pool.t ->
+  app ->
+  Graph_case.t ->
+  Ordered.Schedule.t ->
+  (unit, string) result
+
+(** [shrink ~check case] minimizes [case]'s edge list with ddmin while
+    [check] keeps failing (returns [true]), then trims unused trailing
+    vertices; [None] when no smaller failing case was found. Bounded at
+    a few hundred probes. *)
+val shrink :
+  check:(Graph_case.t -> bool) -> Graph_case.t -> Graph_case.spec option
+
+type failure = {
+  config : config;
+  message : string;
+  shrunk : Graph_case.spec option;
+  repro : string;  (** Repro line for the shrunk (or original) graph. *)
+}
+
+type summary = {
+  configs_run : int;
+  per_app : (app * int) list;
+  failures : failure list;
+  elapsed_seconds : float;
+  budget_exhausted : bool;
+  race_findings : int;  (** 0 unless [race] was set. *)
+}
+
+(** The default graph catalogue for [seed]: random multigraphs, road
+    grids, and the degenerate shapes (edgeless, singleton, self-loops,
+    duplicate edges). *)
+val default_specs : seed:int -> Graph_case.spec list
+
+(** [run ()] sweeps [apps] × [specs] × the schedule grid × [workers]
+    (pools are created once per worker count and reused) until done or
+    [budget] seconds elapse, stopping early after [max_failures]
+    failures. [chaos] enables seeded scheduling perturbation
+    ({!Parallel.Chaos}) for the whole sweep; [race] enables the
+    plain-write detector ({!Parallel.Race}) and reports its finding
+    count. [log] receives one line per failure and per repro. *)
+val run :
+  ?oracle:Oracle.t ->
+  ?apps:app list ->
+  ?specs:Graph_case.spec list ->
+  ?workers:int list ->
+  ?budget:float ->
+  ?seed:int ->
+  ?max_failures:int ->
+  ?chaos:bool ->
+  ?race:bool ->
+  ?log:(string -> unit) ->
+  unit ->
+  summary

@@ -112,9 +112,9 @@ let run ~pool ~graph ?transpose ~schedule ~pq ~edge_fn ?(stop = fun () -> false)
     end;
     let fused_before = counter_sum fused in
     let executed =
-      Edge_map.run scratch ~graph ?transpose:transpose_graph ?filter
-        ?epilogue ~chunk:schedule.Schedule.chunk_size ~direction frontier
-        ~f:edge_fn
+      Edge_map.run scratch ~graph ?transpose:transpose_graph
+        ?sched:schedule.Schedule.sched ?filter ?epilogue
+        ~chunk:schedule.Schedule.chunk_size ~direction frontier ~f:edge_fn
     in
     let direction =
       match executed with

@@ -16,6 +16,7 @@ type t = {
   num_open_buckets : int;
   traversal : traversal;
   chunk_size : int;
+  sched : Parallel.Pool.sched option;
 }
 
 let default =
@@ -26,6 +27,7 @@ let default =
     num_open_buckets = 128;
     traversal = Sparse_push;
     chunk_size = 64;
+    sched = None;
   }
 
 let is_eager t =
@@ -65,6 +67,19 @@ let traversal_of_string = function
   | "DensePull" -> Ok Dense_pull
   | "DensePull-SparsePush" | "hybrid" -> Ok Hybrid
   | s -> Error (Printf.sprintf "unknown traversal direction %S" s)
+
+let sched_to_string = function
+  | None -> "default"
+  | Some Parallel.Pool.Static -> "static"
+  | Some Parallel.Pool.Dynamic -> "dynamic"
+  | Some Parallel.Pool.Guided -> "guided"
+
+let sched_of_string = function
+  | "default" -> Ok None
+  | "static" -> Ok (Some Parallel.Pool.Static)
+  | "dynamic" -> Ok (Some Parallel.Pool.Dynamic)
+  | "guided" -> Ok (Some Parallel.Pool.Guided)
+  | s -> Error (Printf.sprintf "unknown loop schedule %S" s)
 
 let pp ppf t =
   Format.fprintf ppf

@@ -34,6 +34,12 @@ type t = {
       (** Materialized buckets for lazy strategies ([configNumBuckets]). *)
   traversal : traversal;
   chunk_size : int;  (** Dynamic-scheduling grain for parallel loops. *)
+  sched : Parallel.Pool.sched option;
+      (** Loop-scheduling policy for the edge sweep ([configApplyParallelization]
+          analogue). [None] keeps the traversal core's per-direction defaults
+          ([Dynamic] for push, [Guided] for pull); [Some _] forces one policy
+          in both directions. Orthogonal to correctness — enumerated by the
+          differential sweep precisely because results must not depend on it. *)
 }
 
 (** [default] is eager-with-fusion, [delta = 1], threshold 1000, 128 open
@@ -58,6 +64,12 @@ val strategy_to_string : update_strategy -> string
 val traversal_of_string : string -> (traversal, string) result
 
 val traversal_to_string : traversal -> string
+
+(** [sched_of_string] / [sched_to_string] use ["default"], ["static"],
+    ["dynamic"], ["guided"]. *)
+val sched_of_string : string -> (Parallel.Pool.sched option, string) result
+
+val sched_to_string : Parallel.Pool.sched option -> string
 
 (** [is_eager t] is true for both eager strategies. *)
 val is_eager : t -> bool

@@ -20,25 +20,72 @@ type t = {
   cells : int Atomic.t array;
   length : int;
   shift : int; (* cell index of logical [i] is [i lsl shift] *)
+  id : int; (* allocation order, names the array in race findings *)
+  shadow : int array Atomic.t; (* race-mode per-slot (episode, tid) tags *)
 }
 
 (* cells/line: an Atomic.t box is 2 words, a cache line holds 4 of them. *)
 let pad_shift = 2
 
+let next_id = Atomic.make 0
+
 let alloc ~shift n v =
   let cells = Array.init (n lsl shift) (fun _ -> Atomic.make v) in
-  { cells; length = n; shift }
+  {
+    cells;
+    length = n;
+    shift;
+    id = Atomic.fetch_and_add next_id 1;
+    shadow = Atomic.make [||];
+  }
 
 let make n v = alloc ~shift:0 n v
 let make_padded n v = alloc ~shift:pad_shift n v
 let length a = a.length
+let id a = a.id
 
 let[@inline] cell a i =
   if i < 0 || i >= a.length then invalid_arg "Atomic_array: index out of bounds";
   Array.unsafe_get a.cells (i lsl a.shift)
 
 let get a i = Atomic.get (cell a i)
-let set a i v = Atomic.set (cell a i) v
+
+(* Race-mode shadow tracking for plain [set]. Tags pack as
+   [(episode lsl 8) lor tid]; a previous tag from the *same* episode with
+   a *different* tid means two workers plain-set this slot inside one
+   [Pool.run_workers] round. The shadow is itself written plainly — a
+   missed detection under extreme reordering is acceptable, a false
+   positive is impossible (same-episode different-tid tags only arise
+   from genuinely overlapping sets). Allocated lazily on first tracked
+   write so arrays in race-disabled runs pay nothing. *)
+let[@inline never] track_set a i =
+  let shadow =
+    let s = Atomic.get a.shadow in
+    if s != [||] then s
+    else begin
+      let fresh = Array.make a.length 0 in
+      if Atomic.compare_and_set a.shadow [||] fresh then fresh
+      else Atomic.get a.shadow
+    end
+  in
+  let tid = Race.current_tid () land 255 in
+  let episode = Race.current_episode () in
+  let tag = (episode lsl 8) lor tid in
+  let prev = shadow.(i) in
+  if prev <> 0 && prev lsr 8 = episode && prev land 255 <> tid then
+    Race.report
+      {
+        Race.array_id = a.id;
+        slot = i;
+        first_tid = prev land 255;
+        second_tid = tid;
+        episode;
+      };
+  shadow.(i) <- tag
+
+let set a i v =
+  Atomic.set (cell a i) v;
+  if Race.enabled () then track_set a i
 
 let compare_and_set a i ~expected ~desired =
   Atomic.compare_and_set (cell a i) expected desired

@@ -21,10 +21,19 @@ val make_padded : int -> int -> t
 (** [length a] is the cell count. *)
 val length : t -> int
 
+(** [id a] is the array's allocation id (process-wide, in allocation
+    order). Its only purpose is to correlate {!Race.finding} records with
+    the arrays they name. *)
+val id : t -> int
+
 (** [get a i] reads cell [i]. *)
 val get : t -> int -> int
 
-(** [set a i v] writes cell [i] unconditionally. *)
+(** [set a i v] writes cell [i] unconditionally. Plain sets must follow
+    the ownership discipline — only one worker may plain-set a given slot
+    within one [Pool.run_workers] episode; the {!Race} debug mode checks
+    exactly this. ([blit_from], [of_array], and the CAS-family updates
+    are exempt: they are initialization-time or self-reconciling.) *)
 val set : t -> int -> int -> unit
 
 (** [compare_and_set a i ~expected ~desired] atomically replaces the value of

@@ -1,0 +1,62 @@
+(* Seeded scheduling perturbation. [Pool] calls [point ()] at the
+   interleaving-sensitive spots (worker wake, chunk claim, barrier
+   arrival); with chaos off that is a single atomic flag read. With it
+   on, each domain draws from its own deterministic splitmix64 stream
+   and occasionally stalls — short cpu_relax bursts most of the time, a
+   rare real sleep — so repeated runs with different seeds explore
+   different interleavings without any change to the engine itself. *)
+
+let enabled_flag = Atomic.make false
+let seed = Atomic.make 0
+
+(* Bumped on every [enable] so per-domain streams lazily reseed: a domain
+   that lives across two chaos sessions must not keep its old stream. *)
+let generation = Atomic.make 0
+
+(* Distinguishes streams of domains enabled in the same generation. *)
+let stream_counter = Atomic.make 0
+
+type stream = { mutable rng : Support.Rng.t; mutable generation : int }
+
+let stream_key =
+  Domain.DLS.new_key (fun () -> { rng = Support.Rng.create 0; generation = 0 })
+
+let enabled () = Atomic.get enabled_flag
+
+let enable ~seed:s =
+  Atomic.set seed s;
+  Atomic.incr generation;
+  Atomic.set enabled_flag true
+
+let disable () = Atomic.set enabled_flag false
+
+let[@inline never] perturb () =
+  let st = Domain.DLS.get stream_key in
+  let gen = Atomic.get generation in
+  if st.generation <> gen then begin
+    st.rng <-
+      Support.Rng.create
+        ((Atomic.get seed * 1_000_003) + Atomic.fetch_and_add stream_counter 1);
+    st.generation <- gen
+  end;
+  let r = Support.Rng.next st.rng in
+  (* p = 1/8: spin 1-128 relax steps — enough to shuffle chunk-claim
+     order; p = 1/256 on top: a real 20us sleep, long enough to push the
+     waiters into the condvar slow path. *)
+  if r land 7 = 0 then
+    for _ = 0 to (r lsr 3) land 127 do
+      Domain.cpu_relax ()
+    done;
+  if r land 255 = 255 then Unix.sleepf 2e-5
+
+let[@inline] point () = if Atomic.get enabled_flag then perturb ()
+
+(* GRAPHIT_CHAOS=<seed> turns chaos on for any binary without code
+   changes (GRAPHIT_CHAOS=1 is just seed 1). *)
+let () =
+  match Sys.getenv_opt "GRAPHIT_CHAOS" with
+  | None | Some "" | Some "0" -> ()
+  | Some s -> (
+      match int_of_string_opt s with
+      | Some n -> enable ~seed:n
+      | None -> enable ~seed:(Hashtbl.hash s))

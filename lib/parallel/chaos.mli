@@ -1,0 +1,35 @@
+(** Seeded scheduling chaos for shaking out interleaving bugs.
+
+    The SPMD engine is only correct if no round depends on {e which}
+    worker claims a chunk or {e when} a worker reaches the barrier. This
+    module perturbs exactly those decisions: {!Pool} calls {!point} at
+    worker wake-up, at every chunk claim ({!Pool.next_range}), and at
+    barrier arrival, and [point] — when enabled — makes the calling
+    domain stall for a pseudo-random beat (usually a short
+    [Domain.cpu_relax] burst, occasionally a real 20µs sleep that forces
+    the condvar slow path).
+
+    Stalls are drawn from per-domain splitmix64 streams derived from one
+    global seed, so a chaos run is reproducible given the same seed,
+    worker count, and schedule — that is what makes the repro lines
+    printed by [check_runner] actionable. Chaos never changes results of
+    a correct program; it only widens the set of interleavings a test
+    run observes. Pair it with {!Race} to turn latent plain-write races
+    into findings.
+
+    Off by default; disabled cost is one atomic flag read per injection
+    point ({!Observe.Span} pattern). Enable programmatically or via the
+    [GRAPHIT_CHAOS=<seed>] environment variable (read once at startup). *)
+
+val enabled : unit -> bool
+
+(** [enable ~seed] turns injection on. Per-domain streams reseed from
+    [seed] on their next {!point}, so re-enabling with a fresh seed
+    explores a different set of interleavings. *)
+val enable : seed:int -> unit
+
+val disable : unit -> unit
+
+(** [point ()] maybe stalls the calling domain. Called by {!Pool} at
+    scheduling decision points; safe to call from any domain. *)
+val point : unit -> unit

@@ -63,6 +63,7 @@ let note_failure pool exn =
    sequentially consistent atomics one side always sees the other, so the
    broadcast cannot be lost. *)
 let finish_one pool =
+  Chaos.point ();
   if Atomic.fetch_and_add pool.remaining (-1) = 1 then
     if Atomic.get pool.done_waiters > 0 then begin
       Mutex.lock pool.mutex;
@@ -80,6 +81,7 @@ let set_worker_hook h = worker_hook := h
    single-worker path — funnels through here so the per-worker timeline
    sees exactly one enter/exit pair per worker per episode. *)
 let run_job job tid =
+  if Race.enabled () then Race.set_tid tid;
   match !worker_hook with
   | None -> job tid
   | Some hook -> (
@@ -110,6 +112,7 @@ let worker_loop pool tid =
       Mutex.unlock pool.mutex
     end;
     if not (Atomic.get pool.stop_flag) then begin
+      Chaos.point ();
       seen := Atomic.get pool.epoch;
       (* [job] was written before the epoch bump, so observing the bump
          makes this plain read well-defined (publication via atomics). *)
@@ -176,6 +179,10 @@ let run_workers_uninstrumented pool f =
     invalid_arg "Pool.run_workers: pool is shut down";
   if pool.num_workers = 1 then run_job f 0
   else begin
+    (* Race-mode episode bracketing: a fresh episode id on entry isolates
+       this round's plain sets from earlier rounds, and another bump on
+       exit keeps post-round sequential writes out of this episode. *)
+    if Race.enabled () then Race.next_episode ();
     pool.job <- Some f;
     Atomic.set pool.failure None;
     Atomic.set pool.remaining (pool.num_workers - 1);
@@ -186,6 +193,7 @@ let run_workers_uninstrumented pool f =
       Mutex.unlock pool.mutex
     end;
     let caller_outcome = try Ok (run_job f 0) with exn -> Error exn in
+    Chaos.point ();
     let wait_start = Unix.gettimeofday () in
     let finished =
       spin_until ~budget:pool.spin_budget (fun () ->
@@ -202,6 +210,7 @@ let run_workers_uninstrumented pool f =
     end;
     pool.barrier_wait <- pool.barrier_wait +. (Unix.gettimeofday () -. wait_start);
     pool.job <- None;
+    if Race.enabled () then Race.next_episode ();
     let failure = Atomic.get pool.failure in
     Atomic.set pool.failure None;
     match (caller_outcome, failure) with
@@ -268,6 +277,7 @@ let range_cursor pool ?(sched = Dynamic) ?(chunk = 256) ~lo ~hi () =
   }
 
 let next_range c ~tid =
+  Chaos.point ();
   match c.r_sched with
   | Static ->
       let slot = tid * slot_stride in

@@ -1,0 +1,73 @@
+(* Debug-mode plain-write race detection: shared state between [Pool]
+   (which brackets episodes and publishes each worker's tid in
+   domain-local storage) and [Atomic_array] (whose [set] consults it to
+   maintain per-slot shadow tags). Everything here is off the hot path:
+   with the detector disabled the only residue in the runtime is one
+   atomic flag read per [Atomic_array.set] and per episode boundary. *)
+
+type finding = {
+  array_id : int;
+  slot : int;
+  first_tid : int;
+  second_tid : int;
+  episode : int;
+}
+
+let enabled_flag = Atomic.make false
+
+(* Episodes are globally monotonic and never reused, so shadow tags
+   written under an earlier enable period can never collide with a live
+   episode. Starts at 1: shadow slot value 0 means "never written". *)
+let episode = Atomic.make 1
+
+(* The tid the current domain is running as. Worker domains only ever
+   execute inside [Pool.run_job], which keeps this current; the main
+   domain is tid 0 between episodes. *)
+let tid_key = Domain.DLS.new_key (fun () -> 0)
+
+let max_findings = 256
+let findings_lock = Mutex.create ()
+let findings_rev : finding list ref = ref []
+let findings_count = Atomic.make 0
+
+let enabled () = Atomic.get enabled_flag
+
+let enable () =
+  (* A fresh episode on enable isolates us from any plain writes of the
+     preceding disabled period. *)
+  Atomic.incr episode;
+  Atomic.set enabled_flag true
+
+let disable () = Atomic.set enabled_flag false
+
+let clear () =
+  Mutex.lock findings_lock;
+  findings_rev := [];
+  Atomic.set findings_count 0;
+  Mutex.unlock findings_lock
+
+let findings () =
+  Mutex.lock findings_lock;
+  let fs = List.rev !findings_rev in
+  Mutex.unlock findings_lock;
+  fs
+
+let num_findings () = Atomic.get findings_count
+
+let report f =
+  if Atomic.fetch_and_add findings_count 1 < max_findings then begin
+    Mutex.lock findings_lock;
+    findings_rev := f :: !findings_rev;
+    Mutex.unlock findings_lock
+  end
+
+let current_episode () = Atomic.get episode
+let next_episode () = Atomic.incr episode
+let current_tid () = Domain.DLS.get tid_key
+let set_tid tid = Domain.DLS.set tid_key tid
+
+let pp_finding ppf f =
+  Format.fprintf ppf
+    "plain-set race: array #%d slot %d written by workers %d and %d in \
+     episode %d"
+    f.array_id f.slot f.first_tid f.second_tid f.episode

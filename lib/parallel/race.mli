@@ -1,0 +1,73 @@
+(** Debug-mode detector for cross-worker plain [Atomic_array.set] overlap.
+
+    Two workers that both plain-[set] the same slot inside one
+    {!Pool.run_workers} episode are racing: unlike [fetch_min]/[CAS]
+    updates, plain stores carry no reconciliation, so whichever lands last
+    silently wins. The engine's discipline is that plain sets are only
+    ever issued by a slot's {e owner} (pull-mode destinations, per-worker
+    accumulator slots, reservation winners); this module checks that
+    discipline dynamically.
+
+    Mechanism: {!Pool} brackets every [run_workers] episode with a bump of
+    a global episode counter and publishes each worker's tid in
+    domain-local storage; {!Atomic_array.set} — when the detector is
+    enabled — tags a shadow slot with [(episode, tid)] and reports a
+    finding when it overwrites a tag from the {e same} episode with a
+    {e different} tid. Detection is cross-worker exact in the common case
+    (the second writer sees the first writer's tag) and best-effort under
+    extreme write reordering; it never reports a false positive, because a
+    same-episode different-tid shadow tag is only ever produced by an
+    actual overlapping plain set.
+
+    The detector is {b off by default}; disabled, the runtime pays one
+    atomic flag read per [set] and per episode boundary (the
+    {!Observe.Span} pattern). Enable it for differential sweeps
+    ([check_runner --race]) and the chaos tests — not for benchmarks.
+
+    Scope: only {!Atomic_array.set} is tracked. [blit_from], [of_array],
+    and the CAS-family operations bypass the shadow (they are either
+    initialization-time or carry their own reconciliation). *)
+
+type finding = {
+  array_id : int;  (** Allocation id of the {!Atomic_array} (see its docs). *)
+  slot : int;
+  first_tid : int;
+  second_tid : int;
+  episode : int;
+}
+
+(** [enabled ()] is the process-wide detector state. *)
+val enabled : unit -> bool
+
+(** [enable ()] switches shadow tracking on (and opens a fresh episode, so
+    writes from the disabled period cannot produce findings). *)
+val enable : unit -> unit
+
+val disable : unit -> unit
+
+(** [findings ()] is the recorded findings, oldest first (capped at 256;
+    {!num_findings} keeps the true count). *)
+val findings : unit -> finding list
+
+(** [num_findings ()] is the total number of findings reported since the
+    last {!clear}, including any dropped past the cap. *)
+val num_findings : unit -> int
+
+val clear : unit -> unit
+
+(** [report f] records a finding (called by {!Atomic_array}). *)
+val report : finding -> unit
+
+(** Episode plumbing, called by {!Pool} at episode boundaries. Episodes
+    are globally monotonic and never reused. *)
+
+val current_episode : unit -> int
+val next_episode : unit -> unit
+
+(** Per-domain worker identity, published by {!Pool.run_workers} around
+    each job execution. The main domain reads 0 between episodes. *)
+
+val current_tid : unit -> int
+val set_tid : int -> unit
+
+val pp_finding : Format.formatter -> finding -> unit

@@ -30,17 +30,16 @@ let no_filter _ = true
 let no_hook _ _ = ()
 let no_epilogue _ = ()
 
-let run_push scratch ~graph ~filter ~vertex_begin ~vertex_end ~epilogue ~chunk
-    frontier ~f =
+let run_push scratch ~graph ~sched ~filter ~vertex_begin ~vertex_end ~epilogue
+    ~chunk frontier ~f =
   Span.with_ "traverse.push" (fun () ->
       let members = Vertex_subset.sparse_members frontier in
       let total = Array.length members in
       let pool = Scratch.pool scratch in
       (* Frontier members have wildly uneven degrees: claim fixed chunks
          dynamically, then run a tight local loop over each chunk. *)
-      let cursor =
-        Pool.range_cursor pool ~sched:Pool.Dynamic ~chunk ~lo:0 ~hi:total ()
-      in
+      let sched = Option.value sched ~default:Pool.Dynamic in
+      let cursor = Pool.range_cursor pool ~sched ~chunk ~lo:0 ~hi:total () in
       Pool.run_workers pool (fun tid ->
           let ctx = { tid; use_atomics = true } in
           let rec drain () =
@@ -64,8 +63,8 @@ let run_push scratch ~graph ~filter ~vertex_begin ~vertex_end ~epilogue ~chunk
           epilogue ctx));
   Ran_push
 
-let run_pull scratch ~graph ~transpose ~vertex_begin ~vertex_end ~epilogue
-    ~chunk frontier ~f =
+let run_pull scratch ~graph ~transpose ~sched ~vertex_begin ~vertex_end
+    ~epilogue ~chunk frontier ~f =
   Span.with_ "traverse.pull" (fun () ->
       let pool = Scratch.pool scratch in
       let n = Csr.num_vertices graph in
@@ -78,9 +77,8 @@ let run_pull scratch ~graph ~transpose ~vertex_begin ~vertex_end ~epilogue
       let chunk = max chunk 64 in
       (* The pull sweep touches every vertex: guided chunks keep the shared
          cursor cold for most of the range and still balance the tail. *)
-      let cursor =
-        Pool.range_cursor pool ~sched:Pool.Guided ~chunk ~lo:0 ~hi:n ()
-      in
+      let sched = Option.value sched ~default:Pool.Guided in
+      let cursor = Pool.range_cursor pool ~sched ~chunk ~lo:0 ~hi:n () in
       Pool.run_workers pool (fun tid ->
           (* Pull ownership: only this worker writes vertex [d], so the user
              function runs without atomics (Fig. 9(b)). *)
@@ -106,7 +104,7 @@ let run_pull scratch ~graph ~transpose ~vertex_begin ~vertex_end ~epilogue
       Scratch.add_vertices scratch ~tid:0 card);
   Ran_pull
 
-let run scratch ~graph ?transpose ?(filter = no_filter)
+let run scratch ~graph ?transpose ?sched ?(filter = no_filter)
     ?(vertex_begin = no_hook) ?(vertex_end = no_hook)
     ?(epilogue = no_epilogue) ?(chunk = 64) ~direction frontier ~f =
   let require_transpose () =
@@ -116,12 +114,12 @@ let run scratch ~graph ?transpose ?(filter = no_filter)
   in
   match direction with
   | Push ->
-      run_push scratch ~graph ~filter ~vertex_begin ~vertex_end ~epilogue
-        ~chunk frontier ~f
+      run_push scratch ~graph ~sched ~filter ~vertex_begin ~vertex_end
+        ~epilogue ~chunk frontier ~f
   | Pull ->
       let transpose = require_transpose () in
-      run_pull scratch ~graph ~transpose ~vertex_begin ~vertex_end ~epilogue
-        ~chunk frontier ~f
+      run_pull scratch ~graph ~transpose ~sched ~vertex_begin ~vertex_end
+        ~epilogue ~chunk frontier ~f
   | Hybrid ->
       (* Ligra's direction heuristic: pull when the frontier and its
          out-edges cover more than 1/20 of the graph. *)
@@ -130,8 +128,8 @@ let run scratch ~graph ?transpose ?(filter = no_filter)
         degree_sum scratch ~graph frontier + Vertex_subset.cardinal frontier
         > Scratch.dense_threshold scratch
       then
-        run_pull scratch ~graph ~transpose ~vertex_begin ~vertex_end
+        run_pull scratch ~graph ~transpose ~sched ~vertex_begin ~vertex_end
           ~epilogue ~chunk frontier ~f
       else
-        run_push scratch ~graph ~filter ~vertex_begin ~vertex_end ~epilogue
-          ~chunk frontier ~f
+        run_push scratch ~graph ~sched ~filter ~vertex_begin ~vertex_end
+          ~epilogue ~chunk frontier ~f

@@ -70,8 +70,10 @@ val degree_sum : Scratch.t -> graph:Graphs.Csr.t -> Frontier.Vertex_subset.t -> 
     out-edges of [frontier] per [direction], calling [f] on each. Raises
     [Invalid_argument] when [direction] is [Pull] or [Hybrid] and
     [transpose] is missing. [chunk] (default 64) sizes the scheduling
-    chunks; pull raises it to at least 64. [filter] is honoured under push
-    only. Counter totals land in [scratch]
+    chunks; pull raises it to at least 64. [sched] overrides the loop
+    scheduling policy in both directions; omitted, each direction keeps
+    its tuned default ([Dynamic] push, [Guided] pull). [filter] is
+    honoured under push only. Counter totals land in [scratch]
     ({!Scratch.vertices_processed} / {!Scratch.edges_traversed}); under
     pull the vertex counter advances by the frontier cardinality, matching
     the old engine's accounting. *)
@@ -79,6 +81,7 @@ val run :
   Scratch.t ->
   graph:Graphs.Csr.t ->
   ?transpose:Graphs.Csr.t ->
+  ?sched:Parallel.Pool.sched ->
   ?filter:(int -> bool) ->
   ?vertex_begin:(ctx -> int -> unit) ->
   ?vertex_end:(ctx -> int -> unit) ->

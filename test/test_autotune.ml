@@ -32,7 +32,8 @@ let test_neighbors_differ_in_one_dimension () =
         + (if n.Schedule.fusion_threshold <> point.Schedule.fusion_threshold then 1 else 0)
         + (if n.Schedule.num_open_buckets <> point.Schedule.num_open_buckets then 1 else 0)
         + (if n.Schedule.traversal <> point.Schedule.traversal then 1 else 0)
-        + if n.Schedule.chunk_size <> point.Schedule.chunk_size then 1 else 0
+        + (if n.Schedule.chunk_size <> point.Schedule.chunk_size then 1 else 0)
+        + if n.Schedule.sched <> point.Schedule.sched then 1 else 0
       in
       Alcotest.(check int) "one dimension changed" 1 diffs)
     neighbors
@@ -65,7 +66,7 @@ let test_tuner_tolerates_failures () =
     if s.Schedule.traversal = Schedule.Dense_pull then failwith "unsupported here"
     else float_of_int s.Schedule.delta
   in
-  let result = Autotune.Tuner.tune ~space ~rng ~budget:40 ~evaluate () in
+  let result = Autotune.Tuner.tune ~space ~rng ~budget:120 ~evaluate () in
   Alcotest.(check int) "best delta is minimal" 1 result.best.schedule.Schedule.delta;
   Alcotest.(check bool) "failing trials recorded as infinity" true
     (List.for_all

@@ -8,15 +8,8 @@ module Generators = Graphs.Generators
 module Rng = Support.Rng
 module Bucket_order = Bucketing.Bucket_order
 
-let random_weighted_graph seed ~n ~m ~max_w =
-  let rng = Rng.create seed in
-  let el = Generators.erdos_renyi ~rng ~num_vertices:n ~num_edges:m () in
-  Csr.of_edge_list (Generators.assign_weights ~rng ~lo:1 ~hi:(max_w + 1) el)
-
-let symmetric_random seed ~n ~m =
-  let rng = Rng.create seed in
-  let el = Generators.erdos_renyi ~rng ~num_vertices:n ~num_edges:m () in
-  Csr.of_edge_list (Edge_list.symmetrized el)
+let random_weighted_graph = Testlib.random_weighted_graph
+let symmetric_random = Testlib.symmetric_random
 
 let test_julienne_sssp () =
   let g = random_weighted_graph 101 ~n:200 ~m:1200 ~max_w:25 in

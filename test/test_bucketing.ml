@@ -367,6 +367,75 @@ let test_histogram_reduce () =
   Alcotest.(check int) "logs cleared" 0 (Histogram.events h);
   Alcotest.(check int) "lifetime events" 4 (Histogram.total_events h)
 
+(* ------------------------------------------------------------------ *)
+
+let directions = [ Bucket_order.Lower_first; Bucket_order.Higher_first ]
+
+(* Priority order must survive the key mapping: the bucket structure
+   processes smaller keys first, so a better priority may never land in a
+   later bucket, for either direction and any coarsening. *)
+let qcheck_key_monotone =
+  QCheck.Test.make ~name:"key_of_priority is monotone in priority" ~count:200
+    QCheck.(triple (int_range 1 16) (int_bound 10_000) (int_bound 10_000))
+    (fun (delta, p, q) ->
+      let lo = min p q and hi = max p q in
+      List.for_all
+        (fun direction ->
+          let key = Bucket_order.key_of_priority ~direction ~delta in
+          match direction with
+          | Bucket_order.Lower_first -> key lo <= key hi
+          | Bucket_order.Higher_first -> key lo >= key hi)
+        directions)
+
+(* getCurrentPriority round-trip: the representative priority of a bucket
+   maps back to that bucket, and no better priority shares it shifted. *)
+let qcheck_representative_roundtrip =
+  QCheck.Test.make ~name:"representative_priority inverts key_of_priority"
+    ~count:200
+    QCheck.(triple (int_range 1 16) (int_bound 10_000) (int_range 0 1))
+    (fun (delta, p, dir_idx) ->
+      let direction = List.nth directions dir_idx in
+      let key = Bucket_order.key_of_priority ~direction ~delta p in
+      let rep = Bucket_order.representative_priority ~direction ~delta key in
+      Bucket_order.key_of_priority ~direction ~delta rep = key
+      && rep <= p
+      && (delta > 1 || rep = p))
+
+(* The unreached sentinel lives strictly outside the real key space: it
+   maps to null_key and every real priority maps before it. *)
+let qcheck_null_priority_isolated =
+  QCheck.Test.make ~name:"null_priority maps to null_key, real ones never do"
+    ~count:200
+    QCheck.(triple (int_range 1 16) (int_bound 1_000_000) (int_range 0 1))
+    (fun (delta, p, dir_idx) ->
+      let direction = List.nth directions dir_idx in
+      let key = Bucket_order.key_of_priority ~direction ~delta in
+      key Bucket_order.null_priority = Bucket_order.null_key
+      && key p <> Bucket_order.null_key
+      && key p < Bucket_order.null_key)
+
+(* Histogram reduction equals the obvious sequential count, whatever the
+   interleaving of workers and vertices, and a second round starts clean. *)
+let qcheck_histogram_matches_model =
+  QCheck.Test.make ~name:"histogram reduce = per-vertex event counts" ~count:100
+    QCheck.(
+      pair (int_range 1 4) (small_list (pair (int_bound 3) (int_bound 19))))
+    (fun (num_workers, events) ->
+      let events =
+        List.map (fun (tid, v) -> (tid mod num_workers, v)) events
+      in
+      let h = Histogram.create ~num_workers () in
+      List.iter (fun (tid, v) -> Histogram.record h ~tid v) events;
+      let model = Array.make 20 0 in
+      List.iter (fun (_, v) -> model.(v) <- model.(v) + 1) events;
+      let scratch = Array.make 20 0 in
+      let got = Array.make 20 0 in
+      Histogram.reduce h ~scratch (fun ~vertex ~count -> got.(vertex) <- count);
+      got = model
+      && Array.for_all (( = ) 0) scratch
+      && Histogram.events h = 0
+      && Histogram.total_events h = List.length events)
+
 let () =
   Alcotest.run "bucketing"
     [
@@ -376,6 +445,9 @@ let () =
           Alcotest.test_case "validation" `Quick test_key_validation;
           Alcotest.test_case "representative" `Quick test_representative;
           Alcotest.test_case "direction strings" `Quick test_direction_strings;
+          QCheck_alcotest.to_alcotest qcheck_key_monotone;
+          QCheck_alcotest.to_alcotest qcheck_representative_roundtrip;
+          QCheck_alcotest.to_alcotest qcheck_null_priority_isolated;
         ] );
       ( "lazy_buckets",
         [
@@ -405,5 +477,9 @@ let () =
         ] );
       ( "update_buffer",
         [ Alcotest.test_case "dedup and drain" `Quick test_update_buffer_dedup ] );
-      ("histogram", [ Alcotest.test_case "reduce" `Quick test_histogram_reduce ]);
+      ( "histogram",
+        [
+          Alcotest.test_case "reduce" `Quick test_histogram_reduce;
+          QCheck_alcotest.to_alcotest qcheck_histogram_matches_model;
+        ] );
     ]

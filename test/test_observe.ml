@@ -136,6 +136,35 @@ let test_pool_hook () =
           Alcotest.(check int) "episode counter matches" 5
             (List.assoc "pool.episodes" d.Metrics.counters)))
 
+(* Regression for the driver pattern (ordered_run --trace/--profile,
+   bench): the process-wide pool hooks must come off even when the run
+   body raises, or every later pool user keeps feeding a dead tracer. *)
+let test_pool_hooks_detach_on_exception () =
+  with_spans (fun () ->
+      let t = Tracer.create () in
+      Span.install_pool_hook ();
+      Tracer.set_current (Some t);
+      Tracer.install_pool_hooks ();
+      (match
+         Fun.protect
+           ~finally:(fun () ->
+             Span.remove_pool_hook ();
+             Tracer.remove_pool_hooks ();
+             Tracer.set_current None)
+           (fun () -> failwith "driver blew up mid-run")
+       with
+      | () -> Alcotest.fail "expected Failure"
+      | exception Failure _ -> ());
+      let before = Metrics.snapshot Metrics.default in
+      let events_before = Tracer.event_count t in
+      Pool.with_pool ~num_workers:2 (fun pool ->
+          Pool.run_workers pool (fun _ -> ()));
+      let d = Metrics.diff ~earlier:before (Metrics.snapshot Metrics.default) in
+      Alcotest.(check int) "no episode recorded after detach" 0
+        (hist_count d "pool.episode");
+      Alcotest.(check int) "no tracer events after detach" events_before
+        (Tracer.event_count t))
+
 (* ------------------------------------------------------------------ *)
 (* JSON                                                                 *)
 
@@ -553,6 +582,8 @@ let () =
           Alcotest.test_case "nesting and exceptions" `Quick
             test_span_nesting_and_exceptions;
           Alcotest.test_case "pool hook" `Quick test_pool_hook;
+          Alcotest.test_case "hooks detach on exception" `Quick
+            test_pool_hooks_detach_on_exception;
         ] );
       ( "json",
         [

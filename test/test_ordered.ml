@@ -11,17 +11,9 @@ module Rng = Support.Rng
 module Schedule = Ordered.Schedule
 module Bucket_order = Bucketing.Bucket_order
 
-let schedule ?(strategy = Schedule.Eager_with_fusion) ?(delta = 1)
-    ?(traversal = Schedule.Sparse_push) ?(fusion_threshold = 1000) () =
-  { Schedule.default with strategy; delta; traversal; fusion_threshold }
-
-let all_strategies =
-  [ Schedule.Eager_with_fusion; Schedule.Eager_no_fusion; Schedule.Lazy ]
-
-let random_weighted_graph seed ~n ~m ~max_w =
-  let rng = Rng.create seed in
-  let el = Generators.erdos_renyi ~rng ~num_vertices:n ~num_edges:m () in
-  Csr.of_edge_list (Generators.assign_weights ~rng ~lo:1 ~hi:(max_w + 1) el)
+let schedule = Testlib.schedule
+let all_strategies = Testlib.all_strategies
+let random_weighted_graph = Testlib.random_weighted_graph
 
 (* ---------------- schedule validation ---------------- *)
 
@@ -394,38 +386,9 @@ let test_bellman_ford_matches () =
 
 (* Naive quadratic peeling oracle: repeatedly remove a minimum-degree
    vertex; coreness is the running maximum of peel degrees. *)
-let naive_coreness_running_max g =
-  let n = Csr.num_vertices g in
-  let deg = Csr.out_degrees g in
-  let removed = Array.make n false in
-  let core = Array.make n 0 in
-  let current = ref 0 in
-  for _ = 1 to n do
-    let best = ref (-1) in
-    for v = 0 to n - 1 do
-      if (not removed.(v)) && (!best = -1 || deg.(v) < deg.(!best)) then best := v
-    done;
-    let v = !best in
-    removed.(v) <- true;
-    current := max !current deg.(v);
-    core.(v) <- !current;
-    Csr.iter_out g v (fun u _ ->
-        if (not removed.(u)) && deg.(u) > deg.(v) then deg.(u) <- deg.(u) - 1)
-  done;
-  core
-
-let symmetric_random seed ~n ~m =
-  let rng = Rng.create seed in
-  let el = Generators.erdos_renyi ~rng ~num_vertices:n ~num_edges:m () in
-  Csr.of_edge_list (Edge_list.symmetrized el)
-
-let kcore_strategies =
-  [
-    Schedule.Eager_with_fusion;
-    Schedule.Eager_no_fusion;
-    Schedule.Lazy;
-    Schedule.Lazy_constant_sum;
-  ]
+let naive_coreness_running_max = Testlib.naive_coreness_running_max
+let symmetric_random = Testlib.symmetric_random
+let kcore_strategies = Testlib.kcore_strategies
 
 let test_kcore_oracles_agree () =
   let g = symmetric_random 51 ~n:60 ~m:300 in
@@ -505,11 +468,7 @@ let qcheck_kcore_matches_oracle =
 
 (* ---------------- weighted core (variable-diff updatePrioritySum) ------ *)
 
-let symmetric_weighted seed ~n ~m ~max_w =
-  let rng = Rng.create seed in
-  let el = Generators.erdos_renyi ~rng ~num_vertices:n ~num_edges:m () in
-  let el = Generators.assign_weights ~rng ~lo:1 ~hi:(max_w + 1) el in
-  Csr.of_edge_list (Edge_list.symmetrized el)
+let symmetric_weighted = Testlib.symmetric_weighted
 
 let test_score_unit_weights_equal_kcore () =
   (* With unit weights, s-core degenerates to k-core. *)

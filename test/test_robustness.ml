@@ -12,11 +12,8 @@ module Schedule = Ordered.Schedule
 module Bucket_order = Bucketing.Bucket_order
 module Pq = Ordered.Priority_queue
 
-let schedule ?(strategy = Schedule.Eager_with_fusion) ?(delta = 1) () =
-  { Schedule.default with strategy; delta }
-
-let all_strategies =
-  [ Schedule.Eager_with_fusion; Schedule.Eager_no_fusion; Schedule.Lazy ]
+let schedule ?strategy ?delta () = Testlib.schedule ?strategy ?delta ()
+let all_strategies = Testlib.all_strategies
 
 (* ---------------- degenerate graphs ---------------- *)
 
@@ -83,6 +80,99 @@ let test_complete_graph_all_strategies () =
                 expected r.dist)
             [ 1; 7 ])
         all_strategies)
+
+(* The Lazy strategy with coarse deltas never ran on the degenerate
+   shapes above: empty/singleton frontiers, self-loops (relaxations that
+   change nothing), and duplicate edges (racing updates to one slot) all
+   stress lazy bucket bookkeeping differently than eager. *)
+let lazy_deltas = [ 1; 2; 8 ]
+
+let degenerate_graphs =
+  [
+    ("edgeless", Csr.of_edge_list (Edge_list.create ~num_vertices:5 [||]));
+    ("singleton", Csr.of_edge_list (Edge_list.create ~num_vertices:1 [||]));
+    ( "self-loops",
+      Csr.of_edge_list
+        (Edge_list.create ~num_vertices:4
+           [|
+             { src = 0; dst = 0; weight = 3 };
+             { src = 0; dst = 1; weight = 2 };
+             { src = 1; dst = 1; weight = 1 };
+             { src = 1; dst = 2; weight = 5 };
+             { src = 2; dst = 2; weight = 7 };
+             { src = 3; dst = 3; weight = 1 };
+           |]) );
+    ( "duplicate edges",
+      Csr.of_edge_list
+        (Edge_list.create ~num_vertices:3
+           [|
+             { src = 0; dst = 1; weight = 4 };
+             { src = 0; dst = 1; weight = 2 };
+             { src = 0; dst = 1; weight = 9 };
+             { src = 1; dst = 2; weight = 1 };
+             { src = 1; dst = 2; weight = 1 };
+           |]) );
+  ]
+
+let test_sssp_lazy_coarse_degenerate () =
+  Pool.with_pool ~num_workers:2 (fun pool ->
+      List.iter
+        (fun (name, g) ->
+          let expected = Algorithms.Dijkstra.distances g ~source:0 in
+          List.iter
+            (fun delta ->
+              let r =
+                Algorithms.Sssp_delta.run ~pool ~graph:g
+                  ~schedule:(schedule ~strategy:Schedule.Lazy ~delta ())
+                  ~source:0 ()
+              in
+              Alcotest.(check (array int))
+                (Printf.sprintf "lazy sssp %s delta=%d" name delta)
+                expected r.dist)
+            lazy_deltas)
+        degenerate_graphs)
+
+let test_widest_lazy_coarse_degenerate () =
+  Pool.with_pool ~num_workers:2 (fun pool ->
+      List.iter
+        (fun (name, g) ->
+          let expected =
+            (Algorithms.Widest_path.run ~pool ~graph:g
+               ~schedule:(schedule ()) ~source:0 ())
+              .capacity
+          in
+          List.iter
+            (fun delta ->
+              let r =
+                Algorithms.Widest_path.run ~pool ~graph:g
+                  ~schedule:(schedule ~strategy:Schedule.Lazy ~delta ())
+                  ~source:0 ()
+              in
+              Alcotest.(check (array int))
+                (Printf.sprintf "lazy widest %s delta=%d" name delta)
+                expected r.capacity)
+            lazy_deltas)
+        degenerate_graphs)
+
+let test_kcore_lazy_coarse_degenerate () =
+  (* k-core needs symmetric input; symmetrize each degenerate shape. *)
+  Pool.with_pool ~num_workers:2 (fun pool ->
+      List.iter
+        (fun (name, g) ->
+          let g = Csr.of_edge_list (Edge_list.symmetrized (Csr.to_edge_list g)) in
+          let expected = Algorithms.Kcore_peel_seq.coreness g in
+          List.iter
+            (fun delta ->
+              let r =
+                Algorithms.Kcore.run ~pool ~graph:g
+                  ~schedule:(schedule ~strategy:Schedule.Lazy ~delta ())
+                  ()
+              in
+              Alcotest.(check (array int))
+                (Printf.sprintf "lazy kcore %s delta=%d" name delta)
+                expected r.coreness)
+            lazy_deltas)
+        degenerate_graphs)
 
 (* ---------------- priority queue unit semantics ---------------- *)
 
@@ -367,6 +457,11 @@ let () =
           Alcotest.test_case "setcover edgeless" `Quick test_setcover_edgeless;
           Alcotest.test_case "widest single edge" `Quick test_widest_single_edge;
           Alcotest.test_case "complete graph" `Quick test_complete_graph_all_strategies;
+          Alcotest.test_case "lazy coarse sssp" `Quick test_sssp_lazy_coarse_degenerate;
+          Alcotest.test_case "lazy coarse widest" `Quick
+            test_widest_lazy_coarse_degenerate;
+          Alcotest.test_case "lazy coarse kcore" `Quick
+            test_kcore_lazy_coarse_degenerate;
         ] );
       ( "priority queue",
         [

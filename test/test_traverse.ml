@@ -15,10 +15,7 @@ module Edge_map = Traverse.Edge_map
 module Scratch = Traverse.Scratch
 module Schedule = Ordered.Schedule
 
-let random_weighted_graph seed ~n ~m ~max_w =
-  let rng = Rng.create seed in
-  let el = Generators.erdos_renyi ~rng ~num_vertices:n ~num_edges:m () in
-  Csr.of_edge_list (Generators.assign_weights ~rng ~lo:1 ~hi:(max_w + 1) el)
+let random_weighted_graph = Testlib.random_weighted_graph
 
 (* Bellman-Ford directly on the kernel, one edge-map per iteration in the
    requested direction. The relax function is the schedule-oblivious shape

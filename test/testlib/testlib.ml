@@ -1,0 +1,67 @@
+(* Helpers shared by the test suites: schedule builders, the strategy
+   lists every sweep iterates, seeded random-graph generators, and naive
+   oracles. Each suite used to carry private copies of these; keeping one
+   definition means a new schedule field or generator tweak lands in every
+   suite at once. *)
+
+module Pool = Parallel.Pool
+module Csr = Graphs.Csr
+module Edge_list = Graphs.Edge_list
+module Generators = Graphs.Generators
+module Rng = Support.Rng
+module Schedule = Ordered.Schedule
+
+let schedule ?(strategy = Schedule.Eager_with_fusion) ?(delta = 1)
+    ?(traversal = Schedule.Sparse_push) ?(fusion_threshold = 1000) () =
+  { Schedule.default with strategy; delta; traversal; fusion_threshold }
+
+(* The strategies every path-style app accepts. *)
+let all_strategies =
+  [ Schedule.Eager_with_fusion; Schedule.Eager_no_fusion; Schedule.Lazy ]
+
+(* k-core additionally supports the constant-sum bucket backend. *)
+let kcore_strategies = all_strategies @ [ Schedule.Lazy_constant_sum ]
+
+let random_weighted_graph seed ~n ~m ~max_w =
+  let rng = Rng.create seed in
+  let el = Generators.erdos_renyi ~rng ~num_vertices:n ~num_edges:m () in
+  Csr.of_edge_list (Generators.assign_weights ~rng ~lo:1 ~hi:(max_w + 1) el)
+
+let symmetric_random seed ~n ~m =
+  let rng = Rng.create seed in
+  let el = Generators.erdos_renyi ~rng ~num_vertices:n ~num_edges:m () in
+  Csr.of_edge_list (Edge_list.symmetrized el)
+
+let symmetric_weighted seed ~n ~m ~max_w =
+  let rng = Rng.create seed in
+  let el = Generators.erdos_renyi ~rng ~num_vertices:n ~num_edges:m () in
+  let el = Generators.assign_weights ~rng ~lo:1 ~hi:(max_w + 1) el in
+  Csr.of_edge_list (Edge_list.symmetrized el)
+
+(* Run [f workers pool] once per worker count, each on a fresh pool. *)
+let with_pools workers f =
+  List.iter
+    (fun w -> Pool.with_pool ~num_workers:w (fun pool -> f w pool))
+    workers
+
+(* O(n^2) Matula-Beck coreness by running max of removal degrees — an
+   independent oracle for the sequential peel and the parallel engine. *)
+let naive_coreness_running_max g =
+  let n = Csr.num_vertices g in
+  let deg = Csr.out_degrees g in
+  let removed = Array.make n false in
+  let core = Array.make n 0 in
+  let current = ref 0 in
+  for _ = 1 to n do
+    let best = ref (-1) in
+    for v = 0 to n - 1 do
+      if (not removed.(v)) && (!best = -1 || deg.(v) < deg.(!best)) then best := v
+    done;
+    let v = !best in
+    removed.(v) <- true;
+    current := max !current deg.(v);
+    core.(v) <- !current;
+    Csr.iter_out g v (fun u _ ->
+        if (not removed.(u)) && deg.(u) > deg.(v) then deg.(u) <- deg.(u) - 1)
+  done;
+  core
