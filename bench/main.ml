@@ -20,6 +20,11 @@ module Csr = Graphs.Csr
 module Edge_list = Graphs.Edge_list
 module Generators = Graphs.Generators
 module Coords = Graphs.Coords
+module Layout = Graphs.Layout
+module Reorder = Graphs.Reorder
+module Handle = Graphs.Handle
+module Graph_bin = Graphs.Graph_bin
+module Graph_io = Graphs.Graph_io
 module Rng = Support.Rng
 module Timer = Support.Timer
 module Schedule = Ordered.Schedule
@@ -34,6 +39,16 @@ let workers = ref 1
 let big = ref false
 let smoke = ref false
 let trace_out = ref None
+let repeats = ref 0 (* 0 = auto: 1 under --smoke, 3 otherwise *)
+let bench_layout = ref Layout.Plain
+let bench_reorder = ref Reorder.Identity
+
+let parse_or_die what of_string s =
+  match of_string s with
+  | Ok v -> v
+  | Error msg ->
+      Printf.eprintf "bad %s %S: %s\n" what s msg;
+      exit 2
 
 let () =
   let rec parse = function
@@ -58,6 +73,20 @@ let () =
     | "--trace" :: file :: rest ->
         trace_out := Some file;
         parse rest
+    | "--repeats" :: n :: rest ->
+        repeats := int_of_string n;
+        parse rest
+    | "--layout" :: kind :: rest ->
+        (* Storage substrate for the GraphIt engine drivers: the handles
+           handed to the algorithms carry this layout kind. *)
+        bench_layout := parse_or_die "--layout" Layout.kind_of_string kind;
+        parse rest
+    | "--reorder" :: kind :: rest ->
+        (* Vertex reordering applied to the whole workload suite before
+           any section runs; every framework sees the same relabeled
+           graphs, so comparisons stay apples-to-apples. *)
+        bench_reorder := parse_or_die "--reorder" Reorder.kind_of_string kind;
+        parse rest
     | arg :: rest ->
         Printf.eprintf "ignoring unknown argument %S\n" arg;
         parse rest
@@ -75,7 +104,11 @@ let section id title f =
       Report.add_duration id seconds;
       flush stdout
 
-let time f = Timer.time_median ~repeats:(if !smoke then 1 else 3) f
+let effective_repeats () =
+  if !repeats > 0 then !repeats else if !smoke then 1 else 3
+
+let time f = Timer.time_median ~repeats:(effective_repeats ()) f
+let time_stats f = Timer.time_stats ~repeats:(effective_repeats ()) f
 
 (* ------------------------------------------------------------------ *)
 (* Workload suite (DESIGN.md §3: stand-ins for the paper's datasets)    *)
@@ -128,9 +161,35 @@ let make_road name analog ~rows ~cols ~best_delta ~fusion_delta seed =
     fusion_delta;
   }
 
+(* --reorder relabels every workload's graphs up front, so each framework
+   sees the same permuted vertex ids and comparisons stay apples-to-apples.
+   Hilbert falls back (with a warning) on workloads without coordinates. *)
+let apply_global_reorder w =
+  match !bench_reorder with
+  | Reorder.Identity -> w
+  | kind -> (
+      match Reorder.of_kind kind ~csr:w.directed ~coords:w.coords with
+      | Error msg ->
+          Printf.eprintf "%s: --reorder %s skipped: %s\n" w.wname
+            (Reorder.kind_to_string kind) msg;
+          w
+      | Ok r ->
+          let remap g =
+            Csr.of_edge_list (Reorder.apply_edge_list r (Csr.to_edge_list g))
+          in
+          {
+            w with
+            directed = remap w.directed;
+            wbfs_graph = remap w.wbfs_graph;
+            symmetric = remap w.symmetric;
+            coords = Option.map (Reorder.apply_coords r) w.coords;
+          })
+
 let suite =
   lazy
-    (if !smoke then
+    (List.map apply_global_reorder
+    @@
+    if !smoke then
        [
          make_social "social-s" "LiveJournal/Orkut" ~scale:9 ~edge_factor:8
            ~best_delta:4 ~fusion_delta:32 101;
@@ -174,6 +233,25 @@ let graphit_schedule w = { Schedule.default with delta = w.best_delta }
 let pool = lazy (Pool.create ~num_workers:!workers ())
 let avg xs = List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
 
+(* One handle per (workload, graph role): the transpose and compressed
+   forms are lazily built once per process and shared by every section,
+   instead of rebuilt per run. --layout picks the kind the GraphIt engine
+   drivers traverse with. *)
+let handle_cache : (string, Handle.t) Hashtbl.t = Hashtbl.create 16
+
+let handle_for role g =
+  let key = role ^ "/" ^ Layout.kind_to_string !bench_layout in
+  match Hashtbl.find_opt handle_cache key with
+  | Some h -> h
+  | None ->
+      let h = Handle.create ~kind:!bench_layout g in
+      Hashtbl.add handle_cache key h;
+      h
+
+let dir_handle w = handle_for (w.wname ^ ":dir") w.directed
+let wbfs_handle w = handle_for (w.wname ^ ":wbfs") w.wbfs_graph
+let sym_handle w = handle_for (w.wname ^ ":sym") w.symmetric
+
 (* ------------------------------------------------------------------ *)
 (* Framework drivers: average seconds per (algorithm, workload); nan =
    algorithm not supported by that framework (grey cells of Fig. 4).    *)
@@ -189,7 +267,8 @@ let sssp_time framework w =
         snd
           (time (fun () ->
                Algorithms.Sssp_delta.run ~pool:p ~graph:g
-                 ~schedule:(graphit_schedule w) ~source:src ()))
+                 ~handle:(dir_handle w) ~schedule:(graphit_schedule w)
+                 ~source:src ()))
     | `Gapbs ->
         snd
           (time (fun () ->
@@ -224,8 +303,8 @@ let ppsp_time framework w =
     | `Graphit ->
         snd
           (time (fun () ->
-               Algorithms.Ppsp.run ~pool:p ~graph:g ~schedule:(graphit_schedule w)
-                 ~source:src ~target:dst ()))
+               Algorithms.Ppsp.run ~pool:p ~graph:g ~handle:(dir_handle w)
+                 ~schedule:(graphit_schedule w) ~source:src ~target:dst ()))
     | `Gapbs ->
         snd
           (time (fun () ->
@@ -267,8 +346,8 @@ let wbfs_time framework w =
       | `Graphit ->
           snd
             (time (fun () ->
-                 Algorithms.Wbfs.run ~pool:p ~graph:g ~schedule:Schedule.default
-                   ~source:src ()))
+                 Algorithms.Wbfs.run ~pool:p ~graph:g ~handle:(wbfs_handle w)
+                   ~schedule:Schedule.default ~source:src ()))
       | `Gapbs ->
           snd
             (time (fun () -> Baselines.Gapbs_like.wbfs ~pool:p ~graph:g ~source:src ()))
@@ -303,8 +382,9 @@ let astar_time framework w =
         | `Graphit ->
             snd
               (time (fun () ->
-                   Algorithms.Astar.run ~pool:p ~graph:g ~coords
-                     ~schedule:(graphit_schedule w) ~source:src ~target:dst ()))
+                   Algorithms.Astar.run ~pool:p ~graph:g ~handle:(dir_handle w)
+                     ~coords ~schedule:(graphit_schedule w) ~source:src
+                     ~target:dst ()))
         | `Gapbs ->
             snd
               (time (fun () ->
@@ -334,7 +414,7 @@ let kcore_time framework w =
   | `Graphit ->
       snd
         (time (fun () ->
-             Algorithms.Kcore.run ~pool:p ~graph:g
+             Algorithms.Kcore.run ~pool:p ~graph:g ~handle:(sym_handle w)
                ~schedule:{ Schedule.default with strategy = Schedule.Lazy_constant_sum }
                ()))
   | `Julienne -> snd (time (fun () -> Baselines.Julienne_like.kcore ~pool:p ~graph:g ()))
@@ -349,7 +429,7 @@ let setcover_time framework w =
   | `Graphit ->
       snd
         (time (fun () ->
-             Algorithms.Setcover.run ~pool:p ~graph:g
+             Algorithms.Setcover.run ~pool:p ~graph:g ~handle:(sym_handle w)
                ~schedule:{ Schedule.default with strategy = Schedule.Lazy }
                ()))
   | `Julienne ->
@@ -835,7 +915,130 @@ let traverse_bench () =
     (List.filter
        (fun w -> w.wname = "social-l" || w.wname = "road-l")
        (Lazy.force suite));
+  (* Storage substrate axis: the same lazy-hybrid run per layout x
+     reordering. Compressed trades per-edge varint decode for a smaller
+     working set; reorderings pay off where they tighten destination
+     locality (hub-first on power-law graphs, Hilbert on road grids). *)
+  Printf.printf
+    "\nLayout x reordering (lazy hybrid SSSP; median/min/max of %d runs):\n\n"
+    (effective_repeats ());
+  Printf.printf "%-10s %-12s %-8s %10s %10s %10s %7s\n" "graph" "layout"
+    "reorder" "median_s" "min_s" "max_s" "rounds";
+  List.iter
+    (fun w ->
+      let reorder_kinds =
+        [ Reorder.Identity; Reorder.Degree ]
+        @ (if is_road w then [ Reorder.Hilbert ] else [])
+      in
+      List.iter
+        (fun rk ->
+          match Reorder.of_kind rk ~csr:w.directed ~coords:w.coords with
+          | Error msg ->
+              Printf.eprintf "%s: reorder %s skipped: %s\n" w.wname
+                (Reorder.kind_to_string rk) msg
+          | Ok r ->
+              let csr =
+                if rk = Reorder.Identity then w.directed
+                else
+                  Csr.of_edge_list
+                    (Reorder.apply_edge_list r (Csr.to_edge_list w.directed))
+              in
+              let source = Reorder.apply_vertex r 0 in
+              let schedule =
+                { Schedule.default with strategy = Schedule.Lazy;
+                  traversal = Schedule.Hybrid; delta = w.best_delta }
+              in
+              List.iter
+                (fun kind ->
+                  let handle = Handle.create ~kind csr in
+                  let res, st =
+                    time_stats (fun () ->
+                        Algorithms.Sssp_delta.run ~pool:p ~graph:csr ~handle
+                          ~schedule ~source ())
+                  in
+                  let layout_s = Layout.kind_to_string kind in
+                  let reorder_s = Reorder.kind_to_string rk in
+                  Printf.printf "%-10s %-12s %-8s %10.4f %10.4f %10.4f %7d\n"
+                    w.wname layout_s reorder_s st.Timer.median st.Timer.min
+                    st.Timer.max res.Algorithms.Sssp_delta.stats.Stats.rounds;
+                  Report.row "traverse"
+                    [
+                      ("graph", Json.String w.wname);
+                      ("direction", Json.String "hybrid");
+                      ("layout", Json.String layout_s);
+                      ("reorder", Json.String reorder_s);
+                      ("seconds", Json.Float st.Timer.median);
+                      ("min_seconds", Json.Float st.Timer.min);
+                      ("max_seconds", Json.Float st.Timer.max);
+                      ( "rounds",
+                        Json.Int res.Algorithms.Sssp_delta.stats.Stats.rounds );
+                      ( "pull_rounds",
+                        Json.Int
+                          res.Algorithms.Sssp_delta.stats.Stats.pull_rounds );
+                    ])
+                [ Layout.Plain; Layout.Compressed ])
+        reorder_kinds)
+    (List.filter
+       (fun w -> w.wname = "social-l" || w.wname = "road-l")
+       (Lazy.force suite));
   print_newline ()
+
+let graphbin_bench () =
+  Printf.printf
+    "Binary graph format (GRAPHBIN): mmap-backed load vs text edge-list\n\
+     parsing, on the largest workload of the suite. The binary path maps\n\
+     the payload and copies flat words; the text path tokenizes and\n\
+     allocates per edge.\n\n";
+  let w =
+    List.fold_left
+      (fun best c ->
+        if Csr.num_edges c.directed > Csr.num_edges best.directed then c
+        else best)
+      (List.hd (Lazy.force suite))
+      (Lazy.force suite)
+  in
+  let el = Csr.to_edge_list w.directed in
+  let txt = Filename.temp_file "bench_graph" ".el" in
+  let bin = Filename.temp_file "bench_graph" ".bin" in
+  let bin_c = Filename.temp_file "bench_graph_c" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> List.iter Sys.remove [ txt; bin; bin_c ])
+  @@ fun () ->
+  Graph_io.write_edge_list txt el;
+  Graph_bin.save bin w.directed;
+  Graph_bin.save bin_c ~layout:Layout.Compressed w.directed;
+  let file_kb path = (Unix.stat path).Unix.st_size / 1024 in
+  Printf.printf "%s: |V|=%d |E|=%d  text=%dKiB bin=%dKiB bin.z=%dKiB\n\n"
+    w.wname (Csr.num_vertices w.directed) (Csr.num_edges w.directed)
+    (file_kb txt) (file_kb bin) (file_kb bin_c);
+  let bench label path load =
+    let g, st = time_stats (fun () -> load path) in
+    assert (Csr.num_edges g = Csr.num_edges w.directed);
+    Printf.printf "%-14s %10.4f s (min %.4f, max %.4f)\n" label
+      st.Timer.median st.Timer.min st.Timer.max;
+    Report.row "graphbin"
+      [
+        ("format", Json.String label);
+        ("file_kb", Json.Int (file_kb path));
+        ("seconds", Json.Float st.Timer.median);
+        ("min_seconds", Json.Float st.Timer.min);
+        ("max_seconds", Json.Float st.Timer.max);
+      ];
+    st.Timer.median
+  in
+  let text_s =
+    bench "text" txt (fun p -> Csr.of_edge_list (Graph_io.load p))
+  in
+  let bin_s = bench "bin-plain" bin Graph_bin.load_csr in
+  let binc_s = bench "bin-compressed" bin_c Graph_bin.load_csr in
+  Printf.printf "\nspeedup over text parse: plain %.1fx, compressed %.1fx\n"
+    (text_s /. bin_s) (text_s /. binc_s);
+  Report.row "graphbin"
+    [
+      ("format", Json.String "speedup");
+      ("plain_speedup", Json.Float (text_s /. bin_s));
+      ("compressed_speedup", Json.Float (text_s /. binc_s));
+    ]
 
 let autotune_bench () =
   Printf.printf
@@ -1281,6 +1484,7 @@ let () =
   section "fig11" "Figure 11: scalability" fig11;
   section "delta" "Section 6.2: delta selection" delta_sweep;
   section "traverse" "Traversal kernel: push vs pull vs hybrid (SSSP)" traverse_bench;
+  section "graphbin" "Binary graph format: load speed vs text parsing" graphbin_bench;
   section "autotune" "Section 6.2: autotuning" autotune_bench;
   section "ablate" "Ablations: fusion threshold, bucket window, widest path" ablation;
   section "dslperf" "DSL interpretation overhead vs native API" dsl_overhead;
@@ -1302,6 +1506,9 @@ let () =
            ("workers", Json.Int !workers);
            ("scale", Json.String (if !big then "big" else "default"));
            ("smoke", Json.Bool !smoke);
+           ("repeats", Json.Int (effective_repeats ()));
+           ("layout", Json.String (Layout.kind_to_string !bench_layout));
+           ("reorder", Json.String (Reorder.kind_to_string !bench_reorder));
            ( "suite",
              Json.List
                (List.map

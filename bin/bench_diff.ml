@@ -20,6 +20,34 @@ let load path =
           Printf.eprintf "bench_diff: %s is not a bench report: %s\n" path msg;
           exit 2)
 
+(* A trajectory file is a JSON list of bench reports, oldest first —
+   future runs append to it, and the diff gates against the latest entry.
+   A bare report object is accepted as a one-entry trajectory. *)
+let baseline_of name = function
+  | Json.List [] ->
+      Printf.eprintf "bench_diff: %s is an empty trajectory\n" name;
+      exit 2
+  | Json.List entries -> List.nth entries (List.length entries - 1)
+  | report -> report
+
+let append_trajectory path report =
+  let existing =
+    if Sys.file_exists path then
+      match Json.of_string (In_channel.with_open_bin path In_channel.input_all) with
+      | Ok (Json.List entries) -> entries
+      | Ok report -> [ report ]
+      | Error msg ->
+          Printf.eprintf "bench_diff: cannot append to %s: %s\n" path msg;
+          exit 2
+    else []
+  in
+  let trajectory = Json.List (existing @ [ report ]) in
+  Out_channel.with_open_bin path (fun oc ->
+      let ppf = Format.formatter_of_out_channel oc in
+      Format.fprintf ppf "%a@." Json.pp trajectory);
+  Printf.printf "appended to trajectory %s (%d entries)\n" path
+    (List.length existing + 1)
+
 let print_provenance name report =
   match Report_diff.provenance report with
   | [] -> Printf.printf "%s: (no provenance)\n" name
@@ -28,8 +56,8 @@ let print_provenance name report =
         (String.concat " "
            (List.map (fun (k, v) -> Printf.sprintf "%s=%s" k v) fields))
 
-let run old_path new_path threshold floor force =
-  let old_ = load old_path and new_ = load new_path in
+let run old_path new_path threshold floor force append =
+  let old_ = baseline_of old_path (load old_path) and new_ = load new_path in
   print_provenance old_path old_;
   print_provenance new_path new_;
   (match Report_diff.provenance_mismatches ~old_ ~new_ with
@@ -53,6 +81,9 @@ let run old_path new_path threshold floor force =
     Report_diff.compare_reports ~threshold ~floor_seconds:floor ~old_ ~new_ ()
   in
   Format.printf "%a@?" Report_diff.pp diff;
+  (* Append before gating: a trajectory records every run, including the
+     regressed ones the exit code flags. *)
+  Option.iter (fun path -> append_trajectory path new_) append;
   if diff.Report_diff.regressions > 0 then exit 1
 
 let () =
@@ -88,8 +119,18 @@ let () =
       & info [ "force" ]
           ~doc:"Compare even when provenance (hostname, workers, ...) differs")
   in
+  let append =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "append" ] ~docv:"FILE"
+          ~doc:
+            "Append the NEW report to this trajectory file (a JSON list of \
+             reports, oldest first; created when missing). OLD may itself \
+             be a trajectory: the diff gates against its last entry.")
+  in
   let term =
-    Term.(const run $ old_path $ new_path $ threshold $ floor $ force)
+    Term.(const run $ old_path $ new_path $ threshold $ floor $ force $ append)
   in
   exit
     (Cmd.eval

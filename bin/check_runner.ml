@@ -39,12 +39,16 @@ let parse_apps s =
   |> List.map (fun a -> parse_or_exit "app" (Sweep.app_of_string (String.trim a)))
 
 let failure_json (f : Sweep.failure) =
+  let v = f.config.Sweep.variant in
   Json.Obj
     [
       ("app", Json.String (Sweep.app_to_string f.config.Sweep.app));
       ("graph", Json.String (Graph_case.to_string f.config.Sweep.spec));
       ("schedule", Json.String (Sweep.schedule_to_string f.config.Sweep.schedule));
       ("workers", Json.Int f.config.Sweep.workers);
+      ("layout", Json.String (Graphs.Layout.kind_to_string v.Sweep.layout));
+      ("reorder", Json.String (Graphs.Reorder.kind_to_string v.Sweep.reorder));
+      ("bin_roundtrip", Json.Bool v.Sweep.bin_roundtrip);
       ("message", Json.String f.message);
       ( "shrunk",
         match f.shrunk with
@@ -69,7 +73,7 @@ let summary_json ~seed (s : Sweep.summary) =
       ("budget_exhausted", Json.Bool s.budget_exhausted);
     ]
 
-let run_repro ~seed ~chaos ~race ~workers app graph schedule =
+let run_repro ~seed ~chaos ~race ~workers ~variant app graph schedule =
   let app = parse_or_exit "app" (Sweep.app_of_string app) in
   let spec = parse_or_exit "graph spec" (Graph_case.of_string graph) in
   let schedule = parse_or_exit "schedule" (Sweep.schedule_of_string schedule) in
@@ -83,7 +87,7 @@ let run_repro ~seed ~chaos ~race ~workers app graph schedule =
   List.iter
     (fun w ->
       Parallel.Pool.with_pool ~num_workers:w (fun pool ->
-          match Sweep.run_one ~pool app case schedule with
+          match Sweep.run_one ~variant ~pool app case schedule with
           | Ok () -> Printf.printf "ok: %d workers\n" w
           | Error msg ->
               failed := true;
@@ -100,12 +104,12 @@ let run_repro ~seed ~chaos ~race ~workers app graph schedule =
   if !failed then exit 1
 
 let run_sweep ~seed ~budget ~chaos ~race ~workers ~max_failures ~apps
-    ~json_path ~failures_path =
+    ~json_path ~failures_path ~variants =
   let apps =
     match apps with None -> Sweep.all_apps | Some apps -> parse_apps apps
   in
   let summary =
-    Sweep.run ~apps ~workers ~budget ~seed ~max_failures ~chaos ~race
+    Sweep.run ~apps ~variants ~workers ~budget ~seed ~max_failures ~chaos ~race
       ~log:prerr_endline ()
   in
   let json = summary_json ~seed summary in
@@ -130,14 +134,33 @@ let run_sweep ~seed ~budget ~chaos ~race ~workers ~max_failures ~apps
     exit 1
 
 let main budget seed apps app graph schedule workers chaos race max_failures
-    json_path failures_path =
+    json_path failures_path layout reorder bin =
   let workers = parse_workers workers in
+  let variant_given = layout <> None || reorder <> None || bin in
+  let variant =
+    {
+      Sweep.layout =
+        (match layout with
+        | None -> Graphs.Layout.Plain
+        | Some l -> parse_or_exit "layout" (Graphs.Layout.kind_of_string l));
+      reorder =
+        (match reorder with
+        | None -> Graphs.Reorder.Identity
+        | Some r -> parse_or_exit "reorder" (Graphs.Reorder.kind_of_string r));
+      bin_roundtrip = bin;
+    }
+  in
   match (app, graph, schedule) with
   | Some app, Some graph, Some schedule ->
-      run_repro ~seed ~chaos ~race ~workers app graph schedule
+      run_repro ~seed ~chaos ~race ~workers ~variant app graph schedule
   | None, None, None ->
+      (* Sweep mode: with no substrate flags, run the whole default
+         variant axis; with flags, pin the sweep to that one variant. *)
+      let variants =
+        if variant_given then [ variant ] else Sweep.default_variants
+      in
       run_sweep ~seed ~budget ~chaos ~race ~workers ~max_failures ~apps
-        ~json_path ~failures_path
+        ~json_path ~failures_path ~variants
   | _ ->
       Printf.eprintf
         "check_runner: repro mode needs all of --app, --graph, --schedule\n";
@@ -222,10 +245,38 @@ let () =
       & info [ "failures" ] ~docv:"FILE"
           ~doc:"Write failure messages and repro lines here (CI artifact)")
   in
+  let layout =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "layout" ] ~docv:"KIND"
+          ~doc:
+            "Storage layout (plain|compressed). Repro mode: run the \
+             configuration under it; sweep mode: pin the sweep's variant \
+             axis to it")
+  in
+  let reorder =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "reorder" ] ~docv:"KIND"
+          ~doc:
+            "Vertex reordering (none|degree|bfs|hilbert) applied to the \
+             graph before running")
+  in
+  let bin =
+    Arg.(
+      value & flag
+      & info [ "bin" ]
+          ~doc:
+            "Round-trip the graph through the binary format (save-bin -> \
+             load-bin) before running")
+  in
   let term =
     Term.(
       const main $ budget $ seed $ apps $ app_arg $ graph $ schedule $ workers
-      $ chaos $ race $ max_failures $ json_path $ failures_path)
+      $ chaos $ race $ max_failures $ json_path $ failures_path $ layout
+      $ reorder $ bin)
   in
   exit
     (Cmd.eval

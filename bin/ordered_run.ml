@@ -3,10 +3,12 @@
 
 open Cmdliner
 
-let load_graph path symmetric =
-  let el = Graphs.Graph_io.load path in
-  let el = if symmetric then Graphs.Edge_list.symmetrized el else el in
-  Graphs.Csr.of_edge_list el
+(* A graph argument may be an edge-list text file or a GRAPHBIN binary
+   (sniffed by magic, so `.bin` files work regardless of extension). *)
+let load_edge_list path =
+  if Graphs.Graph_bin.is_graph_bin path then
+    Graphs.Csr.to_edge_list (Graphs.Graph_bin.load_csr path)
+  else Graphs.Graph_io.load path
 
 let make_schedule strategy delta threshold buckets traversal =
   let ( let* ) = Result.bind in
@@ -23,13 +25,63 @@ let make_schedule strategy delta threshold buckets traversal =
     }
 
 let run algorithm graph_path source target workers strategy delta threshold buckets
-    traversal coords_path show_rounds trace_path profile =
+    traversal coords_path show_rounds trace_path profile layout reorder
+    save_bin =
   let schedule =
     match make_schedule strategy delta threshold buckets traversal with
     | Ok s -> s
     | Error msg ->
         Printf.eprintf "invalid schedule: %s\n" msg;
         exit 1
+  in
+  let layout_kind =
+    match Graphs.Layout.kind_of_string layout with
+    | Ok k -> k
+    | Error msg ->
+        Printf.eprintf "%s\n" msg;
+        exit 1
+  in
+  let reorder_kind =
+    match Graphs.Reorder.kind_of_string reorder with
+    | Ok k -> k
+    | Error msg ->
+        Printf.eprintf "%s\n" msg;
+        exit 1
+  in
+  (* Load, optionally relabel vertices, optionally persist the prepared
+     graph as a binary, and wrap it in a handle carrying the chosen
+     layout. Vertex ids given on the command line are remapped through
+     the permutation so the query answers the same question. *)
+  let prepare symmetric =
+    let el = load_edge_list graph_path in
+    let el = if symmetric then Graphs.Edge_list.symmetrized el else el in
+    let coords = Option.map Graphs.Graph_io.read_coords coords_path in
+    let csr = Graphs.Csr.of_edge_list el in
+    let perm =
+      match Graphs.Reorder.of_kind reorder_kind ~csr ~coords with
+      | Ok r -> r
+      | Error msg ->
+          Printf.eprintf "%s\n" msg;
+          exit 1
+    in
+    let csr =
+      if reorder_kind = Graphs.Reorder.Identity then csr
+      else Graphs.Csr.of_edge_list (Graphs.Reorder.apply_edge_list perm el)
+    in
+    let coords = Option.map (Graphs.Reorder.apply_coords perm) coords in
+    (match save_bin with
+    | Some path ->
+        Graphs.Graph_bin.save path ~layout:layout_kind csr;
+        Printf.printf "saved binary graph: %s (%s layout)\n" path
+          (Graphs.Layout.kind_to_string layout_kind)
+    | None -> ());
+    let remap v =
+      if v >= 0 && v < Graphs.Csr.num_vertices csr then
+        Graphs.Reorder.apply_vertex perm v
+      else v
+    in
+    let handle = Graphs.Handle.create ~kind:layout_kind csr in
+    (csr, handle, coords, remap source, remap target)
   in
   if profile then begin
     Observe.Span.set_enabled true;
@@ -64,16 +116,11 @@ let run algorithm graph_path source target workers strategy delta threshold buck
       in
       match algorithm with
       | "sssp" ->
-          let graph = load_graph graph_path false in
-          let transpose =
-            if schedule.Ordered.Schedule.traversal <> Ordered.Schedule.Sparse_push
-            then Some (Graphs.Csr.transpose graph)
-            else None
-          in
+          let graph, handle, _, source, _ = prepare false in
           let trace = if show_rounds then Some (Ordered.Trace.create ()) else None in
           let r, seconds =
             Support.Timer.time (fun () ->
-                Algorithms.Sssp_delta.run ~pool ~graph ?transpose ~schedule ~source
+                Algorithms.Sssp_delta.run ~pool ~graph ~handle ~schedule ~source
                   ?trace ())
           in
           report "sssp" seconds (Some r.stats);
@@ -81,54 +128,57 @@ let run algorithm graph_path source target workers strategy delta threshold buck
           | Some t -> Format.printf "%a" (Ordered.Trace.pp ?max_rounds:None) t
           | None -> ())
       | "wbfs" ->
-          let graph = load_graph graph_path false in
+          let graph, handle, _, source, _ = prepare false in
           let r, seconds =
             Support.Timer.time (fun () ->
-                Algorithms.Wbfs.run ~pool ~graph ~schedule ~source ())
+                Algorithms.Wbfs.run ~pool ~graph ~handle ~schedule ~source ())
           in
           report "wbfs" seconds (Some r.stats)
       | "ppsp" ->
-          let graph = load_graph graph_path false in
+          let graph, handle, _, source, target = prepare false in
           let r, seconds =
             Support.Timer.time (fun () ->
-                Algorithms.Ppsp.run ~pool ~graph ~schedule ~source ~target ())
+                Algorithms.Ppsp.run ~pool ~graph ~handle ~schedule ~source
+                  ~target ())
           in
           Printf.printf "distance %d -> %d = %s\n" source target
             (if r.distance = Bucketing.Bucket_order.null_priority then "unreachable"
              else string_of_int r.distance);
           report "ppsp" seconds (Some r.stats)
       | "astar" ->
-          let graph = load_graph graph_path false in
+          let graph, handle, coords, source, target = prepare false in
           let coords =
-            match coords_path with
-            | Some p -> Graphs.Graph_io.read_coords p
+            match coords with
+            | Some c -> c
             | None ->
                 Printf.eprintf "astar requires --coords\n";
                 exit 1
           in
           let r, seconds =
             Support.Timer.time (fun () ->
-                Algorithms.Astar.run ~pool ~graph ~coords ~schedule ~source ~target ())
+                Algorithms.Astar.run ~pool ~graph ~coords ~handle ~schedule
+                  ~source ~target ())
           in
           Printf.printf "distance %d -> %d = %d\n" source target r.distance;
           report "astar" seconds (Some r.stats)
       | "kcore" ->
-          let graph = load_graph graph_path true in
+          let graph, handle, _, _, _ = prepare true in
           let r, seconds =
-            Support.Timer.time (fun () -> Algorithms.Kcore.run ~pool ~graph ~schedule ())
+            Support.Timer.time (fun () ->
+                Algorithms.Kcore.run ~pool ~graph ~handle ~schedule ())
           in
           Printf.printf "max core = %d\n" (Algorithms.Kcore.max_core r);
           report "kcore" seconds (Some r.stats)
       | "setcover" ->
-          let graph = load_graph graph_path true in
+          let graph, handle, _, _, _ = prepare true in
           let r, seconds =
             Support.Timer.time (fun () ->
-                Algorithms.Setcover.run ~pool ~graph ~schedule ())
+                Algorithms.Setcover.run ~pool ~graph ~handle ~schedule ())
           in
           Printf.printf "cover size = %d (%d rounds)\n" r.cover_size r.rounds;
           report "setcover" seconds None
       | "bellman-ford" ->
-          let graph = load_graph graph_path false in
+          let graph, _, _, source, _ = prepare false in
           let r, seconds =
             Support.Timer.time (fun () ->
                 Algorithms.Bellman_ford.run ~pool ~graph ~source ())
@@ -199,11 +249,35 @@ let () =
             "Enable the flight recorder (span timings and cumulative \
              counters) and print its table after the run")
   in
+  let layout =
+    Arg.(
+      value & opt string "plain"
+      & info [ "layout" ] ~docv:"KIND"
+          ~doc:"Storage layout for traversal: plain|compressed")
+  in
+  let reorder =
+    Arg.(
+      value & opt string "none"
+      & info [ "reorder" ] ~docv:"KIND"
+          ~doc:
+            "Vertex reordering applied before running: \
+             none|degree|bfs|hilbert (hilbert needs --coords)")
+  in
+  let save_bin =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save-bin" ] ~docv:"FILE"
+          ~doc:
+            "Write the prepared graph (after symmetrization/reordering) as \
+             a GRAPHBIN binary; later runs can pass it as GRAPH for \
+             mmap-speed loading")
+  in
   let term =
     Term.(
       const run $ algorithm $ graph $ source $ target $ workers $ strategy $ delta
       $ threshold $ buckets $ traversal $ coords $ show_rounds $ trace_path
-      $ profile)
+      $ profile $ layout $ reorder $ save_bin)
   in
   exit
     (Cmd.eval

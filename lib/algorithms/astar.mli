@@ -23,6 +23,7 @@ val run :
   graph:Graphs.Csr.t ->
   coords:Graphs.Coords.t ->
   ?transpose:Graphs.Csr.t ->
+  ?handle:Graphs.Handle.t ->
   schedule:Ordered.Schedule.t ->
   source:int ->
   target:int ->

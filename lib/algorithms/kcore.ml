@@ -8,9 +8,9 @@ type result = {
   stats : Ordered.Stats.t;
 }
 
-let run ~pool ~graph ~schedule () =
+let run ~pool ~graph ?handle ~schedule () =
   let n = Graphs.Csr.num_vertices graph in
-  let degrees = Atomic_array.of_array (Graphs.Csr.out_degrees graph) in
+  let degrees = Atomic_array.of_array (Graphs.Csr.out_degrees_cached graph) in
   let constant_sum_delta =
     match schedule.Ordered.Schedule.strategy with
     | Ordered.Schedule.Lazy_constant_sum -> Some (-1)
@@ -34,7 +34,7 @@ let run ~pool ~graph ~schedule () =
           let k = Pq.current_priority pq in
           Pq.update_priority_sum pq ctx dst ~diff:(-1) ~floor:k
   in
-  let stats = Engine.run ~pool ~graph ~schedule ~pq ~edge_fn () in
+  let stats = Engine.run ~pool ~graph ?handle ~schedule ~pq ~edge_fn () in
   ignore n;
   { coreness = Atomic_array.to_array degrees; stats }
 

@@ -8,7 +8,7 @@ type result = {
   stats : Ordered.Stats.t;
 }
 
-let run ~pool ~graph ?transpose ~schedule ~source ~target () =
+let run ~pool ~graph ?transpose ?handle ~schedule ~source ~target () =
   let n = Graphs.Csr.num_vertices graph in
   if source < 0 || source >= n || target < 0 || target >= n then
     invalid_arg "Ppsp.run: endpoint out of range";
@@ -29,5 +29,7 @@ let run ~pool ~graph ?transpose ~schedule ~source ~target () =
     Atomic_array.get dist target <> Bucket_order.null_priority
     && Pq.finished_vertex pq target
   in
-  let stats = Engine.run ~pool ~graph ?transpose ~schedule ~pq ~edge_fn ~stop () in
+  let stats =
+    Engine.run ~pool ~graph ?transpose ?handle ~schedule ~pq ~edge_fn ~stop ()
+  in
   { distance = Atomic_array.get dist target; stats }

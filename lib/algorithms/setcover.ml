@@ -38,7 +38,7 @@ let bucket_value ~cost d =
      dropping it could leave its private elements uncoverable. *)
   ilog2 (max 1 (d * ratio_scale / cost))
 
-let run ~pool ~graph ~schedule ?costs () =
+let run ~pool ~graph ?handle ~schedule ?costs () =
   (match schedule.Ordered.Schedule.strategy with
   | Ordered.Schedule.Lazy_constant_sum ->
       invalid_arg
@@ -74,6 +74,17 @@ let run ~pool ~graph ~schedule ?costs () =
   let candidates = Array.init workers (fun _ -> Int_vec.create ()) in
   let covered_delta = Array.make workers 0 in
   let scratch = Scratch.create ~pool ~graph in
+  (* All three sweeps below are push-direction; a non-plain handle routes
+     them through the kernel instance specialized for its layout. *)
+  let sweep ?filter ?vertex_begin ?vertex_end ?chunk frontier ~f =
+    match handle with
+    | Some h when Graphs.Handle.kind h <> Graphs.Layout.Plain ->
+        Edge_map.run_layout scratch ~graph:(Graphs.Handle.graph h) ?filter
+          ?vertex_begin ?vertex_end ?chunk ~direction:Edge_map.Push frontier ~f
+    | _ ->
+        Edge_map.run scratch ~graph ?filter ?vertex_begin ?vertex_end ?chunk
+          ~direction:Edge_map.Push frontier ~f
+  in
   (* The kernel's edge function sees only out-edges; the set of [s] also
      covers [s] itself, so [vertex_begin] accounts for the self element.
      Per-vertex accumulators live in padded per-worker slots (one sweep's
@@ -173,9 +184,10 @@ let run ~pool ~graph ~schedule ?costs () =
     current_value := Pq.current_priority pq;
     Array.iter Int_vec.clear candidates;
     ignore
-      (Edge_map.run scratch ~graph ~filter:(fun s -> not in_cover.(s))
-         ~vertex_begin:validate_begin ~vertex_end:validate_end
-         ~direction:Edge_map.Push frontier ~f:validate_edge);
+      (sweep
+         ~filter:(fun s -> not in_cover.(s))
+         ~vertex_begin:validate_begin ~vertex_end:validate_end frontier
+         ~f:validate_edge);
     let round_candidates =
       let merged = Int_vec.create () in
       Array.iter (fun vec -> Int_vec.append merged vec) candidates;
@@ -186,12 +198,11 @@ let run ~pool ~graph ~schedule ?costs () =
         Vertex_subset.unsafe_of_array ~num_vertices:n round_candidates
       in
       ignore
-        (Edge_map.run scratch ~graph ~vertex_begin:reserve_begin ~chunk:16
-           ~direction:Edge_map.Push candidate_set ~f:reserve_edge);
+        (sweep ~vertex_begin:reserve_begin ~chunk:16 candidate_set
+           ~f:reserve_edge);
       Array.fill covered_delta 0 workers 0;
       ignore
-        (Edge_map.run scratch ~graph ~vertex_begin:commit_begin
-           ~vertex_end:commit_end ~chunk:16 ~direction:Edge_map.Push
+        (sweep ~vertex_begin:commit_begin ~vertex_end:commit_end ~chunk:16
            candidate_set ~f:commit_edge);
       uncovered := !uncovered - Array.fold_left ( + ) 0 covered_delta
     end

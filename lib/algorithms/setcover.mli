@@ -34,6 +34,7 @@ type result = {
 val run :
   pool:Parallel.Pool.t ->
   graph:Graphs.Csr.t ->
+  ?handle:Graphs.Handle.t ->
   schedule:Ordered.Schedule.t ->
   ?costs:int array ->
   unit ->

@@ -8,7 +8,7 @@ type result = {
   stats : Ordered.Stats.t;
 }
 
-let run ~pool ~graph ?transpose ~schedule ~source ?trace () =
+let run ~pool ~graph ?transpose ?handle ~schedule ~source ?trace () =
   let n = Graphs.Csr.num_vertices graph in
   if source < 0 || source >= n then invalid_arg "Sssp_delta.run: source out of range";
   let dist = Atomic_array.make n Bucket_order.null_priority in
@@ -23,5 +23,7 @@ let run ~pool ~graph ?transpose ~schedule ~source ?trace () =
     let new_dist = Atomic_array.get dist src + weight in
     Pq.update_priority_min pq ctx dst new_dist
   in
-  let stats = Engine.run ~pool ~graph ?transpose ~schedule ~pq ~edge_fn ?trace () in
+  let stats =
+    Engine.run ~pool ~graph ?transpose ?handle ~schedule ~pq ~edge_fn ?trace ()
+  in
   { dist = Atomic_array.to_array dist; stats }

@@ -22,6 +22,7 @@ type result = {
 val run :
   pool:Parallel.Pool.t ->
   graph:Graphs.Csr.t ->
+  ?handle:Graphs.Handle.t ->
   schedule:Ordered.Schedule.t ->
   source:int ->
   unit ->

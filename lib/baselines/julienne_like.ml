@@ -87,7 +87,7 @@ type kcore_result = {
 let kcore ~pool ~graph () =
   let n = Csr.num_vertices graph in
   let workers = Pool.num_workers pool in
-  let degrees = Atomic_array.of_array (Csr.out_degrees graph) in
+  let degrees = Atomic_array.of_array (Csr.out_degrees_cached graph) in
   let bucket_of v = Atomic_array.get degrees v in
   let buckets =
     Lazy_buckets.create ~num_vertices:n ~num_open:128

@@ -2,6 +2,10 @@ module Pool = Parallel.Pool
 module Csr = Graphs.Csr
 module Edge_list = Graphs.Edge_list
 module Coords = Graphs.Coords
+module Layout = Graphs.Layout
+module Reorder = Graphs.Reorder
+module Handle = Graphs.Handle
+module Graph_bin = Graphs.Graph_bin
 module Schedule = Ordered.Schedule
 module Rng = Support.Rng
 
@@ -25,6 +29,45 @@ let app_of_string = function
   | "kcore" -> Ok Kcore
   | "setcover" -> Ok Setcover
   | s -> Error (Printf.sprintf "unknown app %S" s)
+
+(* ---------------- substrate variants ---------------- *)
+
+(* The storage-substrate axis: every schedule-space point can additionally
+   run on a compressed layout, a reordered vertex numbering, and/or a
+   graph that took a save-bin -> load-bin round trip. The oracles judge
+   the app on the {e same} transformed graph, so a variant failure
+   isolates the substrate, not the algorithm. *)
+type variant = {
+  layout : Layout.kind;
+  reorder : Reorder.kind;
+  bin_roundtrip : bool;
+}
+
+let default_variant =
+  { layout = Layout.Plain; reorder = Reorder.Identity; bin_roundtrip = false }
+
+let default_variants =
+  [
+    default_variant;
+    { default_variant with layout = Layout.Compressed };
+    { default_variant with reorder = Reorder.Degree };
+    {
+      default_variant with
+      layout = Layout.Compressed;
+      reorder = Reorder.Degree;
+    };
+    { default_variant with bin_roundtrip = true };
+  ]
+
+let variant_to_flags v =
+  String.concat ""
+    [
+      (if v.layout = Layout.Plain then ""
+       else " --layout " ^ Layout.kind_to_string v.layout);
+      (if v.reorder = Reorder.Identity then ""
+       else " --reorder " ^ Reorder.kind_to_string v.reorder);
+      (if v.bin_roundtrip then " --bin" else "");
+    ]
 
 (* ---------------- schedule <-> repro string ---------------- *)
 
@@ -97,53 +140,106 @@ type config = {
   spec : Graph_case.spec;
   schedule : Schedule.t;
   workers : int;
+  variant : variant;
 }
 
 let repro_line ?(chaos = false) ~seed config =
   Printf.sprintf
-    "check_runner --seed %d --app %s --graph '%s' --workers %d --schedule '%s'%s"
+    "check_runner --seed %d --app %s --graph '%s' --workers %d --schedule '%s'%s%s"
     seed (app_to_string config.app)
     (Graph_case.to_string config.spec)
     config.workers
     (schedule_to_string config.schedule)
+    (variant_to_flags config.variant)
     (if chaos then " --chaos" else "")
+
+(* A case prepared under one variant: the transformed edge list plus the
+   handles every (app, schedule, workers) point over it shares. Handles
+   cache the transpose and compressed forms, so a sweep of hundreds of
+   schedules pays each conversion once instead of once per run. *)
+type prepared = {
+  p_case : Graph_case.t;
+  p_directed : Handle.t;
+  p_symmetric : Handle.t Lazy.t; (* k-core / set cover *)
+}
+
+let prepare ?(variant = default_variant) (case : Graph_case.t) =
+  let* case =
+    if variant.reorder = Reorder.Identity then Ok case
+    else
+      let csr = Csr.of_edge_list case.Graph_case.el in
+      let* r =
+        Reorder.of_kind variant.reorder ~csr ~coords:case.Graph_case.coords
+      in
+      Ok
+        {
+          case with
+          Graph_case.el = Reorder.apply_edge_list r case.Graph_case.el;
+          coords = Option.map (Reorder.apply_coords r) case.Graph_case.coords;
+        }
+  in
+  let csr = Csr.of_edge_list case.Graph_case.el in
+  let* csr =
+    if not variant.bin_roundtrip then Ok csr
+    else
+      (* Save, reload, and require the loaded graph to be identical —
+         then run the apps on the loaded copy, so a subtle codec bug also
+         has to survive the oracles. *)
+      let path = Filename.temp_file "graphbin_check" ".bin" in
+      Fun.protect
+        ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+        (fun () ->
+          match
+            Graph_bin.save path ~layout:variant.layout csr;
+            Graph_bin.load_csr path
+          with
+          | loaded ->
+              if Csr.to_edge_list loaded = Csr.to_edge_list csr then Ok loaded
+              else Error "graph_bin round-trip changed the graph"
+          | exception exn ->
+              Error ("graph_bin round-trip: " ^ Printexc.to_string exn))
+  in
+  Ok
+    {
+      p_case = case;
+      p_directed = Handle.create ~kind:variant.layout csr;
+      p_symmetric =
+        lazy
+          (Handle.of_edge_list ~kind:variant.layout
+             (Edge_list.symmetrized case.Graph_case.el));
+    }
 
 (* Run one (app, graph, schedule) point on [pool] and judge the result.
    Engine exceptions are failures like any mismatch — a schedule that
    crashes is as broken as one that returns wrong distances, and both
    should shrink. *)
-let run_one ?(oracle = Oracle.default) ~pool app (case : Graph_case.t) schedule
-    =
+let run_prepared ?(oracle = Oracle.default) ~pool app prepared schedule =
   match Schedule.validate schedule with
   | Error msg -> Error ("invalid schedule: " ^ msg)
   | Ok schedule -> (
+      let case = prepared.p_case in
       let judge () =
         match app with
         | Sssp | Wbfs | Ppsp | Astar -> (
-            let graph = Csr.of_edge_list case.Graph_case.el in
+            let handle = prepared.p_directed in
+            let graph = Handle.csr handle in
             let n = Csr.num_vertices graph in
-            let transpose =
-              if schedule.Schedule.traversal <> Schedule.Sparse_push then
-                Some (Csr.transpose graph)
-              else None
-            in
             let source = 0 and target = n - 1 in
             match app with
             | Sssp ->
                 let r =
-                  Algorithms.Sssp_delta.run ~pool ~graph ?transpose ~schedule
+                  Algorithms.Sssp_delta.run ~pool ~graph ~handle ~schedule
                     ~source ()
                 in
                 oracle.Oracle.sssp graph ~source r.Algorithms.Sssp_delta.dist
             | Wbfs ->
                 let r =
-                  Algorithms.Wbfs.run ~pool ~graph ?transpose ~schedule ~source
-                    ()
+                  Algorithms.Wbfs.run ~pool ~graph ~handle ~schedule ~source ()
                 in
                 oracle.Oracle.sssp graph ~source r.Algorithms.Sssp_delta.dist
             | Ppsp ->
                 let r =
-                  Algorithms.Ppsp.run ~pool ~graph ?transpose ~schedule ~source
+                  Algorithms.Ppsp.run ~pool ~graph ~handle ~schedule ~source
                     ~target ()
                 in
                 oracle.Oracle.ppsp graph ~source ~target
@@ -153,28 +249,31 @@ let run_one ?(oracle = Oracle.default) ~pool app (case : Graph_case.t) schedule
                 | None -> Error "astar requires a graph with coordinates"
                 | Some coords ->
                     let r =
-                      Algorithms.Astar.run ~pool ~graph ~coords ?transpose
+                      Algorithms.Astar.run ~pool ~graph ~coords ~handle
                         ~schedule ~source ~target ()
                     in
                     oracle.Oracle.ppsp graph ~source ~target
                       r.Algorithms.Astar.distance)
             | Kcore | Setcover -> assert false)
         | Kcore ->
-            let graph =
-              Csr.of_edge_list (Edge_list.symmetrized case.Graph_case.el)
-            in
-            let r = Algorithms.Kcore.run ~pool ~graph ~schedule () in
+            let handle = Lazy.force prepared.p_symmetric in
+            let graph = Handle.csr handle in
+            let r = Algorithms.Kcore.run ~pool ~graph ~handle ~schedule () in
             oracle.Oracle.kcore graph r.Algorithms.Kcore.coreness
         | Setcover ->
-            let graph =
-              Csr.of_edge_list (Edge_list.symmetrized case.Graph_case.el)
-            in
-            let r = Algorithms.Setcover.run ~pool ~graph ~schedule () in
+            let handle = Lazy.force prepared.p_symmetric in
+            let graph = Handle.csr handle in
+            let r = Algorithms.Setcover.run ~pool ~graph ~handle ~schedule () in
             oracle.Oracle.setcover graph r
       in
       match judge () with
       | result -> result
       | exception exn -> Error ("exception: " ^ Printexc.to_string exn))
+
+let run_one ?oracle ?variant ~pool app (case : Graph_case.t) schedule =
+  match prepare ?variant case with
+  | Error msg -> Error ("prepare: " ^ msg)
+  | Ok prepared -> run_prepared ?oracle ~pool app prepared schedule
 
 (* ---------------- shrinking ---------------- *)
 
@@ -384,12 +483,13 @@ let schedules ~seed app graph =
 
 exception Stop
 
-let run ?oracle ?(apps = all_apps) ?specs ?(workers = [ 1; 2; 4 ])
-    ?(budget = 60.) ?(seed = 0) ?(max_failures = 5) ?(chaos = false)
-    ?(race = false) ?(log = fun _ -> ()) () =
+let run ?oracle ?(apps = all_apps) ?specs ?(variants = default_variants)
+    ?(workers = [ 1; 2; 4 ]) ?(budget = 60.) ?(seed = 0) ?(max_failures = 5)
+    ?(chaos = false) ?(race = false) ?(log = fun _ -> ()) () =
   let specs =
     match specs with Some s -> s | None -> default_specs ~seed
   in
+  let variants = if variants = [] then [ default_variant ] else variants in
   let workers = List.sort_uniq compare workers in
   if chaos then Parallel.Chaos.enable ~seed;
   if race then begin
@@ -415,61 +515,98 @@ let run ?oracle ?(apps = all_apps) ?specs ?(workers = [ 1; 2; 4 ])
         List.map (fun spec -> (spec, Graph_case.build spec)) specs
       in
       (try
-         (* Specs outer, apps inner: if the budget dies mid-sweep, every
-            app has still run on the earlier graphs. *)
+         (* Specs outer, then substrate variants, then apps: if the budget
+            dies mid-sweep, every app has still run on the earlier graphs,
+            and each (graph, variant) pays its transforms once for all the
+            apps and schedules over it. *)
          List.iter
            (fun (spec, case) ->
              List.iter
-               (fun app ->
-                 match (app, case.Graph_case.coords) with
-                 | Astar, None -> ()
-                 | _ ->
-                     let graph = Csr.of_edge_list case.Graph_case.el in
+               (fun variant ->
+                 let record_failure config message shrunk =
+                   let repro_spec =
+                     Option.value ~default:config.spec shrunk
+                   in
+                   let repro =
+                     repro_line ~chaos ~seed { config with spec = repro_spec }
+                   in
+                   log ("repro: " ^ repro);
+                   failures := { config; message; shrunk; repro } :: !failures;
+                   if List.length !failures >= max_failures then raise Stop
+                 in
+                 match prepare ~variant case with
+                 | Error message ->
+                     (* A substrate transform that fails is a finding in
+                        its own right (codec or permutation bug). *)
+                     log
+                       (Printf.sprintf "FAIL prepare on %s%s: %s"
+                          (Graph_case.to_string spec)
+                          (variant_to_flags variant) message);
+                     record_failure
+                       {
+                         app = List.hd apps;
+                         spec;
+                         schedule = Schedule.default;
+                         workers = List.hd workers;
+                         variant;
+                       }
+                       ("prepare: " ^ message) None
+                 | Ok prepared ->
                      List.iter
-                       (fun schedule ->
-                         List.iter
-                           (fun (w, pool) ->
-                             if elapsed () > budget then begin
-                               budget_exhausted := true;
-                               raise Stop
-                             end;
-                             incr configs_run;
-                             Hashtbl.replace per_app app
-                               (1
-                               + Option.value ~default:0
-                                   (Hashtbl.find_opt per_app app));
-                             match run_one ?oracle ~pool app case schedule with
-                             | Ok () -> ()
-                             | Error message ->
-                                 let config =
-                                   { app; spec; schedule; workers = w }
-                                 in
-                                 log
-                                   (Printf.sprintf "FAIL %s on %s: %s"
-                                      (app_to_string app)
-                                      (Graph_case.to_string spec)
-                                      message);
-                                 let check c =
-                                   Result.is_error
-                                     (run_one ?oracle ~pool app c schedule)
-                                 in
-                                 let shrunk = shrink ~check case in
-                                 let repro_spec =
-                                   Option.value ~default:spec shrunk
-                                 in
-                                 let repro =
-                                   repro_line ~chaos ~seed
-                                     { config with spec = repro_spec }
-                                 in
-                                 log ("repro: " ^ repro);
-                                 failures :=
-                                   { config; message; shrunk; repro }
-                                   :: !failures;
-                                 if List.length !failures >= max_failures then
-                                   raise Stop)
-                           pools)
-                       (schedules ~seed app graph))
-               apps)
+                       (fun app ->
+                         match (app, case.Graph_case.coords) with
+                         | Astar, None -> ()
+                         | _ ->
+                             let graph = Handle.csr prepared.p_directed in
+                             List.iter
+                               (fun schedule ->
+                                 List.iter
+                                   (fun (w, pool) ->
+                                     if elapsed () > budget then begin
+                                       budget_exhausted := true;
+                                       raise Stop
+                                     end;
+                                     incr configs_run;
+                                     Hashtbl.replace per_app app
+                                       (1
+                                       + Option.value ~default:0
+                                           (Hashtbl.find_opt per_app app));
+                                     match
+                                       run_prepared ?oracle ~pool app prepared
+                                         schedule
+                                     with
+                                     | Ok () -> ()
+                                     | Error message ->
+                                         let config =
+                                           {
+                                             app;
+                                             spec;
+                                             schedule;
+                                             workers = w;
+                                             variant;
+                                           }
+                                         in
+                                         log
+                                           (Printf.sprintf "FAIL %s on %s%s: %s"
+                                              (app_to_string app)
+                                              (Graph_case.to_string spec)
+                                              (variant_to_flags variant)
+                                              message);
+                                         (* Shrink probes re-apply the
+                                            variant to each candidate, so
+                                            the minimized case still fails
+                                            under the same substrate. *)
+                                         let check c =
+                                           Result.is_error
+                                             (run_one ?oracle ~variant ~pool
+                                                app c schedule)
+                                         in
+                                         let shrunk = shrink ~check case in
+                                         record_failure config message shrunk)
+                                   pools)
+                               (schedules ~seed app graph))
+                       apps)
+               variants)
            cases
        with Stop -> ());
       {

@@ -31,11 +31,30 @@ val schedule_to_string : Ordered.Schedule.t -> string
 
 val schedule_of_string : string -> (Ordered.Schedule.t, string) result
 
+(** A substrate variant: which storage layout to traverse with, which
+    vertex reordering to apply first, and whether the graph must survive
+    a [save-bin] → [load-bin] round trip before running. The oracles
+    judge apps on the transformed graph, so a variant failure isolates
+    the substrate. *)
+type variant = {
+  layout : Graphs.Layout.kind;
+  reorder : Graphs.Reorder.kind;
+  bin_roundtrip : bool;
+}
+
+(** Plain layout, identity order, no round trip — the historical sweep. *)
+val default_variant : variant
+
+(** The default axis: plain and compressed layouts, each also under the
+    degree reordering, plus a binary round trip on the plain layout. *)
+val default_variants : variant list
+
 type config = {
   app : app;
   spec : Graph_case.spec;
   schedule : Ordered.Schedule.t;
   workers : int;
+  variant : variant;
 }
 
 (** [repro_line ~seed config] is the [check_runner] invocation that
@@ -45,9 +64,15 @@ val repro_line : ?chaos:bool -> seed:int -> config -> string
 (** [run_one ~pool app case schedule] runs one configuration and judges
     it against [oracle] (default {!Oracle.default}). Engine exceptions
     are reported as [Error] like any mismatch. k-core and set cover run
-    on the symmetrized edge list; A* requires [case.coords]. *)
+    on the symmetrized edge list; A* requires [case.coords]. [variant]
+    (default {!default_variant}) first applies the substrate transforms:
+    reordering rewrites the case's edge list and coordinates, [layout]
+    picks the traversal storage, and [bin_roundtrip] passes the graph
+    through the binary format (a round trip that changes the graph is an
+    [Error]). *)
 val run_one :
   ?oracle:Oracle.t ->
+  ?variant:variant ->
   pool:Parallel.Pool.t ->
   app ->
   Graph_case.t ->
@@ -82,7 +107,8 @@ type summary = {
     duplicate edges). *)
 val default_specs : seed:int -> Graph_case.spec list
 
-(** [run ()] sweeps [apps] × [specs] × the schedule grid × [workers]
+(** [run ()] sweeps [apps] × [specs] × [variants] (default
+    {!default_variants}) × the schedule grid × [workers]
     (pools are created once per worker count and reused) until done or
     [budget] seconds elapse, stopping early after [max_failures]
     failures. [chaos] enables seeded scheduling perturbation
@@ -93,6 +119,7 @@ val run :
   ?oracle:Oracle.t ->
   ?apps:app list ->
   ?specs:Graph_case.spec list ->
+  ?variants:variant list ->
   ?workers:int list ->
   ?budget:float ->
   ?seed:int ->

@@ -248,7 +248,7 @@ and eval_method state frame pos receiver name args =
         | [ V_vertexset s ] -> V_filtered_edges (g, s)
         | _ -> error pos "from() expects a vertexset")
     | V_edgeset g, "getOutDegrees" ->
-        V_vector (Atomic_array.of_array (Csr.out_degrees g))
+        V_vector (Atomic_array.of_array (Csr.out_degrees_cached g))
     | V_edgeset g, "getMaxWeight" -> V_int (max 1 (Csr.max_weight g))
     | V_vertexset set, "getVertexSetSize" -> V_int (Vertex_subset.cardinal set)
     | V_vertexset set, "addVertex" -> (

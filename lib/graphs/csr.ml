@@ -3,6 +3,9 @@ type t = {
   offsets : int array;
   targets : int array;
   weights : int array;
+  (* Memoized by [out_degrees_cached]; borrowed by the hybrid degree-sum
+     heuristic, which reads it once per frontier member per round. *)
+  mutable degrees : int array option;
 }
 
 let of_edge_list (el : Edge_list.t) =
@@ -39,8 +42,20 @@ let of_edge_list (el : Edge_list.t) =
         pairs
     end
   done;
-  { n; offsets; targets; weights }
+  { n; offsets; targets; weights; degrees = None }
 
+let unsafe_of_arrays ~num_vertices ~offsets ~targets ~weights =
+  if Array.length offsets <> num_vertices + 1 then
+    invalid_arg "Csr.unsafe_of_arrays: offsets must have n + 1 entries";
+  if Array.length targets <> Array.length weights then
+    invalid_arg "Csr.unsafe_of_arrays: targets/weights length mismatch";
+  if num_vertices > 0 && offsets.(num_vertices) <> Array.length targets then
+    invalid_arg "Csr.unsafe_of_arrays: offsets do not cover the edge arrays";
+  { n = num_vertices; offsets; targets; weights; degrees = None }
+
+let offsets g = g.offsets
+let targets g = g.targets
+let weights g = g.weights
 let num_vertices g = g.n
 let num_edges g = Array.length g.targets
 let out_degree g u = g.offsets.(u + 1) - g.offsets.(u)
@@ -78,6 +93,14 @@ let transpose g = of_edge_list (Edge_list.reverse (to_edge_list g))
 let max_weight g = Array.fold_left max 0 g.weights
 
 let out_degrees g = Array.init g.n (fun u -> out_degree g u)
+
+let out_degrees_cached g =
+  match g.degrees with
+  | Some d -> d
+  | None ->
+      let d = out_degrees g in
+      g.degrees <- Some d;
+      d
 
 let mem_edge g u v =
   let rec search lo hi =

@@ -7,6 +7,25 @@ type t
     lists are ordered by destination id. *)
 val of_edge_list : Edge_list.t -> t
 
+(** [unsafe_of_arrays ~num_vertices ~offsets ~targets ~weights] adopts the
+    flat arrays directly (the binary-format loader's fast path). Only array
+    lengths and the final offset are validated: the caller promises that
+    [offsets] is monotone and that every neighbor list is sorted by
+    destination id, as {!of_edge_list} would produce. *)
+val unsafe_of_arrays :
+  num_vertices:int ->
+  offsets:int array ->
+  targets:int array ->
+  weights:int array ->
+  t
+
+(** [offsets g] / [targets g] / [weights g] borrow the underlying flat
+    arrays (for serialization and layout conversion). Do not mutate. *)
+val offsets : t -> int array
+
+val targets : t -> int array
+val weights : t -> int array
+
 (** [num_vertices g] is |V|. *)
 val num_vertices : t -> int
 
@@ -44,6 +63,13 @@ val max_weight : t -> int
 
 (** [out_degrees g] is a fresh array of all out-degrees. *)
 val out_degrees : t -> int array
+
+(** [out_degrees_cached g] is the same array memoized inside the graph:
+    computed on first use, then borrowed by every later call. Hot paths
+    (the hybrid direction heuristic) read it once per frontier member per
+    round, so they must not pay a fresh allocation each time. Do not
+    mutate the result. *)
+val out_degrees_cached : t -> int array
 
 (** [mem_edge g u v] tests whether a [u -> v] edge exists (binary search). *)
 val mem_edge : t -> int -> int -> bool

@@ -1,0 +1,134 @@
+(* Ligra+-style delta/varint-compressed adjacency.
+
+   Each vertex's neighbor list (sorted by destination id, as Csr builds it)
+   is stored as a byte stream of (gap, weight) varint pairs:
+
+   - the first destination is zigzag-encoded relative to the vertex id
+     (neighbors cluster around their source after a locality-preserving
+     reordering, so the delta is small and frequently one byte);
+   - every later destination is encoded as the non-negative gap from its
+     predecessor (0 for parallel edges);
+   - each destination is followed by its weight as a plain varint.
+
+   Byte offsets per vertex live in [starts] (n + 1 entries) and degrees in
+   their own array: both are needed on hot paths (O(1) out_degree for the
+   hybrid heuristic, random access for chunked sweeps) and together cost
+   what one plain CSR offsets array did, while the edge payload shrinks
+   from 16 bytes per edge to typically 2-4. *)
+
+type t = {
+  n : int;
+  m : int;
+  degrees : int array;
+  starts : int array; (* byte offset of each vertex's stream; n + 1 entries *)
+  data : Bytes.t;
+}
+
+(* ---- varint primitives (LEB128, low 7 bits first) ---- *)
+
+let zigzag v = (v lsl 1) lxor (v asr (Sys.int_size - 1))
+let unzigzag v = (v lsr 1) lxor (-(v land 1))
+
+let rec write_varint buf v =
+  if v < 0x80 then Buffer.add_char buf (Char.unsafe_chr v)
+  else begin
+    Buffer.add_char buf (Char.unsafe_chr (0x80 lor (v land 0x7f)));
+    write_varint buf (v lsr 7)
+  end
+
+(* Decode one varint at [!pos], advancing it. The loop carries everything
+   in registers; [Bytes.unsafe_get] keeps bounds checks off the per-edge
+   path (offsets were validated at construction). *)
+let[@inline] read_varint data pos =
+  let b = Char.code (Bytes.unsafe_get data !pos) in
+  incr pos;
+  if b < 0x80 then b
+  else begin
+    let acc = ref (b land 0x7f) and shift = ref 7 in
+    let continue = ref true in
+    while !continue do
+      let b = Char.code (Bytes.unsafe_get data !pos) in
+      incr pos;
+      acc := !acc lor ((b land 0x7f) lsl !shift);
+      shift := !shift + 7;
+      if b < 0x80 then continue := false
+    done;
+    !acc
+  end
+
+(* ---- construction ---- *)
+
+let of_csr csr =
+  let n = Csr.num_vertices csr in
+  let m = Csr.num_edges csr in
+  let degrees = Array.init n (fun u -> Csr.out_degree csr u) in
+  let starts = Array.make (n + 1) 0 in
+  let buf = Buffer.create (4 * m) in
+  for u = 0 to n - 1 do
+    starts.(u) <- Buffer.length buf;
+    let prev = ref u and first = ref true in
+    Csr.iter_out csr u (fun dst weight ->
+        if !first then begin
+          write_varint buf (zigzag (dst - u));
+          first := false
+        end
+        else write_varint buf (dst - !prev);
+        prev := dst;
+        write_varint buf weight)
+  done;
+  starts.(n) <- Buffer.length buf;
+  { n; m; degrees; starts; data = Buffer.to_bytes buf }
+
+let unsafe_of_parts ~num_vertices ~num_edges ~degrees ~starts ~data =
+  if Array.length degrees <> num_vertices then
+    invalid_arg "Csr_compressed.unsafe_of_parts: degrees must have n entries";
+  if Array.length starts <> num_vertices + 1 then
+    invalid_arg "Csr_compressed.unsafe_of_parts: starts must have n + 1 entries";
+  if num_vertices > 0 && starts.(num_vertices) <> Bytes.length data then
+    invalid_arg "Csr_compressed.unsafe_of_parts: starts do not cover the data";
+  { n = num_vertices; m = num_edges; degrees; starts; data }
+
+(* ---- accessors ---- *)
+
+let num_vertices g = g.n
+let num_edges g = g.m
+let out_degree g u = Array.unsafe_get g.degrees u
+let out_degrees g = g.degrees
+let data_bytes g = Bytes.length g.data
+let degrees g = g.degrees
+let starts g = g.starts
+let data g = g.data
+
+let iter_out g u f =
+  let deg = Array.unsafe_get g.degrees u in
+  if deg > 0 then begin
+    let pos = ref (Array.unsafe_get g.starts u) in
+    let data = g.data in
+    let dst = ref (u + unzigzag (read_varint data pos)) in
+    f !dst (read_varint data pos);
+    for _ = 2 to deg do
+      dst := !dst + read_varint data pos;
+      f !dst (read_varint data pos)
+    done
+  end
+
+let fold_out g u f acc =
+  let acc = ref acc in
+  iter_out g u (fun dst weight -> acc := f !acc dst weight);
+  !acc
+
+let to_csr g =
+  let offsets = Array.make (g.n + 1) 0 in
+  for u = 0 to g.n - 1 do
+    offsets.(u + 1) <- offsets.(u) + g.degrees.(u)
+  done;
+  let targets = Array.make g.m 0 in
+  let weights = Array.make g.m 0 in
+  for u = 0 to g.n - 1 do
+    let k = ref offsets.(u) in
+    iter_out g u (fun dst weight ->
+        targets.(!k) <- dst;
+        weights.(!k) <- weight;
+        incr k)
+  done;
+  Csr.unsafe_of_arrays ~num_vertices:g.n ~offsets ~targets ~weights

@@ -1,0 +1,24 @@
+(** Versioned binary graph format, loaded via [Unix.map_file].
+
+    A ["GRAPHBIN"]-tagged, little-endian container holding a prebuilt CSR
+    (plain or compressed) so large graphs load at memory-bandwidth speed
+    instead of re-parsing an edge-list text file. The 64-byte header
+    records magic, version, an endianness marker, the layout code, and
+    the vertex/edge counts; see the spec in docs/INTERNALS.md. Loaders
+    reject unknown versions, bad magic, foreign endianness, and truncated
+    payloads with a descriptive [Failure]. *)
+
+(** [save path ?layout csr] writes [csr] in the given on-disk layout
+    (default [Plain]; [Compressed] encodes the varint form first). *)
+val save : string -> ?layout:Layout.kind -> Csr.t -> unit
+
+(** [load path] maps the file and returns the graph in its on-disk
+    layout. Raises [Failure] on malformed input. *)
+val load : string -> Layout.t
+
+(** [load path |> Layout.to_csr], for consumers that need the plain CSR. *)
+val load_csr : string -> Csr.t
+
+(** [is_graph_bin path] sniffs the 8-byte magic; false for unreadable or
+    short files. *)
+val is_graph_bin : string -> bool

@@ -1,0 +1,48 @@
+(* A graph plus every derived form the engines keep re-deriving.
+
+   Before this existed, each run rebuilt the transpose (an O(m log m)
+   counting sort) and each compressed sweep would have re-encoded the
+   byte streams. The handle owns one lazy cell per derived form, so a
+   checker sweeping hundreds of schedules over one graph pays for each
+   conversion exactly once. Lazy cells are forced from the orchestrating
+   thread (engine setup, never inside a parallel episode), so the
+   non-thread-safety of [Lazy] is not a hazard here. *)
+
+type t = {
+  csr : Csr.t;
+  kind : Layout.kind;
+  compressed : Csr_compressed.t Lazy.t;
+  transpose_csr : Csr.t Lazy.t;
+  transpose_compressed : Csr_compressed.t Lazy.t;
+}
+
+let create ?(kind = Layout.Plain) csr =
+  let transpose_csr = lazy (Csr.transpose csr) in
+  {
+    csr;
+    kind;
+    compressed = lazy (Csr_compressed.of_csr csr);
+    transpose_csr;
+    transpose_compressed =
+      lazy (Csr_compressed.of_csr (Lazy.force transpose_csr));
+  }
+
+let of_edge_list ?kind el = create ?kind (Csr.of_edge_list el)
+let csr t = t.csr
+let kind t = t.kind
+let num_vertices t = Csr.num_vertices t.csr
+let num_edges t = Csr.num_edges t.csr
+let with_kind kind t = { t with kind }
+let compressed t = Lazy.force t.compressed
+let transpose_csr t = Lazy.force t.transpose_csr
+
+let graph t =
+  match t.kind with
+  | Layout.Plain -> Layout.Plain_graph t.csr
+  | Layout.Compressed -> Layout.Compressed_graph (Lazy.force t.compressed)
+
+let transpose t =
+  match t.kind with
+  | Layout.Plain -> Layout.Plain_graph (Lazy.force t.transpose_csr)
+  | Layout.Compressed ->
+      Layout.Compressed_graph (Lazy.force t.transpose_compressed)

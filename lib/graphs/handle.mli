@@ -1,0 +1,45 @@
+(** A graph handle: one CSR plus lazily cached derived forms.
+
+    The transpose (needed by every pull-direction sweep) and the
+    compressed layouts are built on first use and cached for the handle's
+    lifetime, so repeated runs — a benchmark loop, the differential
+    checker's schedule sweep — stop rebuilding them per run. The handle
+    also carries the {!Layout.kind} its consumers should traverse with;
+    {!with_kind} re-views the same graph (and shared caches) under the
+    other layout.
+
+    Laziness is not thread-safe: force-points all sit on the orchestrating
+    thread (engine setup), never inside a parallel episode. *)
+
+type t
+
+(** [create ?kind csr] wraps a CSR ([kind] defaults to [Plain]). *)
+val create : ?kind:Layout.kind -> Csr.t -> t
+
+val of_edge_list : ?kind:Layout.kind -> Edge_list.t -> t
+
+(** The plain CSR, always available without decoding. *)
+val csr : t -> Csr.t
+
+val kind : t -> Layout.kind
+val num_vertices : t -> int
+val num_edges : t -> int
+
+(** [with_kind kind t] shares [t]'s graph and caches under another
+    layout kind. *)
+val with_kind : Layout.kind -> t -> t
+
+(** [graph t] is the forward graph in the handle's layout (cached). *)
+val graph : t -> Layout.t
+
+(** [transpose t] is the reversed graph in the handle's layout, built on
+    first use and cached — pull sweeps and checkers share one transpose
+    per handle. *)
+val transpose : t -> Layout.t
+
+(** [transpose_csr t] is the cached plain transpose (for consumers that
+    need CSR access regardless of the handle's kind). *)
+val transpose_csr : t -> Csr.t
+
+(** [compressed t] is the cached compressed form of the forward graph. *)
+val compressed : t -> Csr_compressed.t

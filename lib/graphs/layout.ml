@@ -1,0 +1,84 @@
+(* The layout seam between graph storage and the traversal kernels.
+
+   [S] is what a sweep needs from adjacency storage — vertex count, O(1)
+   degree lookup, and an in-register neighbor iterator. The traversal core
+   functorizes its push/pull kernels over it, so each layout gets fully
+   specialized loops instead of a per-edge branch; [t] packs the two
+   concrete layouts for call sites that pick at runtime (one dispatch per
+   sweep, not per edge). *)
+
+module type S = sig
+  type g
+
+  val num_vertices : g -> int
+  val out_degree : g -> int -> int
+
+  (** Borrowed per-vertex out-degrees for the hybrid degree-sum reduce. *)
+  val out_degrees : g -> int array
+
+  val iter_out : g -> int -> (int -> int -> unit) -> unit
+end
+
+type kind =
+  | Plain
+  | Compressed
+
+type t =
+  | Plain_graph of Csr.t
+  | Compressed_graph of Csr_compressed.t
+
+module Plain_layout : S with type g = Csr.t = struct
+  type g = Csr.t
+
+  let num_vertices = Csr.num_vertices
+  let out_degree = Csr.out_degree
+  let out_degrees = Csr.out_degrees_cached
+  let iter_out = Csr.iter_out
+end
+
+module Compressed_layout : S with type g = Csr_compressed.t = struct
+  type g = Csr_compressed.t
+
+  let num_vertices = Csr_compressed.num_vertices
+  let out_degree = Csr_compressed.out_degree
+  let out_degrees = Csr_compressed.out_degrees
+  let iter_out = Csr_compressed.iter_out
+end
+
+let kind_to_string = function Plain -> "plain" | Compressed -> "compressed"
+
+let kind_of_string = function
+  | "plain" -> Ok Plain
+  | "compressed" -> Ok Compressed
+  | s -> Error (Printf.sprintf "unknown layout %S (plain|compressed)" s)
+
+let all_kinds = [ Plain; Compressed ]
+
+let of_csr kind csr =
+  match kind with
+  | Plain -> Plain_graph csr
+  | Compressed -> Compressed_graph (Csr_compressed.of_csr csr)
+
+let kind = function Plain_graph _ -> Plain | Compressed_graph _ -> Compressed
+
+let num_vertices = function
+  | Plain_graph g -> Csr.num_vertices g
+  | Compressed_graph g -> Csr_compressed.num_vertices g
+
+let num_edges = function
+  | Plain_graph g -> Csr.num_edges g
+  | Compressed_graph g -> Csr_compressed.num_edges g
+
+let out_degree t u =
+  match t with
+  | Plain_graph g -> Csr.out_degree g u
+  | Compressed_graph g -> Csr_compressed.out_degree g u
+
+let iter_out t u f =
+  match t with
+  | Plain_graph g -> Csr.iter_out g u f
+  | Compressed_graph g -> Csr_compressed.iter_out g u f
+
+let to_csr = function
+  | Plain_graph g -> g
+  | Compressed_graph g -> Csr_compressed.to_csr g

@@ -1,0 +1,50 @@
+(** The layout seam between graph storage and the traversal kernels.
+
+    {!S} is the contract a sweep needs from adjacency storage. The
+    traversal core ([Traverse.Edge_map]) functorizes its push/pull kernels
+    over it, producing fully specialized loops per layout; {!t} packs the
+    concrete layouts for runtime selection — the dispatch happens once per
+    sweep, never per edge. *)
+
+module type S = sig
+  type g
+
+  val num_vertices : g -> int
+  val out_degree : g -> int -> int
+
+  (** Borrowed per-vertex out-degrees for the hybrid degree-sum reduce.
+      Do not mutate. *)
+  val out_degrees : g -> int array
+
+  val iter_out : g -> int -> (int -> int -> unit) -> unit
+end
+
+(** Which storage layout to use — the CLI/bench/checker axis. *)
+type kind =
+  | Plain  (** three flat int arrays ({!Csr}) *)
+  | Compressed  (** delta/varint byte streams ({!Csr_compressed}) *)
+
+(** A graph packed with its layout. *)
+type t =
+  | Plain_graph of Csr.t
+  | Compressed_graph of Csr_compressed.t
+
+module Plain_layout : S with type g = Csr.t
+module Compressed_layout : S with type g = Csr_compressed.t
+
+val kind_to_string : kind -> string
+val kind_of_string : string -> (kind, string) result
+val all_kinds : kind list
+
+(** [of_csr kind g] packs [g] in the requested layout, compressing when
+    asked. Prefer {!Handle.t} when the conversion should be cached. *)
+val of_csr : kind -> Csr.t -> t
+
+val kind : t -> kind
+val num_vertices : t -> int
+val num_edges : t -> int
+val out_degree : t -> int -> int
+val iter_out : t -> int -> (int -> int -> unit) -> unit
+
+(** [to_csr t] is the plain form (decodes when compressed). *)
+val to_csr : t -> Csr.t

@@ -1,0 +1,59 @@
+(** Vertex reordering passes.
+
+    A pass computes a permutation that relabels vertices for locality:
+    hub-first ({!degree}) for power-law graphs, BFS discovery order
+    ({!bfs}) to cluster neighbors, Hilbert-curve order ({!hilbert}) for
+    road networks with planar coordinates. The permutation remaps edge
+    lists, coordinates, and vertex ids, so orderings compose with either
+    storage layout; {!unapply_values} maps per-vertex results back to the
+    original ids. [apply]/[unapply] round-trips are the identity
+    (property-tested). *)
+
+type kind =
+  | Identity
+  | Degree
+  | Bfs
+  | Hilbert
+
+(** A permutation pair: [apply_vertex] is old id -> new id,
+    [unapply_vertex] its inverse. *)
+type t
+
+val kind_to_string : kind -> string
+
+(** [kind_of_string s] parses ["none"|"degree"|"bfs"|"hilbert"]. *)
+val kind_of_string : string -> (kind, string) result
+
+val all_kinds : kind list
+
+val identity : int -> t
+
+(** [degree g] orders vertices by descending out-degree, ties by id. *)
+val degree : Csr.t -> t
+
+(** [bfs g] orders vertices by BFS discovery from vertex 0; vertices in
+    later components keep their relative order. *)
+val bfs : Csr.t -> t
+
+(** [hilbert coords] orders vertices along a Hilbert curve over their
+    planar coordinates (2^16 grid cells per axis), ties by id. *)
+val hilbert : Coords.t -> t
+
+(** [of_kind kind ~csr ~coords] dispatches; [Hilbert] fails without
+    matching coordinates. *)
+val of_kind : kind -> csr:Csr.t -> coords:Coords.t option -> (t, string) result
+
+val num_vertices : t -> int
+val apply_vertex : t -> int -> int
+val unapply_vertex : t -> int -> int
+
+(** [apply_edge_list t el] relabels both endpoints of every edge. *)
+val apply_edge_list : t -> Edge_list.t -> Edge_list.t
+
+val apply_coords : t -> Coords.t -> Coords.t
+
+(** [unapply_values t a] maps a per-vertex result array indexed by new ids
+    back to original-id indexing; [apply_values] is the inverse. *)
+val unapply_values : t -> 'a array -> 'a array
+
+val apply_values : t -> 'a array -> 'a array

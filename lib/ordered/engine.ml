@@ -51,17 +51,24 @@ let fusion_loop graph pq scratch ~threshold ~fused ~ctx ~edge_fn =
   in
   fuse ()
 
-let run ~pool ~graph ?transpose ~schedule ~pq ~edge_fn ?(stop = fun () -> false)
-    ?trace () =
+let run ~pool ~graph ?transpose ?handle ~schedule ~pq ~edge_fn
+    ?(stop = fun () -> false) ?trace () =
   (match Schedule.validate schedule with
   | Ok _ -> ()
   | Error msg -> invalid_arg ("Engine.run: " ^ msg));
+  let needs_transpose =
+    match schedule.Schedule.traversal with
+    | Schedule.Dense_pull | Schedule.Hybrid -> true
+    | Schedule.Sparse_push -> false
+  in
   let transpose_graph =
-    match (schedule.Schedule.traversal, transpose) with
-    | (Schedule.Dense_pull | Schedule.Hybrid), None ->
+    match (needs_transpose, transpose, handle) with
+    | false, _, _ -> None
+    | true, Some tg, _ -> Some tg
+    (* A handle can always derive (and cache) the transpose itself. *)
+    | true, None, Some h -> Some (Graphs.Handle.transpose_csr h)
+    | true, None, None ->
         invalid_arg "Engine.run: DensePull traversal requires ~transpose"
-    | (Schedule.Dense_pull | Schedule.Hybrid), Some tg -> Some tg
-    | Schedule.Sparse_push, _ -> None
   in
   (* The kernel applies Ligra's hybrid heuristic (with a parallel degree
      sum); the engine only maps the schedule onto a kernel direction. *)
@@ -73,6 +80,26 @@ let run ~pool ~graph ?transpose ~schedule ~pq ~edge_fn ?(stop = fun () -> false)
   in
   let workers = Pool.num_workers pool in
   let scratch = Scratch.create ~pool ~graph in
+  (* Layout dispatch happens here, once per run: a handle carrying a
+     non-plain layout routes sweeps through the kernel instance
+     specialized for it; everything else keeps the plain-CSR entry point.
+     The fused drain below always walks the plain CSR the handle also
+     carries — fusion touches single vertices, where decode-in-register
+     buys nothing. *)
+  let traverse ?filter ?epilogue ~chunk ~direction frontier ~f =
+    match handle with
+    | Some h when Graphs.Handle.kind h <> Graphs.Layout.Plain ->
+        let transpose =
+          if needs_transpose then Some (Graphs.Handle.transpose h) else None
+        in
+        Edge_map.run_layout scratch ~graph:(Graphs.Handle.graph h) ?transpose
+          ?sched:schedule.Schedule.sched ?filter ?epilogue ~chunk ~direction
+          frontier ~f
+    | _ ->
+        Edge_map.run scratch ~graph ?transpose:transpose_graph
+          ?sched:schedule.Schedule.sched ?filter ?epilogue ~chunk ~direction
+          frontier ~f
+  in
   let fused = Array.make (workers * stride) 0 in
   let filter =
     if Pq.needs_processing_filter pq then Some (Pq.vertex_on_current_bucket pq)
@@ -112,9 +139,8 @@ let run ~pool ~graph ?transpose ~schedule ~pq ~edge_fn ?(stop = fun () -> false)
     end;
     let fused_before = counter_sum fused in
     let executed =
-      Edge_map.run scratch ~graph ?transpose:transpose_graph
-        ?sched:schedule.Schedule.sched ?filter ?epilogue
-        ~chunk:schedule.Schedule.chunk_size ~direction frontier ~f:edge_fn
+      traverse ?filter ?epilogue ~chunk:schedule.Schedule.chunk_size
+        ~direction frontier ~f:edge_fn
     in
     let direction =
       match executed with

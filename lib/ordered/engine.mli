@@ -34,7 +34,13 @@ type edge_fn = Priority_queue.ctx -> src:int -> dst:int -> weight:int -> unit
 (** [run ~pool ~graph ~schedule ~pq ~edge_fn ()] executes to completion and
     returns the execution counters.
 
-    @param transpose required for [Dense_pull] and [Hybrid] traversal.
+    @param transpose required for [Dense_pull] and [Hybrid] traversal
+      unless [handle] is given (a handle derives and caches it).
+    @param handle routes traversal through the handle's storage layout:
+      a [Compressed]-kind handle runs the sweeps on the varint-compressed
+      form (the fused drain stays on the plain CSR the handle also
+      carries), and the handle's cached transpose replaces per-run
+      rebuilds.
     @param stop checked before each round ([pq.finished] custom conditions,
       e.g. PPSP's early exit once the destination is finalized).
     @param trace when supplied, one {!Trace.round} is recorded per global
@@ -44,6 +50,7 @@ val run :
   pool:Parallel.Pool.t ->
   graph:Graphs.Csr.t ->
   ?transpose:Graphs.Csr.t ->
+  ?handle:Graphs.Handle.t ->
   schedule:Schedule.t ->
   pq:Priority_queue.t ->
   edge_fn:edge_fn ->

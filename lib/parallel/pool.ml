@@ -255,18 +255,28 @@ type range_cursor = {
   r_lo : int;
   r_hi : int;
   r_chunk : int;
+  r_align : int;
   r_sched : sched;
   r_workers : int;
   cursor : int Atomic.t; (* Dynamic / Guided *)
   taken : bool array; (* Static: slot tid * slot_stride *)
 }
 
-let range_cursor pool ?(sched = Dynamic) ?(chunk = 256) ~lo ~hi () =
+let round_up v align = (v + align - 1) / align * align
+
+let range_cursor pool ?(sched = Dynamic) ?(chunk = 256) ?(align = 1) ~lo ~hi ()
+    =
   if chunk < 1 then invalid_arg "Pool.range_cursor: chunk must be >= 1";
+  if align < 1 then invalid_arg "Pool.range_cursor: align must be >= 1";
   {
     r_lo = lo;
     r_hi = hi;
-    r_chunk = chunk;
+    (* Every claim is a multiple of [align], so when [lo] is itself a
+       multiple every range boundary (bar the final tail at [hi]) is too —
+       the dense-pull kernels use this to start worker chunks on cache-line
+       boundaries of the per-vertex arrays. *)
+    r_chunk = round_up chunk align;
+    r_align = align;
     r_sched = sched;
     r_workers = pool.num_workers;
     cursor = Atomic.make lo;
@@ -285,7 +295,7 @@ let next_range c ~tid =
       else begin
         c.taken.(slot) <- true;
         let n = c.r_hi - c.r_lo in
-        let share = (n + c.r_workers - 1) / c.r_workers in
+        let share = round_up ((n + c.r_workers - 1) / c.r_workers) c.r_align in
         let lo = c.r_lo + (tid * share) in
         let hi = min c.r_hi (lo + share) in
         if lo >= hi then None else Some (lo, hi)
@@ -300,7 +310,12 @@ let next_range c ~tid =
         if start >= c.r_hi then None
         else begin
           let remaining = c.r_hi - start in
-          let take = min remaining (max c.r_chunk (remaining / (2 * c.r_workers))) in
+          let take =
+            min remaining
+              (round_up
+                 (max c.r_chunk (remaining / (2 * c.r_workers)))
+                 c.r_align)
+          in
           if Atomic.compare_and_set c.cursor start (start + take) then
             Some (start, start + take)
           else claim ()

@@ -89,10 +89,21 @@ val set_worker_hook : (tid:int -> enter:bool -> unit) option -> unit
     loop, as in the engine's bucket-fusion drain). *)
 type range_cursor
 
-(** [range_cursor pool ?sched ?chunk ~lo ~hi ()] is a fresh cursor over
-    [lo, hi) for [pool]'s workers. *)
+(** [range_cursor pool ?sched ?chunk ?align ~lo ~hi ()] is a fresh cursor
+    over [lo, hi) for [pool]'s workers. [align] (default 1) rounds every
+    claimed extent up to a multiple, so when [lo] is itself a multiple of
+    [align] every range boundary except the final tail at [hi] is aligned
+    — pass 8 (one 64-byte cache line of ints) to keep workers' writes to
+    adjacent per-vertex arrays off each other's lines. *)
 val range_cursor :
-  t -> ?sched:sched -> ?chunk:int -> lo:int -> hi:int -> unit -> range_cursor
+  t ->
+  ?sched:sched ->
+  ?chunk:int ->
+  ?align:int ->
+  lo:int ->
+  hi:int ->
+  unit ->
+  range_cursor
 
 (** [next_range cursor ~tid] claims the next [(lo, hi)] chunk for worker
     [tid], or [None] when the range is exhausted (for [Static], when the

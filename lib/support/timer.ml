@@ -19,3 +19,31 @@ let time_median ~repeats f =
     | None -> assert false
   in
   (result, samples.(repeats / 2))
+
+type stats = {
+  median : float;
+  min : float;
+  max : float;
+}
+
+let time_stats ~repeats f =
+  if repeats <= 0 then invalid_arg "Timer.time_stats: repeats must be positive";
+  let samples = Array.make repeats 0.0 in
+  let last = ref None in
+  for i = 0 to repeats - 1 do
+    let result, elapsed = time f in
+    samples.(i) <- elapsed;
+    last := Some result
+  done;
+  Array.sort compare samples;
+  let result =
+    match !last with
+    | Some r -> r
+    | None -> assert false
+  in
+  ( result,
+    {
+      median = samples.(repeats / 2);
+      min = samples.(0);
+      max = samples.(repeats - 1);
+    } )

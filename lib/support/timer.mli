@@ -7,3 +7,15 @@ val time : (unit -> 'a) -> 'a * float
     of the last run with the median elapsed seconds. [repeats] must be
     positive. *)
 val time_median : repeats:int -> (unit -> 'a) -> 'a * float
+
+(** Summary of the elapsed-seconds samples of repeated runs. *)
+type stats = {
+  median : float;
+  min : float;
+  max : float;
+}
+
+(** [time_stats ~repeats f] is {!time_median} but returns the full
+    median/min/max spread of the samples, for benchmark rows that report
+    run-to-run variance. *)
+val time_stats : repeats:int -> (unit -> 'a) -> 'a * stats

@@ -1,5 +1,6 @@
 module Pool = Parallel.Pool
 module Csr = Graphs.Csr
+module Layout = Graphs.Layout
 module Bitset = Support.Bitset
 module Vertex_subset = Frontier.Vertex_subset
 module Span = Observe.Span
@@ -20,116 +21,171 @@ type executed =
 
 type edge_fn = ctx -> src:int -> dst:int -> weight:int -> unit
 
-let degree_sum scratch ~graph frontier =
-  let members = Vertex_subset.sparse_members frontier in
-  Pool.parallel_for_reduce (Scratch.pool scratch) ~chunk:128 ~lo:0
-    ~hi:(Array.length members) ~neutral:0 ~combine:( + ) (fun i ->
-      Csr.out_degree graph (Array.unsafe_get members i))
-
 let no_filter _ = true
 let no_hook _ _ = ()
 let no_epilogue _ = ()
 
-let run_push scratch ~graph ~sched ~filter ~vertex_begin ~vertex_end ~epilogue
-    ~chunk frontier ~f =
-  Span.with_ "traverse.push" (fun () ->
-      let members = Vertex_subset.sparse_members frontier in
-      let total = Array.length members in
-      let pool = Scratch.pool scratch in
-      (* Frontier members have wildly uneven degrees: claim fixed chunks
-         dynamically, then run a tight local loop over each chunk. *)
-      let sched = Option.value sched ~default:Pool.Dynamic in
-      let cursor = Pool.range_cursor pool ~sched ~chunk ~lo:0 ~hi:total () in
-      Pool.run_workers pool (fun tid ->
-          let ctx = { tid; use_atomics = true } in
-          let rec drain () =
-            match Pool.next_range cursor ~tid with
-            | Some (lo, hi) ->
-                for i = lo to hi - 1 do
-                  let u = Array.unsafe_get members i in
-                  if filter u then begin
-                    Scratch.add_vertices scratch ~tid 1;
-                    Scratch.add_edges scratch ~tid (Csr.out_degree graph u);
-                    vertex_begin ctx u;
-                    Csr.iter_out graph u (fun dst weight ->
-                        f ctx ~src:u ~dst ~weight);
-                    vertex_end ctx u
-                  end
-                done;
-                drain ()
-            | None -> ()
-          in
-          drain ();
-          epilogue ctx));
-  Ran_push
+(* One 64-byte cache line of boxed-int-free array elements: pull chunks
+   start on line boundaries of the per-vertex result arrays so neighbouring
+   workers' unsynchronized writes never share a line. *)
+let cache_line_ints = 8
 
-let run_pull scratch ~graph ~transpose ~sched ~vertex_begin ~vertex_end
-    ~epilogue ~chunk frontier ~f =
-  Span.with_ "traverse.pull" (fun () ->
-      let pool = Scratch.pool scratch in
-      let n = Csr.num_vertices graph in
-      let card = Vertex_subset.cardinal frontier in
-      (* A full frontier gates nothing: skip the bitmap entirely, the
-         common case for whole-graph sweeps (h-index k-core). *)
-      let gated = card < n in
-      let flags = Scratch.flags scratch in
-      if gated then Vertex_subset.fill_flags frontier flags;
-      let chunk = max chunk 64 in
-      (* The pull sweep touches every vertex: guided chunks keep the shared
-         cursor cold for most of the range and still balance the tail. *)
-      let sched = Option.value sched ~default:Pool.Guided in
-      let cursor = Pool.range_cursor pool ~sched ~chunk ~lo:0 ~hi:n () in
-      Pool.run_workers pool (fun tid ->
-          (* Pull ownership: only this worker writes vertex [d], so the user
-             function runs without atomics (Fig. 9(b)). *)
-          let ctx = { tid; use_atomics = false } in
-          let rec drain () =
-            match Pool.next_range cursor ~tid with
-            | Some (lo, hi) ->
-                for d = lo to hi - 1 do
-                  vertex_begin ctx d;
-                  Csr.iter_out transpose d (fun src weight ->
-                      if (not gated) || Bitset.mem flags src then begin
-                        Scratch.add_edges scratch ~tid 1;
-                        f ctx ~src ~dst:d ~weight
-                      end);
-                  vertex_end ctx d
-                done;
-                drain ()
-            | None -> ()
-          in
-          drain ();
-          epilogue ctx);
-      if gated then Vertex_subset.clear_flags frontier flags;
-      Scratch.add_vertices scratch ~tid:0 card);
-  Ran_pull
+(* The kernel, written once against the layout signature and instantiated
+   per storage layout below. The functor specializes [iter_out] at each
+   instantiation, so the hot edge loop carries no per-edge layout branch —
+   plain CSR keeps its array indexing, compressed CSR its in-register
+   varint decode. *)
+module Make (L : Layout.S) = struct
+  let degree_sum scratch ~graph frontier =
+    (* Borrow the layout's degree array once (cached/stored, not rebuilt)
+       rather than chasing offsets per member. *)
+    let degrees = L.out_degrees graph in
+    let members = Vertex_subset.sparse_members frontier in
+    Pool.parallel_for_reduce (Scratch.pool scratch) ~chunk:128 ~lo:0
+      ~hi:(Array.length members) ~neutral:0 ~combine:( + ) (fun i ->
+        Array.unsafe_get degrees (Array.unsafe_get members i))
 
-let run scratch ~graph ?transpose ?sched ?(filter = no_filter)
-    ?(vertex_begin = no_hook) ?(vertex_end = no_hook)
-    ?(epilogue = no_epilogue) ?(chunk = 64) ~direction frontier ~f =
-  let require_transpose () =
-    match transpose with
-    | Some tg -> tg
-    | None -> invalid_arg "Edge_map.run: Pull/Hybrid requires ~transpose"
-  in
-  match direction with
-  | Push ->
-      run_push scratch ~graph ~sched ~filter ~vertex_begin ~vertex_end
-        ~epilogue ~chunk frontier ~f
-  | Pull ->
-      let transpose = require_transpose () in
-      run_pull scratch ~graph ~transpose ~sched ~vertex_begin ~vertex_end
-        ~epilogue ~chunk frontier ~f
-  | Hybrid ->
-      (* Ligra's direction heuristic: pull when the frontier and its
-         out-edges cover more than 1/20 of the graph. *)
-      let transpose = require_transpose () in
-      if
-        degree_sum scratch ~graph frontier + Vertex_subset.cardinal frontier
-        > Scratch.dense_threshold scratch
-      then
-        run_pull scratch ~graph ~transpose ~sched ~vertex_begin ~vertex_end
-          ~epilogue ~chunk frontier ~f
-      else
+  let run_push scratch ~graph ~sched ~filter ~vertex_begin ~vertex_end
+      ~epilogue ~chunk frontier ~f =
+    Span.with_ "traverse.push" (fun () ->
+        let members = Vertex_subset.sparse_members frontier in
+        let total = Array.length members in
+        let pool = Scratch.pool scratch in
+        (* Frontier members have wildly uneven degrees: claim fixed chunks
+           dynamically, then run a tight local loop over each chunk. *)
+        let sched = Option.value sched ~default:Pool.Dynamic in
+        let cursor = Pool.range_cursor pool ~sched ~chunk ~lo:0 ~hi:total () in
+        Pool.run_workers pool (fun tid ->
+            let ctx = { tid; use_atomics = true } in
+            let rec drain () =
+              match Pool.next_range cursor ~tid with
+              | Some (lo, hi) ->
+                  for i = lo to hi - 1 do
+                    let u = Array.unsafe_get members i in
+                    if filter u then begin
+                      Scratch.add_vertices scratch ~tid 1;
+                      Scratch.add_edges scratch ~tid (L.out_degree graph u);
+                      vertex_begin ctx u;
+                      L.iter_out graph u (fun dst weight ->
+                          f ctx ~src:u ~dst ~weight);
+                      vertex_end ctx u
+                    end
+                  done;
+                  drain ()
+              | None -> ()
+            in
+            drain ();
+            epilogue ctx));
+    Ran_push
+
+  let run_pull scratch ~graph ~transpose ~sched ~vertex_begin ~vertex_end
+      ~epilogue ~chunk frontier ~f =
+    Span.with_ "traverse.pull" (fun () ->
+        let pool = Scratch.pool scratch in
+        let n = L.num_vertices graph in
+        let card = Vertex_subset.cardinal frontier in
+        (* A full frontier gates nothing: skip the bitmap entirely, the
+           common case for whole-graph sweeps (h-index k-core). *)
+        let gated = card < n in
+        let flags = Scratch.flags scratch in
+        if gated then Vertex_subset.fill_flags frontier flags;
+        let chunk = max chunk 64 in
+        (* The pull sweep touches every vertex: guided chunks keep the
+           shared cursor cold for most of the range and still balance the
+           tail. Chunks are cache-line aligned (lo = 0) so each worker's
+           unsynchronized result writes own whole lines. *)
+        let sched = Option.value sched ~default:Pool.Guided in
+        let cursor =
+          Pool.range_cursor pool ~sched ~chunk ~align:cache_line_ints ~lo:0
+            ~hi:n ()
+        in
+        Pool.run_workers pool (fun tid ->
+            (* Pull ownership: only this worker writes vertex [d], so the
+               user function runs without atomics (Fig. 9(b)). *)
+            let ctx = { tid; use_atomics = false } in
+            let rec drain () =
+              match Pool.next_range cursor ~tid with
+              | Some (lo, hi) ->
+                  for d = lo to hi - 1 do
+                    vertex_begin ctx d;
+                    L.iter_out transpose d (fun src weight ->
+                        if (not gated) || Bitset.mem flags src then begin
+                          Scratch.add_edges scratch ~tid 1;
+                          f ctx ~src ~dst:d ~weight
+                        end);
+                    vertex_end ctx d
+                  done;
+                  drain ()
+              | None -> ()
+            in
+            drain ();
+            epilogue ctx);
+        if gated then Vertex_subset.clear_flags frontier flags;
+        Scratch.add_vertices scratch ~tid:0 card);
+    Ran_pull
+
+  let run scratch ~graph ?transpose ?sched ?(filter = no_filter)
+      ?(vertex_begin = no_hook) ?(vertex_end = no_hook)
+      ?(epilogue = no_epilogue) ?(chunk = 64) ~direction frontier ~f =
+    let require_transpose () =
+      match transpose with
+      | Some tg -> tg
+      | None -> invalid_arg "Edge_map.run: Pull/Hybrid requires ~transpose"
+    in
+    match direction with
+    | Push ->
         run_push scratch ~graph ~sched ~filter ~vertex_begin ~vertex_end
           ~epilogue ~chunk frontier ~f
+    | Pull ->
+        let transpose = require_transpose () in
+        run_pull scratch ~graph ~transpose ~sched ~vertex_begin ~vertex_end
+          ~epilogue ~chunk frontier ~f
+    | Hybrid ->
+        (* Ligra's direction heuristic: pull when the frontier and its
+           out-edges cover more than 1/20 of the graph. *)
+        let transpose = require_transpose () in
+        if
+          degree_sum scratch ~graph frontier + Vertex_subset.cardinal frontier
+          > Scratch.dense_threshold scratch
+        then
+          run_pull scratch ~graph ~transpose ~sched ~vertex_begin ~vertex_end
+            ~epilogue ~chunk frontier ~f
+        else
+          run_push scratch ~graph ~sched ~filter ~vertex_begin ~vertex_end
+            ~epilogue ~chunk frontier ~f
+end
+
+module Plain = Make (Layout.Plain_layout)
+module Compressed = Make (Layout.Compressed_layout)
+
+(* The historical Csr-typed entry points are the plain instance. *)
+let degree_sum = Plain.degree_sum
+let run = Plain.run
+
+let run_layout scratch ~graph ?transpose ?sched ?filter ?vertex_begin
+    ?vertex_end ?epilogue ?chunk ~direction frontier ~f =
+  (* Dispatch on the packed layout once per sweep; the graph and its
+     transpose must agree so the specialized kernel sees one [L.g] type. *)
+  match graph with
+  | Layout.Plain_graph g ->
+      let transpose =
+        Option.map
+          (function
+            | Layout.Plain_graph t -> t
+            | Layout.Compressed_graph _ ->
+                invalid_arg "Edge_map.run_layout: transpose layout mismatch")
+          transpose
+      in
+      Plain.run scratch ~graph:g ?transpose ?sched ?filter ?vertex_begin
+        ?vertex_end ?epilogue ?chunk ~direction frontier ~f
+  | Layout.Compressed_graph g ->
+      let transpose =
+        Option.map
+          (function
+            | Layout.Compressed_graph t -> t
+            | Layout.Plain_graph _ ->
+                invalid_arg "Edge_map.run_layout: transpose layout mismatch")
+          transpose
+      in
+      Compressed.run scratch ~graph:g ?transpose ?sched ?filter ?vertex_begin
+        ?vertex_end ?epilogue ?chunk ~direction frontier ~f

@@ -63,7 +63,8 @@ type edge_fn = ctx -> src:int -> dst:int -> weight:int -> unit
 (** [degree_sum scratch ~graph frontier] is the sum of the members'
     out-degrees, reduced in parallel on the scratch's pool — the quantity
     the hybrid heuristic (and Julienne's per-round direction accounting)
-    needs. *)
+    needs. Reads the graph's cached degree array
+    ({!Graphs.Csr.out_degrees_cached}) rather than chasing offsets. *)
 val degree_sum : Scratch.t -> graph:Graphs.Csr.t -> Frontier.Vertex_subset.t -> int
 
 (** [run scratch ~graph ?transpose ~direction frontier ~f] traverses the
@@ -81,6 +82,53 @@ val run :
   Scratch.t ->
   graph:Graphs.Csr.t ->
   ?transpose:Graphs.Csr.t ->
+  ?sched:Parallel.Pool.sched ->
+  ?filter:(int -> bool) ->
+  ?vertex_begin:(ctx -> int -> unit) ->
+  ?vertex_end:(ctx -> int -> unit) ->
+  ?epilogue:(ctx -> unit) ->
+  ?chunk:int ->
+  direction:direction ->
+  Frontier.Vertex_subset.t ->
+  f:edge_fn ->
+  executed
+
+(** The kernel as a functor over a storage layout. Instantiating it
+    specializes the hot edge loops per layout — plain CSR keeps its array
+    indexing, compressed CSR its in-register varint decode — so layout
+    polymorphism costs one dispatch per sweep, not one branch per edge. *)
+module Make (L : Graphs.Layout.S) : sig
+  val degree_sum : Scratch.t -> graph:L.g -> Frontier.Vertex_subset.t -> int
+
+  val run :
+    Scratch.t ->
+    graph:L.g ->
+    ?transpose:L.g ->
+    ?sched:Parallel.Pool.sched ->
+    ?filter:(int -> bool) ->
+    ?vertex_begin:(ctx -> int -> unit) ->
+    ?vertex_end:(ctx -> int -> unit) ->
+    ?epilogue:(ctx -> unit) ->
+    ?chunk:int ->
+    direction:direction ->
+    Frontier.Vertex_subset.t ->
+    f:edge_fn ->
+    executed
+end
+
+(** The two baked instances {!run_layout} dispatches between. *)
+module Plain : module type of Make (Graphs.Layout.Plain_layout)
+
+module Compressed : module type of Make (Graphs.Layout.Compressed_layout)
+
+(** [run_layout] is {!run} over a packed {!Graphs.Layout.t}: it dispatches
+    to the matching specialized instance once per sweep. The transpose,
+    when given, must use the same layout as the graph
+    ([Invalid_argument] otherwise). *)
+val run_layout :
+  Scratch.t ->
+  graph:Graphs.Layout.t ->
+  ?transpose:Graphs.Layout.t ->
   ?sched:Parallel.Pool.sched ->
   ?filter:(int -> bool) ->
   ?vertex_begin:(ctx -> int -> unit) ->

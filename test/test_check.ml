@@ -103,6 +103,30 @@ let test_small_sweep_clean () =
         (List.assoc app summary.Sweep.per_app > 0))
     [ Sweep.Sssp; Sweep.Kcore ]
 
+(* Substrate variants: the same sweep stays clean on the compressed
+   layout, under degree reordering, and through a save/load round-trip of
+   the binary graph format. *)
+let test_variant_sweep_clean () =
+  let summary =
+    Sweep.run
+      ~apps:[ Sweep.Sssp; Sweep.Kcore ]
+      ~specs:[ Graph_case.Random { seed = 21; n = 20; m = 70; max_w = 6 } ]
+      ~variants:
+        [
+          { Sweep.default_variant with layout = Graphs.Layout.Compressed };
+          { Sweep.default_variant with reorder = Graphs.Reorder.Degree };
+          {
+            Sweep.layout = Graphs.Layout.Compressed;
+            reorder = Graphs.Reorder.Degree;
+            bin_roundtrip = true;
+          };
+        ]
+      ~workers:[ 2 ] ~budget:20.0 ~seed:21 ()
+  in
+  Alcotest.(check (list string)) "no failures" []
+    (List.map (fun (f : Sweep.failure) -> f.message) summary.Sweep.failures);
+  Alcotest.(check bool) "ran configs" true (summary.Sweep.configs_run > 0)
+
 let test_sweep_chaos_race_silent () =
   (* The acceptance bar: chaos on, detector armed, engine still clean. *)
   let summary =
@@ -297,6 +321,8 @@ let () =
       ( "sweep",
         [
           Alcotest.test_case "small sweep clean" `Quick test_small_sweep_clean;
+          Alcotest.test_case "variant sweep clean" `Quick
+            test_variant_sweep_clean;
           Alcotest.test_case "chaos+race sweep silent" `Quick
             test_sweep_chaos_race_silent;
           Alcotest.test_case "forced mismatch shrinks" `Quick

@@ -46,6 +46,39 @@ let kernel_sssp ~scratch ~graph ~transpose ~direction ~source =
   done;
   Atomic_array.to_array dist
 
+(* The same Bellman-Ford loop through the layout-dispatching entry point,
+   so the specialized compressed-kernel instance runs the identical relax
+   function. *)
+let kernel_sssp_layout ~scratch ~kind ~graph ~transpose ~direction ~source =
+  let n = Csr.num_vertices graph in
+  let dist = Atomic_array.make n Bucket_order.null_priority in
+  Atomic_array.set dist source 0;
+  let buffer = Scratch.buffer scratch in
+  let relax ctx ~src ~dst ~weight =
+    let ds = Atomic_array.get dist src in
+    if ds <> Bucket_order.null_priority then begin
+      let nd = ds + weight in
+      if ctx.Edge_map.use_atomics then begin
+        if Atomic_array.fetch_min dist dst nd then
+          ignore (Update_buffer.try_add buffer ~tid:ctx.Edge_map.tid dst)
+      end
+      else if nd < Atomic_array.get dist dst then begin
+        Atomic_array.set dist dst nd;
+        ignore (Update_buffer.try_add buffer ~tid:ctx.Edge_map.tid dst)
+      end
+    end
+  in
+  let graph = Graphs.Layout.of_csr kind graph in
+  let transpose = Graphs.Layout.of_csr kind transpose in
+  let frontier = ref (Vertex_subset.singleton ~num_vertices:n source) in
+  while not (Vertex_subset.is_empty !frontier) do
+    ignore
+      (Edge_map.run_layout scratch ~graph ~transpose ~direction !frontier
+         ~f:relax);
+    frontier := Scratch.drain_frontier scratch
+  done;
+  Atomic_array.to_array dist
+
 let directions = [ Edge_map.Push; Edge_map.Pull; Edge_map.Hybrid ]
 
 (* Every direction of the raw kernel computes the same fixed point as the
@@ -69,6 +102,56 @@ let qcheck_kernel_direction_equivalence =
                   = expected)
                 directions))
         [ 1; 3 ])
+
+(* Layout polymorphism is a performance choice too: the compressed-kernel
+   instance (and the plain one through the same dispatching entry point)
+   computes the same fixed point in every direction. *)
+let qcheck_kernel_layout_equivalence =
+  QCheck.Test.make ~name:"kernel layouts compute identical SSSP" ~count:25
+    QCheck.(triple (int_range 2 60) (int_bound 300) (int_range 1 15))
+    (fun (n, m, max_w) ->
+      let g = random_weighted_graph (n + (m * 57) + max_w) ~n ~m ~max_w in
+      let t = Csr.transpose g in
+      let expected = Algorithms.Dijkstra.distances g ~source:0 in
+      List.for_all
+        (fun workers ->
+          Pool.with_pool ~num_workers:workers (fun pool ->
+              List.for_all
+                (fun direction ->
+                  List.for_all
+                    (fun kind ->
+                      let scratch = Scratch.create ~pool ~graph:g in
+                      kernel_sssp_layout ~scratch ~kind ~graph:g ~transpose:t
+                        ~direction ~source:0
+                      = expected)
+                    Graphs.Layout.all_kinds)
+                directions))
+        [ 1; 3 ])
+
+(* The engine's handle path: a compressed-kind handle (with its cached
+   transpose, no explicit ~transpose argument) matches the plain run. *)
+let qcheck_engine_compressed_handle =
+  QCheck.Test.make ~name:"engine on a compressed handle stays exact" ~count:20
+    QCheck.(triple (int_range 2 50) (int_bound 250) (int_range 1 8))
+    (fun (n, m, delta) ->
+      let g = random_weighted_graph (n + (m * 29) + delta) ~n ~m ~max_w:9 in
+      let expected = Algorithms.Dijkstra.distances g ~source:0 in
+      let handle = Graphs.Handle.create ~kind:Graphs.Layout.Compressed g in
+      List.for_all
+        (fun workers ->
+          Pool.with_pool ~num_workers:workers (fun pool ->
+              List.for_all
+                (fun traversal ->
+                  let schedule =
+                    { Schedule.default with strategy = Schedule.Lazy; traversal; delta }
+                  in
+                  let r =
+                    Algorithms.Sssp_delta.run ~pool ~graph:g ~handle ~schedule
+                      ~source:0 ()
+                  in
+                  r.Algorithms.Sssp_delta.dist = expected)
+                [ Schedule.Sparse_push; Schedule.Dense_pull; Schedule.Hybrid ]))
+        [ 1; 4 ])
 
 (* The same property through the ordered engine: a lazy wBFS schedule run
    under each traversal direction (the engine maps them onto the kernel)
@@ -189,6 +272,8 @@ let () =
       ( "edge_map",
         [
           QCheck_alcotest.to_alcotest qcheck_kernel_direction_equivalence;
+          QCheck_alcotest.to_alcotest qcheck_kernel_layout_equivalence;
+          QCheck_alcotest.to_alcotest qcheck_engine_compressed_handle;
           QCheck_alcotest.to_alcotest qcheck_engine_direction_equivalence;
           Alcotest.test_case "counter accounting" `Quick test_counter_accounting;
           Alcotest.test_case "requires transpose" `Quick test_requires_transpose;
