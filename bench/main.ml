@@ -50,9 +50,29 @@ let parse_or_die what of_string s =
       Printf.eprintf "bad %s %S: %s\n" what s msg;
       exit 2
 
+let usage =
+  "GraphIt ordered-extension benchmark suite (methodology: EXPERIMENTS.md)\n\n\
+   Usage: bench/main.exe [OPTIONS]\n\n\
+   Options:\n\
+  \  --only ID        run one section (fig1 tab4 fig4 tab5 tab6 tab7 fig11\n\
+  \                   delta traverse graphbin autotune ablate dslperf fig9\n\
+  \                   micro runtime service)\n\
+  \  --workers N      worker domains for the engine pools (default 1)\n\
+  \  --scale big      larger graphs\n\
+  \  --smoke          tiny graphs, one trial per measurement (CI-sized)\n\
+  \  --repeats N      trials per measurement (default 3; 1 under --smoke)\n\
+  \  --json FILE      write the machine-readable report (bench_diff input)\n\
+  \  --trace FILE     record a Perfetto timeline of the whole run\n\
+  \  --layout KIND    plain|compressed storage for the engine drivers\n\
+  \  --reorder KIND   none|degree|bfs|hilbert vertex relabeling for the suite\n\
+  \  --help           show this message\n"
+
 let () =
   let rec parse = function
     | [] -> ()
+    | "--help" :: _ ->
+        print_string usage;
+        exit 0
     | "--only" :: id :: rest ->
         only := Some id;
         parse rest
@@ -1446,6 +1466,151 @@ let runtime () =
             (bump_mops plain_s) (bump_mops padded_s)))
     worker_counts
 
+(* ------------------------------------------------------------------ *)
+(* Query service: batching and the ALT landmark cache                   *)
+
+let service_bench () =
+  Printf.printf
+    "Query service (docs/SERVICE.md): source-sharing batching amortizes\n\
+     one engine run across many point queries, and a warmed ALT landmark\n\
+     cache prunes A* to a corridor of the graph.\n\n";
+  let p = Lazy.force pool in
+  let w =
+    List.fold_left
+      (fun best c ->
+        if Csr.num_edges c.directed > Csr.num_edges best.directed then c
+        else best)
+      (List.hd (Lazy.force suite))
+      (Lazy.force suite)
+  in
+  let handle = dir_handle w in
+  let schedule = graphit_schedule w in
+  let n = Csr.num_vertices w.directed in
+  let num_queries = if !smoke then 8 else 48 in
+  let targets = List.init num_queries (fun i -> 1 + ((i * 6967) mod (n - 1))) in
+  let mk_core ~max_batch ~landmarks =
+    Service.Core.create ~pool:p ~handle
+      ~config:
+        {
+          Service.Config.queue_capacity = 4096;
+          max_batch;
+          default_deadline_ms = 0.;
+          landmarks;
+          schedule;
+        }
+      ()
+  in
+  (* Submit the whole burst, then drain: exactly what the server's
+     runner thread does when clients pile up. *)
+  let run_burst core ops =
+    let pending = ref (List.length ops) in
+    List.iteri
+      (fun i op ->
+        Service.Core.submit core
+          { Service.Protocol.id = i; op; deadline_ms = None }
+          ~reply:(fun resp ->
+            (match resp.Service.Protocol.status with
+            | Service.Protocol.Ok -> ()
+            | _ -> failwith "service bench: non-ok reply");
+            decr pending))
+      ops;
+    while !pending > 0 do
+      ignore (Service.Core.process_pending core ~max_wait_s:0.05)
+    done
+  in
+  let ppsp_ops =
+    List.map (fun t -> Service.Protocol.Ppsp { source = 0; target = t }) targets
+  in
+  let solo_core = mk_core ~max_batch:1 ~landmarks:0 in
+  let batch_core = mk_core ~max_batch:4096 ~landmarks:0 in
+  let (), solo = time_stats (fun () -> run_burst solo_core ppsp_ops) in
+  let (), batched = time_stats (fun () -> run_burst batch_core ppsp_ops) in
+  let qps s = float_of_int num_queries /. s in
+  Printf.printf
+    "ppsp burst on %s: %d queries, one source\n\
+    \  max-batch=1  %8.4f s  (%8.1f q/s)\n\
+    \  batched      %8.4f s  (%8.1f q/s)  -> %.1fx throughput\n\n"
+    w.wname num_queries solo.Timer.median
+    (qps solo.Timer.median)
+    batched.Timer.median
+    (qps batched.Timer.median)
+    (solo.Timer.median /. batched.Timer.median);
+  Report.row "service"
+    [
+      ("experiment", Json.String "ppsp_batching");
+      ("graph", Json.String w.wname);
+      ("queries", Json.Int num_queries);
+      ("unbatched_seconds", Json.Float solo.Timer.median);
+      ("batched_seconds", Json.Float batched.Timer.median);
+      ("throughput_gain", Json.Float (solo.Timer.median /. batched.Timer.median));
+    ];
+  (* ALT: same A* query cold (h = 0, i.e. plain ppsp ordering) and with
+     the warmed landmark bounds, on the road workload where the corridor
+     effect is what the paper's Section 6.1 exploits. The farthest
+     reachable vertex makes it visible; answers must agree (the
+     heuristic is consistent). *)
+  let w =
+    List.fold_left
+      (fun best c ->
+        if
+          is_road c
+          && (not (is_road best))
+          || is_road c && Csr.num_edges c.directed > Csr.num_edges best.directed
+        then c
+        else best)
+      (List.hd (Lazy.force suite))
+      (Lazy.force suite)
+  in
+  let handle = dir_handle w in
+  let schedule = graphit_schedule w in
+  let landmarks = 4 in
+  let alt = Service.Alt.create ~pool:p ~handle ~schedule ~landmarks () in
+  let (), warm_seconds = Timer.time (fun () -> ignore (Service.Alt.warm_all alt)) in
+  let dist =
+    (Algorithms.Sssp_delta.run ~pool:p ~graph:w.directed ~handle ~schedule
+       ~source:0 ())
+      .Algorithms.Sssp_delta.dist
+  in
+  let target = ref 0 in
+  let best = ref (-1) in
+  Array.iteri
+    (fun v d ->
+      if d <> Bucketing.Bucket_order.null_priority && d > !best then begin
+        best := d;
+        target := v
+      end)
+    dist;
+  let target = !target in
+  let astar heuristic () =
+    Algorithms.Astar.run ~pool:p ~graph:w.directed ?heuristic ~handle ~schedule
+      ~source:0 ~target ()
+  in
+  let r_cold, cold = time_stats (astar None) in
+  let r_warm, warm = time_stats (astar (Service.Alt.heuristic alt ~target)) in
+  assert (r_cold.Algorithms.Astar.distance = r_warm.Algorithms.Astar.distance);
+  let edges r = r.Algorithms.Astar.stats.Stats.edges_relaxed in
+  Printf.printf
+    "astar 0 -> %d on %s (distance %d, %d landmarks, warm cost %.4f s)\n\
+    \  cold (h=0)   %8.4f s  %9d edges relaxed\n\
+    \  ALT-warmed   %8.4f s  %9d edges relaxed  -> %.1fx faster, %.1fx fewer edges\n"
+    target w.wname r_cold.Algorithms.Astar.distance landmarks warm_seconds
+    cold.Timer.median (edges r_cold) warm.Timer.median (edges r_warm)
+    (cold.Timer.median /. warm.Timer.median)
+    (float_of_int (edges r_cold) /. float_of_int (max 1 (edges r_warm)));
+  Report.row "service"
+    [
+      ("experiment", Json.String "astar_alt");
+      ("graph", Json.String w.wname);
+      ("landmarks", Json.Int landmarks);
+      ("warm_cost_seconds", Json.Float warm_seconds);
+      ("cold_seconds", Json.Float cold.Timer.median);
+      ("warm_seconds", Json.Float warm.Timer.median);
+      ("cold_edges_relaxed", Json.Int (edges r_cold));
+      ("warm_edges_relaxed", Json.Int (edges r_warm));
+      ("speedup", Json.Float (cold.Timer.median /. warm.Timer.median));
+      ("distance", Json.Int r_cold.Algorithms.Astar.distance);
+    ]
+
 let () =
   let tracer =
     match !trace_out with
@@ -1491,6 +1656,7 @@ let () =
   section "fig9" "Figure 9: generated code" fig9;
   section "micro" "Substrate micro-benchmarks" micro;
   section "runtime" "Parallel-runtime microbenchmarks" runtime;
+  section "service" "Query service: batching and the ALT cache" service_bench;
   (match (tracer, !trace_out) with
   | Some t, Some path ->
       Observe.Tracer.set_current None;

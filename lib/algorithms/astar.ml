@@ -8,13 +8,32 @@ type result = {
   stats : Ordered.Stats.t;
 }
 
-let run ~pool ~graph ~coords ?transpose ?handle ~schedule ~source ~target () =
+let run ~pool ~graph ?coords ?heuristic ?transpose ?handle ~schedule ~source
+    ~target ?deadline () =
   let n = Graphs.Csr.num_vertices graph in
   if source < 0 || source >= n || target < 0 || target >= n then
     invalid_arg "Astar.run: endpoint out of range";
-  if Graphs.Coords.num_vertices coords <> n then
-    invalid_arg "Astar.run: coordinates do not match the graph";
-  let heuristic v = Graphs.Coords.scaled_distance ~scale:100.0 coords v target in
+  (match coords with
+  | Some c when Graphs.Coords.num_vertices c <> n ->
+      invalid_arg "Astar.run: coordinates do not match the graph"
+  | _ -> ());
+  (* The heuristic is the max of whatever admissible-and-consistent lower
+     bounds are on hand: scaled Euclidean distance when coordinates exist
+     (the paper's road-network setup), a caller-supplied bound (the query
+     service's ALT landmark cache), or zero — which degrades A* to plain
+     PPSP, still exact, just undirected. The max of consistent heuristics
+     is consistent, so the early exit below stays exact. *)
+  let heuristic =
+    let coords_h =
+      Option.map
+        (fun c v -> Graphs.Coords.scaled_distance ~scale:100.0 c v target)
+        coords
+    in
+    match (coords_h, heuristic) with
+    | None, None -> fun _ -> 0
+    | Some h, None | None, Some h -> h
+    | Some h1, Some h2 -> fun v -> max (h1 v) (h2 v)
+  in
   let dist = Atomic_array.make n Bucket_order.null_priority in
   (* [estimate] is the priority vector: f = g + h. *)
   let estimate = Atomic_array.make n Bucket_order.null_priority in
@@ -35,6 +54,7 @@ let run ~pool ~graph ~coords ?transpose ?handle ~schedule ~source ~target () =
     && Pq.finished_vertex pq target
   in
   let stats =
-    Engine.run ~pool ~graph ?transpose ?handle ~schedule ~pq ~edge_fn ~stop ()
+    Engine.run ~pool ~graph ?transpose ?handle ~schedule ~pq ~edge_fn ~stop
+      ?deadline ()
   in
   { distance = Atomic_array.get dist target; stats }

@@ -8,7 +8,7 @@ type result = {
   stats : Ordered.Stats.t;
 }
 
-let run ~pool ~graph ?handle ~schedule () =
+let run ~pool ~graph ?handle ~schedule ?deadline () =
   let n = Graphs.Csr.num_vertices graph in
   let degrees = Atomic_array.of_array (Graphs.Csr.out_degrees_cached graph) in
   let constant_sum_delta =
@@ -34,7 +34,7 @@ let run ~pool ~graph ?handle ~schedule () =
           let k = Pq.current_priority pq in
           Pq.update_priority_sum pq ctx dst ~diff:(-1) ~floor:k
   in
-  let stats = Engine.run ~pool ~graph ?handle ~schedule ~pq ~edge_fn () in
+  let stats = Engine.run ~pool ~graph ?handle ~schedule ~pq ~edge_fn ?deadline () in
   ignore n;
   { coreness = Atomic_array.to_array degrees; stats }
 

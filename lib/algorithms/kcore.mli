@@ -24,6 +24,7 @@ val run :
   graph:Graphs.Csr.t ->
   ?handle:Graphs.Handle.t ->
   schedule:Ordered.Schedule.t ->
+  ?deadline:Ordered.Deadline.t ->
   unit ->
   result
 

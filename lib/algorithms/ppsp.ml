@@ -8,7 +8,7 @@ type result = {
   stats : Ordered.Stats.t;
 }
 
-let run ~pool ~graph ?transpose ?handle ~schedule ~source ~target () =
+let run ~pool ~graph ?transpose ?handle ~schedule ~source ~target ?deadline () =
   let n = Graphs.Csr.num_vertices graph in
   if source < 0 || source >= n || target < 0 || target >= n then
     invalid_arg "Ppsp.run: endpoint out of range";
@@ -30,6 +30,7 @@ let run ~pool ~graph ?transpose ?handle ~schedule ~source ~target () =
     && Pq.finished_vertex pq target
   in
   let stats =
-    Engine.run ~pool ~graph ?transpose ?handle ~schedule ~pq ~edge_fn ~stop ()
+    Engine.run ~pool ~graph ?transpose ?handle ~schedule ~pq ~edge_fn ~stop
+      ?deadline ()
   in
   { distance = Atomic_array.get dist target; stats }

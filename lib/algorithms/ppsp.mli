@@ -18,5 +18,6 @@ val run :
   schedule:Ordered.Schedule.t ->
   source:int ->
   target:int ->
+  ?deadline:Ordered.Deadline.t ->
   unit ->
   result

@@ -8,7 +8,7 @@ type result = {
   stats : Ordered.Stats.t;
 }
 
-let run ~pool ~graph ?transpose ?handle ~schedule ~source ?trace () =
+let run ~pool ~graph ?transpose ?handle ~schedule ~source ?deadline ?trace () =
   let n = Graphs.Csr.num_vertices graph in
   if source < 0 || source >= n then invalid_arg "Sssp_delta.run: source out of range";
   let dist = Atomic_array.make n Bucket_order.null_priority in
@@ -24,6 +24,7 @@ let run ~pool ~graph ?transpose ?handle ~schedule ~source ?trace () =
     Pq.update_priority_min pq ctx dst new_dist
   in
   let stats =
-    Engine.run ~pool ~graph ?transpose ?handle ~schedule ~pq ~edge_fn ?trace ()
+    Engine.run ~pool ~graph ?transpose ?handle ~schedule ~pq ~edge_fn ?deadline
+      ?trace ()
   in
   { dist = Atomic_array.to_array dist; stats }

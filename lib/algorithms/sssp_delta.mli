@@ -23,6 +23,7 @@ val run :
   ?handle:Graphs.Handle.t ->
   schedule:Ordered.Schedule.t ->
   source:int ->
+  ?deadline:Ordered.Deadline.t ->
   ?trace:Ordered.Trace.t ->
   unit ->
   result

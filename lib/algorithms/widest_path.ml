@@ -9,7 +9,7 @@ type result = {
   stats : Ordered.Stats.t;
 }
 
-let run ~pool ~graph ?handle ~schedule ~source () =
+let run ~pool ~graph ?handle ~schedule ~source ?deadline () =
   let n = Graphs.Csr.num_vertices graph in
   if source < 0 || source >= n then invalid_arg "Widest_path.run: source out of range";
   (* 0 = "no path yet": a valid lowest priority that is never enqueued
@@ -25,7 +25,7 @@ let run ~pool ~graph ?handle ~schedule ~source () =
     let through = min (Atomic_array.get capacity src) weight in
     Pq.update_priority_max pq ctx dst through
   in
-  let stats = Engine.run ~pool ~graph ?handle ~schedule ~pq ~edge_fn () in
+  let stats = Engine.run ~pool ~graph ?handle ~schedule ~pq ~edge_fn ?deadline () in
   { capacity = Atomic_array.to_array capacity; stats }
 
 let sequential graph ~source =

@@ -25,6 +25,7 @@ val run :
   ?handle:Graphs.Handle.t ->
   schedule:Ordered.Schedule.t ->
   source:int ->
+  ?deadline:Ordered.Deadline.t ->
   unit ->
   result
 

@@ -1,0 +1,11 @@
+type t = { expires_at : float }
+
+let after ~seconds = { expires_at = Unix.gettimeofday () +. seconds }
+let after_ms ms = after ~seconds:(ms /. 1000.)
+let expired t = Unix.gettimeofday () >= t.expires_at
+let remaining_seconds t = t.expires_at -. Unix.gettimeofday ()
+
+let earliest a b =
+  if a.expires_at <= b.expires_at then a else b
+
+let latest a b = if a.expires_at >= b.expires_at then a else b

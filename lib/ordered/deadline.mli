@@ -1,0 +1,40 @@
+(** Wall-clock deadlines for ordered runs.
+
+    A deadline is an absolute expiry instant. The engine checks it once
+    per global round — the same cadence as the [stop] condition — so a
+    run that exceeds its budget terminates at the next round boundary
+    with whatever priorities it has computed so far, instead of hanging
+    an interactive caller. Monotone algorithms make those partial
+    vectors meaningful: Δ-stepping/PPSP/A* distances only ever decrease
+    toward the true value (any finite entry is the length of a real
+    path, an {e upper} bound), widest-path capacities only ever increase
+    (a {e lower} bound), and the k-core peel only lowers its clamped
+    degree bounds toward the true coreness (an upper bound). The query
+    service ([lib/service], docs/SERVICE.md) builds its partial-result
+    semantics on exactly these invariants.
+
+    Checking costs one [Unix.gettimeofday] per round; runs without a
+    deadline pay nothing. *)
+
+type t
+
+(** [after ~seconds] expires [seconds] from now. Non-positive budgets
+    yield an already-expired deadline (a run observes it before its
+    first round and returns immediately). *)
+val after : seconds:float -> t
+
+(** [after_ms ms] is [after ~seconds:(ms /. 1000.)]. *)
+val after_ms : float -> t
+
+(** [expired t] is true once the current time has passed the expiry. *)
+val expired : t -> bool
+
+(** [remaining_seconds t] is the time left, negative once expired. *)
+val remaining_seconds : t -> float
+
+(** [earliest a b] / [latest a b] combine deadlines — [latest] is how a
+    batch of queries derives the point past which no member can still
+    profit from more rounds. *)
+val earliest : t -> t -> t
+
+val latest : t -> t -> t

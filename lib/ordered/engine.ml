@@ -52,7 +52,7 @@ let fusion_loop graph pq scratch ~threshold ~fused ~ctx ~edge_fn =
   fuse ()
 
 let run ~pool ~graph ?transpose ?handle ~schedule ~pq ~edge_fn
-    ?(stop = fun () -> false) ?trace () =
+    ?(stop = fun () -> false) ?deadline ?trace () =
   (match Schedule.validate schedule with
   | Ok _ -> ()
   | Error msg -> invalid_arg ("Engine.run: " ^ msg));
@@ -183,7 +183,21 @@ let run ~pool ~graph ?transpose ?handle ~schedule ~pq ~edge_fn
       stats.Stats.global_syncs <- stats.Stats.global_syncs + 1;
     if stats.Stats.rounds > 100_000_000 then continue := false
   in
-  while !continue && (not (stop ())) && not (Pq.finished pq) do
+  (* The deadline shares the [stop] seam's cadence: one check per global
+     round, on the orchestrating worker, never inside a parallel episode.
+     An expired deadline marks the run [timed_out] so callers can tell a
+     partial priority vector from a finished one. *)
+  let deadline_hit () =
+    match deadline with
+    | None -> false
+    | Some d ->
+        let hit = Deadline.expired d in
+        if hit then stats.Stats.timed_out <- true;
+        hit
+  in
+  while
+    !continue && (not (stop ())) && (not (deadline_hit ())) && not (Pq.finished pq)
+  do
     (* One timeline slice per round, the round index as its payload;
        the dequeue/traverse spans nest inside it on worker 0's track. *)
     Span.with_ ~arg:(stats.Stats.rounds + 1) "engine.round" run_round

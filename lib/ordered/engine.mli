@@ -43,6 +43,10 @@ type edge_fn = Priority_queue.ctx -> src:int -> dst:int -> weight:int -> unit
       rebuilds.
     @param stop checked before each round ([pq.finished] custom conditions,
       e.g. PPSP's early exit once the destination is finalized).
+    @param deadline checked at the same round boundaries as [stop]: once
+      expired the run terminates with [Stats.timed_out] set and the
+      priority vector holding partial monotone bounds (see
+      {!Deadline}) — the query service's timeout seam.
     @param trace when supplied, one {!Trace.round} is recorded per global
       round.
     @raise Invalid_argument on an invalid schedule or missing transpose. *)
@@ -55,6 +59,7 @@ val run :
   pq:Priority_queue.t ->
   edge_fn:edge_fn ->
   ?stop:(unit -> bool) ->
+  ?deadline:Deadline.t ->
   ?trace:Trace.t ->
   unit ->
   Stats.t

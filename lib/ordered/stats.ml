@@ -9,6 +9,7 @@ type t = {
   mutable pull_rounds : int;
   mutable sync_seconds : float;
   mutable workers : int;
+  mutable timed_out : bool;
 }
 
 let create () =
@@ -23,6 +24,7 @@ let create () =
     pull_rounds = 0;
     sync_seconds = 0.0;
     workers = 1;
+    timed_out = false;
   }
 
 let reset t =
@@ -35,7 +37,8 @@ let reset t =
   t.bucket_inserts <- 0;
   t.pull_rounds <- 0;
   t.sync_seconds <- 0.0;
-  t.workers <- 1
+  t.workers <- 1;
+  t.timed_out <- false
 
 let pp ppf t =
   (* On a single-worker pool rounds need no barrier: print the sync column
@@ -47,7 +50,10 @@ let pp ppf t =
     "rounds=%d syncs=%d fused=%d buckets=%d vertices=%d edges=%d inserts=%d \
      pull_rounds=%d sync=%s"
     t.rounds t.global_syncs t.fused_drains t.buckets_processed
-    t.vertices_processed t.edges_relaxed t.bucket_inserts t.pull_rounds sync
+    t.vertices_processed t.edges_relaxed t.bucket_inserts t.pull_rounds sync;
+  (* Appended rather than a column so existing golden output stays
+     byte-identical for runs that finish. *)
+  if t.timed_out then Format.fprintf ppf " TIMED-OUT"
 
 let to_json t =
   let open Support.Json in
@@ -63,4 +69,5 @@ let to_json t =
       ("pull_rounds", Int t.pull_rounds);
       ("sync_seconds", if t.workers <= 1 then Null else Float t.sync_seconds);
       ("workers", Int t.workers);
+      ("timed_out", Bool t.timed_out);
     ]

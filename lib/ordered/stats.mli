@@ -30,6 +30,11 @@ type t = {
       (** Worker count of the pool the run executed on (set by the engine;
           [1] after {!create}/{!reset}). Lets consumers tell a measured
           zero in [sync_seconds] apart from "no barrier exists". *)
+  mutable timed_out : bool;
+      (** True when the run was cut short by an expired {!Deadline} at a
+          round boundary: the priority vector holds partial (monotone
+          upper/lower) bounds, not final values. Always [false] for runs
+          without a deadline. *)
 }
 
 (** [create ()] is all-zero counters on one worker. *)
@@ -47,6 +52,6 @@ val pp : Format.formatter -> t -> unit
     [{"rounds": .., "global_syncs": .., "fused_drains": ..,
       "buckets_processed": .., "vertices_processed": .., "edges_relaxed": ..,
       "bucket_inserts": .., "pull_rounds": .., "sync_seconds": ..,
-      "workers": ..}].
+      "workers": .., "timed_out": ..}].
     [sync_seconds] is [null] when [workers <= 1] (unmeasured, not zero). *)
 val to_json : t -> Support.Json.t

@@ -1,0 +1,145 @@
+module Csr = Graphs.Csr
+module Handle = Graphs.Handle
+module Json = Support.Json
+module Metrics = Observe.Metrics
+module Span = Observe.Span
+
+let null = Bucketing.Bucket_order.null_priority
+
+type t = {
+  pool : Parallel.Pool.t;
+  handle : Handle.t;
+  schedule : Ordered.Schedule.t;
+  total : int;
+  vertices : int array;  (* landmark vertex per slot, filled as warmed *)
+  fwd : int array array;  (* fwd.(i).(v) = d(L_i, v) *)
+  bwd : int array array;  (* bwd.(i).(v) = d(v, L_i) *)
+  mutable warmed : int;
+  warmed_counter : Metrics.counter;
+}
+
+let create ~pool ~handle ~schedule ~landmarks () =
+  if landmarks < 0 then invalid_arg "Alt.create: negative landmark count";
+  let n = Handle.num_vertices handle in
+  let k = if n = 0 then 0 else min landmarks n in
+  {
+    pool;
+    handle;
+    schedule;
+    total = k;
+    vertices = Array.make (max 1 k) (-1);
+    fwd = Array.make (max 1 k) [||];
+    bwd = Array.make (max 1 k) [||];
+    warmed = 0;
+    warmed_counter = Metrics.counter Metrics.default "service.alt.landmarks_warmed";
+  }
+
+let total t = t.total
+let warmed t = t.warmed
+
+(* Farthest-first selection. The first landmark is the max-out-degree
+   vertex (a hub reaches much of the graph, giving the selection metric
+   something to work with); each next landmark maximizes the minimum
+   forward distance to the already-warm set, preferring finite distances
+   so landmarks spread across the reachable periphery before falling
+   back to other components (by degree). *)
+let next_landmark t =
+  let graph = Handle.csr t.handle in
+  let n = Csr.num_vertices graph in
+  let taken v = Array.exists (fun u -> u = v) (Array.sub t.vertices 0 t.warmed) in
+  if t.warmed = 0 then begin
+    let degrees = Csr.out_degrees_cached graph in
+    let best = ref 0 in
+    for v = 1 to n - 1 do
+      if degrees.(v) > degrees.(!best) then best := v
+    done;
+    !best
+  end
+  else begin
+    let best = ref (-1) in
+    let best_dist = ref (-1) in
+    let fallback = ref (-1) in
+    let fallback_deg = ref (-1) in
+    let degrees = Csr.out_degrees_cached graph in
+    for v = 0 to n - 1 do
+      if not (taken v) then begin
+        let min_d = ref max_int in
+        for i = 0 to t.warmed - 1 do
+          let d = t.fwd.(i).(v) in
+          if d < !min_d then min_d := d
+        done;
+        if !min_d <> null && !min_d > !best_dist then begin
+          best_dist := !min_d;
+          best := v
+        end;
+        if degrees.(v) > !fallback_deg then begin
+          fallback_deg := degrees.(v);
+          fallback := v
+        end
+      end
+    done;
+    if !best >= 0 then !best else !fallback
+  end
+
+let warm_one t =
+  if t.warmed >= t.total then false
+  else begin
+    Span.with_ "service.alt.warm" (fun () ->
+        let l = next_landmark t in
+        let graph = Handle.csr t.handle in
+        let transpose = Handle.transpose_csr t.handle in
+        let fwd =
+          Algorithms.Sssp_delta.run ~pool:t.pool ~graph ~schedule:t.schedule
+            ~source:l ()
+        in
+        let bwd =
+          Algorithms.Sssp_delta.run ~pool:t.pool ~graph:transpose
+            ~schedule:t.schedule ~source:l ()
+        in
+        t.vertices.(t.warmed) <- l;
+        t.fwd.(t.warmed) <- fwd.Algorithms.Sssp_delta.dist;
+        t.bwd.(t.warmed) <- bwd.Algorithms.Sssp_delta.dist;
+        t.warmed <- t.warmed + 1;
+        Metrics.incr t.warmed_counter ~tid:0 ());
+    true
+  end
+
+let warm_all t =
+  let added = ref 0 in
+  while warm_one t do
+    incr added
+  done;
+  !added
+
+let heuristic t ~target =
+  if t.warmed = 0 then None
+  else begin
+    (* Hoist the target's landmark distances: the closure runs once per
+       relaxed edge, so per-call work must stay a short loop over ints. *)
+    let k = t.warmed in
+    let fwd_t = Array.init k (fun i -> t.fwd.(i).(target)) in
+    let bwd_t = Array.init k (fun i -> t.bwd.(i).(target)) in
+    let fwd = Array.sub t.fwd 0 k and bwd = Array.sub t.bwd 0 k in
+    Some
+      (fun v ->
+        let h = ref 0 in
+        for i = 0 to k - 1 do
+          let ft = fwd_t.(i) and fv = fwd.(i).(v) in
+          (* d(L,t) - d(L,v) <= d(v,t); only finite pairs inform. *)
+          if ft <> null && fv <> null && ft - fv > !h then h := ft - fv;
+          let bt = bwd_t.(i) and bv = bwd.(i).(v) in
+          (* d(v,L) - d(t,L) <= d(v,t). *)
+          if bt <> null && bv <> null && bv - bt > !h then h := bv - bt
+        done;
+        !h)
+  end
+
+let landmark_vertices t = Array.to_list (Array.sub t.vertices 0 t.warmed)
+
+let to_json t =
+  Json.Obj
+    [
+      ("landmarks", Json.Int t.total);
+      ("warmed", Json.Int t.warmed);
+      ("vertices", Json.List (List.map (fun v -> Json.Int v) (landmark_vertices t)));
+    ]

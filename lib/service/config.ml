@@ -1,0 +1,19 @@
+(* Tunables of the query service, fixed at server start. Documented with
+   their wire/CLI spellings in docs/SERVICE.md §5. *)
+
+type t = {
+  queue_capacity : int;  (* admission bound of the request queue *)
+  max_batch : int;  (* most queries one batcher cycle may drain *)
+  default_deadline_ms : float;  (* per-query budget; 0. = no deadline *)
+  landmarks : int;  (* ALT cache size; 0 disables the cache *)
+  schedule : Ordered.Schedule.t;  (* engine schedule for every query run *)
+}
+
+let default =
+  {
+    queue_capacity = 256;
+    max_batch = 32;
+    default_deadline_ms = 0.;
+    landmarks = 4;
+    schedule = Ordered.Schedule.default;
+  }

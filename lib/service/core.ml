@@ -1,0 +1,544 @@
+module Pool = Parallel.Pool
+module Atomic_array = Parallel.Atomic_array
+module Csr = Graphs.Csr
+module Handle = Graphs.Handle
+module Edge_list = Graphs.Edge_list
+module Bucket_order = Bucketing.Bucket_order
+module Pq = Ordered.Priority_queue
+module Engine = Ordered.Engine
+module Deadline = Ordered.Deadline
+module Schedule = Ordered.Schedule
+module Json = Support.Json
+module Metrics = Observe.Metrics
+module Span = Observe.Span
+module Tracer = Observe.Tracer
+
+let null = Bucket_order.null_priority
+
+type item = {
+  req : Protocol.request;
+  reply : Protocol.response -> unit;
+  enqueued_at : float;
+  deadline : Deadline.t option;
+}
+
+type t = {
+  pool : Pool.t;
+  handle : Handle.t;
+  coords : Graphs.Coords.t option;
+  config : Config.t;
+  queue : item Request_queue.t;
+  alt_cache : Alt.t;
+  mutable coreness : int array option;
+      (* Local k-core answers are lookups into one global decomposition:
+         computed by the first kcore batch, cached for the graph's
+         (immutable) lifetime. *)
+  kcore_handle : Handle.t Lazy.t;
+      (* The peel requires a symmetric graph; service graphs need not
+         be. One symmetrized view, built on first kcore query. *)
+  shutdown : bool Atomic.t;
+  (* Flight-recorder instruments (docs/OBSERVABILITY.md §9). *)
+  m_requests : Metrics.counter;
+  m_rejected : Metrics.counter;
+  m_batches : Metrics.counter;
+  m_batched_queries : Metrics.counter;
+  m_ok : Metrics.counter;
+  m_partial : Metrics.counter;
+  m_error : Metrics.counter;
+  m_deadline_miss : Metrics.counter;
+  m_alt_assisted : Metrics.counter;
+  m_alt_unassisted : Metrics.counter;
+  m_kcore_hits : Metrics.counter;
+  m_kcore_runs : Metrics.counter;
+  h_queue_wait : Metrics.histogram;
+  h_batch_run : Metrics.histogram;
+  h_request : Metrics.histogram;
+  depth_track : Tracer.label;
+}
+
+let create ~pool ~handle ?coords ~config () =
+  (match coords with
+  | Some c when Graphs.Coords.num_vertices c <> Handle.num_vertices handle ->
+      invalid_arg "Core.create: coordinates do not match the graph"
+  | _ -> ());
+  let reg = Metrics.default in
+  {
+    pool;
+    handle;
+    coords;
+    config;
+    queue = Request_queue.create ~capacity:config.Config.queue_capacity ();
+    alt_cache =
+      Alt.create ~pool ~handle ~schedule:config.Config.schedule
+        ~landmarks:config.Config.landmarks ();
+    coreness = None;
+    kcore_handle =
+      lazy
+        (Handle.create
+           (Csr.of_edge_list
+              (Edge_list.symmetrized (Csr.to_edge_list (Handle.csr handle)))));
+    shutdown = Atomic.make false;
+    m_requests = Metrics.counter reg "service.requests";
+    m_rejected = Metrics.counter reg "service.rejected";
+    m_batches = Metrics.counter reg "service.batches";
+    m_batched_queries = Metrics.counter reg "service.batched_queries";
+    m_ok = Metrics.counter reg "service.replies.ok";
+    m_partial = Metrics.counter reg "service.replies.partial";
+    m_error = Metrics.counter reg "service.replies.error";
+    m_deadline_miss = Metrics.counter reg "service.deadline_misses";
+    m_alt_assisted = Metrics.counter reg "service.alt.assisted";
+    m_alt_unassisted = Metrics.counter reg "service.alt.unassisted";
+    m_kcore_hits = Metrics.counter reg "service.kcore.cache_hits";
+    m_kcore_runs = Metrics.counter reg "service.kcore.runs";
+    h_queue_wait = Metrics.histogram reg "service.queue_wait";
+    h_batch_run = Metrics.histogram reg "service.batch_run";
+    h_request = Metrics.histogram reg "service.request";
+    depth_track = Tracer.label "service.queue_depth";
+  }
+
+let config t = t.config
+let alt t = t.alt_cache
+let pending t = Request_queue.length t.queue
+let shutdown_requested t = Atomic.get t.shutdown
+
+let record_depth t =
+  match Tracer.current () with
+  | Some tr -> Tracer.counter tr ~tid:0 t.depth_track (Request_queue.length t.queue)
+  | None -> ()
+
+(* Every reply funnels through here so the status counters and the
+   end-to-end latency histogram cannot drift from what clients saw. *)
+let finish t item resp =
+  (match resp.Protocol.status with
+  | Protocol.Ok -> Metrics.incr t.m_ok ~tid:0 ()
+  | Protocol.Partial -> Metrics.incr t.m_partial ~tid:0 ()
+  | Protocol.Rejected | Protocol.Error -> Metrics.incr t.m_error ~tid:0 ());
+  Metrics.observe t.h_request (Unix.gettimeofday () -. item.enqueued_at);
+  item.reply resp
+
+let mk_meta ?(alt_assisted = false) ~width ~rounds item =
+  {
+    Protocol.batch_width = width;
+    rounds;
+    wall_ms = (Unix.gettimeofday () -. item.enqueued_at) *. 1000.;
+    alt_assisted;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Admission                                                           *)
+
+let deadline_of t req =
+  match req.Protocol.deadline_ms with
+  | Some ms when ms > 0. -> Some (Deadline.after_ms ms)
+  | Some _ -> None (* explicit 0: no deadline *)
+  | None ->
+      if t.config.Config.default_deadline_ms > 0. then
+        Some (Deadline.after_ms t.config.Config.default_deadline_ms)
+      else None
+
+let validate t (req : Protocol.request) =
+  let n = Handle.num_vertices t.handle in
+  let range what v =
+    if v < 0 || v >= n then
+      Some (Printf.sprintf "%s %d out of range [0, %d)" what v n)
+    else None
+  in
+  let endpoints s tg =
+    match range "source" s with Some e -> Some e | None -> range "target" tg
+  in
+  match req.Protocol.op with
+  | Protocol.Ppsp { source; target }
+  | Protocol.Astar { source; target }
+  | Protocol.Widest { source; target } ->
+      endpoints source target
+  | Protocol.Kcore { vertex } -> range "vertex" vertex
+  | Protocol.Warm_alt | Protocol.Stats | Protocol.Ping | Protocol.Shutdown ->
+      None
+
+let submit t req ~reply =
+  Metrics.incr t.m_requests ~tid:0 ();
+  match validate t req with
+  | Some msg ->
+      Metrics.incr t.m_error ~tid:0 ();
+      reply (Protocol.error ~id:req.Protocol.id msg)
+  | None ->
+      let item =
+        {
+          req;
+          reply;
+          enqueued_at = Unix.gettimeofday ();
+          deadline = deadline_of t req;
+        }
+      in
+      if Request_queue.try_push t.queue item then record_depth t
+      else begin
+        Metrics.incr t.m_rejected ~tid:0 ();
+        Metrics.incr t.m_error ~tid:0 ();
+        reply
+          (Protocol.rejected ~id:req.Protocol.id
+             (Printf.sprintf "queue full (capacity %d)"
+                (Request_queue.capacity t.queue)))
+      end
+
+(* ------------------------------------------------------------------ *)
+(* Batching: group requests that can share one engine run.             *)
+
+type group =
+  | G_sssp of int * item list  (* ppsp sharing a source *)
+  | G_astar of (int * int) * item list  (* identical A* queries *)
+  | G_widest of int * item list  (* widest sharing a source *)
+  | G_kcore of item list  (* every local k-core query *)
+  | G_admin of item
+
+type key =
+  | K_sssp of int
+  | K_astar of int * int
+  | K_widest of int
+  | K_kcore
+  | K_admin of int (* unique per item: admin ops never coalesce *)
+
+let group_items items =
+  let counter = ref 0 in
+  let key item =
+    match item.req.Protocol.op with
+    | Protocol.Ppsp { source; _ } -> K_sssp source
+    | Protocol.Astar { source; target } -> K_astar (source, target)
+    | Protocol.Widest { source; _ } -> K_widest source
+    | Protocol.Kcore _ -> K_kcore
+    | Protocol.Warm_alt | Protocol.Stats | Protocol.Ping | Protocol.Shutdown ->
+        incr counter;
+        K_admin !counter
+  in
+  (* Groups run in first-appearance order; members stay FIFO within
+     their group. *)
+  let members = Hashtbl.create 8 in
+  let order = ref [] in
+  List.iter
+    (fun item ->
+      let k = key item in
+      match Hashtbl.find_opt members k with
+      | Some l -> Hashtbl.replace members k (item :: l)
+      | None ->
+          Hashtbl.add members k [ item ];
+          order := k :: !order)
+    items;
+  List.rev_map
+    (fun k ->
+      let ms = List.rev (Hashtbl.find members k) in
+      match (k, ms) with
+      | K_sssp s, _ -> G_sssp (s, ms)
+      | K_astar (s, tg), _ -> G_astar ((s, tg), ms)
+      | K_widest s, _ -> G_widest (s, ms)
+      | K_kcore, _ -> G_kcore ms
+      | K_admin _, [ item ] -> G_admin item
+      | K_admin _, _ -> assert false)
+    !order
+
+(* Batch deadline: the engine run may keep going while any member could
+   still profit — members are resolved individually at round
+   boundaries, so the run-level deadline only has to cover the most
+   generous member. A single member without a deadline means the run
+   gets none. *)
+let run_deadline members =
+  List.fold_left
+    (fun acc m ->
+      match (acc, m.deadline) with
+      | None, _ | _, None -> None
+      | Some a, Some b -> Some (Deadline.latest a b))
+    (match members with [] -> None | m :: _ -> m.deadline)
+    (match members with [] -> [] | _ :: rest -> rest)
+
+(* ------------------------------------------------------------------ *)
+(* Group runners                                                       *)
+
+(* Shared shape of the sssp/widest group runners: one engine run from
+   [source]; each member resolves at a round boundary — exact once
+   [finished_vertex] holds for its target, partial the moment its own
+   deadline expires. [value_of] reads the member's current answer,
+   [done_ tgt] decides finalization. *)
+let run_point_group t members ~pq ~dist_ready ~value_json ~edge_fn ~graph =
+  let width = List.length members in
+  Metrics.incr t.m_batches ~tid:0 ();
+  Metrics.incr t.m_batched_queries ~tid:0 ~by:width ();
+  let start = Unix.gettimeofday () in
+  List.iter
+    (fun m -> Metrics.observe t.h_queue_wait (start -. m.enqueued_at))
+    members;
+  let rounds = ref 0 in
+  let target_of m =
+    match m.req.Protocol.op with
+    | Protocol.Ppsp { target; _ } | Protocol.Widest { target; _ } -> target
+    | _ -> assert false
+  in
+  let pending = ref (List.map (fun m -> (m, target_of m)) members) in
+  let resolve ~final =
+    pending :=
+      List.filter
+        (fun (m, tgt) ->
+          if final || dist_ready tgt then begin
+            finish t m
+              (Protocol.ok
+                 ~meta:(mk_meta ~width ~rounds:!rounds m)
+                 ~id:m.req.Protocol.id (value_json tgt));
+            false
+          end
+          else
+            match m.deadline with
+            | Some dl when Deadline.expired dl ->
+                Metrics.incr t.m_deadline_miss ~tid:0 ();
+                finish t m
+                  (Protocol.partial
+                     ~meta:(mk_meta ~width ~rounds:!rounds m)
+                     ~id:m.req.Protocol.id (value_json tgt));
+                false
+            | _ -> true)
+        !pending
+  in
+  let stop () =
+    incr rounds;
+    resolve ~final:false;
+    !pending = []
+  in
+  let run () =
+    ignore
+      (Engine.run ~pool:t.pool ~graph ~handle:t.handle
+         ~schedule:t.config.Config.schedule ~pq ~edge_fn ~stop
+         ?deadline:(run_deadline members) ())
+  in
+  let _, seconds = Support.Timer.time (fun () -> Span.with_ "service.batch" run) in
+  Metrics.observe t.h_batch_run seconds;
+  (* Queue exhausted (or run-level deadline): whatever is left is final —
+     for monotone queries the vector now holds the true values, or the
+     best bounds the deadline allowed. *)
+  resolve ~final:true
+
+let run_sssp_group t ~source members =
+  let graph = Handle.csr t.handle in
+  let n = Csr.num_vertices graph in
+  let dist = Atomic_array.make n null in
+  Atomic_array.set dist source 0;
+  let pq =
+    Pq.create ~schedule:t.config.Config.schedule
+      ~num_workers:(Pool.num_workers t.pool) ~direction:Bucket_order.Lower_first
+      ~allow_coarsening:true ~priorities:dist ~initial:(Pq.Start_vertex source)
+      ~pool:t.pool ()
+  in
+  let edge_fn ctx ~src ~dst ~weight =
+    let new_dist = Atomic_array.get dist src + weight in
+    Pq.update_priority_min pq ctx dst new_dist
+  in
+  run_point_group t members ~pq ~graph ~edge_fn
+    ~dist_ready:(fun tgt ->
+      Atomic_array.get dist tgt <> null && Pq.finished_vertex pq tgt)
+    ~value_json:(fun tgt -> Protocol.distance_json (Atomic_array.get dist tgt))
+
+let run_widest_group t ~source members =
+  let graph = Handle.csr t.handle in
+  let n = Csr.num_vertices graph in
+  let capacity = Atomic_array.make n 0 in
+  Atomic_array.set capacity source (max 1 (Csr.max_weight graph));
+  let pq =
+    Pq.create ~schedule:t.config.Config.schedule
+      ~num_workers:(Pool.num_workers t.pool) ~direction:Bucket_order.Higher_first
+      ~allow_coarsening:true ~priorities:capacity
+      ~initial:(Pq.Start_vertex source) ~pool:t.pool ()
+  in
+  let edge_fn ctx ~src ~dst ~weight =
+    let through = min (Atomic_array.get capacity src) weight in
+    Pq.update_priority_max pq ctx dst through
+  in
+  run_point_group t members ~pq ~graph ~edge_fn
+    ~dist_ready:(fun tgt ->
+      Atomic_array.get capacity tgt > 0 && Pq.finished_vertex pq tgt)
+    ~value_json:(fun tgt -> Protocol.capacity_json (Atomic_array.get capacity tgt))
+
+let run_astar_group t ~source ~target members =
+  let width = List.length members in
+  Metrics.incr t.m_batches ~tid:0 ();
+  Metrics.incr t.m_batched_queries ~tid:0 ~by:width ();
+  let start = Unix.gettimeofday () in
+  List.iter
+    (fun m -> Metrics.observe t.h_queue_wait (start -. m.enqueued_at))
+    members;
+  let heuristic = Alt.heuristic t.alt_cache ~target in
+  let alt_assisted = heuristic <> None in
+  Metrics.incr
+    (if alt_assisted then t.m_alt_assisted else t.m_alt_unassisted)
+    ~tid:0 ();
+  let run () =
+    Algorithms.Astar.run ~pool:t.pool ~graph:(Handle.csr t.handle)
+      ?coords:t.coords ?heuristic ~handle:t.handle
+      ~schedule:t.config.Config.schedule ~source ~target
+      ?deadline:(run_deadline members) ()
+  in
+  let r, seconds = Support.Timer.time (fun () -> Span.with_ "service.batch" run) in
+  Metrics.observe t.h_batch_run seconds;
+  let timed_out = r.Algorithms.Astar.stats.Ordered.Stats.timed_out in
+  let rounds = r.Algorithms.Astar.stats.Ordered.Stats.rounds in
+  if timed_out then Metrics.incr t.m_deadline_miss ~tid:0 ~by:width ();
+  List.iter
+    (fun m ->
+      let meta = mk_meta ~alt_assisted ~width ~rounds m in
+      let payload = Protocol.distance_json r.Algorithms.Astar.distance in
+      finish t m
+        (if timed_out then Protocol.partial ~meta ~id:m.req.Protocol.id payload
+         else Protocol.ok ~meta ~id:m.req.Protocol.id payload))
+    members
+
+let kcore_vertex m =
+  match m.req.Protocol.op with
+  | Protocol.Kcore { vertex } -> vertex
+  | _ -> assert false
+
+let run_kcore_group t members =
+  let width = List.length members in
+  let start = Unix.gettimeofday () in
+  List.iter
+    (fun m -> Metrics.observe t.h_queue_wait (start -. m.enqueued_at))
+    members;
+  match t.coreness with
+  | Some core ->
+      (* The decomposition is query-independent: cache hits are O(1). *)
+      Metrics.incr t.m_kcore_hits ~tid:0 ~by:width ();
+      List.iter
+        (fun m ->
+          finish t m
+            (Protocol.ok
+               ~meta:(mk_meta ~width ~rounds:0 m)
+               ~id:m.req.Protocol.id
+               (Protocol.coreness_json core.(kcore_vertex m))))
+        members
+  | None ->
+      Metrics.incr t.m_batches ~tid:0 ();
+      Metrics.incr t.m_batched_queries ~tid:0 ~by:width ();
+      Metrics.incr t.m_kcore_runs ~tid:0 ();
+      let handle = Lazy.force t.kcore_handle in
+      let run () =
+        Algorithms.Kcore.run ~pool:t.pool ~graph:(Handle.csr handle) ~handle
+          ~schedule:t.config.Config.schedule ?deadline:(run_deadline members) ()
+      in
+      let r, seconds =
+        Support.Timer.time (fun () -> Span.with_ "service.batch" run)
+      in
+      Metrics.observe t.h_batch_run seconds;
+      let timed_out = r.Algorithms.Kcore.stats.Ordered.Stats.timed_out in
+      let rounds = r.Algorithms.Kcore.stats.Ordered.Stats.rounds in
+      if timed_out then Metrics.incr t.m_deadline_miss ~tid:0 ~by:width ()
+      else t.coreness <- Some r.Algorithms.Kcore.coreness;
+      List.iter
+        (fun m ->
+          let meta = mk_meta ~width ~rounds m in
+          let payload =
+            Protocol.coreness_json r.Algorithms.Kcore.coreness.(kcore_vertex m)
+          in
+          finish t m
+            (if timed_out then Protocol.partial ~meta ~id:m.req.Protocol.id payload
+             else Protocol.ok ~meta ~id:m.req.Protocol.id payload))
+        members
+
+(* ------------------------------------------------------------------ *)
+(* Admin ops                                                           *)
+
+let warm_alt t = Alt.warm_all t.alt_cache
+let idle_warm t = Alt.warm_one t.alt_cache
+
+let stats_json t =
+  Json.Obj
+    [
+      ( "graph",
+        Json.Obj
+          [
+            ("vertices", Json.Int (Handle.num_vertices t.handle));
+            ("edges", Json.Int (Handle.num_edges t.handle));
+            ( "layout",
+              Json.String (Graphs.Layout.kind_to_string (Handle.kind t.handle))
+            );
+          ] );
+      ( "config",
+        Json.Obj
+          [
+            ("queue_capacity", Json.Int t.config.Config.queue_capacity);
+            ("max_batch", Json.Int t.config.Config.max_batch);
+            ( "default_deadline_ms",
+              Json.Float t.config.Config.default_deadline_ms );
+            ("landmarks", Json.Int t.config.Config.landmarks);
+            ("workers", Json.Int (Pool.num_workers t.pool));
+          ] );
+      ("alt", Alt.to_json t.alt_cache);
+      ("kcore_cached", Json.Bool (t.coreness <> None));
+      ( "queue",
+        Json.Obj
+          [
+            ("depth", Json.Int (Request_queue.length t.queue));
+            ("capacity", Json.Int (Request_queue.capacity t.queue));
+          ] );
+      ("metrics", Metrics.to_json (Metrics.snapshot Metrics.default));
+    ]
+
+let run_admin t item =
+  let reply_ok payload =
+    finish t item (Protocol.ok ~id:item.req.Protocol.id payload)
+  in
+  match item.req.Protocol.op with
+  | Protocol.Ping -> reply_ok (Json.Obj [ ("pong", Json.Bool true) ])
+  | Protocol.Warm_alt ->
+      let added = warm_alt t in
+      reply_ok
+        (Json.Obj
+           [
+             ("landmarks", Json.Int (Alt.total t.alt_cache));
+             ("warmed", Json.Int (Alt.warmed t.alt_cache));
+             ("newly_warmed", Json.Int added);
+           ])
+  | Protocol.Stats -> reply_ok (stats_json t)
+  | Protocol.Shutdown ->
+      Atomic.set t.shutdown true;
+      reply_ok (Json.Obj [ ("stopping", Json.Bool true) ])
+  | _ -> assert false
+
+(* ------------------------------------------------------------------ *)
+(* The batcher cycle                                                   *)
+
+let run_group t = function
+  | G_sssp (source, members) -> run_sssp_group t ~source members
+  | G_astar ((source, target), members) ->
+      run_astar_group t ~source ~target members
+  | G_widest (source, members) -> run_widest_group t ~source members
+  | G_kcore members -> run_kcore_group t members
+  | G_admin item -> run_admin t item
+
+let process_pending t ~max_wait_s =
+  let items =
+    Request_queue.pop_batch t.queue ~max:t.config.Config.max_batch
+      ~timeout_s:max_wait_s
+  in
+  record_depth t;
+  match items with
+  | [] -> 0
+  | _ ->
+      List.iter (run_group t) (group_items items);
+      List.length items
+
+let drain_shutdown t =
+  Request_queue.close t.queue;
+  let rec drain () =
+    match Request_queue.pop_batch t.queue ~max:max_int ~timeout_s:0. with
+    | [] -> ()
+    | items ->
+        List.iter
+          (fun item ->
+            Metrics.incr t.m_error ~tid:0 ();
+            item.reply
+              (Protocol.rejected ~id:item.req.Protocol.id "server stopping"))
+          items;
+        drain ()
+  in
+  drain ()
+
+let run_loop t ~should_stop =
+  while not (should_stop () || Atomic.get t.shutdown) do
+    let resolved = process_pending t ~max_wait_s:0.05 in
+    (* An idle cycle is the background-warmup slot: one landmark pair
+       per quiet tick until the ALT cache is fully warm. *)
+    if resolved = 0 then ignore (idle_warm t)
+  done

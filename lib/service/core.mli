@@ -1,0 +1,86 @@
+(** The query service core: admission, batching, demultiplexing,
+    deadlines, and the result caches — everything the server does that
+    is not socket I/O, so tests and the benchmark drive it in-process.
+
+    Life of a request (docs/SERVICE.md §3): {!submit} validates and
+    admits it into the bounded {!Request_queue} (full queue ⇒ immediate
+    [rejected] reply, never blocking the caller); the batcher cycle
+    ({!process_pending}, looped by {!run_loop} on the server's runner
+    thread) drains up to [max_batch] requests, groups the ones that can
+    share an engine run — PPSP queries with a common source, widest-path
+    queries with a common source, identical A* queries, every local
+    k-core query — and runs one engine execution per group, resolving
+    each member at round boundaries through the engine's [stop] seam:
+    exact answers as their targets finalize, partial answers the moment
+    their deadlines expire. Replies are pushed through each request's
+    callback as they resolve, so a batch-mate with a tight deadline is
+    answered mid-run, not at batch completion.
+
+    Thread model: {!submit} may be called from any thread;
+    {!process_pending}/{!run_loop}/{!warm_alt} must stay on one consumer
+    thread (they mutate the ALT and k-core caches and run the pool).
+    Reply callbacks run on the consumer thread except for
+    admission-time rejections and validation errors, which run on the
+    submitting thread.
+
+    Every stage emits [service.*] metrics and spans — the full inventory
+    is documented in docs/OBSERVABILITY.md §8. *)
+
+type t
+
+(** [create ~pool ~handle ?coords ~config ()] loads nothing: the graph
+    is already behind [handle] (millisecond startup via GRAPHBIN —
+    docs/SERVICE.md §5). [coords], when given, join the ALT cache as an
+    extra A* heuristic. *)
+val create :
+  pool:Parallel.Pool.t ->
+  handle:Graphs.Handle.t ->
+  ?coords:Graphs.Coords.t ->
+  config:Config.t ->
+  unit ->
+  t
+
+val config : t -> Config.t
+val alt : t -> Alt.t
+
+(** [submit t req ~reply] validates, stamps the deadline, and admits
+    [req]. Invalid requests and admission rejections invoke [reply]
+    immediately (statuses [error] / [rejected]); admitted requests hold
+    their [reply] until the batcher resolves them. Never blocks. *)
+val submit : t -> Protocol.request -> reply:(Protocol.response -> unit) -> unit
+
+(** [process_pending t ~max_wait_s] runs one batcher cycle: waits up to
+    [max_wait_s] for a non-empty queue, then drains ≤ [max_batch]
+    requests, groups, runs, replies. Returns the number of requests
+    resolved ([0] on timeout). Consumer thread only. *)
+val process_pending : t -> max_wait_s:float -> int
+
+(** [idle_warm t] warms one cold ALT landmark (the background warmup
+    step {!run_loop} takes when the queue is idle); [false] when the
+    cache is already warm. *)
+val idle_warm : t -> bool
+
+(** [warm_alt t] warms the whole cache now; returns newly warmed
+    landmarks. *)
+val warm_alt : t -> int
+
+(** [run_loop t ~should_stop] is the runner-thread body: batcher cycles
+    interleaved with idle warmup, until [should_stop ()] or a [shutdown]
+    request. *)
+val run_loop : t -> should_stop:(unit -> bool) -> unit
+
+(** [drain_shutdown t] closes the queue and answers every still-queued
+    request with [rejected] ("server stopping") — the server calls it
+    after the runner thread exits so no admitted request is left
+    dangling. *)
+val drain_shutdown : t -> unit
+
+(** [shutdown_requested t] is set once a [shutdown] op was processed. *)
+val shutdown_requested : t -> bool
+
+(** [pending t] is the current queue depth. *)
+val pending : t -> int
+
+(** [stats_json t] is the [stats] op payload (graph, config, caches,
+    queue, and a {!Observe.Metrics} snapshot). *)
+val stats_json : t -> Support.Json.t

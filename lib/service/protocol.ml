@@ -1,0 +1,208 @@
+module Json = Support.Json
+
+type op =
+  | Ppsp of { source : int; target : int }
+  | Astar of { source : int; target : int }
+  | Widest of { source : int; target : int }
+  | Kcore of { vertex : int }
+  | Warm_alt
+  | Stats
+  | Ping
+  | Shutdown
+
+type request = {
+  id : int;
+  op : op;
+  deadline_ms : float option;
+}
+
+type status =
+  | Ok
+  | Partial
+  | Rejected
+  | Error
+
+type meta = {
+  batch_width : int;
+  rounds : int;
+  wall_ms : float;
+  alt_assisted : bool;
+}
+
+type response = {
+  rid : int;
+  status : status;
+  result : Json.t option;
+  error : string option;
+  meta : meta option;
+}
+
+let status_to_string = function
+  | Ok -> "ok"
+  | Partial -> "partial"
+  | Rejected -> "rejected"
+  | Error -> "error"
+
+let status_of_string = function
+  | "ok" -> Result.Ok Ok
+  | "partial" -> Result.Ok Partial
+  | "rejected" -> Result.Ok Rejected
+  | "error" -> Result.Ok Error
+  | other -> Result.Error (Printf.sprintf "unknown status %S" other)
+
+(* ------------------------------------------------------------------ *)
+(* Requests                                                            *)
+
+let op_name = function
+  | Ppsp _ -> "ppsp"
+  | Astar _ -> "astar"
+  | Widest _ -> "widest"
+  | Kcore _ -> "kcore"
+  | Warm_alt -> "warm_alt"
+  | Stats -> "stats"
+  | Ping -> "ping"
+  | Shutdown -> "shutdown"
+
+let int_member name j =
+  match Json.member name j with
+  | Some (Json.Int i) -> Some i
+  | Some (Json.Float f) when Float.is_integer f -> Some (int_of_float f)
+  | _ -> None
+
+let num_member name j =
+  match Json.member name j with
+  | Some (Json.Int i) -> Some (float_of_int i)
+  | Some (Json.Float f) -> Some f
+  | _ -> None
+
+let string_member name j =
+  match Json.member name j with Some (Json.String s) -> Some s | _ -> None
+
+let parse_request line =
+  let fail id msg = Result.Error (id, msg) in
+  match Json.of_string line with
+  | Result.Error msg -> fail (-1) ("not a JSON object: " ^ msg)
+  | Result.Ok json -> (
+      let id = Option.value ~default:(-1) (int_member "id" json) in
+      let require name k =
+        match int_member name json with
+        | Some v -> k v
+        | None -> fail id (Printf.sprintf "missing integer field %S" name)
+      in
+      let finish op =
+        Result.Ok { id; op; deadline_ms = num_member "deadline_ms" json }
+      in
+      match (json, string_member "op" json) with
+      | Json.Obj _, Some op_str -> (
+          if id < 0 then fail id "missing non-negative integer field \"id\""
+          else
+            match op_str with
+            | "ppsp" ->
+                require "source" (fun source ->
+                    require "target" (fun target -> finish (Ppsp { source; target })))
+            | "astar" ->
+                require "source" (fun source ->
+                    require "target" (fun target -> finish (Astar { source; target })))
+            | "widest" ->
+                require "source" (fun source ->
+                    require "target" (fun target -> finish (Widest { source; target })))
+            | "kcore" -> require "vertex" (fun vertex -> finish (Kcore { vertex }))
+            | "warm_alt" -> finish Warm_alt
+            | "stats" -> finish Stats
+            | "ping" -> finish Ping
+            | "shutdown" -> finish Shutdown
+            | other -> fail id (Printf.sprintf "unknown op %S" other))
+      | Json.Obj _, None -> fail id "missing string field \"op\""
+      | _ -> fail id "not a JSON object")
+
+let request_to_json r =
+  let endpoints = function
+    | Ppsp { source; target }
+    | Astar { source; target }
+    | Widest { source; target } ->
+        [ ("source", Json.Int source); ("target", Json.Int target) ]
+    | Kcore { vertex } -> [ ("vertex", Json.Int vertex) ]
+    | Warm_alt | Stats | Ping | Shutdown -> []
+  in
+  Json.Obj
+    ([ ("id", Json.Int r.id); ("op", Json.String (op_name r.op)) ]
+    @ endpoints r.op
+    @
+    match r.deadline_ms with
+    | Some ms -> [ ("deadline_ms", Json.Float ms) ]
+    | None -> [])
+
+(* ------------------------------------------------------------------ *)
+(* Responses                                                           *)
+
+let meta_to_json m =
+  Json.Obj
+    [
+      ("batch_width", Json.Int m.batch_width);
+      ("rounds", Json.Int m.rounds);
+      ("wall_ms", Json.Float m.wall_ms);
+      ("alt_assisted", Json.Bool m.alt_assisted);
+    ]
+
+let response_to_json r =
+  Json.Obj
+    ([ ("id", Json.Int r.rid); ("status", Json.String (status_to_string r.status)) ]
+    @ (match r.result with Some j -> [ ("result", j) ] | None -> [])
+    @ (match r.error with Some e -> [ ("error", Json.String e) ] | None -> [])
+    @ match r.meta with Some m -> [ ("meta", meta_to_json m) ] | None -> [])
+
+let response_of_json json =
+  match (int_member "id" json, string_member "status" json) with
+  | Some rid, Some status_str -> (
+      match status_of_string status_str with
+      | Result.Error _ as e -> e
+      | Result.Ok status ->
+          let meta =
+            match Json.member "meta" json with
+            | Some m -> (
+                match
+                  ( int_member "batch_width" m,
+                    int_member "rounds" m,
+                    num_member "wall_ms" m,
+                    Json.member "alt_assisted" m )
+                with
+                | Some batch_width, Some rounds, Some wall_ms, Some (Json.Bool a)
+                  ->
+                    Some
+                      { batch_width; rounds; wall_ms; alt_assisted = a }
+                | _ -> None)
+            | None -> None
+          in
+          Result.Ok
+            {
+              rid;
+              status;
+              result = Json.member "result" json;
+              error = string_member "error" json;
+              meta;
+            })
+  | _ -> Result.Error "response needs integer \"id\" and string \"status\""
+
+let ok ?meta ~id result =
+  { rid = id; status = Ok; result = Some result; error = None; meta }
+
+let partial ?meta ~id result =
+  { rid = id; status = Partial; result = Some result; error = None; meta }
+
+let rejected ~id msg =
+  { rid = id; status = Rejected; result = None; error = Some msg; meta = None }
+
+let error ~id msg =
+  { rid = id; status = Error; result = None; error = Some msg; meta = None }
+
+let null_priority = Bucketing.Bucket_order.null_priority
+
+let distance_json d =
+  if d = null_priority then
+    Json.Obj [ ("distance", Json.Null); ("reachable", Json.Bool false) ]
+  else Json.Obj [ ("distance", Json.Int d); ("reachable", Json.Bool true) ]
+
+let capacity_json c =
+  Json.Obj [ ("capacity", Json.Int c); ("reachable", Json.Bool (c > 0)) ]
+
+let coreness_json k = Json.Obj [ ("coreness", Json.Int k) ]

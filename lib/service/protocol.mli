@@ -1,0 +1,92 @@
+(** The query service's wire protocol: line-delimited JSON.
+
+    One request per line in, one response per line out; responses may
+    arrive in any order and are correlated by [id]. The full schema,
+    with worked examples that the test suite round-trips against a live
+    server, is specified in [docs/SERVICE.md] — this module is its
+    executable form, built on {!Support.Json} so the server stays
+    dependency-free. *)
+
+(** A query or admin operation. Point queries name vertices of the
+    loaded graph; admin operations steer the server. *)
+type op =
+  | Ppsp of { source : int; target : int }
+      (** Point-to-point shortest path (Δ-stepping, early exit). *)
+  | Astar of { source : int; target : int }
+      (** PPSP accelerated by the ALT landmark cache (and coordinates
+          when the server has them). *)
+  | Widest of { source : int; target : int }
+      (** Maximum-bottleneck capacity from [source] to [target]. *)
+  | Kcore of { vertex : int }
+      (** Local k-core: the coreness of [vertex] (computed on the
+          symmetrized view, cached after the first run). *)
+  | Warm_alt  (** Warm every remaining ALT landmark, synchronously. *)
+  | Stats  (** Server introspection: graph, config, cache, metrics. *)
+  | Ping  (** Liveness probe. *)
+  | Shutdown  (** Graceful stop: reply, drain, exit. *)
+
+type request = {
+  id : int;  (** Client-chosen correlation id, echoed verbatim. *)
+  op : op;
+  deadline_ms : float option;
+      (** Per-query latency budget from admission; [None] uses the
+          server default, [Some 0.] means "no deadline". *)
+}
+
+type status =
+  | Ok  (** Exact answer. *)
+  | Partial
+      (** The deadline expired: the result is a monotone bound (upper
+          for distances/coreness, lower for capacities), or [null] when
+          nothing was learned in time. *)
+  | Rejected  (** Admission control refused the request (queue full). *)
+  | Error  (** Malformed request or out-of-range vertex. *)
+
+type meta = {
+  batch_width : int;
+      (** Queries answered by the same engine run, including this one. *)
+  rounds : int;  (** Engine rounds completed when this reply resolved. *)
+  wall_ms : float;  (** Admission-to-reply latency. *)
+  alt_assisted : bool;
+      (** True when an A* run consulted at least one warm landmark. *)
+}
+
+type response = {
+  rid : int;  (** The request's [id]; [-1] for unparseable requests. *)
+  status : status;
+  result : Support.Json.t option;  (** Op-specific payload on [Ok]/[Partial]. *)
+  error : string option;  (** Human-readable cause on [Rejected]/[Error]. *)
+  meta : meta option;
+      (** Volatile timing/batching detail — never part of the documented
+          examples' equality check (docs/SERVICE.md §2.3). *)
+}
+
+val status_to_string : status -> string
+val status_of_string : string -> (status, string) result
+
+(** [parse_request line] parses one request line. On malformed input the
+    error retains the request [id] when one could be extracted, so the
+    server can still address its error response. *)
+val parse_request : string -> (request, int * string) result
+
+val request_to_json : request -> Support.Json.t
+val response_to_json : response -> Support.Json.t
+
+(** [response_of_json j] parses a response (the client/test side). *)
+val response_of_json : Support.Json.t -> (response, string) result
+
+(** [ok ?meta ~id result] / [partial ?meta ~id result] /
+    [rejected ~id msg] / [error ~id msg] build responses. *)
+val ok : ?meta:meta -> id:int -> Support.Json.t -> response
+
+val partial : ?meta:meta -> id:int -> Support.Json.t -> response
+val rejected : id:int -> string -> response
+val error : id:int -> string -> response
+
+(** [distance_json d] renders a distance result object:
+    [{"distance": d, "reachable": ..}] with
+    {!Bucketing.Bucket_order.null_priority} mapped to [null]/[false]. *)
+val distance_json : int -> Support.Json.t
+
+val capacity_json : int -> Support.Json.t
+val coreness_json : int -> Support.Json.t

@@ -1,0 +1,76 @@
+type 'a t = {
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  items : 'a Queue.t;
+  capacity : int;
+  mutable closed : bool;
+}
+
+let create ~capacity () =
+  if capacity < 1 then invalid_arg "Request_queue.create: capacity < 1";
+  {
+    mutex = Mutex.create ();
+    nonempty = Condition.create ();
+    items = Queue.create ();
+    capacity;
+    closed = false;
+  }
+
+let capacity t = t.capacity
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let length t = with_lock t (fun () -> Queue.length t.items)
+
+let try_push t x =
+  with_lock t (fun () ->
+      if t.closed || Queue.length t.items >= t.capacity then false
+      else begin
+        Queue.add x t.items;
+        Condition.signal t.nonempty;
+        true
+      end)
+
+(* Condition variables have no native timed wait; a closing or pushing
+   thread signals, and a dedicated waiter re-checks the clock. To keep
+   the implementation dependency-free the timeout is approximated by
+   polling at a fine grain only while empty — the queue is the server's
+   idle loop, so a 10 ms granularity costs nothing measurable and the
+   push path stays a plain signal. *)
+let poll_interval = 0.01
+
+let pop_batch t ~max ~timeout_s =
+  if max < 1 then invalid_arg "Request_queue.pop_batch: max < 1";
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let rec wait () =
+    if Queue.is_empty t.items && not t.closed then begin
+      let remaining = deadline -. Unix.gettimeofday () in
+      if remaining <= 0. then []
+      else begin
+        (* Drop the lock while sleeping so producers can push. *)
+        Mutex.unlock t.mutex;
+        Thread.delay (Float.min poll_interval remaining);
+        Mutex.lock t.mutex;
+        wait ()
+      end
+    end
+    else begin
+      let batch = ref [] in
+      let n = ref 0 in
+      while (not (Queue.is_empty t.items)) && !n < max do
+        batch := Queue.take t.items :: !batch;
+        incr n
+      done;
+      List.rev !batch
+    end
+  in
+  with_lock t wait
+
+let close t =
+  with_lock t (fun () ->
+      t.closed <- true;
+      Condition.broadcast t.nonempty)
+
+let is_closed t = with_lock t (fun () -> t.closed)

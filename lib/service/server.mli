@@ -1,0 +1,48 @@
+(** The socket front-end of the query service: listeners, connection
+    threads, and the runner thread that drives {!Core.run_loop}.
+
+    Wire protocol (docs/SERVICE.md §2): line-delimited JSON — one
+    request object per line in, one response object per line out.
+    Responses carry the request's [id], so they may interleave across a
+    connection's outstanding requests; a per-connection write lock keeps
+    each response line atomic.
+
+    Threading: one accept thread per listener, one reader thread per
+    connection (they only parse and {!Core.submit} — admission never
+    blocks on the engine), and one runner thread that owns the engine
+    pool and the caches. Reply callbacks write from whichever thread
+    resolves them (the runner for engine-answered queries, the reader
+    for rejections), guarded by the connection's write lock. [SIGPIPE]
+    is ignored for the process so vanished clients surface as [EPIPE]
+    write errors, which close that connection only. *)
+
+type t
+
+type address =
+  | Unix_sock of string  (** Path to a unix-domain socket (unlinked first). *)
+  | Tcp of string * int  (** Bind host and port; port [0] lets the OS pick. *)
+
+val address_to_string : address -> string
+
+(** [start ~core ~address ()] binds, spawns the accept and runner
+    threads, and returns immediately. Raises [Unix.Unix_error] if the
+    address cannot be bound. *)
+val start : core:Core.t -> address:address -> unit -> t
+
+(** [bound_address t] is the actual address after binding — reports the
+    OS-chosen port for [Tcp (_, 0)]. *)
+val bound_address : t -> address
+
+(** [wait t] blocks until the server stops: {!stop} was called or a
+    [shutdown] request was processed (the runner drains already-admitted
+    requests first, then the listener closes). *)
+val wait : t -> unit
+
+(** [request_stop t] flags shutdown without blocking — the only
+    server call safe from a signal handler. The runner notices within
+    one batcher cycle; follow with {!wait}. *)
+val request_stop : t -> unit
+
+(** [stop t] initiates shutdown from outside the protocol (tests) and
+    waits like {!wait}. Idempotent. *)
+val stop : t -> unit

@@ -1,0 +1,677 @@
+(* The query service must be boring to its clients: every admitted
+   request gets exactly one answer, batched answers match solo oracles,
+   deadline misses surface as monotone bounds (never wrong values), the
+   ALT heuristic never overestimates, and the documented example
+   sessions in docs/SERVICE.md replay verbatim against a real server
+   core. *)
+
+module Pool = Parallel.Pool
+module Csr = Graphs.Csr
+module Edge_list = Graphs.Edge_list
+module Handle = Graphs.Handle
+module Json = Support.Json
+module Protocol = Service.Protocol
+module Request_queue = Service.Request_queue
+
+let null = Bucketing.Bucket_order.null_priority
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+(* ---------------- request queue ---------------- *)
+
+let test_queue_admission () =
+  let q = Request_queue.create ~capacity:3 () in
+  Alcotest.(check bool) "push 1" true (Request_queue.try_push q 1);
+  Alcotest.(check bool) "push 2" true (Request_queue.try_push q 2);
+  Alcotest.(check bool) "push 3" true (Request_queue.try_push q 3);
+  Alcotest.(check bool) "overflow rejected" false (Request_queue.try_push q 4);
+  Alcotest.(check int) "depth" 3 (Request_queue.length q);
+  (* FIFO, bounded drain. *)
+  Alcotest.(check (list int)) "first two" [ 1; 2 ]
+    (Request_queue.pop_batch q ~max:2 ~timeout_s:0.);
+  Alcotest.(check bool) "room again" true (Request_queue.try_push q 5);
+  Alcotest.(check (list int)) "rest in order" [ 3; 5 ]
+    (Request_queue.pop_batch q ~max:10 ~timeout_s:0.);
+  Alcotest.(check (list int)) "empty timeout" []
+    (Request_queue.pop_batch q ~max:10 ~timeout_s:0.);
+  Request_queue.close q;
+  Alcotest.(check bool) "closed rejects" false (Request_queue.try_push q 6)
+
+let test_queue_cross_thread () =
+  let q = Request_queue.create ~capacity:64 () in
+  let producer =
+    Thread.create
+      (fun () ->
+        for i = 1 to 50 do
+          while not (Request_queue.try_push q i) do
+            Thread.yield ()
+          done
+        done)
+      ()
+  in
+  let got = ref [] in
+  while List.length !got < 50 do
+    got := !got @ Request_queue.pop_batch q ~max:8 ~timeout_s:0.5
+  done;
+  Thread.join producer;
+  Alcotest.(check (list int)) "all items in order" (List.init 50 (fun i -> i + 1)) !got
+
+(* ---------------- protocol ---------------- *)
+
+let test_protocol_roundtrip () =
+  let cases =
+    [
+      {
+        Protocol.id = 1;
+        op = Protocol.Ppsp { source = 3; target = 9 };
+        deadline_ms = Some 12.5;
+      };
+      { Protocol.id = 2; op = Protocol.Kcore { vertex = 0 }; deadline_ms = None };
+      { Protocol.id = 7; op = Protocol.Shutdown; deadline_ms = None };
+    ]
+  in
+  List.iter
+    (fun req ->
+      let line = Json.to_string (Protocol.request_to_json req) in
+      match Protocol.parse_request line with
+      | Ok req' -> Alcotest.(check bool) ("round-trip " ^ line) true (req = req')
+      | Error (_, msg) -> Alcotest.fail (line ^ ": " ^ msg))
+    cases
+
+let test_protocol_errors () =
+  let check_err line expect_id =
+    match Protocol.parse_request line with
+    | Ok _ -> Alcotest.fail ("parsed: " ^ line)
+    | Error (id, _) -> Alcotest.(check int) ("id of " ^ line) expect_id id
+  in
+  check_err "not json" (-1);
+  check_err {|{"op": "ping"}|} (-1);
+  check_err {|{"id": 3, "op": "levitate"}|} 3;
+  check_err {|{"id": 4, "op": "ppsp", "source": 1}|} 4;
+  check_err {|{"id": 5}|} 5
+
+(* ---------------- in-process core helpers ---------------- *)
+
+let mk_core ?(landmarks = 2) ?(queue_capacity = 256) ?(max_batch = 32)
+    ?(default_deadline_ms = 0.) ~pool csr =
+  Service.Core.create ~pool ~handle:(Handle.create csr)
+    ~config:
+      {
+        Service.Config.queue_capacity;
+        max_batch;
+        default_deadline_ms;
+        landmarks;
+        schedule = Testlib.schedule ();
+      }
+    ()
+
+let pump core =
+  let drained = ref 1 in
+  while !drained > 0 do
+    drained := Service.Core.process_pending core ~max_wait_s:0.
+  done
+
+let req ?deadline_ms id op = { Protocol.id; op; deadline_ms }
+
+(* Submit everything first (so the batcher actually batches), then pump
+   until every reply landed. *)
+let run_queries core reqs =
+  let replies = Hashtbl.create 16 in
+  List.iter
+    (fun r ->
+      Service.Core.submit core r ~reply:(fun resp ->
+          Hashtbl.replace replies r.Protocol.id resp))
+    reqs;
+  pump core;
+  List.map
+    (fun r ->
+      match Hashtbl.find_opt replies r.Protocol.id with
+      | Some resp -> resp
+      | None -> Alcotest.fail (Printf.sprintf "request %d unanswered" r.Protocol.id))
+    reqs
+
+let result_int field resp =
+  match resp.Protocol.result with
+  | Some j -> (
+      match Json.member field j with
+      | Some (Json.Int v) -> Some v
+      | Some Json.Null -> None
+      | _ -> Alcotest.fail ("bad field " ^ field))
+  | None -> Alcotest.fail ("no result for field " ^ field)
+
+let check_status what expected resp =
+  Alcotest.(check string)
+    (what ^ " status")
+    (Protocol.status_to_string expected)
+    (Protocol.status_to_string resp.Protocol.status)
+
+(* ---------------- batched answers = solo oracles ---------------- *)
+
+let test_batch_demux_matches_oracles () =
+  let csr = Testlib.random_weighted_graph 11 ~n:300 ~m:1500 ~max_w:64 in
+  let sym = Csr.of_edge_list (Edge_list.symmetrized (Csr.to_edge_list csr)) in
+  let dist0 = Check.Oracle.bellman_ford csr ~source:0 in
+  let dist7 = Check.Oracle.bellman_ford csr ~source:7 in
+  let widest0 = Algorithms.Widest_path.sequential csr ~source:0 in
+  let core_oracle = Testlib.naive_coreness_running_max sym in
+  Testlib.with_pools [ 1; 2; 4 ] (fun _w pool ->
+      let core = mk_core ~pool csr in
+      let targets = [ 1; 50; 99; 123; 222; 299 ] in
+      let reqs =
+        List.concat_map
+          (fun (i, t) ->
+            [
+              req (100 + i) (Protocol.Ppsp { source = 0; target = t });
+              req (200 + i) (Protocol.Ppsp { source = 7; target = t });
+              req (300 + i) (Protocol.Widest { source = 0; target = t });
+              req (400 + i) (Protocol.Astar { source = 0; target = t });
+              req (500 + i) (Protocol.Kcore { vertex = t });
+            ])
+          (List.mapi (fun i t -> (i, t)) targets)
+      in
+      let replies = run_queries core reqs in
+      List.iter2
+        (fun r resp ->
+          check_status (string_of_int r.Protocol.id) Protocol.Ok resp;
+          let expect_dist oracle t =
+            let got = result_int "distance" resp in
+            let want = if oracle.(t) = null then None else Some oracle.(t) in
+            Alcotest.(check (option int))
+              (Printf.sprintf "id %d distance" r.Protocol.id)
+              want got
+          in
+          match r.Protocol.op with
+          | Protocol.Ppsp { source = 0; target } -> expect_dist dist0 target
+          | Protocol.Ppsp { target; _ } -> expect_dist dist7 target
+          | Protocol.Astar { target; _ } -> expect_dist dist0 target
+          | Protocol.Widest { target; _ } ->
+              Alcotest.(check (option int))
+                (Printf.sprintf "id %d capacity" r.Protocol.id)
+                (Some widest0.(target))
+                (result_int "capacity" resp)
+          | Protocol.Kcore { vertex } ->
+              Alcotest.(check (option int))
+                (Printf.sprintf "id %d coreness" r.Protocol.id)
+                (Some core_oracle.(vertex))
+                (result_int "coreness" resp)
+          | _ -> ())
+        reqs replies;
+      (* The second kcore round must be answered from the cache. *)
+      let before =
+        Observe.Metrics.counter_value
+          (Observe.Metrics.counter Observe.Metrics.default
+             "service.kcore.cache_hits")
+      in
+      let cached =
+        run_queries core [ req 900 (Protocol.Kcore { vertex = 42 }) ]
+      in
+      check_status "cached kcore" Protocol.Ok (List.hd cached);
+      let after =
+        Observe.Metrics.counter_value
+          (Observe.Metrics.counter Observe.Metrics.default
+             "service.kcore.cache_hits")
+      in
+      Alcotest.(check bool) "kcore cache hit counted" true (after > before))
+
+(* ---------------- deadlines: partial, never wrong ---------------- *)
+
+let test_expired_deadline_is_partial_null () =
+  let csr = Testlib.random_weighted_graph 3 ~n:200 ~m:1000 ~max_w:32 in
+  Pool.with_pool ~num_workers:2 (fun pool ->
+      let core = mk_core ~pool csr in
+      (* A microscopic budget is always spent before the batcher runs:
+         the reply must be partial with the null bound. *)
+      let resp =
+        List.hd
+          (run_queries core
+             [
+               req ~deadline_ms:0.001 1 (Protocol.Ppsp { source = 0; target = 150 });
+             ])
+      in
+      check_status "expired ppsp" Protocol.Partial resp;
+      Alcotest.(check (option int)) "null distance" None (result_int "distance" resp);
+      let resp =
+        List.hd
+          (run_queries core
+             [
+               req ~deadline_ms:0.001 2
+                 (Protocol.Widest { source = 0; target = 150 });
+             ])
+      in
+      check_status "expired widest" Protocol.Partial resp;
+      Alcotest.(check (option int)) "zero capacity" (Some 0)
+        (result_int "capacity" resp))
+
+let test_partial_results_are_monotone_bounds () =
+  (* Sweep deadlines from instant to generous: whatever the status, a
+     finite distance must be a real upper bound and a capacity a real
+     lower bound; exact answers must match the oracle exactly. *)
+  let csr = Testlib.random_weighted_graph 17 ~n:400 ~m:2400 ~max_w:100 in
+  let dist = Check.Oracle.bellman_ford csr ~source:0 in
+  let widest = Algorithms.Widest_path.sequential csr ~source:0 in
+  Pool.with_pool ~num_workers:2 (fun pool ->
+      let core = mk_core ~pool csr in
+      List.iteri
+        (fun i deadline_ms ->
+          let target = 37 * (i + 1) mod 400 in
+          let resp =
+            List.hd
+              (run_queries core
+                 [ req ~deadline_ms (1000 + i) (Protocol.Ppsp { source = 0; target }) ])
+          in
+          (match (resp.Protocol.status, result_int "distance" resp) with
+          | Protocol.Ok, got ->
+              Alcotest.(check (option int))
+                "exact distance"
+                (if dist.(target) = null then None else Some dist.(target))
+                got
+          | Protocol.Partial, Some d ->
+              Alcotest.(check bool)
+                (Printf.sprintf "partial distance %d is an upper bound of %d" d
+                   dist.(target))
+                true
+                (dist.(target) <> null && d >= dist.(target))
+          | Protocol.Partial, None -> () (* nothing learned: fine *)
+          | _ -> Alcotest.fail "unexpected status");
+          let resp =
+            List.hd
+              (run_queries core
+                 [
+                   req ~deadline_ms (2000 + i) (Protocol.Widest { source = 0; target });
+                 ])
+          in
+          match (resp.Protocol.status, result_int "capacity" resp) with
+          | Protocol.Ok, got ->
+              Alcotest.(check (option int)) "exact capacity" (Some widest.(target)) got
+          | Protocol.Partial, Some c ->
+              Alcotest.(check bool)
+                (Printf.sprintf "partial capacity %d is a lower bound of %d" c
+                   widest.(target))
+                true
+                (c <= widest.(target))
+          | _ -> Alcotest.fail "unexpected widest status")
+        [ 0.001; 0.05; 0.3; 1.0; 5.0; 50.0 ])
+
+let test_timed_out_kcore_not_cached () =
+  let csr = Testlib.symmetric_random 5 ~n:400 ~m:3000 in
+  let oracle = Testlib.naive_coreness_running_max csr in
+  Pool.with_pool ~num_workers:2 (fun pool ->
+      let core = mk_core ~pool csr in
+      let resp =
+        List.hd
+          (run_queries core
+             [ req ~deadline_ms:0.001 1 (Protocol.Kcore { vertex = 9 }) ])
+      in
+      check_status "expired kcore" Protocol.Partial resp;
+      (* The truncated peel must not have been cached: the next query
+         (no deadline) runs the real decomposition and is exact. *)
+      let resp =
+        List.hd (run_queries core [ req 2 (Protocol.Kcore { vertex = 9 }) ])
+      in
+      check_status "fresh kcore" Protocol.Ok resp;
+      Alcotest.(check (option int)) "exact coreness" (Some oracle.(9))
+        (result_int "coreness" resp))
+
+(* ---------------- admission control ---------------- *)
+
+let test_queue_overflow_rejects () =
+  let csr = Testlib.random_weighted_graph 7 ~n:50 ~m:200 ~max_w:8 in
+  Pool.with_pool ~num_workers:1 (fun pool ->
+      let core = mk_core ~queue_capacity:4 ~pool csr in
+      let statuses = ref [] in
+      for i = 1 to 10 do
+        Service.Core.submit core
+          (req i (Protocol.Ppsp { source = 0; target = 1 }))
+          ~reply:(fun resp -> statuses := resp.Protocol.status :: !statuses)
+      done;
+      (* Rejections are synchronous: 6 already answered, 4 queued. *)
+      let rejected_now =
+        List.length (List.filter (( = ) Protocol.Rejected) !statuses)
+      in
+      Alcotest.(check int) "overflow rejected synchronously" 6 rejected_now;
+      Alcotest.(check int) "admitted are pending" 4 (Service.Core.pending core);
+      pump core;
+      Alcotest.(check int) "everyone answered" 10 (List.length !statuses);
+      Alcotest.(check int) "admitted answered ok" 4
+        (List.length (List.filter (( = ) Protocol.Ok) !statuses)))
+
+let test_out_of_range_is_error () =
+  let csr = Testlib.random_weighted_graph 7 ~n:50 ~m:200 ~max_w:8 in
+  Pool.with_pool ~num_workers:1 (fun pool ->
+      let core = mk_core ~pool csr in
+      let resp = ref None in
+      Service.Core.submit core
+        (req 1 (Protocol.Ppsp { source = 0; target = 50 }))
+        ~reply:(fun r -> resp := Some r);
+      match !resp with
+      | Some r ->
+          check_status "range error" Protocol.Error r;
+          Alcotest.(check bool) "mentions range" true
+            (match r.Protocol.error with
+            | Some msg -> contains ~needle:"out of range" msg
+            | None -> false)
+      | None -> Alcotest.fail "validation must answer synchronously")
+
+(* ---------------- ALT: admissible, consistent with ppsp ---------------- *)
+
+let qcheck_alt_heuristic_admissible =
+  QCheck.Test.make ~name:"ALT heuristic never overestimates d(v, target)"
+    ~count:25
+    QCheck.(triple (int_range 20 120) (int_range 40 400) small_nat)
+    (fun (n, m, salt) ->
+      let csr = Testlib.random_weighted_graph (salt + 23) ~n ~m ~max_w:50 in
+      let handle = Handle.create csr in
+      Pool.with_pool ~num_workers:2 (fun pool ->
+          let alt =
+            Service.Alt.create ~pool ~handle ~schedule:(Testlib.schedule ())
+              ~landmarks:3 ()
+          in
+          ignore (Service.Alt.warm_all alt);
+          let target = salt * 7 mod n in
+          (* d(v, target) for every v = SSSP from target on the transpose. *)
+          let to_target =
+            Check.Oracle.bellman_ford (Handle.transpose_csr handle) ~source:target
+          in
+          match Service.Alt.heuristic alt ~target with
+          | None -> true (* no warm landmark: vacuously admissible *)
+          | Some h ->
+              let ok = ref true in
+              for v = 0 to n - 1 do
+                if to_target.(v) <> null && h v > to_target.(v) then ok := false
+              done;
+              !ok))
+
+let qcheck_astar_with_alt_matches_ppsp =
+  QCheck.Test.make ~name:"astar over warm ALT cache = ppsp distances" ~count:20
+    QCheck.(pair (int_range 20 150) small_nat)
+    (fun (n, salt) ->
+      let csr = Testlib.random_weighted_graph (salt + 41) ~n ~m:(4 * n) ~max_w:30 in
+      Pool.with_pool ~num_workers:2 (fun pool ->
+          let core = mk_core ~landmarks:3 ~pool csr in
+          ignore (Service.Core.warm_alt core);
+          let dist = Check.Oracle.bellman_ford csr ~source:0 in
+          let targets = [ n - 1; n / 2; 1 mod n ] in
+          let reqs =
+            List.mapi
+              (fun i t -> req (i + 1) (Protocol.Astar { source = 0; target = t }))
+              targets
+          in
+          let replies = run_queries core reqs in
+          List.for_all2
+            (fun t resp ->
+              resp.Protocol.status = Protocol.Ok
+              && result_int "distance" resp
+                 = (if dist.(t) = null then None else Some dist.(t)))
+            targets replies))
+
+(* ---------------- the socket server under concurrent clients -------- *)
+
+let tmp_socket_path =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "svc_test_%d_%d.sock" (Unix.getpid ()) !counter)
+
+let send_line fd line =
+  let bytes = Bytes.of_string (line ^ "\n") in
+  let len = Bytes.length bytes in
+  let written = ref 0 in
+  while !written < len do
+    written := !written + Unix.write fd bytes !written (len - !written)
+  done
+
+(* One client: send [queries], read that many responses, return them
+   decoded and indexed by id. *)
+let run_client path queries =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  Unix.setsockopt_float fd Unix.SO_RCVTIMEO 60.;
+  let ic = Unix.in_channel_of_descr fd in
+  List.iter (fun q -> send_line fd (Json.to_string (Protocol.request_to_json q))) queries;
+  let replies = Hashtbl.create 16 in
+  for _ = 1 to List.length queries do
+    let line = input_line ic in
+    match Result.bind (Json.of_string line) Protocol.response_of_json with
+    | Ok resp -> Hashtbl.replace replies resp.Protocol.rid resp
+    | Error msg -> Alcotest.fail (Printf.sprintf "bad response %S: %s" line msg)
+  done;
+  Unix.close fd;
+  replies
+
+let test_concurrent_clients () =
+  let csr = Testlib.random_weighted_graph 29 ~n:400 ~m:2400 ~max_w:64 in
+  let dist = Array.init 8 (fun s -> Check.Oracle.bellman_ford csr ~source:s) in
+  Testlib.with_pools [ 1; 2; 4 ] (fun _w pool ->
+      let core = mk_core ~pool csr in
+      let path = tmp_socket_path () in
+      let server =
+        Service.Server.start ~core ~address:(Service.Server.Unix_sock path) ()
+      in
+      let num_clients = 4 in
+      let failures = Atomic.make 0 in
+      let clients =
+        List.init num_clients (fun c ->
+            Thread.create
+              (fun () ->
+                try
+                  let queries =
+                    List.init 12 (fun i ->
+                        let t = ((c + 1) * 31 * (i + 1)) mod 400 in
+                        req
+                          ((c * 1000) + i)
+                          (if i mod 3 = 0 then
+                             Protocol.Astar { source = c; target = t }
+                           else Protocol.Ppsp { source = c; target = t }))
+                  in
+                  let replies = run_client path queries in
+                  List.iter
+                    (fun q ->
+                      let resp = Hashtbl.find replies q.Protocol.id in
+                      let target =
+                        match q.Protocol.op with
+                        | Protocol.Ppsp { target; _ } | Protocol.Astar { target; _ }
+                          ->
+                            target
+                        | _ -> assert false
+                      in
+                      let want =
+                        if dist.(c).(target) = null then None
+                        else Some dist.(c).(target)
+                      in
+                      if
+                        resp.Protocol.status <> Protocol.Ok
+                        || result_int "distance" resp <> want
+                      then Atomic.incr failures)
+                    queries
+                with _ -> Atomic.incr failures)
+              ())
+      in
+      List.iter Thread.join clients;
+      (* Orderly shutdown through the protocol. *)
+      let replies = run_client path [ req 999999 Protocol.Shutdown ] in
+      check_status "shutdown" Protocol.Ok (Hashtbl.find replies 999999);
+      Service.Server.wait server;
+      Alcotest.(check int) "zero wrong answers across clients" 0
+        (Atomic.get failures);
+      Alcotest.(check bool) "socket removed" false (Sys.file_exists path))
+
+(* ---------------- docs/SERVICE.md sessions replay ---------------- *)
+
+(* dune runtest runs in test/, dune exec in the workspace root. *)
+let service_md =
+  if Sys.file_exists "../docs/SERVICE.md" then "../docs/SERVICE.md"
+  else "docs/SERVICE.md"
+
+type fenced = { lang : string; body : string list }
+
+let fenced_blocks path =
+  let ic = open_in path in
+  let blocks = ref [] in
+  let current = ref None in
+  (try
+     while true do
+       let line = input_line ic in
+       match !current with
+       | None ->
+           if String.length line >= 3 && String.sub line 0 3 = "```" then
+             let lang = String.trim (String.sub line 3 (String.length line - 3)) in
+             if lang <> "" then current := Some { lang; body = [] }
+             else current := Some { lang = "_"; body = [] }
+       | Some b ->
+           if String.trim line = "```" then begin
+             blocks := { b with body = List.rev b.body } :: !blocks;
+             current := None
+           end
+           else current := Some { b with body = line :: b.body }
+     done
+   with End_of_file -> close_in ic);
+  List.rev !blocks
+
+let docs_graph blocks =
+  match List.find_opt (fun b -> b.lang = "graph") blocks with
+  | None -> Alcotest.fail "SERVICE.md has no ```graph block"
+  | Some b ->
+      let edges =
+        List.filter_map
+          (fun line ->
+            let line = String.trim line in
+            if line = "" || line.[0] = '#' then None
+            else
+              match
+                String.split_on_char ' ' line |> List.filter (( <> ) "")
+              with
+              | [ s; d; w ] ->
+                  Some
+                    {
+                      Edge_list.src = int_of_string s;
+                      dst = int_of_string d;
+                      weight = int_of_string w;
+                    }
+              | _ -> Alcotest.fail ("bad graph line in SERVICE.md: " ^ line))
+          b.body
+      in
+      let num_vertices =
+        1 + List.fold_left (fun a e -> max a (max e.Edge_list.src e.Edge_list.dst)) 0 edges
+      in
+      Csr.of_edge_list (Edge_list.create ~num_vertices (Array.of_list edges))
+
+let session_pairs blocks =
+  List.concat_map
+    (fun b ->
+      if b.lang <> "jsonl" then []
+      else begin
+        let pairs = ref [] in
+        let pending = ref None in
+        List.iter
+          (fun line ->
+            let line = String.trim line in
+            let strip p = String.sub line (String.length p) (String.length line - String.length p) in
+            if String.length line > 4 && String.sub line 0 4 = "--> " then begin
+              (match !pending with
+              | Some r -> Alcotest.fail ("unanswered request in SERVICE.md: " ^ r)
+              | None -> ());
+              pending := Some (strip "--> ")
+            end
+            else if String.length line > 4 && String.sub line 0 4 = "<-- " then
+              match !pending with
+              | Some r ->
+                  pairs := (r, strip "<-- ") :: !pairs;
+                  pending := None
+              | None -> Alcotest.fail ("response without request: " ^ line))
+          b.body;
+        (match !pending with
+        | Some r -> Alcotest.fail ("trailing unanswered request: " ^ r)
+        | None -> ());
+        List.rev !pairs
+      end)
+    blocks
+
+let strip_meta = function
+  | Json.Obj fields -> Json.Obj (List.filter (fun (k, _) -> k <> "meta") fields)
+  | j -> j
+
+let test_service_md_sessions_roundtrip () =
+  let blocks = fenced_blocks service_md in
+  let csr = docs_graph blocks in
+  let pairs = session_pairs blocks in
+  Alcotest.(check bool) "SERVICE.md documents sessions" true (List.length pairs > 10);
+  Pool.with_pool ~num_workers:2 (fun pool ->
+      (* §8: the test server runs with --landmarks 2. *)
+      let core = mk_core ~landmarks:2 ~pool csr in
+      List.iter
+        (fun (request_line, expected_line) ->
+          let expected =
+            match Json.of_string expected_line with
+            | Ok j -> strip_meta j
+            | Error e ->
+                Alcotest.fail
+                  (Printf.sprintf "SERVICE.md bad response JSON %S: %s"
+                     expected_line e)
+          in
+          let actual =
+            match Protocol.parse_request request_line with
+            | Error (id, msg) -> Protocol.error ~id msg
+            | Ok r -> List.hd (run_queries core [ r ])
+          in
+          let actual = strip_meta (Protocol.response_to_json actual) in
+          if not (Json.equal expected actual) then
+            Alcotest.fail
+              (Printf.sprintf "SERVICE.md drifted for %s\n  documented: %s\n  actual:     %s"
+                 request_line (Json.to_string expected) (Json.to_string actual)))
+        pairs;
+      Alcotest.(check bool) "session 5 requested shutdown" true
+        (Service.Core.shutdown_requested core))
+
+let () =
+  Alcotest.run "service"
+    [
+      ( "queue",
+        [
+          Alcotest.test_case "bounded admission" `Quick test_queue_admission;
+          Alcotest.test_case "cross-thread" `Quick test_queue_cross_thread;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "request round-trip" `Quick test_protocol_roundtrip;
+          Alcotest.test_case "parse errors keep ids" `Quick test_protocol_errors;
+        ] );
+      ( "batching",
+        [
+          Alcotest.test_case "demux matches oracles" `Slow
+            test_batch_demux_matches_oracles;
+        ] );
+      ( "deadlines",
+        [
+          Alcotest.test_case "expired -> partial null" `Quick
+            test_expired_deadline_is_partial_null;
+          Alcotest.test_case "partials are monotone bounds" `Slow
+            test_partial_results_are_monotone_bounds;
+          Alcotest.test_case "timed-out kcore not cached" `Quick
+            test_timed_out_kcore_not_cached;
+        ] );
+      ( "admission",
+        [
+          Alcotest.test_case "overflow rejects" `Quick test_queue_overflow_rejects;
+          Alcotest.test_case "out of range errors" `Quick test_out_of_range_is_error;
+        ] );
+      ( "alt",
+        [
+          QCheck_alcotest.to_alcotest qcheck_alt_heuristic_admissible;
+          QCheck_alcotest.to_alcotest qcheck_astar_with_alt_matches_ppsp;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "4 concurrent clients, zero wrong answers" `Slow
+            test_concurrent_clients;
+        ] );
+      ( "docs",
+        [
+          Alcotest.test_case "SERVICE.md sessions replay" `Quick
+            test_service_md_sessions_roundtrip;
+        ] );
+    ]
