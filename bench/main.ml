@@ -1497,6 +1497,9 @@ let service_bench () =
           default_deadline_ms = 0.;
           landmarks;
           schedule;
+          slow_query_ms = 0.;
+          graph_file = None;
+          symmetric = false;
         }
       ()
   in

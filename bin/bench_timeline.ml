@@ -1,0 +1,100 @@
+(* bench_timeline: aggregate the committed bench --json reports
+   (bench/BENCH_*.json, oldest first) into a per-section trajectory —
+   median/min/max/stddev across the series and a regression flag for the
+   newest point against the median of the points before it. The
+   across-PRs companion of bench_diff (docs/OBSERVABILITY.md §7b).
+
+   Exit codes: 0 = no regression; 1 = at least one section's newest
+   point regressed past the threshold; 2 = unreadable input. *)
+
+open Cmdliner
+module Timeline = Observe.Timeline
+
+let load path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error msg ->
+      Printf.eprintf "bench_timeline: cannot read %s: %s\n" path msg;
+      exit 2
+  | contents -> (
+      match
+        Timeline.points_of_string ~label:(Filename.basename path) contents
+      with
+      | Ok points -> points
+      | Error msg ->
+          Printf.eprintf "bench_timeline: %s\n" msg;
+          exit 2)
+
+let run paths threshold floor force json_out =
+  (* Command-line order is trajectory order: pass reports oldest first
+     (CI sorts bench/BENCH_*.json by number). *)
+  let points = List.concat_map load paths in
+  if points = [] then begin
+    Printf.eprintf "bench_timeline: no points\n";
+    exit 2
+  end;
+  let report =
+    Timeline.analyze ~threshold ~floor ~gate_foreign:force points
+  in
+  Format.printf "%a@?" Timeline.pp report;
+  (match json_out with
+  | Some path ->
+      Out_channel.with_open_bin path (fun oc ->
+          let ppf = Format.formatter_of_out_channel oc in
+          Format.fprintf ppf "%a@." Support.Json.pp (Timeline.to_json report));
+      Printf.printf "report: %s\n" path
+  | None -> ());
+  if report.Timeline.regressions > 0 then exit 1
+
+let () =
+  let paths =
+    Arg.(
+      non_empty
+      & pos_all file []
+      & info [] ~docv:"REPORT"
+          ~doc:
+            "bench --json reports or bench_diff trajectory files, oldest \
+             first; trajectories flatten in order")
+  in
+  let threshold =
+    Arg.(
+      value & opt float 0.25
+      & info [ "threshold" ]
+          ~doc:
+            "Relative slowdown of the newest point vs the prior median \
+             that counts as a regression (0.25 = 25%)")
+  in
+  let floor =
+    Arg.(
+      value & opt float 0.01
+      & info [ "floor" ]
+          ~doc:
+            "Absolute floor in seconds: sections where both sides sit \
+             below it never gate (scheduler noise)")
+  in
+  let force =
+    Arg.(
+      value & flag
+      & info [ "force" ]
+          ~doc:
+            "Gate on every point even when its hostname differs from the \
+             majority (foreign-host points are otherwise listed but \
+             excluded)")
+  in
+  let json_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Also write the report as JSON (the artifact CI uploads)")
+  in
+  let term =
+    Term.(const run $ paths $ threshold $ floor $ force $ json_out)
+  in
+  exit
+    (Cmd.eval
+       (Cmd.v
+          (Cmd.info "bench_timeline"
+             ~doc:
+               "Aggregate committed bench reports into a per-section \
+                trajectory and fail on a newest-point regression")
+          term))

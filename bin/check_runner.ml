@@ -11,6 +11,10 @@
    - repro: --app/--graph/--schedule re-run exactly one configuration
      (the syntax printed in repro lines) and report pass/fail.
 
+   - query repro: --app/--graph-file/--source/--target (or --vertex)
+     re-run one service query from a slow-query log line against the
+     graph *file* the server loaded (docs/OBSERVABILITY.md).
+
    Exit codes: 0 = clean; 1 = oracle mismatch or race finding; 2 = bad
    command line. *)
 
@@ -103,6 +107,37 @@ let run_repro ~seed ~chaos ~race ~workers ~variant app graph schedule =
   end;
   if !failed then exit 1
 
+let run_query_repro ~workers ~symmetric ~source ~target ~vertex app graph_file
+    schedule =
+  let module Qr = Check.Query_repro in
+  let app = parse_or_exit "app" (Qr.app_of_string app) in
+  let schedule = parse_or_exit "schedule" (Sweep.schedule_of_string schedule) in
+  let source, target =
+    match (app, vertex, source, target) with
+    | Qr.Kcore, Some v, _, _ -> (v, -1)
+    | Qr.Kcore, None, Some s, _ -> (s, -1)
+    | Qr.Kcore, None, None, _ ->
+        Printf.eprintf "check_runner: kcore query repro needs --vertex\n";
+        exit 2
+    | _, _, Some s, Some t -> (s, t)
+    | _ ->
+        Printf.eprintf "check_runner: query repro needs --source and --target\n";
+        exit 2
+  in
+  let failed = ref false in
+  List.iter
+    (fun w ->
+      let r =
+        { Qr.app; graph_file; symmetric; source; target; schedule; workers = w }
+      in
+      match Qr.run r with
+      | Ok () -> Printf.printf "ok: %d workers\n" w
+      | Error msg ->
+          failed := true;
+          Printf.printf "FAIL: %d workers: %s\n" w msg)
+    workers;
+  if !failed then exit 1
+
 let run_sweep ~seed ~budget ~chaos ~race ~workers ~max_failures ~apps
     ~json_path ~failures_path ~variants =
   let apps =
@@ -134,7 +169,8 @@ let run_sweep ~seed ~budget ~chaos ~race ~workers ~max_failures ~apps
     exit 1
 
 let main budget seed apps app graph schedule workers chaos race max_failures
-    json_path failures_path layout reorder bin =
+    json_path failures_path layout reorder bin graph_file source target vertex
+    symmetric =
   let workers = parse_workers workers in
   let variant_given = layout <> None || reorder <> None || bin in
   let variant =
@@ -150,10 +186,13 @@ let main budget seed apps app graph schedule workers chaos race max_failures
       bin_roundtrip = bin;
     }
   in
-  match (app, graph, schedule) with
-  | Some app, Some graph, Some schedule ->
+  match (graph_file, app, graph, schedule) with
+  | Some graph_file, Some app, None, Some schedule ->
+      run_query_repro ~workers ~symmetric ~source ~target ~vertex app graph_file
+        schedule
+  | None, Some app, Some graph, Some schedule ->
       run_repro ~seed ~chaos ~race ~workers ~variant app graph schedule
-  | None, None, None ->
+  | None, None, None, None ->
       (* Sweep mode: with no substrate flags, run the whole default
          variant axis; with flags, pin the sweep to that one variant. *)
       let variants =
@@ -163,7 +202,9 @@ let main budget seed apps app graph schedule workers chaos race max_failures
         ~json_path ~failures_path ~variants
   | _ ->
       Printf.eprintf
-        "check_runner: repro mode needs all of --app, --graph, --schedule\n";
+        "check_runner: repro mode needs all of --app, --graph, --schedule; \
+         query repro needs --app, --graph-file, --schedule and \
+         --source/--target (or --vertex)\n";
       exit 2
 
 let () =
@@ -272,11 +313,47 @@ let () =
             "Round-trip the graph through the binary format (save-bin -> \
              load-bin) before running")
   in
+  let graph_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "graph-file" ] ~docv:"FILE"
+          ~doc:
+            "Query-repro mode: replay one service query against this graph \
+             file (edge-list text or GRAPHBIN) — the syntax of slow-query \
+             log repro lines")
+  in
+  let source =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "source" ] ~doc:"Query-repro mode: source vertex")
+  in
+  let target =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "target" ] ~doc:"Query-repro mode: target vertex")
+  in
+  let vertex =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "vertex" ] ~doc:"Query-repro mode: the kcore query vertex")
+  in
+  let symmetric =
+    Arg.(
+      value & flag
+      & info [ "symmetric" ]
+          ~doc:
+            "Query-repro mode: symmetrize the loaded graph, as `serve \
+             --symmetric` did")
+  in
   let term =
     Term.(
       const main $ budget $ seed $ apps $ app_arg $ graph $ schedule $ workers
       $ chaos $ race $ max_failures $ json_path $ failures_path $ layout
-      $ reorder $ bin)
+      $ reorder $ bin $ graph_file $ source $ target $ vertex $ symmetric)
   in
   exit
     (Cmd.eval

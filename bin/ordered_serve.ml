@@ -32,8 +32,8 @@ let address socket_path port host =
 (* serve                                                               *)
 
 let serve graph_path socket_path port host workers landmarks queue_capacity
-    max_batch deadline_ms strategy delta threshold buckets coords_path
-    symmetric warm trace_path metrics_out =
+    max_batch deadline_ms slow_query_ms strategy delta threshold buckets
+    coords_path symmetric warm trace_path metrics_out log_path log_level =
   let schedule =
     match make_schedule strategy delta threshold buckets with
     | Ok s -> s
@@ -41,6 +41,12 @@ let serve graph_path socket_path port host workers landmarks queue_capacity
         Printf.eprintf "invalid schedule: %s\n" msg;
         exit 1
   in
+  (match Observe.Log.level_of_string log_level with
+  | Some l -> Observe.Log.set_level l
+  | None ->
+      Printf.eprintf "invalid log level %S\n" log_level;
+      exit 1);
+  Option.iter Observe.Log.open_file log_path;
   let el = load_edge_list graph_path in
   let el = if symmetric then Graphs.Edge_list.symmetrized el else el in
   let handle = Graphs.Handle.of_edge_list el in
@@ -62,6 +68,9 @@ let serve graph_path socket_path port host workers landmarks queue_capacity
           default_deadline_ms = deadline_ms;
           landmarks;
           schedule;
+          slow_query_ms;
+          graph_file = Some graph_path;
+          symmetric;
         }
       in
       let core = Service.Core.create ~pool ~handle ?coords ~config () in
@@ -85,6 +94,10 @@ let serve graph_path socket_path port host workers landmarks queue_capacity
        with Invalid_argument _ -> ());
       Service.Server.wait server;
       Printf.printf "server stopped\n%!");
+  Observe.Log.close ();
+  (match log_path with
+  | Some path -> Printf.printf "log: %s\n" path
+  | None -> ());
   (match metrics_out with
   | Some path ->
       let snap = Observe.Metrics.snapshot Observe.Metrics.default in
@@ -145,7 +158,50 @@ let read_script = function
           in
           go [])
 
-let client socket_path port host script timeout quiet =
+let write_all fd line =
+  let bytes = Bytes.of_string line in
+  let len = Bytes.length bytes in
+  let written = ref 0 in
+  while !written < len do
+    written := !written + Unix.write fd bytes !written (len - !written)
+  done
+
+(* `client --watch`: one subscribe request, then print the stats pushes
+   as they stream in. [updates = 0] watches until the server stops (or
+   the receive timeout fires). *)
+let watch socket_path port host timeout interval_ms updates quiet =
+  let fd = connect socket_path port host timeout in
+  let ic = Unix.in_channel_of_descr fd in
+  write_all fd
+    (Support.Json.to_string
+       (Support.Json.Obj
+          [
+            ("id", Support.Json.Int 0);
+            ("op", Support.Json.String "subscribe");
+            ("interval_ms", Support.Json.Float interval_ms);
+            ("updates", Support.Json.Int updates);
+          ])
+    ^ "\n");
+  let received = ref 0 in
+  (try
+     while updates = 0 || !received < updates do
+       let line = input_line ic in
+       incr received;
+       if not quiet then print_endline line
+     done
+   with
+  | End_of_file -> ()
+  | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      Printf.eprintf "timed out after %d updates\n" !received);
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  Printf.eprintf "updates: %d/%s\n" !received
+    (if updates = 0 then "unbounded" else string_of_int updates);
+  if updates > 0 && !received < updates then exit 1
+
+let client socket_path port host script timeout quiet watch_mode interval_ms
+    updates =
+  if watch_mode then watch socket_path port host timeout interval_ms updates quiet
+  else
   let lines =
     read_script script
     |> List.filter (fun l ->
@@ -158,16 +214,7 @@ let client socket_path port host script timeout quiet =
   end;
   let fd = connect socket_path port host timeout in
   let ic = Unix.in_channel_of_descr fd in
-  List.iter
-    (fun line ->
-      let line = line ^ "\n" in
-      let bytes = Bytes.of_string line in
-      let len = Bytes.length bytes in
-      let written = ref 0 in
-      while !written < len do
-        written := !written + Unix.write fd bytes !written (len - !written)
-      done)
-    lines;
+  List.iter (fun line -> write_all fd (line ^ "\n")) lines;
   let expected = List.length lines in
   let by_status = Hashtbl.create 8 in
   let received = ref 0 in
@@ -262,6 +309,16 @@ let serve_cmd =
             "Deadline for requests that set none; 0 means unlimited. \
              Expired queries return status=partial with monotone bounds")
   in
+  let slow_query_ms =
+    Arg.(
+      value & opt float 0.
+      & info [ "slow-query-ms" ] ~docv:"MS"
+          ~doc:
+            "Log a slow-query record (with a check_runner repro line) for \
+             any query at or over this wall-clock latency; 0 disables the \
+             threshold. Deadline misses are always recorded. Needs \
+             $(b,--log)")
+  in
   let strategy =
     Arg.(
       value & opt string "eager_with_fusion"
@@ -317,11 +374,30 @@ let serve_cmd =
       & info [ "metrics-out" ] ~docv:"FILE"
           ~doc:"Write the flight-recorder snapshot as JSON at exit")
   in
+  let log_path =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "log" ] ~docv:"FILE"
+          ~doc:
+            "Append structured JSONL event records (query attribution, \
+             slow queries) to $(docv) (schema: docs/OBSERVABILITY.md §8a)")
+  in
+  let log_level =
+    Arg.(
+      value & opt string "info"
+      & info [ "log-level" ] ~docv:"LEVEL"
+          ~doc:
+            "Lowest level written to $(b,--log): debug, info, warn, error. \
+             Per-query attribution records are $(b,debug); slow-query \
+             records are $(b,warn)")
+  in
   let term =
     Term.(
       const serve $ graph $ socket_arg $ port_arg $ host_arg $ workers
-      $ landmarks $ queue_capacity $ max_batch $ deadline_ms $ strategy $ delta
-      $ threshold $ buckets $ coords $ symmetric $ warm $ trace $ metrics_out)
+      $ landmarks $ queue_capacity $ max_batch $ deadline_ms $ slow_query_ms
+      $ strategy $ delta $ threshold $ buckets $ coords $ symmetric $ warm
+      $ trace $ metrics_out $ log_path $ log_level)
   in
   Cmd.v
     (Cmd.info "serve"
@@ -352,10 +428,33 @@ let client_cmd =
       & info [ "quiet" ]
           ~doc:"Suppress response lines; only print the summary to stderr")
   in
+  let watch =
+    Arg.(
+      value & flag
+      & info [ "watch" ]
+          ~doc:
+            "Subscribe to the server's live stats stream instead of playing \
+             a script: print one queue/latency snapshot per interval \
+             (docs/SERVICE.md §7a)")
+  in
+  let interval_ms =
+    Arg.(
+      value & opt float 1000.
+      & info [ "interval-ms" ] ~docv:"MS"
+          ~doc:"Push interval for $(b,--watch) (server-clamped to ≥ 10)")
+  in
+  let updates =
+    Arg.(
+      value & opt int 0
+      & info [ "updates" ] ~docv:"N"
+          ~doc:
+            "Stop $(b,--watch) after $(docv) pushes; 0 watches until the \
+             server stops or $(b,--timeout) fires")
+  in
   let term =
     Term.(
       const client $ socket_arg $ port_arg $ host_arg $ script $ timeout
-      $ quiet)
+      $ quiet $ watch $ interval_ms $ updates)
   in
   Cmd.v
     (Cmd.info "client"

@@ -1,0 +1,142 @@
+(* Structured, levelled JSONL event log. The write path mirrors the
+   rest of the flight recorder: per-worker buffers so concurrent
+   emitters never contend on one stream, a single sink guarded by a
+   mutex, and a one-atomic-read fast path when logging is off. Unlike
+   metrics and traces this log is for discrete *events* — a slow query,
+   an admission rejection, a subscription — each a self-describing JSON
+   line a human can grep and a test can parse back. *)
+
+type level = Debug | Info | Warn | Error
+
+let level_rank = function Debug -> 0 | Info -> 1 | Warn -> 2 | Error -> 3
+
+let level_name = function
+  | Debug -> "debug"
+  | Info -> "info"
+  | Warn -> "warn"
+  | Error -> "error"
+
+let level_of_string s =
+  match String.lowercase_ascii s with
+  | "debug" -> Some Debug
+  | "info" -> Some Info
+  | "warn" | "warning" -> Some Warn
+  | "error" -> Some Error
+  | _ -> None
+
+let threshold = Atomic.make (level_rank Info)
+let set_level l = Atomic.set threshold (level_rank l)
+
+(* ------------------------------------------------------------------ *)
+(* Sink: one writer closure behind a mutex. [None] (the default) turns
+   every [event] into a single atomic read. *)
+
+let writer : (string -> unit) option Atomic.t = Atomic.make None
+let writer_mutex = Mutex.create ()
+let file_chan : out_channel option ref = ref None
+
+let enabled l =
+  Atomic.get writer <> None && level_rank l >= Atomic.get threshold
+
+(* ------------------------------------------------------------------ *)
+(* Per-worker buffers. Each slot has its own mutex because unlike the
+   tracer rings several OS threads can share a slot (the service logs
+   from reader threads and subscription pushers, all on tid 0); the
+   locks are uncontended in the common case and never held across the
+   sink. Lock order is always slot -> sink. *)
+
+let num_slots = 16
+let flush_at = 32 * 1024
+
+type slot = { mu : Mutex.t; buf : Buffer.t }
+
+let slots =
+  Array.init num_slots (fun _ -> { mu = Mutex.create (); buf = Buffer.create 512 })
+
+let to_sink chunk =
+  if chunk <> "" then begin
+    Mutex.lock writer_mutex;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock writer_mutex)
+      (fun () -> match Atomic.get writer with Some w -> w chunk | None -> ())
+  end
+
+let flush_slot s =
+  Mutex.lock s.mu;
+  let chunk =
+    if Buffer.length s.buf = 0 then ""
+    else begin
+      let c = Buffer.contents s.buf in
+      Buffer.clear s.buf;
+      c
+    end
+  in
+  Mutex.unlock s.mu;
+  to_sink chunk
+
+let flush () = Array.iter flush_slot slots
+
+(* ------------------------------------------------------------------ *)
+(* Emission *)
+
+let event ?(tid = 0) level name fields =
+  if enabled level then begin
+    let open Support.Json in
+    let line =
+      to_string
+        (Obj
+           (("ts", Float (Unix.gettimeofday ()))
+           :: ("level", String (level_name level))
+           :: ("event", String name)
+           :: fields))
+    in
+    let s = Array.unsafe_get slots (tid land (num_slots - 1)) in
+    Mutex.lock s.mu;
+    Buffer.add_string s.buf line;
+    Buffer.add_char s.buf '\n';
+    let full = Buffer.length s.buf >= flush_at in
+    Mutex.unlock s.mu;
+    (* Warnings and errors (slow queries, deadline misses) must reach
+       the sink before a crash or a reader can care; Debug/Info ride
+       the buffer until it fills or someone flushes. *)
+    if full || level_rank level >= level_rank Warn then flush_slot s
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Sink management *)
+
+let close_chan () =
+  match !file_chan with
+  | None -> ()
+  | Some oc ->
+      (try close_out oc with Sys_error _ -> ());
+      file_chan := None
+
+let set_writer w =
+  flush ();
+  Mutex.lock writer_mutex;
+  close_chan ();
+  Atomic.set writer w;
+  Mutex.unlock writer_mutex
+
+let open_file path =
+  flush ();
+  Mutex.lock writer_mutex;
+  close_chan ();
+  let oc = open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 path in
+  file_chan := Some oc;
+  Atomic.set writer
+    (Some
+       (fun chunk ->
+         output_string oc chunk;
+         Stdlib.flush oc));
+  Mutex.unlock writer_mutex;
+  event Info "log.opened" [ ("path", Support.Json.String path) ];
+  flush ()
+
+let close () =
+  flush ();
+  Mutex.lock writer_mutex;
+  close_chan ();
+  Atomic.set writer None;
+  Mutex.unlock writer_mutex

@@ -1,0 +1,65 @@
+(** Structured, levelled JSONL event log — the third leg of the flight
+    recorder. {!Metrics} aggregates, {!Tracer} keeps the timeline; this
+    log keeps discrete {e events} as self-describing JSON lines:
+
+    {v
+    {"ts": 1754650000.123, "level": "warn", "event": "service.slow_query",
+     "query": 41, "op": "ppsp", "wall_ms": 12.7, ...}
+    v}
+
+    Every line carries [ts] (Unix epoch seconds), [level], and [event]
+    (a dotted name, catalogued in docs/OBSERVABILITY.md) followed by the
+    emitter's fields. The query service builds its slow-query log on
+    top: see [service.slow_query] / [service.query.done] there.
+
+    The write path follows the recorder discipline: with no sink
+    installed (the default) an {!event} is one atomic read; with one,
+    lines accumulate in per-worker buffers (16 slots, tids fold in by
+    masking, each slot individually locked because service threads share
+    slot 0) and reach the sink in slot-sized chunks. [Warn]/[Error]
+    events flush their slot immediately — a slow-query record must
+    survive a crash — so lines from different workers interleave at
+    chunk granularity; order across workers is by [ts], not file
+    position. *)
+
+type level = Debug | Info | Warn | Error
+
+val level_name : level -> string
+
+(** [level_of_string s] parses ["debug"]/["info"]/["warn"]/["error"]
+    (case-insensitive; ["warning"] also accepted). *)
+val level_of_string : string -> level option
+
+(** [set_level l] drops events below [l]. Default: [Info]. *)
+val set_level : level -> unit
+
+(** [enabled l] is true when a sink is installed and [l] passes the
+    threshold — check it before building expensive fields. *)
+val enabled : level -> bool
+
+(** [event ?tid level name fields] emits one line. [tid] picks the
+    buffer slot (default 0). No-op (one atomic read) when [enabled
+    level] is false. *)
+val event : ?tid:int -> level -> string -> (string * Support.Json.t) list -> unit
+
+(** {1 Sinks} *)
+
+(** [open_file path] appends lines to [path], creating it if needed;
+    the channel is flushed on every chunk. Replaces (and closes) any
+    previous file sink; pending buffers are drained to the old sink
+    first. Emits (and flushes) a [log.opened] Info record so a fresh
+    sink is never silently empty. *)
+val open_file : string -> unit
+
+(** [set_writer w] installs [w] as the sink — it receives whole chunks
+    of newline-terminated lines, already serialized, under the sink
+    lock. [set_writer None] disables logging. Tests use this to capture
+    records in memory. Drains pending buffers to the old sink first and
+    closes any file sink. *)
+val set_writer : (string -> unit) option -> unit
+
+(** [flush ()] drains every worker buffer to the sink. *)
+val flush : unit -> unit
+
+(** [close ()] flushes, closes any file sink, and disables logging. *)
+val close : unit -> unit

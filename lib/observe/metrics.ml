@@ -136,6 +136,35 @@ let summarize h =
     buckets = !buckets;
   }
 
+(* Percentile estimate from the log2 buckets: nearest-rank to find the
+   bucket holding the rank-th observation, then linear interpolation
+   inside that bucket's value range. Bucket [e] covers
+   [[2^(e-1), 2^e - 1]] for [e >= 1] and exactly [{0}] for [e = 0]
+   (highest-set-bit binning), so the estimate always lands in the same
+   bucket as the exact sample percentile — within one power of two of
+   it. Clamping to the recorded min/max only ever moves the estimate
+   toward the exact value (both extrema are real observations). *)
+let percentile_ns (h : hist_summary) q =
+  if h.count = 0 then 0.
+  else begin
+    let q = if q < 0. then 0. else if q > 1. then 1. else q in
+    let rank = max 1 (int_of_float (ceil (q *. float_of_int h.count))) in
+    let rec find cum = function
+      | [] -> float_of_int h.max_ns
+      | (e, n) :: rest ->
+          if cum + n >= rank then begin
+            let lo = if e = 0 then 0. else float_of_int (1 lsl (e - 1)) in
+            let hi = if e = 0 then 1. else float_of_int (1 lsl e) in
+            let frac = (float_of_int (rank - cum) -. 0.5) /. float_of_int n in
+            lo +. ((hi -. lo) *. frac)
+          end
+          else find (cum + n) rest
+    in
+    let v = find 0 h.buckets in
+    let v = if v < float_of_int h.min_ns then float_of_int h.min_ns else v in
+    if v > float_of_int h.max_ns then float_of_int h.max_ns else v
+  end
+
 let snapshot t =
   with_lock t (fun () ->
       let sorted_bindings tbl value =

@@ -76,6 +76,17 @@ type snapshot = {
   histograms : (string * hist_summary) list;  (** Sorted by name. *)
 }
 
+(** [percentile_ns h q] estimates the [q]-quantile ([q] in [[0;1]],
+    clamped) of the durations recorded in [h], in nanoseconds, from its
+    power-of-two buckets alone: nearest-rank bucket selection plus
+    linear interpolation within the bucket, clamped to the recorded
+    min/max. Because buckets bin by highest set bit, the estimate is
+    always within one log2 bucket of the exact sample percentile — the
+    contract the qcheck suite pins. [0.] when the histogram is empty.
+    The service's [stats] reply derives its p50/p95/p99 latencies from
+    this. *)
+val percentile_ns : hist_summary -> float -> float
+
 (** [snapshot t] copies every instrument. Take it between parallel phases
     for exact values. *)
 val snapshot : t -> snapshot

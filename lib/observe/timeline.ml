@@ -1,0 +1,287 @@
+(* Cross-PR benchmark trajectory: aggregate the committed
+   bench/BENCH_*.json points (and a freshly measured one, in CI) into a
+   per-section series with summary statistics and a regression flag for
+   the newest point. This is the across-PRs half of the flight
+   recorder: bench_diff compares two reports; the timeline watches the
+   whole history and knows its own variance. *)
+
+open Support
+
+type point = {
+  label : string;
+  git_commit : string;
+  hostname : string;
+  sections : (string * float) list; (* section_seconds, report order *)
+}
+
+type row = {
+  section : string;
+  values : float option array; (* one per point; [None] = absent *)
+  median : float; (* over present values *)
+  vmin : float;
+  vmax : float;
+  stddev : float; (* sample stddev, 0. when < 2 values *)
+  last_rel : float option; (* newest gated value vs median of prior gated *)
+  regressed : bool;
+  improved : bool;
+}
+
+type report = {
+  points : point list;
+  gated : bool array; (* per point; foreign-host points are excluded *)
+  rows : row list;
+  regressions : int;
+  threshold : float;
+  floor : float;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Loading *)
+
+let number_of = function
+  | Json.Int i -> Some (float_of_int i)
+  | Json.Float f -> Some f
+  | _ -> None
+
+let string_member name obj =
+  match Json.member name obj with Some (Json.String s) -> s | _ -> ""
+
+let point_of_report ~label doc =
+  match Json.member "section_seconds" doc with
+  | Some (Json.Obj fields) ->
+      let sections =
+        List.filter_map
+          (fun (name, v) -> Option.map (fun f -> (name, f)) (number_of v))
+          fields
+      in
+      let meta = Option.value ~default:Json.Null (Json.member "meta" doc) in
+      Ok
+        {
+          label;
+          git_commit = string_member "git_commit" meta;
+          hostname = string_member "hostname" meta;
+          sections;
+        }
+  | _ -> Error (Printf.sprintf "%s: no section_seconds object" label)
+
+(* A file is either one bench report or a bench_diff trajectory (a JSON
+   list of reports, oldest first); trajectories flatten in order. *)
+let points_of_doc ~label doc =
+  match doc with
+  | Json.List docs ->
+      let n = List.length docs in
+      List.mapi
+        (fun i d ->
+          let label = if n = 1 then label else Printf.sprintf "%s[%d]" label i in
+          point_of_report ~label d)
+        docs
+      |> List.fold_left
+           (fun acc r ->
+             match (acc, r) with
+             | Error e, _ -> Error e
+             | Ok ps, Ok p -> Ok (p :: ps)
+             | Ok _, Error e -> Error e)
+           (Ok [])
+      |> Result.map List.rev
+  | Json.Obj _ -> Result.map (fun p -> [ p ]) (point_of_report ~label doc)
+  | _ -> Error (Printf.sprintf "%s: expected a report object or list" label)
+
+let points_of_string ~label s =
+  match Json.of_string s with
+  | Error e -> Error (Printf.sprintf "%s: %s" label e)
+  | Ok doc -> points_of_doc ~label doc
+
+(* ------------------------------------------------------------------ *)
+(* Statistics *)
+
+let median_of sorted =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else if n land 1 = 1 then sorted.(n / 2)
+  else (sorted.((n / 2) - 1) +. sorted.(n / 2)) /. 2.
+
+let stats values =
+  let present = Array.of_list (List.filter_map Fun.id (Array.to_list values)) in
+  let n = Array.length present in
+  if n = 0 then (0., 0., 0., 0.)
+  else begin
+    let sorted = Array.copy present in
+    Array.sort compare sorted;
+    let median = median_of sorted in
+    let vmin = sorted.(0) and vmax = sorted.(n - 1) in
+    let stddev =
+      if n < 2 then 0.
+      else begin
+        let mean = Array.fold_left ( +. ) 0. present /. float_of_int n in
+        let ss =
+          Array.fold_left (fun acc v -> acc +. ((v -. mean) *. (v -. mean))) 0. present
+        in
+        sqrt (ss /. float_of_int (n - 1))
+      end
+    in
+    (median, vmin, vmax, stddev)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Analysis *)
+
+let majority_hostname points =
+  let tally = Hashtbl.create 8 in
+  List.iter
+    (fun p ->
+      let n = try Hashtbl.find tally p.hostname with Not_found -> 0 in
+      Hashtbl.replace tally p.hostname (n + 1))
+    points;
+  List.fold_left
+    (fun best p ->
+      let n = Hashtbl.find tally p.hostname in
+      match best with
+      | Some (_, bn) when bn >= n -> best
+      | _ -> Some (p.hostname, n))
+    None points
+  |> Option.map fst
+
+let analyze ?(threshold = 0.25) ?(floor = 0.01) ?(gate_foreign = false) points =
+  let points = (points : point list) in
+  let np = List.length points in
+  let gated =
+    match majority_hostname points with
+    | Some host when not gate_foreign ->
+        Array.of_list (List.map (fun p -> String.equal p.hostname host) points)
+    | _ -> Array.make np true
+  in
+  (* Union of section names, first-seen order. *)
+  let seen = Hashtbl.create 32 in
+  let order = ref [] in
+  List.iter
+    (fun p ->
+      List.iter
+        (fun (name, _) ->
+          if not (Hashtbl.mem seen name) then begin
+            Hashtbl.add seen name ();
+            order := name :: !order
+          end)
+        p.sections)
+    points;
+  let sections = List.rev !order in
+  let parr = Array.of_list points in
+  let rows =
+    List.map
+      (fun section ->
+        let values =
+          Array.map (fun p -> List.assoc_opt section p.sections) parr
+        in
+        let median, vmin, vmax, stddev = stats values in
+        (* Regression: the newest gated value against the median of the
+           gated values before it — the trajectory's own baseline, so a
+           single noisy historical point cannot mask a step change. *)
+        let gated_vals =
+          List.filteri (fun i _ -> gated.(i)) (Array.to_list values)
+          |> List.filter_map Fun.id
+        in
+        let last_rel, regressed, improved =
+          match List.rev gated_vals with
+          | last :: (_ :: _ as prior_rev) ->
+              let prior = Array.of_list (List.rev prior_rev) in
+              Array.sort compare prior;
+              let base = median_of prior in
+              if base < floor && last < floor then (None, false, false)
+              else begin
+                let base = if base <= 0. then floor else base in
+                let rel = (last -. base) /. base in
+                (Some rel, rel > threshold, rel < -.threshold)
+              end
+          | _ -> (None, false, false)
+        in
+        { section; values; median; vmin; vmax; stddev; last_rel; regressed; improved })
+      sections
+  in
+  let regressions = List.length (List.filter (fun r -> r.regressed) rows) in
+  { points; gated; rows; regressions; threshold; floor }
+
+(* ------------------------------------------------------------------ *)
+(* Rendering *)
+
+let short_commit c = if String.length c > 8 then String.sub c 0 8 else c
+
+let pp_value ppf = function
+  | None -> Format.fprintf ppf "%10s" "-"
+  | Some v -> Format.fprintf ppf "%10.4g" v
+
+let pp ppf r =
+  let np = List.length r.points in
+  Format.fprintf ppf "benchmark trajectory: %d point%s, %d section%s@." np
+    (if np = 1 then "" else "s")
+    (List.length r.rows)
+    (if List.length r.rows = 1 then "" else "s");
+  List.iteri
+    (fun i p ->
+      Format.fprintf ppf "  [%d] %-14s %-9s host=%s%s@." i p.label
+        (short_commit p.git_commit)
+        (if p.hostname = "" then "?" else p.hostname)
+        (if r.gated.(i) then "" else "  (foreign host: excluded from gating)"))
+    r.points;
+  Format.fprintf ppf "@.%-12s" "section";
+  List.iteri (fun i _ -> Format.fprintf ppf " %9s[%d]" "" i) r.points;
+  Format.fprintf ppf " %10s %10s %10s %10s %8s@." "median" "min" "max" "stddev"
+    "lastΔ";
+  List.iter
+    (fun row ->
+      Format.fprintf ppf "%-12s" row.section;
+      Array.iter (fun v -> Format.fprintf ppf "  %a" pp_value v) row.values;
+      Format.fprintf ppf " %10.4g %10.4g %10.4g %10.4g" row.median row.vmin
+        row.vmax row.stddev;
+      (match row.last_rel with
+      | None -> Format.fprintf ppf " %8s" "-"
+      | Some rel -> Format.fprintf ppf " %+7.1f%%" (100. *. rel));
+      if row.regressed then Format.fprintf ppf "  REGRESSED";
+      if row.improved then Format.fprintf ppf "  improved";
+      Format.fprintf ppf "@.")
+    r.rows;
+  if r.regressions > 0 then
+    Format.fprintf ppf "@.%d section(s) REGRESSED beyond +%.0f%% vs trajectory median@."
+      r.regressions (100. *. r.threshold)
+
+let to_json r =
+  let open Json in
+  Obj
+    [
+      ( "points",
+        List
+          (List.mapi
+             (fun i p ->
+               Obj
+                 [
+                   ("label", String p.label);
+                   ("git_commit", String p.git_commit);
+                   ("hostname", String p.hostname);
+                   ("gated", Bool r.gated.(i));
+                 ])
+             r.points) );
+      ( "sections",
+        Obj
+          (List.map
+             (fun row ->
+               ( row.section,
+                 Obj
+                   [
+                     ( "values",
+                       List
+                         (Array.to_list
+                            (Array.map
+                               (function None -> Null | Some v -> Float v)
+                               row.values)) );
+                     ("median", Float row.median);
+                     ("min", Float row.vmin);
+                     ("max", Float row.vmax);
+                     ("stddev", Float row.stddev);
+                     ( "last_rel",
+                       match row.last_rel with None -> Null | Some v -> Float v );
+                     ("regressed", Bool row.regressed);
+                     ("improved", Bool row.improved);
+                   ] ))
+             r.rows) );
+      ("regressions", Int r.regressions);
+      ("threshold", Float r.threshold);
+      ("floor", Float r.floor);
+    ]

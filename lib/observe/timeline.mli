@@ -1,0 +1,73 @@
+(** Cross-PR benchmark trajectory analysis — the engine behind
+    [bin/bench_timeline.exe].
+
+    Where {!Report_diff} compares exactly two bench [--json] reports,
+    the timeline aggregates the whole committed history
+    ([bench/BENCH_*.json], oldest first) plus an optional freshly
+    measured point into a per-section series: median/min/max and sample
+    stddev over the series, and a regression flag comparing the {e
+    newest} point against the median of the points before it — the
+    trajectory's own baseline, so one noisy historical point cannot
+    mask a step change.
+
+    Provenance is respected the same way bench_diff refuses cross-host
+    diffs: points whose [meta.hostname] differs from the majority
+    hostname are listed but excluded from gating unless
+    [~gate_foreign:true] (the CLI's [--force]). Thresholds follow the
+    bench_diff contract: a section regresses when the newest gated
+    value exceeds the prior median by more than [threshold]
+    (relative), unless both sit below [floor] seconds. *)
+
+type point = {
+  label : string;  (** Usually the file's basename. *)
+  git_commit : string;
+  hostname : string;
+  sections : (string * float) list;  (** [section_seconds], report order. *)
+}
+
+type row = {
+  section : string;
+  values : float option array;  (** One per point; [None] = absent. *)
+  median : float;  (** Over present values, seconds. *)
+  vmin : float;
+  vmax : float;
+  stddev : float;  (** Sample stddev; [0.] when fewer than 2 values. *)
+  last_rel : float option;
+      (** Relative delta of the newest gated value vs the median of the
+          prior gated values; [None] when under 2 gated values or both
+          sides sit below the floor. *)
+  regressed : bool;
+  improved : bool;
+}
+
+type report = {
+  points : point list;
+  gated : bool array;
+  rows : row list;
+  regressions : int;
+  threshold : float;
+  floor : float;
+}
+
+(** [points_of_string ~label s] parses one file's contents: either a
+    single bench [--json] report or a bench_diff trajectory file (a
+    JSON list of reports, oldest first), which flattens in order —
+    multi-entry trajectories get [label[i]] labels. *)
+val points_of_string : label:string -> string -> (point list, string) result
+
+(** Same, from an already parsed document. *)
+val points_of_doc : label:string -> Support.Json.t -> (point list, string) result
+
+(** [analyze ?threshold ?floor ?gate_foreign points] builds the report.
+    Defaults match the CI bench gate: [threshold = 0.25],
+    [floor = 0.01] (seconds), [gate_foreign = false]. *)
+val analyze :
+  ?threshold:float -> ?floor:float -> ?gate_foreign:bool -> point list -> report
+
+(** Aligned text table: one line per point (label, commit, host,
+    gating), then one row per section with the series, summary stats,
+    the newest point's relative delta, and REGRESSED flags. *)
+val pp : Format.formatter -> report -> unit
+
+(** JSON form of the same report (the artifact CI uploads). *)
+val to_json : report -> Support.Json.t

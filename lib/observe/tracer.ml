@@ -7,17 +7,22 @@
 
 let num_tracks = 16
 
-(* Phase tag packed into the low bits of the code word. *)
+(* Phase tag packed into the low bits of the code word. Three bits so
+   the async pair fits alongside begin/end/counter. *)
 let ph_begin = 0
 let ph_end = 1
 let ph_counter = 2
+let ph_async_begin = 3
+let ph_async_end = 4
 let no_arg = min_int
+let no_ctx = min_int
 
 type ring = {
   mutable head : int; (* total events ever written to this track *)
   ts : int array; (* ns since tracer creation *)
-  code : int array; (* (label lsl 2) lor phase *)
+  code : int array; (* (label lsl 3) lor phase *)
   arg : int array; (* payload; [no_arg] = none *)
+  ctx : int array; (* ambient query context at record time; [no_ctx] = none *)
 }
 
 type t = {
@@ -46,6 +51,7 @@ let create ?(capacity_per_track = 8192) () =
             ts = Array.make capacity 0;
             code = Array.make capacity 0;
             arg = Array.make capacity no_arg;
+            ctx = Array.make capacity no_ctx;
           });
     start_ns = now_ns ();
     dropped_reported = 0;
@@ -57,6 +63,23 @@ let create ?(capacity_per_track = 8192) () =
 let current_tracer : t option Atomic.t = Atomic.make None
 let set_current t = Atomic.set current_tracer t
 let current () = Atomic.get current_tracer
+
+(* ------------------------------------------------------------------ *)
+(* Ambient query context: a trace id attached to every event recorded
+   while it is set. Hosted here (not per call site) so the service can
+   scope a whole batch run — engine rounds, traversal sweeps, pool
+   episodes — without threading an id through every layer. One atomic
+   read per push; [no_ctx] (the default) adds nothing to the export. *)
+
+let context_cell : int Atomic.t = Atomic.make no_ctx
+
+let set_context = function
+  | None -> Atomic.set context_cell no_ctx
+  | Some id -> Atomic.set context_cell id
+
+let context () =
+  let c = Atomic.get context_cell in
+  if c = no_ctx then None else Some c
 
 (* ------------------------------------------------------------------ *)
 (* Labels: interned once; reads scan an immutable array with no lock so
@@ -105,13 +128,16 @@ let push t ~tid phase lbl arg =
   let r = Array.unsafe_get t.rings (tid land (num_tracks - 1)) in
   let i = r.head land t.mask in
   Array.unsafe_set r.ts i (now_ns () - t.start_ns);
-  Array.unsafe_set r.code i ((lbl lsl 2) lor phase);
+  Array.unsafe_set r.code i ((lbl lsl 3) lor phase);
   Array.unsafe_set r.arg i arg;
+  Array.unsafe_set r.ctx i (Atomic.get context_cell);
   r.head <- r.head + 1
 
 let begin_ t ~tid ?(arg = no_arg) lbl = push t ~tid ph_begin lbl arg
 let end_ t ~tid lbl = push t ~tid ph_end lbl no_arg
 let counter t ~tid lbl v = push t ~tid ph_counter lbl v
+let async_begin t ~tid ~id lbl = push t ~tid ph_async_begin lbl id
+let async_end t ~tid ~id lbl = push t ~tid ph_async_end lbl id
 
 (* ------------------------------------------------------------------ *)
 (* Reading *)
@@ -178,12 +204,19 @@ let to_json t =
         for j = first to r.head - 1 do
           let i = j land t.mask in
           let code = r.code.(i) and ts = r.ts.(i) and arg = r.arg.(i) in
-          let lbl = code lsr 2 and phase = code land 3 in
+          let ctx = r.ctx.(i) in
+          let lbl = code lsr 3 and phase = code land 7 in
+          let with_query fields =
+            if ctx = no_ctx then fields else ("query", Int ctx) :: fields
+          in
+          let args_of fields =
+            match with_query fields with [] -> [] | fs -> [ ("args", Obj fs) ]
+          in
           last_ts := ts;
           if phase = ph_begin then begin
             stack := lbl :: !stack;
-            let args = if arg = no_arg then [] else [ ("args", Obj [ ("n", Int arg) ]) ] in
-            emit (event ~name:(label_name lbl) ~ph:"B" ~ts ~tid args)
+            let fields = if arg = no_arg then [] else [ ("n", Int arg) ] in
+            emit (event ~name:(label_name lbl) ~ph:"B" ~ts ~tid (args_of fields))
           end
           else if phase = ph_end then (
             match !stack with
@@ -191,10 +224,23 @@ let to_json t =
             | _ :: rest ->
                 stack := rest;
                 emit (event ~name:(label_name lbl) ~ph:"E" ~ts ~tid []))
-          else
+          else if phase = ph_counter then
             emit
               (event ~name:(label_name lbl) ~ph:"C" ~ts ~tid
                  [ ("args", Obj [ ("value", Int arg) ]) ])
+          else if phase = ph_async_begin || phase = ph_async_end then
+            (* Chrome async events: overlapping per-query slices matched
+               by (cat, id), free of the per-track nesting discipline. *)
+            emit
+              (event
+                 ~name:(label_name lbl)
+                 ~ph:(if phase = ph_async_begin then "b" else "e")
+                 ~ts ~tid
+                 [
+                   ("cat", String "query");
+                   ("id", Int arg);
+                   ("args", Obj [ ("query", Int arg) ]);
+                 ])
         done;
         List.iter
           (fun lbl -> emit (event ~name:(label_name lbl) ~ph:"E" ~ts:!last_ts ~tid []))

@@ -8,9 +8,9 @@
     scope, exactly like spans.
 
     Recording is lock-free and allocation-free on the hot path: each
-    worker owns a ring of three int arrays (timestamp, packed
-    label/phase, argument) indexed by a plain head counter, and a write
-    is three stores plus an increment. Timestamps come from the
+    worker owns a ring of four int arrays (timestamp, packed
+    label/phase, argument, ambient query context) indexed by a plain
+    head counter, and a write is four stores plus an increment. Timestamps come from the
     monotonic clock ([bechamel.monotonic_clock], [clock_gettime]
     underneath), relative to tracer creation. When a ring wraps, the
     {e newest} events win and the overwritten ones are counted as
@@ -46,6 +46,20 @@ val create : ?capacity_per_track:int -> unit -> t
 val set_current : t option -> unit
 val current : unit -> t option
 
+(** {1 Query context}
+
+    An ambient trace id attached to every event recorded while it is
+    set. The query service scopes a whole batch run with it — engine
+    rounds, traversal sweeps, pool episodes all pick it up without any
+    id threading through those layers — so a Perfetto trace can be
+    sliced per query: every slice recorded under a context carries
+    [args:{"query": id}]. Costs one atomic read per event; [None] (the
+    default) leaves exports unchanged. Process-wide, like the current
+    tracer itself: set it around a run, clear it after. *)
+
+val set_context : int option -> unit
+val context : unit -> int option
+
 (** {1 Labels}
 
     Event names are interned to small ints once so the hot path stores
@@ -74,6 +88,17 @@ val end_ : t -> tid:int -> label -> unit
     rendered as a stepped value track — used for per-round barrier-wait
     time, which is sampled rather than timed. *)
 val counter : t -> tid:int -> label -> int -> unit
+
+(** [async_begin t ~tid ~id l] / [async_end t ~tid ~id l] bracket a
+    Chrome {e async} slice ([ph:"b"]/["e"], [cat:"query"]) matched by
+    [id] rather than by stack discipline, so slices for different
+    queries may overlap freely — the service opens one per batch member
+    at dispatch and closes it when that member's reply resolves, which
+    can happen rounds before the batch finishes. [id] is exported both
+    as the Chrome async [id] and as [args:{"query": id}]. *)
+val async_begin : t -> tid:int -> id:int -> label -> unit
+
+val async_end : t -> tid:int -> id:int -> label -> unit
 
 (** {1 Reading} *)
 

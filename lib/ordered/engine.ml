@@ -52,7 +52,7 @@ let fusion_loop graph pq scratch ~threshold ~fused ~ctx ~edge_fn =
   fuse ()
 
 let run ~pool ~graph ?transpose ?handle ~schedule ~pq ~edge_fn
-    ?(stop = fun () -> false) ?deadline ?trace () =
+    ?(stop = fun () -> false) ?deadline ?on_round ?trace () =
   (match Schedule.validate schedule with
   | Ok _ -> ()
   | Error msg -> invalid_arg ("Engine.run: " ^ msg));
@@ -181,6 +181,19 @@ let run ~pool ~graph ?transpose ?handle ~schedule ~pq ~edge_fn
       (* The lazy strategies pay an extra synchronization per round for the
          buffer reduction / bulk bucket update (Fig. 5, lines 12-13). *)
       stats.Stats.global_syncs <- stats.Stats.global_syncs + 1;
+    (* The live-stats hook shares the stop/deadline cadence: once per
+       global round, on the orchestrating worker, after the round's
+       barrier. The scratch/fused sums it needs are only folded in when
+       someone listens, so unhooked runs keep the hot path unchanged.
+       The service batcher uses this to attribute rounds and
+       relaxations to the batch members it resolves mid-run. *)
+    (match on_round with
+    | None -> ()
+    | Some f ->
+        stats.Stats.vertices_processed <- Scratch.vertices_processed scratch;
+        stats.Stats.edges_relaxed <- Scratch.edges_traversed scratch;
+        stats.Stats.fused_drains <- counter_sum fused;
+        f stats);
     if stats.Stats.rounds > 100_000_000 then continue := false
   in
   (* The deadline shares the [stop] seam's cadence: one check per global

@@ -47,6 +47,15 @@ type edge_fn = Priority_queue.ctx -> src:int -> dst:int -> weight:int -> unit
       expired the run terminates with [Stats.timed_out] set and the
       priority vector holding partial monotone bounds (see
       {!Deadline}) — the query service's timeout seam.
+    @param on_round called once per global round, after the round's
+      barrier and at the same cadence as [stop], with the {e live}
+      stats record: [rounds], [vertices_processed], [edges_relaxed],
+      and [fused_drains] reflect work completed so far (the remaining
+      fields finalize at run end). The record passed is the one [run]
+      returns — treat it as read-only. Runs without the hook skip the
+      per-round counter folds entirely. The query service uses this to
+      attribute rounds and relaxations to individual batch members as
+      their replies resolve mid-run.
     @param trace when supplied, one {!Trace.round} is recorded per global
       round.
     @raise Invalid_argument on an invalid schedule or missing transpose. *)
@@ -60,6 +69,7 @@ val run :
   edge_fn:edge_fn ->
   ?stop:(unit -> bool) ->
   ?deadline:Deadline.t ->
+  ?on_round:(Stats.t -> unit) ->
   ?trace:Trace.t ->
   unit ->
   Stats.t

@@ -7,6 +7,16 @@ type t = {
   default_deadline_ms : float;  (* per-query budget; 0. = no deadline *)
   landmarks : int;  (* ALT cache size; 0 disables the cache *)
   schedule : Ordered.Schedule.t;  (* engine schedule for every query run *)
+  slow_query_ms : float;
+      (* queries at or over this wall-clock latency emit a slow-query
+         log record; 0. disables the threshold (deadline misses are
+         always recorded) *)
+  graph_file : string option;
+      (* the path the server loaded the graph from, embedded in
+         slow-query repro lines; None omits the repro field *)
+  symmetric : bool;
+      (* whether the load was symmetrized (`serve --symmetric`), so
+         repro lines replay the same graph *)
 }
 
 let default =
@@ -16,4 +26,7 @@ let default =
     default_deadline_ms = 0.;
     landmarks = 4;
     schedule = Ordered.Schedule.default;
+    slow_query_ms = 0.;
+    graph_file = None;
+    symmetric = false;
   }

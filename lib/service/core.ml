@@ -12,6 +12,7 @@ module Json = Support.Json
 module Metrics = Observe.Metrics
 module Span = Observe.Span
 module Tracer = Observe.Tracer
+module Log = Observe.Log
 
 let null = Bucket_order.null_priority
 
@@ -20,6 +21,10 @@ type item = {
   reply : Protocol.response -> unit;
   enqueued_at : float;
   deadline : Deadline.t option;
+  trace : int;
+      (* process-unique query id: the trace context of the batch run
+         that answers this query, the async-slice id in the Perfetto
+         export, and the [query] field of its log records *)
 }
 
 type t = {
@@ -37,6 +42,12 @@ type t = {
       (* The peel requires a symmetric graph; service graphs need not
          be. One symmetrized view, built on first kcore query. *)
   shutdown : bool Atomic.t;
+  trace_counter : int Atomic.t;
+      (* query/batch trace ids; one sequence so a batch id never
+         collides with a member id in the same export *)
+  mutable subscribers : Thread.t list;
+      (* live subscription pushers, joined at drain_shutdown *)
+  sub_mutex : Mutex.t;
   (* Flight-recorder instruments (docs/OBSERVABILITY.md §9). *)
   m_requests : Metrics.counter;
   m_rejected : Metrics.counter;
@@ -50,10 +61,14 @@ type t = {
   m_alt_unassisted : Metrics.counter;
   m_kcore_hits : Metrics.counter;
   m_kcore_runs : Metrics.counter;
+  m_slow : Metrics.counter;
+  m_subs : Metrics.counter;
+  m_sub_pushes : Metrics.counter;
   h_queue_wait : Metrics.histogram;
   h_batch_run : Metrics.histogram;
   h_request : Metrics.histogram;
   depth_track : Tracer.label;
+  query_track : Tracer.label;
 }
 
 let create ~pool ~handle ?coords ~config () =
@@ -78,6 +93,9 @@ let create ~pool ~handle ?coords ~config () =
            (Csr.of_edge_list
               (Edge_list.symmetrized (Csr.to_edge_list (Handle.csr handle)))));
     shutdown = Atomic.make false;
+    trace_counter = Atomic.make 1;
+    subscribers = [];
+    sub_mutex = Mutex.create ();
     m_requests = Metrics.counter reg "service.requests";
     m_rejected = Metrics.counter reg "service.rejected";
     m_batches = Metrics.counter reg "service.batches";
@@ -90,10 +108,14 @@ let create ~pool ~handle ?coords ~config () =
     m_alt_unassisted = Metrics.counter reg "service.alt.unassisted";
     m_kcore_hits = Metrics.counter reg "service.kcore.cache_hits";
     m_kcore_runs = Metrics.counter reg "service.kcore.runs";
+    m_slow = Metrics.counter reg "service.slow_queries";
+    m_subs = Metrics.counter reg "service.subscriptions";
+    m_sub_pushes = Metrics.counter reg "service.subscribe.pushes";
     h_queue_wait = Metrics.histogram reg "service.queue_wait";
     h_batch_run = Metrics.histogram reg "service.batch_run";
     h_request = Metrics.histogram reg "service.request";
     depth_track = Tracer.label "service.queue_depth";
+    query_track = Tracer.label "service.query";
   }
 
 let config t = t.config
@@ -124,6 +146,132 @@ let mk_meta ?(alt_assisted = false) ~width ~rounds item =
     alt_assisted;
   }
 
+let next_trace t = Atomic.fetch_and_add t.trace_counter 1
+
+(* ------------------------------------------------------------------ *)
+(* Per-query attribution (docs/OBSERVABILITY.md §8a)                   *)
+
+let schedule_string t =
+  Check.Sweep.schedule_to_string t.config.Config.schedule
+
+(* The paste-able check_runner line that replays this query solo — only
+   when the server knows which file it loaded the graph from. *)
+let repro_of t item =
+  match t.config.Config.graph_file with
+  | None -> None
+  | Some graph_file ->
+      let mk app source target =
+        Some
+          (Check.Query_repro.to_line
+             {
+               Check.Query_repro.app;
+               graph_file;
+               symmetric = t.config.Config.symmetric;
+               source;
+               target;
+               schedule = t.config.Config.schedule;
+               workers = Pool.num_workers t.pool;
+             })
+      in
+      (match item.req.Protocol.op with
+      | Protocol.Ppsp { source; target } -> mk Check.Query_repro.Ppsp source target
+      | Protocol.Astar { source; target } ->
+          mk Check.Query_repro.Astar source target
+      | Protocol.Widest { source; target } ->
+          mk Check.Query_repro.Widest source target
+      | Protocol.Kcore { vertex } -> mk Check.Query_repro.Kcore vertex (-1)
+      | _ -> None)
+
+(* The attribution record: built at resolve time, logged at Debug
+   ([service.query.done]) for every point query and at Warn — as the
+   slow-query record [service.slow_query] — when the query missed its
+   deadline or beat the slow_query_ms threshold. [rounds]/[edges] are
+   the engine's live totals when this member's reply resolved, which
+   for a coalesced batch attributes shared work per member. *)
+let log_query t item (resp : Protocol.response) ~batch_trace ~width ~rounds
+    ~edges ~queue_wait_ms ~alt_assisted =
+  let deadline_missed = resp.Protocol.status = Protocol.Partial in
+  let wall_ms = (Unix.gettimeofday () -. item.enqueued_at) *. 1000. in
+  let slow_ms = t.config.Config.slow_query_ms in
+  let slow = deadline_missed || (slow_ms > 0. && wall_ms >= slow_ms) in
+  if slow then Metrics.incr t.m_slow ~tid:0 ();
+  let level = if slow then Log.Warn else Log.Debug in
+  if Log.enabled level then begin
+    let endpoints =
+      match item.req.Protocol.op with
+      | Protocol.Ppsp { source; target }
+      | Protocol.Astar { source; target }
+      | Protocol.Widest { source; target } ->
+          [ ("source", Json.Int source); ("target", Json.Int target) ]
+      | Protocol.Kcore { vertex } -> [ ("vertex", Json.Int vertex) ]
+      | _ -> []
+    in
+    let deadline_ms =
+      match (item.req.Protocol.deadline_ms, item.deadline) with
+      | Some ms, _ -> Json.Float ms
+      | None, Some _ -> Json.Float t.config.Config.default_deadline_ms
+      | None, None -> Json.Null
+    in
+    let slack_ms =
+      (* Positive: the reply beat its deadline by this much. Negative:
+         missed by this much (the partial-answer case). *)
+      match item.deadline with
+      | None -> Json.Null
+      | Some d -> Json.Float (Deadline.remaining_seconds d *. 1000.)
+    in
+    Log.event ~tid:0 level
+      (if slow then "service.slow_query" else "service.query.done")
+      ([
+         ("query", Json.Int item.trace);
+         ("id", Json.Int item.req.Protocol.id);
+         ("op", Json.String (Protocol.op_name item.req.Protocol.op));
+         ("batch", Json.Int batch_trace);
+         ("batch_width", Json.Int width);
+       ]
+      @ endpoints
+      @ [
+          ("status", Json.String (Protocol.status_to_string resp.Protocol.status));
+          ("rounds", Json.Int rounds);
+          ("edges_relaxed", Json.Int edges);
+          ("wall_ms", Json.Float wall_ms);
+          ("queue_wait_ms", Json.Float queue_wait_ms);
+          ("deadline_ms", deadline_ms);
+          ("deadline_slack_ms", slack_ms);
+          ("schedule", Json.String (schedule_string t));
+          ("workers", Json.Int (Pool.num_workers t.pool));
+          ("alt_assisted", Json.Bool alt_assisted);
+        ]
+      @
+      match repro_of t item with
+      | Some line -> [ ("repro", Json.String line) ]
+      | None -> [])
+  end
+
+(* Reply + attribute: the funnel every point-query resolution takes.
+   Closes the query's async trace slice, replies through [finish], and
+   emits the attribution record. *)
+let finish_query t item resp ~batch_trace ~width ~rounds ~edges ~queue_wait_ms
+    ~alt_assisted =
+  (match Tracer.current () with
+  | Some tr -> Tracer.async_end tr ~tid:0 ~id:item.trace t.query_track
+  | None -> ());
+  finish t item resp;
+  log_query t item resp ~batch_trace ~width ~rounds ~edges ~queue_wait_ms
+    ~alt_assisted
+
+(* Open one async slice per member and scope the tracer's ambient query
+   context to the batch for the duration of [f]: every engine/traverse/
+   pool slice recorded inside carries [args:{"query": batch_trace}]. *)
+let with_batch_context t ~batch_trace members f =
+  (match Tracer.current () with
+  | Some tr ->
+      List.iter
+        (fun m -> Tracer.async_begin tr ~tid:0 ~id:m.trace t.query_track)
+        members
+  | None -> ());
+  Tracer.set_context (Some batch_trace);
+  Fun.protect ~finally:(fun () -> Tracer.set_context None) f
+
 (* ------------------------------------------------------------------ *)
 (* Admission                                                           *)
 
@@ -152,6 +300,12 @@ let validate t (req : Protocol.request) =
   | Protocol.Widest { source; target } ->
       endpoints source target
   | Protocol.Kcore { vertex } -> range "vertex" vertex
+  | Protocol.Subscribe { interval_ms; updates } ->
+      if interval_ms < 0. || Float.is_nan interval_ms then
+        Some "interval_ms must be non-negative"
+      else if updates < 0 || updates > 100_000 then
+        Some "updates out of range [0, 100000]"
+      else None
   | Protocol.Warm_alt | Protocol.Stats | Protocol.Ping | Protocol.Shutdown ->
       None
 
@@ -168,6 +322,7 @@ let submit t req ~reply =
           reply;
           enqueued_at = Unix.gettimeofday ();
           deadline = deadline_of t req;
+          trace = next_trace t;
         }
       in
       if Request_queue.try_push t.queue item then record_depth t
@@ -205,7 +360,8 @@ let group_items items =
     | Protocol.Astar { source; target } -> K_astar (source, target)
     | Protocol.Widest { source; _ } -> K_widest source
     | Protocol.Kcore _ -> K_kcore
-    | Protocol.Warm_alt | Protocol.Stats | Protocol.Ping | Protocol.Shutdown ->
+    | Protocol.Subscribe _ | Protocol.Warm_alt | Protocol.Stats
+    | Protocol.Ping | Protocol.Shutdown ->
         incr counter;
         K_admin !counter
   in
@@ -258,6 +414,7 @@ let run_deadline members =
    [done_ tgt] decides finalization. *)
 let run_point_group t members ~pq ~dist_ready ~value_json ~edge_fn ~graph =
   let width = List.length members in
+  let batch_trace = next_trace t in
   Metrics.incr t.m_batches ~tid:0 ();
   Metrics.incr t.m_batched_queries ~tid:0 ~by:width ();
   let start = Unix.gettimeofday () in
@@ -265,18 +422,33 @@ let run_point_group t members ~pq ~dist_ready ~value_json ~edge_fn ~graph =
     (fun m -> Metrics.observe t.h_queue_wait (start -. m.enqueued_at))
     members;
   let rounds = ref 0 in
+  (* Live engine totals, refreshed by the on_round hook after every
+     global round. [stop] runs before the next round, so a member
+     resolved there is attributed exactly the rounds and relaxations the
+     engine had completed when its reply left. *)
+  let live_rounds = ref 0 and live_edges = ref 0 in
+  let on_round (s : Ordered.Stats.t) =
+    live_rounds := s.Ordered.Stats.rounds;
+    live_edges := s.Ordered.Stats.edges_relaxed
+  in
   let target_of m =
     match m.req.Protocol.op with
     | Protocol.Ppsp { target; _ } | Protocol.Widest { target; _ } -> target
     | _ -> assert false
   in
   let pending = ref (List.map (fun m -> (m, target_of m)) members) in
+  let answer m resp =
+    finish_query t m resp ~batch_trace ~width ~rounds:!live_rounds
+      ~edges:!live_edges
+      ~queue_wait_ms:((start -. m.enqueued_at) *. 1000.)
+      ~alt_assisted:false
+  in
   let resolve ~final =
     pending :=
       List.filter
         (fun (m, tgt) ->
           if final || dist_ready tgt then begin
-            finish t m
+            answer m
               (Protocol.ok
                  ~meta:(mk_meta ~width ~rounds:!rounds m)
                  ~id:m.req.Protocol.id (value_json tgt));
@@ -286,7 +458,7 @@ let run_point_group t members ~pq ~dist_ready ~value_json ~edge_fn ~graph =
             match m.deadline with
             | Some dl when Deadline.expired dl ->
                 Metrics.incr t.m_deadline_miss ~tid:0 ();
-                finish t m
+                answer m
                   (Protocol.partial
                      ~meta:(mk_meta ~width ~rounds:!rounds m)
                      ~id:m.req.Protocol.id (value_json tgt));
@@ -302,10 +474,14 @@ let run_point_group t members ~pq ~dist_ready ~value_json ~edge_fn ~graph =
   let run () =
     ignore
       (Engine.run ~pool:t.pool ~graph ~handle:t.handle
-         ~schedule:t.config.Config.schedule ~pq ~edge_fn ~stop
+         ~schedule:t.config.Config.schedule ~pq ~edge_fn ~stop ~on_round
          ?deadline:(run_deadline members) ())
   in
-  let _, seconds = Support.Timer.time (fun () -> Span.with_ "service.batch" run) in
+  let _, seconds =
+    Support.Timer.time (fun () ->
+        Span.with_ "service.batch" (fun () ->
+            with_batch_context t ~batch_trace members run))
+  in
   Metrics.observe t.h_batch_run seconds;
   (* Queue exhausted (or run-level deadline): whatever is left is final —
      for monotone queries the vector now holds the true values, or the
@@ -354,6 +530,7 @@ let run_widest_group t ~source members =
 
 let run_astar_group t ~source ~target members =
   let width = List.length members in
+  let batch_trace = next_trace t in
   Metrics.incr t.m_batches ~tid:0 ();
   Metrics.incr t.m_batched_queries ~tid:0 ~by:width ();
   let start = Unix.gettimeofday () in
@@ -371,18 +548,26 @@ let run_astar_group t ~source ~target members =
       ~schedule:t.config.Config.schedule ~source ~target
       ?deadline:(run_deadline members) ()
   in
-  let r, seconds = Support.Timer.time (fun () -> Span.with_ "service.batch" run) in
+  let r, seconds =
+    Support.Timer.time (fun () ->
+        Span.with_ "service.batch" (fun () ->
+            with_batch_context t ~batch_trace members run))
+  in
   Metrics.observe t.h_batch_run seconds;
   let timed_out = r.Algorithms.Astar.stats.Ordered.Stats.timed_out in
   let rounds = r.Algorithms.Astar.stats.Ordered.Stats.rounds in
+  let edges = r.Algorithms.Astar.stats.Ordered.Stats.edges_relaxed in
   if timed_out then Metrics.incr t.m_deadline_miss ~tid:0 ~by:width ();
   List.iter
     (fun m ->
       let meta = mk_meta ~alt_assisted ~width ~rounds m in
       let payload = Protocol.distance_json r.Algorithms.Astar.distance in
-      finish t m
+      finish_query t m
         (if timed_out then Protocol.partial ~meta ~id:m.req.Protocol.id payload
-         else Protocol.ok ~meta ~id:m.req.Protocol.id payload))
+         else Protocol.ok ~meta ~id:m.req.Protocol.id payload)
+        ~batch_trace ~width ~rounds ~edges
+        ~queue_wait_ms:((start -. m.enqueued_at) *. 1000.)
+        ~alt_assisted)
     members
 
 let kcore_vertex m =
@@ -396,18 +581,23 @@ let run_kcore_group t members =
   List.iter
     (fun m -> Metrics.observe t.h_queue_wait (start -. m.enqueued_at))
     members;
+  let batch_trace = next_trace t in
   match t.coreness with
   | Some core ->
       (* The decomposition is query-independent: cache hits are O(1). *)
       Metrics.incr t.m_kcore_hits ~tid:0 ~by:width ();
-      List.iter
-        (fun m ->
-          finish t m
-            (Protocol.ok
-               ~meta:(mk_meta ~width ~rounds:0 m)
-               ~id:m.req.Protocol.id
-               (Protocol.coreness_json core.(kcore_vertex m))))
-        members
+      with_batch_context t ~batch_trace members (fun () ->
+          List.iter
+            (fun m ->
+              finish_query t m
+                (Protocol.ok
+                   ~meta:(mk_meta ~width ~rounds:0 m)
+                   ~id:m.req.Protocol.id
+                   (Protocol.coreness_json core.(kcore_vertex m)))
+                ~batch_trace ~width ~rounds:0 ~edges:0
+                ~queue_wait_ms:((start -. m.enqueued_at) *. 1000.)
+                ~alt_assisted:false)
+            members)
   | None ->
       Metrics.incr t.m_batches ~tid:0 ();
       Metrics.incr t.m_batched_queries ~tid:0 ~by:width ();
@@ -418,11 +608,14 @@ let run_kcore_group t members =
           ~schedule:t.config.Config.schedule ?deadline:(run_deadline members) ()
       in
       let r, seconds =
-        Support.Timer.time (fun () -> Span.with_ "service.batch" run)
+        Support.Timer.time (fun () ->
+            Span.with_ "service.batch" (fun () ->
+                with_batch_context t ~batch_trace members run))
       in
       Metrics.observe t.h_batch_run seconds;
       let timed_out = r.Algorithms.Kcore.stats.Ordered.Stats.timed_out in
       let rounds = r.Algorithms.Kcore.stats.Ordered.Stats.rounds in
+      let edges = r.Algorithms.Kcore.stats.Ordered.Stats.edges_relaxed in
       if timed_out then Metrics.incr t.m_deadline_miss ~tid:0 ~by:width ()
       else t.coreness <- Some r.Algorithms.Kcore.coreness;
       List.iter
@@ -431,9 +624,12 @@ let run_kcore_group t members =
           let payload =
             Protocol.coreness_json r.Algorithms.Kcore.coreness.(kcore_vertex m)
           in
-          finish t m
+          finish_query t m
             (if timed_out then Protocol.partial ~meta ~id:m.req.Protocol.id payload
-             else Protocol.ok ~meta ~id:m.req.Protocol.id payload))
+             else Protocol.ok ~meta ~id:m.req.Protocol.id payload)
+            ~batch_trace ~width ~rounds ~edges
+            ~queue_wait_ms:((start -. m.enqueued_at) *. 1000.)
+            ~alt_assisted:false)
         members
 
 (* ------------------------------------------------------------------ *)
@@ -442,7 +638,67 @@ let run_kcore_group t members =
 let warm_alt t = Alt.warm_all t.alt_cache
 let idle_warm t = Alt.warm_one t.alt_cache
 
+(* p50/p95/p99 of the service latency histograms, derived from their
+   log2-ns buckets (within one bucket of exact — see
+   Metrics.percentile_ns). Milliseconds on the wire, like wall_ms. *)
+let percentiles_json (snap : Metrics.snapshot) =
+  let of_hist name =
+    match List.assoc_opt name snap.Metrics.histograms with
+    | None -> Json.Obj [ ("count", Json.Int 0) ]
+    | Some h ->
+        let p q = Json.Float (Metrics.percentile_ns h q /. 1e6) in
+        Json.Obj
+          [
+            ("count", Json.Int h.Metrics.count);
+            ("p50_ms", p 0.5);
+            ("p95_ms", p 0.95);
+            ("p99_ms", p 0.99);
+          ]
+  in
+  Json.Obj
+    [
+      ("request", of_hist "service.request");
+      ("batch_run", of_hist "service.batch_run");
+      ("queue_wait", of_hist "service.queue_wait");
+    ]
+
+(* One streamed stats push: a compact subset of [stats_json] (queue
+   depth, reply counters, latency percentiles) cheap enough to emit
+   every interval without touching the graph. *)
+let snapshot_json t ~seq ~updates =
+  let snap = Metrics.snapshot Metrics.default in
+  let c name =
+    Json.Int (Option.value ~default:0 (List.assoc_opt name snap.Metrics.counters))
+  in
+  Json.Obj
+    [
+      ("seq", Json.Int seq);
+      ("updates", Json.Int updates);
+      ("ts_ms", Json.Float (Unix.gettimeofday () *. 1000.));
+      ( "queue",
+        Json.Obj
+          [
+            ("depth", Json.Int (Request_queue.length t.queue));
+            ("capacity", Json.Int (Request_queue.capacity t.queue));
+          ] );
+      ("kcore_cached", Json.Bool (t.coreness <> None));
+      ("alt_warmed", Json.Int (Alt.warmed t.alt_cache));
+      ( "counters",
+        Json.Obj
+          [
+            ("requests", c "service.requests");
+            ("ok", c "service.replies.ok");
+            ("partial", c "service.replies.partial");
+            ("error", c "service.replies.error");
+            ("deadline_misses", c "service.deadline_misses");
+            ("slow_queries", c "service.slow_queries");
+            ("batches", c "service.batches");
+          ] );
+      ("latency", percentiles_json snap);
+    ]
+
 let stats_json t =
+  let snap = Metrics.snapshot Metrics.default in
   Json.Obj
     [
       ( "graph",
@@ -472,8 +728,50 @@ let stats_json t =
             ("depth", Json.Int (Request_queue.length t.queue));
             ("capacity", Json.Int (Request_queue.capacity t.queue));
           ] );
-      ("metrics", Metrics.to_json (Metrics.snapshot Metrics.default));
+      ("metrics", Metrics.to_json snap);
+      ("latency", percentiles_json snap);
     ]
+
+(* A subscription: the first snapshot is pushed synchronously through
+   [finish] (it doubles as the op's ok reply and lands in the status
+   counters once); the rest stream from a dedicated pusher thread
+   straight through [item.reply] — the server's per-connection write
+   lock makes that safe, and bypassing [finish] keeps the reply
+   counters from counting one request many times. Pushers sleep in
+   short slices so shutdown never waits a full interval, and are
+   joined by [drain_shutdown]. *)
+let run_subscribe t item ~interval_ms ~updates =
+  Metrics.incr t.m_subs ~tid:0 ();
+  let interval_s = Float.max 0.01 (interval_ms /. 1000.) in
+  let push_via send seq =
+    Metrics.incr t.m_sub_pushes ~tid:0 ();
+    send
+      (Protocol.ok ~id:item.req.Protocol.id (snapshot_json t ~seq ~updates))
+  in
+  push_via (finish t item) 1;
+  if updates <> 1 then begin
+    let pusher () =
+      let seq = ref 2 in
+      let continue () =
+        (not (Atomic.get t.shutdown)) && (updates = 0 || !seq <= updates)
+      in
+      while continue () do
+        let slept = ref 0. in
+        while continue () && !slept < interval_s do
+          let slice = Float.min 0.05 (interval_s -. !slept) in
+          Thread.delay slice;
+          slept := !slept +. slice
+        done;
+        if continue () then begin
+          push_via item.reply !seq;
+          incr seq
+        end
+      done
+    in
+    Mutex.lock t.sub_mutex;
+    t.subscribers <- Thread.create pusher () :: t.subscribers;
+    Mutex.unlock t.sub_mutex
+  end
 
 let run_admin t item =
   let reply_ok payload =
@@ -481,6 +779,8 @@ let run_admin t item =
   in
   match item.req.Protocol.op with
   | Protocol.Ping -> reply_ok (Json.Obj [ ("pong", Json.Bool true) ])
+  | Protocol.Subscribe { interval_ms; updates } ->
+      run_subscribe t item ~interval_ms ~updates
   | Protocol.Warm_alt ->
       let added = warm_alt t in
       reply_ok
@@ -520,6 +820,18 @@ let process_pending t ~max_wait_s =
       List.length items
 
 let drain_shutdown t =
+  (* Stop the subscription pushers first: they write to connections the
+     server only closes after this returns, so every stream gets to
+     finish its in-flight push. *)
+  Atomic.set t.shutdown true;
+  let pushers =
+    Mutex.lock t.sub_mutex;
+    let l = t.subscribers in
+    t.subscribers <- [];
+    Mutex.unlock t.sub_mutex;
+    l
+  in
+  List.iter Thread.join pushers;
   Request_queue.close t.queue;
   let rec drain () =
     match Request_queue.pop_batch t.queue ~max:max_int ~timeout_s:0. with

@@ -5,6 +5,7 @@ type op =
   | Astar of { source : int; target : int }
   | Widest of { source : int; target : int }
   | Kcore of { vertex : int }
+  | Subscribe of { interval_ms : float; updates : int }
   | Warm_alt
   | Stats
   | Ping
@@ -58,6 +59,7 @@ let op_name = function
   | Astar _ -> "astar"
   | Widest _ -> "widest"
   | Kcore _ -> "kcore"
+  | Subscribe _ -> "subscribe"
   | Warm_alt -> "warm_alt"
   | Stats -> "stats"
   | Ping -> "ping"
@@ -107,6 +109,12 @@ let parse_request line =
                 require "source" (fun source ->
                     require "target" (fun target -> finish (Widest { source; target })))
             | "kcore" -> require "vertex" (fun vertex -> finish (Kcore { vertex }))
+            | "subscribe" ->
+                let interval_ms =
+                  Option.value ~default:1000. (num_member "interval_ms" json)
+                in
+                let updates = Option.value ~default:0 (int_member "updates" json) in
+                finish (Subscribe { interval_ms; updates })
             | "warm_alt" -> finish Warm_alt
             | "stats" -> finish Stats
             | "ping" -> finish Ping
@@ -122,6 +130,8 @@ let request_to_json r =
     | Widest { source; target } ->
         [ ("source", Json.Int source); ("target", Json.Int target) ]
     | Kcore { vertex } -> [ ("vertex", Json.Int vertex) ]
+    | Subscribe { interval_ms; updates } ->
+        [ ("interval_ms", Json.Float interval_ms); ("updates", Json.Int updates) ]
     | Warm_alt | Stats | Ping | Shutdown -> []
   in
   Json.Obj

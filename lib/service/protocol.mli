@@ -20,6 +20,14 @@ type op =
   | Kcore of { vertex : int }
       (** Local k-core: the coreness of [vertex] (computed on the
           symmetrized view, cached after the first run). *)
+  | Subscribe of { interval_ms : float; updates : int }
+      (** Live stats streaming: push a metrics/queue-depth snapshot
+          every [interval_ms] (server-clamped to ≥ 10 ms), [updates]
+          times — [0] streams until the server stops. Each push is an
+          [ok] response with the request's [id] and a [seq] field;
+          pushes interleave with other replies on the connection
+          (docs/SERVICE.md §7a). Defaults when fields are omitted on
+          the wire: [interval_ms = 1000.], [updates = 0]. *)
   | Warm_alt  (** Warm every remaining ALT landmark, synchronously. *)
   | Stats  (** Server introspection: graph, config, cache, metrics. *)
   | Ping  (** Liveness probe. *)
@@ -63,6 +71,10 @@ type response = {
 
 val status_to_string : status -> string
 val status_of_string : string -> (status, string) result
+
+(** [op_name op] is the wire spelling of the operation ("ppsp",
+    "subscribe", …) — also the [op] field of query log records. *)
+val op_name : op -> string
 
 (** [parse_request line] parses one request line. On malformed input the
     error retains the request [id] when one could be extracted, so the

@@ -3,6 +3,8 @@ module Metrics = Observe.Metrics
 module Span = Observe.Span
 module Tracer = Observe.Tracer
 module Report_diff = Observe.Report_diff
+module Log = Observe.Log
+module Timeline = Observe.Timeline
 module Pool = Parallel.Pool
 module Csr = Graphs.Csr
 module Schedule = Ordered.Schedule
@@ -80,6 +82,211 @@ let test_reset () =
     (Metrics.counter_value c);
   Metrics.incr c ~tid:0 ();
   Alcotest.(check int) "usable after reset" 1 (Metrics.counter_value c)
+
+(* The percentile estimator only sees log2 buckets, so its contract is
+   positional, not numeric: the estimate's bucket is within one of the
+   exact nearest-rank sample's bucket. Samples are pushed through
+   [observe]'s seconds→ns conversion with a +0.5ns bias so truncation
+   lands each one on its intended integer. *)
+let log2_bucket v =
+  let n = max 1 (int_of_float v) in
+  let rec go b n = if n <= 1 then b else go (b + 1) (n lsr 1) in
+  go 0 n
+
+let qcheck_percentile_buckets =
+  QCheck.Test.make ~name:"histogram percentiles within one log2 bucket"
+    ~count:200
+    QCheck.(list_of_size Gen.(1 -- 200) (int_range 1 (1 lsl 30)))
+    (fun ns ->
+      let reg = Metrics.create () in
+      let h = Metrics.histogram reg "test.pct" in
+      List.iter
+        (fun v -> Metrics.observe h ((float_of_int v +. 0.5) /. 1e9))
+        ns;
+      let summary =
+        List.assoc "test.pct" (Metrics.snapshot reg).Metrics.histograms
+      in
+      let sorted = Array.of_list ns in
+      Array.sort compare sorted;
+      let count = Array.length sorted in
+      List.for_all
+        (fun q ->
+          let rank = max 1 (int_of_float (ceil (q *. float_of_int count))) in
+          let exact = sorted.(rank - 1) in
+          let est = Metrics.percentile_ns summary q in
+          abs (log2_bucket est - log2_bucket (float_of_int exact)) <= 1)
+        [ 0.; 0.5; 0.95; 0.99; 1. ])
+
+let test_percentile_empty () =
+  let reg = Metrics.create () in
+  let h = Metrics.histogram reg "test.empty" in
+  ignore h;
+  let summary =
+    List.assoc "test.empty" (Metrics.snapshot reg).Metrics.histograms
+  in
+  Alcotest.(check (float 0.)) "empty histogram percentile" 0.
+    (Metrics.percentile_ns summary 0.5)
+
+(* ------------------------------------------------------------------ *)
+(* Log: structured JSONL events                                         *)
+
+let with_log_capture f =
+  let buf = Buffer.create 256 in
+  Log.set_writer (Some (Buffer.add_string buf));
+  Fun.protect
+    ~finally:(fun () ->
+      Log.set_writer None;
+      Log.set_level Log.Info)
+    (fun () -> f buf)
+
+let log_lines buf =
+  Log.flush ();
+  String.split_on_char '\n' (Buffer.contents buf)
+  |> List.filter (fun l -> String.trim l <> "")
+
+let test_log_roundtrip () =
+  with_log_capture (fun buf ->
+      Log.set_level Log.Debug;
+      Log.event Log.Debug "test.event" [ ("k", Json.Int 7) ];
+      Log.event Log.Warn "test.slow" [ ("wall_ms", Json.Float 12.5) ];
+      let lines = log_lines buf in
+      Alcotest.(check int) "two lines" 2 (List.length lines);
+      List.iter
+        (fun line ->
+          match Json.of_string line with
+          | Error e -> Alcotest.fail ("log line does not parse: " ^ e)
+          | Ok json -> (
+              match
+                ( Json.member "ts" json,
+                  Json.member "level" json,
+                  Json.member "event" json )
+              with
+              | Some (Json.Float _), Some (Json.String _), Some (Json.String _)
+                ->
+                  ()
+              | _ -> Alcotest.fail "missing ts/level/event envelope"))
+        lines;
+      match Json.of_string (List.nth lines 1) with
+      | Ok json ->
+          Alcotest.(check bool) "emitter fields survive" true
+            (Json.member "wall_ms" json = Some (Json.Float 12.5))
+      | Error e -> Alcotest.fail e)
+
+let test_log_threshold () =
+  with_log_capture (fun buf ->
+      (* Default level is Info. *)
+      Alcotest.(check bool) "debug below threshold" false (Log.enabled Log.Debug);
+      Alcotest.(check bool) "warn passes" true (Log.enabled Log.Warn);
+      Log.event Log.Debug "test.dropped" [];
+      Log.event Log.Info "test.kept" [];
+      Alcotest.(check int) "only the info line lands" 1
+        (List.length (log_lines buf)));
+  Alcotest.(check bool) "no sink disables even errors" false
+    (Log.enabled Log.Error)
+
+let test_log_warn_flushes_immediately () =
+  with_log_capture (fun buf ->
+      Log.event Log.Info "test.buffered" [];
+      Alcotest.(check string) "info stays in the worker buffer" ""
+        (Buffer.contents buf);
+      Log.event Log.Warn "test.urgent" [];
+      (* The warn flushes its whole slot: both lines, in order. *)
+      let lines =
+        String.split_on_char '\n' (Buffer.contents buf)
+        |> List.filter (fun l -> String.trim l <> "")
+      in
+      Alcotest.(check int) "warn flushed the slot" 2 (List.length lines))
+
+let level_testable =
+  Alcotest.testable
+    (fun ppf l -> Format.pp_print_string ppf (Log.level_name l))
+    ( = )
+
+let test_log_level_of_string () =
+  Alcotest.(check (option level_testable)) "warn" (Some Log.Warn)
+    (Log.level_of_string "WARN");
+  Alcotest.(check (option level_testable)) "warning alias" (Some Log.Warn)
+    (Log.level_of_string "warning");
+  Alcotest.(check (option level_testable)) "unknown" None
+    (Log.level_of_string "loud")
+
+(* ------------------------------------------------------------------ *)
+(* Timeline: the bench trajectory recorder                              *)
+
+let tl_point ?(host = "vm") label sections =
+  { Timeline.label; git_commit = label ^ "0000000"; hostname = host; sections }
+
+(* The synthetic regression fixture: two flat points then a +49% step in
+   [sssp]; [tiny] steps too but sits under the floor on both sides. *)
+let test_timeline_regression () =
+  let p label v =
+    tl_point label [ ("sssp", v); ("tiny", v /. 1000.) ]
+  in
+  let r = Timeline.analyze [ p "a" 1.0; p "b" 1.02; p "c" 1.5 ] in
+  Alcotest.(check int) "one regression" 1 r.Timeline.regressions;
+  let row = List.find (fun row -> row.Timeline.section = "sssp") r.Timeline.rows in
+  Alcotest.(check bool) "sssp flagged" true row.Timeline.regressed;
+  (match row.Timeline.last_rel with
+  | Some rel ->
+      Alcotest.(check bool) "delta is vs the prior median" true
+        (Float.abs (rel -. ((1.5 -. 1.01) /. 1.01)) < 1e-9)
+  | None -> Alcotest.fail "no last_rel on the regressed row");
+  Alcotest.(check bool) "series stats cover the step" true
+    (row.Timeline.vmin = 1.0 && row.Timeline.vmax = 1.5
+   && row.Timeline.stddev > 0.);
+  let tiny = List.find (fun row -> row.Timeline.section = "tiny") r.Timeline.rows in
+  Alcotest.(check bool) "floor suppresses sub-floor noise" true
+    (tiny.Timeline.last_rel = None && not tiny.Timeline.regressed);
+  let improved = Timeline.analyze [ p "a" 1.5; p "b" 1.5; p "c" 1.0 ] in
+  Alcotest.(check int) "an improvement never gates" 0
+    improved.Timeline.regressions;
+  Alcotest.(check bool) "but is flagged as improved" true
+    (List.exists (fun row -> row.Timeline.improved) improved.Timeline.rows)
+
+let test_timeline_foreign_host () =
+  let points =
+    [
+      tl_point "a" [ ("sssp", 1.0) ];
+      tl_point "b" [ ("sssp", 1.0) ];
+      tl_point ~host:"laptop" "c" [ ("sssp", 9.0) ];
+    ]
+  in
+  let r = Timeline.analyze points in
+  Alcotest.(check bool) "foreign point excluded from gating" false
+    r.Timeline.gated.(2);
+  Alcotest.(check int) "no regression from a foreign host" 0
+    r.Timeline.regressions;
+  let forced = Timeline.analyze ~gate_foreign:true points in
+  Alcotest.(check int) "gate_foreign flags it" 1 forced.Timeline.regressions
+
+let test_timeline_parse_trajectory () =
+  let doc =
+    {|[{"meta": {"git_commit": "aaa", "hostname": "vm"},
+       "section_seconds": {"sssp": 1.0}},
+      {"meta": {"git_commit": "bbb", "hostname": "vm"},
+       "section_seconds": {"sssp": 1.1, "astar": 0.5}}]|}
+  in
+  match Timeline.points_of_string ~label:"traj.json" doc with
+  | Error e -> Alcotest.fail e
+  | Ok ([ a; b ] as points) ->
+      Alcotest.(check string) "trajectory entries get indexed labels"
+        "traj.json[0]" a.Timeline.label;
+      Alcotest.(check string) "commit from meta" "bbb" b.Timeline.git_commit;
+      let r = Timeline.analyze points in
+      Alcotest.(check int) "sections union across points" 2
+        (List.length r.Timeline.rows);
+      let astar =
+        List.find (fun row -> row.Timeline.section = "astar") r.Timeline.rows
+      in
+      Alcotest.(check bool) "absent value is None" true
+        (astar.Timeline.values.(0) = None);
+      (* Exercise both exporters for shape, not content. *)
+      (match Json.of_string (Json.to_string (Timeline.to_json r)) with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail ("to_json does not parse: " ^ e));
+      Alcotest.(check bool) "pp renders the foreign-host marker set" true
+        (String.length (Format.asprintf "%a" Timeline.pp r) > 0)
+  | Ok l -> Alcotest.failf "expected 2 points, got %d" (List.length l)
 
 (* ------------------------------------------------------------------ *)
 (* Spans                                                                *)
@@ -505,6 +712,56 @@ let test_tracer_sssp_export () =
              | None -> false)
            events))
 
+(* Query-scoped telemetry: async slices pair up as Chrome "b"/"e"
+   events keyed by the query id, and the ambient context stamps every
+   synchronous slice recorded inside it with args.query. *)
+let test_tracer_async_and_context () =
+  with_tracer (fun t ->
+      let q = Tracer.label "service.query" in
+      let work = Tracer.label "test.work" in
+      Tracer.async_begin t ~tid:0 ~id:41 q;
+      Tracer.set_context (Some 41);
+      Alcotest.(check (option int)) "context reads back" (Some 41)
+        (Tracer.context ());
+      Tracer.begin_ t ~tid:0 work;
+      Tracer.end_ t ~tid:0 work;
+      Tracer.set_context None;
+      Tracer.async_end t ~tid:0 ~id:41 q;
+      Tracer.begin_ t ~tid:0 work;
+      Tracer.end_ t ~tid:0 work;
+      let events = trace_events (Tracer.to_json t) in
+      let async ph =
+        List.exists
+          (fun e ->
+            str_field "ph" e = Some ph
+            && str_field "cat" e = Some "query"
+            && int_field "id" e = Some 41
+            && str_field "name" e = Some "service.query")
+          events
+      in
+      Alcotest.(check bool) "async begin exported" true (async "b");
+      Alcotest.(check bool) "async end exported" true (async "e");
+      let ctx_of e =
+        match Json.member "args" e with
+        | Some args -> (
+            match Json.member "query" args with
+            | Some (Json.Int v) -> Some v
+            | _ -> None)
+        | None -> None
+      in
+      match
+        List.filter
+          (fun e ->
+            str_field "name" e = Some "test.work" && str_field "ph" e = Some "B")
+          events
+      with
+      | [ inside; outside ] ->
+          Alcotest.(check (option int)) "slice inside carries the query id"
+            (Some 41) (ctx_of inside);
+          Alcotest.(check (option int)) "slice outside carries none" None
+            (ctx_of outside)
+      | l -> Alcotest.failf "expected 2 work slices, got %d" (List.length l))
+
 (* ------------------------------------------------------------------ *)
 (* Report_diff: the bench regression gate                               *)
 
@@ -574,6 +831,25 @@ let () =
           Alcotest.test_case "histogram summary" `Quick test_histogram_summary;
           Alcotest.test_case "snapshot/diff" `Quick test_snapshot_diff;
           Alcotest.test_case "reset" `Quick test_reset;
+          Alcotest.test_case "empty percentile" `Quick test_percentile_empty;
+          QCheck_alcotest.to_alcotest qcheck_percentile_buckets;
+        ] );
+      ( "log",
+        [
+          Alcotest.test_case "round-trip" `Quick test_log_roundtrip;
+          Alcotest.test_case "level threshold" `Quick test_log_threshold;
+          Alcotest.test_case "warn flushes immediately" `Quick
+            test_log_warn_flushes_immediately;
+          Alcotest.test_case "level_of_string" `Quick test_log_level_of_string;
+        ] );
+      ( "timeline",
+        [
+          Alcotest.test_case "regression fixture" `Quick
+            test_timeline_regression;
+          Alcotest.test_case "foreign host gating" `Quick
+            test_timeline_foreign_host;
+          Alcotest.test_case "trajectory parsing" `Quick
+            test_timeline_parse_trajectory;
         ] );
       ( "span",
         [
@@ -602,6 +878,8 @@ let () =
       ( "tracer",
         [
           Alcotest.test_case "sssp export" `Quick test_tracer_sssp_export;
+          Alcotest.test_case "async slices and query context" `Quick
+            test_tracer_async_and_context;
           Alcotest.test_case "write reports drops" `Quick
             test_tracer_write_dropped;
           QCheck_alcotest.to_alcotest qcheck_tracer_wraparound;

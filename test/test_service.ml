@@ -96,7 +96,8 @@ let test_protocol_errors () =
 (* ---------------- in-process core helpers ---------------- *)
 
 let mk_core ?(landmarks = 2) ?(queue_capacity = 256) ?(max_batch = 32)
-    ?(default_deadline_ms = 0.) ~pool csr =
+    ?(default_deadline_ms = 0.) ?(slow_query_ms = 0.) ?graph_file
+    ?(symmetric = false) ~pool csr =
   Service.Core.create ~pool ~handle:(Handle.create csr)
     ~config:
       {
@@ -105,6 +106,9 @@ let mk_core ?(landmarks = 2) ?(queue_capacity = 256) ?(max_batch = 32)
         default_deadline_ms;
         landmarks;
         schedule = Testlib.schedule ();
+        slow_query_ms;
+        graph_file;
+        symmetric;
       }
     ()
 
@@ -627,6 +631,282 @@ let test_service_md_sessions_roundtrip () =
       Alcotest.(check bool) "session 5 requested shutdown" true
         (Service.Core.shutdown_requested core))
 
+(* ---------------- query-scoped telemetry ---------------- *)
+
+module Log = Observe.Log
+module Metrics = Observe.Metrics
+
+(* Capture log records in memory for the duration of [f], at Debug so
+   per-query attribution records land too. *)
+let with_log_capture f =
+  let buf = Buffer.create 1024 in
+  Log.set_writer (Some (Buffer.add_string buf));
+  Log.set_level Log.Debug;
+  Fun.protect
+    ~finally:(fun () ->
+      Log.set_writer None;
+      Log.set_level Log.Info)
+    (fun () -> f ())
+  |> fun r ->
+  Log.flush ();
+  ( r,
+    String.split_on_char '\n' (Buffer.contents buf)
+    |> List.filter (fun l -> String.trim l <> "")
+    |> List.map (fun l ->
+           match Json.of_string l with
+           | Ok j -> j
+           | Error e -> Alcotest.fail (Printf.sprintf "bad log line %S: %s" l e))
+  )
+
+let log_int field j =
+  match Json.member field j with Some (Json.Int v) -> v | _ -> -1
+
+let log_str field j =
+  match Json.member field j with Some (Json.String s) -> s | _ -> ""
+
+let records_of_event name =
+  List.filter (fun j -> log_str "event" j = name)
+
+let counter_value name =
+  Metrics.counter_value (Metrics.counter Metrics.default name)
+
+(* Satellite (c): a coalesced 3-query batch yields three attribution
+   records whose per-member round counts are consistent with the
+   engine's own Stats — every member at most the run total, the last
+   resolved member exactly the total (the engine stops the moment the
+   pending set empties, so no rounds run past the final resolution). *)
+let test_batch_attribution_records () =
+  let csr = Testlib.random_weighted_graph 13 ~n:300 ~m:1500 ~max_w:64 in
+  Testlib.with_pools [ 1; 2; 4 ] (fun w pool ->
+      let core = mk_core ~pool csr in
+      Observe.Span.set_enabled true;
+      let before = Metrics.snapshot Metrics.default in
+      let (), records =
+        with_log_capture (fun () ->
+            Observe.Span.set_enabled true;
+            let replies =
+              run_queries core
+                [
+                  req 1 (Protocol.Ppsp { source = 0; target = 299 });
+                  req 2 (Protocol.Ppsp { source = 0; target = 123 });
+                  req 3 (Protocol.Ppsp { source = 0; target = 7 });
+                ]
+            in
+            List.iter (check_status "batched" Protocol.Ok) replies)
+      in
+      Observe.Span.set_enabled false;
+      let d = Metrics.diff ~earlier:before (Metrics.snapshot Metrics.default) in
+      let engine_rounds =
+        match List.assoc_opt "engine.rounds" d.Metrics.counters with
+        | Some r -> r
+        | None -> Alcotest.fail "no engine.rounds counter from the batch run"
+      in
+      let records = records_of_event "service.query.done" records in
+      Alcotest.(check int)
+        (Printf.sprintf "three attribution records (%d workers)" w)
+        3 (List.length records);
+      let batches =
+        List.sort_uniq compare (List.map (log_int "batch") records)
+      in
+      Alcotest.(check int) "one coalesced batch" 1 (List.length batches);
+      let queries = List.sort_uniq compare (List.map (log_int "query") records) in
+      Alcotest.(check int) "member query ids distinct" 3 (List.length queries);
+      List.iter
+        (fun r ->
+          Alcotest.(check int) "batch width" 3 (log_int "batch_width" r);
+          Alcotest.(check int) "workers field" w (log_int "workers" r);
+          let rounds = log_int "rounds" r in
+          Alcotest.(check bool)
+            (Printf.sprintf "member rounds %d within engine total %d" rounds
+               engine_rounds)
+            true
+            (rounds >= 0 && rounds <= engine_rounds);
+          (match Check.Sweep.schedule_of_string (log_str "schedule" r) with
+          | Ok _ -> ()
+          | Error e -> Alcotest.fail ("schedule field does not parse: " ^ e));
+          Alcotest.(check bool) "edges attributed" true
+            (log_int "edges_relaxed" r >= 0))
+        records;
+      let max_rounds =
+        List.fold_left (fun a r -> max a (log_int "rounds" r)) 0 records
+      in
+      Alcotest.(check int) "last member attributed the full run" engine_rounds
+        max_rounds)
+
+(* Satellite (d) + the slow-query acceptance: a deadline-missed query
+   emits a Warn record whose repro line parses and re-executes cleanly
+   through the check_runner repro path; a threshold-crossing query is
+   recorded too. *)
+let test_slow_query_record_and_replay () =
+  let csr = Testlib.random_weighted_graph 19 ~n:300 ~m:1800 ~max_w:64 in
+  let graph_file = Filename.temp_file "svc_slow" ".el" in
+  Graphs.Graph_io.write_edge_list graph_file (Csr.to_edge_list csr);
+  Fun.protect
+    ~finally:(fun () -> Sys.remove graph_file)
+    (fun () ->
+      Pool.with_pool ~num_workers:2 (fun pool ->
+          let core = mk_core ~pool ~graph_file ~slow_query_ms:0.000001 csr in
+          let slow_before = counter_value "service.slow_queries" in
+          let (), records =
+            with_log_capture (fun () ->
+                (* One deadline miss (partial) and one merely-slow ok
+                   query — both must be recorded. *)
+                ignore
+                  (run_queries core
+                     [
+                       req ~deadline_ms:0.001 1
+                         (Protocol.Ppsp { source = 0; target = 150 });
+                     ]);
+                ignore
+                  (run_queries core
+                     [ req 2 (Protocol.Widest { source = 0; target = 9 }) ]))
+          in
+          let slow = records_of_event "service.slow_query" records in
+          Alcotest.(check int) "both queries recorded as slow" 2
+            (List.length slow);
+          Alcotest.(check int) "slow-query counter tracks" 2
+            (counter_value "service.slow_queries" - slow_before);
+          let miss =
+            List.find (fun r -> log_str "status" r = "partial") slow
+          in
+          Alcotest.(check bool) "negative slack on the miss" true
+            (match Json.member "deadline_slack_ms" miss with
+            | Some (Json.Float s) -> s < 0.
+            | _ -> false);
+          List.iter
+            (fun r ->
+              let line = log_str "repro" r in
+              Alcotest.(check bool) "repro line present" true (line <> "");
+              match Check.Query_repro.of_line line with
+              | Error e ->
+                  Alcotest.fail
+                    (Printf.sprintf "repro %S does not parse: %s" line e)
+              | Ok repro -> (
+                  Alcotest.(check string) "repro names the served file"
+                    graph_file repro.Check.Query_repro.graph_file;
+                  match Check.Query_repro.run repro with
+                  | Ok () -> ()
+                  | Error e ->
+                      Alcotest.fail
+                        (Printf.sprintf "repro %S does not replay: %s" line e)))
+            slow))
+
+(* Fast queries with no threshold configured stay out of the slow log
+   but still land as Debug attribution. *)
+let test_no_threshold_no_slow_records () =
+  let csr = Testlib.random_weighted_graph 23 ~n:60 ~m:240 ~max_w:8 in
+  Pool.with_pool ~num_workers:1 (fun pool ->
+      let core = mk_core ~pool csr in
+      let (), records =
+        with_log_capture (fun () ->
+            ignore
+              (run_queries core [ req 1 (Protocol.Ppsp { source = 0; target = 5 }) ]))
+      in
+      Alcotest.(check int) "no slow records" 0
+        (List.length (records_of_event "service.slow_query" records));
+      Alcotest.(check int) "one attribution record" 1
+        (List.length (records_of_event "service.query.done" records)))
+
+(* ---------------- live stats streaming ---------------- *)
+
+let test_subscribe_stream () =
+  let csr = Testlib.random_weighted_graph 7 ~n:50 ~m:200 ~max_w:8 in
+  Pool.with_pool ~num_workers:1 (fun pool ->
+      let core = mk_core ~pool csr in
+      (* Some traffic first, so the percentiles have observations. *)
+      ignore (run_queries core [ req 1 (Protocol.Ppsp { source = 0; target = 5 }) ]);
+      let mu = Mutex.create () in
+      let pushes = ref [] in
+      Service.Core.submit core
+        (req 2 (Protocol.Subscribe { interval_ms = 20.; updates = 3 }))
+        ~reply:(fun r ->
+          Mutex.lock mu;
+          pushes := r :: !pushes;
+          Mutex.unlock mu);
+      pump core;
+      let count () =
+        Mutex.lock mu;
+        let n = List.length !pushes in
+        Mutex.unlock mu;
+        n
+      in
+      let deadline = Unix.gettimeofday () +. 10. in
+      while count () < 3 && Unix.gettimeofday () < deadline do
+        Thread.delay 0.01
+      done;
+      Service.Core.drain_shutdown core;
+      let pushes = List.rev !pushes in
+      Alcotest.(check int) "three pushes for one request" 3 (List.length pushes);
+      List.iteri
+        (fun i r ->
+          check_status (Printf.sprintf "push %d" (i + 1)) Protocol.Ok r;
+          Alcotest.(check (option int)) "sequence numbers" (Some (i + 1))
+            (result_int "seq" r);
+          match r.Protocol.result with
+          | None -> Alcotest.fail "push without result"
+          | Some j ->
+              Alcotest.(check bool) "snapshot shape" true
+                (Json.member "queue" j <> None
+                && Json.member "counters" j <> None
+                && Json.member "latency" j <> None))
+        pushes;
+      (* The percentiles carry the earlier request's latency. *)
+      match (List.hd pushes).Protocol.result with
+      | Some j -> (
+          match Json.member "latency" j with
+          | Some lat -> (
+              match Json.member "request" lat with
+              | Some reqh ->
+                  Alcotest.(check bool) "request percentile count > 0" true
+                    (log_int "count" reqh > 0)
+              | None -> Alcotest.fail "no request percentiles")
+          | None -> Alcotest.fail "no latency object")
+      | None -> assert false)
+
+let test_subscribe_validation () =
+  let csr = Testlib.random_weighted_graph 7 ~n:50 ~m:200 ~max_w:8 in
+  Pool.with_pool ~num_workers:1 (fun pool ->
+      let core = mk_core ~pool csr in
+      let resp = ref None in
+      Service.Core.submit core
+        (req 1 (Protocol.Subscribe { interval_ms = -5.; updates = 0 }))
+        ~reply:(fun r -> resp := Some r);
+      (match !resp with
+      | Some r -> check_status "negative interval" Protocol.Error r
+      | None -> Alcotest.fail "validation must answer synchronously");
+      Service.Core.submit core
+        (req 2 (Protocol.Subscribe { interval_ms = 10.; updates = 1_000_000 }))
+        ~reply:(fun r -> resp := Some r);
+      match !resp with
+      | Some r -> check_status "absurd updates" Protocol.Error r
+      | None -> Alcotest.fail "validation must answer synchronously")
+
+(* The stats reply carries the derived percentiles alongside the raw
+   histograms. *)
+let test_stats_latency_percentiles () =
+  let csr = Testlib.random_weighted_graph 7 ~n:50 ~m:200 ~max_w:8 in
+  Pool.with_pool ~num_workers:1 (fun pool ->
+      let core = mk_core ~pool csr in
+      ignore (run_queries core [ req 1 (Protocol.Ppsp { source = 0; target = 5 }) ]);
+      let resp = List.hd (run_queries core [ req 2 Protocol.Stats ]) in
+      check_status "stats" Protocol.Ok resp;
+      match resp.Protocol.result with
+      | None -> Alcotest.fail "no stats result"
+      | Some j -> (
+          match Json.member "latency" j with
+          | None -> Alcotest.fail "stats reply has no latency percentiles"
+          | Some lat -> (
+              match Json.member "request" lat with
+              | Some h ->
+                  Alcotest.(check bool) "p50 <= p99" true
+                    (match
+                       (Json.member "p50_ms" h, Json.member "p99_ms" h)
+                     with
+                    | Some (Json.Float p50), Some (Json.Float p99) ->
+                        p50 <= p99 && p50 >= 0.
+                    | _ -> false)
+              | None -> Alcotest.fail "no request histogram percentiles")))
+
 let () =
   Alcotest.run "service"
     [
@@ -663,6 +943,23 @@ let () =
         [
           QCheck_alcotest.to_alcotest qcheck_alt_heuristic_admissible;
           QCheck_alcotest.to_alcotest qcheck_astar_with_alt_matches_ppsp;
+        ] );
+      ( "telemetry",
+        [
+          Alcotest.test_case "batch demux attribution on 1/2/4 workers" `Slow
+            test_batch_attribution_records;
+          Alcotest.test_case "slow-query records replay via repro lines" `Quick
+            test_slow_query_record_and_replay;
+          Alcotest.test_case "no threshold, no slow records" `Quick
+            test_no_threshold_no_slow_records;
+        ] );
+      ( "subscribe",
+        [
+          Alcotest.test_case "stream pushes n snapshots" `Quick
+            test_subscribe_stream;
+          Alcotest.test_case "validation" `Quick test_subscribe_validation;
+          Alcotest.test_case "stats reply carries percentiles" `Quick
+            test_stats_latency_percentiles;
         ] );
       ( "server",
         [
