@@ -25,6 +25,8 @@ module Reorder = Graphs.Reorder
 module Handle = Graphs.Handle
 module Graph_bin = Graphs.Graph_bin
 module Graph_io = Graphs.Graph_io
+module Delta = Graphs.Delta
+module Versioned = Graphs.Versioned
 module Rng = Support.Rng
 module Timer = Support.Timer
 module Schedule = Ordered.Schedule
@@ -56,7 +58,7 @@ let usage =
    Options:\n\
   \  --only ID        run one section (fig1 tab4 fig4 tab5 tab6 tab7 fig11\n\
   \                   delta traverse graphbin autotune ablate dslperf fig9\n\
-  \                   micro runtime service)\n\
+  \                   micro runtime service dynamic)\n\
   \  --workers N      worker domains for the engine pools (default 1)\n\
   \  --scale big      larger graphs\n\
   \  --smoke          tiny graphs, one trial per measurement (CI-sized)\n\
@@ -1500,6 +1502,7 @@ let service_bench () =
           slow_query_ms = 0.;
           graph_file = None;
           symmetric = false;
+          compact_ops = 4096;
         }
       ()
   in
@@ -1614,6 +1617,160 @@ let service_bench () =
       ("distance", Json.Int r_cold.Algorithms.Astar.distance);
     ]
 
+(* ------------------------------------------------------------------ *)
+(* Dynamic graphs: mutation throughput, incremental repair, compaction  *)
+
+let dynamic_bench () =
+  Printf.printf
+    "Dynamic graphs (docs/INTERNALS.md): Delta batches commit fresh CSR\n\
+     versions, incremental SSSP repairs the previous answer outward from\n\
+     the affected frontier, and compaction truncates the delta log while\n\
+     queries keep their pinned snapshots.\n\n";
+  let p = Lazy.force pool in
+  let w =
+    List.fold_left
+      (fun best c ->
+        if Csr.num_edges c.directed > Csr.num_edges best.directed then c
+        else best)
+      (List.hd (Lazy.force suite))
+      (Lazy.force suite)
+  in
+  let g = w.directed in
+  let n = Csr.num_vertices g in
+  let schedule = graphit_schedule w in
+  let rng = Rng.create 4242 in
+  (* A random live edge, for deletes and reweights that actually bite. *)
+  let live_edge g =
+    let deg = Csr.out_degrees_cached g in
+    let rec pick tries =
+      if tries = 0 then None
+      else
+        let u = Rng.int rng n in
+        if deg.(u) = 0 then pick (tries - 1)
+        else begin
+          let k = Rng.int rng deg.(u) in
+          let i = ref 0 in
+          let hit = ref None in
+          Csr.iter_out g u (fun v _w ->
+              if !i = k then hit := Some (u, v);
+              incr i);
+          !hit
+        end
+    in
+    pick 32
+  in
+  let insert () =
+    Delta.Insert
+      { src = Rng.int rng n; dst = Rng.int rng n; weight = 1 + Rng.int rng 999 }
+  in
+  let gen_batch g ~ops =
+    Array.init ops (fun _ ->
+        match Rng.int rng 4 with
+        | 0 | 1 -> insert ()
+        | 2 -> (
+            match live_edge g with
+            | Some (src, dst) ->
+                Delta.Reweight { src; dst; weight = 1 + Rng.int rng 999 }
+            | None -> insert ())
+        | _ -> (
+            match live_edge g with
+            | Some (src, dst) -> Delta.Delete { src; dst }
+            | None -> insert ()))
+  in
+  (* -- update-batch throughput: each commit applies the batch into a
+     fresh CSR version, so this measures the full cost a serving process
+     pays per mutate op -- *)
+  let num_batches = if !smoke then 8 else 48 in
+  let ops_per_batch = if !smoke then 16 else 256 in
+  let v = Versioned.create g in
+  let (), commit_seconds =
+    Timer.time (fun () ->
+        for _ = 1 to num_batches do
+          let live = Handle.csr (Versioned.latest v) in
+          ignore (Versioned.commit v (gen_batch live ~ops:ops_per_batch))
+        done)
+  in
+  let total_ops = num_batches * ops_per_batch in
+  let ops_s = float_of_int total_ops /. commit_seconds in
+  Printf.printf
+    "update throughput on %s (%d vertices, %d edges):\n\
+    \  %d batches x %d ops  %8.4f s  -> %10.0f edge ops/s (%.2f ms/commit)\n\n"
+    w.wname n (Csr.num_edges g) num_batches ops_per_batch commit_seconds ops_s
+    (1000. *. commit_seconds /. float_of_int num_batches);
+  Report.row "dynamic"
+    [
+      ("experiment", Json.String "update_throughput");
+      ("graph", Json.String w.wname);
+      ("batches", Json.Int num_batches);
+      ("ops_per_batch", Json.Int ops_per_batch);
+      ("seconds", Json.Float commit_seconds);
+      ("ops_per_second", Json.Float ops_s);
+    ];
+  (* -- compaction pause: the log built above is rebuilt into a fresh
+     hot base; this is the stall a background compactor hides -- *)
+  let (), pause =
+    Timer.time (fun () -> ignore (Versioned.compact v))
+  in
+  Printf.printf "compaction after %d commits: %8.4f s pause\n\n" num_batches pause;
+  Report.row "dynamic"
+    [
+      ("experiment", Json.String "compaction_pause");
+      ("graph", Json.String w.wname);
+      ("commits_folded", Json.Int num_batches);
+      ("seconds", Json.Float pause);
+    ];
+  (* -- incremental repair vs from-scratch, against affected-set size:
+     small batches repair a corridor; ever-larger batches converge on
+     (and eventually fall back to) the full recompute -- *)
+  let prev =
+    (Algorithms.Sssp_delta.run ~pool:p ~graph:g ~handle:(dir_handle w)
+       ~schedule ~source:0 ())
+      .Algorithms.Sssp_delta.dist
+  in
+  let sizes = if !smoke then [ 1; 16 ] else [ 1; 16; 128; 1024 ] in
+  Printf.printf "incremental repair vs from-scratch (source 0, %s):\n%8s %10s %12s %12s %9s %s\n"
+    w.wname "ops" "affected" "incr (s)" "full (s)" "speedup" "fellback";
+  List.iter
+    (fun ops ->
+      let batch = gen_batch g ~ops in
+      let g' = Delta.apply g batch in
+      let h' = Handle.create g' in
+      let affected = ref 0 in
+      let fell_back = ref false in
+      let r_inc, inc =
+        time_stats (fun () ->
+            let r =
+              Algorithms.Sssp_delta.run_incremental ~pool:p ~old_graph:g
+                ~graph:g' ~handle:h' ~schedule ~source:0 ~batch ~prev ()
+            in
+            affected := r.Algorithms.Sssp_delta.affected;
+            fell_back := r.Algorithms.Sssp_delta.fell_back;
+            r)
+      in
+      let r_full, full =
+        time_stats (fun () ->
+            Algorithms.Sssp_delta.run ~pool:p ~graph:g' ~handle:h' ~schedule
+              ~source:0 ())
+      in
+      assert (
+        r_inc.Algorithms.Sssp_delta.result.Algorithms.Sssp_delta.dist
+        = r_full.Algorithms.Sssp_delta.dist);
+      let speedup = full.Timer.median /. inc.Timer.median in
+      Printf.printf "%8d %10d %12.5f %12.5f %8.1fx %b\n" ops !affected
+        inc.Timer.median full.Timer.median speedup !fell_back;
+      Report.row "dynamic"
+        [
+          ("experiment", Json.String "incremental_vs_full");
+          ("graph", Json.String w.wname);
+          ("ops", Json.Int ops);
+          ("affected", Json.Int !affected);
+          ("incremental_seconds", Json.Float inc.Timer.median);
+          ("full_seconds", Json.Float full.Timer.median);
+          ("speedup", Json.Float speedup);
+          ("fell_back", Json.Bool !fell_back);
+        ])
+    sizes
+
 let () =
   let tracer =
     match !trace_out with
@@ -1660,6 +1817,8 @@ let () =
   section "micro" "Substrate micro-benchmarks" micro;
   section "runtime" "Parallel-runtime microbenchmarks" runtime;
   section "service" "Query service: batching and the ALT cache" service_bench;
+  section "dynamic" "Dynamic graphs: commits, incremental repair, compaction"
+    dynamic_bench;
   (match (tracer, !trace_out) with
   | Some t, Some path ->
       Observe.Tracer.set_current None;

@@ -21,6 +21,7 @@
 open Cmdliner
 module Json = Support.Json
 module Sweep = Check.Sweep
+module Dynamic = Check.Dynamic
 module Graph_case = Check.Graph_case
 
 let parse_or_exit what = function
@@ -107,6 +108,86 @@ let run_repro ~seed ~chaos ~race ~workers ~variant app graph schedule =
   end;
   if !failed then exit 1
 
+let dynamic_failure_json (f : Dynamic.failure) =
+  Json.Obj
+    [
+      ("graph", Json.String (Graph_case.to_string f.config.Dynamic.spec));
+      ( "schedule",
+        Json.String (Sweep.schedule_to_string f.config.Dynamic.schedule) );
+      ("workers", Json.Int f.config.Dynamic.workers);
+      ("batches", Json.String (Dynamic.batches_to_string f.config.Dynamic.batches));
+      ("step", Json.Int f.step);
+      ("message", Json.String f.message);
+      ("repro", Json.String f.repro);
+    ]
+
+let dynamic_summary_json ~seed (s : Dynamic.summary) =
+  Json.Obj
+    [
+      ("mode", Json.String "dynamic");
+      ("seed", Json.Int seed);
+      ("configs_run", Json.Int s.configs_run);
+      ("failures", Json.List (List.map dynamic_failure_json s.failures));
+      ("race_findings", Json.Int s.race_findings);
+      ("elapsed_seconds", Json.Float s.elapsed_seconds);
+      ("budget_exhausted", Json.Bool s.budget_exhausted);
+    ]
+
+let run_dynamic_sweep ~seed ~budget ~chaos ~race ~workers ~max_failures
+    ~json_path ~failures_path =
+  let summary =
+    Dynamic.run ~workers ~budget ~seed ~max_failures ~chaos ~race
+      ~log:prerr_endline ()
+  in
+  let json = dynamic_summary_json ~seed summary in
+  print_endline (Json.to_string json);
+  Option.iter
+    (fun path ->
+      Out_channel.with_open_text path (fun oc ->
+          Format.fprintf (Format.formatter_of_out_channel oc) "%a@?" Json.pp json))
+    json_path;
+  Option.iter
+    (fun path ->
+      if summary.Dynamic.failures <> [] then
+        Out_channel.with_open_text path (fun oc ->
+            List.iter
+              (fun (f : Dynamic.failure) ->
+                Printf.fprintf oc "step %d: %s\n  %s\n" f.step f.message f.repro)
+              summary.Dynamic.failures))
+    failures_path;
+  if summary.Dynamic.failures <> [] || summary.Dynamic.race_findings > 0 then
+    exit 1
+
+let run_dynamic_repro ~seed ~chaos ~race ~workers graph schedule batches =
+  let spec = parse_or_exit "graph spec" (Graph_case.of_string graph) in
+  let schedule = parse_or_exit "schedule" (Sweep.schedule_of_string schedule) in
+  let batches = parse_or_exit "batches" (Dynamic.batches_of_string batches) in
+  if chaos then Parallel.Chaos.enable ~seed;
+  if race then begin
+    Parallel.Race.clear ();
+    Parallel.Race.enable ()
+  end;
+  let failed = ref false in
+  List.iter
+    (fun w ->
+      Parallel.Pool.with_pool ~num_workers:w (fun pool ->
+          let config = { Dynamic.spec; schedule; workers = w; batches } in
+          match Dynamic.run_config ~pool config with
+          | Ok () -> Printf.printf "ok: %d workers\n" w
+          | Error (step, msg) ->
+              failed := true;
+              Printf.printf "FAIL: %d workers: step %d: %s\n" w step msg))
+    workers;
+  let findings = if race then Parallel.Race.num_findings () else 0 in
+  if findings > 0 then begin
+    failed := true;
+    Printf.printf "race findings: %d\n" findings;
+    List.iter
+      (fun f -> Format.printf "  %a@." Parallel.Race.pp_finding f)
+      (Parallel.Race.findings ())
+  end;
+  if !failed then exit 1
+
 let run_query_repro ~workers ~symmetric ~source ~target ~vertex app graph_file
     schedule =
   let module Qr = Check.Query_repro in
@@ -170,7 +251,7 @@ let run_sweep ~seed ~budget ~chaos ~race ~workers ~max_failures ~apps
 
 let main budget seed apps app graph schedule workers chaos race max_failures
     json_path failures_path layout reorder bin graph_file source target vertex
-    symmetric =
+    symmetric dynamic batches =
   let workers = parse_workers workers in
   let variant_given = layout <> None || reorder <> None || bin in
   let variant =
@@ -186,13 +267,21 @@ let main budget seed apps app graph schedule workers chaos race max_failures
       bin_roundtrip = bin;
     }
   in
-  match (graph_file, app, graph, schedule) with
-  | Some graph_file, Some app, None, Some schedule ->
+  match (dynamic, graph_file, app, graph, schedule) with
+  | true, None, None, Some graph, Some schedule ->
+      (* Dynamic repro: replay one batch sequence (the syntax of
+         --dynamic repro lines). *)
+      run_dynamic_repro ~seed ~chaos ~race ~workers graph schedule
+        (Option.value ~default:"" batches)
+  | true, None, None, None, None ->
+      run_dynamic_sweep ~seed ~budget ~chaos ~race ~workers ~max_failures
+        ~json_path ~failures_path
+  | false, Some graph_file, Some app, None, Some schedule ->
       run_query_repro ~workers ~symmetric ~source ~target ~vertex app graph_file
         schedule
-  | None, Some app, Some graph, Some schedule ->
+  | false, None, Some app, Some graph, Some schedule ->
       run_repro ~seed ~chaos ~race ~workers ~variant app graph schedule
-  | None, None, None, None ->
+  | false, None, None, None, None ->
       (* Sweep mode: with no substrate flags, run the whole default
          variant axis; with flags, pin the sweep to that one variant. *)
       let variants =
@@ -204,7 +293,8 @@ let main budget seed apps app graph schedule workers chaos race max_failures
       Printf.eprintf
         "check_runner: repro mode needs all of --app, --graph, --schedule; \
          query repro needs --app, --graph-file, --schedule and \
-         --source/--target (or --vertex)\n";
+         --source/--target (or --vertex); dynamic repro needs --dynamic, \
+         --graph, --schedule, --batches\n";
       exit 2
 
 let () =
@@ -349,11 +439,31 @@ let () =
             "Query-repro mode: symmetrize the loaded graph, as `serve \
              --symmetric` did")
   in
+  let dynamic =
+    Arg.(
+      value & flag
+      & info [ "dynamic" ]
+          ~doc:
+            "Dynamic-graph mode: sweep incremental-vs-from-scratch SSSP \
+             across random delta batches, schedules, and worker counts \
+             (with --graph/--schedule/--batches: replay one failing \
+             configuration)")
+  in
+  let batches =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "batches" ] ~docv:"BATCHES"
+          ~doc:
+            "Dynamic repro mode: semicolon-separated delta batches, each a \
+             comma-separated op list (i:src-dst-w, d:src-dst, r:src-dst-w)")
+  in
   let term =
     Term.(
       const main $ budget $ seed $ apps $ app_arg $ graph $ schedule $ workers
       $ chaos $ race $ max_failures $ json_path $ failures_path $ layout
-      $ reorder $ bin $ graph_file $ source $ target $ vertex $ symmetric)
+      $ reorder $ bin $ graph_file $ source $ target $ vertex $ symmetric
+      $ dynamic $ batches)
   in
   exit
     (Cmd.eval

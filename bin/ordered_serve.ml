@@ -33,7 +33,8 @@ let address socket_path port host =
 
 let serve graph_path socket_path port host workers landmarks queue_capacity
     max_batch deadline_ms slow_query_ms strategy delta threshold buckets
-    coords_path symmetric warm trace_path metrics_out log_path log_level =
+    coords_path symmetric warm compact_ops trace_path metrics_out log_path
+    log_level =
   let schedule =
     match make_schedule strategy delta threshold buckets with
     | Ok s -> s
@@ -71,6 +72,7 @@ let serve graph_path socket_path port host workers landmarks queue_capacity
           slow_query_ms;
           graph_file = Some graph_path;
           symmetric;
+          compact_ops;
         }
       in
       let core = Service.Core.create ~pool ~handle ?coords ~config () in
@@ -358,6 +360,15 @@ let serve_cmd =
             "Warm the whole ALT cache before accepting connections \
              (otherwise it warms in the background and via the warm_alt op)")
   in
+  let compact_ops =
+    Arg.(
+      value & opt int 4096
+      & info [ "compact-ops" ] ~docv:"N"
+          ~doc:
+            "Mutation ops between background compactions of the versioned \
+             graph (each compaction rebuilds every derived layout hot and \
+             truncates the delta log); 0 disables compaction")
+  in
   let trace =
     Arg.(
       value
@@ -397,7 +408,7 @@ let serve_cmd =
       const serve $ graph $ socket_arg $ port_arg $ host_arg $ workers
       $ landmarks $ queue_capacity $ max_batch $ deadline_ms $ slow_query_ms
       $ strategy $ delta $ threshold $ buckets $ coords $ symmetric $ warm
-      $ trace $ metrics_out $ log_path $ log_level)
+      $ compact_ops $ trace $ metrics_out $ log_path $ log_level)
   in
   Cmd.v
     (Cmd.info "serve"

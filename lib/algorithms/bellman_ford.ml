@@ -34,3 +34,42 @@ let run ~pool ~graph ~source () =
     iterations = !iterations;
     edges_relaxed = Scratch.edges_traversed scratch;
   }
+
+(* Incremental repair on the unordered baseline: same plan as the ordered
+   path (dirty closure + boundary seeds), but the repaired region is
+   swept to fixpoint with plain frontier iterations. Serves as the
+   differential checker's incremental counterpart — it shares no
+   bucketing code with the engine, so agreement is meaningful. *)
+let run_incremental ~pool ~old_graph ~graph ~source ~batch ~prev () =
+  let n = Graphs.Csr.num_vertices graph in
+  if source < 0 || source >= n then
+    invalid_arg "Bellman_ford.run_incremental: source out of range";
+  if Array.length prev <> n then
+    invalid_arg "Bellman_ford.run_incremental: prev length mismatch";
+  let null = Bucketing.Bucket_order.null_priority in
+  let plan = Graphs.Delta.plan ~old_csr:old_graph ~new_csr:graph batch ~dist:prev ~null in
+  let dist = Atomic_array.of_array prev in
+  Array.iter (fun v -> Atomic_array.set dist v null) plan.Graphs.Delta.dirty;
+  let scratch = Scratch.create ~pool ~graph in
+  let buffer = Scratch.buffer scratch in
+  let relax ctx ~src ~dst ~weight =
+    if Atomic_array.fetch_min dist dst (Atomic_array.get dist src + weight)
+    then ignore (Update_buffer.try_add buffer ~tid:ctx.Edge_map.tid dst)
+  in
+  List.iter
+    (fun (v, cand) ->
+      if Atomic_array.fetch_min dist v cand then
+        ignore (Update_buffer.try_add buffer ~tid:0 v))
+    plan.Graphs.Delta.seeds;
+  let frontier = ref (Scratch.drain_frontier scratch) in
+  let iterations = ref 0 in
+  while not (Vertex_subset.is_empty !frontier) do
+    incr iterations;
+    ignore (Edge_map.run scratch ~graph ~direction:Edge_map.Push !frontier ~f:relax);
+    frontier := Scratch.drain_frontier scratch
+  done;
+  {
+    dist = Atomic_array.to_array dist;
+    iterations = !iterations;
+    edges_relaxed = Scratch.edges_traversed scratch;
+  }

@@ -11,3 +11,19 @@ type result = {
 
 (** [run ~pool ~graph ~source ()] computes exact shortest distances. *)
 val run : pool:Parallel.Pool.t -> graph:Graphs.Csr.t -> source:int -> unit -> result
+
+(** [run_incremental ~pool ~old_graph ~graph ~source ~batch ~prev ()]
+    repairs a previous result after [batch] transformed [old_graph] into
+    [graph]: dirty distances (per {!Graphs.Delta.plan}) are unlearned and
+    the clean boundary is swept to fixpoint with unordered frontier
+    iterations. The differential checker uses this as the incremental
+    counterpart that shares no bucketing code with the ordered engine. *)
+val run_incremental :
+  pool:Parallel.Pool.t ->
+  old_graph:Graphs.Csr.t ->
+  graph:Graphs.Csr.t ->
+  source:int ->
+  batch:Graphs.Delta.batch ->
+  prev:int array ->
+  unit ->
+  result

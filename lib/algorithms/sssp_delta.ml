@@ -28,3 +28,59 @@ let run ~pool ~graph ?transpose ?handle ~schedule ~source ?deadline ?trace () =
       ?trace ()
   in
   { dist = Atomic_array.to_array dist; stats }
+
+type incremental = {
+  result : result;
+  affected : int;
+  fell_back : bool;
+}
+
+let run_incremental ~pool ~old_graph ~graph ?transpose ?handle ~schedule ~source
+    ~batch ~prev ?deadline ?trace () =
+  let n = Graphs.Csr.num_vertices graph in
+  if source < 0 || source >= n then
+    invalid_arg "Sssp_delta.run_incremental: source out of range";
+  if Array.length prev <> n then
+    invalid_arg "Sssp_delta.run_incremental: prev length mismatch";
+  let plan =
+    Graphs.Delta.plan ~old_csr:old_graph ~new_csr:graph batch ~dist:prev
+      ~null:Bucket_order.null_priority
+  in
+  let threshold =
+    int_of_float (schedule.Ordered.Schedule.incremental_threshold *. float_of_int n)
+  in
+  if plan.Graphs.Delta.affected > threshold then begin
+    let r = run ~pool ~graph ?transpose ?handle ~schedule ~source ?deadline ?trace () in
+    { result = r; affected = plan.Graphs.Delta.affected; fell_back = true }
+  end
+  else begin
+    let dist = Atomic_array.of_array prev in
+    (* Dirty distances are unlearned before seeding, so every boundary
+       candidate lands as a strict improvement and registers a bucket
+       move; clean vertices keep their (still achievable) distances. *)
+    Array.iter (fun v -> Atomic_array.set dist v Bucket_order.null_priority)
+      plan.Graphs.Delta.dirty;
+    let pq =
+      Pq.create ~schedule ~num_workers:(Parallel.Pool.num_workers pool)
+        ~direction:Bucket_order.Lower_first ~allow_coarsening:true ~priorities:dist
+        ~initial:Pq.No_initial ~pool ()
+    in
+    let edge_fn ctx ~src ~dst ~weight =
+      let new_dist = Atomic_array.get dist src + weight in
+      Pq.update_priority_min pq ctx dst new_dist
+    in
+    let seed ctx =
+      List.iter
+        (fun (v, cand) -> Pq.update_priority_min pq ctx v cand)
+        plan.Graphs.Delta.seeds
+    in
+    let stats =
+      Engine.run_incremental ~pool ~graph ?transpose ?handle ~schedule ~pq ~edge_fn
+        ~seed ?deadline ?trace ()
+    in
+    {
+      result = { dist = Atomic_array.to_array dist; stats };
+      affected = plan.Graphs.Delta.affected;
+      fell_back = false;
+    }
+  end

@@ -27,3 +27,36 @@ val run :
   ?trace:Ordered.Trace.t ->
   unit ->
   result
+
+type incremental = {
+  result : result;  (** Exact shortest distances on the {e new} graph. *)
+  affected : int;  (** [|dirty| + |seeds|] from {!Graphs.Delta.plan}. *)
+  fell_back : bool;
+      (** True when the affected set exceeded
+          [schedule.incremental_threshold * n] and a full {!run} was
+          executed instead. *)
+}
+
+(** [run_incremental ~pool ~old_graph ~graph ~schedule ~source ~batch
+    ~prev ()] repairs a previous SSSP result after [batch] transformed
+    [old_graph] into [graph] (i.e. [graph = Delta.apply old_graph batch]).
+    [prev] is the distance vector [run] produced on [old_graph] for the
+    same [source]; it is not modified. The repair plans the conservative
+    affected set ({!Graphs.Delta.plan}), unlearns dirty distances, and
+    re-seeds the bucket structures from the clean boundary — identical
+    results to a from-scratch [run] on [graph], usually at a fraction of
+    the work. [transpose]/[handle] must describe the {e new} graph. *)
+val run_incremental :
+  pool:Parallel.Pool.t ->
+  old_graph:Graphs.Csr.t ->
+  graph:Graphs.Csr.t ->
+  ?transpose:Graphs.Csr.t ->
+  ?handle:Graphs.Handle.t ->
+  schedule:Ordered.Schedule.t ->
+  source:int ->
+  batch:Graphs.Delta.batch ->
+  prev:int array ->
+  ?deadline:Ordered.Deadline.t ->
+  ?trace:Ordered.Trace.t ->
+  unit ->
+  incremental

@@ -52,6 +52,10 @@ let random space rng =
     traversal = pick rng (traversals space strategy);
     chunk_size = pick rng chunks;
     sched = pick rng scheds;
+    (* Not part of the static-schedule search space: the fallback knob
+       only matters to incremental recompute, which the tuner doesn't
+       drive. *)
+    incremental_threshold = Schedule.default.Schedule.incremental_threshold;
   }
 
 let neighbors space _rng (point : Schedule.t) =

@@ -1,0 +1,375 @@
+(* Differential checking for the dynamic-graph path: random delta
+   batches replayed against random graphs, with three independent
+   answers per step that must all agree —
+
+   - [Sssp_delta.run_incremental] (the ordered engine, seeded from the
+     affected set),
+   - [Sssp_delta.run] from scratch on the mutated graph (same schedule),
+   - [Bellman_ford.run_incremental] (unordered repair sharing no
+     bucketing code),
+
+   judged by the sequential oracle on top. A mismatch shrinks the
+   failing batch with ddmin (and drops unneeded prefix batches) into a
+   one-line repro for [check_runner --dynamic]. *)
+
+module Pool = Parallel.Pool
+module Csr = Graphs.Csr
+module Delta = Graphs.Delta
+module Handle = Graphs.Handle
+module Schedule = Ordered.Schedule
+module Rng = Support.Rng
+
+type config = {
+  spec : Graph_case.spec;
+  schedule : Schedule.t;
+  workers : int;
+  batches : Delta.batch array;
+}
+
+(* ---------------- batches <-> repro strings ---------------- *)
+
+let batches_to_string batches =
+  String.concat ";" (Array.to_list (Array.map Delta.to_string batches))
+
+let ( let* ) = Result.bind
+
+let batches_of_string s =
+  if String.trim s = "" then Ok [||]
+  else
+    let parts = String.split_on_char ';' (String.trim s) in
+    let* batches =
+      List.fold_left
+        (fun acc part ->
+          let* acc = acc in
+          let* b = Delta.of_string part in
+          Ok (b :: acc))
+        (Ok []) parts
+    in
+    Ok (Array.of_list (List.rev batches))
+
+let repro_line ?(chaos = false) ~seed config =
+  Printf.sprintf
+    "check_runner --dynamic --seed %d --graph '%s' --workers %d --schedule '%s' \
+     --batches '%s'%s"
+    seed
+    (Graph_case.to_string config.spec)
+    config.workers
+    (Sweep.schedule_to_string config.schedule)
+    (batches_to_string config.batches)
+    (if chaos then " --chaos" else "")
+
+(* ---------------- random batch generation ---------------- *)
+
+(* Deletes and reweights target edges that exist at generation time, so a
+   batch sequence keeps mutating live structure instead of no-oping; the
+   tracked graph evolves batch over batch exactly as replay will. *)
+let gen_batch rng csr ~ops =
+  let n = Csr.num_vertices csr in
+  let random_existing () =
+    let m = Csr.num_edges csr in
+    if m = 0 then None
+    else begin
+      let i = Rng.int rng m in
+      let u = ref 0 in
+      let offsets = Csr.offsets csr in
+      while offsets.(!u + 1) <= i do
+        incr u
+      done;
+      Some (!u, Csr.edge_target csr i)
+    end
+  in
+  let insert () =
+    Delta.Insert { src = Rng.int rng n; dst = Rng.int rng n; weight = 1 + Rng.int rng 9 }
+  in
+  Array.init ops (fun _ ->
+      if n = 0 then invalid_arg "Dynamic.gen_batch: empty vertex universe"
+      else
+        match Rng.int rng 4 with
+        | 0 | 1 -> insert ()
+        | 2 -> (
+            match random_existing () with
+            | Some (src, dst) -> Delta.Delete { src; dst }
+            | None -> insert ())
+        | _ -> (
+            match random_existing () with
+            | Some (src, dst) ->
+                Delta.Reweight { src; dst; weight = 1 + Rng.int rng 9 }
+            | None -> insert ()))
+
+let gen_batches ~seed csr ~num_batches ~ops_per_batch =
+  let rng = Rng.create seed in
+  let cur = ref csr in
+  Array.init num_batches (fun _ ->
+      let b = gen_batch rng !cur ~ops:ops_per_batch in
+      cur := Delta.apply !cur b;
+      b)
+
+(* ---------------- one configuration ---------------- *)
+
+let first_diff a b =
+  let rec go i =
+    if i >= Array.length a then None
+    else if a.(i) <> b.(i) then Some i
+    else go (i + 1)
+  in
+  if Array.length a <> Array.length b then Some (-1) else go 0
+
+let diff_message what a b =
+  match first_diff a b with
+  | None -> None
+  | Some (-1) -> Some (Printf.sprintf "%s: length mismatch" what)
+  | Some i ->
+      Some (Printf.sprintf "%s: dist[%d] = %d vs %d" what i a.(i) b.(i))
+
+(* Replay [batches] from the initial graph; every step must agree across
+   incremental, from-scratch, the unordered incremental counterpart, and
+   the sequential oracle. Step 0 is the initial full run; batch [k]
+   (0-based) is judged as step [k + 1]. *)
+let run_config ~pool config =
+  match Schedule.validate config.schedule with
+  | Error msg -> Error (0, "invalid schedule: " ^ msg)
+  | Ok schedule -> (
+      let judge () =
+        let case = Graph_case.build config.spec in
+        let csr0 = Csr.of_edge_list case.Graph_case.el in
+        let source = 0 in
+        let handle0 = Handle.create ~version:0 csr0 in
+        let r0 =
+          Algorithms.Sssp_delta.run ~pool ~graph:csr0 ~handle:handle0 ~schedule
+            ~source ()
+        in
+        let bf0 = Algorithms.Bellman_ford.run ~pool ~graph:csr0 ~source () in
+        match Oracle.default.Oracle.sssp csr0 ~source r0.Algorithms.Sssp_delta.dist with
+        | Error msg -> Error (0, "initial run: " ^ msg)
+        | Ok () ->
+            let rec go step cur prev_dist prev_bf =
+              if step > Array.length config.batches then Ok ()
+              else
+                let batch = config.batches.(step - 1) in
+                match Delta.validate ~num_vertices:(Csr.num_vertices cur) batch with
+                | Error msg -> Error (step, "invalid batch: " ^ msg)
+                | Ok () -> (
+                    let next = Delta.apply cur batch in
+                    let handle = Handle.create ~version:step next in
+                    let inc =
+                      Algorithms.Sssp_delta.run_incremental ~pool ~old_graph:cur
+                        ~graph:next ~handle ~schedule ~source ~batch
+                        ~prev:prev_dist ()
+                    in
+                    let full =
+                      Algorithms.Sssp_delta.run ~pool ~graph:next ~handle
+                        ~schedule ~source ()
+                    in
+                    let bf =
+                      Algorithms.Bellman_ford.run_incremental ~pool
+                        ~old_graph:cur ~graph:next ~source ~batch ~prev:prev_bf ()
+                    in
+                    let inc_dist =
+                      inc.Algorithms.Sssp_delta.result.Algorithms.Sssp_delta.dist
+                    in
+                    match
+                      ( diff_message "incremental vs from-scratch" inc_dist
+                          full.Algorithms.Sssp_delta.dist,
+                        diff_message "incremental vs unordered-incremental"
+                          inc_dist bf.Algorithms.Bellman_ford.dist )
+                    with
+                    | Some msg, _ | None, Some msg -> Error (step, msg)
+                    | None, None -> (
+                        match Oracle.default.Oracle.sssp next ~source inc_dist with
+                        | Error msg -> Error (step, "oracle: " ^ msg)
+                        | Ok () ->
+                            go (step + 1) next inc_dist
+                              bf.Algorithms.Bellman_ford.dist))
+            in
+            go 1 csr0 r0.Algorithms.Sssp_delta.dist bf0.Algorithms.Bellman_ford.dist
+      in
+      match judge () with
+      | result -> result
+      | exception exn -> Error (0, "exception: " ^ Printexc.to_string exn))
+
+(* ---------------- shrinking ---------------- *)
+
+(* Minimize a failing replay: drop whole prefix/suffix batches greedily,
+   then ddmin the ops of what remains (all batches concatenated into the
+   candidate list positionally). Probe count bounded; each probe is a
+   full replay. *)
+let shrink ~pool config =
+  let probes = ref 0 in
+  let max_probes = 300 in
+  let still_fails batches =
+    incr probes;
+    !probes <= max_probes
+    && Result.is_error (run_config ~pool { config with batches })
+  in
+  (* Drop batches not needed for the failure, keeping replay order. *)
+  let drop_batches batches =
+    let n = Array.length batches in
+    let kept = ref (Array.to_list (Array.mapi (fun i b -> (i, b)) batches)) in
+    List.iter
+      (fun i ->
+        let candidate = List.filter (fun (j, _) -> j <> i) !kept in
+        if List.length candidate < List.length !kept then
+          let arr = Array.of_list (List.map snd candidate) in
+          if still_fails arr then kept := candidate)
+      (List.init n (fun i -> i));
+    Array.of_list (List.map snd !kept)
+  in
+  let rec ddmin (ops : Delta.op array) granularity wrap =
+    let len = Array.length ops in
+    if len <= 1 || granularity > len then ops
+    else begin
+      let chunk = (len + granularity - 1) / granularity in
+      let complements =
+        List.init granularity (fun i ->
+            let lo = i * chunk and hi = min len ((i + 1) * chunk) in
+            Array.append (Array.sub ops 0 lo) (Array.sub ops hi (len - hi)))
+      in
+      match List.find_opt (fun c -> still_fails (wrap c)) complements with
+      | Some smaller -> ddmin smaller (max 2 (granularity - 1)) wrap
+      | None ->
+          if granularity >= len then ops
+          else ddmin ops (min len (2 * granularity)) wrap
+    end
+  in
+  let batches = drop_batches config.batches in
+  (* Shrink each remaining batch's ops in place. *)
+  let batches = Array.copy batches in
+  Array.iteri
+    (fun i b ->
+      let wrap c =
+        let copy = Array.copy batches in
+        copy.(i) <- c;
+        copy
+      in
+      batches.(i) <- ddmin b 2 wrap)
+    batches;
+  if batches = config.batches then None else Some batches
+
+(* ---------------- the sweep ---------------- *)
+
+type failure = {
+  config : config;
+  step : int;
+  message : string;
+  repro : string;
+}
+
+type summary = {
+  configs_run : int;
+  failures : failure list;
+  elapsed_seconds : float;
+  budget_exhausted : bool;
+  race_findings : int;
+}
+
+let default_specs ~seed =
+  [
+    Graph_case.Random { seed; n = 48; m = 200; max_w = 12 };
+    Graph_case.Random { seed = seed + 1; n = 64; m = 120; max_w = 5 };
+    Graph_case.Dup_edges { seed = seed + 2; n = 24; m = 60; max_w = 9 };
+    Graph_case.Road { seed = seed + 3; rows = 5; cols = 6 };
+    Graph_case.Path 13;
+    Graph_case.Cycle 9;
+    Graph_case.Star 16;
+    Graph_case.Self_loops 8;
+  ]
+
+(* The dynamic schedule axes: every strategy × direction combination the
+   static sweep exercises, crossed with the incremental-threshold knob —
+   0 forces the full-recompute fallback (so fallback parity is itself
+   swept), 1 never falls back, and the default sits between. *)
+let schedules graph =
+  let thresholds = [ 0.0; Schedule.default.Schedule.incremental_threshold; 1.0 ] in
+  let deltas = List.sort_uniq compare [ 1; max 1 (Csr.max_weight graph) ] in
+  List.concat_map
+    (fun (strategy, traversal) ->
+      List.concat_map
+        (fun delta ->
+          List.map
+            (fun incremental_threshold ->
+              {
+                Schedule.default with
+                Schedule.strategy;
+                traversal;
+                delta;
+                incremental_threshold;
+              })
+            thresholds)
+        deltas)
+    [
+      (Schedule.Eager_with_fusion, Schedule.Sparse_push);
+      (Schedule.Eager_no_fusion, Schedule.Sparse_push);
+      (Schedule.Lazy, Schedule.Sparse_push);
+      (Schedule.Lazy, Schedule.Dense_pull);
+      (Schedule.Lazy, Schedule.Hybrid);
+    ]
+
+exception Stop
+
+let run ?specs ?(workers = [ 1; 2; 4 ]) ?(budget = 60.) ?(seed = 0)
+    ?(max_failures = 5) ?(num_batches = 3) ?(ops_per_batch = 6) ?(chaos = false)
+    ?(race = false) ?(log = fun _ -> ()) () =
+  let specs = match specs with Some s -> s | None -> default_specs ~seed in
+  let workers = List.sort_uniq compare workers in
+  if chaos then Parallel.Chaos.enable ~seed;
+  if race then begin
+    Parallel.Race.clear ();
+    Parallel.Race.enable ()
+  end;
+  let pools = List.map (fun w -> (w, Pool.create ~num_workers:w ())) workers in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun (_, p) -> Pool.shutdown p) pools;
+      if chaos then Parallel.Chaos.disable ();
+      if race then Parallel.Race.disable ())
+    (fun () ->
+      let start = Unix.gettimeofday () in
+      let elapsed () = Unix.gettimeofday () -. start in
+      let configs_run = ref 0 in
+      let failures = ref [] in
+      let budget_exhausted = ref false in
+      (try
+         List.iter
+           (fun spec ->
+             let case = Graph_case.build spec in
+             let csr0 = Csr.of_edge_list case.Graph_case.el in
+             let batches =
+               gen_batches ~seed:(seed + Hashtbl.hash (Graph_case.to_string spec))
+                 csr0 ~num_batches ~ops_per_batch
+             in
+             List.iter
+               (fun schedule ->
+                 List.iter
+                   (fun (w, pool) ->
+                     if elapsed () > budget then begin
+                       budget_exhausted := true;
+                       raise Stop
+                     end;
+                     incr configs_run;
+                     let config = { spec; schedule; workers = w; batches } in
+                     match run_config ~pool config with
+                     | Ok () -> ()
+                     | Error (step, message) ->
+                         log
+                           (Printf.sprintf "FAIL dynamic on %s step %d: %s"
+                              (Graph_case.to_string spec) step message);
+                         let config =
+                           match shrink ~pool config with
+                           | Some batches -> { config with batches }
+                           | None -> config
+                         in
+                         let repro = repro_line ~chaos ~seed config in
+                         log ("repro: " ^ repro);
+                         failures := { config; step; message; repro } :: !failures;
+                         if List.length !failures >= max_failures then raise Stop)
+                   pools)
+               (schedules csr0))
+           specs
+       with Stop -> ());
+      {
+        configs_run = !configs_run;
+        failures = List.rev !failures;
+        elapsed_seconds = elapsed ();
+        budget_exhausted = !budget_exhausted;
+        race_findings = (if race then Parallel.Race.num_findings () else 0);
+      })

@@ -73,12 +73,13 @@ let variant_to_flags v =
 
 let schedule_to_string (s : Schedule.t) =
   Printf.sprintf
-    "strategy=%s,delta=%d,threshold=%d,buckets=%d,traversal=%s,chunk=%d,sched=%s"
+    "strategy=%s,delta=%d,threshold=%d,buckets=%d,traversal=%s,chunk=%d,sched=%s,incr=%g"
     (Schedule.strategy_to_string s.Schedule.strategy)
     s.Schedule.delta s.Schedule.fusion_threshold s.Schedule.num_open_buckets
     (Schedule.traversal_to_string s.Schedule.traversal)
     s.Schedule.chunk_size
     (Schedule.sched_to_string s.Schedule.sched)
+    s.Schedule.incremental_threshold
 
 let ( let* ) = Result.bind
 
@@ -128,6 +129,12 @@ let schedule_of_string str =
         | "sched" ->
             let* sched = Schedule.sched_of_string v in
             Ok { s with Schedule.sched }
+        | "incr" -> (
+            match float_of_string_opt v with
+            | Some incremental_threshold ->
+                Ok { s with Schedule.incremental_threshold }
+            | None ->
+                Error (Printf.sprintf "schedule: %s is not a float: %S" key v))
         | _ -> Error (Printf.sprintf "schedule: unknown key %S" key))
       (Ok Schedule.default) fields
   in

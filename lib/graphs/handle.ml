@@ -11,30 +11,44 @@
 type t = {
   csr : Csr.t;
   kind : Layout.kind;
+  version : int;
   compressed : Csr_compressed.t Lazy.t;
   transpose_csr : Csr.t Lazy.t;
   transpose_compressed : Csr_compressed.t Lazy.t;
 }
 
-let create ?(kind = Layout.Plain) csr =
+let create ?(kind = Layout.Plain) ?(version = 0) csr =
   let transpose_csr = lazy (Csr.transpose csr) in
   {
     csr;
     kind;
+    version;
     compressed = lazy (Csr_compressed.of_csr csr);
     transpose_csr;
     transpose_compressed =
       lazy (Csr_compressed.of_csr (Lazy.force transpose_csr));
   }
 
-let of_edge_list ?kind el = create ?kind (Csr.of_edge_list el)
+let of_edge_list ?kind ?version el = create ?kind ?version (Csr.of_edge_list el)
 let csr t = t.csr
 let kind t = t.kind
+let version t = t.version
 let num_vertices t = Csr.num_vertices t.csr
 let num_edges t = Csr.num_edges t.csr
 let with_kind kind t = { t with kind }
 let compressed t = Lazy.force t.compressed
 let transpose_csr t = Lazy.force t.transpose_csr
+
+(* Force every lazy cell plus the CSR degree memo. Called by [Versioned]'s
+   compaction on a handle it has not yet published, so the forcing happens
+   on one thread and published handles are read-only thereafter. *)
+let prewarm t =
+  ignore (Lazy.force t.transpose_csr);
+  ignore (Csr.out_degrees_cached t.csr);
+  if t.kind = Layout.Compressed then begin
+    ignore (Lazy.force t.compressed);
+    ignore (Lazy.force t.transpose_compressed)
+  end
 
 let graph t =
   match t.kind with

@@ -13,15 +13,30 @@
 
 type t
 
-(** [create ?kind csr] wraps a CSR ([kind] defaults to [Plain]). *)
-val create : ?kind:Layout.kind -> Csr.t -> t
+(** [create ?kind ?version csr] wraps a CSR ([kind] defaults to [Plain],
+    [version] to [0]). The version tags which graph snapshot the handle's
+    caches belong to: every mutation commit mints a {e new} handle around
+    a fresh CSR, so the cached transpose/compressed views and the CSR's
+    memoized degree array can never outlive the graph they were derived
+    from (the stale-cache hazard). *)
+val create : ?kind:Layout.kind -> ?version:int -> Csr.t -> t
 
-val of_edge_list : ?kind:Layout.kind -> Edge_list.t -> t
+val of_edge_list : ?kind:Layout.kind -> ?version:int -> Edge_list.t -> t
 
 (** The plain CSR, always available without decoding. *)
 val csr : t -> Csr.t
 
 val kind : t -> Layout.kind
+
+(** The snapshot version this handle (and all its caches) was built from.
+    [0] for handles created outside {!Versioned}. *)
+val version : t -> int
+
+(** [prewarm t] eagerly forces the transpose (and, for [Compressed]-kind
+    handles, both compressed forms) plus the CSR degree memo. Only safe
+    while [t] is private to one thread — {!Versioned} compaction uses it
+    before publishing a handle. *)
+val prewarm : t -> unit
 val num_vertices : t -> int
 val num_edges : t -> int
 

@@ -1,0 +1,148 @@
+(* A mutable, versioned graph: an immutable CSR per version, an
+   append-only log of the delta batches between versions, and
+   refcounted snapshot pinning.
+
+   Every [commit] materializes the next version's plain CSR eagerly
+   (Delta.apply — one array copy plus the touched adjacency lists) and
+   mints a fresh Handle for it, so derived layouts (transpose,
+   compressed, degree memo) are version-scoped and rebuilt lazily on
+   first use. [compact] rebuilds them all eagerly on a handle that is
+   still private to the compacting thread, then swaps it in under the
+   lock only if no commit raced — in-flight readers keep their pinned
+   snapshots untouched.
+
+   Locking: one mutex guards the version table, the log, and the pin
+   counts. Handles themselves are never guarded — a published handle's
+   lazy cells are only forced from the single orchestrating/runner
+   thread (the same discipline Handle already documents), and the
+   compaction thread only forces cells of its unpublished handle. *)
+
+type view = {
+  v_handle : Handle.t;
+  mutable pins : int;
+}
+
+type t = {
+  kind : Layout.kind;
+  compact_every : int;
+  mutex : Mutex.t;
+  mutable latest_version : int;
+  views : (int, view) Hashtbl.t; (* version -> view; always holds latest *)
+  mutable log : (int * Delta.batch) list; (* ascending; batch producing that version *)
+  mutable ops_since_compaction : int;
+  mutable compactions : int;
+}
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let create ?(kind = Layout.Plain) ?(compact_every = 4096) csr =
+  if compact_every < 1 then invalid_arg "Versioned.create: compact_every must be >= 1";
+  let views = Hashtbl.create 8 in
+  Hashtbl.replace views 0 { v_handle = Handle.create ~kind ~version:0 csr; pins = 0 };
+  {
+    kind;
+    compact_every;
+    mutex = Mutex.create ();
+    latest_version = 0;
+    views;
+    log = [];
+    ops_since_compaction = 0;
+    compactions = 0;
+  }
+
+let latest_view_unlocked t = Hashtbl.find t.views t.latest_version
+let version t = locked t (fun () -> t.latest_version)
+let latest t = locked t (fun () -> (latest_view_unlocked t).v_handle)
+let num_vertices t = Handle.num_vertices (latest t)
+let kind t = t.kind
+let compactions t = locked t (fun () -> t.compactions)
+let ops_pending t = locked t (fun () -> t.ops_since_compaction)
+
+let commit t batch =
+  locked t (fun () ->
+      let cur = latest_view_unlocked t in
+      let new_csr = Delta.apply (Handle.csr cur.v_handle) batch in
+      let v = t.latest_version + 1 in
+      Hashtbl.replace t.views v
+        { v_handle = Handle.create ~kind:t.kind ~version:v new_csr; pins = 0 };
+      (* A superseded, unpinned version has no remaining readers. *)
+      if cur.pins = 0 then Hashtbl.remove t.views t.latest_version;
+      t.latest_version <- v;
+      t.log <- t.log @ [ (v, batch) ];
+      t.ops_since_compaction <- t.ops_since_compaction + Delta.size batch;
+      v)
+
+let pin t =
+  locked t (fun () ->
+      let view = latest_view_unlocked t in
+      view.pins <- view.pins + 1;
+      view.v_handle)
+
+let pin_version t v =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.views v with
+      | None -> None
+      | Some view ->
+          view.pins <- view.pins + 1;
+          Some view.v_handle)
+
+let release t handle =
+  locked t (fun () ->
+      let v = Handle.version handle in
+      match Hashtbl.find_opt t.views v with
+      | None -> invalid_arg "Versioned.release: unknown snapshot version"
+      | Some view ->
+          if view.pins <= 0 then invalid_arg "Versioned.release: snapshot not pinned";
+          view.pins <- view.pins - 1;
+          if view.pins = 0 && v <> t.latest_version then Hashtbl.remove t.views v)
+
+let pinned_versions t =
+  locked t (fun () ->
+      Hashtbl.fold (fun v view acc -> if view.pins > 0 then v :: acc else acc) t.views []
+      |> List.sort compare)
+
+let batches_since t ~version =
+  locked t (fun () ->
+      if version = t.latest_version then Some [||]
+      else
+        let since = List.filter (fun (v, _) -> v > version) t.log in
+        (* The log must cover every step from [version + 1] up to latest —
+           compaction may have truncated older entries. *)
+        let versions = List.map fst since in
+        let expected = List.init (t.latest_version - version) (fun i -> version + 1 + i) in
+        if versions = expected && version <= t.latest_version then
+          Some (Array.of_list (List.map snd since))
+        else None)
+
+let should_compact t = locked t (fun () -> t.ops_since_compaction >= t.compact_every)
+
+let compact t =
+  let v, csr =
+    locked t (fun () ->
+        let view = latest_view_unlocked t in
+        (t.latest_version, Handle.csr view.v_handle))
+  in
+  (* Build every derived layout outside the lock, on a handle nobody else
+     can see yet. *)
+  let fresh = Handle.create ~kind:t.kind ~version:v csr in
+  Handle.prewarm fresh;
+  locked t (fun () ->
+      if t.latest_version <> v then false
+      else begin
+        let old = Hashtbl.find t.views v in
+        (* Readers pinned on the old handle keep it (same version, same
+           CSR); new pins get the prewarmed one. Pin counts live on the
+           view, so releases through either handle balance. *)
+        Hashtbl.replace t.views v { v_handle = fresh; pins = old.pins };
+        let oldest_pinned =
+          Hashtbl.fold
+            (fun pv view acc -> if view.pins > 0 then min pv acc else acc)
+            t.views t.latest_version
+        in
+        t.log <- List.filter (fun (lv, _) -> lv > oldest_pinned) t.log;
+        t.ops_since_compaction <- 0;
+        t.compactions <- t.compactions + 1;
+        true
+      end)

@@ -1,0 +1,81 @@
+(** A versioned graph: batched mutations over an immutable CSR with
+    snapshot-isolated readers.
+
+    Each {!commit} applies a {!Delta.batch} and mints a monotonically
+    increasing version whose plain CSR is materialized immediately;
+    derived layouts (transpose, compressed, the degree memo) stay lazy
+    per version via {!Handle}. Readers {!pin} the snapshot they run
+    against — a pinned version survives later commits and compactions
+    untouched until its last reader {!release}s it, which is what gives
+    in-flight queries snapshot isolation.
+
+    {!compact} rebuilds every derived layout of the latest version
+    eagerly on the calling thread (intended: a background thread), then
+    swaps the prewarmed handle in only if no commit raced — so queries
+    after a compaction find all caches hot without ever observing a
+    half-built layout.
+
+    Thread-safety: all operations here are mutex-guarded and may be
+    called from any thread. Forcing a {e published} handle's lazy cells
+    remains single-threaded by convention (the orchestrating/runner
+    thread), exactly as {!Handle} documents. *)
+
+type t
+
+(** [create ?kind ?compact_every csr] starts at version 0.
+    [compact_every] (default 4096) is the op count between compactions
+    that {!should_compact} reports against. *)
+val create : ?kind:Layout.kind -> ?compact_every:int -> Csr.t -> t
+
+(** The latest committed version (0 after [create]). *)
+val version : t -> int
+
+(** The latest version's handle, without pinning it. Only safe to use
+    ephemerally on the mutating thread; readers that outlive a commit
+    must {!pin}. *)
+val latest : t -> Handle.t
+
+val num_vertices : t -> int
+val kind : t -> Layout.kind
+
+(** [commit t batch] applies [batch] to the latest version and returns
+    the new version number. @raise Invalid_argument on an invalid batch. *)
+val commit : t -> Delta.batch -> int
+
+(** [pin t] pins the latest snapshot and returns its handle; pair with
+    {!release}. The handle's {!Handle.version} names the pinned version. *)
+val pin : t -> Handle.t
+
+(** [pin_version t v] pins a specific live version ([None] when [v] has
+    already been retired — i.e. superseded with no remaining readers). *)
+val pin_version : t -> int -> Handle.t option
+
+(** [release t handle] drops one pin on [handle]'s version. A superseded
+    version is freed when its last pin drops.
+    @raise Invalid_argument when the version is unknown or not pinned. *)
+val release : t -> Handle.t -> unit
+
+(** Versions currently pinned by at least one reader, ascending. *)
+val pinned_versions : t -> int list
+
+(** [batches_since t ~version] is the delta batches that lead from
+    [version] to the latest version, in commit order — [Some [||]] when
+    already latest, [None] when compaction has truncated the log short
+    of [version] (callers then fall back to full recompute). *)
+val batches_since : t -> version:int -> Delta.batch array option
+
+(** Whether the ops committed since the last compaction reach the
+    [compact_every] threshold. *)
+val should_compact : t -> bool
+
+(** [compact t] prewarms all derived layouts of the latest version
+    outside the lock and swaps them in; returns [false] when a commit
+    raced the build (caller may retry). Also truncates the delta log
+    below the oldest pinned version and resets the op counter. *)
+val compact : t -> bool
+
+(** Number of completed compactions. *)
+val compactions : t -> int
+
+(** Ops committed since the last compaction. *)
+val ops_pending : t -> int

@@ -79,7 +79,14 @@ let run ~pool ~graph ?transpose ?handle ~schedule ~pq ~edge_fn
     | Schedule.Hybrid -> Edge_map.Hybrid
   in
   let workers = Pool.num_workers pool in
-  let scratch = Scratch.create ~pool ~graph in
+  (* Scratch is shared per (pool, graph, version): repeated runs over one
+     snapshot — a bench loop, the checker, incremental repairs — skip the
+     per-run allocation. Runs on one pool are serialized, so sharing is
+     race-free; a new graph version is a new CSR and misses the cache. *)
+  let scratch =
+    let version = match handle with Some h -> Graphs.Handle.version h | None -> 0 in
+    Scratch.shared ~pool ~graph ~version
+  in
   (* Layout dispatch happens here, once per run: a handle carrying a
      non-plain layout routes sweeps through the kernel instance
      specialized for it; everything else keeps the plain-CSR entry point.
@@ -235,3 +242,19 @@ let run ~pool ~graph ?transpose ?handle ~schedule ~pq ~edge_fn
     bump "engine.pull_rounds" stats.Stats.pull_rounds
   end;
   stats
+
+(* Incremental entry point: identical round loop, but the priority
+   structures start from caller-provided seeds instead of a canonical
+   initial frontier. The seam is deliberately thin — all the planning
+   (dirty closure, boundary seeds, fallback decision) lives with the
+   algorithm (e.g. [Algorithms.Sssp_delta.run_incremental]); the engine
+   only guarantees the seeds are applied through the priority-queue
+   operators on the orchestrating thread before the first dequeue, so
+   both eager bins and lazy buffers observe them exactly like a round's
+   worth of updates. *)
+let run_incremental ~pool ~graph ?transpose ?handle ~schedule ~pq ~edge_fn ~seed
+    ?stop ?deadline ?on_round ?trace () =
+  let ctx = { Pq.tid = 0; use_atomics = true } in
+  seed ctx;
+  run ~pool ~graph ?transpose ?handle ~schedule ~pq ~edge_fn ?stop ?deadline
+    ?on_round ?trace ()

@@ -73,3 +73,31 @@ val run :
   ?trace:Trace.t ->
   unit ->
   Stats.t
+
+(** [run_incremental] is {!run} with a caller-seeded initial frontier:
+    the incremental-recompute entry point. [seed] is invoked once, on the
+    orchestrating thread, before the first round, with a context valid
+    for the priority-queue update operators — apply one
+    [update_priority_min] (or [_max]) per affected-set candidate and the
+    engine repairs outward from exactly that frontier. The queue should
+    be created with [initial:No_initial]; callers reset invalidated
+    entries of the priority vector {e before} seeding so every candidate
+    registers as a strict improvement. Planning (dirty closure, boundary
+    seeds, full-recompute fallback via [Schedule.incremental_threshold])
+    lives with the algorithm layer — see
+    [Algorithms.Sssp_delta.run_incremental]. *)
+val run_incremental :
+  pool:Parallel.Pool.t ->
+  graph:Graphs.Csr.t ->
+  ?transpose:Graphs.Csr.t ->
+  ?handle:Graphs.Handle.t ->
+  schedule:Schedule.t ->
+  pq:Priority_queue.t ->
+  edge_fn:edge_fn ->
+  seed:(Priority_queue.ctx -> unit) ->
+  ?stop:(unit -> bool) ->
+  ?deadline:Deadline.t ->
+  ?on_round:(Stats.t -> unit) ->
+  ?trace:Trace.t ->
+  unit ->
+  Stats.t

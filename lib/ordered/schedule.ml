@@ -17,6 +17,7 @@ type t = {
   traversal : traversal;
   chunk_size : int;
   sched : Parallel.Pool.sched option;
+  incremental_threshold : float;
 }
 
 let default =
@@ -28,6 +29,7 @@ let default =
     traversal = Sparse_push;
     chunk_size = 64;
     sched = None;
+    incremental_threshold = 0.25;
   }
 
 let is_eager t =
@@ -40,6 +42,8 @@ let validate t =
   else if t.fusion_threshold < 1 then Error "fusion threshold must be >= 1"
   else if t.num_open_buckets < 1 then Error "num_open_buckets must be >= 1"
   else if t.chunk_size < 1 then Error "chunk_size must be >= 1"
+  else if t.incremental_threshold < 0.0 || t.incremental_threshold > 1.0 then
+    Error "incremental_threshold must be in [0, 1]"
   else if is_eager t && t.traversal <> Sparse_push then
     Error "DensePull/hybrid traversal requires a lazy bucket-update strategy"
   else Ok t

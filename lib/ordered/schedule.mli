@@ -40,6 +40,13 @@ type t = {
           ([Dynamic] for push, [Guided] for pull); [Some _] forces one policy
           in both directions. Orthogonal to correctness — enumerated by the
           differential sweep precisely because results must not depend on it. *)
+  incremental_threshold : float;
+      (** Incremental-recompute fallback knob: when a delta batch's
+          affected set (dirty vertices + boundary seeds) exceeds this
+          fraction of the vertex count, [run_incremental] consumers fall
+          back to a full recompute. [0] forces full recompute always;
+          [1] never falls back. Orthogonal to correctness — swept by the
+          differential checker like the other axes. *)
 }
 
 (** [default] is eager-with-fusion, [delta = 1], threshold 1000, 128 open
@@ -48,8 +55,9 @@ type t = {
 val default : t
 
 (** [validate t] rejects inconsistent combinations: non-positive parameters,
-    [Dense_pull] with an eager strategy (eager bucket updates require push
-    ownership of the local bins). *)
+    an [incremental_threshold] outside [0, 1], [Dense_pull] with an eager
+    strategy (eager bucket updates require push ownership of the local
+    bins). *)
 val validate : t -> (t, string) result
 
 (** [strategy_of_string] / [strategy_to_string] use the scheduling-language

@@ -8,7 +8,9 @@ let null = Bucketing.Bucket_order.null_priority
 
 type t = {
   pool : Parallel.Pool.t;
-  handle : Handle.t;
+  mutable handle : Handle.t;
+      (* the snapshot the distance vectors describe; [refresh] advances
+         it together with the vectors after each mutation commit *)
   schedule : Ordered.Schedule.t;
   total : int;
   vertices : int array;  (* landmark vertex per slot, filled as warmed *)
@@ -16,6 +18,8 @@ type t = {
   bwd : int array array;  (* bwd.(i).(v) = d(v, L_i) *)
   mutable warmed : int;
   warmed_counter : Metrics.counter;
+  refreshed_counter : Metrics.counter;
+  kept_counter : Metrics.counter;
 }
 
 let create ~pool ~handle ~schedule ~landmarks () =
@@ -32,6 +36,8 @@ let create ~pool ~handle ~schedule ~landmarks () =
     bwd = Array.make (max 1 k) [||];
     warmed = 0;
     warmed_counter = Metrics.counter Metrics.default "service.alt.landmarks_warmed";
+    refreshed_counter = Metrics.counter Metrics.default "dynamic.alt.refreshed";
+    kept_counter = Metrics.counter Metrics.default "dynamic.alt.kept";
   }
 
 let total t = t.total
@@ -93,8 +99,11 @@ let warm_one t =
             ~source:l ()
         in
         let bwd =
+          (* The transpose of the transpose is the forward graph: passing
+             it keeps pull-direction schedules viable for the backward
+             run. *)
           Algorithms.Sssp_delta.run ~pool:t.pool ~graph:transpose
-            ~schedule:t.schedule ~source:l ()
+            ~transpose:graph ~schedule:t.schedule ~source:l ()
         in
         t.vertices.(t.warmed) <- l;
         t.fwd.(t.warmed) <- fwd.Algorithms.Sssp_delta.dist;
@@ -110,6 +119,48 @@ let warm_all t =
     incr added
   done;
   !added
+
+(* After a mutation commit: repair every warm landmark's two vectors with
+   the incremental engine instead of re-running 2k full SSSPs. The
+   forward vector repairs against [batch] on the forward graphs; the
+   backward vector repairs against the reversed batch on the two
+   transposes (kept in sync by construction). A landmark whose affected
+   set was empty on both sides kept its vectors bit-for-bit — it is
+   counted [kept], not [refreshed]. *)
+let refresh t ~old_handle ~handle ~batch =
+  t.handle <- handle;
+  if t.warmed = 0 || Array.length batch = 0 then (0, 0)
+  else
+    Span.with_ "service.alt.refresh" (fun () ->
+        let old_graph = Handle.csr old_handle in
+        let graph = Handle.csr handle in
+        let old_transpose = Handle.transpose_csr old_handle in
+        let transpose = Handle.transpose_csr handle in
+        let rev = Graphs.Delta.reverse batch in
+        let refreshed = ref 0 and kept = ref 0 in
+        for i = 0 to t.warmed - 1 do
+          let l = t.vertices.(i) in
+          let fwd =
+            Algorithms.Sssp_delta.run_incremental ~pool:t.pool ~old_graph ~graph
+              ~handle ~schedule:t.schedule ~source:l ~batch ~prev:t.fwd.(i) ()
+          in
+          let bwd =
+            Algorithms.Sssp_delta.run_incremental ~pool:t.pool
+              ~old_graph:old_transpose ~graph:transpose ~transpose:graph
+              ~schedule:t.schedule ~source:l ~batch:rev ~prev:t.bwd.(i) ()
+          in
+          t.fwd.(i) <- fwd.Algorithms.Sssp_delta.result.Algorithms.Sssp_delta.dist;
+          t.bwd.(i) <- bwd.Algorithms.Sssp_delta.result.Algorithms.Sssp_delta.dist;
+          if
+            fwd.Algorithms.Sssp_delta.affected > 0
+            || bwd.Algorithms.Sssp_delta.affected > 0
+          then incr refreshed
+          else incr kept
+        done;
+        if !refreshed > 0 then
+          Metrics.incr t.refreshed_counter ~tid:0 ~by:!refreshed ();
+        if !kept > 0 then Metrics.incr t.kept_counter ~tid:0 ~by:!kept ();
+        (!refreshed, !kept))
 
 let heuristic t ~target =
   if t.warmed = 0 then None

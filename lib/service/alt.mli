@@ -19,9 +19,10 @@
     landmarks already warmed — the standard heuristic that pushes
     landmarks to the graph's periphery where their bounds are tight.
 
-    The cache is valid for the handle's lifetime: the graph substrate is
-    immutable (invalidation is the streaming-graphs roadmap item; see
-    docs/SERVICE.md §4.4). *)
+    Each graph snapshot is immutable, so the cache is valid until the
+    next mutation commit; {!refresh} then repairs the warm vectors
+    incrementally — only the landmarks whose affected set is non-empty
+    pay for recompute (docs/SERVICE.md §4.4). *)
 
 type t
 
@@ -50,6 +51,23 @@ val warm_one : t -> bool
 (** [warm_all t] warms every remaining landmark; returns how many it
     added. *)
 val warm_all : t -> int
+
+(** [refresh t ~old_handle ~handle ~batch] re-points the cache at the
+    new snapshot [handle] (= [old_handle] after [batch]) and repairs
+    every warm landmark's forward/backward vectors with
+    {!Algorithms.Sssp_delta.run_incremental} — the backward side runs
+    the reversed batch on the two transposes. Returns
+    [(refreshed, kept)]: landmarks whose vectors changed vs. landmarks
+    the affected-set plan proved untouched. Emits the
+    [service.alt.refresh] span and the [dynamic.alt.refreshed]/
+    [dynamic.alt.kept] counters. Consumer thread only (forces lazy
+    transposes). *)
+val refresh :
+  t ->
+  old_handle:Graphs.Handle.t ->
+  handle:Graphs.Handle.t ->
+  batch:Graphs.Delta.batch ->
+  int * int
 
 (** [heuristic t ~target] is the admissible lower-bound function for
     [target], or [None] while no landmark is warm (callers fall back to

@@ -17,6 +17,10 @@ type t = {
   symmetric : bool;
       (* whether the load was symmetrized (`serve --symmetric`), so
          repro lines replay the same graph *)
+  compact_ops : int;
+      (* mutation ops between background compactions of the versioned
+         graph (rebuilds every derived layout hot); 0 disables
+         compaction *)
 }
 
 let default =
@@ -29,4 +33,5 @@ let default =
     slow_query_ms = 0.;
     graph_file = None;
     symmetric = false;
+    compact_ops = 4096;
   }

@@ -2,6 +2,8 @@ module Pool = Parallel.Pool
 module Atomic_array = Parallel.Atomic_array
 module Csr = Graphs.Csr
 module Handle = Graphs.Handle
+module Versioned = Graphs.Versioned
+module Delta = Graphs.Delta
 module Edge_list = Graphs.Edge_list
 module Bucket_order = Bucketing.Bucket_order
 module Pq = Ordered.Priority_queue
@@ -29,18 +31,29 @@ type item = {
 
 type t = {
   pool : Pool.t;
-  handle : Handle.t;
+  versioned : Versioned.t;
+      (* The graph behind every query: mutations commit new versions,
+         query groups pin the snapshot they run against. *)
   coords : Graphs.Coords.t option;
   config : Config.t;
   queue : item Request_queue.t;
   alt_cache : Alt.t;
-  mutable coreness : int array option;
-      (* Local k-core answers are lookups into one global decomposition:
-         computed by the first kcore batch, cached for the graph's
-         (immutable) lifetime. *)
-  kcore_handle : Handle.t Lazy.t;
+  mutable coreness : (int * int array) option;
+      (* Local k-core answers are lookups into one global decomposition,
+         keyed by the version it was computed on — a mutation commit
+         retires it by key, never by an explicit invalidation call (the
+         stale-cache fix). *)
+  mutable kcore_handle : (int * Handle.t) option;
       (* The peel requires a symmetric graph; service graphs need not
-         be. One symmetrized view, built on first kcore query. *)
+         be. One symmetrized view per version, built on first kcore
+         query after each commit. *)
+  cancelled : (int, float) Hashtbl.t;
+      (* request ids a [cancel] op targeted, stamped with registration
+         time; consumed when the target resolves, swept when stale *)
+  cancel_mutex : Mutex.t;
+  mutable compactor : Thread.t option;
+      (* the background compaction thread, if one was spawned; joined
+         before the next spawn and at drain_shutdown *)
   shutdown : bool Atomic.t;
   trace_counter : int Atomic.t;
       (* query/batch trace ids; one sequence so a batch id never
@@ -64,9 +77,16 @@ type t = {
   m_slow : Metrics.counter;
   m_subs : Metrics.counter;
   m_sub_pushes : Metrics.counter;
+  m_cancelled : Metrics.counter;
+  m_cancel_requests : Metrics.counter;
+  m_commits : Metrics.counter;
+  m_commit_ops : Metrics.counter;
+  m_compactions : Metrics.counter;
   h_queue_wait : Metrics.histogram;
   h_batch_run : Metrics.histogram;
   h_request : Metrics.histogram;
+  h_commit : Metrics.histogram;
+  h_compaction : Metrics.histogram;
   depth_track : Tracer.label;
   query_track : Tracer.label;
 }
@@ -77,21 +97,27 @@ let create ~pool ~handle ?coords ~config () =
       invalid_arg "Core.create: coordinates do not match the graph"
   | _ -> ());
   let reg = Metrics.default in
+  let versioned =
+    Versioned.create ~kind:(Handle.kind handle)
+      ~compact_every:
+        (if config.Config.compact_ops > 0 then config.Config.compact_ops
+         else max_int)
+      (Handle.csr handle)
+  in
   {
     pool;
-    handle;
+    versioned;
     coords;
     config;
     queue = Request_queue.create ~capacity:config.Config.queue_capacity ();
     alt_cache =
-      Alt.create ~pool ~handle ~schedule:config.Config.schedule
-        ~landmarks:config.Config.landmarks ();
+      Alt.create ~pool ~handle:(Versioned.latest versioned)
+        ~schedule:config.Config.schedule ~landmarks:config.Config.landmarks ();
     coreness = None;
-    kcore_handle =
-      lazy
-        (Handle.create
-           (Csr.of_edge_list
-              (Edge_list.symmetrized (Csr.to_edge_list (Handle.csr handle)))));
+    kcore_handle = None;
+    cancelled = Hashtbl.create 16;
+    cancel_mutex = Mutex.create ();
+    compactor = None;
     shutdown = Atomic.make false;
     trace_counter = Atomic.make 1;
     subscribers = [];
@@ -111,17 +137,60 @@ let create ~pool ~handle ?coords ~config () =
     m_slow = Metrics.counter reg "service.slow_queries";
     m_subs = Metrics.counter reg "service.subscriptions";
     m_sub_pushes = Metrics.counter reg "service.subscribe.pushes";
+    m_cancelled = Metrics.counter reg "service.replies.cancelled";
+    m_cancel_requests = Metrics.counter reg "service.cancel_requests";
+    m_commits = Metrics.counter reg "dynamic.commits";
+    m_commit_ops = Metrics.counter reg "dynamic.ops_applied";
+    m_compactions = Metrics.counter reg "dynamic.compactions";
     h_queue_wait = Metrics.histogram reg "service.queue_wait";
     h_batch_run = Metrics.histogram reg "service.batch_run";
     h_request = Metrics.histogram reg "service.request";
+    h_commit = Metrics.histogram reg "dynamic.commit";
+    h_compaction = Metrics.histogram reg "dynamic.compaction";
     depth_track = Tracer.label "service.queue_depth";
     query_track = Tracer.label "service.query";
   }
 
 let config t = t.config
 let alt t = t.alt_cache
+let versioned t = t.versioned
+let version t = Versioned.version t.versioned
 let pending t = Request_queue.length t.queue
 let shutdown_requested t = Atomic.get t.shutdown
+
+(* Pin the latest snapshot for the duration of one group run: commits
+   and background compactions that land mid-run cannot retire (or
+   half-rebuild) the graph this group reads — snapshot isolation. *)
+let with_snapshot t f =
+  let snapshot = Versioned.pin t.versioned in
+  Fun.protect
+    ~finally:(fun () -> Versioned.release t.versioned snapshot)
+    (fun () -> f snapshot)
+
+(* Consume a pending cancellation for request id [id]. One [cancel]
+   resolves at most one query: the entry is removed on first match. *)
+let is_cancelled t id =
+  Mutex.lock t.cancel_mutex;
+  let hit = Hashtbl.mem t.cancelled id in
+  if hit then Hashtbl.remove t.cancelled id;
+  Mutex.unlock t.cancel_mutex;
+  hit
+
+(* Cancellations whose target already resolved (or never existed) would
+   otherwise pin their table entry forever; sweep the stale ones once
+   the table is non-trivial. *)
+let sweep_cancelled t =
+  Mutex.lock t.cancel_mutex;
+  if Hashtbl.length t.cancelled > 64 then begin
+    let cutoff = Unix.gettimeofday () -. 60. in
+    let stale =
+      Hashtbl.fold
+        (fun id at acc -> if at < cutoff then id :: acc else acc)
+        t.cancelled []
+    in
+    List.iter (Hashtbl.remove t.cancelled) stale
+  end;
+  Mutex.unlock t.cancel_mutex
 
 let record_depth t =
   match Tracer.current () with
@@ -134,16 +203,18 @@ let finish t item resp =
   (match resp.Protocol.status with
   | Protocol.Ok -> Metrics.incr t.m_ok ~tid:0 ()
   | Protocol.Partial -> Metrics.incr t.m_partial ~tid:0 ()
+  | Protocol.Cancelled -> Metrics.incr t.m_cancelled ~tid:0 ()
   | Protocol.Rejected | Protocol.Error -> Metrics.incr t.m_error ~tid:0 ());
   Metrics.observe t.h_request (Unix.gettimeofday () -. item.enqueued_at);
   item.reply resp
 
-let mk_meta ?(alt_assisted = false) ~width ~rounds item =
+let mk_meta ?(alt_assisted = false) ?version ~width ~rounds item =
   {
     Protocol.batch_width = width;
     rounds;
     wall_ms = (Unix.gettimeofday () -. item.enqueued_at) *. 1000.;
     alt_assisted;
+    version;
   }
 
 let next_trace t = Atomic.fetch_and_add t.trace_counter 1
@@ -189,7 +260,7 @@ let repro_of t item =
    the engine's live totals when this member's reply resolved, which
    for a coalesced batch attributes shared work per member. *)
 let log_query t item (resp : Protocol.response) ~batch_trace ~width ~rounds
-    ~edges ~queue_wait_ms ~alt_assisted =
+    ~edges ~queue_wait_ms ~alt_assisted ~version =
   let deadline_missed = resp.Protocol.status = Protocol.Partial in
   let wall_ms = (Unix.gettimeofday () -. item.enqueued_at) *. 1000. in
   let slow_ms = t.config.Config.slow_query_ms in
@@ -240,6 +311,7 @@ let log_query t item (resp : Protocol.response) ~batch_trace ~width ~rounds
           ("schedule", Json.String (schedule_string t));
           ("workers", Json.Int (Pool.num_workers t.pool));
           ("alt_assisted", Json.Bool alt_assisted);
+          ("version", Json.Int version);
         ]
       @
       match repro_of t item with
@@ -251,13 +323,13 @@ let log_query t item (resp : Protocol.response) ~batch_trace ~width ~rounds
    Closes the query's async trace slice, replies through [finish], and
    emits the attribution record. *)
 let finish_query t item resp ~batch_trace ~width ~rounds ~edges ~queue_wait_ms
-    ~alt_assisted =
+    ~alt_assisted ~version =
   (match Tracer.current () with
   | Some tr -> Tracer.async_end tr ~tid:0 ~id:item.trace t.query_track
   | None -> ());
   finish t item resp;
   log_query t item resp ~batch_trace ~width ~rounds ~edges ~queue_wait_ms
-    ~alt_assisted
+    ~alt_assisted ~version
 
 (* Open one async slice per member and scope the tracer's ambient query
    context to the batch for the duration of [f]: every engine/traverse/
@@ -285,7 +357,7 @@ let deadline_of t req =
       else None
 
 let validate t (req : Protocol.request) =
-  let n = Handle.num_vertices t.handle in
+  let n = Versioned.num_vertices t.versioned in
   let range what v =
     if v < 0 || v >= n then
       Some (Printf.sprintf "%s %d out of range [0, %d)" what v n)
@@ -306,8 +378,35 @@ let validate t (req : Protocol.request) =
       else if updates < 0 || updates > 100_000 then
         Some "updates out of range [0, 100000]"
       else None
+  | Protocol.Mutate { ops } -> (
+      match Delta.validate ~num_vertices:n ops with
+      | Result.Ok () -> None
+      | Result.Error msg -> Some msg)
+  | Protocol.Cancel { query } ->
+      if query < 0 then Some "query must be a non-negative request id"
+      else None
   | Protocol.Warm_alt | Protocol.Stats | Protocol.Ping | Protocol.Shutdown ->
       None
+
+let enqueue t req ~reply =
+  let item =
+    {
+      req;
+      reply;
+      enqueued_at = Unix.gettimeofday ();
+      deadline = deadline_of t req;
+      trace = next_trace t;
+    }
+  in
+  if Request_queue.try_push t.queue item then record_depth t
+  else begin
+    Metrics.incr t.m_rejected ~tid:0 ();
+    Metrics.incr t.m_error ~tid:0 ();
+    reply
+      (Protocol.rejected ~id:req.Protocol.id
+         (Printf.sprintf "queue full (capacity %d)"
+            (Request_queue.capacity t.queue)))
+  end
 
 let submit t req ~reply =
   Metrics.incr t.m_requests ~tid:0 ();
@@ -315,25 +414,27 @@ let submit t req ~reply =
   | Some msg ->
       Metrics.incr t.m_error ~tid:0 ();
       reply (Protocol.error ~id:req.Protocol.id msg)
-  | None ->
-      let item =
-        {
-          req;
-          reply;
-          enqueued_at = Unix.gettimeofday ();
-          deadline = deadline_of t req;
-          trace = next_trace t;
-        }
-      in
-      if Request_queue.try_push t.queue item then record_depth t
-      else begin
-        Metrics.incr t.m_rejected ~tid:0 ();
-        Metrics.incr t.m_error ~tid:0 ();
-        reply
-          (Protocol.rejected ~id:req.Protocol.id
-             (Printf.sprintf "queue full (capacity %d)"
-                (Request_queue.capacity t.queue)))
-      end
+  | None -> (
+      match req.Protocol.op with
+      | Protocol.Cancel { query } ->
+          (* Never queued: a cancellation racing the batcher must be
+             visible while its target runs, not after. Registered here on
+             the submitting thread; the batcher consumes it at the next
+             round boundary (in-flight) or when it reaches the queued
+             target. *)
+          Mutex.lock t.cancel_mutex;
+          Hashtbl.replace t.cancelled query (Unix.gettimeofday ());
+          Mutex.unlock t.cancel_mutex;
+          Metrics.incr t.m_cancel_requests ~tid:0 ();
+          Metrics.incr t.m_ok ~tid:0 ();
+          reply
+            (Protocol.ok ~id:req.Protocol.id
+               (Json.Obj
+                  [
+                    ("cancelling", Json.Int query);
+                    ("registered", Json.Bool true);
+                  ]))
+      | _ -> enqueue t req ~reply)
 
 (* ------------------------------------------------------------------ *)
 (* Batching: group requests that can share one engine run.             *)
@@ -360,8 +461,14 @@ let group_items items =
     | Protocol.Astar { source; target } -> K_astar (source, target)
     | Protocol.Widest { source; _ } -> K_widest source
     | Protocol.Kcore _ -> K_kcore
-    | Protocol.Subscribe _ | Protocol.Warm_alt | Protocol.Stats
-    | Protocol.Ping | Protocol.Shutdown ->
+    | Protocol.Mutate _ | Protocol.Cancel _ | Protocol.Subscribe _
+    | Protocol.Warm_alt | Protocol.Stats | Protocol.Ping | Protocol.Shutdown
+      ->
+        (* Mutations never coalesce and keep their first-appearance
+           position among the cycle's groups; a query coalesced into an
+           earlier group may run before a mutate that preceded it on the
+           wire — its meta [version] names the snapshot it actually
+           read. *)
         incr counter;
         K_admin !counter
   in
@@ -412,8 +519,10 @@ let run_deadline members =
    [finished_vertex] holds for its target, partial the moment its own
    deadline expires. [value_of] reads the member's current answer,
    [done_ tgt] decides finalization. *)
-let run_point_group t members ~pq ~dist_ready ~value_json ~edge_fn ~graph =
+let run_point_group t members ~snapshot ~pq ~dist_ready ~value_json ~edge_fn
+    ~graph =
   let width = List.length members in
+  let version = Handle.version snapshot in
   let batch_trace = next_trace t in
   Metrics.incr t.m_batches ~tid:0 ();
   Metrics.incr t.m_batched_queries ~tid:0 ~by:width ();
@@ -441,16 +550,26 @@ let run_point_group t members ~pq ~dist_ready ~value_json ~edge_fn ~graph =
     finish_query t m resp ~batch_trace ~width ~rounds:!live_rounds
       ~edges:!live_edges
       ~queue_wait_ms:((start -. m.enqueued_at) *. 1000.)
-      ~alt_assisted:false
+      ~alt_assisted:false ~version
   in
   let resolve ~final =
     pending :=
       List.filter
         (fun (m, tgt) ->
-          if final || dist_ready tgt then begin
+          if is_cancelled t m.req.Protocol.id then begin
+            (* A cancel raced in: the reply carries whatever monotone
+               bound the run has reached, exactly like a deadline miss
+               but with its own status. *)
+            answer m
+              (Protocol.cancelled
+                 ~meta:(mk_meta ~version ~width ~rounds:!rounds m)
+                 ~id:m.req.Protocol.id (value_json tgt));
+            false
+          end
+          else if final || dist_ready tgt then begin
             answer m
               (Protocol.ok
-                 ~meta:(mk_meta ~width ~rounds:!rounds m)
+                 ~meta:(mk_meta ~version ~width ~rounds:!rounds m)
                  ~id:m.req.Protocol.id (value_json tgt));
             false
           end
@@ -460,7 +579,7 @@ let run_point_group t members ~pq ~dist_ready ~value_json ~edge_fn ~graph =
                 Metrics.incr t.m_deadline_miss ~tid:0 ();
                 answer m
                   (Protocol.partial
-                     ~meta:(mk_meta ~width ~rounds:!rounds m)
+                     ~meta:(mk_meta ~version ~width ~rounds:!rounds m)
                      ~id:m.req.Protocol.id (value_json tgt));
                 false
             | _ -> true)
@@ -473,7 +592,7 @@ let run_point_group t members ~pq ~dist_ready ~value_json ~edge_fn ~graph =
   in
   let run () =
     ignore
-      (Engine.run ~pool:t.pool ~graph ~handle:t.handle
+      (Engine.run ~pool:t.pool ~graph ~handle:snapshot
          ~schedule:t.config.Config.schedule ~pq ~edge_fn ~stop ~on_round
          ?deadline:(run_deadline members) ())
   in
@@ -489,46 +608,52 @@ let run_point_group t members ~pq ~dist_ready ~value_json ~edge_fn ~graph =
   resolve ~final:true
 
 let run_sssp_group t ~source members =
-  let graph = Handle.csr t.handle in
-  let n = Csr.num_vertices graph in
-  let dist = Atomic_array.make n null in
-  Atomic_array.set dist source 0;
-  let pq =
-    Pq.create ~schedule:t.config.Config.schedule
-      ~num_workers:(Pool.num_workers t.pool) ~direction:Bucket_order.Lower_first
-      ~allow_coarsening:true ~priorities:dist ~initial:(Pq.Start_vertex source)
-      ~pool:t.pool ()
-  in
-  let edge_fn ctx ~src ~dst ~weight =
-    let new_dist = Atomic_array.get dist src + weight in
-    Pq.update_priority_min pq ctx dst new_dist
-  in
-  run_point_group t members ~pq ~graph ~edge_fn
-    ~dist_ready:(fun tgt ->
-      Atomic_array.get dist tgt <> null && Pq.finished_vertex pq tgt)
-    ~value_json:(fun tgt -> Protocol.distance_json (Atomic_array.get dist tgt))
+  with_snapshot t (fun snapshot ->
+      let graph = Handle.csr snapshot in
+      let n = Csr.num_vertices graph in
+      let dist = Atomic_array.make n null in
+      Atomic_array.set dist source 0;
+      let pq =
+        Pq.create ~schedule:t.config.Config.schedule
+          ~num_workers:(Pool.num_workers t.pool)
+          ~direction:Bucket_order.Lower_first ~allow_coarsening:true
+          ~priorities:dist ~initial:(Pq.Start_vertex source) ~pool:t.pool ()
+      in
+      let edge_fn ctx ~src ~dst ~weight =
+        let new_dist = Atomic_array.get dist src + weight in
+        Pq.update_priority_min pq ctx dst new_dist
+      in
+      run_point_group t members ~snapshot ~pq ~graph ~edge_fn
+        ~dist_ready:(fun tgt ->
+          Atomic_array.get dist tgt <> null && Pq.finished_vertex pq tgt)
+        ~value_json:(fun tgt ->
+          Protocol.distance_json (Atomic_array.get dist tgt)))
 
 let run_widest_group t ~source members =
-  let graph = Handle.csr t.handle in
-  let n = Csr.num_vertices graph in
-  let capacity = Atomic_array.make n 0 in
-  Atomic_array.set capacity source (max 1 (Csr.max_weight graph));
-  let pq =
-    Pq.create ~schedule:t.config.Config.schedule
-      ~num_workers:(Pool.num_workers t.pool) ~direction:Bucket_order.Higher_first
-      ~allow_coarsening:true ~priorities:capacity
-      ~initial:(Pq.Start_vertex source) ~pool:t.pool ()
-  in
-  let edge_fn ctx ~src ~dst ~weight =
-    let through = min (Atomic_array.get capacity src) weight in
-    Pq.update_priority_max pq ctx dst through
-  in
-  run_point_group t members ~pq ~graph ~edge_fn
-    ~dist_ready:(fun tgt ->
-      Atomic_array.get capacity tgt > 0 && Pq.finished_vertex pq tgt)
-    ~value_json:(fun tgt -> Protocol.capacity_json (Atomic_array.get capacity tgt))
+  with_snapshot t (fun snapshot ->
+      let graph = Handle.csr snapshot in
+      let n = Csr.num_vertices graph in
+      let capacity = Atomic_array.make n 0 in
+      Atomic_array.set capacity source (max 1 (Csr.max_weight graph));
+      let pq =
+        Pq.create ~schedule:t.config.Config.schedule
+          ~num_workers:(Pool.num_workers t.pool)
+          ~direction:Bucket_order.Higher_first ~allow_coarsening:true
+          ~priorities:capacity ~initial:(Pq.Start_vertex source) ~pool:t.pool ()
+      in
+      let edge_fn ctx ~src ~dst ~weight =
+        let through = min (Atomic_array.get capacity src) weight in
+        Pq.update_priority_max pq ctx dst through
+      in
+      run_point_group t members ~snapshot ~pq ~graph ~edge_fn
+        ~dist_ready:(fun tgt ->
+          Atomic_array.get capacity tgt > 0 && Pq.finished_vertex pq tgt)
+        ~value_json:(fun tgt ->
+          Protocol.capacity_json (Atomic_array.get capacity tgt)))
 
 let run_astar_group t ~source ~target members =
+  with_snapshot t (fun snapshot ->
+  let version = Handle.version snapshot in
   let width = List.length members in
   let batch_trace = next_trace t in
   Metrics.incr t.m_batches ~tid:0 ();
@@ -537,14 +662,32 @@ let run_astar_group t ~source ~target members =
   List.iter
     (fun m -> Metrics.observe t.h_queue_wait (start -. m.enqueued_at))
     members;
+  (* A cancel that lands while these members are still queued resolves
+     here, before the run; mid-run cancellation is the point groups'
+     round-boundary seam. *)
+  let cancelled_ms, members =
+    List.partition (fun m -> is_cancelled t m.req.Protocol.id) members
+  in
+  List.iter
+    (fun m ->
+      finish_query t m
+        (Protocol.cancelled
+           ~meta:(mk_meta ~version ~width ~rounds:0 m)
+           ~id:m.req.Protocol.id Json.Null)
+        ~batch_trace ~width ~rounds:0 ~edges:0
+        ~queue_wait_ms:((start -. m.enqueued_at) *. 1000.)
+        ~alt_assisted:false ~version)
+    cancelled_ms;
+  if members = [] then ()
+  else begin
   let heuristic = Alt.heuristic t.alt_cache ~target in
   let alt_assisted = heuristic <> None in
   Metrics.incr
     (if alt_assisted then t.m_alt_assisted else t.m_alt_unassisted)
     ~tid:0 ();
   let run () =
-    Algorithms.Astar.run ~pool:t.pool ~graph:(Handle.csr t.handle)
-      ?coords:t.coords ?heuristic ~handle:t.handle
+    Algorithms.Astar.run ~pool:t.pool ~graph:(Handle.csr snapshot)
+      ?coords:t.coords ?heuristic ~handle:snapshot
       ~schedule:t.config.Config.schedule ~source ~target
       ?deadline:(run_deadline members) ()
   in
@@ -560,15 +703,16 @@ let run_astar_group t ~source ~target members =
   if timed_out then Metrics.incr t.m_deadline_miss ~tid:0 ~by:width ();
   List.iter
     (fun m ->
-      let meta = mk_meta ~alt_assisted ~width ~rounds m in
+      let meta = mk_meta ~alt_assisted ~version ~width ~rounds m in
       let payload = Protocol.distance_json r.Algorithms.Astar.distance in
       finish_query t m
         (if timed_out then Protocol.partial ~meta ~id:m.req.Protocol.id payload
          else Protocol.ok ~meta ~id:m.req.Protocol.id payload)
         ~batch_trace ~width ~rounds ~edges
         ~queue_wait_ms:((start -. m.enqueued_at) *. 1000.)
-        ~alt_assisted)
+        ~alt_assisted ~version)
     members
+  end)
 
 let kcore_vertex m =
   match m.req.Protocol.op with
@@ -576,33 +720,64 @@ let kcore_vertex m =
   | _ -> assert false
 
 let run_kcore_group t members =
+  with_snapshot t (fun snapshot ->
+  let version = Handle.version snapshot in
   let width = List.length members in
   let start = Unix.gettimeofday () in
   List.iter
     (fun m -> Metrics.observe t.h_queue_wait (start -. m.enqueued_at))
     members;
   let batch_trace = next_trace t in
+  let cancelled_ms, members =
+    List.partition (fun m -> is_cancelled t m.req.Protocol.id) members
+  in
+  List.iter
+    (fun m ->
+      finish_query t m
+        (Protocol.cancelled
+           ~meta:(mk_meta ~version ~width ~rounds:0 m)
+           ~id:m.req.Protocol.id Json.Null)
+        ~batch_trace ~width ~rounds:0 ~edges:0
+        ~queue_wait_ms:((start -. m.enqueued_at) *. 1000.)
+        ~alt_assisted:false ~version)
+    cancelled_ms;
+  if members = [] then ()
+  else
   match t.coreness with
-  | Some core ->
-      (* The decomposition is query-independent: cache hits are O(1). *)
+  | Some (v, core) when v = version ->
+      (* The decomposition is query-independent: cache hits are O(1).
+         The version key retires it on mutation — a post-commit query
+         can never read the old graph's coreness. *)
       Metrics.incr t.m_kcore_hits ~tid:0 ~by:width ();
       with_batch_context t ~batch_trace members (fun () ->
           List.iter
             (fun m ->
               finish_query t m
                 (Protocol.ok
-                   ~meta:(mk_meta ~width ~rounds:0 m)
+                   ~meta:(mk_meta ~version ~width ~rounds:0 m)
                    ~id:m.req.Protocol.id
                    (Protocol.coreness_json core.(kcore_vertex m)))
                 ~batch_trace ~width ~rounds:0 ~edges:0
                 ~queue_wait_ms:((start -. m.enqueued_at) *. 1000.)
-                ~alt_assisted:false)
+                ~alt_assisted:false ~version)
             members)
-  | None ->
+  | _ ->
       Metrics.incr t.m_batches ~tid:0 ();
       Metrics.incr t.m_batched_queries ~tid:0 ~by:width ();
       Metrics.incr t.m_kcore_runs ~tid:0 ();
-      let handle = Lazy.force t.kcore_handle in
+      let handle =
+        match t.kcore_handle with
+        | Some (v, h) when v = version -> h
+        | _ ->
+            let h =
+              Handle.create ~version
+                (Csr.of_edge_list
+                   (Edge_list.symmetrized
+                      (Csr.to_edge_list (Handle.csr snapshot))))
+            in
+            t.kcore_handle <- Some (version, h);
+            h
+      in
       let run () =
         Algorithms.Kcore.run ~pool:t.pool ~graph:(Handle.csr handle) ~handle
           ~schedule:t.config.Config.schedule ?deadline:(run_deadline members) ()
@@ -617,10 +792,10 @@ let run_kcore_group t members =
       let rounds = r.Algorithms.Kcore.stats.Ordered.Stats.rounds in
       let edges = r.Algorithms.Kcore.stats.Ordered.Stats.edges_relaxed in
       if timed_out then Metrics.incr t.m_deadline_miss ~tid:0 ~by:width ()
-      else t.coreness <- Some r.Algorithms.Kcore.coreness;
+      else t.coreness <- Some (version, r.Algorithms.Kcore.coreness);
       List.iter
         (fun m ->
-          let meta = mk_meta ~width ~rounds m in
+          let meta = mk_meta ~version ~width ~rounds m in
           let payload =
             Protocol.coreness_json r.Algorithms.Kcore.coreness.(kcore_vertex m)
           in
@@ -629,8 +804,8 @@ let run_kcore_group t members =
              else Protocol.ok ~meta ~id:m.req.Protocol.id payload)
             ~batch_trace ~width ~rounds ~edges
             ~queue_wait_ms:((start -. m.enqueued_at) *. 1000.)
-            ~alt_assisted:false)
-        members
+            ~alt_assisted:false ~version)
+        members)
 
 (* ------------------------------------------------------------------ *)
 (* Admin ops                                                           *)
@@ -675,13 +850,14 @@ let snapshot_json t ~seq ~updates =
       ("seq", Json.Int seq);
       ("updates", Json.Int updates);
       ("ts_ms", Json.Float (Unix.gettimeofday () *. 1000.));
+      ("version", Json.Int (Versioned.version t.versioned));
       ( "queue",
         Json.Obj
           [
             ("depth", Json.Int (Request_queue.length t.queue));
             ("capacity", Json.Int (Request_queue.capacity t.queue));
           ] );
-      ("kcore_cached", Json.Bool (t.coreness <> None));
+      ("kcore_cached", Json.Bool (Option.is_some t.coreness));
       ("alt_warmed", Json.Int (Alt.warmed t.alt_cache));
       ( "counters",
         Json.Obj
@@ -704,11 +880,13 @@ let stats_json t =
       ( "graph",
         Json.Obj
           [
-            ("vertices", Json.Int (Handle.num_vertices t.handle));
-            ("edges", Json.Int (Handle.num_edges t.handle));
+            ("vertices", Json.Int (Versioned.num_vertices t.versioned));
+            ( "edges",
+              Json.Int (Handle.num_edges (Versioned.latest t.versioned)) );
             ( "layout",
-              Json.String (Graphs.Layout.kind_to_string (Handle.kind t.handle))
-            );
+              Json.String
+                (Graphs.Layout.kind_to_string (Versioned.kind t.versioned)) );
+            ("version", Json.Int (Versioned.version t.versioned));
           ] );
       ( "config",
         Json.Obj
@@ -718,10 +896,23 @@ let stats_json t =
             ( "default_deadline_ms",
               Json.Float t.config.Config.default_deadline_ms );
             ("landmarks", Json.Int t.config.Config.landmarks);
+            ("compact_ops", Json.Int t.config.Config.compact_ops);
             ("workers", Json.Int (Pool.num_workers t.pool));
           ] );
+      ( "dynamic",
+        Json.Obj
+          [
+            ("version", Json.Int (Versioned.version t.versioned));
+            ("ops_pending", Json.Int (Versioned.ops_pending t.versioned));
+            ("compactions", Json.Int (Versioned.compactions t.versioned));
+            ( "pinned",
+              Json.List
+                (List.map
+                   (fun v -> Json.Int v)
+                   (Versioned.pinned_versions t.versioned)) );
+          ] );
       ("alt", Alt.to_json t.alt_cache);
-      ("kcore_cached", Json.Bool (t.coreness <> None));
+      ("kcore_cached", Json.Bool (Option.is_some t.coreness));
       ( "queue",
         Json.Obj
           [
@@ -773,12 +964,72 @@ let run_subscribe t item ~interval_ms ~updates =
     Mutex.unlock t.sub_mutex
   end
 
+(* Background compaction: rebuild every derived layout of the latest
+   version hot on a helper thread, then swap — queries keep reading
+   their pinned snapshots throughout, and the next pin finds all caches
+   warm. One compactor at a time; a still-running one is joined first
+   (it is normally long done by the next trigger). *)
+let maybe_compact t =
+  if t.config.Config.compact_ops > 0 && Versioned.should_compact t.versioned
+  then begin
+    (match t.compactor with
+    | Some th ->
+        Thread.join th;
+        t.compactor <- None
+    | None -> ());
+    t.compactor <-
+      Some
+        (Thread.create
+           (fun () ->
+             let swapped, seconds =
+               Support.Timer.time (fun () -> Versioned.compact t.versioned)
+             in
+             if swapped then begin
+               Metrics.incr t.m_compactions ~tid:0 ();
+               Metrics.observe t.h_compaction seconds
+             end)
+           ());
+    true
+  end
+  else false
+
+(* One mutation commit: apply the batch (a fresh version), retire the
+   version-keyed caches, repair the ALT vectors incrementally, and kick
+   compaction when the op budget is reached. Runs on the batcher thread,
+   so every query is strictly before or after the commit. *)
+let run_mutate t item ~ops =
+  let start = Unix.gettimeofday () in
+  Metrics.observe t.h_queue_wait (start -. item.enqueued_at);
+  let old_handle = Versioned.latest t.versioned in
+  let version =
+    Span.with_ "service.mutate" (fun () -> Versioned.commit t.versioned ops)
+  in
+  let handle = Versioned.latest t.versioned in
+  Metrics.incr t.m_commits ~tid:0 ();
+  Metrics.incr t.m_commit_ops ~tid:0 ~by:(Delta.size ops) ();
+  let refreshed, kept = Alt.refresh t.alt_cache ~old_handle ~handle ~batch:ops in
+  let compacting = maybe_compact t in
+  Metrics.observe t.h_commit (Unix.gettimeofday () -. start);
+  finish t item
+    (Protocol.ok
+       ~meta:(mk_meta ~version ~width:1 ~rounds:0 item)
+       ~id:item.req.Protocol.id
+       (Json.Obj
+          [
+            ("version", Json.Int version);
+            ("applied", Json.Int (Delta.size ops));
+            ("alt_refreshed", Json.Int refreshed);
+            ("alt_kept", Json.Int kept);
+            ("compacting", Json.Bool compacting);
+          ]))
+
 let run_admin t item =
   let reply_ok payload =
     finish t item (Protocol.ok ~id:item.req.Protocol.id payload)
   in
   match item.req.Protocol.op with
   | Protocol.Ping -> reply_ok (Json.Obj [ ("pong", Json.Bool true) ])
+  | Protocol.Mutate { ops } -> run_mutate t item ~ops
   | Protocol.Subscribe { interval_ms; updates } ->
       run_subscribe t item ~interval_ms ~updates
   | Protocol.Warm_alt ->
@@ -813,6 +1064,7 @@ let process_pending t ~max_wait_s =
       ~timeout_s:max_wait_s
   in
   record_depth t;
+  sweep_cancelled t;
   match items with
   | [] -> 0
   | _ ->
@@ -832,6 +1084,11 @@ let drain_shutdown t =
     l
   in
   List.iter Thread.join pushers;
+  (match t.compactor with
+  | Some th ->
+      Thread.join th;
+      t.compactor <- None
+  | None -> ());
   Request_queue.close t.queue;
   let rec drain () =
     match Request_queue.pop_batch t.queue ~max:max_int ~timeout_s:0. with

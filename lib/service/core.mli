@@ -16,6 +16,18 @@
     callback as they resolve, so a batch-mate with a tight deadline is
     answered mid-run, not at batch completion.
 
+    Dynamic graphs (docs/SERVICE.md §4.6): [mutate] ops commit
+    {!Graphs.Delta} batches on the batcher thread, minting a new graph
+    version. Every query group pins the latest snapshot for its run —
+    commits and background compactions never disturb an in-flight query
+    — and stamps the pinned version into its replies' [meta.version] and
+    attribution records. The ALT landmark cache is repaired
+    incrementally after each commit ({!Alt.refresh}); the k-core
+    decomposition cache is keyed by version so it retires itself.
+    [cancel] ops are handled at admission (any thread) and consumed by
+    the batcher at round boundaries, resolving their target with status
+    [cancelled] and its current monotone bound.
+
     Thread model: {!submit} may be called from any thread;
     {!process_pending}/{!run_loop}/{!warm_alt} must stay on one consumer
     thread (they mutate the ALT and k-core caches and run the pool).
@@ -30,8 +42,9 @@ type t
 
 (** [create ~pool ~handle ?coords ~config ()] loads nothing: the graph
     is already behind [handle] (millisecond startup via GRAPHBIN —
-    docs/SERVICE.md §5). [coords], when given, join the ALT cache as an
-    extra A* heuristic. *)
+    docs/SERVICE.md §5). [handle] becomes version 0 of the service's
+    {!Graphs.Versioned} graph; [mutate] ops commit later versions.
+    [coords], when given, join the ALT cache as an extra A* heuristic. *)
 val create :
   pool:Parallel.Pool.t ->
   handle:Graphs.Handle.t ->
@@ -42,6 +55,14 @@ val create :
 
 val config : t -> Config.t
 val alt : t -> Alt.t
+
+(** The service's versioned graph. Exposed for tests and the benchmark
+    (e.g. committing from another thread to exercise snapshot
+    isolation); the service itself commits only on the batcher thread. *)
+val versioned : t -> Graphs.Versioned.t
+
+(** The latest committed graph version. *)
+val version : t -> int
 
 (** [submit t req ~reply] validates, stamps the deadline, and admits
     [req]. Invalid requests and admission rejections invoke [reply]

@@ -6,6 +6,8 @@ type op =
   | Widest of { source : int; target : int }
   | Kcore of { vertex : int }
   | Subscribe of { interval_ms : float; updates : int }
+  | Mutate of { ops : Graphs.Delta.batch }
+  | Cancel of { query : int }
   | Warm_alt
   | Stats
   | Ping
@@ -22,12 +24,14 @@ type status =
   | Partial
   | Rejected
   | Error
+  | Cancelled
 
 type meta = {
   batch_width : int;
   rounds : int;
   wall_ms : float;
   alt_assisted : bool;
+  version : int option;
 }
 
 type response = {
@@ -43,12 +47,14 @@ let status_to_string = function
   | Partial -> "partial"
   | Rejected -> "rejected"
   | Error -> "error"
+  | Cancelled -> "cancelled"
 
 let status_of_string = function
   | "ok" -> Result.Ok Ok
   | "partial" -> Result.Ok Partial
   | "rejected" -> Result.Ok Rejected
   | "error" -> Result.Ok Error
+  | "cancelled" -> Result.Ok Cancelled
   | other -> Result.Error (Printf.sprintf "unknown status %S" other)
 
 (* ------------------------------------------------------------------ *)
@@ -60,6 +66,8 @@ let op_name = function
   | Widest _ -> "widest"
   | Kcore _ -> "kcore"
   | Subscribe _ -> "subscribe"
+  | Mutate _ -> "mutate"
+  | Cancel _ -> "cancel"
   | Warm_alt -> "warm_alt"
   | Stats -> "stats"
   | Ping -> "ping"
@@ -115,6 +123,14 @@ let parse_request line =
                 in
                 let updates = Option.value ~default:0 (int_member "updates" json) in
                 finish (Subscribe { interval_ms; updates })
+            | "mutate" -> (
+                match string_member "ops" json with
+                | None -> fail id "missing string field \"ops\""
+                | Some s -> (
+                    match Graphs.Delta.of_string s with
+                    | Result.Ok ops -> finish (Mutate { ops })
+                    | Result.Error msg -> fail id ("bad ops: " ^ msg)))
+            | "cancel" -> require "query" (fun query -> finish (Cancel { query }))
             | "warm_alt" -> finish Warm_alt
             | "stats" -> finish Stats
             | "ping" -> finish Ping
@@ -132,6 +148,8 @@ let request_to_json r =
     | Kcore { vertex } -> [ ("vertex", Json.Int vertex) ]
     | Subscribe { interval_ms; updates } ->
         [ ("interval_ms", Json.Float interval_ms); ("updates", Json.Int updates) ]
+    | Mutate { ops } -> [ ("ops", Json.String (Graphs.Delta.to_string ops)) ]
+    | Cancel { query } -> [ ("query", Json.Int query) ]
     | Warm_alt | Stats | Ping | Shutdown -> []
   in
   Json.Obj
@@ -147,12 +165,16 @@ let request_to_json r =
 
 let meta_to_json m =
   Json.Obj
-    [
-      ("batch_width", Json.Int m.batch_width);
-      ("rounds", Json.Int m.rounds);
-      ("wall_ms", Json.Float m.wall_ms);
-      ("alt_assisted", Json.Bool m.alt_assisted);
-    ]
+    ([
+       ("batch_width", Json.Int m.batch_width);
+       ("rounds", Json.Int m.rounds);
+       ("wall_ms", Json.Float m.wall_ms);
+       ("alt_assisted", Json.Bool m.alt_assisted);
+     ]
+    @
+    match m.version with
+    | Some v -> [ ("version", Json.Int v) ]
+    | None -> [])
 
 let response_to_json r =
   Json.Obj
@@ -178,8 +200,16 @@ let response_of_json json =
                 with
                 | Some batch_width, Some rounds, Some wall_ms, Some (Json.Bool a)
                   ->
+                    (* [version] is a later addition: parse it leniently so
+                       responses from pre-versioning servers still load. *)
                     Some
-                      { batch_width; rounds; wall_ms; alt_assisted = a }
+                      {
+                        batch_width;
+                        rounds;
+                        wall_ms;
+                        alt_assisted = a;
+                        version = int_member "version" m;
+                      }
                 | _ -> None)
             | None -> None
           in
@@ -198,6 +228,9 @@ let ok ?meta ~id result =
 
 let partial ?meta ~id result =
   { rid = id; status = Partial; result = Some result; error = None; meta }
+
+let cancelled ?meta ~id result =
+  { rid = id; status = Cancelled; result = Some result; error = None; meta }
 
 let rejected ~id msg =
   { rid = id; status = Rejected; result = None; error = Some msg; meta = None }

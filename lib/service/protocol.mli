@@ -28,6 +28,20 @@ type op =
           pushes interleave with other replies on the connection
           (docs/SERVICE.md §7a). Defaults when fields are omitted on
           the wire: [interval_ms = 1000.], [updates = 0]. *)
+  | Mutate of { ops : Graphs.Delta.batch }
+      (** Commit a batch of edge mutations ([{"op":"mutate","ops":
+          "i:0-3-2,d:1-4"}] — the {!Graphs.Delta.to_string} spelling).
+          Applied atomically by the batcher in queue order; the [ok]
+          reply carries the new graph [version]. Queries admitted after
+          the reply observe the mutated graph; queries in flight keep
+          their pinned snapshot (docs/SERVICE.md §4.6). *)
+  | Cancel of { query : int }
+      (** Best-effort cancellation of the queued or in-flight query whose
+          request [id] is [query]. Handled at admission (never queued):
+          the [ok] reply confirms registration, and the target — when it
+          is still unresolved — replies [cancelled] with its current
+          monotone bound, at the next round boundary if its engine run
+          already started. *)
   | Warm_alt  (** Warm every remaining ALT landmark, synchronously. *)
   | Stats  (** Server introspection: graph, config, cache, metrics. *)
   | Ping  (** Liveness probe. *)
@@ -49,6 +63,9 @@ type status =
           nothing was learned in time. *)
   | Rejected  (** Admission control refused the request (queue full). *)
   | Error  (** Malformed request or out-of-range vertex. *)
+  | Cancelled
+      (** A [cancel] op resolved this query early; the result is the
+          same monotone bound a deadline miss would have returned. *)
 
 type meta = {
   batch_width : int;
@@ -57,6 +74,12 @@ type meta = {
   wall_ms : float;  (** Admission-to-reply latency. *)
   alt_assisted : bool;
       (** True when an A* run consulted at least one warm landmark. *)
+  version : int option;
+      (** The graph version this query ran against (its pinned
+          snapshot), or the version a [mutate] committed. [None] on
+          responses from pre-versioning servers — the parser is
+          lenient, so replayed docs examples without the field still
+          load. *)
 }
 
 type response = {
@@ -92,6 +115,7 @@ val response_of_json : Support.Json.t -> (response, string) result
 val ok : ?meta:meta -> id:int -> Support.Json.t -> response
 
 val partial : ?meta:meta -> id:int -> Support.Json.t -> response
+val cancelled : ?meta:meta -> id:int -> Support.Json.t -> response
 val rejected : id:int -> string -> response
 val error : id:int -> string -> response
 

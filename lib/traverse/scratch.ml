@@ -67,3 +67,47 @@ let edges_traversed t = counter_sum t.edges
 let reset_counters t =
   Array.fill t.vertices 0 (Array.length t.vertices) 0;
   Array.fill t.edges 0 (Array.length t.edges) 0
+
+let reset t =
+  reset_counters t;
+  Bitset.clear t.flags;
+  (* A run aborted mid-flight (stop/deadline) can leave buffered frontier
+     entries behind; a drain discards them and rearms the dedup flags. *)
+  if Update_buffer.size t.buffer > 0 then Update_buffer.drain t.buffer (fun _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Shared scratch, keyed by (pool, graph, version).
+
+   Engine runs against the same pool are serialized by construction (one
+   orchestrating thread per pool), so reusing one scratch per
+   (pool, graph) pair is safe and saves the per-run allocation that
+   dominates small incremental repairs. Keys compare physically: each
+   graph version is a distinct CSR, so a version bump naturally misses
+   the cache; the explicit version component guards the degenerate case
+   of physically distinct CSRs for the same logical version. *)
+
+let cache_capacity = 8
+let cache : (Pool.t * Csr.t * int * t) list ref = ref []
+let cache_mutex = Mutex.create ()
+
+let shared ~pool ~graph ~version =
+  Mutex.lock cache_mutex;
+  let hit =
+    List.find_opt (fun (p, g, v, _) -> p == pool && g == graph && v = version) !cache
+  in
+  let scratch =
+    match hit with
+    | Some (_, _, _, s) -> s
+    | None ->
+        let s = create ~pool ~graph in
+        let kept =
+          if List.length !cache >= cache_capacity then
+            List.filteri (fun i _ -> i < cache_capacity - 1) !cache
+          else !cache
+        in
+        cache := (pool, graph, version, s) :: kept;
+        s
+  in
+  Mutex.unlock cache_mutex;
+  reset scratch;
+  scratch

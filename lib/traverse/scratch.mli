@@ -55,3 +55,16 @@ val edges_traversed : t -> int
 (** [reset_counters t] zeroes the vertex/edge counters (call at run start
     when reusing a scratch across algorithm runs). *)
 val reset_counters : t -> unit
+
+(** [reset t] fully rearms a scratch for a new run: counters zeroed, the
+    dense bitmap cleared, and any frontier entries a stopped/timed-out
+    run left in the buffer discarded. *)
+val reset : t -> unit
+
+(** [shared ~pool ~graph ~version] returns a process-cached scratch for
+    the (pool, graph, version) triple, {!reset} and ready to use, creating
+    and caching it on first sight (small LRU-ish cache; the newest
+    [8] keys are kept). Safe because runs on one pool are serialized by
+    the orchestrating-thread discipline; graphs compare physically, so a
+    mutated graph version can never reuse stale sizing. *)
+val shared : pool:Parallel.Pool.t -> graph:Graphs.Csr.t -> version:int -> t

@@ -97,7 +97,7 @@ let test_protocol_errors () =
 
 let mk_core ?(landmarks = 2) ?(queue_capacity = 256) ?(max_batch = 32)
     ?(default_deadline_ms = 0.) ?(slow_query_ms = 0.) ?graph_file
-    ?(symmetric = false) ~pool csr =
+    ?(symmetric = false) ?(compact_ops = 4096) ~pool csr =
   Service.Core.create ~pool ~handle:(Handle.create csr)
     ~config:
       {
@@ -109,6 +109,7 @@ let mk_core ?(landmarks = 2) ?(queue_capacity = 256) ?(max_batch = 32)
         slow_query_ms;
         graph_file;
         symmetric;
+        compact_ops;
       }
     ()
 
