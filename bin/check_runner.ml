@@ -15,6 +15,13 @@
      re-run one service query from a slow-query log line against the
      graph *file* the server loaded (docs/OBSERVABILITY.md).
 
+   - dsl sweep: --dsl generate seeded DSL programs and run each through
+     the reference interpreter, the scheduled engine, and (when a C++
+     toolchain is detected) the generated-C++ lane across the schedule
+     grid, shrinking failures over both programs and graphs
+     (docs/TESTING.md). With --program/--graph/--schedule: replay one
+     failing configuration.
+
    Exit codes: 0 = clean; 1 = oracle mismatch or race finding; 2 = bad
    command line. *)
 
@@ -23,6 +30,8 @@ module Json = Support.Json
 module Sweep = Check.Sweep
 module Dynamic = Check.Dynamic
 module Graph_case = Check.Graph_case
+module Dsl_case = Check.Dsl_case
+module Dsl_sweep = Check.Dsl_sweep
 
 let parse_or_exit what = function
   | Ok v -> v
@@ -188,6 +197,110 @@ let run_dynamic_repro ~seed ~chaos ~race ~workers graph schedule batches =
   end;
   if !failed then exit 1
 
+let dsl_failure_json (f : Dsl_sweep.failure) =
+  Json.Obj
+    [
+      ("program", Json.String (Dsl_case.to_string f.config.Dsl_sweep.spec));
+      ("graph", Json.String (Graph_case.to_string f.config.Dsl_sweep.graph));
+      ( "schedule",
+        Json.String (Sweep.schedule_to_string f.config.Dsl_sweep.schedule) );
+      ("workers", Json.Int f.config.Dsl_sweep.workers);
+      ("bug", Json.String (Dsl_sweep.bug_to_string f.config.Dsl_sweep.bug));
+      ("lane", Json.String f.lane);
+      ("message", Json.String f.message);
+      ( "shrunk_program",
+        match f.shrunk_program with
+        | None -> Json.Null
+        | Some spec -> Json.String (Dsl_case.to_string spec) );
+      ( "shrunk_graph",
+        match f.shrunk_graph with
+        | None -> Json.Null
+        | Some spec -> Json.String (Graph_case.to_string spec) );
+      ("repro", Json.String f.repro);
+    ]
+
+let dsl_summary_json ~seed (s : Dsl_sweep.summary) =
+  Json.Obj
+    [
+      ("mode", Json.String "dsl");
+      ("seed", Json.Int seed);
+      ("programs", Json.Int s.programs);
+      ("configs_run", Json.Int s.configs_run);
+      ("compiled_runs", Json.Int s.compiled_runs);
+      ( "toolchain",
+        match s.toolchain with
+        | None -> Json.Null
+        | Some name -> Json.String name );
+      ("failures", Json.List (List.map dsl_failure_json s.failures));
+      ("race_findings", Json.Int s.race_findings);
+      ("elapsed_seconds", Json.Float s.elapsed_seconds);
+      ("budget_exhausted", Json.Bool s.budget_exhausted);
+    ]
+
+let run_dsl_sweep ~seed ~budget ~chaos ~race ~workers ~max_failures ~bug
+    ~compiled ~json_path ~failures_path =
+  let summary =
+    Dsl_sweep.run ~workers ~budget ~seed ~max_failures ~chaos ~race ~bug
+      ~compiled ~log:prerr_endline ()
+  in
+  let json = dsl_summary_json ~seed summary in
+  print_endline (Json.to_string json);
+  Option.iter
+    (fun path ->
+      Out_channel.with_open_text path (fun oc ->
+          Format.fprintf (Format.formatter_of_out_channel oc) "%a@?" Json.pp json))
+    json_path;
+  Option.iter
+    (fun path ->
+      if summary.Dsl_sweep.failures <> [] then
+        Out_channel.with_open_text path (fun oc ->
+            List.iter
+              (fun (f : Dsl_sweep.failure) ->
+                Printf.fprintf oc "%s lane: %s\n  %s\n" f.lane f.message f.repro)
+              summary.Dsl_sweep.failures))
+    failures_path;
+  if summary.Dsl_sweep.failures <> [] || summary.Dsl_sweep.race_findings > 0
+  then exit 1
+
+let run_dsl_repro ~seed ~chaos ~race ~workers ~bug ~compiled program graph
+    schedule =
+  let spec = parse_or_exit "program spec" (Dsl_case.of_string program) in
+  let gspec = parse_or_exit "graph spec" (Graph_case.of_string graph) in
+  let schedule = parse_or_exit "schedule" (Sweep.schedule_of_string schedule) in
+  let case = Graph_case.build gspec in
+  let toolchain = if compiled then Dsl_sweep.detect_toolchain () else None in
+  (match toolchain with
+  | Some t -> Printf.printf "compiled lane: %s\n" (Dsl_sweep.toolchain_name t)
+  | None -> Printf.printf "compiled lane: unavailable\n");
+  if chaos then Parallel.Chaos.enable ~seed;
+  if race then begin
+    Parallel.Race.clear ();
+    Parallel.Race.enable ()
+  end;
+  let failed = ref false in
+  Parallel.Pool.with_pool ~num_workers:1 (fun ref_pool ->
+      List.iter
+        (fun w ->
+          Parallel.Pool.with_pool ~num_workers:w (fun pool ->
+              match
+                Dsl_sweep.run_one ~bug ?toolchain ~pool ~ref_pool spec case
+                  schedule
+              with
+              | Ok () -> Printf.printf "ok: %d workers\n" w
+              | Error msg ->
+                  failed := true;
+                  Printf.printf "FAIL: %d workers: %s\n" w msg))
+        workers);
+  let findings = if race then Parallel.Race.num_findings () else 0 in
+  if findings > 0 then begin
+    failed := true;
+    Printf.printf "race findings: %d\n" findings;
+    List.iter
+      (fun f -> Format.printf "  %a@." Parallel.Race.pp_finding f)
+      (Parallel.Race.findings ())
+  end;
+  if !failed then exit 1
+
 let run_query_repro ~workers ~symmetric ~source ~target ~vertex app graph_file
     schedule =
   let module Qr = Check.Query_repro in
@@ -251,8 +364,10 @@ let run_sweep ~seed ~budget ~chaos ~race ~workers ~max_failures ~apps
 
 let main budget seed apps app graph schedule workers chaos race max_failures
     json_path failures_path layout reorder bin graph_file source target vertex
-    symmetric dynamic batches =
+    symmetric dynamic batches dsl program bug no_compiled =
   let workers = parse_workers workers in
+  let bug = parse_or_exit "bug" (Dsl_sweep.bug_of_string bug) in
+  let compiled = not no_compiled in
   let variant_given = layout <> None || reorder <> None || bin in
   let variant =
     {
@@ -267,6 +382,21 @@ let main budget seed apps app graph schedule workers chaos race max_failures
       bin_roundtrip = bin;
     }
   in
+  if dsl then begin
+    match (program, graph, schedule) with
+    | Some program, Some graph, Some schedule ->
+        run_dsl_repro ~seed ~chaos ~race ~workers ~bug ~compiled program graph
+          schedule
+    | None, None, None ->
+        run_dsl_sweep ~seed ~budget ~chaos ~race ~workers ~max_failures ~bug
+          ~compiled ~json_path ~failures_path
+    | _ ->
+        Printf.eprintf
+          "check_runner: dsl repro mode needs all of --program, --graph, \
+           --schedule\n";
+        exit 2
+  end
+  else
   match (dynamic, graph_file, app, graph, schedule) with
   | true, None, None, Some graph, Some schedule ->
       (* Dynamic repro: replay one batch sequence (the syntax of
@@ -458,12 +588,44 @@ let () =
             "Dynamic repro mode: semicolon-separated delta batches, each a \
              comma-separated op list (i:src-dst-w, d:src-dst, r:src-dst-w)")
   in
+  let dsl =
+    Arg.(
+      value & flag
+      & info [ "dsl" ]
+          ~doc:
+            "DSL differential mode: sweep generated DSL programs through \
+             reference-interp vs scheduled-engine (vs generated C++ when a \
+             toolchain is present) across the schedule grid (with \
+             --program/--graph/--schedule: replay one failing configuration)")
+  in
+  let program =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "program" ] ~docv:"SPEC"
+          ~doc:"DSL repro mode: program spec, e.g. 'min:guard+reach+print'")
+  in
+  let bug =
+    Arg.(
+      value & opt string "none"
+      & info [ "bug" ] ~docv:"NAME"
+          ~doc:
+            "DSL mode: graft a deliberately wrong lowering into the \
+             engine/compiled lanes (none|wrong-weight) — used by the test \
+             suite to prove the sweep detects injected miscompilations")
+  in
+  let no_compiled =
+    Arg.(
+      value & flag
+      & info [ "no-compiled" ]
+          ~doc:"DSL mode: skip the compiled lane even if a toolchain exists")
+  in
   let term =
     Term.(
       const main $ budget $ seed $ apps $ app_arg $ graph $ schedule $ workers
       $ chaos $ race $ max_failures $ json_path $ failures_path $ layout
       $ reorder $ bin $ graph_file $ source $ target $ vertex $ symmetric
-      $ dynamic $ batches)
+      $ dynamic $ batches $ dsl $ program $ bug $ no_compiled)
   in
   exit
     (Cmd.eval

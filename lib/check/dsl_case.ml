@@ -1,0 +1,269 @@
+module Schedule = Ordered.Schedule
+module Rng = Support.Rng
+
+type family = Min_relax | Max_relax | Sum_peel
+
+let all_families = [ Min_relax; Max_relax; Sum_peel ]
+
+let family_to_string = function
+  | Min_relax -> "min"
+  | Max_relax -> "max"
+  | Sum_peel -> "peel"
+
+let family_of_string = function
+  | "min" -> Ok Min_relax
+  | "max" -> Ok Max_relax
+  | "peel" -> Ok Sum_peel
+  | s -> Error (Printf.sprintf "unknown program family %S" s)
+
+type spec = {
+  family : family;
+  genes : string list;
+}
+
+(* Every gene preserves termination (updates stay monotone) and
+   schedule-independence of the observable results:
+   - "tmp"      bind the candidate priority to a local before updating
+   - "guard"    redundant comparison around the update (the operator
+                already ignores non-improving values)
+   - "threeary" the 3-ary update form whose middle argument is
+                informational (Fig. 3)
+   - "scale"    double the edge weight in the candidate (still positive)
+   - "reach"    second vector, [reach[dst] min= src] — the min over
+                in-neighbors that are ever relaxed, which is the set of
+                vertices with finite priority in EVERY schedule, so the
+                final vector is schedule-independent while exercising
+                reduction assignments and the atomics contract
+   - "stop"     ppsp-style stop vertex from argv[3] (vector comparison is
+                disabled: non-finalized entries are schedule-dependent)
+   - "print"    a print() after the loop, exercising the output protocol *)
+let all_genes = function
+  | Min_relax -> [ "tmp"; "guard"; "threeary"; "scale"; "reach"; "stop"; "print" ]
+  | Max_relax -> [ "guard"; "threeary"; "reach"; "print" ]
+  | Sum_peel -> [ "reach"; "print" ]
+
+let has g spec = List.mem g spec.genes
+
+let generate ~seed i =
+  let family = List.nth all_families (i mod List.length all_families) in
+  let rng = Rng.create ((seed * 131) + i) in
+  let genes = List.filter (fun _ -> Rng.bool rng) (all_genes family) in
+  { family; genes }
+
+let to_string spec =
+  family_to_string spec.family ^ ":" ^ String.concat "+" spec.genes
+
+let of_string s =
+  match String.index_opt s ':' with
+  | None -> Error (Printf.sprintf "program spec %S: expected family:genes" s)
+  | Some i ->
+      let ( let* ) = Result.bind in
+      let* family = family_of_string (String.sub s 0 i) in
+      let rest = String.sub s (i + 1) (String.length s - i - 1) in
+      let genes =
+        if rest = "" then []
+        else String.split_on_char '+' rest |> List.map String.trim
+      in
+      let pool = all_genes family in
+      let* () =
+        List.fold_left
+          (fun acc g ->
+            let* () = acc in
+            if List.mem g pool then Ok ()
+            else
+              Error
+                (Printf.sprintf "unknown gene %S for family %s" g
+                   (family_to_string family)))
+          (Ok ()) genes
+      in
+      (* canonical order, deduplicated *)
+      Ok { family; genes = List.filter (fun g -> List.mem g genes) pool }
+
+let compare_vectors spec = not (has "stop" spec)
+
+(* ---------------- rendering ---------------- *)
+
+let render_schedule buf (s : Schedule.t) =
+  (* The worker-sched axis (static/dynamic/guided) has no Schedule_lang
+     directive; repro lines carry the full schedule string instead. *)
+  Buffer.add_string buf "schedule:\n";
+  Buffer.add_string buf
+    (Printf.sprintf "program->configApplyPriorityUpdate(\"s1\", \"%s\")\n"
+       (Schedule.strategy_to_string s.Schedule.strategy));
+  Buffer.add_string buf
+    (Printf.sprintf "       ->configApplyPriorityUpdateDelta(\"s1\", %d)\n"
+       s.Schedule.delta);
+  Buffer.add_string buf
+    (Printf.sprintf "       ->configNumBuckets(\"s1\", %d)\n"
+       s.Schedule.num_open_buckets);
+  Buffer.add_string buf
+    (Printf.sprintf "       ->configBucketFusionThreshold(\"s1\", %d)\n"
+       s.Schedule.fusion_threshold);
+  Buffer.add_string buf
+    (Printf.sprintf "       ->configApplyDirection(\"s1\", \"%s\");\n"
+       (Schedule.traversal_to_string s.Schedule.traversal))
+
+let render ?(schedule = Schedule.default) spec =
+  let buf = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line "%% generated: %s" (to_string spec);
+  line "element Vertex end";
+  line "element Edge end";
+  (match spec.family with
+  | Min_relax | Max_relax ->
+      line "const edges : edgeset{Edge}(Vertex, Vertex, int) = load(argv[1]);"
+  | Sum_peel ->
+      line "const edges : edgeset{Edge}(Vertex, Vertex) = symmetrize(load(argv[1]));");
+  (match spec.family with
+  | Min_relax -> line "const dist : vector{Vertex}(int) = INT_MAX;"
+  | Max_relax -> line "const cap : vector{Vertex}(int) = 0;"
+  | Sum_peel -> line "const degrees : vector{Vertex}(int) = edges.getOutDegrees();");
+  if has "reach" spec then line "const reach : vector{Vertex}(int) = INT_MAX;";
+  line "const pq : priority_queue{Vertex}(int);";
+  line "";
+  (* ---- user function ---- *)
+  (match spec.family with
+  | Min_relax ->
+      line "func relax(src : Vertex, dst : Vertex, weight : int)";
+      let cand =
+        if has "scale" spec then "dist[src] + (weight * 2)"
+        else "dist[src] + weight"
+      in
+      let value = if has "tmp" spec then "cand" else cand in
+      if has "tmp" spec then line "    var cand : int = %s;" cand;
+      if has "reach" spec then line "    reach[dst] min= src;";
+      let update =
+        if has "threeary" spec then
+          Printf.sprintf "pq.updatePriorityMin(dst, dist[dst], %s);" value
+        else Printf.sprintf "pq.updatePriorityMin(dst, %s);" value
+      in
+      if has "guard" spec then begin
+        line "    if %s < dist[dst]" value;
+        line "        %s" update;
+        line "    end"
+      end
+      else line "    %s" update;
+      line "end"
+  | Max_relax ->
+      line "func relax(src : Vertex, dst : Vertex, weight : int)";
+      line "    var through : int = cap[src];";
+      line "    if weight < through";
+      line "        through = weight;";
+      line "    end";
+      if has "reach" spec then line "    reach[dst] min= src;";
+      let update =
+        if has "threeary" spec then "pq.updatePriorityMax(dst, cap[dst], through);"
+        else "pq.updatePriorityMax(dst, through);"
+      in
+      if has "guard" spec then begin
+        line "    if through > cap[dst]";
+        line "        %s" update;
+        line "    end"
+      end
+      else line "    %s" update;
+      line "end"
+  | Sum_peel ->
+      line "func relax(src : Vertex, dst : Vertex)";
+      line "    var k : int = pq.getCurrentPriority();";
+      if has "reach" spec then line "    reach[dst] min= src;";
+      line "    pq.updatePrioritySum(dst, -1, k);";
+      line "end");
+  line "";
+  (* ---- main ---- *)
+  line "func main()";
+  (match spec.family with
+  | Min_relax ->
+      line "    var source : int = atoi(argv[2]);";
+      if has "stop" spec then line "    var target : int = atoi(argv[3]);";
+      line "    dist[source] = 0;";
+      line
+        "    pq = new priority_queue{Vertex}(int)(true, \"lower_first\", dist, \
+         source);"
+  | Max_relax ->
+      line "    var source : int = atoi(argv[2]);";
+      line "    cap[source] = edges.getMaxWeight();";
+      line
+        "    pq = new priority_queue{Vertex}(int)(true, \"higher_first\", cap, \
+         source);"
+  | Sum_peel ->
+      line "    pq = new priority_queue{Vertex}(int)(false, \"lower_first\", degrees);");
+  (if has "stop" spec then
+     line
+       "    while (pq.finished() == false) and (pq.finishedVertex(target) == \
+        false)"
+   else line "    while (pq.finished() == false)");
+  line "        var bucket : vertexset{Vertex} = pq.dequeueReadySet();";
+  line "        #s1# edges.from(bucket).applyUpdatePriority(relax);";
+  line "        delete bucket;";
+  line "    end";
+  if has "stop" spec then line "    print(dist[target]);";
+  if has "print" spec then begin
+    match spec.family with
+    | Min_relax -> line "    print(dist[source]);"
+    | Max_relax -> line "    print(cap[source]);"
+    | Sum_peel -> line "    print(degrees[0]);"
+  end;
+  line "end";
+  line "";
+  render_schedule buf schedule;
+  Buffer.contents buf
+
+(* Statement count of the rendered bodies, kept in sync with [render].
+   The ordered while-loop counts as ONE statement: its dequeue / apply /
+   delete body is the irreducible §5.2 pattern, not shrinkable
+   structure. The forced-bug test bounds this after shrinking — the bare
+   Min_relax skeleton is 5 (update; source; init; pq; loop). *)
+let num_statements spec =
+  let udf =
+    match spec.family with
+    | Min_relax ->
+        1 (* update *)
+        + (if has "tmp" spec then 1 else 0)
+        + (if has "guard" spec then 1 else 0)
+        + if has "reach" spec then 1 else 0
+    | Max_relax ->
+        3 (* through binding + min-clamp if + update *)
+        + (if has "guard" spec then 1 else 0)
+        + if has "reach" spec then 1 else 0
+    | Sum_peel -> 2 + if has "reach" spec then 1 else 0
+  in
+  let main =
+    let loop = 1 in
+    match spec.family with
+    | Min_relax ->
+        loop + 3 (* source + init + pq *)
+        + (if has "stop" spec then 2 else 0)
+        + if has "print" spec then 1 else 0
+    | Max_relax -> loop + 3 + if has "print" spec then 1 else 0
+    | Sum_peel -> loop + 1 + if has "print" spec then 1 else 0
+  in
+  udf + main
+
+let argv ~graph_file ?(target = 0) spec =
+  match spec.family with
+  | Sum_peel -> [| "dsl_case"; graph_file |]
+  | Max_relax -> [| "dsl_case"; graph_file; "0" |]
+  | Min_relax ->
+      if has "stop" spec then
+        [| "dsl_case"; graph_file; "0"; string_of_int target |]
+      else [| "dsl_case"; graph_file; "0" |]
+
+(* Grid constraints, mirroring Sweep's per-app rules. Pull and hybrid
+   need the lazy backends (the interpreter plumbs the transpose for any
+   matched program, and Sum_peel's constant-sum histogram was verified
+   under pull); the eager backends are push-only, as in the native
+   sweep. *)
+let strategies = function
+  | Sum_peel ->
+      [
+        Schedule.Eager_with_fusion; Schedule.Eager_no_fusion; Schedule.Lazy;
+        Schedule.Lazy_constant_sum;
+      ]
+  | Min_relax | Max_relax ->
+      [ Schedule.Eager_with_fusion; Schedule.Eager_no_fusion; Schedule.Lazy ]
+
+let traversals = function
+  | Schedule.Lazy | Schedule.Lazy_constant_sum ->
+      [ Schedule.Sparse_push; Schedule.Dense_pull; Schedule.Hybrid ]
+  | Schedule.Eager_with_fusion | Schedule.Eager_no_fusion ->
+      [ Schedule.Sparse_push ]

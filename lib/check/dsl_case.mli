@@ -1,0 +1,75 @@
+(** Seeded, printable DSL programs for the differential sweep.
+
+    A case is a small well-typed GraphIt program built from a family
+    skeleton — the §5.2 ordered-loop pattern around one of the paper's
+    Table 1 update operators — plus a set of optional {e genes}, each an
+    independent statement-level feature (a redundant guard, a second
+    vector updated with a reduction, a stop vertex, a [print]). Genes are
+    chosen so every program terminates and its observable results are
+    schedule-independent, which is what lets three lanes (transform-free
+    interpreter, scheduled engine, generated C++) be compared exactly.
+
+    Specs round-trip through compact strings ([min:guard+reach+print]) so
+    failures print self-contained repro lines, and ddmin shrinking over
+    programs is just shrinking the gene list. *)
+
+type family =
+  | Min_relax  (** SSSP-shaped: [updatePriorityMin], lower-first. *)
+  | Max_relax  (** Widest-path-shaped: [updatePriorityMax], higher-first. *)
+  | Sum_peel
+      (** k-core-shaped: constant-diff [updatePrioritySum] over the
+          symmetrized graph, eligible for [lazy_constant_sum]. *)
+
+val all_families : family list
+val family_to_string : family -> string
+
+type spec = {
+  family : family;
+  genes : string list;  (** Enabled genes, a subset of [all_genes]. *)
+}
+
+(** The gene pool of a family, in canonical order. *)
+val all_genes : family -> string list
+
+(** [generate ~seed i] is the [i]-th program of the seeded stream:
+    families round-robin, gene subsets drawn from [seed]. *)
+val generate : seed:int -> int -> spec
+
+val to_string : spec -> string
+
+(** [of_string s] parses what {!to_string} prints, rejecting unknown
+    families and genes. *)
+val of_string : string -> (spec, string) result
+
+(** [render spec] prints the complete program text, ready for
+    {!Dsl.Lower.lower_string} or a [.gt] file. [schedule] (default
+    {!Ordered.Schedule.default}) is rendered into the [schedule:]
+    section via the [Schedule_lang] directives; the worker-sched axis
+    has no directive and is carried by the repro line instead. *)
+val render : ?schedule:Ordered.Schedule.t -> spec -> string
+
+(** Whether the sweep may compare full result vectors. [false] when the
+    ["stop"] gene is on: an early-stopped run leaves non-finalized
+    vertices at schedule-dependent values, so only printed output (the
+    finalized target) is comparable. *)
+val compare_vectors : spec -> bool
+
+(** Statement count of the rendered program (user function plus [main]
+    bodies); the ordered while-loop and its fixed dequeue/apply/delete
+    body count as one statement — they are the irreducible §5.2 pattern.
+    The forced-bug test bounds this after shrinking (bare [Min_relax] is
+    5). *)
+val num_statements : spec -> int
+
+(** [argv ~graph_file spec] is the argument vector the rendered program
+    expects: program name, graph file, then source/target as the genes
+    require. [target] defaults to 0. *)
+val argv : graph_file:string -> ?target:int -> spec -> string array
+
+(** Grid constraints mirroring {!Sweep}'s per-app rules: which strategies
+    a family tolerates ([Sum_peel] adds [lazy_constant_sum]) and which
+    traversals a strategy supports (pull needs the lazy backends). *)
+val strategies : family -> Ordered.Schedule.update_strategy list
+
+val traversals :
+  Ordered.Schedule.update_strategy -> Ordered.Schedule.traversal list

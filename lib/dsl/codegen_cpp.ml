@@ -1,33 +1,138 @@
-module Schedule = Ordered.Schedule
+(* C++ code generation against the Edge_map runtime semantics.
 
-type ctx = {
+   The old backend printed the *shape* of the paper's Fig. 9/10 code against
+   an imaginary runtime header; this one emits a complete, compilable
+   program whose observable behaviour matches the interpreter, so the
+   differential checker can run compiled-vs-interp lanes. Everything the
+   emitted runtime does is a sequential port of the OCaml structures the
+   interpreter executes on:
+
+   - [LazyBuckets]   <- lib/bucketing/lazy_buckets.ml   (window + overflow +
+                        stamp dedup + stale-key drops on re-rooting)
+   - [EagerBuckets]  <- lib/bucketing/eager_buckets.ml  (slot clamp, local
+                        bins, bucket-fusion take_local)
+   - [PriorityQueue] <- lib/ordered/priority_queue.ml   (pending-prefetch
+                        finished/dequeue protocol, bulk-update buffer,
+                        constant-sum histogram flush with floor clamping)
+   - edge_map_*      <- lib/traverse/edge_map.ml        (push over sparse
+                        members with the atomics contract, pull over the
+                        transpose gated by a frontier bitmap, Ligra's
+                        |E|/20 hybrid heuristic)
+   - the ordered loop skeleton <- lib/ordered/engine.ml (processing filter
+                        for eager strategies, fused drain epilogue, stop
+                        vertex checked before finished())
+
+   Behavioural fidelity rules worth keeping in mind when editing:
+   - the sentinel is OCaml's max_int (kNullPriority); arithmetic is 64-bit
+     here vs 63-bit in OCaml, so programs must stay in range;
+   - under push the destination cells are shared and updates go through the
+     atomic_* helpers; under pull the iterating worker owns the destination
+     row and the plain_* variants apply. The sequential build makes both
+     plain read-modify-writes, but the call sites mark exactly where a
+     parallel backend must CAS — and the two variants genuinely differ for
+     updatePriorityMax (the plain form refuses to revive the null sentinel).
+
+   Programs that do not match the §5.2 ordered-loop pattern compile to a
+   stub that exits with status 2 ("lane unavailable" to the sweep driver);
+   constructs outside the compiled subset emit a trap() with the same
+   status, so generation itself is total. *)
+
+module Schedule = Ordered.Schedule
+module Order = Bucketing.Bucket_order
+
+(* ---------------- emission helpers ---------------- *)
+
+type kind = K_int | K_bool | K_str
+
+type gkind =
+  | G_vector
+  | G_edgeset
+  | G_pq
+  | G_scalar of kind
+
+type env = {
   buf : Buffer.t;
   mutable indent : int;
+  program : Ast.program;
   schedule : Schedule.t;
-  pq_name : string;
-  udf : Analysis.udf_info option;
+  pq_info : Analysis.pq_info;
+  loop : Analysis.ordered_loop;
+  globals : (string * gkind) list;  (* DSL name -> classification *)
+  (* derived, baked into the emitted constants *)
+  delta : int;
+  lower_first : bool;
+  eager : bool;
+  fusion : bool;
+  constant_sum : int option;
+  mutable locals : (string * kind) list;
+  (* "use_atomics" inside the UDF, "true" in main (sequential context) *)
+  mutable atomics : string;
 }
 
-let line ctx fmt =
+let line env fmt =
   Printf.ksprintf
     (fun s ->
-      if s = "" then Buffer.add_char ctx.buf '\n'
+      if s = "" then Buffer.add_char env.buf '\n'
       else begin
-        Buffer.add_string ctx.buf (String.make (2 * ctx.indent) ' ');
-        Buffer.add_string ctx.buf s;
-        Buffer.add_char ctx.buf '\n'
+        Buffer.add_string env.buf (String.make (2 * env.indent) ' ');
+        Buffer.add_string env.buf s;
+        Buffer.add_char env.buf '\n'
       end)
     fmt
 
-let indented ctx f =
-  ctx.indent <- ctx.indent + 1;
-  f ();
-  ctx.indent <- ctx.indent - 1
+(* Verbatim runtime text: emitted as-is (already indented). *)
+let raw env s = Buffer.add_string env.buf s
 
-let block ctx header f =
-  line ctx "%s {" header;
-  indented ctx f;
-  line ctx "}"
+let indented env f =
+  env.indent <- env.indent + 1;
+  f ();
+  env.indent <- env.indent - 1
+
+(* C++ keywords plus every identifier the emitted runtime uses at namespace
+   scope; DSL names that collide get a trailing underscore. *)
+let cpp_reserved =
+  [
+    "alignas"; "alignof"; "and"; "asm"; "auto"; "bool"; "break"; "case";
+    "catch"; "char"; "class"; "const"; "constexpr"; "continue"; "default";
+    "delete"; "do"; "double"; "else"; "enum"; "explicit"; "export"; "extern";
+    "false"; "float"; "for"; "friend"; "goto"; "if"; "inline"; "int"; "long";
+    "mutable"; "namespace"; "new"; "not"; "nullptr"; "operator"; "or";
+    "private"; "protected"; "public"; "register"; "return"; "short"; "signed";
+    "sizeof"; "static"; "struct"; "switch"; "template"; "this"; "throw";
+    "true"; "try"; "typedef"; "typeid"; "typename"; "union"; "unsigned";
+    "using"; "virtual"; "void"; "volatile"; "while";
+    (* runtime identifiers *)
+    "i64"; "kNullPriority"; "kNullKey"; "kMinCursor"; "kLowerFirst";
+    "kDelta"; "kNumOpenBuckets"; "kFusionThreshold"; "kConstantSumDiff";
+    "die"; "trap"; "arg"; "to_i64"; "print_int"; "print_bool"; "print_str";
+    "dump_vec"; "g_argc"; "g_argv"; "Edge"; "EdgeList"; "Graph";
+    "load_edges"; "symmetrize_edges"; "csr_of"; "transpose_of";
+    "out_degrees"; "max_weight"; "key_of_priority"; "representative_priority";
+    "atomic_write_min"; "atomic_write_max"; "plain_write_min";
+    "plain_write_max"; "reduce_min"; "reduce_max"; "reduce_plus";
+    "LazyBuckets"; "EagerBuckets"; "PriorityQueue"; "frontier";
+    "in_frontier"; "dense_threshold"; "edge_map_push"; "edge_map_pull";
+    "edge_map_round"; "main"; "argc"; "argv"; "stop_v"; "use_atomics";
+  ]
+
+let cpp_name n = if List.mem n cpp_reserved then n ^ "_" else n
+
+let gname env n =
+  match List.assoc_opt n env.globals with
+  | Some _ -> cpp_name n
+  | None -> cpp_name n
+
+let udf_cpp_name name = "udf_" ^ cpp_name name
+
+let kind_of_typ = function
+  | Ast.T_bool -> K_bool
+  | Ast.T_string -> K_str
+  | _ -> K_int
+
+let ctype_of_kind = function
+  | K_int -> "i64"
+  | K_bool -> "bool"
+  | K_str -> "const char*"
 
 (* ---------------- expression translation ---------------- *)
 
@@ -45,340 +150,1177 @@ let binop_str = function
   | Ast.And -> "&&"
   | Ast.Or -> "||"
 
-(* [mapping] renames UDF parameters to the C++ loop variables of the chosen
-   traversal (e.g. dst -> "dst.v", weight -> "dst.weight" under push). *)
-let rec expr_str ctx mapping (e : Ast.expr) =
+let kind_of env (e : Ast.expr) =
+  match e.Ast.desc with
+  | Ast.Int_lit _ -> K_int
+  | Ast.Bool_lit _ -> K_bool
+  | Ast.String_lit _ -> K_str
+  | Ast.Var v -> (
+      match List.assoc_opt v env.locals with
+      | Some k -> k
+      | None -> (
+          match List.assoc_opt v env.globals with
+          | Some (G_scalar k) -> k
+          | _ -> K_int))
+  | Ast.Index ({ Ast.desc = Ast.Var "argv"; _ }, _) -> K_str
+  | Ast.Index _ -> K_int
+  | Ast.Binop ((Ast.Eq | Ast.Neq | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.And | Ast.Or), _, _)
+    -> K_bool
+  | Ast.Binop _ -> K_int
+  | Ast.Unop (Ast.Not, _) -> K_bool
+  | Ast.Unop (Ast.Neg, _) -> K_int
+  | Ast.Method_call (_, ("finished" | "finishedVertex"), _) -> K_bool
+  | _ -> K_int
+
+let trap_expr what = Printf.sprintf "trap(\"%s\")" (String.escaped what)
+
+let rec cexpr env (e : Ast.expr) =
   match e.Ast.desc with
   | Ast.Int_lit i -> string_of_int i
   | Ast.Bool_lit b -> if b then "true" else "false"
   | Ast.String_lit s -> Printf.sprintf "%S" s
   | Ast.Var v -> (
-      match List.assoc_opt v mapping with
-      | Some mapped -> mapped
-      | None -> if v = "INT_MAX" then "INT_MAX" else v)
+      match List.assoc_opt v env.locals with
+      | Some _ -> cpp_name v
+      | None -> (
+          match List.assoc_opt v env.globals with
+          | Some _ -> cpp_name v
+          | None -> if v = "INT_MAX" then "kNullPriority" else cpp_name v))
   | Ast.Index ({ Ast.desc = Ast.Var "argv"; _ }, idx) ->
-      Printf.sprintf "argv[%s]" (expr_str ctx mapping idx)
+      Printf.sprintf "arg(%s)" (cexpr env idx)
   | Ast.Index (base, idx) ->
-      Printf.sprintf "%s[%s]" (expr_str ctx mapping base) (expr_str ctx mapping idx)
+      Printf.sprintf "%s[%s]" (cexpr env base) (cexpr env idx)
   | Ast.Binop (op, lhs, rhs) ->
-      Printf.sprintf "(%s %s %s)" (expr_str ctx mapping lhs) (binop_str op)
-        (expr_str ctx mapping rhs)
-  | Ast.Unop (Ast.Neg, x) -> Printf.sprintf "(-%s)" (expr_str ctx mapping x)
-  | Ast.Unop (Ast.Not, x) -> Printf.sprintf "(!%s)" (expr_str ctx mapping x)
-  | Ast.Call ("atoi", args) ->
-      Printf.sprintf "atoi(%s)" (String.concat ", " (List.map (expr_str ctx mapping) args))
-  | Ast.Call ("load", args) ->
-      Printf.sprintf "loadGraph(%s)"
-        (String.concat ", " (List.map (expr_str ctx mapping) args))
-  | Ast.Call (name, args) ->
-      Printf.sprintf "%s(%s)" name
-        (String.concat ", " (List.map (expr_str ctx mapping) args))
-  | Ast.Method_call ({ Ast.desc = Ast.Var recv; _ }, name, args) when recv = ctx.pq_name
-    ->
-      let cpp_name =
-        match name with
-        | "getCurrentPriority" | "get_current_priority" -> "get_current_priority"
-        | other -> other
-      in
-      Printf.sprintf "pq->%s(%s)" cpp_name
-        (String.concat ", " (List.map (expr_str ctx mapping) args))
-  | Ast.Method_call (recv, name, args) ->
-      Printf.sprintf "%s.%s(%s)" (expr_str ctx mapping recv) name
-        (String.concat ", " (List.map (expr_str ctx mapping) args))
-  | Ast.New_vertexset { size; _ } ->
-      Printf.sprintf "new VertexSubset<NodeID>(num_verts, %s)" (expr_str ctx mapping size)
-  | Ast.New_priority_queue { args; _ } ->
-      let kind =
-        if Schedule.is_eager ctx.schedule then "EagerPriorityQueue"
-        else "LazyPriorityQueue"
-      in
-      Printf.sprintf "new %s(%s, delta)" kind
-        (String.concat ", " (List.map (expr_str ctx mapping) args))
+      Printf.sprintf "(%s %s %s)" (cexpr env lhs) (binop_str op) (cexpr env rhs)
+  | Ast.Unop (Ast.Neg, x) -> Printf.sprintf "(-%s)" (cexpr env x)
+  | Ast.Unop (Ast.Not, x) -> Printf.sprintf "(!%s)" (cexpr env x)
+  | Ast.Call ("atoi", [ x ]) -> Printf.sprintf "to_i64(%s)" (cexpr env x)
+  | Ast.Call ("load", [ x ]) ->
+      Printf.sprintf "csr_of(load_edges(%s))" (cexpr env x)
+  | Ast.Call ("symmetrize", [ { Ast.desc = Ast.Call ("load", [ x ]); _ } ]) ->
+      Printf.sprintf "csr_of(symmetrize_edges(load_edges(%s)))" (cexpr env x)
+  | Ast.Call (name, _) -> trap_expr (Printf.sprintf "call to %s()" name)
+  | Ast.Method_call ({ Ast.desc = Ast.Var recv; _ }, m, args)
+    when recv = env.pq_info.Analysis.pq_name ->
+      cexpr_pq env m args
+  | Ast.Method_call ({ Ast.desc = Ast.Var recv; _ }, "getOutDegrees", [])
+    when List.assoc_opt recv env.globals = Some G_edgeset ->
+      Printf.sprintf "out_degrees(%s)" (cpp_name recv)
+  | Ast.Method_call ({ Ast.desc = Ast.Var recv; _ }, "getMaxWeight", [])
+    when List.assoc_opt recv env.globals = Some G_edgeset ->
+      Printf.sprintf "max_weight(%s)" (cpp_name recv)
+  | Ast.Method_call (_, name, _) -> trap_expr (Printf.sprintf "method %s()" name)
+  | Ast.New_priority_queue _ -> trap_expr "priority queue outside assignment"
+  | Ast.New_vertexset _ -> trap_expr "vertexset value"
 
-(* ---------------- user function translation ---------------- *)
+and cexpr_pq env m args =
+  let pq = cpp_name env.pq_info.Analysis.pq_name in
+  match (m, args) with
+  | "finished", [] -> Printf.sprintf "%s.finished()" pq
+  | "finishedVertex", [ v ] ->
+      Printf.sprintf "%s.finished_vertex(%s)" pq (cexpr env v)
+  | ("getCurrentPriority" | "get_current_priority"), [] ->
+      Printf.sprintf "%s.get_current_priority()" pq
+  | "updatePriorityMin", (target :: _ :: _ as all) ->
+      (* (vertex, [old_value,] new_value): the middle argument of the 3-ary
+         form is informational, like the interpreter treats it. *)
+      let value = List.nth all (List.length all - 1) in
+      Printf.sprintf "%s.update_priority_min(%s, %s, %s)" pq env.atomics
+        (cexpr env target) (cexpr env value)
+  | "updatePriorityMax", (target :: _ :: _ as all) ->
+      let value = List.nth all (List.length all - 1) in
+      Printf.sprintf "%s.update_priority_max(%s, %s, %s)" pq env.atomics
+        (cexpr env target) (cexpr env value)
+  | "updatePrioritySum", target :: diff :: rest ->
+      let floor = match rest with [ f ] -> cexpr env f | _ -> "0" in
+      Printf.sprintf "%s.update_priority_sum(%s, %s, %s)" pq (cexpr env target)
+        (cexpr env diff) floor
+  | name, _ -> trap_expr (Printf.sprintf "priority-queue call %s()" name)
 
-(* The priority-update operator is where the schedules diverge: each
-   strategy compiles the same DSL call to different synchronization
-   (Fig. 9 / Fig. 10 of the paper). *)
-let emit_priority_update ctx mapping op_args op_kind =
-  let dst =
-    match op_args with
-    | target :: _ -> expr_str ctx mapping target
-    | [] -> "dst.v"
-  in
-  let new_val =
-    match (op_kind, op_args) with
-    | `Sum, _ :: diff :: _ -> expr_str ctx mapping diff
-    | _, args -> (
-        match List.rev args with
-        | last :: _ -> expr_str ctx mapping last
-        | [] -> "0")
-  in
-  let vec =
-    match ctx.udf with
-    | Some _ -> "pq->priority_vector"
-    | None -> "priority"
-  in
-  match (ctx.schedule.Schedule.strategy, ctx.schedule.Schedule.traversal, op_kind) with
-  | (Schedule.Lazy | Schedule.Lazy_constant_sum), (Schedule.Sparse_push | Schedule.Hybrid), `Min ->
-      line ctx "bool tracking_var = atomicWriteMin(&%s[%s], %s);" vec dst new_val;
-      line ctx "if (tracking_var && CAS(&dedup_flags[%s], 0, 1)) {" dst;
-      indented ctx (fun () -> line ctx "outEdges[offset + j] = %s;" dst);
-      line ctx "} else { outEdges[offset + j] = UINT_MAX; }";
-      line ctx "j++;"
-  | (Schedule.Lazy | Schedule.Lazy_constant_sum), Schedule.Dense_pull, `Min ->
-      (* Pull owns the destination: no atomics (Fig. 9(b)). *)
-      line ctx "if (%s < %s[%s]) {" new_val vec dst;
-      indented ctx (fun () ->
-          line ctx "%s[%s] = %s;" vec dst new_val;
-          line ctx "if (CAS(&dedup_flags[%s], 0, 1)) { next[%s] = 1; }" dst dst);
-      line ctx "}"
-  | (Schedule.Eager_with_fusion | Schedule.Eager_no_fusion), _, `Min ->
-      line ctx "bool changed = atomicWriteMin(&%s[%s], %s);" vec dst new_val;
-      line ctx "if (changed) {";
-      indented ctx (fun () ->
-          line ctx "size_t dest_bin = %s / delta;" new_val;
-          line ctx "if (dest_bin >= local_bins.size()) {";
-          indented ctx (fun () -> line ctx "local_bins.resize(dest_bin + 1);");
-          line ctx "}";
-          line ctx "local_bins[dest_bin].push_back(%s);" dst);
-      line ctx "}"
-  | _, _, `Max ->
-      line ctx "bool tracking_var = atomicWriteMax(&%s[%s], %s);" vec dst new_val;
-      line ctx "if (tracking_var) { updateBucketOf(pq, %s); }" dst
-  | Schedule.Lazy_constant_sum, _, `Sum ->
-      line ctx "// constant-sum update: reduced via histogram (see";
-      line ctx "// apply_f_transformed below); only the count is recorded here.";
-      line ctx "histogram_record(%s);" dst
-  | _, _, `Sum ->
-      let floor =
-        match op_args with
-        | [ _; _; threshold ] -> expr_str ctx mapping threshold
-        | _ -> "INT_MIN"
-      in
-      line ctx "bool changed = atomicAddWithFloor(&%s[%s], %s, %s);" vec dst new_val floor;
-      line ctx "if (changed) { local_bins_insert(pq, %s, %s[%s] / delta); }" dst vec dst
+(* ---------------- statement translation ---------------- *)
 
-let rec emit_udf_stmt ctx mapping (s : Ast.stmt) =
+let rec cstmt env ~in_main (s : Ast.stmt) =
   match s.Ast.sdesc with
-  | Ast.S_var_decl (name, _, Some init) ->
-      line ctx "int %s = %s;" name (expr_str ctx mapping init)
-  | Ast.S_var_decl (name, _, None) -> line ctx "int %s;" name
-  | Ast.S_assign (name, e) -> line ctx "%s = %s;" name (expr_str ctx mapping e)
+  | Ast.S_var_decl (_, (Ast.T_vertexset _ | Ast.T_edgeset _ | Ast.T_priority_queue _), _)
+    ->
+      line env "%s;" (trap_expr "non-scalar local declaration")
+  | Ast.S_var_decl (name, typ, init) ->
+      let k = kind_of_typ typ in
+      let init_str =
+        match init with
+        | Some e -> cexpr env e
+        | None -> ( match k with K_bool -> "false" | K_str -> "\"\"" | K_int -> "0")
+      in
+      env.locals <- (name, k) :: env.locals;
+      line env "%s %s = %s;" (ctype_of_kind k) (cpp_name name) init_str
+  | Ast.S_assign (name, { Ast.desc = Ast.New_priority_queue _; _ })
+    when name = env.pq_info.Analysis.pq_name && in_main ->
+      emit_pq_construction env
+  | Ast.S_assign (name, e) -> line env "%s = %s;" (cpp_name name) (cexpr env e)
   | Ast.S_index_assign (vec, idx, e) ->
-      line ctx "%s[%s] = %s;" vec (expr_str ctx mapping idx) (expr_str ctx mapping e)
-  | Ast.S_reduce_assign (rd, vec, idx, e) -> (
-      let target = Printf.sprintf "%s[%s]" vec (expr_str ctx mapping idx) in
-      let value = expr_str ctx mapping e in
-      let is_dst_write =
-        match (ctx.udf, idx.Ast.desc) with
-        | Some udf, Ast.Var v -> v = udf.Analysis.dst_param
-        | _ -> false
+      line env "%s[%s] = %s;" (gname env vec) (cexpr env idx) (cexpr env e)
+  | Ast.S_reduce_assign (rd, vec, idx, e) ->
+      let op =
+        match rd with
+        | Ast.Rd_min -> "reduce_min"
+        | Ast.Rd_max -> "reduce_max"
+        | Ast.Rd_plus -> "reduce_plus"
       in
-      let atomic =
-        is_dst_write && ctx.schedule.Schedule.traversal = Schedule.Sparse_push
+      line env "%s(%s, %s, %s, %s);" op (gname env vec) (cexpr env idx)
+        (cexpr env e) env.atomics
+  | Ast.S_expr { Ast.desc = Ast.Call ("print", [ a ]); _ } -> (
+      match kind_of env a with
+      | K_str -> line env "print_str(%s);" (cexpr env a)
+      | K_bool -> line env "print_bool(%s);" (cexpr env a)
+      | K_int -> line env "print_int(%s);" (cexpr env a))
+  | Ast.S_expr e -> line env "%s;" (cexpr env e)
+  | Ast.S_while (cond, body) -> (
+      let matched =
+        if in_main then
+          match
+            Analysis.match_while env.program ~pq_name:env.pq_info.Analysis.pq_name
+              ~cond ~body
+          with
+          | Ok (Some loop) -> Some loop
+          | Ok None | Error _ -> None
+        else None
       in
-      match (rd, atomic) with
-      | Ast.Rd_min, true -> line ctx "atomicWriteMin(&%s, %s);" target value
-      | Ast.Rd_min, false ->
-          line ctx "if (%s < %s) { %s = %s; }" value target target value
-      | Ast.Rd_max, true -> line ctx "atomicWriteMax(&%s, %s);" target value
-      | Ast.Rd_max, false ->
-          line ctx "if (%s > %s) { %s = %s; }" value target target value
-      | Ast.Rd_plus, true -> line ctx "fetch_and_add(&%s, %s);" target value
-      | Ast.Rd_plus, false -> line ctx "%s += %s;" target value)
-  | Ast.S_expr { Ast.desc = Ast.Method_call ({ Ast.desc = Ast.Var recv; _ }, op, args); _ }
-    when recv = ctx.pq_name -> (
-      match op with
-      | "updatePriorityMin" -> emit_priority_update ctx mapping args `Min
-      | "updatePriorityMax" -> emit_priority_update ctx mapping args `Max
-      | "updatePrioritySum" -> emit_priority_update ctx mapping args `Sum
-      | other -> line ctx "pq->%s();" other)
-  | Ast.S_expr e -> line ctx "%s;" (expr_str ctx mapping e)
+      match matched with
+      | Some loop -> emit_ordered_loop env loop
+      | None ->
+          let saved = env.locals in
+          line env "while (%s) {" (cexpr env cond);
+          indented env (fun () -> List.iter (cstmt env ~in_main) body);
+          line env "}";
+          env.locals <- saved)
   | Ast.S_if (cond, then_branch, else_branch) ->
-      line ctx "if (%s) {" (expr_str ctx mapping cond);
-      indented ctx (fun () -> List.iter (emit_udf_stmt ctx mapping) then_branch);
+      let saved = env.locals in
+      line env "if (%s) {" (cexpr env cond);
+      indented env (fun () -> List.iter (cstmt env ~in_main) then_branch);
+      env.locals <- saved;
       if else_branch <> [] then begin
-        line ctx "} else {";
-        indented ctx (fun () -> List.iter (emit_udf_stmt ctx mapping) else_branch)
+        line env "} else {";
+        indented env (fun () -> List.iter (cstmt env ~in_main) else_branch);
+        env.locals <- saved
       end;
-      line ctx "}"
-  | Ast.S_while (cond, body) ->
-      line ctx "while (%s) {" (expr_str ctx mapping cond);
-      indented ctx (fun () -> List.iter (emit_udf_stmt ctx mapping) body);
-      line ctx "}"
-  | Ast.S_delete name -> line ctx "deleteObject(%s);" name
+      line env "}"
+  | Ast.S_delete name -> line env "// delete %s: storage is runtime-managed" name
 
-let udf_mapping (udf : Analysis.udf_info) traversal =
-  match traversal with
-  | Schedule.Sparse_push | Schedule.Hybrid ->
-      (udf.Analysis.src_param, "src")
-      :: (udf.Analysis.dst_param, "dst.v")
-      ::
-      (match udf.Analysis.weight_param with
-      | Some w -> [ (w, "dst.weight") ]
-      | None -> [])
-  | Schedule.Dense_pull ->
-      (udf.Analysis.src_param, "src.v")
-      :: (udf.Analysis.dst_param, "dst")
-      ::
-      (match udf.Analysis.weight_param with
-      | Some w -> [ (w, "src.weight") ]
-      | None -> [])
+(* The priority-queue construction statement: wire the queue to its
+   priority vector and seed the initial bucket contents, exactly as
+   Priority_queue.create does. *)
+and emit_pq_construction env =
+  let pq = cpp_name env.pq_info.Analysis.pq_name in
+  let vec = cpp_name env.pq_info.Analysis.priority_vector in
+  line env "%s.init(&%s);" pq vec;
+  match env.pq_info.Analysis.start_vertex with
+  | Some e -> line env "%s.seed_start(%s);" pq (cexpr env e)
+  | None -> line env "%s.seed_all();" pq
 
-(* ---------------- loop skeletons ---------------- *)
-
-let emit_udf_body ctx program (udf : Analysis.udf_info) =
-  match Ast.find_func program udf.Analysis.udf_name with
-  | None -> line ctx "// unknown user function %s" udf.Analysis.udf_name
-  | Some f ->
-      let mapping = udf_mapping udf ctx.schedule.Schedule.traversal in
-      List.iter (emit_udf_stmt ctx mapping) f.Ast.body
-
-let emit_lazy_push ctx program udf =
-  block ctx "while (!pq->finished())" (fun () ->
-      line ctx "VertexSubset* frontier = getNextBucket(pq);";
-      line ctx "uint* outEdges = setupOutputBuffer(g, frontier);";
-      line ctx "uint* offsets = setupOutputBufferOffsets(g, frontier);";
-      block ctx "parallel_for (size_t i = 0; i < frontier->size(); i++)" (fun () ->
-          line ctx "uint src = frontier->vert_array[i];";
-          line ctx "uint offset = offsets[i];";
-          line ctx "int j = 0;";
-          block ctx "for (WNode dst : g.getOutNgh(src))" (fun () ->
-              emit_udf_body ctx program udf));
-      line ctx "VertexSubset* nextFrontier = setupFrontier(outEdges);";
-      line ctx "updateBuckets(nextFrontier, pq, delta);")
-
-let emit_lazy_pull ctx program udf =
-  block ctx "while (!pq->finished())" (fun () ->
-      line ctx "VertexSubset* frontier = getNextBucket(pq);";
-      line ctx "bool* next = newA(bool, g.num_nodes());";
-      line ctx "parallel_for (uint i = 0; i < numNodes; i++) next[i] = 0;";
-      block ctx "parallel_for (uint dst = 0; dst < numNodes; dst++)" (fun () ->
-          block ctx "for (WNode src : g.getInNgh(dst))" (fun () ->
-              block ctx "if (frontier->bool_map_[src.v])" (fun () ->
-                  emit_udf_body ctx program udf)));
-      line ctx "VertexSubset* nextFrontier = setupFrontier(next);";
-      line ctx "updateBuckets(nextFrontier, pq, delta);")
-
-let emit_eager ctx program udf ~fusion =
-  line ctx "uint* frontier = new uint[G.num_edges()];";
-  line ctx "frontier[0] = start_vertex;";
-  line ctx "#pragma omp parallel";
-  line ctx "{";
-  indented ctx (fun () ->
-      line ctx "vector<vector<uint>> local_bins(0);";
-      block ctx "while (!pq->finished())" (fun () ->
-          line ctx "#pragma omp for nowait schedule(dynamic, %d)"
-            ctx.schedule.Schedule.chunk_size;
-          block ctx "for (size_t i = 0; i < frontier_size; i++)" (fun () ->
-              line ctx "uint src = frontier[i];";
-              line ctx "if (pq->get_bucket(pq->priority_vector[src]) != curr_bin) continue;";
-              block ctx "for (WNode dst : g.getOutNgh(src))" (fun () ->
-                  emit_udf_body ctx program udf));
-          if fusion then begin
-            line ctx "// bucket fusion (Fig. 7): drain this thread's current bin";
-            line ctx "// without a global synchronization while it stays small.";
-            block ctx
-              (Printf.sprintf
-                 "while (curr_bin < local_bins.size() && \
-                  !local_bins[curr_bin].empty() && local_bins[curr_bin].size() < %d)"
-                 ctx.schedule.Schedule.fusion_threshold)
-              (fun () ->
-                line ctx "vector<uint> fused = std::move(local_bins[curr_bin]);";
-                block ctx "for (uint src : fused)" (fun () ->
-                    line ctx
-                      "if (pq->get_bucket(pq->priority_vector[src]) != curr_bin) \
-                       continue;";
-                    block ctx "for (WNode dst : g.getOutNgh(src))" (fun () ->
-                        emit_udf_body ctx program udf)))
-          end;
-          line ctx "#pragma omp barrier";
-          line ctx "// propose this thread's next bucket; min across threads wins";
-          line ctx "// copy local buckets of the winning priority to the global frontier";
-          line ctx "#pragma omp barrier"));
-  line ctx "}"
-
-let emit_constant_sum_function ctx udf =
-  let diff =
-    match udf.Analysis.constant_sum_diff with
-    | Some d -> d
-    | None -> 0
+(* The §5.2 transformation: the matched while loop is replaced by the
+   ordered processing operator's round loop. *)
+and emit_ordered_loop env (loop : Analysis.ordered_loop) =
+  let pq = cpp_name env.pq_info.Analysis.pq_name in
+  let edges = cpp_name loop.Analysis.edgeset_name in
+  let traversal = env.schedule.Schedule.traversal in
+  line env "";
+  line env "// ---- ordered processing loop (replaces the matched §5.2 pattern) ----";
+  (match traversal with
+  | Schedule.Dense_pull | Schedule.Hybrid ->
+      line env "%s_t = transpose_of(%s);" edges edges;
+      line env "in_frontier.assign(%s.n, 0);" edges
+  | Schedule.Sparse_push -> ());
+  (match traversal with
+  | Schedule.Hybrid ->
+      line env "dense_threshold = %s.m / 20;  // Ligra's density cutoff" edges
+  | _ -> ());
+  let round_fn =
+    match traversal with
+    | Schedule.Sparse_push -> "edge_map_push"
+    | Schedule.Dense_pull -> "edge_map_pull"
+    | Schedule.Hybrid -> "edge_map_round"
   in
-  line ctx "// transformed constant-sum user function (Fig. 10)";
-  block ctx "auto apply_f_transformed = [&] (uint vertex, uint count)" (fun () ->
-      line ctx "int k = pq->get_current_priority();";
-      line ctx "int priority = pq->priority_vector[vertex];";
-      block ctx "if (priority > k)" (fun () ->
-          line ctx "uint __new_pri = std::max(priority + (%d) * count, k);" diff;
-          line ctx "pq->priority_vector[vertex] = __new_pri;";
-          line ctx "return wrap(vertex, pq->get_bucket(__new_pri));");
-      line ctx "return Maybe<tuple<uint, uint>>();");
-  line ctx ";";
-  block ctx "while (!pq->finished())" (fun () ->
-      line ctx "VertexSubset* frontier = getNextBucket(pq);";
-      line ctx "// histogram: count updates per destination, then apply";
-      line ctx "// apply_f_transformed once per distinct vertex.";
-      line ctx "updateBucketWithGraphItVertexMap(frontier, apply_f_transformed);")
+  let cond =
+    match loop.Analysis.stop_vertex with
+    | Some e ->
+        (* The engine checks the stop vertex before finished() each round. *)
+        line env "i64 stop_v = %s;" (cexpr env e);
+        Printf.sprintf "!%s.finished_vertex(stop_v) && !%s.finished()" pq pq
+    | None -> Printf.sprintf "!%s.finished()" pq
+  in
+  line env "while (%s) {" cond;
+  indented env (fun () ->
+      line env "%s.dequeue_ready_set(&frontier);" pq;
+      line env "%s(frontier);" round_fn);
+  line env "}"
 
-(* ---------------- whole program ---------------- *)
+(* ---------------- fixed runtime text ---------------- *)
+
+let emit_prelude env =
+  raw env
+    {|#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+typedef int64_t i64;
+
+// OCaml's 63-bit max_int: the DSL's INT_MAX, the "unreached" sentinel
+// (Bucket_order.null_priority) and the null bucket key.
+static const i64 kNullPriority = INT64_C(4611686018427387903);
+static const i64 kNullKey = kNullPriority;
+static const i64 kMinCursor = INT64_MIN;
+
+static void die(const char* msg) {
+  std::fprintf(stderr, "error: %s\n", msg);
+  std::exit(2);
+}
+
+// Constructs outside the compiled subset abort with the same status the
+// sweep driver reads as "compiled lane unavailable".
+static i64 trap(const char* what) {
+  std::fprintf(stderr, "unsupported construct: %s\n", what);
+  std::exit(2);
+}
+
+static int g_argc;
+static char** g_argv;
+
+static const char* arg(i64 i) {
+  if (i < 0 || i >= (i64)g_argc) die("argv index out of range");
+  return g_argv[i];
+}
+
+static i64 to_i64(const char* s) {
+  char* end = nullptr;
+  long long v = std::strtoll(s, &end, 10);
+  while (end != nullptr && *end != '\0' && std::isspace((unsigned char)*end)) end++;
+  if (end == s || (end != nullptr && *end != '\0')) die("atoi: not an integer");
+  return (i64)v;
+}
+
+// Output protocol consumed by the differential checker.
+static void print_int(i64 v) { std::printf("out %lld\n", (long long)v); }
+static void print_bool(bool b) { std::printf("out %s\n", b ? "true" : "false"); }
+static void print_str(const char* s) { std::printf("out %s\n", s); }
+
+static void dump_vec(const char* name, const std::vector<i64>& v) {
+  std::printf("vec %s", name);
+  for (i64 x : v) std::printf(" %lld", (long long)x);
+  std::printf("\n");
+}
+
+// ---- graph substrate (mirrors Graph_io.read_edge_list + Edge_list/Csr) ----
+
+struct Edge {
+  i64 src, dst, w;
+};
+
+struct EdgeList {
+  i64 n = 0;
+  std::vector<Edge> edges;
+};
+
+struct Graph {
+  i64 n = 0, m = 0;
+  std::vector<i64> off, dst, w;
+};
+
+static EdgeList load_edges(const char* path) {
+  std::FILE* f = std::fopen(path, "r");
+  if (f == nullptr) die("cannot open graph file");
+  EdgeList el;
+  bool have_header = false;
+  char line[512];
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    bool blank = true;
+    for (char* p = line; *p != '\0'; p++)
+      if (!std::isspace((unsigned char)*p)) blank = false;
+    if (blank) continue;
+    if (!have_header) {
+      long long n = 0, m = 0;
+      if (std::sscanf(line, "# %lld %lld", &n, &m) != 2)
+        die("graph header must be '# num_vertices num_edges'");
+      if (n < 0) die("negative vertex count");
+      el.n = (i64)n;
+      have_header = true;
+      continue;
+    }
+    long long s = 0, d = 0, w = 0;
+    if (std::sscanf(line, "%lld %lld %lld", &s, &d, &w) != 3)
+      die("edge lines must be 'src dst weight'");
+    if (s < 0 || s >= el.n || d < 0 || d >= el.n) die("edge endpoint out of range");
+    if (w <= 0) die("edge weights must be positive");
+    el.edges.push_back(Edge{(i64)s, (i64)d, (i64)w});
+  }
+  std::fclose(f);
+  if (!have_header) die("empty graph file");
+  return el;
+}
+
+// Mirror of Edge_list.symmetrized: add every edge's reverse, then dedup —
+// sort by (src, dst, weight), drop self-loops, keep the cheapest copy of
+// each parallel edge.
+static EdgeList symmetrize_edges(EdgeList el) {
+  std::vector<Edge> all = el.edges;
+  all.reserve(2 * el.edges.size());
+  for (size_t i = 0; i < el.edges.size(); i++)
+    all.push_back(Edge{el.edges[i].dst, el.edges[i].src, el.edges[i].w});
+  std::sort(all.begin(), all.end(), [](const Edge& a, const Edge& b) {
+    if (a.src != b.src) return a.src < b.src;
+    if (a.dst != b.dst) return a.dst < b.dst;
+    return a.w < b.w;
+  });
+  EdgeList out;
+  out.n = el.n;
+  for (const Edge& e : all) {
+    if (e.src == e.dst) continue;
+    if (!out.edges.empty() && out.edges.back().src == e.src &&
+        out.edges.back().dst == e.dst)
+      continue;
+    out.edges.push_back(e);
+  }
+  return out;
+}
+
+static Graph csr_of(const EdgeList& el) {
+  Graph g;
+  g.n = el.n;
+  g.m = (i64)el.edges.size();
+  g.off.assign(g.n + 1, 0);
+  for (const Edge& e : el.edges) g.off[e.src + 1]++;
+  for (i64 v = 0; v < g.n; v++) g.off[v + 1] += g.off[v];
+  g.dst.assign(g.m, 0);
+  g.w.assign(g.m, 0);
+  std::vector<i64> cursor(g.off.begin(), g.off.end() - 1);
+  for (const Edge& e : el.edges) {
+    i64 i = cursor[e.src]++;
+    g.dst[i] = e.dst;
+    g.w[i] = e.w;
+  }
+  return g;
+}
+
+static Graph transpose_of(const Graph& g) {
+  EdgeList el;
+  el.n = g.n;
+  el.edges.reserve(g.m);
+  for (i64 v = 0; v < g.n; v++)
+    for (i64 e = g.off[v]; e < g.off[v + 1]; e++)
+      el.edges.push_back(Edge{g.dst[e], v, g.w[e]});
+  return csr_of(el);
+}
+
+static std::vector<i64> out_degrees(const Graph& g) {
+  std::vector<i64> d((size_t)g.n, 0);
+  for (i64 v = 0; v < g.n; v++) d[v] = g.off[v + 1] - g.off[v];
+  return d;
+}
+
+static i64 max_weight(const Graph& g) {
+  i64 best = 1;
+  for (i64 w : g.w) best = std::max(best, w);
+  return best;
+}
+|}
+
+let emit_contract env =
+  raw env
+    {|
+// ---- priority normalization (Bucket_order) ----
+
+static i64 key_of_priority(i64 p) {
+  if (p == kNullPriority) return kNullKey;
+  if (p < 0) die("negative priority");
+  return kLowerFirst ? p / kDelta : -(p / kDelta);
+}
+
+static i64 representative_priority(i64 key) {
+  return kLowerFirst ? key * kDelta : -(key * kDelta);
+}
+
+// ---- atomics contract (Fig. 9) ----
+// Under push traversal destination cells are shared between workers and
+// every update goes through the atomic_* slots; under pull traversal the
+// iterating worker owns the destination row and the plain_* variants
+// apply. This reference build is sequential, so the atomic slots are plain
+// read-modify-writes — but the call sites mark exactly where a parallel
+// backend must CAS.
+
+static inline bool atomic_write_min(std::vector<i64>& a, i64 i, i64 v) {
+  if (v < a[i]) { a[i] = v; return true; }
+  return false;
+}
+
+static inline bool plain_write_min(std::vector<i64>& a, i64 i, i64 v) {
+  if (v < a[i]) { a[i] = v; return true; }
+  return false;
+}
+
+// fetch-max never beats the null sentinel (nothing exceeds max_int)...
+static inline bool atomic_write_max(std::vector<i64>& a, i64 i, i64 v) {
+  if (v > a[i]) { a[i] = v; return true; }
+  return false;
+}
+
+// ...and the plain variant refuses to revive it explicitly.
+static inline bool plain_write_max(std::vector<i64>& a, i64 i, i64 v) {
+  if (a[i] == kNullPriority) return false;
+  if (v > a[i]) { a[i] = v; return true; }
+  return false;
+}
+
+static inline void reduce_min(std::vector<i64>& a, i64 i, i64 v, bool use_atomics) {
+  if (use_atomics) (void)atomic_write_min(a, i, v);
+  else (void)plain_write_min(a, i, v);
+}
+
+static inline void reduce_max(std::vector<i64>& a, i64 i, i64 v, bool use_atomics) {
+  if (use_atomics) (void)atomic_write_max(a, i, v);
+  else if (v > a[i]) a[i] = v;
+}
+
+static inline void reduce_plus(std::vector<i64>& a, i64 i, i64 v, bool use_atomics) {
+  (void)use_atomics;  // fetch-add and plain add agree sequentially
+  a[i] += v;
+}
+|}
+
+let emit_lazy_buckets env =
+  raw env
+    {|
+// ---- LazyBuckets: port of Bucketing.Lazy_buckets ----
+// A window of kNumOpenBuckets open buckets over the key space plus an
+// overflow bucket; lazily deduplicated on drain via per-vertex stamps.
+
+struct LazyBuckets {
+  std::vector<i64>* pri = nullptr;
+  std::vector<std::vector<i64>> open_buckets;
+  std::vector<i64> overflow, overflow_spill;
+  i64 window_lo = 0;
+  bool window_set = false;
+  i64 cur = kMinCursor;
+  std::vector<i64> stamps;
+  i64 stamp = 0;
+
+  void init(std::vector<i64>* p, i64 n) {
+    pri = p;
+    open_buckets.assign((size_t)kNumOpenBuckets, {});
+    stamps.assign((size_t)n, -1);
+  }
+
+  i64 key_of(i64 v) const { return key_of_priority((*pri)[v]); }
+
+  void insert(i64 v) {
+    i64 key = key_of(v);
+    if (key == kNullKey) return;
+    if (!window_set || key >= window_lo + kNumOpenBuckets) {
+      overflow.push_back(v);
+      return;
+    }
+    // Keys behind the cursor can only arise from same-bucket updates
+    // (monotonic priorities); clamp them into the current bucket.
+    key = std::max(key, std::max(cur, window_lo));
+    open_buckets[(size_t)(key - window_lo)].push_back(v);
+  }
+
+  // Re-root the window at new_lo. Keys at or behind the just-exhausted
+  // cursor are STALE copies (every priority change inserted a fresh copy
+  // at its new location) and must be dropped, or k-core would peel a
+  // vertex twice.
+  void materialize_window(i64 new_lo) {
+    i64 old_cur = window_set ? cur : kMinCursor;
+    window_lo = new_lo;
+    window_set = true;
+    cur = new_lo;
+    overflow_spill.clear();
+    for (i64 v : overflow) {
+      i64 key = key_of(v);
+      if (key != kNullKey && key >= new_lo && key > old_cur) {
+        if (key < new_lo + kNumOpenBuckets)
+          open_buckets[(size_t)(key - new_lo)].push_back(v);
+        else
+          overflow_spill.push_back(v);
+      }
+    }
+    std::swap(overflow, overflow_spill);
+    overflow_spill.clear();
+  }
+
+  // Smallest overflow key strictly after the cursor (stale keys excluded).
+  i64 min_overflow_key() const {
+    i64 c = window_set ? cur : kMinCursor;
+    i64 best = kNullKey;
+    for (i64 v : overflow) {
+      i64 key = key_of(v);
+      if (key != kNullKey && key > c && key < best) best = key;
+    }
+    return best;
+  }
+
+  // Drain one open bucket: live (key still matches) and deduplicated
+  // (one stamp per vertex per drain).
+  void drain_bucket(i64 slot, i64 key, std::vector<i64>* out) {
+    out->clear();
+    stamp++;
+    for (i64 v : open_buckets[(size_t)slot]) {
+      if (stamps[(size_t)v] != stamp && key_of(v) == key) {
+        stamps[(size_t)v] = stamp;
+        out->push_back(v);
+      }
+    }
+    open_buckets[(size_t)slot].clear();
+  }
+
+  bool next_bucket(i64* out_key, std::vector<i64>* out) {
+    for (;;) {
+      if (!window_set) {
+        if (overflow.empty()) return false;
+        i64 new_lo = min_overflow_key();
+        if (new_lo == kNullKey) { overflow.clear(); return false; }
+        materialize_window(new_lo);
+        continue;
+      }
+      i64 slot = std::max((i64)0, cur - window_lo);
+      bool rerooted = false;
+      for (;;) {
+        if (slot >= kNumOpenBuckets) {
+          // Window exhausted: re-root at the smallest overflow key.
+          if (overflow.empty()) return false;
+          i64 new_lo = min_overflow_key();
+          if (new_lo == kNullKey) { overflow.clear(); return false; }
+          materialize_window(new_lo);
+          rerooted = true;
+          break;
+        }
+        if (open_buckets[(size_t)slot].empty()) { slot++; continue; }
+        i64 key = window_lo + slot;
+        drain_bucket(slot, key, out);
+        cur = key;
+        if (out->empty()) continue;  // all stale: rescan (bucket now empty)
+        *out_key = key;
+        return true;
+      }
+      if (rerooted) continue;
+    }
+  }
+};
+|}
+
+let emit_eager_buckets env =
+  raw env
+    {|
+// ---- EagerBuckets: port of Bucketing.Eager_buckets (one worker) ----
+// Bins indexed by key - base; vertices are filed under their new bucket
+// the moment their priority improves.
+
+struct EagerBuckets {
+  i64 base = 0;
+  std::vector<std::vector<i64>> bins;
+  i64 min_slot = kNullKey;
+  i64 cur_slot = 0;
+
+  void init(i64 min_key) { base = min_key; }
+
+  void insert(i64 vertex, i64 key) {
+    if (key == kNullKey) return;
+    // Monotonic priorities never move behind the cursor except within the
+    // current bucket; clamp defensively, as GAPBS does with its floor.
+    i64 slot = std::max(key - base, cur_slot);
+    if ((size_t)slot >= bins.size()) bins.resize((size_t)slot + 1);
+    bins[(size_t)slot].push_back(vertex);
+    if (slot < min_slot) min_slot = slot;
+  }
+
+  bool next_global_key(i64* out) {
+    i64 slot = std::max(min_slot, cur_slot);
+    while ((size_t)slot < bins.size() && bins[(size_t)slot].empty()) slot++;
+    min_slot = slot;
+    if ((size_t)slot >= bins.size()) return false;
+    cur_slot = slot;
+    *out = base + slot;
+    return true;
+  }
+
+  void drain(i64 key, std::vector<i64>* out) {
+    std::vector<i64>& bin = bins[(size_t)(key - base)];
+    out->assign(bin.begin(), bin.end());
+    bin.clear();
+  }
+
+  i64 local_size(i64 key) const {
+    i64 slot = key - base;
+    return (size_t)slot < bins.size() ? (i64)bins[(size_t)slot].size() : 0;
+  }
+
+  // Fused drain support (Fig. 7): steal this worker's bin for the current
+  // bucket without a global synchronization.
+  bool take_local(i64 key, std::vector<i64>* out) {
+    i64 slot = key - base;
+    if ((size_t)slot >= bins.size() || bins[(size_t)slot].empty()) return false;
+    out->assign(bins[(size_t)slot].begin(), bins[(size_t)slot].end());
+    bins[(size_t)slot].clear();
+    return true;
+  }
+};
+|}
+
+let emit_priority_queue env =
+  let lazy_backend = not env.eager in
+  let histogram = env.constant_sum <> None in
+  raw env
+    {|
+// ---- PriorityQueue: port of Ordered.Priority_queue ----
+
+struct PriorityQueue {
+  std::vector<i64>* pri = nullptr;
+  i64 cur_key = kMinCursor;
+  bool exhausted = false;
+  // finished() prefetches the next ready set so emptiness is decidable
+  // without consuming it; dequeue_ready_set() hands it out.
+  bool has_pending = false;
+  std::vector<i64> pending;
+|};
+  if lazy_backend then begin
+    raw env
+      {|  LazyBuckets buckets;
+  // bulk-update buffer (Fig. 5): vertices whose priority changed this
+  // round, deduplicated by a per-vertex flag.
+  std::vector<uint8_t> buf_flag;
+  std::vector<i64> buffer;
+|};
+    if histogram then
+      raw env
+        {|  // constant-sum histogram (Fig. 10): updates are only counted during
+  // the round and applied once per distinct vertex at the bulk update.
+  std::vector<i64> hist_log, hist_touched, hist_count;
+|}
+  end
+  else raw env {|  EagerBuckets bins;
+|};
+  (* init / seeding *)
+  if lazy_backend then begin
+    raw env
+      {|
+  void init(std::vector<i64>* p) {
+    pri = p;
+    i64 n = (i64)p->size();
+    buckets.init(p, n);
+    buf_flag.assign((size_t)n, 0);
+|};
+    if histogram then raw env {|    hist_count.assign((size_t)n, 0);
+|};
+    raw env
+      {|  }
+
+  void seed_start(i64 v) { buckets.insert(v); }
+
+  void seed_all() {
+    for (i64 v = 0; v < (i64)pri->size(); v++) buckets.insert(v);
+  }
+|}
+  end
+  else
+    raw env
+      {|
+  void init(std::vector<i64>* p) { pri = p; }
+
+  void seed_start(i64 v) {
+    bins.init(key_of_priority((*pri)[v]));
+    bins.insert(v, key_of_priority((*pri)[v]));
+  }
+
+  void seed_all() {
+    i64 base = kNullKey;
+    for (i64 v = 0; v < (i64)pri->size(); v++)
+      base = std::min(base, key_of_priority((*pri)[v]));
+    if (base == kNullKey) base = 0;
+    bins.init(base);
+    for (i64 v = 0; v < (i64)pri->size(); v++)
+      bins.insert(v, key_of_priority((*pri)[v]));
+  }
+|};
+  (* histogram flush *)
+  if histogram then
+    raw env
+      {|
+  // Apply the buffered constant-sum updates (Fig. 10): vertices at or
+  // below the current priority are finalized and must not move; the rest
+  // drop by kConstantSumDiff * count, clamped at the current bucket.
+  void flush_histogram() {
+    i64 floor_pri = (cur_key == kMinCursor) ? 0 : representative_priority(cur_key);
+    for (i64 v : hist_log) {
+      if (hist_count[(size_t)v]++ == 0) hist_touched.push_back(v);
+    }
+    hist_log.clear();
+    for (i64 v : hist_touched) {
+      i64 count = hist_count[(size_t)v];
+      hist_count[(size_t)v] = 0;
+      i64 p = (*pri)[v];
+      if (p != kNullPriority && key_of_priority(p) > cur_key) {
+        i64 proposed = p + kConstantSumDiff * count;
+        i64 updated = kConstantSumDiff < 0 ? std::max(proposed, floor_pri) : proposed;
+        if (updated != p) {
+          (*pri)[v] = updated;
+          buckets.insert(v);
+        }
+      }
+    }
+    hist_touched.clear();
+  }
+|};
+  (* compute_next *)
+  if lazy_backend then begin
+    raw env {|
+  bool compute_next(std::vector<i64>* out) {
+|};
+    if histogram then raw env {|    flush_histogram();
+|};
+    raw env
+      {|    // bulk bucket update (Fig. 5, lines 12-13)
+    for (i64 v : buffer) {
+      buf_flag[(size_t)v] = 0;
+      buckets.insert(v);
+    }
+    buffer.clear();
+    return buckets.next_bucket(&cur_key, out);
+  }
+|}
+  end
+  else
+    raw env
+      {|
+  bool compute_next(std::vector<i64>* out) {
+    i64 key;
+    if (!bins.next_global_key(&key)) return false;
+    cur_key = key;
+    bins.drain(key, out);
+    return true;
+  }
+|};
+  (* shared protocol *)
+  raw env
+    {|
+  bool finished() {
+    if (has_pending) return false;
+    if (exhausted) return true;
+    if (compute_next(&pending)) {
+      has_pending = true;
+      return false;
+    }
+    exhausted = true;
+    return true;
+  }
+
+  void dequeue_ready_set(std::vector<i64>* out) {
+    if (has_pending) {
+      out->swap(pending);
+      pending.clear();
+      has_pending = false;
+      return;
+    }
+    if (exhausted || !compute_next(out)) die("dequeue_ready_set: finished");
+  }
+
+  i64 get_current_priority() const { return representative_priority(cur_key); }
+
+  bool finished_vertex(i64 v) const {
+    return exhausted || key_of_priority((*pri)[v]) < cur_key;
+  }
+
+  bool on_current_bucket(i64 v) const {
+    return key_of_priority((*pri)[v]) == cur_key;
+  }
+|};
+  (* record_change *)
+  if lazy_backend then
+    raw env
+      {|
+  void record_change(i64 v, i64 value) {
+    (void)value;  // lazy: the bucket is derived from the vector at drain
+    if (!buf_flag[(size_t)v]) {
+      buf_flag[(size_t)v] = 1;
+      buffer.push_back(v);
+    }
+  }
+|}
+  else
+    raw env
+      {|
+  void record_change(i64 v, i64 value) {
+    // eager: file the vertex under its new bucket immediately
+    bins.insert(v, key_of_priority(value));
+  }
+|};
+  (* update operators *)
+  raw env
+    {|
+  void update_priority_min(bool use_atomics, i64 v, i64 value) {
+    bool changed = use_atomics ? atomic_write_min(*pri, v, value)
+                               : plain_write_min(*pri, v, value);
+    if (changed) record_change(v, value);
+  }
+
+  void update_priority_max(bool use_atomics, i64 v, i64 value) {
+    bool changed = use_atomics ? atomic_write_max(*pri, v, value)
+                               : plain_write_max(*pri, v, value);
+    if (changed) record_change(v, value);
+  }
+|};
+  if histogram then
+    raw env
+      {|
+  void update_priority_sum(i64 v, i64 diff, i64 floor) {
+    (void)floor;  // the histogram flush clamps at the current bucket instead
+    if (diff != kConstantSumDiff) die("updatePrioritySum: diff != constant-sum delta");
+    hist_log.push_back(v);
+  }
+};
+|}
+  else
+    raw env
+      {|
+  void update_priority_sum(i64 v, i64 diff, i64 floor) {
+    // add-with-floor: a decrement must leave values already at or below
+    // the floor untouched (clamping them up would un-finalize them).
+    i64 cur = (*pri)[v];
+    if (diff < 0 && cur <= floor) return;
+    i64 target = std::max(floor, cur + diff);
+    if (target == cur) return;
+    (*pri)[v] = target;
+    record_change(v, target);
+  }
+};
+|}
+
+(* ---------------- traversal kernels ---------------- *)
+
+let emit_edge_maps env =
+  let edges = cpp_name env.loop.Analysis.edgeset_name in
+  let udf = udf_cpp_name env.loop.Analysis.udf.Analysis.udf_name in
+  let pq = cpp_name env.pq_info.Analysis.pq_name in
+  let traversal = env.schedule.Schedule.traversal in
+  let needs_push = traversal <> Schedule.Dense_pull in
+  let needs_pull = traversal <> Schedule.Sparse_push in
+  line env "";
+  line env "// ---- traversal kernels (mirror of Traverse.Edge_map) ----";
+  if needs_push then begin
+    line env "";
+    line env "// push: walk the sparse frontier's out-edges; destination updates go";
+    line env "// through the atomic slots (Fig. 9(a)).";
+    line env "static void edge_map_push(const std::vector<i64>& frontier) {";
+    indented env (fun () ->
+        line env "for (i64 src : frontier) {";
+        indented env (fun () ->
+            if env.eager then begin
+              line env "// eager processing filter: skip vertices no longer on the";
+              line env "// current bucket (they were reinserted deeper).";
+              line env "if (!%s.on_current_bucket(src)) continue;" pq
+            end;
+            line env "for (i64 e = %s.off[src]; e < %s.off[src + 1]; e++)" edges edges;
+            line env "  %s(/*use_atomics=*/true, src, %s.dst[e], %s.w[e]);" udf edges
+              edges);
+        line env "}";
+        if env.fusion then begin
+          line env "// bucket fusion (Fig. 7): as the kernel's per-worker epilogue,";
+          line env "// keep draining the local bin for the current bucket while it";
+          line env "// stays at or under the threshold — no global synchronization.";
+          line env "std::vector<i64> fused;";
+          line env "for (;;) {";
+          indented env (fun () ->
+              line env "i64 size = %s.bins.local_size(%s.cur_key);" pq pq;
+              line env "if (size == 0 || size > kFusionThreshold) break;";
+              line env "if (!%s.bins.take_local(%s.cur_key, &fused)) break;" pq pq;
+              line env "for (i64 src : fused) {";
+              indented env (fun () ->
+                  line env "if (!%s.on_current_bucket(src)) continue;" pq;
+                  line env "for (i64 e = %s.off[src]; e < %s.off[src + 1]; e++)" edges
+                    edges;
+                  line env "  %s(/*use_atomics=*/true, src, %s.dst[e], %s.w[e]);" udf
+                    edges edges);
+              line env "}");
+          line env "}"
+        end);
+    line env "}"
+  end;
+  if needs_pull then begin
+    line env "";
+    line env "// pull: every destination scans its in-neighbors on the transpose,";
+    line env "// gated by a frontier bitmap unless the frontier is full; the";
+    line env "// iterating worker owns the destination row, so no atomics (Fig. 9(b)).";
+    line env "static void edge_map_pull(const std::vector<i64>& frontier) {";
+    indented env (fun () ->
+        line env "bool gated = (i64)frontier.size() < %s_t.n;" edges;
+        line env "if (gated) for (i64 v : frontier) in_frontier[(size_t)v] = 1;";
+        line env "for (i64 dst = 0; dst < %s_t.n; dst++) {" edges;
+        indented env (fun () ->
+            line env "for (i64 e = %s_t.off[dst]; e < %s_t.off[dst + 1]; e++) {" edges
+              edges;
+            indented env (fun () ->
+                line env "i64 src = %s_t.dst[e];" edges;
+                line env "if (gated && !in_frontier[(size_t)src]) continue;";
+                line env "%s(/*use_atomics=*/false, src, dst, %s_t.w[e]);" udf edges);
+            line env "}");
+        line env "}";
+        line env "if (gated) for (i64 v : frontier) in_frontier[(size_t)v] = 0;");
+    line env "}"
+  end;
+  if traversal = Schedule.Hybrid then begin
+    line env "";
+    line env "// hybrid: Ligra's direction heuristic — pull when the frontier plus";
+    line env "// its out-edges cover more than 1/20 of the graph.";
+    line env "static void edge_map_round(const std::vector<i64>& frontier) {";
+    indented env (fun () ->
+        line env "i64 degree_sum = 0;";
+        line env "for (i64 v : frontier) degree_sum += %s.off[v + 1] - %s.off[v];"
+          edges edges;
+        line env "if (degree_sum + (i64)frontier.size() > dense_threshold)";
+        line env "  edge_map_pull(frontier);";
+        line env "else";
+        line env "  edge_map_push(frontier);");
+    line env "}"
+  end
+
+(* ---------------- user function ---------------- *)
+
+let emit_udf env =
+  let udf = env.loop.Analysis.udf in
+  match Ast.find_func env.program udf.Analysis.udf_name with
+  | None -> line env "// unknown user function %s" udf.Analysis.udf_name
+  | Some f ->
+      let src = cpp_name udf.Analysis.src_param in
+      let dst = cpp_name udf.Analysis.dst_param in
+      let w, w_used =
+        match udf.Analysis.weight_param with
+        | Some w -> (cpp_name w, true)
+        | None -> ("unused_weight", false)
+      in
+      line env "";
+      line env "// user function %s, applied per edge by the traversal kernel;"
+        udf.Analysis.udf_name;
+      line env "// use_atomics is the push/pull ownership contract.";
+      line env "static void %s(bool use_atomics, i64 %s, i64 %s, i64 %s) {"
+        (udf_cpp_name udf.Analysis.udf_name)
+        src dst w;
+      indented env (fun () ->
+          line env "(void)use_atomics;";
+          if not w_used then line env "(void)%s;" w;
+          env.locals <-
+            (udf.Analysis.src_param, K_int) :: (udf.Analysis.dst_param, K_int)
+            ::
+            (match udf.Analysis.weight_param with
+            | Some wp -> [ (wp, K_int) ]
+            | None -> []);
+          env.atomics <- "use_atomics";
+          List.iter (cstmt env ~in_main:false) f.Ast.body;
+          env.atomics <- "true";
+          env.locals <- []);
+      line env "}"
+
+(* ---------------- globals and main ---------------- *)
+
+let classify_globals (program : Ast.program) =
+  List.map
+    (fun (c : Ast.const_decl) ->
+      let g =
+        match c.Ast.ctyp with
+        | Ast.T_edgeset _ -> G_edgeset
+        | Ast.T_vector _ -> G_vector
+        | Ast.T_priority_queue _ -> G_pq
+        | t -> G_scalar (kind_of_typ t)
+      in
+      (c.Ast.cname, g))
+    program.Ast.consts
+
+let emit_globals env =
+  line env "";
+  line env "// ---- program globals ----";
+  List.iter
+    (fun (c : Ast.const_decl) ->
+      match List.assoc c.Ast.cname env.globals with
+      | G_edgeset -> line env "static Graph %s;" (cpp_name c.Ast.cname)
+      | G_vector -> line env "static std::vector<i64> %s;" (cpp_name c.Ast.cname)
+      | G_pq -> line env "static PriorityQueue %s;" (cpp_name c.Ast.cname)
+      | G_scalar k -> line env "static %s %s;" (ctype_of_kind k) (cpp_name c.Ast.cname))
+    env.program.Ast.consts;
+  line env "static std::vector<i64> frontier;";
+  (match env.schedule.Schedule.traversal with
+  | Schedule.Dense_pull | Schedule.Hybrid ->
+      line env "static Graph %s_t;  // transpose for the pull sweeps"
+        (cpp_name env.loop.Analysis.edgeset_name);
+      line env "static std::vector<uint8_t> in_frontier;  // pull gate bitmap"
+  | Schedule.Sparse_push -> ());
+  match env.schedule.Schedule.traversal with
+  | Schedule.Hybrid -> line env "static i64 dense_threshold;"
+  | _ -> ()
+
+(* Vector sizes come from the loaded graphs: the largest vertex count among
+   the edgesets declared before the vector (interp's graph_vertices). *)
+let vertices_expr env ~before =
+  let edgesets =
+    List.filter_map
+      (fun (c : Ast.const_decl) ->
+        match List.assoc c.Ast.cname env.globals with
+        | G_edgeset when List.mem c.Ast.cname before -> Some (cpp_name c.Ast.cname)
+        | _ -> None)
+      env.program.Ast.consts
+  in
+  match edgesets with
+  | [] -> trap_expr "vector declared before any edgeset"
+  | [ e ] -> e ^ ".n"
+  | first :: rest ->
+      List.fold_left
+        (fun acc e -> Printf.sprintf "std::max(%s, %s.n)" acc e)
+        (first ^ ".n") rest
+
+let emit_const_inits env =
+  line env "// global constant initialization, in declaration order";
+  let seen = ref [] in
+  List.iter
+    (fun (c : Ast.const_decl) ->
+      let name = cpp_name c.Ast.cname in
+      (match List.assoc c.Ast.cname env.globals with
+      | G_pq -> ()  (* constructed by the assignment in main *)
+      | G_edgeset -> (
+          match c.Ast.cinit with
+          | Some e -> line env "%s = %s;" name (cexpr env e)
+          | None -> line env "%s;" (trap_expr "edgeset without initializer"))
+      | G_vector -> (
+          let n = vertices_expr env ~before:!seen in
+          match c.Ast.cinit with
+          | Some ({ Ast.desc = Ast.Method_call (_, "getOutDegrees", _); _ } as e) ->
+              line env "%s = %s;" name (cexpr env e)
+          | Some e -> line env "%s.assign((size_t)(%s), %s);" name n (cexpr env e)
+          | None -> line env "%s.assign((size_t)(%s), 0);" name n)
+      | G_scalar k -> (
+          match c.Ast.cinit with
+          | Some e -> line env "%s = %s;" name (cexpr env e)
+          | None ->
+              line env "%s = %s;" name
+                (match k with K_bool -> "false" | K_str -> "\"\"" | K_int -> "0")));
+      seen := c.Ast.cname :: !seen)
+    env.program.Ast.consts
+
+let emit_main env =
+  line env "";
+  line env "int main(int argc, char** argv) {";
+  indented env (fun () ->
+      line env "g_argc = argc;";
+      line env "g_argv = argv;";
+      emit_const_inits env;
+      line env "";
+      (match Ast.find_func env.program "main" with
+      | None -> line env "%s;" (trap_expr "program has no main()")
+      | Some main ->
+          env.locals <- [];
+          env.atomics <- "true";
+          List.iter (cstmt env ~in_main:true) main.Ast.body;
+          env.locals <- []);
+      line env "";
+      line env "// result protocol: every global vector, sorted by name";
+      let vectors =
+        List.filter (fun (_, g) -> g = G_vector) env.globals
+        |> List.map fst
+        |> List.sort compare
+      in
+      List.iter
+        (fun v -> line env "dump_vec(%S, %s);" v (cpp_name v))
+        vectors;
+      line env "return 0;");
+  line env "}"
+
+(* ---------------- entry point ---------------- *)
+
+let header schedule =
+  Printf.sprintf
+    {|// Generated by the GraphIt priority-based extension (Edge_map backend).
+// schedule: %s
+//
+// Self-contained reference translation of the scheduled program: build with
+//   g++ -O2 -std=c++17 -o prog prog.cpp
+// and run with the DSL program's arguments (argv mirrors the DSL's argv).
+// Output protocol, consumed by the differential checker:
+//   out <text>            one line per DSL print()
+//   vec <name> v0 v1 ...  every global vector, sorted by name, on exit
+// Arithmetic caveat: 64-bit two's complement here vs OCaml's 63-bit ints
+// in the reference interpreter; programs must stay in range.
+|}
+    (Format.asprintf "%a" Schedule.pp schedule)
+
+let stub schedule reason =
+  Printf.sprintf
+    {|%s
+#include <cstdio>
+
+// %s: the C++ backend only compiles programs whose main loop matches the
+// §5.2 ordered pattern; everything else runs under the interpreter. Exit
+// status 2 tells the sweep driver the compiled lane is unavailable.
+int main() {
+  std::fprintf(stderr, "unsupported: %s\n");
+  return 2;
+}
+|}
+    (header schedule) reason reason
 
 let generate (lowered : Lower.t) =
   let program = lowered.Lower.program in
   let analysis = lowered.Lower.analysis in
   let schedule = lowered.Lower.loop_schedule in
-  let udf = Option.map (fun l -> l.Analysis.udf) analysis.Analysis.loop in
-  let ctx =
-    {
-      buf = Buffer.create 4096;
-      indent = 0;
-      schedule;
-      pq_name =
-        (match analysis.Analysis.pq with
-        | Some info -> info.Analysis.pq_name
-        | None -> "pq");
-      udf;
-    }
-  in
-  line ctx "// Generated by the GraphIt priority-based extension.";
-  line ctx "// schedule: %s" (Format.asprintf "%a" Schedule.pp schedule);
-  line ctx "#include \"gpq_runtime.h\"";
-  line ctx "";
-  (* Globals. *)
-  List.iter
-    (fun (c : Ast.const_decl) ->
-      match c.Ast.ctyp with
-      | Ast.T_vector (_, Ast.T_int) -> line ctx "int * %s = new int[num_verts];" c.Ast.cname
-      | Ast.T_priority_queue _ ->
-          if Schedule.is_eager schedule then line ctx "EagerPriorityQueue* %s;" c.Ast.cname
-          else line ctx "LazyPriorityQueue* %s;" c.Ast.cname
-      | Ast.T_edgeset _ -> line ctx "WGraph* %s;" c.Ast.cname
-      | _ -> line ctx "int %s;" c.Ast.cname)
-    program.Ast.consts;
-  line ctx "int delta = %d;" schedule.Schedule.delta;
-  line ctx "";
-  block ctx "int main(int argc, char* argv[])" (fun () ->
-      (* Initialization: every main statement before the ordered loop. *)
-      (match Ast.find_func program "main" with
-      | None -> ()
-      | Some main ->
-          List.iter
-            (fun (s : Ast.stmt) ->
-              match s.Ast.sdesc with
-              | Ast.S_while _ -> ()
-              | _ -> emit_udf_stmt ctx [] s)
-            main.Ast.body);
-      line ctx "";
-      match (udf, schedule.Schedule.strategy, schedule.Schedule.traversal) with
-      | Some u, Schedule.Lazy_constant_sum, _ -> emit_constant_sum_function ctx u
-      | Some u, Schedule.Lazy, Schedule.Sparse_push -> emit_lazy_push ctx program u
-      | Some u, Schedule.Lazy, Schedule.Dense_pull -> emit_lazy_pull ctx program u
-      | Some u, Schedule.Lazy, Schedule.Hybrid ->
-          line ctx "// hybrid direction: per round, pull when the frontier is";
-          line ctx "// dense (out-degree sum > |E|/20), push otherwise.";
-          emit_lazy_push ctx program u
-      | Some u, Schedule.Eager_no_fusion, _ -> emit_eager ctx program u ~fusion:false
-      | Some u, Schedule.Eager_with_fusion, _ -> emit_eager ctx program u ~fusion:true
-      | None, _, _ ->
-          line ctx "// no replaceable ordered loop: generic priority-queue driver");
-  Buffer.contents ctx.buf
+  match (analysis.Analysis.pq, analysis.Analysis.loop) with
+  | None, _ -> stub schedule "no priority queue declared"
+  | _, None -> stub schedule "no replaceable ordered loop"
+  | Some pq_info, Some loop ->
+      let delta =
+        if pq_info.Analysis.allow_coarsening then schedule.Schedule.delta else 1
+      in
+      let env =
+        {
+          buf = Buffer.create 16384;
+          indent = 0;
+          program;
+          schedule;
+          pq_info;
+          loop;
+          globals = classify_globals program;
+          delta;
+          lower_first = pq_info.Analysis.direction = Order.Lower_first;
+          eager = Schedule.is_eager schedule;
+          fusion = schedule.Schedule.strategy = Schedule.Eager_with_fusion;
+          constant_sum =
+            (match schedule.Schedule.strategy with
+            | Schedule.Lazy_constant_sum ->
+                loop.Analysis.udf.Analysis.constant_sum_diff
+            | _ -> None);
+          locals = [];
+          atomics = "true";
+        }
+      in
+      raw env (header schedule);
+      raw env "\n";
+      emit_prelude env;
+      line env "";
+      line env "// ---- resolved schedule constants ----";
+      line env "static const bool kLowerFirst = %b;  // priority direction"
+        env.lower_first;
+      line env "static const i64 kDelta = %d;  // priority coarsening (1 = strict)"
+        env.delta;
+      if not env.eager then
+        line env "static const i64 kNumOpenBuckets = %d;"
+          schedule.Schedule.num_open_buckets;
+      if env.fusion then
+        line env "static const i64 kFusionThreshold = %d;"
+          schedule.Schedule.fusion_threshold;
+      (match env.constant_sum with
+      | Some d -> line env "static const i64 kConstantSumDiff = %d;" d
+      | None -> ());
+      emit_contract env;
+      if env.eager then emit_eager_buckets env else emit_lazy_buckets env;
+      emit_priority_queue env;
+      emit_globals env;
+      emit_udf env;
+      emit_edge_maps env;
+      emit_main env;
+      Buffer.contents env.buf

@@ -1,23 +1,36 @@
-(** C++ code generation, mirroring the paper's Figure 9 / Figure 10.
+(** C++ code generation retargeted at the {!Traverse.Edge_map} runtime.
 
-    The paper's compiler emits Cilk/OpenMP C++; this repository executes
-    through {!Interp} instead, but the {e structure} of the code the
-    compiler would emit is the observable artifact of the Section 5
-    transformations, so we print it:
+    [generate] prints one self-contained C++17 translation unit that is the
+    reference backend for the differential checker's compiled lane:
 
-    - lazy + SparsePush: output buffer with offsets, [atomicWriteMin] with a
-      tracking variable, CAS deduplication flags, prefix-sum frontier setup,
-      bulk bucket update (Fig. 9(a));
-    - lazy + DensePull: in-neighbor iteration with {e no} atomics
-      (Fig. 9(b));
-    - eager (± fusion): one OpenMP parallel region, thread-local
-      [local_bins], dynamic work sharing, and — with fusion — the inner
-      while loop that drains the current local bin (Fig. 9(c) / Fig. 7);
-    - lazy with constant sum: the transformed histogram user function
-      (Fig. 10).
+    - it compiles with nothing but a hosted toolchain
+      ([g++ -O2 -std=c++17 file.cpp]);
+    - it ports the bucketing runtime the interpreter runs on —
+      [Lazy_buckets] (window + overflow + stamp dedup), [Eager_buckets]
+      (per-worker bins + bucket fusion), the bulk-update buffer (Fig. 5)
+      and the constant-sum histogram (Fig. 10) — with the same clamping,
+      staleness and dedup rules, so interp-vs-compiled sweeps compare equal
+      vertex-by-vertex;
+    - the traversal mirrors [Edge_map]: push walks the sparse frontier's
+      out-edges with destination updates routed through the atomic slots,
+      pull walks the transpose gated by a frontier bitmap (only when the
+      frontier is not full) with no atomics, and hybrid applies Ligra's
+      [degree_sum + |frontier| > |E|/20] direction heuristic per round;
+    - eager schedules apply the on-current-bucket processing filter, and
+      [eager_with_fusion] drains the worker-local bin under the threshold
+      as the kernel epilogue (Fig. 7).
 
-    Golden tests pin these shapes so schedule changes provably change the
-    generated synchronization. *)
+    The emitted program speaks a line protocol on stdout so lanes can be
+    compared textually: [out <text>] per DSL [print()], then
+    [vec <name> v0 v1 ...] for every global vector, sorted by name.
+    Programs whose main loop does not match the §5.2 ordered pattern (and
+    constructs outside the compiled subset) exit with status 2, which the
+    sweep driver treats as "lane unavailable", not as a failure.
+
+    One deliberate divergence: arithmetic is 64-bit two's complement, while
+    the interpreter uses OCaml's 63-bit ints. Programs (and the generator
+    in {!Check}) must keep values in range; the shared [INT_MAX] sentinel
+    is OCaml's [max_int], emitted as [kNullPriority]. *)
 
 (** [generate lowered] renders the full generated program. *)
 val generate : Lower.t -> string

@@ -36,6 +36,11 @@ type state = {
   lowered : Lower.t;
   pool : Pool.t;
   argv : string array;
+  (* When false, the §5.2 loop replacement is suppressed: matched while
+     loops are interpreted statement-by-statement over a lazy backend —
+     the engine-free reference semantics the differential sweep compares
+     the engine and compiled lanes against. *)
+  transform : bool;
   externs : (string, extern_fn) Hashtbl.t;
   globals : (string, value) Hashtbl.t;
   mutable pq : Pq.t option;
@@ -442,9 +447,9 @@ and exec_while state frame pos cond body =
   let program = state.lowered.Lower.program in
   let matched =
     match state.lowered.Lower.analysis.Analysis.pq with
-    | Some info ->
+    | Some info when state.transform ->
         Analysis.match_while program ~pq_name:info.Analysis.pq_name ~cond ~body
-    | None -> Ok None
+    | Some _ | None -> Ok None
   in
   match matched with
   | Ok (Some loop) -> run_ordered_loop state frame pos loop
@@ -507,10 +512,11 @@ and construct_pq state frame pos name =
   in
   let schedule =
     match analysis.Analysis.loop with
-    | Some _ -> state.lowered.Lower.loop_schedule
-    | None ->
-        (* Generic programs drive the queue directly; only the lazy backend
-           filters staleness at extraction, so force it. *)
+    | Some _ when state.transform -> state.lowered.Lower.loop_schedule
+    | Some _ | None ->
+        (* Generic programs (and the transform-disabled reference lane)
+           drive the queue directly; only the lazy backend filters
+           staleness at extraction, so force it. *)
         { state.lowered.Lower.loop_schedule with Schedule.strategy = Schedule.Lazy }
   in
   let constant_sum_delta =
@@ -559,12 +565,13 @@ let init_const state (c : Ast.const_decl) =
   in
   Hashtbl.replace state.globals c.Ast.cname value
 
-let run lowered ~pool ~argv ?(externs = []) () =
+let run lowered ~pool ~argv ?(externs = []) ?(transform = true) () =
   let state =
     {
       lowered;
       pool;
       argv;
+      transform;
       externs = Hashtbl.create 8;
       globals = Hashtbl.create 16;
       pq = None;

@@ -39,11 +39,19 @@ exception Runtime_error of Pos.t * string
 
 (** [run lowered ~pool ~argv ()] executes [main]. [argv.(0)] is
     conventionally the program name, matching the DSL's [argv[1]]-style
-    accesses. *)
+    accesses.
+
+    [transform] (default [true]) controls the §5.2 loop replacement:
+    when [false], matched while loops are interpreted
+    statement-by-statement over a lazy backend instead of running
+    through {!Ordered.Engine}. This is the engine-free reference lane of
+    the differential sweep ({!Check} [Dsl_sweep]) — the scheduled engine
+    and the generated C++ are both judged against it. *)
 val run :
   Lower.t ->
   pool:Parallel.Pool.t ->
   argv:string array ->
   ?externs:(string * extern_fn) list ->
+  ?transform:bool ->
   unit ->
   run_result

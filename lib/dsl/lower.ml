@@ -75,6 +75,41 @@ let lower program =
   in
   Ok { program; analysis; schedules; loop_schedule }
 
+(* Re-point the ordered loop at a different schedule, re-checking the
+   legality rules the original lowering enforced (the sweep uses this to
+   move one parsed program across the whole schedule grid without
+   re-rendering and re-parsing its schedule section). *)
+let with_loop_schedule t schedule =
+  let* schedule = Schedule.validate schedule in
+  let* () =
+    match t.analysis.Analysis.loop with
+    | None -> (
+        match schedule.Schedule.strategy with
+        | Schedule.Eager_with_fusion | Schedule.Eager_no_fusion ->
+            Error
+              "eager bucket-update schedules require the ordered while-loop \
+               pattern"
+        | Schedule.Lazy | Schedule.Lazy_constant_sum -> Ok ())
+    | Some loop -> (
+        match schedule.Schedule.strategy with
+        | Schedule.Lazy_constant_sum
+          when loop.Analysis.udf.Analysis.constant_sum_diff = None ->
+            Error
+              (Printf.sprintf
+                 "schedule lazy_constant_sum requires user function %s to \
+                  perform a single updatePrioritySum with a constant literal \
+                  diff on the destination vertex"
+                 loop.Analysis.udf.Analysis.udf_name)
+        | _ -> Ok ())
+  in
+  let schedules =
+    match t.analysis.Analysis.loop with
+    | Some { Analysis.label = Some label; _ } ->
+        (label, schedule) :: List.remove_assoc label t.schedules
+    | _ -> t.schedules
+  in
+  Ok { t with schedules; loop_schedule = schedule }
+
 let lower_string source =
   match Parser.parse_string source with
   | program -> lower program

@@ -30,3 +30,10 @@ val lower : Ast.program -> (t, string) result
 
 (** [lower_string source] parses then lowers. *)
 val lower_string : string -> (t, string) result
+
+(** [with_loop_schedule t s] re-points the ordered loop at schedule [s],
+    validating [s] and re-checking the legality rules above (so an eager
+    schedule on a pattern-less program, or [lazy_constant_sum] on a
+    non-constant-sum user function, still fails). The differential sweep
+    uses this to move one parsed program across the whole schedule grid. *)
+val with_loop_schedule : t -> Ordered.Schedule.t -> (t, string) result

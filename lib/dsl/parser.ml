@@ -354,8 +354,11 @@ let rec parse_stmt st =
             | Ast.Index ({ Ast.desc = Ast.Var vec; _ }, idx) ->
                 Ast.S_reduce_assign (rd, vec, idx, rhs)
             | _ ->
+                (* Point at the target expression itself, not the statement
+                   start (the statement may begin with a label). *)
                 raise
-                  (Error (pos, "reduction assignment requires a 'vector[index]' target")))
+                  (Error
+                     (e.Ast.pos, "reduction assignment requires a 'vector[index]' target")))
         | None, Token.Assign -> (
             advance st;
             let rhs = parse_expr st in
@@ -364,7 +367,7 @@ let rec parse_stmt st =
             | Ast.Var name -> Ast.S_assign (name, rhs)
             | Ast.Index ({ Ast.desc = Ast.Var vec; _ }, idx) ->
                 Ast.S_index_assign (vec, idx, rhs)
-            | _ -> raise (Error (pos, "invalid assignment target")))
+            | _ -> raise (Error (e.Ast.pos, "invalid assignment target")))
         | None, _ ->
             expect st Token.Semicolon;
             Ast.S_expr e)

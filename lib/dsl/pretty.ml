@@ -1,0 +1,220 @@
+(* Pretty-printer from the AST back to concrete DSL syntax.
+
+   The output must re-lex, re-parse, and re-typecheck to an AST equal to the
+   input (positions excluded — [Ast.equal_program] ignores them). That
+   round-trip property is what makes printed programs usable as repro lines
+   for the differential checker, and it is pinned by a qcheck property in
+   test_dsl. Two consequences shape the code:
+
+   - parenthesization is computed from the parser's precedence table, and the
+     comparison level is non-associative (the parser consumes at most one
+     comparison operator), so both comparison operands print at the additive
+     level;
+   - negative integer literals have no surface syntax ([-5] lexes as unary
+     minus applied to [5]), so [Int_lit i] with [i < 0] prints as [(0 - n)]
+     only under a flag callers of generated programs never need; the program
+     generator simply never produces them. *)
+
+let buf_add = Buffer.add_string
+
+(* Parser precedence levels, lowest binds loosest. [parse_comparison] accepts
+   exactly one operator whose operands are additive expressions, so both
+   sides of a comparison must be printed at [lvl_add] or tighter. *)
+let lvl_or = 1
+
+let lvl_and = 2
+let lvl_cmp = 3
+let lvl_add = 4
+let lvl_mul = 5
+let lvl_unary = 6
+let lvl_postfix = 7
+
+let binop_level = function
+  | Ast.Or -> lvl_or
+  | Ast.And -> lvl_and
+  | Ast.Eq | Ast.Neq | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge -> lvl_cmp
+  | Ast.Add | Ast.Sub -> lvl_add
+  | Ast.Mul | Ast.Div -> lvl_mul
+
+let binop_str = function
+  | Ast.Add -> "+"
+  | Ast.Sub -> "-"
+  | Ast.Mul -> "*"
+  | Ast.Div -> "/"
+  | Ast.Eq -> "=="
+  | Ast.Neq -> "!="
+  | Ast.Lt -> "<"
+  | Ast.Le -> "<="
+  | Ast.Gt -> ">"
+  | Ast.Ge -> ">="
+  | Ast.And -> "and"
+  | Ast.Or -> "or"
+
+(* Inverse of the lexer's escape handling: only backslash and double quote
+   need escaping; a literal newline prints as [\n]. *)
+let escape_string s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let rec type_str = function
+  | Ast.T_int -> "int"
+  | Ast.T_bool -> "bool"
+  | Ast.T_string -> "string"
+  | Ast.T_element name -> name
+  | Ast.T_vector (element, value) ->
+      Printf.sprintf "vector{%s}(%s)" element (type_str value)
+  | Ast.T_vertexset element -> Printf.sprintf "vertexset{%s}" element
+  | Ast.T_edgeset { element; src; dst; weighted } ->
+      Printf.sprintf "edgeset{%s}(%s, %s%s)" element src dst
+        (if weighted then ", int" else "")
+  | Ast.T_priority_queue (element, value) ->
+      Printf.sprintf "priority_queue{%s}(%s)" element (type_str value)
+
+(* [expr_at level e] prints [e], wrapping in parentheses when [e] binds
+   looser than the surrounding [level] demands. *)
+let rec expr_at level (e : Ast.expr) =
+  match e.Ast.desc with
+  | Ast.Int_lit i ->
+      if i >= 0 then string_of_int i
+      else Printf.sprintf "(0 - %s)" (string_of_int (-i))
+  | Ast.Bool_lit true -> "true"
+  | Ast.Bool_lit false -> "false"
+  | Ast.String_lit s -> Printf.sprintf "\"%s\"" (escape_string s)
+  | Ast.Var name -> name
+  | Ast.Index (base, index) ->
+      Printf.sprintf "%s[%s]" (expr_at lvl_postfix base) (expr_at 0 index)
+  | Ast.Binop (op, lhs, rhs) ->
+      let mine = binop_level op in
+      let body =
+        if mine = lvl_cmp then
+          (* Non-associative: the parser parses additive on both sides. *)
+          Printf.sprintf "%s %s %s" (expr_at lvl_add lhs) (binop_str op)
+            (expr_at lvl_add rhs)
+        else
+          (* Left-associative: the right operand must bind tighter. *)
+          Printf.sprintf "%s %s %s" (expr_at mine lhs) (binop_str op)
+            (expr_at (mine + 1) rhs)
+      in
+      if mine < level then "(" ^ body ^ ")" else body
+  | Ast.Unop (op, operand) ->
+      let body =
+        match op with
+        | Ast.Neg -> "-" ^ expr_at lvl_unary operand
+        | Ast.Not -> "not " ^ expr_at lvl_unary operand
+      in
+      if lvl_unary < level then "(" ^ body ^ ")" else body
+  | Ast.Call (name, args) -> Printf.sprintf "%s(%s)" name (args_str args)
+  | Ast.Method_call (receiver, name, args) ->
+      Printf.sprintf "%s.%s(%s)" (expr_at lvl_postfix receiver) name (args_str args)
+  | Ast.New_priority_queue { element; value_type; args } ->
+      Printf.sprintf "new priority_queue{%s}(%s)(%s)" element (type_str value_type)
+        (args_str args)
+  | Ast.New_vertexset { element; size } ->
+      Printf.sprintf "new vertexset{%s}(%s)" element (expr_at 0 size)
+
+and args_str args = String.concat ", " (List.map (expr_at 0) args)
+
+let expr e = expr_at 0 e
+
+let reduction_str = function
+  | Ast.Rd_min -> "min="
+  | Ast.Rd_max -> "max="
+  | Ast.Rd_plus -> "+="
+
+let rec emit_stmt buf indent (s : Ast.stmt) =
+  buf_add buf indent;
+  (match s.Ast.label with
+  | Some l -> buf_add buf (Printf.sprintf "#%s# " l)
+  | None -> ());
+  match s.Ast.sdesc with
+  | Ast.S_var_decl (name, typ, init) ->
+      let init_str =
+        match init with Some e -> " = " ^ expr e | None -> ""
+      in
+      buf_add buf (Printf.sprintf "var %s : %s%s;\n" name (type_str typ) init_str)
+  | Ast.S_assign (name, e) -> buf_add buf (Printf.sprintf "%s = %s;\n" name (expr e))
+  | Ast.S_index_assign (vec, idx, e) ->
+      buf_add buf (Printf.sprintf "%s[%s] = %s;\n" vec (expr idx) (expr e))
+  | Ast.S_reduce_assign (rd, vec, idx, e) ->
+      buf_add buf
+        (Printf.sprintf "%s[%s] %s %s;\n" vec (expr idx) (reduction_str rd) (expr e))
+  | Ast.S_expr e -> buf_add buf (expr e ^ ";\n")
+  | Ast.S_while (cond, body) ->
+      buf_add buf (Printf.sprintf "while %s\n" (expr cond));
+      emit_block buf (indent ^ "    ") body;
+      buf_add buf (indent ^ "end\n")
+  | Ast.S_if (cond, then_branch, else_branch) ->
+      buf_add buf (Printf.sprintf "if %s\n" (expr cond));
+      emit_block buf (indent ^ "    ") then_branch;
+      if else_branch <> [] then begin
+        buf_add buf (indent ^ "else\n");
+        emit_block buf (indent ^ "    ") else_branch
+      end;
+      buf_add buf (indent ^ "end\n")
+  | Ast.S_delete name -> buf_add buf (Printf.sprintf "delete %s;\n" name)
+
+and emit_block buf indent stmts = List.iter (emit_stmt buf indent) stmts
+
+let emit_const buf (c : Ast.const_decl) =
+  let init_str =
+    match c.Ast.cinit with Some e -> " = " ^ expr e | None -> ""
+  in
+  buf_add buf
+    (Printf.sprintf "const %s : %s%s;\n" c.Ast.cname (type_str c.Ast.ctyp) init_str)
+
+let emit_extern buf (x : Ast.extern_decl) =
+  (* Parameter names are not kept in the AST; invent positional ones. *)
+  let params =
+    List.mapi (fun i t -> Printf.sprintf "a%d : %s" i (type_str t)) x.Ast.xparams
+  in
+  buf_add buf
+    (Printf.sprintf "extern func %s(%s) : %s;\n" x.Ast.xname
+       (String.concat ", " params)
+       (type_str x.Ast.xreturn))
+
+let emit_func buf (f : Ast.func_decl) =
+  let params =
+    List.map (fun (n, t) -> Printf.sprintf "%s : %s" n (type_str t)) f.Ast.params
+  in
+  buf_add buf (Printf.sprintf "func %s(%s)\n" f.Ast.fname (String.concat ", " params));
+  emit_block buf "    " f.Ast.body;
+  buf_add buf "end\n"
+
+let emit_schedule buf calls =
+  (* The parser collects a flat call list; one chain reproduces it. All
+     arguments print as string literals — the parser stringifies every
+     argument form, so this is round-trip exact. *)
+  buf_add buf "\nschedule:\nprogram";
+  List.iter
+    (fun (c : Ast.schedule_call) ->
+      let args =
+        String.concat ", "
+          (List.map (fun a -> Printf.sprintf "\"%s\"" (escape_string a)) c.Ast.sc_args)
+      in
+      buf_add buf (Printf.sprintf "\n    ->%s(%s)" c.Ast.sc_name args))
+    calls;
+  buf_add buf ";\n"
+
+let program (p : Ast.program) =
+  let buf = Buffer.create 1024 in
+  List.iter (fun name -> buf_add buf (Printf.sprintf "element %s end\n" name)) p.Ast.elements;
+  if p.Ast.elements <> [] then buf_add buf "\n";
+  List.iter (emit_const buf) p.Ast.consts;
+  if p.Ast.consts <> [] then buf_add buf "\n";
+  List.iter (emit_extern buf) p.Ast.externs;
+  if p.Ast.externs <> [] then buf_add buf "\n";
+  List.iteri
+    (fun i f ->
+      if i > 0 then buf_add buf "\n";
+      emit_func buf f)
+    p.Ast.funcs;
+  if p.Ast.schedule <> [] then emit_schedule buf p.Ast.schedule;
+  Buffer.contents buf

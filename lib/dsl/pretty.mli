@@ -1,0 +1,24 @@
+(** Pretty-printer from the AST back to concrete DSL syntax.
+
+    The contract, pinned by a qcheck property in the test suite, is the
+    round trip: for any well-formed program AST [p],
+    [Parser.parse_string (program p)] equals [p] under {!Ast.equal_program}
+    (which ignores source positions). This is what lets the differential
+    checker ({!Check.Dsl_case}) hand out generated programs as paste-able
+    repro text.
+
+    Caveats inherited from the grammar: extern parameter names are not kept
+    in the AST, so invented positional names are printed; negative integer
+    literals have no surface syntax and print as [(0 - n)], which re-parses
+    as a subtraction — generators avoid producing them. *)
+
+(** [program p] prints a complete program: elements, consts, externs,
+    functions, then the [schedule:] section (the grammar requires the
+    schedule last — it consumes the rest of the input). *)
+val program : Ast.program -> string
+
+(** [expr e] prints one expression with minimal parentheses. *)
+val expr : Ast.expr -> string
+
+(** [type_str t] prints a type, e.g. [vector{Vertex}(int)]. *)
+val type_str : Ast.typ -> string

@@ -104,7 +104,7 @@ let rec infer env locals (e : Ast.expr) : ty =
       let index_ty = infer env locals index in
       match base_ty with
       | Argv ->
-          require env index e.Ast.pos index_ty (T Ast.T_int) "argv index";
+          require env index index_ty (T Ast.T_int) "argv index";
           T Ast.T_string
       | T (Ast.T_vector (element, value)) ->
           if
@@ -125,12 +125,12 @@ let rec infer env locals (e : Ast.expr) : ty =
       let lt = infer env locals lhs and rt = infer env locals rhs in
       match op with
       | Ast.Add | Ast.Sub | Ast.Mul | Ast.Div ->
-          require env lhs e.Ast.pos lt (T Ast.T_int) "arithmetic operand";
-          require env rhs e.Ast.pos rt (T Ast.T_int) "arithmetic operand";
+          require env lhs lt (T Ast.T_int) "arithmetic operand";
+          require env rhs rt (T Ast.T_int) "arithmetic operand";
           T Ast.T_int
       | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge ->
-          require env lhs e.Ast.pos lt (T Ast.T_int) "comparison operand";
-          require env rhs e.Ast.pos rt (T Ast.T_int) "comparison operand";
+          require env lhs lt (T Ast.T_int) "comparison operand";
+          require env rhs rt (T Ast.T_int) "comparison operand";
           T Ast.T_bool
       | Ast.Eq | Ast.Neq ->
           if not (compatible lt rt) then
@@ -138,21 +138,21 @@ let rec infer env locals (e : Ast.expr) : ty =
               (Printf.sprintf "cannot compare %s with %s" (describe lt) (describe rt));
           T Ast.T_bool
       | Ast.And | Ast.Or ->
-          require env lhs e.Ast.pos lt (T Ast.T_bool) "boolean operand";
-          require env rhs e.Ast.pos rt (T Ast.T_bool) "boolean operand";
+          require env lhs lt (T Ast.T_bool) "boolean operand";
+          require env rhs rt (T Ast.T_bool) "boolean operand";
           T Ast.T_bool)
   | Ast.Unop (Ast.Neg, operand) ->
-      require env operand e.Ast.pos (infer env locals operand) (T Ast.T_int) "negation";
+      require env operand (infer env locals operand) (T Ast.T_int) "negation";
       T Ast.T_int
   | Ast.Unop (Ast.Not, operand) ->
-      require env operand e.Ast.pos (infer env locals operand) (T Ast.T_bool) "'not'";
+      require env operand (infer env locals operand) (T Ast.T_bool) "'not'";
       T Ast.T_bool
   | Ast.Call (name, args) -> infer_call env locals e.Ast.pos name args
   | Ast.Method_call (receiver, name, args) ->
       infer_method env locals e.Ast.pos receiver name args
   | Ast.New_vertexset { element; size } ->
       check_element env e.Ast.pos element;
-      require env size e.Ast.pos (infer env locals size) (T Ast.T_int)
+      require env size (infer env locals size) (T Ast.T_int)
         "vertexset size";
       T (Ast.T_vertexset element)
   | Ast.New_priority_queue { element; value_type; args } ->
@@ -176,9 +176,11 @@ let rec infer env locals (e : Ast.expr) : ty =
              priority_vector [, start_vertex])");
       T (Ast.T_priority_queue (element, value_type))
 
-and require env _expr pos actual expected what =
+and require env (expr : Ast.expr) actual expected what =
+  (* Report at the offending sub-expression, not the enclosing statement:
+     shrunk differential repros are read by position. *)
   if not (compatible actual expected) then
-    add_error env pos
+    add_error env expr.Ast.pos
       (Printf.sprintf "%s has type %s but %s was expected" what (describe actual)
          (describe expected))
 
@@ -193,7 +195,7 @@ and infer_call env locals pos name args =
   | "load", _ ->
       arity 1;
       List.iter2
-        (fun t a -> require env a pos t (T Ast.T_string) "load argument")
+        (fun t a -> require env a t (T Ast.T_string) "load argument")
         arg_types args;
       Unknown (* an edgeset whose element types come from the declaration *)
   | "symmetrize", _ ->
@@ -205,7 +207,7 @@ and infer_call env locals pos name args =
   | "atoi", _ ->
       arity 1;
       List.iter2
-        (fun t a -> require env a pos t (T Ast.T_string) "atoi argument")
+        (fun t a -> require env a t (T Ast.T_string) "atoi argument")
         arg_types args;
       T Ast.T_int
   | _ -> (
@@ -347,13 +349,13 @@ let rec check_stmt env locals (s : Ast.stmt) : (string * ty) list =
       (match init with
       | Some e ->
           let t = infer env locals e in
-          require env e s.Ast.spos t (T typ) (Printf.sprintf "initializer of %s" name)
+          require env e t (T typ) (Printf.sprintf "initializer of %s" name)
       | None -> ());
       (name, T typ) :: locals
   | Ast.S_assign (name, e) ->
       let t = infer env locals e in
       (match lookup env locals name with
-      | Some target -> require env e s.Ast.spos t target (Printf.sprintf "assignment to %s" name)
+      | Some target -> require env e t target (Printf.sprintf "assignment to %s" name)
       | None -> add_error env s.Ast.spos (Printf.sprintf "unbound identifier %S" name));
       locals
   | Ast.S_index_assign (vec, idx, e) ->
@@ -366,7 +368,7 @@ let rec check_stmt env locals (s : Ast.stmt) : (string * ty) list =
       in
       ignore (infer env locals idx);
       let value_ty = infer env locals e in
-      require env e s.Ast.spos value_ty (vector_value_type vec_ty)
+      require env e value_ty (vector_value_type vec_ty)
         (Printf.sprintf "assignment into %s" vec);
       locals
   | Ast.S_reduce_assign (_rd, vec, idx, e) ->
@@ -384,7 +386,7 @@ let rec check_stmt env locals (s : Ast.stmt) : (string * ty) list =
             (Printf.sprintf "reduction target %s is %s, not a vector" vec (describe t)));
       ignore (infer env locals idx);
       let value_ty = infer env locals e in
-      require env e s.Ast.spos value_ty (vector_value_type vec_ty)
+      require env e value_ty (vector_value_type vec_ty)
         (Printf.sprintf "reduction into %s" vec);
       locals
   | Ast.S_expr e ->
@@ -392,12 +394,12 @@ let rec check_stmt env locals (s : Ast.stmt) : (string * ty) list =
       locals
   | Ast.S_while (cond, body) ->
       let t = infer env locals cond in
-      require env cond s.Ast.spos t (T Ast.T_bool) "while condition";
+      require env cond t (T Ast.T_bool) "while condition";
       ignore (check_block env locals body);
       locals
   | Ast.S_if (cond, then_branch, else_branch) ->
       let t = infer env locals cond in
-      require env cond s.Ast.spos t (T Ast.T_bool) "if condition";
+      require env cond t (T Ast.T_bool) "if condition";
       ignore (check_block env locals then_branch);
       ignore (check_block env locals else_branch);
       locals
@@ -432,7 +434,7 @@ let check program =
       | Some { Ast.desc = Ast.Int_lit _; _ }, Ast.T_vector (_, Ast.T_int) -> ()
       | Some e, _ ->
           let t = infer env [] e in
-          require env e c.Ast.cpos t (T c.Ast.ctyp)
+          require env e t (T c.Ast.ctyp)
             (Printf.sprintf "initializer of %s" c.Ast.cname))
     program.Ast.consts;
   (* Function bodies. *)
